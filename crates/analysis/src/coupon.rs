@@ -1,0 +1,299 @@
+//! Coupon-collector analysis (paper §V-B).
+//!
+//! Enumerating caches behind an IP address under unpredictable (uniform
+//! random) cache selection is the coupon-collector problem: each query
+//! probes one of `n` caches uniformly; how many queries until all were
+//! probed at least once?
+//!
+//! The paper's Theorem 5.1: `E[X] = n·H_n = n·ln n + O(n)`.
+//! Its two-phase init/validate protocol sends `N` seeds; the expected
+//! uncovered fraction is `≈ exp(−N/n)` and the expected success rate is
+//! `N·(1 − exp(−N/n))²`.
+
+use rand::Rng;
+
+/// The `n`-th harmonic number `H_n = Σ_{i=1..n} 1/i`.
+///
+/// # Examples
+///
+/// ```
+/// use cde_analysis::coupon::harmonic;
+/// assert_eq!(harmonic(1), 1.0);
+/// assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+/// ```
+pub fn harmonic(n: u64) -> f64 {
+    if n <= 100_000 {
+        (1..=n).map(|i| 1.0 / i as f64).sum()
+    } else {
+        // Asymptotic expansion keeps large sweeps cheap.
+        let nf = n as f64;
+        nf.ln() + 0.577_215_664_901_532_9 + 1.0 / (2.0 * nf) - 1.0 / (12.0 * nf * nf)
+    }
+}
+
+/// Expected queries to probe all `n` caches under uniform random selection:
+/// `E[X] = n·H_n` (Theorem 5.1).
+///
+/// # Examples
+///
+/// ```
+/// use cde_analysis::coupon::expected_queries;
+/// assert_eq!(expected_queries(1), 1.0);
+/// assert!((expected_queries(2) - 3.0).abs() < 1e-12);
+/// ```
+pub fn expected_queries(n: u64) -> f64 {
+    n as f64 * harmonic(n)
+}
+
+/// Variance of the coupon-collector count:
+/// `Var[X] = Σ (1−p_i)/p_i²` with `p_i = (n−i+1)/n`.
+pub fn variance(n: u64) -> f64 {
+    let nf = n as f64;
+    (1..=n)
+        .map(|i| {
+            let p = (n - i + 1) as f64 / nf;
+            (1.0 - p) / (p * p)
+        })
+        .sum()
+}
+
+/// Union-bound tail: `P[X > t] ≤ n·(1 − 1/n)^t`.
+///
+/// Useful for choosing a query budget `q` that covers all caches with high
+/// probability.
+pub fn tail_bound(n: u64, t: u64) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let miss_one = 1.0 - 1.0 / n as f64;
+    (n as f64 * miss_one.powf(t as f64)).min(1.0)
+}
+
+/// Smallest query budget `q` with `P[not all probed] ≤ failure` by the
+/// union bound.
+///
+/// # Examples
+///
+/// ```
+/// use cde_analysis::coupon::query_budget;
+/// assert_eq!(query_budget(1, 0.01), 1);
+/// let q = query_budget(4, 0.01);
+/// // Must exceed the expectation 4·H_4 ≈ 8.33.
+/// assert!(q > 8);
+/// ```
+pub fn query_budget(n: u64, failure: f64) -> u64 {
+    assert!(
+        failure > 0.0 && failure < 1.0,
+        "failure probability must be in (0, 1)"
+    );
+    if n <= 1 {
+        return 1;
+    }
+    let nf = n as f64;
+    let t = (failure / nf).ln() / (1.0 - 1.0 / nf).ln();
+    t.ceil().max(nf) as u64
+}
+
+/// Expected fraction of `n` caches left untouched after `seeds` uniform
+/// probes: `(1 − 1/n)^N ≈ exp(−N/n)` (§V-B).
+pub fn expected_uncovered_fraction(n: u64, seeds: u64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    (-(seeds as f64) / n as f64).exp()
+}
+
+/// The paper's expected success rate of the init/validate protocol with
+/// `N` seeds over `n` caches: `N·(1 − exp(−N/n))²`.
+pub fn expected_success_rate(n: u64, seeds: u64) -> f64 {
+    let covered = 1.0 - expected_uncovered_fraction(n, seeds);
+    seeds as f64 * covered * covered
+}
+
+/// Runs one coupon-collector experiment: draws uniformly from `n` caches
+/// until all have been seen, returning the number of draws.
+///
+/// # Panics
+///
+/// Panics when `n` is zero.
+pub fn simulate_collection<R: Rng + ?Sized>(n: u64, rng: &mut R) -> u64 {
+    assert!(n > 0, "need at least one cache");
+    let n = n as usize;
+    let mut seen = vec![false; n];
+    let mut remaining = n;
+    let mut draws = 0u64;
+    while remaining > 0 {
+        draws += 1;
+        let i = rng.gen_range(0..n);
+        if !seen[i] {
+            seen[i] = true;
+            remaining -= 1;
+        }
+    }
+    draws
+}
+
+/// Mean of `trials` simulated collections (Monte-Carlo check of
+/// Theorem 5.1).
+pub fn simulate_mean<R: Rng + ?Sized>(n: u64, trials: u64, rng: &mut R) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    let total: u64 = (0..trials).map(|_| simulate_collection(n, rng)).sum();
+    total as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The analysis crate has no dependency on cde-netsim; use rand
+    // directly with a fixed-seed SmallRng for deterministic tests.
+    mod cde_netsim_shim {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+
+        pub struct DetRng;
+
+        impl DetRng {
+            pub fn seed(seed: u64) -> SmallRng {
+                SmallRng::seed_from_u64(seed)
+            }
+        }
+    }
+
+    #[test]
+    fn harmonic_small_values() {
+        assert_eq!(harmonic(0), 0.0);
+        assert_eq!(harmonic(1), 1.0);
+        assert!((harmonic(2) - 1.5).abs() < 1e-12);
+        assert!((harmonic(10) - 2.928_968_253_968_254).abs() < 1e-9);
+    }
+
+    #[test]
+    fn harmonic_asymptotic_branch_is_continuous() {
+        // Compare the exact sum and the expansion near the switch point.
+        let exact: f64 = (1..=100_000u64).map(|i| 1.0 / i as f64).sum();
+        let nf = 100_000f64;
+        let approx = nf.ln() + 0.577_215_664_901_532_9 + 1.0 / (2.0 * nf) - 1.0 / (12.0 * nf * nf);
+        assert!((exact - approx).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_queries_matches_hand_values() {
+        // n=3: 3·(1 + 1/2 + 1/3) = 5.5
+        assert!((expected_queries(3) - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_grows_n_log_n() {
+        let e64 = expected_queries(64);
+        let bound = 64.0 * (64f64.ln() + 1.0);
+        assert!(e64 < bound);
+        assert!(e64 > 64.0 * 64f64.ln());
+    }
+
+    #[test]
+    fn monte_carlo_matches_theorem_5_1() {
+        let mut rng = cde_netsim_shim::DetRng::seed(11);
+        for n in [1u64, 2, 4, 8, 16, 32] {
+            let sim = simulate_mean(n, 3000, &mut rng);
+            let theory = expected_queries(n);
+            let tolerance = 4.0 * (variance(n) / 3000.0).sqrt() + 0.05;
+            assert!(
+                (sim - theory).abs() < tolerance,
+                "n={n}: sim {sim:.2} vs theory {theory:.2} (tol {tolerance:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn tail_bound_decreases_in_t() {
+        let mut prev = 1.0;
+        for t in [10u64, 20, 40, 80, 160] {
+            let p = tail_bound(8, t);
+            assert!(p <= prev);
+            prev = p;
+        }
+        assert!(tail_bound(1, 0) == 0.0);
+    }
+
+    #[test]
+    fn query_budget_actually_covers() {
+        let mut rng = cde_netsim_shim::DetRng::seed(13);
+        let n = 6u64;
+        let q = query_budget(n, 0.01);
+        let trials = 2000;
+        let failures = (0..trials)
+            .filter(|_| simulate_collection_with_budget(n, q, &mut rng) < n)
+            .count();
+        // Union bound is conservative: observed failure rate must be below.
+        assert!(
+            (failures as f64 / trials as f64) < 0.01,
+            "failures {failures}/{trials}"
+        );
+
+        fn simulate_collection_with_budget<R: rand::Rng + ?Sized>(
+            n: u64,
+            q: u64,
+            rng: &mut R,
+        ) -> u64 {
+            let mut seen = vec![false; n as usize];
+            for _ in 0..q {
+                seen[rng.gen_range(0..n as usize)] = true;
+            }
+            seen.iter().filter(|s| **s).count() as u64
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failure probability")]
+    fn query_budget_rejects_bad_probability() {
+        query_budget(4, 1.5);
+    }
+
+    #[test]
+    fn uncovered_fraction_matches_simulation() {
+        let mut rng = cde_netsim_shim::DetRng::seed(17);
+        let n = 10u64;
+        let seeds = 20u64; // N = 2n, the paper's working point
+        let trials = 4000;
+        let mut uncovered_total = 0u64;
+        for _ in 0..trials {
+            let mut seen = vec![false; n as usize];
+            for _ in 0..seeds {
+                seen[rng.gen_range(0..n as usize)] = true;
+            }
+            uncovered_total += seen.iter().filter(|s| !**s).count() as u64;
+        }
+        let observed = uncovered_total as f64 / (trials as f64 * n as f64);
+        let theory = expected_uncovered_fraction(n, seeds);
+        // exp(-2) ≈ 0.135; exact is (1-1/n)^N ≈ 0.122 — both near observed.
+        assert!(
+            (observed - theory).abs() < 0.03,
+            "observed {observed:.3} theory {theory:.3}"
+        );
+    }
+
+    #[test]
+    fn success_rate_approaches_n_seeds() {
+        // As N/n grows the success rate approaches N (paper §V-B).
+        let n = 4;
+        let big = expected_success_rate(n, 64);
+        assert!(big > 63.0 && big <= 64.0);
+        let small = expected_success_rate(n, 4);
+        assert!(small < 2.5);
+    }
+
+    #[test]
+    fn variance_positive_and_growing() {
+        assert_eq!(variance(1), 0.0);
+        assert!(variance(4) > 0.0);
+        assert!(variance(32) > variance(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cache")]
+    fn simulate_zero_caches_panics() {
+        let mut rng = cde_netsim_shim::DetRng::seed(1);
+        simulate_collection(0, &mut rng);
+    }
+}

@@ -1,0 +1,187 @@
+//! Estimators turning raw probe observations into cache counts.
+//!
+//! The enumeration procedures observe `ω` — distinct upstream fetches (or
+//! uncached-latency responses) out of `q`/`N` probes. With enough probes
+//! `ω = n` exactly; with a tight budget `ω` underestimates `n`, and the
+//! occupancy relation `E[ω] = n·(1 − (1 − 1/n)^N)` can be inverted to
+//! correct the bias. Carpet bombing (§V) picks the per-probe redundancy
+//! `K` from the measured loss rate.
+
+/// Maximum-likelihood-style inversion of the occupancy relation:
+/// given `observed` distinct caches out of `probes` uniform probes,
+/// estimate the true cache count `n`.
+///
+/// Solves `observed = n·(1 − (1 − 1/n)^probes)` for `n` by bisection.
+/// Returns `observed` unchanged when the equation has no larger root
+/// (i.e. the observation is already consistent with `n = observed`).
+///
+/// # Examples
+///
+/// ```
+/// use cde_analysis::estimators::estimate_cache_count;
+///
+/// // 100 probes, 10 distinct: essentially everything was covered.
+/// assert_eq!(estimate_cache_count(10, 100), 10);
+/// // 8 probes, 6 distinct: real count is likely a little above 6.
+/// assert!(estimate_cache_count(6, 8) >= 6);
+/// ```
+///
+/// # Panics
+///
+/// Panics when `observed > probes` (impossible observation).
+pub fn estimate_cache_count(observed: u64, probes: u64) -> u64 {
+    assert!(
+        observed <= probes,
+        "cannot observe more distinct caches than probes"
+    );
+    if observed == 0 {
+        return 0;
+    }
+    if observed == probes {
+        // Every probe hit a new cache; n could be anything ≥ probes, the
+        // conservative answer is the observation itself.
+        return observed;
+    }
+    let expected = |n: f64| -> f64 { n * (1.0 - (1.0 - 1.0 / n).powf(probes as f64)) };
+    // Bisect on n in [observed, observed * 64].
+    let target = observed as f64;
+    let mut lo = observed as f64;
+    let mut hi = (observed as f64) * 64.0;
+    if expected(lo.max(1.000001)) >= target - 1e-9 && expected(hi) <= target {
+        return observed;
+    }
+    for _ in 0..96 {
+        let mid = 0.5 * (lo + hi);
+        if expected(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5f64.mul_add(lo + hi, 0.5).floor() as u64
+}
+
+/// Carpet-bombing redundancy: the smallest `K` such that the probability
+/// that all `K` copies of a probe are lost is at most `residual`
+/// (`loss^K ≤ residual`).
+///
+/// # Examples
+///
+/// ```
+/// use cde_analysis::estimators::carpet_bombing_k;
+///
+/// assert_eq!(carpet_bombing_k(0.0, 0.001), 1);
+/// assert_eq!(carpet_bombing_k(0.01, 0.001), 2); // 0.01² = 1e-4 ≤ 1e-3
+/// assert_eq!(carpet_bombing_k(0.11, 0.001), 4); // 0.11³ ≈ 1.3e-3 > 1e-3
+/// ```
+///
+/// # Panics
+///
+/// Panics when `loss` is outside `[0, 1)` or `residual` outside `(0, 1)`.
+pub fn carpet_bombing_k(loss: f64, residual: f64) -> u64 {
+    assert!(
+        loss.is_finite() && (0.0..1.0).contains(&loss),
+        "loss must be in [0, 1)"
+    );
+    assert!(
+        residual > 0.0 && residual < 1.0,
+        "residual must be in (0, 1)"
+    );
+    if loss == 0.0 {
+        return 1;
+    }
+    let k = residual.ln() / loss.ln();
+    (k.ceil() as u64).max(1)
+}
+
+/// Recommended seed count for the init/validate protocol: the paper uses
+/// `N = 2·n_max` ("only a small fraction of caches may be missed with
+/// N = 2·n"), scaled up under loss by the carpet-bombing factor.
+pub fn recommended_seeds(n_max: u64, loss: f64) -> u64 {
+    let base = 2 * n_max.max(1);
+    base * carpet_bombing_k(loss, 0.001)
+}
+
+/// Estimates the loss rate from `sent` probes of which `answered` returned,
+/// attributing all failures to loss (the measurement-side view).
+pub fn observed_loss_rate(sent: u64, answered: u64) -> f64 {
+    assert!(answered <= sent, "cannot answer more than was sent");
+    if sent == 0 {
+        return 0.0;
+    }
+    1.0 - answered as f64 / sent as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_is_exact_with_many_probes() {
+        for n in [1u64, 2, 5, 10] {
+            assert_eq!(estimate_cache_count(n, n * 50), n);
+        }
+    }
+
+    #[test]
+    fn estimate_corrects_upward_with_few_probes() {
+        // True n = 10, N = 10 probes: E[ω] = 10·(1−0.9^10) ≈ 6.5.
+        // Observing 6 or 7 should give back ≈ 9–11.
+        let est = estimate_cache_count(7, 10);
+        assert!(est >= 9 && est <= 14, "estimate {est}");
+    }
+
+    #[test]
+    fn estimate_zero_observed() {
+        assert_eq!(estimate_cache_count(0, 10), 0);
+    }
+
+    #[test]
+    fn estimate_saturated_observation() {
+        assert_eq!(estimate_cache_count(5, 5), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot observe")]
+    fn estimate_rejects_impossible_observation() {
+        estimate_cache_count(11, 10);
+    }
+
+    #[test]
+    fn carpet_k_for_paper_loss_rates() {
+        // Typical 1% → K=2 at 1e-3 residual; China 4% → 3; Iran 11% → 4.
+        assert_eq!(carpet_bombing_k(0.01, 0.001), 2);
+        assert_eq!(carpet_bombing_k(0.04, 0.001), 3);
+        assert_eq!(carpet_bombing_k(0.11, 0.001), 4);
+    }
+
+    #[test]
+    fn carpet_k_monotone_in_loss() {
+        let ks: Vec<u64> = [0.0, 0.01, 0.04, 0.11, 0.5]
+            .iter()
+            .map(|&l| carpet_bombing_k(l, 0.001))
+            .collect();
+        for w in ks.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be")]
+    fn carpet_k_rejects_certain_loss() {
+        carpet_bombing_k(1.0, 0.001);
+    }
+
+    #[test]
+    fn recommended_seeds_doubles_n_and_scales_with_loss() {
+        assert_eq!(recommended_seeds(8, 0.0), 16);
+        assert_eq!(recommended_seeds(8, 0.11), 64); // 16 × K=4
+        assert_eq!(recommended_seeds(0, 0.0), 2);
+    }
+
+    #[test]
+    fn observed_loss_rate_basics() {
+        assert_eq!(observed_loss_rate(0, 0), 0.0);
+        assert!((observed_loss_rate(100, 89) - 0.11).abs() < 1e-12);
+    }
+}

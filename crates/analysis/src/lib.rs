@@ -1,0 +1,34 @@
+//! Analysis toolkit for the CDE reproduction.
+//!
+//! Implements the paper's §V-B mathematics and the descriptive statistics
+//! behind every evaluation figure:
+//!
+//! * [`coupon`] — coupon-collector analysis: `E[X] = n·H_n`
+//!   (Theorem 5.1), tail bounds, query budgets, the `exp(−N/n)` coverage
+//!   estimate and the init/validate success rate,
+//! * [`estimators`] — bias-corrected cache-count estimation and the
+//!   carpet-bombing redundancy `K` as a function of packet loss,
+//! * [`stats`] — empirical CDFs (Figs. 3–4), bubble scatters (Figs. 5, 7,
+//!   8), quadrant fractions (Fig. 6), histograms and running summaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use cde_analysis::coupon::{expected_queries, query_budget};
+//!
+//! // Probing 4 caches takes ~8.3 queries in expectation...
+//! assert!((expected_queries(4) - 4.0 * (1.0 + 0.5 + 1.0/3.0 + 0.25)).abs() < 1e-9);
+//! // ...and 33 queries bound the failure probability by 1%.
+//! assert!(query_budget(4, 0.01) >= 20);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coupon;
+pub mod estimators;
+pub mod stats;
+
+pub use coupon::{expected_queries, expected_success_rate, expected_uncovered_fraction, harmonic, query_budget};
+pub use estimators::{carpet_bombing_k, estimate_cache_count, recommended_seeds};
+pub use stats::{wilson_interval, Cdf, Histogram, Scatter, Summary};

@@ -1,0 +1,530 @@
+//! Descriptive statistics for the evaluation figures.
+//!
+//! Figures 3 and 4 are empirical CDFs; Figures 5, 7 and 8 are bubble
+//! scatter plots (circle area = number of networks at that `(x, y)` cell);
+//! Figure 6 is a categorical breakdown. [`Cdf`], [`Scatter`] and
+//! [`Histogram`] regenerate those shapes from measured populations.
+
+use std::collections::BTreeMap;
+
+/// An empirical cumulative distribution function over `u64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use cde_analysis::stats::Cdf;
+///
+/// let cdf = Cdf::from_samples([1u64, 1, 2, 5, 20]);
+/// assert_eq!(cdf.len(), 5);
+/// assert!((cdf.fraction_at_or_below(2) - 0.6).abs() < 1e-12);
+/// assert_eq!(cdf.percentile(50.0), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cdf {
+    sorted: Vec<u64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples.
+    pub fn from_samples<I: IntoIterator<Item = u64>>(samples: I) -> Cdf {
+        let mut sorted: Vec<u64> = samples.into_iter().collect();
+        sorted.sort_unstable();
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when the CDF has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `≤ x`.
+    pub fn fraction_at_or_below(&self, x: u64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of samples `> x` — the form the paper quotes ("50% of the
+    /// platforms use more than 20 IP addresses").
+    pub fn fraction_above(&self, x: u64) -> f64 {
+        1.0 - self.fraction_at_or_below(x)
+    }
+
+    /// The `p`-th percentile (nearest-rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the CDF is empty or `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!(!self.sorted.is_empty(), "percentile of empty cdf");
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if p == 0.0 {
+            return self.sorted[0];
+        }
+        let rank = ((p / 100.0) * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.saturating_sub(1)]
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// `(value, cumulative fraction)` steps for plotting.
+    pub fn steps(&self) -> Vec<(u64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i < self.sorted.len() {
+            let v = self.sorted[i];
+            let j = self.sorted.partition_point(|&x| x <= v);
+            out.push((v, j as f64 / n));
+            i = j;
+        }
+        out
+    }
+}
+
+/// Running mean/variance accumulator (Welford).
+///
+/// # Examples
+///
+/// ```
+/// use cde_analysis::stats::Summary;
+///
+/// let mut s = Summary::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty accumulator.
+    pub fn new() -> Summary {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance; `0.0` with fewer than two observations.
+    pub fn population_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample variance (Bessel-corrected); `0.0` with fewer than two
+    /// observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Smallest observation; `NaN`-free: `0.0` when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation; `0.0` when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Summary {
+        let mut s = Summary::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// A 2-D bubble scatter: counts per `(x, y)` cell, as in Figures 5/7/8
+/// where circle size is the number of networks at that coordinate.
+///
+/// # Examples
+///
+/// ```
+/// use cde_analysis::stats::Scatter;
+///
+/// let mut sc = Scatter::new();
+/// sc.add(1, 1);
+/// sc.add(1, 1);
+/// sc.add(500, 30);
+/// assert_eq!(sc.count_at(1, 1), 2);
+/// assert_eq!(sc.largest_cell(), Some(((1, 1), 2)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Scatter {
+    cells: BTreeMap<(u64, u64), u64>,
+    total: u64,
+}
+
+impl Scatter {
+    /// Creates an empty scatter.
+    pub fn new() -> Scatter {
+        Scatter::default()
+    }
+
+    /// Adds one `(x, y)` observation.
+    pub fn add(&mut self, x: u64, y: u64) {
+        *self.cells.entry((x, y)).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count at one cell.
+    pub fn count_at(&self, x: u64, y: u64) -> u64 {
+        self.cells.get(&(x, y)).copied().unwrap_or(0)
+    }
+
+    /// Fraction of observations at one cell.
+    pub fn fraction_at(&self, x: u64, y: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count_at(x, y) as f64 / self.total as f64
+        }
+    }
+
+    /// The cell with the most observations (the "largest circle").
+    pub fn largest_cell(&self) -> Option<((u64, u64), u64)> {
+        self.cells
+            .iter()
+            .max_by_key(|(coord, count)| (*count, std::cmp::Reverse(*coord)))
+            .map(|(&coord, &count)| (coord, count))
+    }
+
+    /// All cells with counts, ordered by coordinate.
+    pub fn cells(&self) -> impl Iterator<Item = ((u64, u64), u64)> + '_ {
+        self.cells.iter().map(|(&c, &n)| (c, n))
+    }
+
+    /// Fraction of observations satisfying a predicate on `(x, y)` — used
+    /// for Figure 6's quadrant percentages.
+    pub fn fraction_where<F: Fn(u64, u64) -> bool>(&self, pred: F) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let matching: u64 = self
+            .cells
+            .iter()
+            .filter(|(&(x, y), _)| pred(x, y))
+            .map(|(_, &n)| n)
+            .sum();
+        matching as f64 / self.total as f64
+    }
+}
+
+impl Extend<(u64, u64)> for Scatter {
+    fn extend<T: IntoIterator<Item = (u64, u64)>>(&mut self, iter: T) {
+        for (x, y) in iter {
+            self.add(x, y);
+        }
+    }
+}
+
+impl FromIterator<(u64, u64)> for Scatter {
+    fn from_iter<T: IntoIterator<Item = (u64, u64)>>(iter: T) -> Scatter {
+        let mut s = Scatter::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// An integer histogram with explicit bucket upper bounds.
+///
+/// # Examples
+///
+/// ```
+/// use cde_analysis::stats::Histogram;
+///
+/// let mut h = Histogram::with_bounds(&[1, 2, 5, 10]);
+/// for v in [1u64, 1, 2, 3, 7, 100] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.counts(), &[2, 1, 1, 1, 1]); // ≤1, ≤2, ≤5, ≤10, overflow
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given inclusive upper bounds plus an
+    /// implicit overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bounds` is empty or not strictly increasing.
+    pub fn with_bounds(bounds: &[u64]) -> Histogram {
+        assert!(!bounds.is_empty(), "need at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+        }
+    }
+
+    /// Adds one value.
+    pub fn add(&mut self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx] += 1;
+    }
+
+    /// Bucket counts; the last entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bucket upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_fractions() {
+        let cdf = Cdf::from_samples([1u64, 2, 2, 3, 10]);
+        assert!((cdf.fraction_at_or_below(2) - 0.6).abs() < 1e-12);
+        assert!((cdf.fraction_above(3) - 0.2).abs() < 1e-12);
+        assert_eq!(cdf.fraction_at_or_below(0), 0.0);
+        assert_eq!(cdf.fraction_above(10), 0.0);
+    }
+
+    #[test]
+    fn cdf_percentiles() {
+        let cdf = Cdf::from_samples(1..=100u64);
+        assert_eq!(cdf.percentile(50.0), 50);
+        assert_eq!(cdf.percentile(85.0), 85);
+        assert_eq!(cdf.percentile(100.0), 100);
+        assert_eq!(cdf.percentile(0.0), 1);
+        assert_eq!(cdf.median(), 50);
+    }
+
+    #[test]
+    fn cdf_steps_are_monotone_and_end_at_one() {
+        let cdf = Cdf::from_samples([5u64, 1, 5, 9, 1, 1]);
+        let steps = cdf.steps();
+        assert_eq!(steps.len(), 3); // values 1, 5, 9
+        assert!(steps.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
+        assert!((steps.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cdf")]
+    fn empty_cdf_percentile_panics() {
+        Cdf::from_samples(std::iter::empty()).percentile(50.0);
+    }
+
+    #[test]
+    fn summary_accumulates() {
+        let s: Summary = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.sample_variance() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn summary_empty_is_zeroed() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn scatter_quadrant_fractions() {
+        let mut sc = Scatter::new();
+        for _ in 0..70 {
+            sc.add(1, 1);
+        }
+        for _ in 0..30 {
+            sc.add(4, 3);
+        }
+        assert!((sc.fraction_where(|x, y| x == 1 && y == 1) - 0.7).abs() < 1e-12);
+        assert!((sc.fraction_where(|x, y| x > 1 && y > 1) - 0.3).abs() < 1e-12);
+        assert_eq!(sc.largest_cell(), Some(((1, 1), 70)));
+    }
+
+    #[test]
+    fn scatter_from_iterator() {
+        let sc: Scatter = vec![(1u64, 2u64), (1, 2), (3, 4)].into_iter().collect();
+        assert_eq!(sc.total(), 3);
+        assert_eq!(sc.count_at(1, 2), 2);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::with_bounds(&[2, 4]);
+        for v in [1u64, 2, 3, 4, 5, 6] {
+            h.add(v);
+        }
+        assert_eq!(h.counts(), &[2, 2, 2]);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        Histogram::with_bounds(&[5, 3]);
+    }
+}
+
+/// Wilson score interval for a binomial proportion.
+///
+/// Returns `(low, high)` bounds for the true success probability given
+/// `successes` out of `trials` at confidence `z` standard deviations
+/// (1.96 ≈ 95%). Used to put error bars on measured rates (enumeration
+/// exactness, adoption fractions) in experiment reports.
+///
+/// # Examples
+///
+/// ```
+/// use cde_analysis::stats::wilson_interval;
+///
+/// let (lo, hi) = wilson_interval(90, 100, 1.96);
+/// assert!(lo < 0.9 && 0.9 < hi);
+/// assert!(lo > 0.80 && hi < 0.97);
+/// ```
+///
+/// # Panics
+///
+/// Panics when `successes > trials` or `trials` is zero.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    assert!(trials > 0, "need at least one trial");
+    assert!(successes <= trials, "successes cannot exceed trials");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((centre - half).max(0.0), (centre + half).min(1.0))
+}
+
+#[cfg(test)]
+mod wilson_tests {
+    use super::wilson_interval;
+
+    #[test]
+    fn interval_contains_point_estimate() {
+        for (s, n) in [(0u64, 10u64), (5, 10), (10, 10), (950, 1000)] {
+            let (lo, hi) = wilson_interval(s, n, 1.96);
+            let p = s as f64 / n as f64;
+            assert!(lo <= p + 1e-12 && p <= hi + 1e-12, "{s}/{n}: [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn interval_narrows_with_more_trials() {
+        let (lo1, hi1) = wilson_interval(9, 10, 1.96);
+        let (lo2, hi2) = wilson_interval(900, 1000, 1.96);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    fn extremes_stay_in_unit_interval() {
+        let (lo, hi) = wilson_interval(0, 5, 1.96);
+        assert!(lo >= 0.0 && hi <= 1.0 && hi > 0.0);
+        let (lo, hi) = wilson_interval(5, 5, 1.96);
+        assert!(lo < 1.0 && hi <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        wilson_interval(0, 0, 1.96);
+    }
+}

@@ -1,0 +1,71 @@
+//! Cache benches: lookup/insert throughput and eviction-policy cost.
+
+use cde_cache::{CacheConfig, DnsCache, EvictionPolicy};
+use cde_dns::{Name, RData, Record, RecordType, Ttl};
+use cde_netsim::SimTime;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::net::Ipv4Addr;
+
+fn names(count: usize) -> Vec<Name> {
+    (0..count)
+        .map(|i| format!("k{i}.cache.example").parse().unwrap())
+        .collect()
+}
+
+fn rec(name: &Name) -> Record {
+    Record::new(
+        name.clone(),
+        Ttl::from_secs(300),
+        RData::A(Ipv4Addr::new(10, 0, 0, 1)),
+    )
+}
+
+fn bench_hit(c: &mut Criterion) {
+    let keys = names(1024);
+    let mut cache = DnsCache::with_defaults(0);
+    for k in &keys {
+        cache.insert(k.clone(), RecordType::A, vec![rec(k)], SimTime::ZERO);
+    }
+    let mut i = 0usize;
+    c.bench_function("cache/hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(cache.lookup(&keys[i], RecordType::A, SimTime::ZERO))
+        });
+    });
+}
+
+fn bench_insert_with_eviction(c: &mut Criterion) {
+    let keys = names(4096);
+    let mut group = c.benchmark_group("cache/insert_evicting");
+    for policy in EvictionPolicy::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy),
+            &policy,
+            |b, &policy| {
+                let mut cache = DnsCache::new(
+                    0,
+                    CacheConfig {
+                        capacity: 512,
+                        policy,
+                        ..CacheConfig::default()
+                    },
+                );
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) % keys.len();
+                    cache.insert(
+                        keys[i].clone(),
+                        RecordType::A,
+                        vec![rec(&keys[i])],
+                        SimTime::ZERO,
+                    );
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hit, bench_insert_with_eviction);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! §V-B analysis benches: closed-form coupon-collector math vs
+//! Monte-Carlo simulation cost across cache counts.
+
+use cde_analysis::coupon::{expected_queries, query_budget, simulate_collection};
+use cde_netsim::DetRng;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_closed_form(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coupon/closed_form");
+    for n in [4u64, 64, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(expected_queries(black_box(n))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coupon/query_budget");
+    for n in [4u64, 64, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(query_budget(black_box(n), 0.001)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coupon/simulate_collection");
+    for n in [4u64, 64, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = DetRng::seed(1);
+            b.iter(|| black_box(simulate_collection(black_box(n), &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_closed_form, bench_budget, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! End-to-end enumeration benches: full CDE enumeration of one platform
+//! as the hidden cache count grows (the cost side of Theorem 5.1).
+
+use cde_core::access::DirectAccess;
+use cde_core::enumerate::{enumerate_cname_farm, enumerate_identical, EnumerateOptions};
+use cde_core::CdeInfra;
+use cde_netsim::{Link, SimTime};
+use cde_platform::{NameserverNet, PlatformBuilder, SelectorKind};
+use cde_probers::DirectProber;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::net::Ipv4Addr;
+
+fn bench_enumerate_identical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumerate/identical");
+    for n in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let q = cde_analysis::coupon::query_budget(n as u64, 0.001);
+            b.iter(|| {
+                let mut net = NameserverNet::new();
+                let mut infra = CdeInfra::install(&mut net);
+                let mut platform = PlatformBuilder::new(n as u64)
+                    .ingress(vec![Ipv4Addr::new(192, 0, 2, 1)])
+                    .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+                    .cluster(n, SelectorKind::Random)
+                    .build();
+                let session = infra.new_session(&mut net, 0);
+                let mut prober =
+                    DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 1);
+                let mut access = DirectAccess::new(
+                    &mut prober,
+                    &mut platform,
+                    Ipv4Addr::new(192, 0, 2, 1),
+                    &mut net,
+                );
+                black_box(enumerate_identical(
+                    &mut access,
+                    &infra,
+                    &session,
+                    EnumerateOptions::with_probes(q),
+                    SimTime::ZERO,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_enumerate_farm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumerate/cname_farm");
+    for n in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let q = cde_analysis::coupon::query_budget(n as u64, 0.001);
+            b.iter(|| {
+                let mut net = NameserverNet::new();
+                let mut infra = CdeInfra::install(&mut net);
+                let mut platform = PlatformBuilder::new(n as u64)
+                    .ingress(vec![Ipv4Addr::new(192, 0, 2, 1)])
+                    .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+                    .cluster(n, SelectorKind::Random)
+                    .build();
+                let session = infra.new_session(&mut net, q as usize);
+                let mut prober =
+                    DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 1);
+                let mut access = DirectAccess::new(
+                    &mut prober,
+                    &mut platform,
+                    Ipv4Addr::new(192, 0, 2, 1),
+                    &mut net,
+                );
+                black_box(enumerate_cname_farm(
+                    &mut access,
+                    &infra,
+                    &session,
+                    EnumerateOptions::with_probes(q),
+                    SimTime::ZERO,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_enumerate_identical, bench_enumerate_farm
+}
+criterion_main!(benches);

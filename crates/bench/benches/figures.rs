@@ -1,0 +1,34 @@
+//! Whole-figure benches: time to survey a miniature population (the unit
+//! of work behind Figs. 3–8).
+
+use cde_bench::runner::{measure_network, survey_population};
+use cde_datasets::{generate_population, PopulationKind};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_measure_one(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/measure_network");
+    for kind in PopulationKind::all() {
+        let spec = generate_population(kind, 1, 42).remove(0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind),
+            &spec,
+            |b, spec| {
+                b.iter(|| black_box(measure_network(spec)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_survey_small_population(c: &mut Criterion) {
+    c.bench_function("figures/survey_population_20", |b| {
+        b.iter(|| black_box(survey_population(PopulationKind::Isps, 20, 7)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_measure_one, bench_survey_small_population
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Load-balancer benches: cache-selection cost per strategy (§IV-A
+//! ablation companion).
+
+use cde_netsim::DetRng;
+use cde_platform::{LoadBalancer, SelectorKind};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::net::Ipv4Addr;
+
+fn bench_select(c: &mut Criterion) {
+    let qname: cde_dns::Name = "x-1.cache.example".parse().unwrap();
+    let src = Ipv4Addr::new(203, 0, 113, 5);
+    let mut group = c.benchmark_group("selector/select");
+    for kind in SelectorKind::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            let mut lb = LoadBalancer::new(kind, 16);
+            let mut rng = DetRng::seed(1);
+            b.iter(|| black_box(lb.select(&qname, src, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_select);
+criterion_main!(benches);

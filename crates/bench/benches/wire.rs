@@ -1,0 +1,55 @@
+//! DNS wire-format benches: message encode/decode with compression.
+
+use cde_dns::{Message, Name, Question, RData, Record, RecordType, Ttl};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::net::Ipv4Addr;
+
+fn sample_response(answers: usize) -> Message {
+    let qname: Name = "x-1.cache.example".parse().unwrap();
+    let q = Message::query(0x1234, Question::new(qname.clone(), RecordType::A));
+    let mut resp = Message::response_to(&q);
+    resp.answers.push(Record::new(
+        qname,
+        Ttl::from_secs(60),
+        RData::Cname("name.cache.example".parse().unwrap()),
+    ));
+    for i in 0..answers {
+        resp.answers.push(Record::new(
+            "name.cache.example".parse().unwrap(),
+            Ttl::from_secs(60),
+            RData::A(Ipv4Addr::new(198, 51, 100, i as u8)),
+        ));
+    }
+    resp
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/encode");
+    for answers in [1usize, 8, 32] {
+        let msg = sample_response(answers);
+        group.bench_with_input(BenchmarkId::from_parameter(answers), &msg, |b, msg| {
+            b.iter(|| black_box(msg.encode().unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/decode");
+    for answers in [1usize, 8, 32] {
+        let bytes = sample_response(answers).encode().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(answers), &bytes, |b, bytes| {
+            b.iter(|| black_box(Message::decode(bytes).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_name_parse(c: &mut Criterion) {
+    c.bench_function("wire/name_parse", |b| {
+        b.iter(|| black_box("x-1234.sub-9.cache.example".parse::<Name>().unwrap()));
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_name_parse);
+criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments <exp> [--scale <f>] [--seed <u64>] [--csv <dir>]
+//!
+//! <exp>: all | table1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 |
+//!        analysis | loss | timing | selectors | bypass | mapping |
+//!        twophase | accuracy | consistency | poisoning | forwarders |
+//!        background
+//! ```
+
+use cde_bench::experiments as exp;
+use cde_bench::{Scale, SurveyedPopulations};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut scale = Scale::default();
+    let mut seed = 0xC0DEu64;
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = Scale(args[i].parse().expect("--scale takes a float"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed takes a u64");
+            }
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(std::path::PathBuf::from(&args[i]));
+            }
+            other if !other.starts_with("--") => which = other.to_string(),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 1;
+    }
+
+    let needs_surveys = matches!(
+        which.as_str(),
+        "all" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "accuracy"
+    );
+    let populations = if needs_surveys {
+        eprintln!(
+            "surveying populations (scale {:.2}; this runs the full measurement pipeline) ...",
+            scale.0
+        );
+        Some(SurveyedPopulations::collect(scale, seed))
+    } else {
+        None
+    };
+    let pops = populations.as_ref();
+
+    let mut printed = false;
+    let mut run = |report: String| {
+        println!("{report}");
+        println!("{}", "-".repeat(78));
+        printed = true;
+    };
+
+    let all = which == "all";
+    if all || which == "table1" {
+        run(exp::table1((1000.0 * scale.0) as usize, seed));
+    }
+    if all || which == "fig2" {
+        run(exp::fig2(scale, seed));
+    }
+    if let Some(p) = pops {
+        if all || which == "fig3" {
+            run(exp::fig3(p));
+        }
+        if all || which == "fig4" {
+            run(exp::fig4(p));
+        }
+        if all || which == "fig5" {
+            run(exp::fig5(p));
+        }
+        if all || which == "fig6" {
+            run(exp::fig6(p));
+        }
+        if all || which == "fig7" {
+            run(exp::fig7(p));
+        }
+        if all || which == "fig8" {
+            run(exp::fig8(p));
+        }
+        if all || which == "accuracy" {
+            run(exp::accuracy(p));
+        }
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            std::fs::write(dir.join("cdfs.csv"), exp::csv_cdfs(p)).expect("write cdfs.csv");
+            std::fs::write(dir.join("scatters.csv"), exp::csv_scatters(p))
+                .expect("write scatters.csv");
+            std::fs::write(dir.join("networks.csv"), exp::csv_networks(p))
+                .expect("write networks.csv");
+            eprintln!("wrote cdfs.csv, scatters.csv, networks.csv to {}", dir.display());
+        }
+    }
+    if all || which == "analysis" {
+        run(exp::analysis(seed));
+    }
+    if all || which == "loss" {
+        run(exp::loss(seed));
+    }
+    if all || which == "timing" {
+        run(exp::timing(seed));
+    }
+    if all || which == "selectors" {
+        run(exp::selectors(seed));
+    }
+    if all || which == "bypass" {
+        run(exp::bypass(seed));
+    }
+    if all || which == "mapping" {
+        run(exp::mapping_ablation(seed));
+    }
+    if all || which == "twophase" {
+        run(exp::two_phase(seed));
+    }
+    if all || which == "consistency" {
+        run(exp::consistency(seed));
+    }
+    if all || which == "poisoning" {
+        run(exp::poisoning(seed));
+    }
+    if all || which == "forwarders" {
+        run(exp::forwarders(seed));
+    }
+    if all || which == "background" {
+        run(exp::background(seed));
+    }
+    if all || which == "edns" {
+        run(exp::edns(scale, seed));
+    }
+    if all || which == "fingerprint" {
+        run(exp::fingerprint(scale, seed));
+    }
+    if all || which == "caching" {
+        run(exp::caching(seed));
+    }
+
+    if !printed {
+        eprintln!("unknown experiment `{which}`");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,1315 @@
+//! Experiment implementations: one function per table/figure of the
+//! paper's evaluation, plus the §V-B analysis and the ablations called out
+//! in `DESIGN.md` §5.
+//!
+//! Every function returns a plain-text report whose rows mirror what the
+//! paper prints, with a `paper` column next to the `measured` column so
+//! the shapes can be compared at a glance (absolute values come from
+//! different substrates; see `EXPERIMENTS.md`).
+
+use crate::runner::{survey_population, MeasuredNetwork};
+use cde_analysis::coupon::{
+    expected_queries, expected_success_rate, query_budget, simulate_mean,
+};
+use cde_analysis::estimators::carpet_bombing_k;
+use cde_analysis::stats::{Cdf, Scatter};
+use cde_core::access::{AccessChannel, DirectAccess};
+use cde_core::enumerate::{
+    enumerate_cname_farm, enumerate_identical, enumerate_names_hierarchy, enumerate_two_phase,
+    EnumerateOptions,
+};
+use cde_core::{calibrate, enumerate_via_timing, CdeInfra, MappingOptions, MappingStrategy};
+use cde_datasets::{generate_population, PopulationKind};
+use cde_netsim::{CountryProfile, DetRng, LatencyModel, Link, LossModel, SimDuration, SimTime};
+use cde_platform::{NameserverNet, PlatformBuilder, ResolutionPlatform, SelectorKind};
+use cde_probers::{DirectProber, MailChecks, QueryKind};
+use rand::Rng;
+use std::fmt::Write as _;
+use std::net::Ipv4Addr;
+
+/// Scale factor for population sizes (1.0 = the paper's dataset sizes).
+#[derive(Debug, Clone, Copy)]
+pub struct Scale(pub f64);
+
+impl Scale {
+    fn size(self, kind: PopulationKind) -> usize {
+        ((kind.paper_size() as f64 * self.0).round() as usize).max(10)
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Scale {
+        Scale(1.0)
+    }
+}
+
+fn fmt_pct(x: f64) -> String {
+    format!("{:5.1}%", x * 100.0)
+}
+
+// ---------------------------------------------------------------------
+// Table I
+// ---------------------------------------------------------------------
+
+/// Table I: DNS query types generated during the SMTP data collection.
+///
+/// Samples `size` enterprise MTAs with the Table I marginals and reports
+/// the realised fractions next to the paper's.
+pub fn table1(size: usize, seed: u64) -> String {
+    let mut rng = DetRng::seed(seed).fork("table1");
+    let mut counts = std::collections::BTreeMap::<QueryKind, u64>::new();
+    for _ in 0..size {
+        for kind in MailChecks::sample(&mut rng).kinds() {
+            *counts.entry(kind).or_insert(0) += 1;
+        }
+    }
+    let paper = [
+        (QueryKind::SpfTxt, 69.6),
+        (QueryKind::SpfQtype, 14.2),
+        (QueryKind::Adsp, 2.0),
+        (QueryKind::Dkim, 0.3),
+        (QueryKind::Dmarc, 35.3),
+        (QueryKind::MxA, 30.4),
+    ];
+    let mut out = String::new();
+    writeln!(out, "Table I — DNS queries generated during the SMTP data collection ({size} domains)").unwrap();
+    writeln!(out, "{:<45} {:>9} {:>9}", "Query type", "measured", "paper").unwrap();
+    for (kind, paper_pct) in paper {
+        let measured = *counts.get(&kind).unwrap_or(&0) as f64 / size as f64;
+        writeln!(
+            out,
+            "{:<45} {:>9} {:>8.1}%",
+            kind.to_string(),
+            fmt_pct(measured),
+            paper_pct
+        )
+        .unwrap();
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fig. 2
+// ---------------------------------------------------------------------
+
+/// Fig. 2: distribution of network operators across the three datasets.
+pub fn fig2(scale: Scale, seed: u64) -> String {
+    let mut out = String::new();
+    writeln!(out, "Fig. 2 — Distribution of network operators across the datasets").unwrap();
+    for kind in PopulationKind::all() {
+        let pop = generate_population(kind, scale.size(kind), seed);
+        let mut counts = std::collections::BTreeMap::<&'static str, u64>::new();
+        for spec in &pop {
+            *counts.entry(spec.operator).or_insert(0) += 1;
+        }
+        let mut rows: Vec<(&str, u64)> = counts.into_iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        writeln!(out, "\n[{kind}] ({} networks)", pop.len()).unwrap();
+        writeln!(out, "{:<50} {:>9}", "Network Operator", "measured").unwrap();
+        for (name, count) in rows.iter().take(11) {
+            writeln!(
+                out,
+                "{:<50} {:>9}",
+                name,
+                fmt_pct(*count as f64 / pop.len() as f64)
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Figures 3–8 share one set of population surveys.
+// ---------------------------------------------------------------------
+
+/// Measured populations for the per-network figures.
+#[derive(Debug)]
+pub struct SurveyedPopulations {
+    /// Open-resolver networks.
+    pub open: Vec<MeasuredNetwork>,
+    /// Enterprise networks.
+    pub enterprises: Vec<MeasuredNetwork>,
+    /// ISP networks.
+    pub isps: Vec<MeasuredNetwork>,
+}
+
+impl SurveyedPopulations {
+    /// Runs the measurement pipeline over all three populations.
+    pub fn collect(scale: Scale, seed: u64) -> SurveyedPopulations {
+        SurveyedPopulations {
+            open: survey_population(
+                PopulationKind::OpenResolvers,
+                scale.size(PopulationKind::OpenResolvers),
+                seed,
+            ),
+            enterprises: survey_population(
+                PopulationKind::Enterprises,
+                scale.size(PopulationKind::Enterprises),
+                seed,
+            ),
+            isps: survey_population(PopulationKind::Isps, scale.size(PopulationKind::Isps), seed),
+        }
+    }
+
+    fn labelled(&self) -> [(&'static str, &Vec<MeasuredNetwork>); 3] {
+        [
+            ("open-resolvers", &self.open),
+            ("enterprises", &self.enterprises),
+            ("isps", &self.isps),
+        ]
+    }
+}
+
+/// Fig. 3: CDF of the number of egress IP addresses per platform.
+pub fn fig3(populations: &SurveyedPopulations) -> String {
+    let mut out = String::new();
+    writeln!(out, "Fig. 3 — Number of egress IP addresses supported by resolution platforms").unwrap();
+    writeln!(
+        out,
+        "{:<16} {:>8} {:>8} {:>8} {:>10} {:>24}",
+        "population", "p25", "median", "p85", "max", "paper checkpoint"
+    )
+    .unwrap();
+    for (label, pop) in populations.labelled() {
+        let cdf = Cdf::from_samples(pop.iter().map(|m| m.measured_egress));
+        let checkpoint = match label {
+            "open-resolvers" => format!("85% <= 5: {}", fmt_pct(cdf.fraction_at_or_below(5))),
+            "enterprises" => format!("50% > 20: {}", fmt_pct(cdf.fraction_above(20))),
+            _ => format!("50% > 11: {}", fmt_pct(cdf.fraction_above(11))),
+        };
+        writeln!(
+            out,
+            "{:<16} {:>8} {:>8} {:>8} {:>10} {:>24}",
+            label,
+            cdf.percentile(25.0),
+            cdf.median(),
+            cdf.percentile(85.0),
+            cdf.percentile(100.0),
+            checkpoint
+        )
+        .unwrap();
+    }
+    writeln!(out, "paper: enterprises 50% > 20 IPs; ISPs 50% > 11 IPs; open 85% <= 5 IPs").unwrap();
+    out
+}
+
+/// Fig. 4: CDF of the number of caches per platform.
+pub fn fig4(populations: &SurveyedPopulations) -> String {
+    let mut out = String::new();
+    writeln!(out, "Fig. 4 — Number of caches supported by resolution platforms (measured)").unwrap();
+    writeln!(
+        out,
+        "{:<16} {:>8} {:>8} {:>8} {:>10} {:>24}",
+        "population", "p25", "median", "p85", "max", "paper checkpoint"
+    )
+    .unwrap();
+    for (label, pop) in populations.labelled() {
+        let cdf = Cdf::from_samples(pop.iter().map(|m| m.measured_caches));
+        let checkpoint = match label {
+            "open-resolvers" => format!("70% in 1-2: {}", fmt_pct(cdf.fraction_at_or_below(2))),
+            "enterprises" => format!("65% in 1-4: {}", fmt_pct(cdf.fraction_at_or_below(4))),
+            _ => format!("60% in 1-3: {}", fmt_pct(cdf.fraction_at_or_below(3))),
+        };
+        writeln!(
+            out,
+            "{:<16} {:>8} {:>8} {:>8} {:>10} {:>24}",
+            label,
+            cdf.percentile(25.0),
+            cdf.median(),
+            cdf.percentile(85.0),
+            cdf.percentile(100.0),
+            checkpoint
+        )
+        .unwrap();
+    }
+    writeln!(out, "paper: open 70% use 1-2; ISPs ~60% use 1-3; enterprises 65% use 1-4").unwrap();
+    out
+}
+
+fn scatter_of(pop: &[MeasuredNetwork]) -> Scatter {
+    pop.iter()
+        .map(|m| (m.spec.ingress_count as u64, m.measured_caches))
+        .collect()
+}
+
+fn scatter_report(title: &str, pop: &[MeasuredNetwork], paper_note: &str) -> String {
+    let sc = scatter_of(pop);
+    let mut out = String::new();
+    writeln!(out, "{title}").unwrap();
+    writeln!(out, "(x = ingress IPs, y = measured caches; count = circle size)").unwrap();
+    let mut cells: Vec<((u64, u64), u64)> = sc.cells().collect();
+    cells.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    writeln!(out, "{:>10} {:>8} {:>8} {:>8}", "ingress", "caches", "count", "share").unwrap();
+    for ((x, y), count) in cells.iter().take(10) {
+        writeln!(
+            out,
+            "{x:>10} {y:>8} {count:>8} {:>8}",
+            fmt_pct(*count as f64 / sc.total() as f64)
+        )
+        .unwrap();
+    }
+    writeln!(out, "paper: {paper_note}").unwrap();
+    out
+}
+
+/// Fig. 5: ingress IPs vs caches for open resolvers.
+pub fn fig5(populations: &SurveyedPopulations) -> String {
+    scatter_report(
+        "Fig. 5 — IP addresses vs caches, open resolvers",
+        &populations.open,
+        "dominant 1x1 circle (~70%); small circles < 10 IPs; few networks > 500 IPs with > 30 caches",
+    )
+}
+
+/// Fig. 6: share of single-IP/single-cache vs multi/multi networks.
+pub fn fig6(populations: &SurveyedPopulations) -> String {
+    let mut out = String::new();
+    writeln!(out, "Fig. 6 — IP addresses vs caches across the three populations").unwrap();
+    writeln!(
+        out,
+        "{:<16} {:>16} {:>16} {:>16}",
+        "population", "1 IP & 1 cache", "multi & multi", "mixed"
+    )
+    .unwrap();
+    for (label, pop) in populations.labelled() {
+        let sc = scatter_of(pop);
+        let single = sc.fraction_where(|x, y| x == 1 && y == 1);
+        let multi = sc.fraction_where(|x, y| x > 1 && y > 1);
+        writeln!(
+            out,
+            "{:<16} {:>16} {:>16} {:>16}",
+            label,
+            fmt_pct(single),
+            fmt_pct(multi),
+            fmt_pct(1.0 - single - multi)
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "paper: open ~70% single/single; ISPs <10% single (multi ~65%); enterprises <5% single (multi >80%)"
+    )
+    .unwrap();
+    out
+}
+
+/// Fig. 7: ingress IPs vs caches for the SMTP (enterprise) population.
+pub fn fig7(populations: &SurveyedPopulations) -> String {
+    scatter_report(
+        "Fig. 7 — IP addresses vs caches, SMTP population",
+        &populations.enterprises,
+        "scattered, more even distribution; fewer single-single than open resolvers",
+    )
+}
+
+/// Fig. 8: ingress IPs vs caches for the ad-network (ISP) population.
+pub fn fig8(populations: &SurveyedPopulations) -> String {
+    scatter_report(
+        "Fig. 8 — IP addresses vs caches, ad-network population",
+        &populations.isps,
+        "least caches and smallest IP counts of the three populations",
+    )
+}
+
+/// Measurement-quality appendix: how often the pipeline recovered ground
+/// truth exactly (not in the paper — our validation column).
+pub fn accuracy(populations: &SurveyedPopulations) -> String {
+    let mut out = String::new();
+    writeln!(out, "Validation — measured vs ground truth (not in the paper)").unwrap();
+    writeln!(
+        out,
+        "{:<16} {:>14} {:>16} {:>18}",
+        "population", "cache exact", "cache |err|<=1", "egress recovered"
+    )
+    .unwrap();
+    for (label, pop) in populations.labelled() {
+        let exact = pop.iter().filter(|m| m.caches_exact()).count() as f64 / pop.len() as f64;
+        let close = pop
+            .iter()
+            .filter(|m| {
+                (m.measured_caches as i64 - m.spec.total_caches() as i64).abs() <= 1
+            })
+            .count() as f64
+            / pop.len() as f64;
+        let egress = pop
+            .iter()
+            .filter(|m| m.measured_egress == m.spec.egress_count as u64)
+            .count() as f64
+            / pop.len() as f64;
+        writeln!(
+            out,
+            "{:<16} {:>14} {:>16} {:>18}",
+            label,
+            fmt_pct(exact),
+            fmt_pct(close),
+            fmt_pct(egress)
+        )
+        .unwrap();
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// §V-B analysis
+// ---------------------------------------------------------------------
+
+/// §V-B: coupon-collector expectation (Theorem 5.1) and init/validate
+/// success rate, closed form vs Monte Carlo.
+pub fn analysis(seed: u64) -> String {
+    let mut rng = DetRng::seed(seed).fork("analysis");
+    let mut out = String::new();
+    writeln!(out, "Analysis (Sec. V-B) — E[X] = n*H_n, closed form vs Monte Carlo").unwrap();
+    writeln!(
+        out,
+        "{:>4} {:>12} {:>12} {:>12} {:>10}",
+        "n", "n*H_n", "simulated", "rel. err", "budget(q)"
+    )
+    .unwrap();
+    for n in [1u64, 2, 4, 8, 16, 32, 64] {
+        let theory = expected_queries(n);
+        let sim = simulate_mean(n, 2000, &mut rng);
+        writeln!(
+            out,
+            "{n:>4} {theory:>12.2} {sim:>12.2} {:>11.2}% {:>10}",
+            (sim - theory).abs() / theory * 100.0,
+            query_budget(n, 0.001)
+        )
+        .unwrap();
+    }
+    writeln!(out, "\nInit/validate success rate N*(1 - exp(-N/n))^2 for n = 8:").unwrap();
+    writeln!(out, "{:>6} {:>14} {:>18}", "N", "N/n", "expected successes").unwrap();
+    for ratio in [1u64, 2, 4, 8] {
+        let n = 8u64;
+        let seeds = ratio * n;
+        writeln!(
+            out,
+            "{seeds:>6} {ratio:>14} {:>18.2}",
+            expected_success_rate(n, seeds)
+        )
+        .unwrap();
+    }
+    writeln!(out, "(as N/n grows the rate asymptotically reaches N — paper Sec. V-B)").unwrap();
+    out
+}
+
+// ---------------------------------------------------------------------
+// Experiment worlds for the ablations
+// ---------------------------------------------------------------------
+
+fn small_world(
+    caches: usize,
+    selector: SelectorKind,
+    seed: u64,
+) -> (ResolutionPlatform, NameserverNet, CdeInfra) {
+    let mut net = NameserverNet::new();
+    let infra = CdeInfra::install(&mut net);
+    let platform = PlatformBuilder::new(seed)
+        .ingress(vec![Ipv4Addr::new(192, 0, 2, 1)])
+        .egress((1..=4).map(|d| Ipv4Addr::new(192, 0, 3, d)).collect())
+        .cluster(caches, selector)
+        .build();
+    (platform, net, infra)
+}
+
+/// §V carpet bombing: enumeration error with and without loss-matched
+/// redundancy, across the paper's country loss profiles.
+pub fn loss(seed: u64) -> String {
+    let n = 4usize;
+    let trials = 60u64;
+    // A deliberately tight probe budget: enough to cover 4 caches when
+    // nothing is lost (E[X] ≈ 8.3), marginal once packets start dropping —
+    // exactly the regime carpet bombing is for.
+    let probes = 14u64;
+    let mut out = String::new();
+    writeln!(out, "Packet loss (Sec. V) — enumeration of a {n}-cache platform, {probes} probes, {trials} trials").unwrap();
+    writeln!(
+        out,
+        "{:<20} {:>4} {:>18} {:>18}",
+        "profile", "K", "exact w/o carpet", "exact w/ carpet"
+    )
+    .unwrap();
+    for profile in CountryProfile::all() {
+        let k = carpet_bombing_k(profile.loss_rate().min(0.99), 0.001);
+        let mut exact = [0u64; 2];
+        for (mode, redundancy) in [(0usize, 1u64), (1, k)] {
+            for t in 0..trials {
+                let (mut platform, mut net, mut infra) =
+                    small_world(n, SelectorKind::Random, seed + t * 7 + mode as u64);
+                let session = infra.new_session(&mut net, 0);
+                let link = Link::new(
+                    LatencyModel::Constant(SimDuration::from_millis(10)),
+                    LossModel::with_rate(profile.loss_rate()),
+                );
+                let mut prober =
+                    DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), link, seed + t);
+                let mut access = DirectAccess::new(
+                    &mut prober,
+                    &mut platform,
+                    Ipv4Addr::new(192, 0, 2, 1),
+                    &mut net,
+                );
+                let e = enumerate_identical(
+                    &mut access,
+                    &infra,
+                    &session,
+                    EnumerateOptions {
+                        probes,
+                        redundancy,
+                        gap: SimDuration::from_millis(10),
+                    },
+                    SimTime::ZERO,
+                );
+                if e.observed == n as u64 {
+                    exact[mode] += 1;
+                }
+            }
+        }
+        writeln!(
+            out,
+            "{:<20} {k:>4} {:>18} {:>18}",
+            profile.to_string(),
+            fmt_pct(exact[0] as f64 / trials as f64),
+            fmt_pct(exact[1] as f64 / trials as f64)
+        )
+        .unwrap();
+    }
+    writeln!(out, "paper: loss Iran 11%, China ~4%, typical ~1%; carpet bombing compensates").unwrap();
+    out
+}
+
+/// §IV-B3 timing side channel: accuracy as upstream jitter grows.
+pub fn timing(seed: u64) -> String {
+    let n = 4usize;
+    let mut out = String::new();
+    writeln!(out, "Timing side channel (Sec. IV-B3) — {n}-cache platform, latency-only enumeration").unwrap();
+    writeln!(
+        out,
+        "{:<12} {:>12} {:>12} {:>12}",
+        "jitter σ", "calibrated", "slow resp.", "exact?"
+    )
+    .unwrap();
+    for sigma in [0.1f64, 0.3, 0.6, 1.2, 2.4] {
+        let mut net = NameserverNet::new();
+        let mut infra = CdeInfra::install(&mut net);
+        let mut platform = PlatformBuilder::new(seed)
+            .ingress(vec![Ipv4Addr::new(192, 0, 2, 1)])
+            .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+            .cluster(n, SelectorKind::Random)
+            .upstream_link(Link::new(
+                LatencyModel::LogNormal {
+                    median: SimDuration::from_millis(18),
+                    sigma,
+                },
+                LossModel::none(),
+            ))
+            .build();
+        let client = Link::new(
+            LatencyModel::LogNormal {
+                median: SimDuration::from_millis(12),
+                sigma: 0.15,
+            },
+            LossModel::none(),
+        );
+        let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), client, seed);
+        let mut access =
+            DirectAccess::new(&mut prober, &mut platform, Ipv4Addr::new(192, 0, 2, 1), &mut net);
+        match calibrate(&mut access, &mut infra, 16, SimTime::ZERO) {
+            Err(e) => {
+                writeln!(out, "{sigma:<12} {:>12} {:>12} {:>12}", format!("no ({e})"), "-", "-")
+                    .unwrap();
+            }
+            Ok(cal) => {
+                let session = infra.new_session(access.net_mut(), 0);
+                let t = enumerate_via_timing(
+                    &mut access,
+                    &session.honey,
+                    cal,
+                    query_budget(n as u64, 0.001),
+                    SimTime::ZERO + SimDuration::from_secs(5),
+                );
+                writeln!(
+                    out,
+                    "{sigma:<12} {:>12} {:>12} {:>12}",
+                    "yes",
+                    t.slow_responses,
+                    if t.slow_responses == n as u64 { "yes" } else { "no" }
+                )
+                .unwrap();
+            }
+        }
+    }
+    writeln!(out, "(counts caches with no nameserver observation — the indirect-egress setting)").unwrap();
+    out
+}
+
+/// §IV-A ablation: enumeration behaviour per cache-selection strategy.
+pub fn selectors(seed: u64) -> String {
+    let n = 6usize;
+    let mut out = String::new();
+    writeln!(out, "Selector ablation (Sec. IV-A) — {n}-cache platform").unwrap();
+    writeln!(
+        out,
+        "{:<14} {:>18} {:>18} {:>12}",
+        "selector", "identical probes ω", "cname farm ω", "truth"
+    )
+    .unwrap();
+    for selector in SelectorKind::all() {
+        let (mut platform, mut net, mut infra) = small_world(n, selector, seed);
+        let session = infra.new_session(&mut net, 256);
+        let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), seed);
+        let mut access =
+            DirectAccess::new(&mut prober, &mut platform, Ipv4Addr::new(192, 0, 2, 1), &mut net);
+        let ident = enumerate_identical(
+            &mut access,
+            &infra,
+            &session,
+            EnumerateOptions::with_probes(query_budget(n as u64, 0.001)),
+            SimTime::ZERO,
+        );
+        // Fresh world so the farm run starts cold.
+        let (mut platform, mut net, mut infra) = small_world(n, selector, seed + 1);
+        let session = infra.new_session(&mut net, 256);
+        let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), seed + 1);
+        let mut access =
+            DirectAccess::new(&mut prober, &mut platform, Ipv4Addr::new(192, 0, 2, 1), &mut net);
+        let farm = enumerate_cname_farm(
+            &mut access,
+            &infra,
+            &session,
+            EnumerateOptions::with_probes(128),
+            SimTime::ZERO,
+        );
+        writeln!(
+            out,
+            "{:<14} {:>18} {:>18} {:>12}",
+            selector.to_string(),
+            ident.observed,
+            farm.observed,
+            n
+        )
+        .unwrap();
+    }
+    writeln!(out, "paper: >80% of networks use unpredictable (random) selection; round robin needs only q = n").unwrap();
+    out
+}
+
+/// §IV-B2 ablation: local-cache bypass — naive repeats vs CNAME chain vs
+/// names hierarchy, through a browser-grade local cache chain.
+pub fn bypass(seed: u64) -> String {
+    use cde_core::access::{AccessChannel, AdNetAccess};
+    use cde_probers::{AdNetProber, WebClient};
+
+    let n = 4usize;
+    let mut out = String::new();
+    writeln!(out, "Local-cache bypass ablation (Sec. IV-B2) — {n}-cache platform behind browser caches").unwrap();
+    writeln!(out, "{:<18} {:>10} {:>10} {:>8}", "technique", "probes", "ω", "truth").unwrap();
+
+    // Naive: repeat the same hostname through the browser — blocked after
+    // the first query, so ω stays 1 regardless of n.
+    {
+        let (mut platform, mut net, mut infra) = small_world(n, SelectorKind::Random, seed);
+        let session = infra.new_session(&mut net, 0);
+        let mut prober = AdNetProber::new(seed);
+        let mut client = WebClient::new(Ipv4Addr::new(203, 0, 113, 9), Ipv4Addr::new(192, 0, 2, 1));
+        let mut access = AdNetAccess {
+            prober: &mut prober,
+            client: &mut client,
+            platform: &mut platform,
+            net: &mut net,
+        };
+        let probes = 64u64;
+        for i in 0..probes {
+            let _ = access.trigger(&session.honey, SimTime::ZERO + SimDuration::from_secs(i));
+        }
+        let observed = infra.count_honey_fetches(access.net(), &session.honey);
+        writeln!(out, "{:<18} {probes:>10} {observed:>10} {n:>8}", "naive repeat").unwrap();
+    }
+
+    // CNAME farm.
+    {
+        let (mut platform, mut net, mut infra) = small_world(n, SelectorKind::Random, seed + 1);
+        let session = infra.new_session(&mut net, 64);
+        let mut prober = AdNetProber::new(seed + 1);
+        let mut client = WebClient::new(Ipv4Addr::new(203, 0, 113, 9), Ipv4Addr::new(192, 0, 2, 1));
+        let mut access = AdNetAccess {
+            prober: &mut prober,
+            client: &mut client,
+            platform: &mut platform,
+            net: &mut net,
+        };
+        let e = enumerate_cname_farm(
+            &mut access,
+            &infra,
+            &session,
+            EnumerateOptions::with_probes(query_budget(n as u64, 0.001)),
+            SimTime::ZERO,
+        );
+        writeln!(out, "{:<18} {:>10} {:>10} {n:>8}", "cname chain", e.probes, e.observed).unwrap();
+    }
+
+    // Names hierarchy.
+    {
+        let (mut platform, mut net, mut infra) = small_world(n, SelectorKind::Random, seed + 2);
+        let session = infra.new_session(&mut net, 64);
+        let mut prober = AdNetProber::new(seed + 2);
+        let mut client = WebClient::new(Ipv4Addr::new(203, 0, 113, 9), Ipv4Addr::new(192, 0, 2, 1));
+        let mut access = AdNetAccess {
+            prober: &mut prober,
+            client: &mut client,
+            platform: &mut platform,
+            net: &mut net,
+        };
+        let e = enumerate_names_hierarchy(
+            &mut access,
+            &infra,
+            &session,
+            EnumerateOptions::with_probes(query_budget(n as u64, 0.001)),
+            SimTime::ZERO,
+        );
+        writeln!(out, "{:<18} {:>10} {:>10} {n:>8}", "names hierarchy", e.probes, e.observed).unwrap();
+    }
+    writeln!(out, "paper: both bypasses defeat browser/OS caches; naive repeats cannot").unwrap();
+    out
+}
+
+/// Mapping-strategy ablation (DESIGN.md §5): fresh honey per test vs the
+/// paper's shared honey per pivot.
+pub fn mapping_ablation(seed: u64) -> String {
+    use cde_core::{map_ingress_to_clusters, mapping_matches_ground_truth};
+
+    let mut out = String::new();
+    writeln!(out, "Mapping ablation (Sec. IV-B1b) — 6 ingress IPs over 3 single-cache clusters").unwrap();
+    writeln!(out, "{:<26} {:>10} {:>14}", "strategy", "correct", "queries").unwrap();
+    for strategy in [MappingStrategy::FreshHoneyPerTest, MappingStrategy::SharedHoneyPerPivot] {
+        let trials = 10u64;
+        let mut correct = 0u64;
+        let mut queries = 0u64;
+        for t in 0..trials {
+            let mut net = NameserverNet::new();
+            let mut infra = CdeInfra::install(&mut net);
+            let ingress: Vec<Ipv4Addr> = (1..=6).map(|d| Ipv4Addr::new(192, 0, 2, d)).collect();
+            let mut platform = PlatformBuilder::new(seed + t)
+                .ingress(ingress.clone())
+                .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+                .cluster(1, SelectorKind::Random)
+                .cluster(1, SelectorKind::Random)
+                .cluster(1, SelectorKind::Random)
+                .ingress_assignment(vec![0, 1, 2, 0, 1, 2])
+                .build();
+            let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), seed + t);
+            let mapping = map_ingress_to_clusters(
+                &mut prober,
+                &mut platform,
+                &mut net,
+                &mut infra,
+                &ingress,
+                MappingOptions {
+                    strategy,
+                    ..MappingOptions::default()
+                },
+                SimTime::ZERO,
+            );
+            if mapping_matches_ground_truth(&mapping, &platform) {
+                correct += 1;
+            }
+            queries += mapping.queries_spent;
+        }
+        writeln!(
+            out,
+            "{:<26} {:>10} {:>14}",
+            strategy.to_string(),
+            fmt_pct(correct as f64 / trials as f64),
+            queries / trials
+        )
+        .unwrap();
+    }
+    writeln!(out, "(shared honey pollutes candidate clusters; fresh honey spends more queries)").unwrap();
+    out
+}
+
+/// Two-phase init/validate demonstration (§V-B): coverage and validate
+/// hits across N/n ratios.
+pub fn two_phase(seed: u64) -> String {
+    let n = 8usize;
+    let mut out = String::new();
+    writeln!(out, "Init/validate (Sec. V-B) — {n}-cache platform").unwrap();
+    writeln!(
+        out,
+        "{:>6} {:>10} {:>12} {:>14} {:>16} {:>16}",
+        "N", "observed", "validated+", "validate hits", "N(1-e^-N/n)", "paper N(..)^2"
+    )
+    .unwrap();
+    for ratio in [1u64, 2, 4] {
+        let seeds = ratio * n as u64;
+        let mut rng = DetRng::seed(seed).fork_indexed("twophase", ratio);
+        let trials = 20;
+        let mut tot_obs = 0u64;
+        let mut tot_extra = 0u64;
+        let mut tot_hits = 0u64;
+        for t in 0..trials {
+            let (mut platform, mut net, mut infra) =
+                small_world(n, SelectorKind::Random, seed + 100 * ratio + t + rng.gen::<u8>() as u64);
+            let session = infra.new_session(&mut net, 0);
+            let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), seed + t);
+            let mut access =
+                DirectAccess::new(&mut prober, &mut platform, Ipv4Addr::new(192, 0, 2, 1), &mut net);
+            let r = enumerate_two_phase(&mut access, &infra, &session, seeds, SimTime::ZERO);
+            tot_obs += r.observed_init;
+            tot_extra += r.observed_validate;
+            tot_hits += r.validate_hits;
+        }
+        let coverage = 1.0 - (-(seeds as f64) / n as f64).exp();
+        writeln!(
+            out,
+            "{seeds:>6} {:>10.2} {:>12.2} {:>14.2} {:>16.2} {:>16.2}",
+            tot_obs as f64 / trials as f64,
+            tot_extra as f64 / trials as f64,
+            tot_hits as f64 / trials as f64,
+            seeds as f64 * coverage,
+            expected_success_rate(n as u64, seeds)
+        )
+        .unwrap();
+    }
+    writeln!(out, "paper: with N = 2n only a small fraction of caches is missed").unwrap();
+    writeln!(
+        out,
+        "note: measured validate hits track N(1-e^-N/n); the paper's squared form counts\n\
+         pairs where both the seed and its check land on covered caches (see EXPERIMENTS.md)"
+    )
+    .unwrap();
+    out
+}
+
+/// §II-C ablation: TTL-consistency audit — separating multiple caches
+/// from genuine TTL inconsistencies.
+pub fn consistency(seed: u64) -> String {
+    use cde_core::{audit_ttl_consistency, ConsistencyOptions};
+    use cde_cache::CacheConfig;
+    use cde_dns::Ttl;
+    use cde_platform::ClusterConfig;
+
+    let mut out = String::new();
+    writeln!(out, "TTL consistency audit (Sec. II-C) — multiple caches vs TTL violations").unwrap();
+    writeln!(
+        out,
+        "{:<34} {:>8} {:>12} {:>14} {:>14}",
+        "platform", "caches", "refetch<TTL", "fetch>TTL", "verdict"
+    )
+    .unwrap();
+    let cases: [(&str, usize, CacheConfig); 4] = [
+        ("1 cache, honest TTLs", 1, CacheConfig::default()),
+        ("4 caches, honest TTLs", 4, CacheConfig::default()),
+        (
+            "2 caches, max_ttl = 60s cap",
+            2,
+            CacheConfig {
+                max_ttl: Ttl::from_secs(60),
+                ..CacheConfig::default()
+            },
+        ),
+        (
+            "2 caches, min_ttl = 1d floor",
+            2,
+            CacheConfig {
+                min_ttl: Ttl::from_secs(86_400),
+                ..CacheConfig::default()
+            },
+        ),
+    ];
+    for (label, caches, cache_config) in cases {
+        let mut net = NameserverNet::new();
+        let mut infra = CdeInfra::install(&mut net);
+        let mut platform = PlatformBuilder::new(seed)
+            .ingress(vec![Ipv4Addr::new(192, 0, 2, 1)])
+            .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+            .cluster_config(ClusterConfig {
+                cache_count: caches,
+                cache_config,
+                selector: SelectorKind::Random,
+            })
+            .build();
+        let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), seed);
+        let mut access =
+            DirectAccess::new(&mut prober, &mut platform, Ipv4Addr::new(192, 0, 2, 1), &mut net);
+        let report = audit_ttl_consistency(
+            &mut access,
+            &mut infra,
+            ConsistencyOptions::default(),
+            SimTime::ZERO,
+        );
+        writeln!(
+            out,
+            "{label:<34} {:>8} {:>12} {:>14} {:>14}",
+            report.caches,
+            report.refetches_within_ttl,
+            report.fetches_after_expiry,
+            report.verdict.to_string()
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "paper: multiple upstream queries within a TTL \"can be mistakenly taken as an\n\
+         indication that the DNS platform does not respect the TTL\" — the audit separates the cases"
+    )
+    .unwrap();
+    out
+}
+
+/// §II-A: poisoning resilience vs cache count — closed form and
+/// simulation against the real load balancers.
+pub fn poisoning(seed: u64) -> String {
+    use cde_core::resilience::{
+        expected_attack_attempts, poisoning_success_probability, simulate_attack_campaign,
+    };
+
+    let mut out = String::new();
+    writeln!(out, "Poisoning resilience (Sec. II-A) — 2-record injection chain (NS then A)").unwrap();
+    writeln!(
+        out,
+        "{:>4} {:>16} {:>16} {:>18}",
+        "n", "P(success) calc", "P(success) sim", "expected attempts"
+    )
+    .unwrap();
+    for n in [1usize, 2, 4, 8, 16] {
+        let calc = poisoning_success_probability(n as u64, 2);
+        let sim = simulate_attack_campaign(n, SelectorKind::Random, 2, 40_000, seed);
+        writeln!(
+            out,
+            "{n:>4} {calc:>16.4} {:>16.4} {:>18.0}",
+            sim.success_rate(),
+            expected_attack_attempts(n as u64, 2)
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "paper: \"multiple caches, along with unpredictable cache selection strategy, can\n\
+         significantly raise the bar for DNS cache poisoning\""
+    )
+    .unwrap();
+    out
+}
+
+/// §VI ablation: forwarders — what enumeration sees through a pure relay
+/// vs a caching forwarder.
+pub fn forwarders(seed: u64) -> String {
+    use cde_dns::{Name, RecordType};
+    use cde_platform::{testnet, Forwarder};
+
+    let n = 3usize;
+    let mut out = String::new();
+    writeln!(out, "Forwarders (Sec. VI) — {n}-cache upstream behind a forwarder").unwrap();
+    writeln!(
+        out,
+        "{:<20} {:>22} {:>18}",
+        "forwarder", "identical queries ω", "cname farm ω"
+    )
+    .unwrap();
+    for caching in [false, true] {
+        // Identical-query run.
+        let mut w = testnet::build_simple_world(n, seed);
+        let ing = w.platform.ingress_ips()[0];
+        let mut fwd = if caching {
+            Forwarder::caching(Ipv4Addr::new(198, 18, 7, 53), ing, 10_000, seed)
+        } else {
+            Forwarder::pure_relay(Ipv4Addr::new(198, 18, 7, 53), ing, seed)
+        };
+        let honey: Name = "name.cache.example".parse().expect("static");
+        for _ in 0..64 {
+            let _ = fwd.handle_query(
+                Ipv4Addr::new(203, 0, 113, 2),
+                &honey,
+                RecordType::A,
+                SimTime::ZERO,
+                &mut w.platform,
+                &mut w.net,
+            );
+        }
+        let ident = w
+            .net
+            .server(testnet::CDE_ZONE_SERVER)
+            .expect("zone server")
+            .count_queries_for(&honey);
+
+        // CNAME-farm run (fresh world).
+        let mut w = testnet::build_simple_world(n, seed + 1);
+        let ing = w.platform.ingress_ips()[0];
+        let mut fwd = if caching {
+            Forwarder::caching(Ipv4Addr::new(198, 18, 7, 53), ing, 10_000, seed + 1)
+        } else {
+            Forwarder::pure_relay(Ipv4Addr::new(198, 18, 7, 53), ing, seed + 1)
+        };
+        for i in 1..=64 {
+            let alias: Name = format!("x-{i}.cache.example").parse().expect("static");
+            let _ = fwd.handle_query(
+                Ipv4Addr::new(203, 0, 113, 2),
+                &alias,
+                RecordType::A,
+                SimTime::ZERO,
+                &mut w.platform,
+                &mut w.net,
+            );
+        }
+        let farm = w
+            .net
+            .server(testnet::CDE_ZONE_SERVER)
+            .expect("zone server")
+            .count_queries_for(&honey);
+        writeln!(
+            out,
+            "{:<20} {ident:>22} {farm:>18}",
+            if caching { "caching" } else { "pure relay" }
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "(truth: {n}; a caching forwarder masks the upstream for identical queries, the\n\
+         CNAME farm still counts it — paper Sec. VI: clients \"only see the forwarder\")"
+    )
+    .unwrap();
+    out
+}
+
+/// §V-B ablation: enumeration accuracy as background client traffic grows.
+pub fn background(seed: u64) -> String {
+    use cde_platform::BackgroundTraffic;
+
+    let n = 4usize;
+    let trials = 25u64;
+    let mut out = String::new();
+    writeln!(out, "Background traffic (Sec. V-B) — {n}-cache platform, round-robin selector").unwrap();
+    writeln!(
+        out,
+        "{:>14} {:>22} {:>18} {:>14}",
+        "bg per probe", "rr, fixed-rate bg", "rr, bursty bg", "random"
+    )
+    .unwrap();
+    for bg_per_probe in [0u64, 1, 4, 16] {
+        let mut exact = [0u64; 3];
+        for (mode, selector, bursty) in [
+            (0usize, SelectorKind::RoundRobin, false),
+            (1, SelectorKind::RoundRobin, true),
+            (2, SelectorKind::Random, true),
+        ] {
+            for t in 0..trials {
+                let mut net = NameserverNet::new();
+                let mut infra = CdeInfra::install(&mut net);
+                let mut platform = PlatformBuilder::new(seed + t)
+                    .ingress(vec![Ipv4Addr::new(192, 0, 2, 1)])
+                    .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+                    .cluster(n, selector)
+                    .build();
+                let mut traffic = BackgroundTraffic::new(50, 1.0, seed + t);
+                let session = infra.new_session(&mut net, 0);
+                let mut prober =
+                    DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), seed + t);
+                // Interleave probes and background bursts by hand. Round
+                // robin would need exactly n probes without traffic; give
+                // both selectors the coupon budget.
+                let q = query_budget(n as u64, 0.001);
+                let mut burst_rng = DetRng::seed(seed + t).fork("bursts");
+                for _ in 0..q {
+                    // Real interfering traffic is bursty; a fixed-rate
+                    // burst would alias with the round-robin stride
+                    // (e.g. exactly 1 bg query per probe on 4 caches
+                    // pins probes to even cache indices forever).
+                    let burst = if bg_per_probe == 0 {
+                        0
+                    } else if bursty {
+                        burst_rng.gen_range(0..=2 * bg_per_probe)
+                    } else {
+                        bg_per_probe
+                    };
+                    traffic.inject(&mut platform, &mut net, burst, SimTime::ZERO);
+                    let _ = prober.probe(
+                        &mut platform,
+                        Ipv4Addr::new(192, 0, 2, 1),
+                        &session.honey,
+                        cde_dns::RecordType::A,
+                        SimTime::ZERO,
+                        &mut net,
+                    );
+                }
+                if infra.count_honey_fetches(&net, &session.honey) == n {
+                    exact[mode] += 1;
+                }
+            }
+        }
+        writeln!(
+            out,
+            "{bg_per_probe:>14} {:>22} {:>18} {:>14}",
+            fmt_pct(exact[0] as f64 / trials as f64),
+            fmt_pct(exact[1] as f64 / trials as f64),
+            fmt_pct(exact[2] as f64 / trials as f64)
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "paper: enumeration complexity \"depends on the cache selection algorithm, and on\n\
+         the traffic from other clients\" — random selection is insensitive to interference;\n\
+         fixed-rate interference can alias with the round-robin stride and pin probes to a\n\
+         subset of caches forever; bursty traffic randomises the stride instead; random\n\
+         selection is insensitive either way"
+    )
+    .unwrap();
+    out
+}
+
+/// §II-C: EDNS adoption measurement — the fraction of platforms whose
+/// upstream queries carry an OPT record, observed entirely at the CDE
+/// nameservers.
+pub fn edns(scale: Scale, seed: u64) -> String {
+    use cde_core::access::DirectAccess as DA;
+    use cde_core::discover_egress;
+
+    let mut out = String::new();
+    writeln!(out, "EDNS adoption (Sec. II-C) — observed at the CDE nameservers").unwrap();
+    writeln!(
+        out,
+        "{:<16} {:>10} {:>14} {:>14}",
+        "population", "networks", "measured", "ground truth"
+    )
+    .unwrap();
+    for kind in PopulationKind::all() {
+        let size = (scale.size(kind) / 5).max(20); // a sample is plenty for adoption
+        let specs = generate_population(kind, size, seed);
+        let mut speaking = 0usize;
+        let mut truth = 0usize;
+        for spec in &specs {
+            if spec.edns {
+                truth += 1;
+            }
+            let mut net = NameserverNet::new();
+            let mut infra = CdeInfra::install(&mut net);
+            let mut platform = spec.build();
+            let ingress = spec.ingress_ips()[0];
+            let mut prober =
+                DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), spec.id);
+            let mut access = DA::new(&mut prober, &mut platform, ingress, &mut net);
+            // A handful of forced misses produce plenty of upstream
+            // queries to classify the platform.
+            let _ = discover_egress(&mut access, &mut infra, 4, SimTime::ZERO);
+            let (with, total) = infra.observed_edns_adoption(access.net());
+            if total > 0 && with == total {
+                speaking += 1;
+            }
+        }
+        writeln!(
+            out,
+            "{:<16} {:>10} {:>14} {:>14}",
+            kind.to_string(),
+            size,
+            fmt_pct(speaking as f64 / size as f64),
+            fmt_pct(truth as f64 / size as f64)
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "(the paper lists EDNS-adoption studies among the §II-C tool applications; ~90%\n\
+         of deployments spoke EDNS in that era)"
+    )
+    .unwrap();
+    out
+}
+
+// ---------------------------------------------------------------------
+// CSV export (for external plotting of the figures)
+// ---------------------------------------------------------------------
+
+/// CSV rows for the Fig. 3 / Fig. 4 CDF curves:
+/// `population,metric,value,cumulative_fraction`.
+pub fn csv_cdfs(populations: &SurveyedPopulations) -> String {
+    let mut out = String::from("population,metric,value,cumulative_fraction\n");
+    for (label, pop) in populations.labelled() {
+        for (metric, samples) in [
+            ("egress_ips", pop.iter().map(|m| m.measured_egress).collect::<Vec<_>>()),
+            ("caches", pop.iter().map(|m| m.measured_caches).collect::<Vec<_>>()),
+        ] {
+            let cdf = Cdf::from_samples(samples);
+            for (value, fraction) in cdf.steps() {
+                writeln!(out, "{label},{metric},{value},{fraction:.6}").unwrap();
+            }
+        }
+    }
+    out
+}
+
+/// CSV rows for the Fig. 5/7/8 bubble scatters:
+/// `population,ingress_ips,caches,count`.
+pub fn csv_scatters(populations: &SurveyedPopulations) -> String {
+    let mut out = String::from("population,ingress_ips,caches,count\n");
+    for (label, pop) in populations.labelled() {
+        let sc = scatter_of(pop);
+        for ((x, y), count) in sc.cells() {
+            writeln!(out, "{label},{x},{y},{count}").unwrap();
+        }
+    }
+    out
+}
+
+/// CSV rows for the per-network raw results (ground truth next to the
+/// measurements): one row per surveyed network.
+pub fn csv_networks(populations: &SurveyedPopulations) -> String {
+    let mut out = String::from(
+        "population,id,operator,country,ingress_ips,true_caches,measured_caches,\
+         true_egress,measured_egress,selector,clusters_true,clusters_measured\n",
+    );
+    for (label, pop) in populations.labelled() {
+        for m in pop {
+            writeln!(
+                out,
+                "{label},{},{:?},{:?},{},{},{},{},{},{},{},{}",
+                m.spec.id,
+                m.spec.operator,
+                m.spec.country,
+                m.spec.ingress_count,
+                m.spec.total_caches(),
+                m.measured_caches,
+                m.spec.egress_count,
+                m.measured_egress,
+                m.spec.selector,
+                m.spec.cluster_caches.len(),
+                m.measured_clusters,
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// §II-C: software fingerprinting — classify the cache software of a
+/// sample of networks from each population, validated against ground
+/// truth.
+pub fn fingerprint(scale: Scale, seed: u64) -> String {
+    use cde_core::access::DirectAccess as DA;
+    use cde_core::{fingerprint_software, FingerprintOptions};
+
+    let mut out = String::new();
+    writeln!(out, "Software fingerprinting (Sec. II-C) — caps-based cache classification").unwrap();
+    writeln!(
+        out,
+        "{:<16} {:>10} {:>12} {:>14}",
+        "population", "sampled", "classified", "correct"
+    )
+    .unwrap();
+    for kind in PopulationKind::all() {
+        let size = (scale.size(kind) / 20).clamp(10, 40); // fingerprinting is probe-heavy
+        let specs = generate_population(kind, size, seed);
+        let mut classified = 0usize;
+        let mut correct = 0usize;
+        for spec in &specs {
+            let mut net = NameserverNet::new();
+            let mut infra = CdeInfra::install(&mut net);
+            let mut platform = spec.build();
+            let ingress = spec.ingress_ips()[0];
+            let mut prober =
+                DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), spec.id);
+            let mut access = DA::new(&mut prober, &mut platform, ingress, &mut net);
+            let fp = fingerprint_software(
+                &mut access,
+                &mut infra,
+                &FingerprintOptions::default(),
+                SimTime::ZERO,
+            );
+            if let Some(profile) = fp.classified {
+                classified += 1;
+                if profile == spec.software {
+                    correct += 1;
+                }
+            }
+        }
+        writeln!(
+            out,
+            "{:<16} {:>10} {:>12} {:>14}",
+            kind.to_string(),
+            size,
+            fmt_pct(classified as f64 / size as f64),
+            fmt_pct(correct as f64 / size as f64)
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "(classification probes the caches' own TTL caps; prior query-pattern methods\n\
+         fingerprint the egress resolver, not the caches — paper Sec. VI)"
+    )
+    .unwrap();
+    out
+}
+
+/// §II-C capacity planning: cache hit rate under Zipf-popular client
+/// traffic as a function of cache capacity and eviction policy. The
+/// paper's "size of DNS resolution platforms" use case — measuring
+/// whether a platform's storage keeps up with demand.
+pub fn caching(seed: u64) -> String {
+    use cde_cache::{CacheConfig, DnsCache, EvictionPolicy};
+    use cde_dns::{Name, RData, Record, Ttl};
+
+    let catalogue = 4_000usize;
+    let queries = 40_000u64;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Cache workload (Sec. II-C sizing) — Zipf(1.0) traffic over {catalogue} domains, {queries} queries"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>10} {:>12} {:>12} {:>12} {:>12}",
+        "capacity", "lru", "fifo", "expiry", "random"
+    )
+    .unwrap();
+    // Pre-draw the query stream once so every configuration sees the
+    // identical workload.
+    let mut rng = DetRng::seed(seed).fork("caching");
+    let weights: Vec<f64> = (1..=catalogue).map(|r| 1.0 / r as f64).collect();
+    let stream: Vec<usize> = (0..queries)
+        .map(|_| cde_netsim::sample_weighted(&mut rng, &weights))
+        .collect();
+    let names: Vec<Name> = (0..catalogue)
+        .map(|i| format!("www.site-{i}.example").parse().expect("static"))
+        .collect();
+
+    for capacity in [64usize, 256, 1024, 4096] {
+        let mut row = format!("{capacity:>10}");
+        for policy in EvictionPolicy::all() {
+            let mut cache = DnsCache::new(
+                seed,
+                CacheConfig {
+                    capacity,
+                    policy,
+                    ..CacheConfig::default()
+                },
+            );
+            for (k, &idx) in stream.iter().enumerate() {
+                let now = SimTime::ZERO + SimDuration::from_millis(k as u64 * 50);
+                let name = &names[idx];
+                if !cache
+                    .lookup(name, cde_dns::RecordType::A, now)
+                    .is_hit()
+                {
+                    let rr = Record::new(
+                        name.clone(),
+                        Ttl::from_secs(3_600),
+                        RData::A(Ipv4Addr::new(198, 51, 100, 1)),
+                    );
+                    cache.insert(name.clone(), cde_dns::RecordType::A, vec![rr], now);
+                }
+            }
+            row.push_str(&format!(" {:>12}", fmt_pct(cache.stats().hit_rate())));
+        }
+        writeln!(out, "{row}").unwrap();
+    }
+    writeln!(
+        out,
+        "(hit rate saturates once the cache holds the popular head of the Zipf\n\
+         distribution; policy differences matter most under pressure)"
+    )
+    .unwrap();
+    out
+}

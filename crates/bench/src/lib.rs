@@ -1,0 +1,23 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (see `DESIGN.md` §4 for the experiment index).
+//!
+//! * [`runner`] — parallel population surveys (generate ground truth, run
+//!   the CDE pipeline, keep both for comparison),
+//! * [`experiments`] — one function per table/figure plus the §V-B
+//!   analysis and the design ablations.
+//!
+//! The `experiments` binary drives everything:
+//!
+//! ```text
+//! cargo run --release -p cde-bench --bin experiments -- all
+//! cargo run --release -p cde-bench --bin experiments -- fig4 --scale 0.2
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+
+pub use experiments::{Scale, SurveyedPopulations};
+pub use runner::{measure_network, survey_population, MeasuredNetwork};

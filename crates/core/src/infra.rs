@@ -1,0 +1,465 @@
+//! The Caches Discovery and Enumeration (CDE) measurement infrastructure.
+//!
+//! The infrastructure owns a domain (`cache.example` by default), operates
+//! authoritative nameservers for it and for delegated subdomains, and
+//! observes the queries arriving there (paper §IV-A, Fig. 1). Each
+//! measurement opens a fresh *session*: a new honey record, a farm of
+//! CNAME aliases pointing at it (§IV-B2a) and a freshly delegated subzone
+//! for the names-hierarchy bypass (§IV-B2b), so repeated measurements
+//! never contaminate each other through leftover TTL state.
+
+use cde_dns::{Name, RData, Record, Ttl, Zone};
+use cde_netsim::SimTime;
+use cde_platform::{AuthServer, NameserverNet};
+use std::net::Ipv4Addr;
+
+/// Addresses the infrastructure claims inside the simulation.
+const ROOT_ADDR: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const TLD_ADDR: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 10);
+const ZONE_ADDR: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 20);
+const SUB_ADDR: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 30);
+
+/// TTL given to session records; long enough that a measurement finishes
+/// well within it.
+fn session_ttl() -> Ttl {
+    Ttl::from_secs(3600)
+}
+
+/// One measurement session's names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Session {
+    /// The honey record all aliases converge on; fetched once per cache.
+    pub honey: Name,
+    /// CNAME aliases `x-<s>-<i>` → honey (local-cache bypass §IV-B2a).
+    pub farm: Vec<Name>,
+    /// Names inside the session's delegated subzone (§IV-B2b).
+    pub sub_farm: Vec<Name>,
+    /// Apex of the session's delegated subzone.
+    pub sub_apex: Name,
+}
+
+/// The CDE infrastructure handle.
+///
+/// # Examples
+///
+/// ```
+/// use cde_core::CdeInfra;
+/// use cde_platform::NameserverNet;
+///
+/// let mut net = NameserverNet::new();
+/// let mut infra = CdeInfra::install(&mut net);
+/// let session = infra.new_session(&mut net, 16);
+/// assert_eq!(session.farm.len(), 16);
+/// assert_eq!(infra.count_honey_fetches(&net, &session.honey), 0);
+/// ```
+#[derive(Debug)]
+pub struct CdeInfra {
+    apex: Name,
+    session_counter: u64,
+}
+
+impl CdeInfra {
+    /// Installs the infrastructure into `net`: a root server, an `example`
+    /// TLD server, the `cache.example` zone server and a server for
+    /// delegated measurement subzones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` already has a server at one of the infrastructure
+    /// addresses (install on a fresh network).
+    pub fn install(net: &mut NameserverNet) -> CdeInfra {
+        let apex: Name = "cache.example".parse().expect("static name");
+        for addr in [ROOT_ADDR, TLD_ADDR, ZONE_ADDR, SUB_ADDR] {
+            assert!(
+                net.server(addr).is_none(),
+                "infrastructure address {addr} already in use"
+            );
+        }
+
+        let mut root = Zone::new(Name::root());
+        root.add(ns_record("example", "ns.example")).expect("in zone");
+        root.add(a_record("ns.example", TLD_ADDR)).expect("in zone");
+        net.add_server(AuthServer::new(ROOT_ADDR, vec![root]));
+
+        let mut tld = Zone::with_soa("example".parse().expect("static"), Ttl::from_secs(300));
+        tld.add(ns_record("cache.example", "ns1.cache.example"))
+            .expect("in zone");
+        tld.add(a_record("ns1.cache.example", ZONE_ADDR)).expect("in zone");
+        net.add_server(AuthServer::new(TLD_ADDR, vec![tld]));
+
+        // A high SOA MINIMUM makes the *target's* negative-TTL cap the
+        // binding constraint, which is what software fingerprinting
+        // measures (crate::fingerprint).
+        let zone = Zone::with_soa(apex.clone(), Ttl::from_secs(86_400));
+        net.add_server(AuthServer::new(ZONE_ADDR, vec![zone]));
+
+        net.add_server(AuthServer::new(SUB_ADDR, Vec::new()));
+
+        CdeInfra {
+            apex,
+            session_counter: 0,
+        }
+    }
+
+    /// The domain the infrastructure owns.
+    pub fn apex(&self) -> &Name {
+        &self.apex
+    }
+
+    /// Address of the nameserver for the main zone (the primary
+    /// observation point).
+    pub fn zone_server_addr(&self) -> Ipv4Addr {
+        ZONE_ADDR
+    }
+
+    /// Address of the server hosting delegated measurement subzones.
+    pub fn sub_server_addr(&self) -> Ipv4Addr {
+        SUB_ADDR
+    }
+
+    /// Opens a fresh session with `farm_size` aliases and as many subzone
+    /// names, installing all records into the served zones. Records carry
+    /// a 1-hour TTL; use [`CdeInfra::new_session_with_ttl`] when the
+    /// measurement manipulates TTLs (e.g. the §II-C consistency audit).
+    pub fn new_session(&mut self, net: &mut NameserverNet, farm_size: usize) -> Session {
+        self.new_session_with_ttl(net, farm_size, session_ttl())
+    }
+
+    /// Like [`CdeInfra::new_session`] with an explicit record TTL.
+    pub fn new_session_with_ttl(
+        &mut self,
+        net: &mut NameserverNet,
+        farm_size: usize,
+        ttl: Ttl,
+    ) -> Session {
+        let session_ttl = move || ttl;
+        self.session_counter += 1;
+        let s = self.session_counter;
+        let honey = self
+            .apex
+            .prepend_label(format!("name-{s}"))
+            .expect("session label fits");
+        let sub_apex = self
+            .apex
+            .prepend_label(format!("sub-{s}"))
+            .expect("session label fits");
+        let sub_ns = sub_apex.prepend_label("ns").expect("session label fits");
+
+        // Main zone: honey A record, CNAME farm, subzone delegation.
+        {
+            let zone = net
+                .server_mut(ZONE_ADDR)
+                .expect("zone server installed")
+                .zone_mut(&self.apex)
+                .expect("apex zone present");
+            zone.add(Record::new(
+                honey.clone(),
+                session_ttl(),
+                RData::A(Ipv4Addr::new(198, 51, 100, 4)),
+            ))
+            .expect("in zone");
+            zone.add(Record::new(
+                sub_apex.clone(),
+                session_ttl(),
+                RData::Ns(sub_ns.clone()),
+            ))
+            .expect("in zone");
+            zone.add(Record::new(sub_ns.clone(), session_ttl(), RData::A(SUB_ADDR)))
+                .expect("in zone");
+        }
+        let mut farm = Vec::with_capacity(farm_size);
+        for i in 1..=farm_size {
+            let alias = self
+                .apex
+                .prepend_label(format!("x-{s}-{i}"))
+                .expect("session label fits");
+            net.server_mut(ZONE_ADDR)
+                .expect("zone server installed")
+                .zone_mut(&self.apex)
+                .expect("apex zone present")
+                .add(Record::new(
+                    alias.clone(),
+                    session_ttl(),
+                    RData::Cname(honey.clone()),
+                ))
+                .expect("in zone");
+            farm.push(alias);
+        }
+
+        // Child zone on the sub server.
+        let mut sub_zone = Zone::with_soa(sub_apex.clone(), Ttl::from_secs(300));
+        let mut sub_farm = Vec::with_capacity(farm_size);
+        for i in 1..=farm_size {
+            let name = sub_apex
+                .prepend_label(format!("x-{s}-{i}"))
+                .expect("session label fits");
+            sub_zone
+                .add(Record::new(
+                    name.clone(),
+                    session_ttl(),
+                    RData::A(Ipv4Addr::new(198, 51, 100, 5)),
+                ))
+                .expect("in zone");
+            sub_farm.push(name);
+        }
+        net.server_mut(SUB_ADDR)
+            .expect("sub server installed")
+            .add_zone(sub_zone);
+
+        Session {
+            honey,
+            farm,
+            sub_farm,
+            sub_apex,
+        }
+    }
+
+    /// A fresh, guaranteed-uncached name under the apex (for loss probing
+    /// and timing calibration). Does **not** install a record — queries for
+    /// it produce NXDOMAIN, which still exercises the full upstream path.
+    pub fn fresh_nonce_name(&mut self) -> Name {
+        self.session_counter += 1;
+        self.apex
+            .prepend_label(format!("nonce-{}", self.session_counter))
+            .expect("session label fits")
+    }
+
+    /// The enumeration count ω: queries for `honey` observed at the main
+    /// zone server, counted **per query type** (maximum over types).
+    ///
+    /// Indirect probers trigger several query types per probe (an MTA asks
+    /// TXT, MX and A; §III-B). Each type is cached independently, so each
+    /// type's fetch count is an independent enumeration of the same cache
+    /// bank; the best-covered type is the measurement. For single-type
+    /// probing this is the plain count.
+    pub fn count_honey_fetches(&self, net: &NameserverNet, honey: &Name) -> usize {
+        let Some(server) = net.server(ZONE_ADDR) else {
+            return 0;
+        };
+        let mut per_type: std::collections::HashMap<cde_dns::RecordType, usize> =
+            std::collections::HashMap::new();
+        for e in server.log().iter().filter(|e| &e.qname == honey) {
+            *per_type.entry(e.qtype).or_insert(0) += 1;
+        }
+        per_type.values().copied().max().unwrap_or(0)
+    }
+
+    /// Number of queries observed at the main zone server for the
+    /// *delegation* of a session subzone — the names-hierarchy count: each
+    /// cache asks the parent for the subzone's NS exactly once.
+    pub fn count_referral_fetches(&self, net: &NameserverNet, session: &Session) -> usize {
+        net.server(ZONE_ADDR)
+            .map(|s| {
+                s.log()
+                    .iter()
+                    .filter(|e| e.qname.is_subdomain_of(&session.sub_apex))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Distinct egress addresses observed across all infrastructure servers
+    /// since the last log clear.
+    pub fn observed_egress_sources(&self, net: &NameserverNet) -> Vec<Ipv4Addr> {
+        let mut out: Vec<Ipv4Addr> = [ZONE_ADDR, SUB_ADDR, TLD_ADDR, ROOT_ADDR]
+            .iter()
+            .filter_map(|a| net.server(*a))
+            .flat_map(|s| s.log().iter().map(|e| e.from))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// EDNS adoption observed at all infrastructure servers since the last
+    /// log clear: `(queries with an OPT record, total queries)`. This is
+    /// the §II-C use case of "measuring adoption of new mechanisms for
+    /// DNS, such as the transport layer EDNS mechanism".
+    pub fn observed_edns_adoption(&self, net: &NameserverNet) -> (usize, usize) {
+        let mut with = 0;
+        let mut total = 0;
+        for addr in [ZONE_ADDR, SUB_ADDR, TLD_ADDR, ROOT_ADDR] {
+            if let Some(s) = net.server(addr) {
+                for e in s.log() {
+                    total += 1;
+                    if e.edns.is_some() {
+                        with += 1;
+                    }
+                }
+            }
+        }
+        (with, total)
+    }
+
+    /// Timestamps of queries for `honey` (for rate/consistency studies).
+    pub fn honey_fetch_times(&self, net: &NameserverNet, honey: &Name) -> Vec<SimTime> {
+        net.server(ZONE_ADDR)
+            .map(|s| {
+                s.log()
+                    .iter()
+                    .filter(|e| &e.qname == honey)
+                    .map(|e| e.at)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Clears all infrastructure query logs (between measurement phases).
+    pub fn clear_observations(&self, net: &mut NameserverNet) {
+        for addr in [ROOT_ADDR, TLD_ADDR, ZONE_ADDR, SUB_ADDR] {
+            if let Some(s) = net.server_mut(addr) {
+                s.clear_log();
+            }
+        }
+    }
+}
+
+fn ns_record(owner: &str, host: &str) -> Record {
+    Record::new(
+        owner.parse().expect("static name"),
+        Ttl::from_secs(86_400),
+        RData::Ns(host.parse().expect("static name")),
+    )
+}
+
+fn a_record(owner: &str, addr: Ipv4Addr) -> Record {
+    Record::new(
+        owner.parse().expect("static name"),
+        Ttl::from_secs(86_400),
+        RData::A(addr),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cde_dns::RecordType;
+    use cde_dns::Question;
+
+    #[test]
+    fn install_registers_four_servers() {
+        let mut net = NameserverNet::new();
+        let infra = CdeInfra::install(&mut net);
+        assert_eq!(net.root_addr(), ROOT_ADDR);
+        assert!(net.server(infra.zone_server_addr()).is_some());
+        assert!(net.server(infra.sub_server_addr()).is_some());
+        assert_eq!(net.servers().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in use")]
+    fn double_install_panics() {
+        let mut net = NameserverNet::new();
+        let _ = CdeInfra::install(&mut net);
+        let _ = CdeInfra::install(&mut net);
+    }
+
+    #[test]
+    fn sessions_use_fresh_names() {
+        let mut net = NameserverNet::new();
+        let mut infra = CdeInfra::install(&mut net);
+        let s1 = infra.new_session(&mut net, 4);
+        let s2 = infra.new_session(&mut net, 4);
+        assert_ne!(s1.honey, s2.honey);
+        assert_ne!(s1.sub_apex, s2.sub_apex);
+        assert!(s1.farm.iter().all(|f| !s2.farm.contains(f)));
+    }
+
+    #[test]
+    fn session_records_are_served() {
+        let mut net = NameserverNet::new();
+        let mut infra = CdeInfra::install(&mut net);
+        let s = infra.new_session(&mut net, 2);
+        // Honey record answers authoritatively.
+        let resp = net
+            .deliver(
+                ZONE_ADDR,
+                Ipv4Addr::new(1, 1, 1, 1),
+                &Question::new(s.honey.clone(), RecordType::A),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(resp.answers.len(), 1);
+        // Farm names answer with a CNAME only (minimal responses).
+        let resp = net
+            .deliver(
+                ZONE_ADDR,
+                Ipv4Addr::new(1, 1, 1, 1),
+                &Question::new(s.farm[0].clone(), RecordType::A),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(resp.answers.len(), 1);
+        assert_eq!(resp.answers[0].rtype(), RecordType::Cname);
+        // Subzone names answer from the sub server.
+        let resp = net
+            .deliver(
+                SUB_ADDR,
+                Ipv4Addr::new(1, 1, 1, 1),
+                &Question::new(s.sub_farm[0].clone(), RecordType::A),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(resp.answers.len(), 1);
+        assert_eq!(resp.answers[0].rtype(), RecordType::A);
+    }
+
+    #[test]
+    fn parent_refers_to_session_subzone() {
+        let mut net = NameserverNet::new();
+        let mut infra = CdeInfra::install(&mut net);
+        let s = infra.new_session(&mut net, 2);
+        let resp = net
+            .deliver(
+                ZONE_ADDR,
+                Ipv4Addr::new(1, 1, 1, 1),
+                &Question::new(s.sub_farm[0].clone(), RecordType::A),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert!(resp.answers.is_empty());
+        assert_eq!(resp.authorities.len(), 1);
+        assert_eq!(resp.authorities[0].rtype(), RecordType::Ns);
+        assert_eq!(resp.additionals.len(), 1); // glue
+    }
+
+    #[test]
+    fn honey_fetch_counting_and_clearing() {
+        let mut net = NameserverNet::new();
+        let mut infra = CdeInfra::install(&mut net);
+        let s = infra.new_session(&mut net, 2);
+        let q = Question::new(s.honey.clone(), RecordType::A);
+        for i in 0..3 {
+            net.deliver(ZONE_ADDR, Ipv4Addr::new(2, 2, 2, i), &q, SimTime::ZERO);
+        }
+        assert_eq!(infra.count_honey_fetches(&net, &s.honey), 3);
+        assert_eq!(infra.observed_egress_sources(&net).len(), 3);
+        assert_eq!(infra.honey_fetch_times(&net, &s.honey).len(), 3);
+        infra.clear_observations(&mut net);
+        assert_eq!(infra.count_honey_fetches(&net, &s.honey), 0);
+        assert!(infra.observed_egress_sources(&net).is_empty());
+    }
+
+    #[test]
+    fn referral_fetches_count_subzone_queries_at_parent() {
+        let mut net = NameserverNet::new();
+        let mut infra = CdeInfra::install(&mut net);
+        let s = infra.new_session(&mut net, 2);
+        let q = Question::new(s.sub_farm[0].clone(), RecordType::A);
+        net.deliver(ZONE_ADDR, Ipv4Addr::new(3, 3, 3, 3), &q, SimTime::ZERO);
+        assert_eq!(infra.count_referral_fetches(&net, &s), 1);
+        // Queries at the child do not count.
+        net.deliver(SUB_ADDR, Ipv4Addr::new(3, 3, 3, 3), &q, SimTime::ZERO);
+        assert_eq!(infra.count_referral_fetches(&net, &s), 1);
+    }
+
+    #[test]
+    fn nonce_names_are_unique_and_in_apex() {
+        let mut net = NameserverNet::new();
+        let mut infra = CdeInfra::install(&mut net);
+        let a = infra.fresh_nonce_name();
+        let b = infra.fresh_nonce_name();
+        assert_ne!(a, b);
+        assert!(a.is_subdomain_of(infra.apex()));
+    }
+}

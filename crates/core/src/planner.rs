@@ -1,0 +1,142 @@
+//! Probe planning: loss measurement and query budgets.
+//!
+//! The paper calibrates its probing to the target network: the carpet
+//! bombing parameter `K` "is a function of a packet loss in the measured
+//! network" (§V), and the seed count must satisfy `N > n` (§V-B). The
+//! planner measures loss first, then derives all budgets from an assumed
+//! upper bound on the cache count.
+
+use crate::access::AccessChannel;
+use crate::infra::CdeInfra;
+use cde_analysis::coupon::query_budget;
+use cde_analysis::estimators::{carpet_bombing_k, recommended_seeds};
+use cde_netsim::{SimDuration, SimTime};
+
+/// A complete probing plan for one target platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbePlan {
+    /// Assumed upper bound on the cache count (`n_max`).
+    pub n_max: u64,
+    /// Measured (or assumed) packet-loss rate toward the target.
+    pub loss: f64,
+    /// Identical/farm probes for enumeration (coupon-collector budget at
+    /// 0.1% failure).
+    pub probes: u64,
+    /// Seeds per phase for init/validate and for honey planting.
+    pub seeds: u64,
+    /// Carpet-bombing copies per probe.
+    pub redundancy: u64,
+}
+
+impl ProbePlan {
+    /// Derives a plan from an assumed cache-count bound and a loss rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_max` is zero or `loss` is outside `[0, 1)`.
+    pub fn for_target(n_max: u64, loss: f64) -> ProbePlan {
+        assert!(n_max > 0, "n_max must be positive");
+        ProbePlan {
+            n_max,
+            loss,
+            probes: query_budget(n_max, 0.001),
+            seeds: recommended_seeds(n_max, loss),
+            redundancy: carpet_bombing_k(loss, 0.001),
+        }
+    }
+
+    /// Total queries an enumeration run under this plan may spend.
+    pub fn worst_case_queries(&self) -> u64 {
+        self.probes * self.redundancy
+    }
+}
+
+/// Measures packet loss toward the target: triggers `probes` fresh nonce
+/// queries and reports the timed-out fraction.
+///
+/// Nonce names always miss every cache, so each probe exercises the full
+/// round trip; on direct channels the answer/timeout ratio is the loss
+/// signal (both directions compounded, which is what carpet bombing must
+/// overcome anyway).
+pub fn measure_loss<A: AccessChannel>(
+    access: &mut A,
+    infra: &mut CdeInfra,
+    probes: u64,
+    start: SimTime,
+) -> f64 {
+    assert!(probes > 0, "need at least one probe");
+    let mut now = start;
+    let mut lost = 0u64;
+    for _ in 0..probes {
+        let nonce = infra.fresh_nonce_name();
+        if !access.trigger(&nonce, now).is_delivered() {
+            lost += 1;
+        }
+        now += SimDuration::from_millis(20);
+    }
+    lost as f64 / probes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::DirectAccess;
+    use cde_netsim::{CountryProfile, LatencyModel, Link, LossModel};
+    use cde_platform::{NameserverNet, PlatformBuilder, ResolutionPlatform, SelectorKind};
+    use cde_probers::DirectProber;
+    use std::net::Ipv4Addr;
+
+    fn world(seed: u64) -> (ResolutionPlatform, NameserverNet, CdeInfra) {
+        let mut net = NameserverNet::new();
+        let infra = CdeInfra::install(&mut net);
+        let platform = PlatformBuilder::new(seed)
+            .ingress(vec![Ipv4Addr::new(192, 0, 2, 1)])
+            .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+            .cluster(2, SelectorKind::Random)
+            .build();
+        (platform, net, infra)
+    }
+
+    #[test]
+    fn plan_scales_with_loss() {
+        let clean = ProbePlan::for_target(8, 0.0);
+        let iran = ProbePlan::for_target(8, 0.11);
+        assert_eq!(clean.redundancy, 1);
+        assert_eq!(iran.redundancy, 4);
+        assert!(iran.seeds > clean.seeds);
+        assert!(iran.worst_case_queries() > clean.worst_case_queries());
+    }
+
+    #[test]
+    fn plan_probes_exceed_expectation() {
+        let plan = ProbePlan::for_target(8, 0.0);
+        assert!(plan.probes as f64 > cde_analysis::coupon::expected_queries(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "n_max")]
+    fn zero_n_max_rejected() {
+        ProbePlan::for_target(0, 0.0);
+    }
+
+    #[test]
+    fn measured_loss_matches_link() {
+        for profile in [CountryProfile::Lossless, CountryProfile::Iran] {
+            let (mut platform, mut net, mut infra) = world(61);
+            let link = Link::new(
+                LatencyModel::Constant(SimDuration::from_millis(10)),
+                LossModel::with_rate(profile.loss_rate()),
+            );
+            let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), link, 1);
+            let mut access =
+                DirectAccess::new(&mut prober, &mut platform, Ipv4Addr::new(192, 0, 2, 1), &mut net);
+            let measured = measure_loss(&mut access, &mut infra, 400, SimTime::ZERO);
+            // Two traversals per probe → effective ≈ 1 − (1−p)².
+            let expected = 1.0 - (1.0 - profile.loss_rate()).powi(2);
+            assert!(
+                (measured - expected).abs() < 0.06,
+                "{profile}: measured {measured:.3}, expected {expected:.3}"
+            );
+        }
+    }
+}

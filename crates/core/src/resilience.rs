@@ -1,0 +1,199 @@
+//! Cache-poisoning resilience modelling (paper §II-A).
+//!
+//! The paper motivates cache enumeration with poisoning resilience: "the
+//! spoofed records sent by the attacker will be distributed to multiple
+//! caches, hence rendering the attack ineffective — say if an attacker
+//! wishes to inject an NS record and then to use it to supply a spoofed A
+//! record... if one of the records 'hits' a different cache, the attack
+//! fails." With `n` caches and unpredictable selection, a `k`-record
+//! attack chain succeeds only when all `k` injected records land on the
+//! same cache: probability `(1/n)^(k−1)` per attempt.
+//!
+//! This module provides the closed form and a Monte-Carlo simulation
+//! running against the *actual* load-balancer implementations, so the
+//! interaction with non-random selectors (where the math differs —
+//! qname-hash pins a victim name to one cache, removing the defence) is
+//! measured rather than assumed.
+
+use cde_netsim::DetRng;
+use cde_platform::{LoadBalancer, SelectorKind};
+use std::net::Ipv4Addr;
+
+/// Probability that one `chain_len`-record injection attempt lands every
+/// record on the same cache, under uniform random selection over `n`
+/// caches.
+///
+/// # Examples
+///
+/// ```
+/// use cde_core::resilience::poisoning_success_probability;
+///
+/// assert_eq!(poisoning_success_probability(1, 2), 1.0);
+/// assert_eq!(poisoning_success_probability(4, 2), 0.25);
+/// assert_eq!(poisoning_success_probability(4, 3), 0.0625);
+/// ```
+///
+/// # Panics
+///
+/// Panics when `n` or `chain_len` is zero.
+pub fn poisoning_success_probability(n: u64, chain_len: u32) -> f64 {
+    assert!(n > 0, "need at least one cache");
+    assert!(chain_len > 0, "attack chains have at least one record");
+    (1.0 / n as f64).powi(chain_len as i32 - 1)
+}
+
+/// Expected attempts until a successful `chain_len`-record injection:
+/// `n^(chain_len−1)`.
+pub fn expected_attack_attempts(n: u64, chain_len: u32) -> f64 {
+    1.0 / poisoning_success_probability(n, chain_len)
+}
+
+/// Result of a simulated poisoning campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignOutcome {
+    /// Attack attempts made.
+    pub attempts: u64,
+    /// Attempts where every record of the chain hit one cache.
+    pub successes: u64,
+}
+
+impl CampaignOutcome {
+    /// Empirical per-attempt success rate.
+    pub fn success_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.attempts as f64
+        }
+    }
+}
+
+/// Simulates `attempts` independent `chain_len`-record injection attempts
+/// against a cluster of `n` caches balanced by `selector`.
+///
+/// Each attempt triggers `chain_len` resolution events for related victim
+/// names (e.g. the NS of `victim.example` followed by `www.victim.example`
+/// A) from the attacker's vantage; the attempt succeeds when the balancer
+/// sends all of them to one cache. Background traffic between attempts is
+/// modelled by advancing the balancer with unrelated queries.
+pub fn simulate_attack_campaign(
+    n: usize,
+    selector: SelectorKind,
+    chain_len: u32,
+    attempts: u64,
+    seed: u64,
+) -> CampaignOutcome {
+    assert!(n > 0 && chain_len > 0, "need caches and a chain");
+    let mut balancer = LoadBalancer::new(selector, n);
+    let mut rng = DetRng::seed(seed).fork("poison");
+    let attacker = Ipv4Addr::new(203, 0, 113, 66);
+    let background_src = Ipv4Addr::new(198, 51, 100, 77);
+    let mut successes = 0u64;
+    for attempt in 0..attempts {
+        // The victim-domain names the chain injects. The *same* names are
+        // reused every attempt — that is what the attacker must do (the
+        // target records are fixed), and it is exactly why hash selectors
+        // change the game.
+        let first_name: cde_dns::Name = "victim.example".parse().expect("static name");
+        let chained_name: cde_dns::Name = "www.victim.example".parse().expect("static name");
+        let first = balancer.select(&first_name, attacker, &mut rng);
+        let mut all_same = true;
+        for hop in 1..chain_len {
+            let name = if hop % 2 == 1 { &chained_name } else { &first_name };
+            if balancer.select(name, attacker, &mut rng) != first {
+                all_same = false;
+            }
+        }
+        if all_same {
+            successes += 1;
+        }
+        // A burst of unrelated background queries lands between attempts.
+        let burst = 1 + (attempt % 3);
+        for b in 0..burst {
+            let name: cde_dns::Name = format!("bg-{attempt}-{b}.example")
+                .parse()
+                .expect("static name");
+            balancer.select(&name, background_src, &mut rng);
+        }
+    }
+    CampaignOutcome {
+        attempts,
+        successes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_basics() {
+        assert_eq!(poisoning_success_probability(1, 5), 1.0);
+        assert_eq!(poisoning_success_probability(2, 2), 0.5);
+        assert_eq!(expected_attack_attempts(4, 2), 4.0);
+        assert_eq!(expected_attack_attempts(4, 3), 16.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cache")]
+    fn zero_caches_rejected() {
+        poisoning_success_probability(0, 2);
+    }
+
+    #[test]
+    fn random_selection_matches_closed_form() {
+        for n in [1usize, 2, 4, 8] {
+            let outcome =
+                simulate_attack_campaign(n, SelectorKind::Random, 2, 40_000, 9);
+            let expected = poisoning_success_probability(n as u64, 2);
+            assert!(
+                (outcome.success_rate() - expected).abs() < 0.02,
+                "n={n}: rate {:.3} vs {:.3}",
+                outcome.success_rate(),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn longer_chains_are_harder() {
+        let short = simulate_attack_campaign(4, SelectorKind::Random, 2, 40_000, 10);
+        let long = simulate_attack_campaign(4, SelectorKind::Random, 4, 40_000, 10);
+        assert!(long.success_rate() < short.success_rate());
+    }
+
+    #[test]
+    fn qname_hash_removes_the_multi_cache_defence() {
+        // Hash-by-name sends the two *different* victim names to fixed —
+        // possibly different — caches. When they collide the attack
+        // succeeds on every attempt; when they differ it never does. Both
+        // extremes differ fundamentally from the random case.
+        let outcome = simulate_attack_campaign(8, SelectorKind::QnameHash, 2, 1_000, 11);
+        let rate = outcome.success_rate();
+        assert!(rate == 0.0 || rate == 1.0, "rate {rate}");
+    }
+
+    #[test]
+    fn source_hash_pins_the_attacker_to_one_cache() {
+        // All the attacker's queries land on one cache: the multi-cache
+        // defence vanishes for an attacker who controls the trigger
+        // queries (it still protects against off-path injection racing
+        // *other* clients' queries).
+        let outcome = simulate_attack_campaign(8, SelectorKind::SourceHash, 3, 1_000, 12);
+        assert_eq!(outcome.success_rate(), 1.0);
+    }
+
+    #[test]
+    fn round_robin_with_background_traffic_is_nearly_unpoisonable() {
+        // Interleaved background queries shift the stride, so consecutive
+        // attacker queries rarely co-locate.
+        let outcome = simulate_attack_campaign(8, SelectorKind::RoundRobin, 2, 10_000, 13);
+        assert!(outcome.success_rate() < 0.2, "rate {}", outcome.success_rate());
+    }
+
+    #[test]
+    fn single_cache_always_poisonable() {
+        let outcome = simulate_attack_campaign(1, SelectorKind::Random, 4, 1_000, 14);
+        assert_eq!(outcome.successes, 1_000);
+    }
+}

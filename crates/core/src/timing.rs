@@ -1,0 +1,315 @@
+//! The timing side channel (paper §IV-B3).
+//!
+//! When the CDE infrastructure cannot observe queries at a nameserver —
+//! the *indirect egress* setting (APT-style stealth, restricted domains) —
+//! caches are still countable from response latency alone: a cache hit
+//! returns in the internal-hop time while a miss pays at least one
+//! upstream round trip. Probing the honey record repeatedly, the number of
+//! *uncached-latency* responses equals the number of caches.
+
+use crate::access::{AccessChannel, TriggerOutcome};
+use crate::infra::CdeInfra;
+use cde_netsim::{SimDuration, SimTime};
+
+/// Latency threshold separating cached from uncached responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingCalibration {
+    /// Responses slower than this are classified uncached.
+    pub threshold: SimDuration,
+    /// Median latency of known-cached probes.
+    pub cached_median: SimDuration,
+    /// Median latency of known-uncached probes.
+    pub uncached_median: SimDuration,
+}
+
+/// Errors during calibration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CalibrationError {
+    /// The access channel cannot measure latency (indirect ingress without
+    /// a latency-capable prober).
+    NoLatency,
+    /// Too few probes were answered to compute medians.
+    TooFewSamples {
+        /// Answered cached-side samples.
+        cached: usize,
+        /// Answered uncached-side samples.
+        uncached: usize,
+    },
+    /// Cached and uncached latencies overlap so much that no separating
+    /// threshold exists (median order inverted).
+    NoSeparation,
+}
+
+impl std::fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibrationError::NoLatency => {
+                write!(f, "access channel does not expose per-probe latency")
+            }
+            CalibrationError::TooFewSamples { cached, uncached } => write!(
+                f,
+                "too few answered samples for calibration ({cached} cached, {uncached} uncached)"
+            ),
+            CalibrationError::NoSeparation => {
+                write!(f, "cached and uncached latencies are not separable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
+/// Calibrates the threshold against the target platform.
+///
+/// Uncached samples come from fresh nonce names (always a miss); cached
+/// samples come from re-probing a dedicated calibration honey record after
+/// seeding it. The threshold is the midpoint of the two medians.
+///
+/// # Errors
+///
+/// See [`CalibrationError`].
+pub fn calibrate<A: AccessChannel>(
+    access: &mut A,
+    infra: &mut CdeInfra,
+    samples: usize,
+    start: SimTime,
+) -> Result<TimingCalibration, CalibrationError> {
+    if !access.measures_latency() {
+        return Err(CalibrationError::NoLatency);
+    }
+    let mut now = start;
+    let gap = SimDuration::from_millis(25);
+
+    // Uncached side: fresh nonces.
+    let mut uncached = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let nonce = infra.fresh_nonce_name();
+        if let TriggerOutcome::Delivered { latency: Some(l) } = access.trigger(&nonce, now) {
+            uncached.push(l);
+        }
+        now += gap;
+    }
+
+    // Cached side: seed a calibration record heavily, then re-probe. The
+    // seeding also warms every cache, so subsequent probes are hits.
+    let session = infra.new_session(access.net_mut(), 0);
+    for _ in 0..(samples * 2) {
+        let _ = access.trigger(&session.honey, now);
+        now += gap;
+    }
+    let mut cached = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        if let TriggerOutcome::Delivered { latency: Some(l) } = access.trigger(&session.honey, now)
+        {
+            cached.push(l);
+        }
+        now += gap;
+    }
+
+    if cached.len() < 3 || uncached.len() < 3 {
+        return Err(CalibrationError::TooFewSamples {
+            cached: cached.len(),
+            uncached: uncached.len(),
+        });
+    }
+    cached.sort_unstable();
+    uncached.sort_unstable();
+    let cached_median = cached[cached.len() / 2];
+    let uncached_median = uncached[uncached.len() / 2];
+    if cached_median >= uncached_median {
+        return Err(CalibrationError::NoSeparation);
+    }
+    let threshold = cached_median + (uncached_median - cached_median) / 2;
+    Ok(TimingCalibration {
+        threshold,
+        cached_median,
+        uncached_median,
+    })
+}
+
+/// Result of timing-based enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingEnumeration {
+    /// Probes sent.
+    pub probes: u64,
+    /// Responses classified uncached — the cache count by this channel.
+    pub slow_responses: u64,
+    /// Responses classified cached.
+    pub fast_responses: u64,
+    /// Probes with no usable latency (timeouts).
+    pub unclassified: u64,
+}
+
+/// Counts caches purely from latency: probe the session honey record
+/// `probes` times and count uncached-latency responses (§IV-B3: "count
+/// the number of times the latency ... corresponds to an uncached latency
+/// — this number corresponds to the amount of caches").
+pub fn enumerate_via_timing<A: AccessChannel>(
+    access: &mut A,
+    session_honey: &cde_dns::Name,
+    calibration: TimingCalibration,
+    probes: u64,
+    start: SimTime,
+) -> TimingEnumeration {
+    let mut now = start;
+    let mut slow = 0u64;
+    let mut fast = 0u64;
+    let mut unclassified = 0u64;
+    for _ in 0..probes {
+        match access.trigger(session_honey, now) {
+            TriggerOutcome::Delivered { latency: Some(l) } => {
+                if l > calibration.threshold {
+                    slow += 1;
+                } else {
+                    fast += 1;
+                }
+            }
+            _ => unclassified += 1,
+        }
+        now += SimDuration::from_millis(25);
+    }
+    TimingEnumeration {
+        probes,
+        slow_responses: slow,
+        fast_responses: fast,
+        unclassified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::DirectAccess;
+    use cde_netsim::{LatencyModel, Link, LossModel};
+    use cde_platform::{NameserverNet, PlatformBuilder, ResolutionPlatform, SelectorKind};
+    use cde_probers::DirectProber;
+    use std::net::Ipv4Addr;
+
+    fn world(caches: usize, seed: u64, jitter: f64) -> (ResolutionPlatform, NameserverNet, CdeInfra) {
+        let mut net = NameserverNet::new();
+        let infra = CdeInfra::install(&mut net);
+        let platform = PlatformBuilder::new(seed)
+            .ingress(vec![Ipv4Addr::new(192, 0, 2, 1)])
+            .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+            .cluster(caches, SelectorKind::Random)
+            .upstream_link(Link::new(
+                LatencyModel::LogNormal {
+                    median: SimDuration::from_millis(18),
+                    sigma: jitter,
+                },
+                LossModel::none(),
+            ))
+            .build();
+        (platform, net, infra)
+    }
+
+    fn client_link() -> Link {
+        Link::new(
+            LatencyModel::LogNormal {
+                median: SimDuration::from_millis(12),
+                sigma: 0.15,
+            },
+            LossModel::none(),
+        )
+    }
+
+    #[test]
+    fn calibration_separates_hit_from_miss() {
+        let (mut platform, mut net, mut infra) = world(2, 31, 0.15);
+        let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), client_link(), 1);
+        let mut access = DirectAccess::new(&mut prober, &mut platform, Ipv4Addr::new(192, 0, 2, 1), &mut net);
+        let cal = calibrate(&mut access, &mut infra, 16, SimTime::ZERO).unwrap();
+        assert!(cal.cached_median < cal.uncached_median);
+        assert!(cal.threshold > cal.cached_median);
+        assert!(cal.threshold < cal.uncached_median);
+    }
+
+    #[test]
+    fn timing_enumeration_counts_caches_without_nameserver_observation() {
+        for n in [1usize, 3, 5] {
+            let (mut platform, mut net, mut infra) = world(n, 40 + n as u64, 0.15);
+            let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), client_link(), 2);
+            let mut access = DirectAccess::new(&mut prober, &mut platform, Ipv4Addr::new(192, 0, 2, 1), &mut net);
+            let cal = calibrate(&mut access, &mut infra, 16, SimTime::ZERO).unwrap();
+            // Fresh session honey, never queried before.
+            let session = infra.new_session(access.net_mut(), 0);
+            let q = cde_analysis::coupon::query_budget(n as u64, 0.001);
+            let t = enumerate_via_timing(
+                &mut access,
+                &session.honey,
+                cal,
+                q,
+                SimTime::ZERO + SimDuration::from_secs(10),
+            );
+            assert_eq!(t.slow_responses, n as u64, "n={n}");
+            assert_eq!(t.fast_responses, q - n as u64);
+        }
+    }
+
+    #[test]
+    fn heavy_jitter_degrades_timing_channel() {
+        // With enormous upstream jitter the classifier misfires — the
+        // ablation the `timing` experiment sweeps.
+        let n = 4usize;
+        let (mut platform, mut net, mut infra) = world(n, 50, 2.5);
+        let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), client_link(), 3);
+        let mut access = DirectAccess::new(&mut prober, &mut platform, Ipv4Addr::new(192, 0, 2, 1), &mut net);
+        match calibrate(&mut access, &mut infra, 16, SimTime::ZERO) {
+            Err(_) => {} // jitter may defeat calibration entirely — accepted
+            Ok(cal) => {
+                let session = infra.new_session(access.net_mut(), 0);
+                let t = enumerate_via_timing(
+                    &mut access,
+                    &session.honey,
+                    cal,
+                    64,
+                    SimTime::ZERO + SimDuration::from_secs(10),
+                );
+                // No exactness claim under heavy jitter; just bounded output.
+                assert_eq!(t.probes, 64);
+                assert_eq!(t.slow_responses + t.fast_responses + t.unclassified, 64);
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_needs_latency_capable_channel() {
+        use cde_probers::{EnterpriseMailServer, MailChecks, SmtpProber};
+        let (mut platform, mut net, mut infra) = world(1, 51, 0.15);
+        let mut prober = SmtpProber::new(1);
+        let mut mta = EnterpriseMailServer::new(
+            Ipv4Addr::new(198, 18, 0, 25),
+            MailChecks::all(),
+            Ipv4Addr::new(192, 0, 2, 1),
+        );
+        let mut access = crate::access::SmtpAccess {
+            prober: &mut prober,
+            mta: &mut mta,
+            platform: &mut platform,
+            net: &mut net,
+        };
+        assert_eq!(
+            calibrate(&mut access, &mut infra, 8, SimTime::ZERO).unwrap_err(),
+            CalibrationError::NoLatency
+        );
+    }
+
+    #[test]
+    fn lossy_probes_become_unclassified() {
+        let (mut platform, mut net, mut infra) = world(2, 52, 0.15);
+        let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), client_link(), 4);
+        let mut access = DirectAccess::new(&mut prober, &mut platform, Ipv4Addr::new(192, 0, 2, 1), &mut net);
+        let cal = calibrate(&mut access, &mut infra, 16, SimTime::ZERO).unwrap();
+        // Swap in a very lossy prober for the enumeration phase.
+        drop(access);
+        let lossy = Link::new(
+            LatencyModel::Constant(SimDuration::from_millis(12)),
+            LossModel::with_rate(0.6),
+        );
+        let mut prober2 = DirectProber::new(Ipv4Addr::new(203, 0, 113, 2), lossy, 5);
+        let mut access2 = DirectAccess::new(&mut prober2, &mut platform, Ipv4Addr::new(192, 0, 2, 1), &mut net);
+        let session = infra.new_session(access2.net_mut(), 0);
+        let t = enumerate_via_timing(&mut access2, &session.honey, cal, 50, SimTime::ZERO);
+        assert!(t.unclassified > 10, "unclassified {}", t.unclassified);
+    }
+}

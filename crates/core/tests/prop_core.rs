@@ -1,0 +1,114 @@
+//! Property-based tests for the CDE core: estimators, plans and the
+//! enumeration invariants that hold for any platform shape.
+
+use cde_analysis::estimators::estimate_cache_count;
+use cde_core::access::DirectAccess;
+use cde_core::enumerate::{enumerate_identical, enumerate_two_phase, EnumerateOptions};
+use cde_core::{classify, CdeInfra, ProbePlan};
+use cde_dns::Ttl;
+use cde_netsim::{Link, SimTime};
+use cde_platform::{NameserverNet, PlatformBuilder, SelectorKind};
+use cde_probers::DirectProber;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+const INGRESS: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For any lossless platform and probe budget, the observation obeys
+    /// 1 ≤ ω ≤ min(n, q), and the estimator never moves below ω.
+    #[test]
+    fn enumeration_bounds_hold(
+        n in 1usize..12,
+        probes in 1u64..80,
+        seed in 0u64..10_000,
+    ) {
+        let mut net = NameserverNet::new();
+        let mut infra = CdeInfra::install(&mut net);
+        let mut platform = PlatformBuilder::new(seed)
+            .ingress(vec![INGRESS])
+            .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+            .cluster(n, SelectorKind::Random)
+            .build();
+        let session = infra.new_session(&mut net, 0);
+        let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), seed);
+        let mut access = DirectAccess::new(&mut prober, &mut platform, INGRESS, &mut net);
+        let e = enumerate_identical(&mut access, &infra, &session, EnumerateOptions::with_probes(probes), SimTime::ZERO);
+        prop_assert!(e.observed >= 1);
+        prop_assert!(e.observed <= (n as u64).min(probes));
+        prop_assert!(e.estimated >= e.observed);
+        prop_assert_eq!(e.delivered, probes);
+    }
+
+    /// The two-phase protocol observes at least as much as its init phase
+    /// and never exceeds the true count on lossless platforms.
+    #[test]
+    fn two_phase_bounds_hold(
+        n in 1usize..10,
+        ratio in 1u64..6,
+        seed in 0u64..10_000,
+    ) {
+        let mut net = NameserverNet::new();
+        let mut infra = CdeInfra::install(&mut net);
+        let mut platform = PlatformBuilder::new(seed)
+            .ingress(vec![INGRESS])
+            .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+            .cluster(n, SelectorKind::Random)
+            .build();
+        let session = infra.new_session(&mut net, 0);
+        let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), seed);
+        let mut access = DirectAccess::new(&mut prober, &mut platform, INGRESS, &mut net);
+        let r = enumerate_two_phase(&mut access, &infra, &session, ratio * n as u64, SimTime::ZERO);
+        prop_assert!(r.total_observed <= n as u64);
+        prop_assert_eq!(r.observed_init + r.observed_validate, r.total_observed);
+        prop_assert!(r.validate_hits <= r.seeds);
+    }
+
+    /// The estimator is monotone in the observation, below saturation.
+    /// (At ω = q the estimator deliberately returns the conservative ω —
+    /// the data cannot distinguish n = q from any larger n — so the
+    /// saturated point sits below the inverted-occupancy curve.)
+    #[test]
+    fn estimator_monotone(probes in 2u64..200, w1 in 1u64..100, w2 in 1u64..100) {
+        let a = w1.min(w2).min(probes - 1);
+        let b = w1.max(w2).min(probes - 1);
+        prop_assert!(estimate_cache_count(a, probes) <= estimate_cache_count(b, probes));
+        // And the saturated case stays conservative.
+        prop_assert_eq!(estimate_cache_count(probes, probes), probes);
+    }
+
+    /// Probe plans grow monotonically with the assumed bound and the loss
+    /// rate.
+    #[test]
+    fn plans_are_monotone(n1 in 1u64..64, n2 in 1u64..64, loss in 0.0f64..0.5) {
+        let (lo, hi) = (n1.min(n2), n1.max(n2));
+        let a = ProbePlan::for_target(lo, loss);
+        let b = ProbePlan::for_target(hi, loss);
+        prop_assert!(a.probes <= b.probes);
+        prop_assert!(a.seeds <= b.seeds);
+        let clean = ProbePlan::for_target(hi, 0.0);
+        prop_assert!(clean.redundancy <= b.redundancy);
+    }
+
+    /// Fingerprint classification maps each profile's cap pair back to the
+    /// profile, and nothing else maps anywhere.
+    #[test]
+    fn classify_is_injective_on_profiles(pos in 0u32..1_000_000, neg in 0u32..1_000_000) {
+        use cde_cache::SoftwareProfile;
+        for profile in SoftwareProfile::all() {
+            let p = profile.positive_cap();
+            let n = profile.negative_cap();
+            let expected = if p.as_secs() == u32::MAX { None } else { Some(p) };
+            let expected_n = if n.as_secs() == u32::MAX { None } else { Some(n) };
+            prop_assert_eq!(classify(expected, expected_n), Some(profile));
+        }
+        // Arbitrary other pairs never classify.
+        let arbitrary = classify(Some(Ttl::from_secs(pos)), Some(Ttl::from_secs(neg)));
+        if let Some(p) = arbitrary {
+            prop_assert_eq!(Some(p.positive_cap().as_secs()), Some(pos));
+            prop_assert_eq!(Some(p.negative_cap().as_secs()), Some(neg));
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Synthetic datasets for the CDE reproduction, calibrated to the paper's
+//! published marginals (see `DESIGN.md` §2 for the substitution
+//! rationale).
+//!
+//! * [`operators`] — the Fig. 2 network-operator tables and sampling,
+//! * [`populations`] — generators for the three network populations (open
+//!   resolvers, enterprises, ISPs) with ground-truth [`NetworkSpec`]s that
+//!   build ready-to-measure [`cde_platform::ResolutionPlatform`]s.
+//!
+//! # Examples
+//!
+//! ```
+//! use cde_datasets::{generate_population, PopulationKind};
+//!
+//! let pop = generate_population(PopulationKind::Isps, 100, 7);
+//! assert_eq!(pop.len(), 100);
+//! let platform = pop[0].build();
+//! assert_eq!(platform.ground_truth().total_caches(), pop[0].total_caches());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod operators;
+pub mod populations;
+
+pub use operators::{
+    sample_operator, OperatorShare, AD_NETWORK_OPERATORS, EMAIL_SERVER_OPERATORS,
+    OPEN_RESOLVER_OPERATORS,
+};
+pub use populations::{generate_population, NetworkSpec, PopulationKind};

@@ -1,0 +1,130 @@
+//! Network-operator tables (paper Fig. 2).
+//!
+//! The paper lists the top-ten operators per dataset with their share of
+//! networks; everything else is "OTHER". These tables drive the synthetic
+//! population's operator labels and regenerate Fig. 2.
+
+use rand::Rng;
+
+/// One operator row: name and share (percent of the dataset).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatorShare {
+    /// Operator name as printed in the paper.
+    pub name: &'static str,
+    /// Share of networks, in percent.
+    pub percent: f64,
+}
+
+/// Fig. 2, "Open Resolvers" column.
+pub const OPEN_RESOLVER_OPERATORS: [OperatorShare; 11] = [
+    OperatorShare { name: "Aruba S.p.A.", percent: 9.597 },
+    OperatorShare { name: "Google Inc.", percent: 6.59 },
+    OperatorShare { name: "Korea Telecom", percent: 4.095 },
+    OperatorShare { name: "INTERNET CZ, a.s.", percent: 3.199 },
+    OperatorShare { name: "tw telecom holdings, inc.", percent: 3.135 },
+    OperatorShare { name: "LG DACOM Corporation", percent: 2.687 },
+    OperatorShare { name: "Data Communication Business Group", percent: 2.175 },
+    OperatorShare { name: "Getty Images", percent: 1.727 },
+    OperatorShare { name: "CNCGROUP IP network China169 Beijing", percent: 1.536 },
+    OperatorShare { name: "Level 3 Communications, Inc.", percent: 1.536 },
+    OperatorShare { name: "OTHER", percent: 63.72 },
+];
+
+/// Fig. 2, "Email Servers" column.
+pub const EMAIL_SERVER_OPERATORS: [OperatorShare; 11] = [
+    OperatorShare { name: "Google Inc.", percent: 24.211 },
+    OperatorShare { name: "Yandex LLC", percent: 10.526 },
+    OperatorShare { name: "Amazon.com, Inc.", percent: 4.2105 },
+    OperatorShare { name: "Hangzhou Alibaba Advertising Co.,Ltd.", percent: 4.2105 },
+    OperatorShare { name: "Internet Initiative Japan Inc.", percent: 4.2105 },
+    OperatorShare { name: "Websense Hosted Security Network", percent: 4.2105 },
+    OperatorShare { name: "SAKURA Internet Inc.", percent: 3.1579 },
+    OperatorShare { name: "ADVANCEDHOSTERS LIMITED", percent: 2.1053 },
+    OperatorShare { name: "Dadeh Gostar Asr Novin P.J.S. Co.", percent: 2.1053 },
+    OperatorShare { name: "Limited liability company Mail.Ru", percent: 2.1053 },
+    OperatorShare { name: "OTHER", percent: 38.947 },
+];
+
+/// Fig. 2, "Ad-Network" column.
+pub const AD_NETWORK_OPERATORS: [OperatorShare; 11] = [
+    OperatorShare { name: "Comcast Cable Communications, Inc.", percent: 15.02 },
+    OperatorShare { name: "Time Warner Cable Internet LLC", percent: 6.103 },
+    OperatorShare { name: "Orange S.A.", percent: 5.634 },
+    OperatorShare { name: "Google Inc.", percent: 4.695 },
+    OperatorShare { name: "BT Public Internet Service", percent: 4.225 },
+    OperatorShare { name: "MCI Communications Services, Inc. Verizon", percent: 3.286 },
+    OperatorShare { name: "AT&T Services, Inc.", percent: 2.817 },
+    OperatorShare { name: "OVH SAS", percent: 2.817 },
+    OperatorShare { name: "Free SAS", percent: 2.347 },
+    OperatorShare { name: "Qwest Communications Company, LLC", percent: 2.347 },
+    OperatorShare { name: "OTHER", percent: 50.7 },
+];
+
+/// Samples an operator name according to a Fig. 2 column.
+pub fn sample_operator<R: Rng + ?Sized>(rng: &mut R, table: &[OperatorShare]) -> &'static str {
+    let total: f64 = table.iter().map(|o| o.percent).sum();
+    let mut x = rng.gen::<f64>() * total;
+    for o in table {
+        if x < o.percent {
+            return o.name;
+        }
+        x -= o.percent;
+    }
+    table.last().expect("tables are non-empty").name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tables_sum_to_about_100_percent() {
+        for table in [
+            &OPEN_RESOLVER_OPERATORS[..],
+            &EMAIL_SERVER_OPERATORS[..],
+            &AD_NETWORK_OPERATORS[..],
+        ] {
+            let total: f64 = table.iter().map(|o| o.percent).sum();
+            assert!((total - 100.0).abs() < 1.0, "total {total}");
+        }
+    }
+
+    #[test]
+    fn other_is_the_largest_bucket_everywhere() {
+        for table in [
+            &OPEN_RESOLVER_OPERATORS[..],
+            &EMAIL_SERVER_OPERATORS[..],
+            &AD_NETWORK_OPERATORS[..],
+        ] {
+            let other = table.iter().find(|o| o.name == "OTHER").unwrap();
+            for o in table.iter().filter(|o| o.name != "OTHER") {
+                assert!(other.percent > o.percent);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_matches_shares() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let trials = 100_000;
+        let mut google = 0u64;
+        for _ in 0..trials {
+            if sample_operator(&mut rng, &EMAIL_SERVER_OPERATORS) == "Google Inc." {
+                google += 1;
+            }
+        }
+        let share = google as f64 / trials as f64 * 100.0;
+        assert!((share - 24.211).abs() < 1.0, "share {share:.2}");
+    }
+
+    #[test]
+    fn comcast_tops_the_ad_network_column() {
+        assert_eq!(
+            AD_NETWORK_OPERATORS[0].name,
+            "Comcast Cable Communications, Inc."
+        );
+        assert!(AD_NETWORK_OPERATORS[0].percent > 15.0);
+    }
+}

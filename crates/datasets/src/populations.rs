@@ -1,0 +1,461 @@
+//! Synthetic network populations calibrated to the paper's marginals.
+//!
+//! The paper's evaluation reports *distributions* over three populations
+//! (open resolvers, enterprises probed via SMTP, ISPs probed via an
+//! ad-network). We generate ground-truth platforms drawn from mixtures
+//! calibrated to the published marginals — Fig. 3 (egress IPs), Fig. 4
+//! (cache counts), Figs. 5–8 (ingress-vs-caches shapes) — and then run
+//! the *measurement pipeline* against them. The pipeline never reads the
+//! spec; experiments compare measured distributions against both the spec
+//! and the paper's numbers.
+
+use crate::operators::{
+    sample_operator, AD_NETWORK_OPERATORS, EMAIL_SERVER_OPERATORS, OPEN_RESOLVER_OPERATORS,
+};
+use cde_cache::SoftwareProfile;
+use cde_dns::Edns;
+use cde_netsim::{CountryProfile, DetRng, LatencyModel, Link, LossModel, SimDuration};
+use cde_platform::{ClusterConfig, PlatformBuilder, ResolutionPlatform, SelectorKind};
+use rand::Rng;
+use std::net::Ipv4Addr;
+
+/// Which of the paper's three datasets a network belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PopulationKind {
+    /// Alexa-top networks operating open resolvers (§III-A).
+    OpenResolvers,
+    /// Enterprises probed through their mail servers (§III-B).
+    Enterprises,
+    /// ISP networks probed through an ad-network (§III-C).
+    Isps,
+}
+
+impl PopulationKind {
+    /// All three populations.
+    pub fn all() -> [PopulationKind; 3] {
+        [
+            PopulationKind::OpenResolvers,
+            PopulationKind::Enterprises,
+            PopulationKind::Isps,
+        ]
+    }
+
+    /// The dataset size the paper reports (1K open-resolver networks, 1K
+    /// enterprises, ~240 completed ad-network clients).
+    pub fn paper_size(self) -> usize {
+        match self {
+            PopulationKind::OpenResolvers => 1000,
+            PopulationKind::Enterprises => 1000,
+            PopulationKind::Isps => 240,
+        }
+    }
+}
+
+impl std::fmt::Display for PopulationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PopulationKind::OpenResolvers => write!(f, "open-resolvers"),
+            PopulationKind::Enterprises => write!(f, "enterprises"),
+            PopulationKind::Isps => write!(f, "isps"),
+        }
+    }
+}
+
+/// Ground-truth description of one generated network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkSpec {
+    /// Unique index within the generated population.
+    pub id: u64,
+    /// Dataset this network belongs to.
+    pub kind: PopulationKind,
+    /// Operator label drawn from the Fig. 2 table.
+    pub operator: &'static str,
+    /// Country loss profile (§V).
+    pub country: CountryProfile,
+    /// Number of ingress addresses.
+    pub ingress_count: usize,
+    /// Number of egress addresses.
+    pub egress_count: usize,
+    /// Cache count per cluster.
+    pub cluster_caches: Vec<usize>,
+    /// Load-balancer strategy.
+    pub selector: SelectorKind,
+    /// Whether the platform's resolver software speaks EDNS (§II-C
+    /// adoption studies; modern software overwhelmingly does).
+    pub edns: bool,
+    /// Behavioural software profile of the caches (§II-C software
+    /// measurement; fingerprintable via `cde_core::fingerprint`).
+    pub software: SoftwareProfile,
+}
+
+impl NetworkSpec {
+    /// Total caches across clusters.
+    pub fn total_caches(&self) -> usize {
+        self.cluster_caches.iter().sum()
+    }
+
+    /// The ingress addresses this network announces (deterministic from
+    /// `id`).
+    pub fn ingress_ips(&self) -> Vec<Ipv4Addr> {
+        let base = 0xAC10_0000u32 + self.id as u32 * 4096; // 172.16.0.0/12 slice
+        (0..self.ingress_count as u32)
+            .map(|i| Ipv4Addr::from(base + i))
+            .collect()
+    }
+
+    /// The egress addresses (deterministic from `id`).
+    pub fn egress_ips(&self) -> Vec<Ipv4Addr> {
+        let base = 0x6440_0000u32 + self.id as u32 * 4096; // 100.64.0.0/10 slice
+        (0..self.egress_count as u32)
+            .map(|i| Ipv4Addr::from(base + i))
+            .collect()
+    }
+
+    /// Client↔ingress link with this network's country loss profile.
+    pub fn client_link(&self) -> Link {
+        self.country.wan_link()
+    }
+
+    /// Builds the ground-truth platform. Upstream links carry realistic
+    /// latency but no loss (client-side loss is the prober's link; see
+    /// `DESIGN.md`).
+    pub fn build(&self) -> ResolutionPlatform {
+        let mut builder = PlatformBuilder::new(0xD5EE_D000 + self.id)
+            .ingress(self.ingress_ips())
+            .egress(self.egress_ips())
+            .edns(if self.edns { Some(Edns::default()) } else { None })
+            .upstream_link(Link::new(LatencyModel::typical_wan(), LossModel::none()))
+            .internal_latency(LatencyModel::Uniform {
+                low: SimDuration::from_micros(150),
+                high: SimDuration::from_micros(700),
+            });
+        for &caches in &self.cluster_caches {
+            builder = builder.cluster_config(ClusterConfig {
+                cache_count: caches,
+                selector: self.selector,
+                cache_config: self.software.cache_config(),
+            });
+        }
+        builder.build()
+    }
+}
+
+/// Generates a population of `size` networks for `kind`, deterministically
+/// from `seed`.
+pub fn generate_population(kind: PopulationKind, size: usize, seed: u64) -> Vec<NetworkSpec> {
+    let master = DetRng::seed(seed);
+    (0..size as u64)
+        .map(|id| {
+            let mut rng = master.fork_indexed(&kind.to_string(), id);
+            sample_network(kind, id, &mut rng)
+        })
+        .collect()
+}
+
+fn sample_network<R: Rng + ?Sized>(kind: PopulationKind, id: u64, rng: &mut R) -> NetworkSpec {
+    let (ingress_count, caches, egress_count) = match kind {
+        PopulationKind::OpenResolvers => sample_open(rng),
+        PopulationKind::Enterprises => sample_enterprise(rng),
+        PopulationKind::Isps => sample_isp(rng),
+    };
+    let operator_table = match kind {
+        PopulationKind::OpenResolvers => &OPEN_RESOLVER_OPERATORS[..],
+        PopulationKind::Enterprises => &EMAIL_SERVER_OPERATORS[..],
+        PopulationKind::Isps => &AD_NETWORK_OPERATORS[..],
+    };
+    NetworkSpec {
+        id,
+        kind,
+        operator: sample_operator(rng, operator_table),
+        country: sample_country(rng),
+        ingress_count,
+        egress_count,
+        cluster_caches: split_into_clusters(caches, ingress_count, rng),
+        selector: sample_selector(rng),
+        // ~90% of resolver deployments spoke EDNS by the paper's time
+        // (required for DNSSEC and large responses).
+        edns: rng.gen::<f64>() < 0.9,
+        software: sample_software(rng),
+    }
+}
+
+/// Rough software shares of the era: BIND dominant, Unbound growing,
+/// Windows DNS in enterprises, dnsmasq on small gateways.
+fn sample_software<R: Rng + ?Sized>(rng: &mut R) -> SoftwareProfile {
+    let x = rng.gen::<f64>();
+    if x < 0.45 {
+        SoftwareProfile::BindLike
+    } else if x < 0.70 {
+        SoftwareProfile::UnboundLike
+    } else if x < 0.90 {
+        SoftwareProfile::MsdnsLike
+    } else {
+        SoftwareProfile::DnsmasqLike
+    }
+}
+
+/// Open resolvers (Fig. 5, Fig. 6 left bar, Fig. 3/4 "open" curves):
+/// dominated by 1-IP/1-cache deployments, a tail of mid-size setups and a
+/// few >500-IP/>30-cache giants; 85% use ≤5 egress addresses.
+fn sample_open<R: Rng + ?Sized>(rng: &mut R) -> (usize, usize, usize) {
+    let x = rng.gen::<f64>();
+    let (ingress, caches) = if x < 0.68 {
+        (1, 1)
+    } else if x < 0.73 {
+        (rng.gen_range(1..=4), 2)
+    } else if x < 0.87 {
+        (rng.gen_range(2..=10), rng.gen_range(2..=6))
+    } else if x < 0.95 {
+        (rng.gen_range(11..=100), rng.gen_range(4..=12))
+    } else if x < 0.98 {
+        (rng.gen_range(200..=500), rng.gen_range(15..=30))
+    } else {
+        (rng.gen_range(501..=1200), rng.gen_range(31..=64))
+    };
+    let egress = if rng.gen::<f64>() < 0.85 {
+        rng.gen_range(1..=5)
+    } else {
+        rng.gen_range(6..=40)
+    };
+    (ingress, caches, egress)
+}
+
+/// Enterprises (Fig. 7, Fig. 3/4 "smtp" curves): under 5% single-single,
+/// over 80% multi-IP *and* multi-cache, 65% with 1–4 caches, half with
+/// more than 20 egress addresses.
+fn sample_enterprise<R: Rng + ?Sized>(rng: &mut R) -> (usize, usize, usize) {
+    let x = rng.gen::<f64>();
+    let (ingress, caches) = if x < 0.04 {
+        (1, 1)
+    } else if x < 0.09 {
+        (1, rng.gen_range(2..=4))
+    } else if x < 0.14 {
+        (rng.gen_range(2..=10), 1)
+    } else if x < 0.66 {
+        // multi-multi, small cache bank (keeps the 1–4 marginal at ~65%)
+        (rng.gen_range(2..=60), rng.gen_range(2..=4))
+    } else {
+        (rng.gen_range(5..=80), rng.gen_range(5..=20))
+    };
+    let egress = if rng.gen::<f64>() < 0.5 {
+        rng.gen_range(2..=20)
+    } else {
+        rng.gen_range(21..=80)
+    };
+    (ingress, caches, egress)
+}
+
+/// ISPs (Fig. 8, Fig. 3/4 "ads" curves): under 10% single-single, ~65%
+/// multi-multi, ~60% with 1–3 caches (the fewest of the three
+/// populations), half with more than 11 egress addresses.
+fn sample_isp<R: Rng + ?Sized>(rng: &mut R) -> (usize, usize, usize) {
+    let x = rng.gen::<f64>();
+    let (ingress, caches) = if x < 0.08 {
+        (1, 1)
+    } else if x < 0.25 {
+        (rng.gen_range(2..=8), 1)
+    } else if x < 0.35 {
+        (1, rng.gen_range(2..=3))
+    } else if x < 0.78 {
+        (rng.gen_range(2..=20), rng.gen_range(2..=3))
+    } else {
+        (rng.gen_range(3..=30), rng.gen_range(4..=8))
+    };
+    let egress = if rng.gen::<f64>() < 0.5 {
+        rng.gen_range(1..=11)
+    } else {
+        rng.gen_range(12..=40)
+    };
+    (ingress, caches, egress)
+}
+
+/// §IV-A: "more than 80% of the networks in our dataset support
+/// unpredictable cache selection".
+fn sample_selector<R: Rng + ?Sized>(rng: &mut R) -> SelectorKind {
+    let x = rng.gen::<f64>();
+    if x < 0.82 {
+        SelectorKind::Random
+    } else if x < 0.88 {
+        SelectorKind::RoundRobin
+    } else if x < 0.93 {
+        SelectorKind::LeastLoaded
+    } else if x < 0.97 {
+        SelectorKind::QnameHash
+    } else {
+        SelectorKind::SourceHash
+    }
+}
+
+/// §V: highest loss in Iran (11%) and China (~4%); elsewhere ~1%.
+fn sample_country<R: Rng + ?Sized>(rng: &mut R) -> CountryProfile {
+    let x = rng.gen::<f64>();
+    if x < 0.90 {
+        CountryProfile::Typical
+    } else if x < 0.96 {
+        CountryProfile::China
+    } else {
+        CountryProfile::Iran
+    }
+}
+
+/// Splits `caches` over clusters: most platforms run one cluster; larger
+/// multi-ingress deployments sometimes shard into 2–3.
+fn split_into_clusters<R: Rng + ?Sized>(
+    caches: usize,
+    ingress_count: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    if caches >= 4 && ingress_count >= 4 && rng.gen::<f64>() < 0.3 {
+        let parts = if caches >= 9 && rng.gen::<f64>() < 0.4 { 3 } else { 2 };
+        let mut out = vec![caches / parts; parts];
+        out[0] += caches % parts;
+        out
+    } else {
+        vec![caches]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cde_analysis::stats::{Cdf, Scatter};
+
+    fn population(kind: PopulationKind, n: usize) -> Vec<NetworkSpec> {
+        generate_population(kind, n, 0xDA7A)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = population(PopulationKind::Isps, 50);
+        let b = population(PopulationKind::Isps, 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn open_population_matches_paper_marginals() {
+        let pop = population(PopulationKind::OpenResolvers, 4000);
+        let sc: Scatter = pop
+            .iter()
+            .map(|s| (s.ingress_count as u64, s.total_caches() as u64))
+            .collect();
+        // "Almost 70% of networks with open resolvers use ... one IP
+        // address and one cache" (Fig. 6).
+        let single_single = sc.fraction_where(|x, y| x == 1 && y == 1);
+        assert!((0.64..0.74).contains(&single_single), "{single_single}");
+        // "70% use 1-2 caches" (Fig. 4).
+        let small_cache = pop
+            .iter()
+            .filter(|s| s.total_caches() <= 2)
+            .count() as f64
+            / pop.len() as f64;
+        assert!((0.65..0.80).contains(&small_cache), "{small_cache}");
+        // "85% use 5 or less [egress] IP addresses" (Fig. 3).
+        let egress = Cdf::from_samples(pop.iter().map(|s| s.egress_count as u64));
+        let le5 = egress.fraction_at_or_below(5);
+        assert!((0.80..0.90).contains(&le5), "{le5}");
+        // A few giants exist (top-right circles in Fig. 5).
+        assert!(pop
+            .iter()
+            .any(|s| s.ingress_count > 500 && s.total_caches() > 30));
+    }
+
+    #[test]
+    fn enterprise_population_matches_paper_marginals() {
+        let pop = population(PopulationKind::Enterprises, 4000);
+        let sc: Scatter = pop
+            .iter()
+            .map(|s| (s.ingress_count as u64, s.total_caches() as u64))
+            .collect();
+        // "less than 5% of enterprises use a single address and cache".
+        assert!(sc.fraction_where(|x, y| x == 1 && y == 1) < 0.05);
+        // "more than 80% ... more than one address and more than one cache".
+        assert!(sc.fraction_where(|x, y| x > 1 && y > 1) > 0.80);
+        // "65% ... use 1-4 caches" (Fig. 4).
+        let small = pop.iter().filter(|s| s.total_caches() <= 4).count() as f64 / pop.len() as f64;
+        assert!((0.58..0.72).contains(&small), "{small}");
+        // "50% of the platforms use more than 20 IP addresses" (Fig. 3).
+        let egress = Cdf::from_samples(pop.iter().map(|s| s.egress_count as u64));
+        let above20 = egress.fraction_above(20);
+        assert!((0.42..0.58).contains(&above20), "{above20}");
+    }
+
+    #[test]
+    fn isp_population_matches_paper_marginals() {
+        let pop = population(PopulationKind::Isps, 4000);
+        let sc: Scatter = pop
+            .iter()
+            .map(|s| (s.ingress_count as u64, s.total_caches() as u64))
+            .collect();
+        // "less than 10% of ISP networks" single-single.
+        assert!(sc.fraction_where(|x, y| x == 1 && y == 1) < 0.10);
+        // "almost 65% of ISPs" multi-multi.
+        let multi = sc.fraction_where(|x, y| x > 1 && y > 1);
+        assert!((0.55..0.72).contains(&multi), "{multi}");
+        // "About 60% of DNS platforms operated by ISPs use 1-3 caches".
+        let small = pop.iter().filter(|s| s.total_caches() <= 3).count() as f64 / pop.len() as f64;
+        assert!((0.55..0.78).contains(&small), "{small}");
+        // "50% use more than 11 IP addresses" (Fig. 3).
+        let egress = Cdf::from_samples(pop.iter().map(|s| s.egress_count as u64));
+        let above11 = egress.fraction_above(11);
+        assert!((0.42..0.58).contains(&above11), "{above11}");
+    }
+
+    #[test]
+    fn selector_mix_is_mostly_unpredictable() {
+        let pop = population(PopulationKind::Enterprises, 4000);
+        let unpredictable = pop
+            .iter()
+            .filter(|s| s.selector.is_unpredictable())
+            .count() as f64
+            / pop.len() as f64;
+        assert!(unpredictable > 0.80, "{unpredictable}");
+        assert!(unpredictable < 0.90, "{unpredictable}");
+    }
+
+    #[test]
+    fn country_mix_includes_lossy_countries() {
+        let pop = population(PopulationKind::OpenResolvers, 2000);
+        let iran = pop.iter().filter(|s| s.country == CountryProfile::Iran).count();
+        let china = pop.iter().filter(|s| s.country == CountryProfile::China).count();
+        assert!(iran > 0 && china > 0);
+        assert!(iran < pop.len() / 10);
+    }
+
+    #[test]
+    fn address_blocks_do_not_overlap_between_networks() {
+        let pop = population(PopulationKind::Enterprises, 100);
+        let mut all: Vec<Ipv4Addr> = pop
+            .iter()
+            .flat_map(|s| s.ingress_ips().into_iter().chain(s.egress_ips()))
+            .collect();
+        let before = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), before);
+    }
+
+    #[test]
+    fn build_produces_platform_matching_spec() {
+        let pop = population(PopulationKind::Isps, 5);
+        for spec in &pop {
+            let platform = spec.build();
+            let gt = platform.ground_truth();
+            assert_eq!(gt.total_caches(), spec.total_caches());
+            assert_eq!(platform.ingress_ips().len(), spec.ingress_count);
+            assert_eq!(platform.egress_ips().len(), spec.egress_count);
+            assert!(gt.selectors.iter().all(|&s| s == spec.selector));
+        }
+    }
+
+    #[test]
+    fn clusters_partition_cache_total() {
+        let pop = population(PopulationKind::Enterprises, 500);
+        for spec in &pop {
+            assert!(!spec.cluster_caches.is_empty());
+            assert!(spec.cluster_caches.iter().all(|&c| c >= 1));
+            assert_eq!(spec.cluster_caches.iter().sum::<usize>(), spec.total_caches());
+        }
+        // Some multi-cluster networks exist.
+        assert!(pop.iter().any(|s| s.cluster_caches.len() > 1));
+    }
+}

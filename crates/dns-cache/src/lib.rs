@@ -1,0 +1,34 @@
+//! TTL-driven DNS caches for the CDE reproduction.
+//!
+//! These are the *hidden caches* the paper discovers and counts. The crate
+//! provides [`DnsCache`] (TTL decay, min/max clamping, negative caching,
+//! pluggable eviction) plus [`CacheStats`] for hit-rate accounting and
+//! [`EvictionPolicy`] for ablations.
+//!
+//! # Examples
+//!
+//! ```
+//! use cde_cache::{CacheConfig, DnsCache, EvictionPolicy};
+//! use cde_dns::Ttl;
+//!
+//! let cache = DnsCache::new(7, CacheConfig {
+//!     capacity: 10_000,
+//!     min_ttl: Ttl::from_secs(30),
+//!     max_ttl: Ttl::from_secs(3_600),
+//!     ..CacheConfig::default()
+//! });
+//! assert_eq!(cache.id(), 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod policy;
+pub mod profile;
+pub mod stats;
+
+pub use cache::{CacheConfig, CacheKey, CacheLookup, DnsCache, NegativeKind};
+pub use policy::EvictionPolicy;
+pub use profile::SoftwareProfile;
+pub use stats::CacheStats;

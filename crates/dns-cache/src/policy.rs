@@ -1,0 +1,57 @@
+//! Eviction policies.
+//!
+//! The paper (§II-A) notes that "different caches apply different logic for
+//! deciding which records to cache"; the eviction policy is part of that
+//! logic and is pluggable here so ablations can compare them.
+
+/// How a full cache chooses a victim entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvictionPolicy {
+    /// Evict the least recently used entry.
+    #[default]
+    Lru,
+    /// Evict the oldest-inserted entry.
+    Fifo,
+    /// Evict the entry expiring soonest.
+    EarliestExpiry,
+    /// Evict a uniformly random entry.
+    Random,
+}
+
+impl EvictionPolicy {
+    /// All policies, for ablation sweeps.
+    pub fn all() -> [EvictionPolicy; 4] {
+        [
+            EvictionPolicy::Lru,
+            EvictionPolicy::Fifo,
+            EvictionPolicy::EarliestExpiry,
+            EvictionPolicy::Random,
+        ]
+    }
+}
+
+impl std::fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvictionPolicy::Lru => write!(f, "lru"),
+            EvictionPolicy::Fifo => write!(f, "fifo"),
+            EvictionPolicy::EarliestExpiry => write!(f, "earliest-expiry"),
+            EvictionPolicy::Random => write!(f, "random"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_every_policy_once() {
+        let all = EvictionPolicy::all();
+        assert_eq!(all.len(), 4);
+        let mut names: Vec<String> = all.iter().map(|p| p.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,171 @@
+//! Behavioural software profiles.
+//!
+//! The paper (§II-C) motivates cache studies with software measurement:
+//! "Caches on DNS resolution platforms are often running different DNS
+//! software. For distribution and integration of patches it is important
+//! to know which software the caches are running." Real resolver
+//! implementations differ in externally observable cache behaviour —
+//! most sharply in their default positive and negative TTL caps. These
+//! profiles capture those *behavioural* differences (values follow the
+//! software's documented defaults of the paper's era); they are named
+//! `-Like` because nothing else about the implementations is modelled.
+
+use crate::cache::CacheConfig;
+use crate::policy::EvictionPolicy;
+use cde_dns::Ttl;
+
+/// Behavioural profile of a resolver implementation's cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SoftwareProfile {
+    /// BIND-like: positive cap 1 week (`max-cache-ttl`), negative cap 3 h
+    /// (`max-ncache-ttl`).
+    BindLike,
+    /// Unbound-like: positive cap 1 day (`cache-max-ttl`), negative cap
+    /// 1 h (`cache-max-negative-ttl`).
+    UnboundLike,
+    /// Windows-DNS-like: positive cap 1 day (`MaxCacheTtl`), negative cap
+    /// 15 min (`MaxNegativeCacheTtl`).
+    MsdnsLike,
+    /// Dnsmasq-like forwarder cache: no TTL caps of its own, but a very
+    /// small fixed-size cache (150 entries by default).
+    DnsmasqLike,
+}
+
+impl SoftwareProfile {
+    /// All profiles, for sweeps.
+    pub fn all() -> [SoftwareProfile; 4] {
+        [
+            SoftwareProfile::BindLike,
+            SoftwareProfile::UnboundLike,
+            SoftwareProfile::MsdnsLike,
+            SoftwareProfile::DnsmasqLike,
+        ]
+    }
+
+    /// The positive-TTL cap this profile enforces.
+    pub fn positive_cap(self) -> Ttl {
+        match self {
+            SoftwareProfile::BindLike => Ttl::from_secs(604_800),
+            SoftwareProfile::UnboundLike | SoftwareProfile::MsdnsLike => Ttl::from_secs(86_400),
+            SoftwareProfile::DnsmasqLike => Ttl::from_secs(u32::MAX),
+        }
+    }
+
+    /// The negative-TTL cap this profile enforces.
+    pub fn negative_cap(self) -> Ttl {
+        match self {
+            SoftwareProfile::BindLike => Ttl::from_secs(10_800),
+            SoftwareProfile::UnboundLike => Ttl::from_secs(3_600),
+            SoftwareProfile::MsdnsLike => Ttl::from_secs(900),
+            SoftwareProfile::DnsmasqLike => Ttl::from_secs(u32::MAX),
+        }
+    }
+
+    /// A cache configuration realising this profile.
+    pub fn cache_config(self) -> CacheConfig {
+        CacheConfig {
+            capacity: match self {
+                SoftwareProfile::DnsmasqLike => 150,
+                _ => 100_000,
+            },
+            min_ttl: Ttl::ZERO,
+            max_ttl: self.positive_cap(),
+            negative_caching: true,
+            negative_max_ttl: self.negative_cap(),
+            policy: EvictionPolicy::Lru,
+        }
+    }
+}
+
+impl std::fmt::Display for SoftwareProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SoftwareProfile::BindLike => write!(f, "bind-like"),
+            SoftwareProfile::UnboundLike => write!(f, "unbound-like"),
+            SoftwareProfile::MsdnsLike => write!(f, "msdns-like"),
+            SoftwareProfile::DnsmasqLike => write!(f, "dnsmasq-like"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{CacheLookup, DnsCache, NegativeKind};
+    use cde_dns::{Name, RData, Record, RecordType};
+    use cde_netsim::{SimDuration, SimTime};
+    use std::net::Ipv4Addr;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn profiles_have_distinct_cap_pairs() {
+        let mut pairs: Vec<(u32, u32)> = SoftwareProfile::all()
+            .iter()
+            .map(|p| (p.positive_cap().as_secs(), p.negative_cap().as_secs()))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), 4, "cap pairs must identify the profile");
+    }
+
+    #[test]
+    fn bind_like_keeps_records_a_week() {
+        let mut cache = DnsCache::new(1, SoftwareProfile::BindLike.cache_config());
+        let name: Name = "long.cache.example".parse().unwrap();
+        let rr = Record::new(
+            name.clone(),
+            Ttl::from_secs(30 * 86_400),
+            RData::A(Ipv4Addr::new(1, 2, 3, 4)),
+        );
+        cache.insert(name.clone(), RecordType::A, vec![rr], t(0));
+        assert!(cache.lookup(&name, RecordType::A, t(604_799)).is_hit());
+        assert_eq!(cache.lookup(&name, RecordType::A, t(604_800)), CacheLookup::Miss);
+    }
+
+    #[test]
+    fn unbound_like_caps_at_a_day() {
+        let mut cache = DnsCache::new(1, SoftwareProfile::UnboundLike.cache_config());
+        let name: Name = "long.cache.example".parse().unwrap();
+        let rr = Record::new(
+            name.clone(),
+            Ttl::from_secs(30 * 86_400),
+            RData::A(Ipv4Addr::new(1, 2, 3, 4)),
+        );
+        cache.insert(name.clone(), RecordType::A, vec![rr], t(0));
+        assert!(cache.lookup(&name, RecordType::A, t(86_399)).is_hit());
+        assert_eq!(cache.lookup(&name, RecordType::A, t(86_400)), CacheLookup::Miss);
+    }
+
+    #[test]
+    fn msdns_like_negative_cap_is_15_minutes() {
+        let mut cache = DnsCache::new(1, SoftwareProfile::MsdnsLike.cache_config());
+        let name: Name = "missing.cache.example".parse().unwrap();
+        cache.insert_negative(
+            name.clone(),
+            RecordType::A,
+            NegativeKind::NxDomain,
+            Ttl::from_secs(86_400),
+            t(0),
+        );
+        assert!(cache.lookup(&name, RecordType::A, t(899)).is_hit());
+        assert_eq!(cache.lookup(&name, RecordType::A, t(900)), CacheLookup::Miss);
+    }
+
+    #[test]
+    fn dnsmasq_like_has_tiny_capacity_but_no_caps() {
+        let config = SoftwareProfile::DnsmasqLike.cache_config();
+        assert_eq!(config.capacity, 150);
+        let mut cache = DnsCache::new(1, config);
+        let name: Name = "long.cache.example".parse().unwrap();
+        let rr = Record::new(
+            name.clone(),
+            Ttl::from_secs(30 * 86_400),
+            RData::A(Ipv4Addr::new(1, 2, 3, 4)),
+        );
+        cache.insert(name.clone(), RecordType::A, vec![rr], t(0));
+        assert!(cache.lookup(&name, RecordType::A, t(29 * 86_400)).is_hit());
+    }
+}

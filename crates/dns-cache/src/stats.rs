@@ -1,0 +1,67 @@
+//! Cache statistics counters.
+
+/// Counters describing cache behaviour over its lifetime.
+///
+/// # Examples
+///
+/// ```
+/// use cde_cache::CacheStats;
+///
+/// let stats = CacheStats::default();
+/// assert_eq!(stats.hit_rate(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Lookups that found an entry whose TTL had expired.
+    pub expirations: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Hits served from negative entries (NXDOMAIN/NODATA).
+    pub negative_hits: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (hits including negative
+    /// hits over all lookups); `0.0` when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.expirations;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses + self.expirations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero_lookups() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_counts_expirations_as_misses() {
+        let stats = CacheStats {
+            hits: 3,
+            misses: 1,
+            expirations: 2,
+            ..CacheStats::default()
+        };
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(stats.lookups(), 6);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for cache invariants.
+
+use cde_cache::{CacheConfig, CacheLookup, DnsCache, EvictionPolicy};
+use cde_dns::{Name, RData, Record, RecordType, Ttl};
+use cde_netsim::{SimDuration, SimTime};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn t(secs: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(secs)
+}
+
+fn key_name(i: u8) -> Name {
+    format!("k{i}.cache.example").parse().unwrap()
+}
+
+fn a_rec(name: &Name, ttl: u32) -> Record {
+    Record::new(
+        name.clone(),
+        Ttl::from_secs(ttl),
+        RData::A(Ipv4Addr::new(10, 0, 0, 1)),
+    )
+}
+
+/// One scripted operation against the cache.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { key: u8, ttl: u32 },
+    Lookup { key: u8 },
+    AdvanceSecs(u64),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..24, 1u32..600).prop_map(|(key, ttl)| Op::Insert { key, ttl }),
+        (0u8..24).prop_map(|key| Op::Lookup { key }),
+        (0u64..120).prop_map(Op::AdvanceSecs),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The cache never exceeds its capacity, regardless of workload.
+    #[test]
+    fn capacity_is_never_exceeded(
+        ops in proptest::collection::vec(op(), 1..200),
+        capacity in 1usize..8,
+        policy_idx in 0usize..4,
+    ) {
+        let mut cache = DnsCache::new(
+            0,
+            CacheConfig {
+                capacity,
+                policy: EvictionPolicy::all()[policy_idx],
+                ..CacheConfig::default()
+            },
+        );
+        let mut now = 0u64;
+        for op in ops {
+            match op {
+                Op::Insert { key, ttl } => {
+                    let name = key_name(key);
+                    let rec = a_rec(&name, ttl);
+                    cache.insert(name, RecordType::A, vec![rec], t(now));
+                }
+                Op::Lookup { key } => {
+                    let _ = cache.lookup(&key_name(key), RecordType::A, t(now));
+                }
+                Op::AdvanceSecs(s) => now += s,
+            }
+            prop_assert!(cache.len() <= capacity);
+        }
+    }
+
+    /// A hit within the TTL returns a decayed TTL no larger than the
+    /// inserted one, and a lookup after expiry always misses.
+    #[test]
+    fn ttl_decay_and_expiry(ttl in 1u32..1000, wait in 0u64..2000) {
+        let mut cache = DnsCache::with_defaults(0);
+        let name = key_name(0);
+        cache.insert(name.clone(), RecordType::A, vec![a_rec(&name, ttl)], t(0));
+        match cache.lookup(&name, RecordType::A, t(wait)) {
+            CacheLookup::Hit(rrs) => {
+                prop_assert!(wait < ttl as u64);
+                prop_assert_eq!(rrs[0].ttl(), Ttl::from_secs(ttl - wait as u32));
+            }
+            CacheLookup::Miss => prop_assert!(wait >= ttl as u64),
+            CacheLookup::NegativeHit(_) => prop_assert!(false, "no negative entries inserted"),
+        }
+    }
+
+    /// Clamped TTLs always land inside the configured window.
+    #[test]
+    fn clamp_window_respected(ttl in 0u32..100_000, lo in 1u32..100, hi in 100u32..10_000) {
+        let mut cache = DnsCache::new(
+            0,
+            CacheConfig {
+                min_ttl: Ttl::from_secs(lo),
+                max_ttl: Ttl::from_secs(hi),
+                ..CacheConfig::default()
+            },
+        );
+        let name = key_name(0);
+        cache.insert(name.clone(), RecordType::A, vec![a_rec(&name, ttl)], t(0));
+        // Entry must be alive until at least `lo` and at most `hi`.
+        prop_assert!(cache.contains_fresh(&name, RecordType::A, t(lo as u64 - 1)));
+        prop_assert!(!cache.contains_fresh(&name, RecordType::A, t(hi as u64)));
+    }
+
+    /// Two caches with the same id and workload behave identically
+    /// (determinism of the whole structure, including random eviction).
+    #[test]
+    fn caches_are_deterministic(ops in proptest::collection::vec(op(), 1..150)) {
+        let run = |ops: &[Op]| {
+            let mut cache = DnsCache::new(
+                9,
+                CacheConfig {
+                    capacity: 4,
+                    policy: EvictionPolicy::Random,
+                    ..CacheConfig::default()
+                },
+            );
+            let mut now = 0u64;
+            let mut log = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Insert { key, ttl } => {
+                        let name = key_name(*key);
+                        let rec = a_rec(&name, *ttl);
+                        cache.insert(name, RecordType::A, vec![rec], t(now));
+                    }
+                    Op::Lookup { key } => {
+                        log.push(cache.lookup(&key_name(*key), RecordType::A, t(now)).is_hit());
+                    }
+                    Op::AdvanceSecs(s) => now += s,
+                }
+            }
+            (log, cache.stats())
+        };
+        prop_assert_eq!(run(&ops), run(&ops));
+    }
+}

@@ -1,0 +1,173 @@
+//! EDNS(0) — the OPT pseudo-record, RFC 6891.
+//!
+//! The paper (§II-C) lists "adoption of new mechanisms for DNS, such as
+//! the transport layer EDNS mechanism" among the studies its tools
+//! enable: which resolver software speaks EDNS is visible in the queries
+//! arriving at the CDE nameservers. This module encodes and decodes the
+//! OPT pseudo-record so platforms can advertise EDNS and measurements can
+//! detect it.
+
+use crate::message::Message;
+use crate::name::Name;
+use crate::rr::{RData, Record, RecordType, Ttl};
+
+/// Default advertised UDP payload size for EDNS speakers.
+pub const DEFAULT_UDP_PAYLOAD: u16 = 4096;
+
+/// Decoded EDNS parameters from an OPT pseudo-record.
+///
+/// # Examples
+///
+/// ```
+/// use cde_dns::edns::Edns;
+///
+/// let edns = Edns::new(4096);
+/// let record = edns.to_record();
+/// assert_eq!(Edns::from_record(&record), Some(edns));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edns {
+    /// Sender's maximum UDP payload size (carried in the CLASS field).
+    pub udp_payload: u16,
+    /// Extended RCODE high bits (TTL byte 0).
+    pub extended_rcode: u8,
+    /// EDNS version (TTL byte 1); only version 0 exists.
+    pub version: u8,
+    /// DNSSEC-OK bit (TTL bit 15 of the low half).
+    pub dnssec_ok: bool,
+}
+
+impl Edns {
+    /// Version-0 EDNS with the given payload size and no flags.
+    pub fn new(udp_payload: u16) -> Edns {
+        Edns {
+            udp_payload,
+            extended_rcode: 0,
+            version: 0,
+            dnssec_ok: false,
+        }
+    }
+
+    /// Packs into an OPT pseudo-record (owner is the root, RFC 6891 §6.1).
+    pub fn to_record(self) -> Record {
+        let ttl = (self.extended_rcode as u32) << 24
+            | (self.version as u32) << 16
+            | if self.dnssec_ok { 0x8000 } else { 0 };
+        Record::new_with_class(
+            Name::root(),
+            crate::rr::RecordClass::Other(self.udp_payload),
+            Ttl::from_secs(ttl),
+            RData::Opaque {
+                rtype: RecordType::Opt.to_u16(),
+                data: Vec::new(),
+            },
+        )
+    }
+
+    /// Unpacks from an OPT pseudo-record; `None` when `record` is not OPT.
+    pub fn from_record(record: &Record) -> Option<Edns> {
+        if record.rtype() != RecordType::Opt {
+            return None;
+        }
+        let ttl = record.ttl().as_secs();
+        Some(Edns {
+            udp_payload: record.class().to_u16(),
+            extended_rcode: (ttl >> 24) as u8,
+            version: (ttl >> 16) as u8,
+            dnssec_ok: ttl & 0x8000 != 0,
+        })
+    }
+}
+
+impl Default for Edns {
+    fn default() -> Edns {
+        Edns::new(DEFAULT_UDP_PAYLOAD)
+    }
+}
+
+/// Message-level EDNS helpers.
+pub trait EdnsMessage {
+    /// Appends an OPT pseudo-record to the additional section.
+    fn set_edns(&mut self, edns: Edns);
+
+    /// The message's EDNS parameters, when an OPT record is present.
+    fn edns(&self) -> Option<Edns>;
+}
+
+impl EdnsMessage for Message {
+    fn set_edns(&mut self, edns: Edns) {
+        // At most one OPT per message (RFC 6891 §6.1.1).
+        self.additionals.retain(|r| r.rtype() != RecordType::Opt);
+        self.additionals.push(edns.to_record());
+    }
+
+    fn edns(&self) -> Option<Edns> {
+        self.additionals.iter().find_map(Edns::from_record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Question;
+
+    #[test]
+    fn record_roundtrip_preserves_fields() {
+        let edns = Edns {
+            udp_payload: 1232,
+            extended_rcode: 1,
+            version: 0,
+            dnssec_ok: true,
+        };
+        assert_eq!(Edns::from_record(&edns.to_record()), Some(edns));
+    }
+
+    #[test]
+    fn non_opt_record_yields_none() {
+        let rr = Record::new(
+            "a.b".parse().unwrap(),
+            Ttl::from_secs(60),
+            RData::A(std::net::Ipv4Addr::new(1, 2, 3, 4)),
+        );
+        assert_eq!(Edns::from_record(&rr), None);
+    }
+
+    #[test]
+    fn message_edns_roundtrip_through_wire() {
+        let mut q = Message::query(
+            9,
+            Question::new("name.cache.example".parse().unwrap(), RecordType::A),
+        );
+        q.set_edns(Edns::new(4096));
+        let bytes = q.encode().unwrap();
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(back.edns(), Some(Edns::new(4096)));
+    }
+
+    #[test]
+    fn set_edns_replaces_existing_opt() {
+        let mut q = Message::query(
+            9,
+            Question::new("a.b".parse().unwrap(), RecordType::A),
+        );
+        q.set_edns(Edns::new(512));
+        q.set_edns(Edns::new(4096));
+        assert_eq!(
+            q.additionals
+                .iter()
+                .filter(|r| r.rtype() == RecordType::Opt)
+                .count(),
+            1
+        );
+        assert_eq!(q.edns().unwrap().udp_payload, 4096);
+    }
+
+    #[test]
+    fn message_without_opt_has_no_edns() {
+        let q = Message::query(
+            9,
+            Question::new("a.b".parse().unwrap(), RecordType::A),
+        );
+        assert_eq!(q.edns(), None);
+    }
+}

@@ -1,0 +1,194 @@
+//! Error types for the DNS substrate.
+
+use std::fmt;
+
+/// Errors produced while parsing or constructing [domain names](crate::name::Name).
+///
+/// # Examples
+///
+/// ```
+/// use cde_dns::{Name, NameError};
+///
+/// let err = "a..b".parse::<Name>().unwrap_err();
+/// assert_eq!(err, NameError::EmptyLabel);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NameError {
+    /// A label exceeded 63 octets.
+    LabelTooLong,
+    /// The name as a whole exceeded 255 octets in wire form.
+    NameTooLong,
+    /// An interior label was empty (e.g. `a..b`).
+    EmptyLabel,
+    /// A label contained a byte outside the supported hostname alphabet.
+    InvalidCharacter(u8),
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::LabelTooLong => write!(f, "label exceeds 63 octets"),
+            NameError::NameTooLong => write!(f, "name exceeds 255 octets"),
+            NameError::EmptyLabel => write!(f, "empty interior label"),
+            NameError::InvalidCharacter(b) => {
+                write!(f, "invalid character {b:#04x} in domain name label")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+/// Errors produced while encoding or decoding DNS wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the structure was complete.
+    UnexpectedEof,
+    /// A compression pointer referenced a later offset or formed a loop.
+    BadCompressionPointer(usize),
+    /// A label length byte used the reserved `0b10`/`0b01` prefixes.
+    BadLabelType(u8),
+    /// An embedded name was invalid.
+    Name(NameError),
+    /// A record's RDLENGTH disagreed with the parsed RDATA size.
+    RdataLengthMismatch {
+        /// RDLENGTH value from the wire.
+        declared: usize,
+        /// Size actually consumed while parsing the RDATA.
+        actual: usize,
+    },
+    /// Unknown or unsupported record type encountered where a concrete type
+    /// was required.
+    UnsupportedType(u16),
+    /// A character-string (e.g. in TXT) exceeded 255 octets.
+    CharacterStringTooLong,
+    /// The message exceeded the 64 KiB UDP/TCP envelope.
+    MessageTooLong,
+    /// Trailing bytes remained after the declared record counts were parsed.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof => write!(f, "unexpected end of wire data"),
+            WireError::BadCompressionPointer(off) => {
+                write!(f, "invalid compression pointer to offset {off}")
+            }
+            WireError::BadLabelType(b) => write!(f, "reserved label type bits {b:#04x}"),
+            WireError::Name(e) => write!(f, "invalid name in wire data: {e}"),
+            WireError::RdataLengthMismatch { declared, actual } => write!(
+                f,
+                "rdata length mismatch: declared {declared}, parsed {actual}"
+            ),
+            WireError::UnsupportedType(t) => write!(f, "unsupported record type {t}"),
+            WireError::CharacterStringTooLong => {
+                write!(f, "character string exceeds 255 octets")
+            }
+            WireError::MessageTooLong => write!(f, "message exceeds 65535 octets"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Name(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NameError> for WireError {
+    fn from(e: NameError) -> Self {
+        WireError::Name(e)
+    }
+}
+
+/// Errors produced while assembling or querying zones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZoneError {
+    /// The record's owner name is not at or below the zone apex.
+    OutOfZone {
+        /// Offending owner name.
+        name: String,
+        /// Apex of the zone that rejected it.
+        apex: String,
+    },
+    /// A CNAME was added alongside other data at the same owner name.
+    CnameConflict(String),
+    /// The zone is missing a SOA record at its apex.
+    MissingSoa,
+    /// A delegation (NS at a non-apex name) conflicts with authoritative data.
+    DelegationConflict(String),
+}
+
+impl fmt::Display for ZoneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZoneError::OutOfZone { name, apex } => {
+                write!(f, "record {name} is outside zone {apex}")
+            }
+            ZoneError::CnameConflict(n) => {
+                write!(f, "CNAME at {n} conflicts with other data")
+            }
+            ZoneError::MissingSoa => write!(f, "zone lacks a SOA record at its apex"),
+            ZoneError::DelegationConflict(n) => {
+                write!(f, "delegation at {n} conflicts with authoritative data")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ZoneError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_error_display_is_lowercase_and_terse() {
+        let msgs = [
+            NameError::LabelTooLong.to_string(),
+            NameError::NameTooLong.to_string(),
+            NameError::EmptyLabel.to_string(),
+            NameError::InvalidCharacter(0xff).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'));
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn wire_error_source_chains_name_error() {
+        use std::error::Error as _;
+        let e = WireError::from(NameError::EmptyLabel);
+        assert!(e.source().is_some());
+        assert_eq!(
+            e.source().unwrap().to_string(),
+            NameError::EmptyLabel.to_string()
+        );
+    }
+
+    #[test]
+    fn zone_error_display_mentions_offender() {
+        let e = ZoneError::OutOfZone {
+            name: "a.other.example".into(),
+            apex: "cache.example".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("a.other.example"));
+        assert!(s.contains("cache.example"));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NameError>();
+        assert_send_sync::<WireError>();
+        assert_send_sync::<ZoneError>();
+    }
+}

@@ -1,0 +1,569 @@
+//! Master-file (zone file) parsing, RFC 1035 §5.
+//!
+//! The paper specifies its measurement zones as master-file fragments
+//! (§IV-B2):
+//!
+//! ```text
+//! $ORIGIN cache.example.
+//! x-1   3600 IN CNAME name.cache.example.
+//! name  3600 IN A     198.51.100.4
+//! sub        IN NS    ns.sub.cache.example.
+//! ```
+//!
+//! This module parses that dialect — `$ORIGIN`/`$TTL` directives,
+//! comments, relative and absolute names, `@` for the origin — into a
+//! [`Zone`]. It intentionally omits multi-line parentheses and `$INCLUDE`
+//! (not needed by any fragment in the paper).
+
+use crate::error::{NameError, ZoneError};
+use crate::name::Name;
+use crate::rr::{RData, Record, Soa, Ttl};
+use crate::zone::Zone;
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Errors produced while parsing a master file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MasterError {
+    /// A record line appeared before any `$ORIGIN` and used a relative name.
+    MissingOrigin {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A line could not be tokenised into owner/TTL/class/type/rdata.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// An invalid domain name.
+    Name {
+        /// 1-based line number.
+        line: usize,
+        /// Underlying name error.
+        source: NameError,
+    },
+    /// The assembled record violated zone invariants.
+    Zone {
+        /// 1-based line number.
+        line: usize,
+        /// Underlying zone error.
+        source: ZoneError,
+    },
+}
+
+impl fmt::Display for MasterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MasterError::MissingOrigin { line } => {
+                write!(f, "line {line}: relative name before any $ORIGIN")
+            }
+            MasterError::Malformed { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+            MasterError::Name { line, source } => {
+                write!(f, "line {line}: {source}")
+            }
+            MasterError::Zone { line, source } => {
+                write!(f, "line {line}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MasterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MasterError::Name { source, .. } => Some(source),
+            MasterError::Zone { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Parses master-file `text` into a zone.
+///
+/// The zone apex is the first `$ORIGIN`; `origin` provides it when the
+/// text has none (pass `None` to require an in-file `$ORIGIN`).
+///
+/// # Errors
+///
+/// Returns [`MasterError`] on syntax errors, invalid names, or records
+/// that violate zone invariants (out-of-zone owner, CNAME conflicts).
+///
+/// # Examples
+///
+/// ```
+/// use cde_dns::master::parse_zone;
+/// use cde_dns::RecordType;
+/// use cde_dns::zone::LookupResult;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let zone = parse_zone(
+///     "$ORIGIN cache.example.\n\
+///      $TTL 3600\n\
+///      name      IN A     198.51.100.4\n\
+///      x-1       IN CNAME name.cache.example.\n",
+///     None,
+/// )?;
+/// assert!(matches!(
+///     zone.lookup(&"name.cache.example".parse()?, RecordType::A),
+///     LookupResult::Answer(_)
+/// ));
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_zone(text: &str, origin: Option<Name>) -> Result<Zone, MasterError> {
+    let mut origin = origin;
+    let mut default_ttl = Ttl::from_secs(3600);
+    let mut zone: Option<Zone> = None;
+    let mut last_owner: Option<Name> = None;
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw_line);
+        if line.trim().is_empty() {
+            continue;
+        }
+        // The owner field is omitted when the line starts with whitespace.
+        let owner_omitted = line.starts_with(|c: char| c.is_whitespace());
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+
+        if tokens[0] == "$ORIGIN" {
+            let name = parse_name(tokens.get(1).copied(), &origin, line_no)?;
+            if zone.is_none() {
+                zone = Some(Zone::new(name.clone()));
+            }
+            origin = Some(name);
+            continue;
+        }
+        if tokens[0] == "$TTL" {
+            let secs: u32 = tokens
+                .get(1)
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| MasterError::Malformed {
+                    line: line_no,
+                    reason: "$TTL needs a numeric argument".into(),
+                })?;
+            default_ttl = Ttl::from_secs(secs);
+            continue;
+        }
+
+        let mut rest = &tokens[..];
+        let owner = if owner_omitted {
+            last_owner.clone().ok_or_else(|| MasterError::Malformed {
+                line: line_no,
+                reason: "owner omitted with no previous owner".into(),
+            })?
+        } else {
+            let owner = parse_owner(tokens[0], &origin, line_no)?;
+            rest = &tokens[1..];
+            owner
+        };
+        last_owner = Some(owner.clone());
+
+        // Optional TTL and class, in either order.
+        let mut ttl = default_ttl;
+        let mut i = 0;
+        for _ in 0..2 {
+            match rest.get(i) {
+                Some(tok) if tok.chars().all(|c| c.is_ascii_digit()) => {
+                    ttl = Ttl::from_secs(tok.parse().map_err(|_| MasterError::Malformed {
+                        line: line_no,
+                        reason: "ttl out of range".into(),
+                    })?);
+                    i += 1;
+                }
+                Some(&"IN") => i += 1,
+                _ => {}
+            }
+        }
+        let Some(type_tok) = rest.get(i) else {
+            return Err(MasterError::Malformed {
+                line: line_no,
+                reason: "missing record type".into(),
+            });
+        };
+        let rdata_tokens = &rest[i + 1..];
+        let rdata = parse_rdata(type_tok, rdata_tokens, &origin, line_no)?;
+
+        let zone_ref = zone.get_or_insert_with(|| {
+            Zone::new(origin.clone().unwrap_or_else(Name::root))
+        });
+        zone_ref
+            .add(Record::new(owner, ttl, rdata))
+            .map_err(|source| MasterError::Zone {
+                line: line_no,
+                source,
+            })?;
+    }
+
+    zone.ok_or(MasterError::MissingOrigin { line: 0 })
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find(';') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn parse_owner(tok: &str, origin: &Option<Name>, line: usize) -> Result<Name, MasterError> {
+    if tok == "@" {
+        return origin.clone().ok_or(MasterError::MissingOrigin { line });
+    }
+    parse_name(Some(tok), origin, line)
+}
+
+fn parse_name(
+    tok: Option<&str>,
+    origin: &Option<Name>,
+    line: usize,
+) -> Result<Name, MasterError> {
+    let tok = tok.ok_or_else(|| MasterError::Malformed {
+        line,
+        reason: "missing name".into(),
+    })?;
+    if tok == "@" {
+        return origin.clone().ok_or(MasterError::MissingOrigin { line });
+    }
+    if let Some(absolute) = tok.strip_suffix('.') {
+        return absolute.parse().map_err(|source| MasterError::Name { line, source });
+    }
+    // Relative name: append the origin.
+    let origin = origin.clone().ok_or(MasterError::MissingOrigin { line })?;
+    let rel: Name = tok.parse().map_err(|source| MasterError::Name { line, source })?;
+    rel.concat(&origin)
+        .map_err(|source| MasterError::Name { line, source })
+}
+
+fn parse_rdata(
+    rtype: &str,
+    tokens: &[&str],
+    origin: &Option<Name>,
+    line: usize,
+) -> Result<RData, MasterError> {
+    let need = |n: usize| -> Result<(), MasterError> {
+        if tokens.len() < n {
+            Err(MasterError::Malformed {
+                line,
+                reason: format!("{rtype} rdata needs {n} fields, got {}", tokens.len()),
+            })
+        } else {
+            Ok(())
+        }
+    };
+    match rtype {
+        "A" => {
+            need(1)?;
+            let ip: Ipv4Addr = tokens[0].parse().map_err(|_| MasterError::Malformed {
+                line,
+                reason: format!("bad IPv4 address {}", tokens[0]),
+            })?;
+            Ok(RData::A(ip))
+        }
+        "AAAA" => {
+            need(1)?;
+            let ip: Ipv6Addr = tokens[0].parse().map_err(|_| MasterError::Malformed {
+                line,
+                reason: format!("bad IPv6 address {}", tokens[0]),
+            })?;
+            Ok(RData::Aaaa(ip))
+        }
+        "NS" => {
+            need(1)?;
+            Ok(RData::Ns(parse_name(Some(tokens[0]), origin, line)?))
+        }
+        "CNAME" => {
+            need(1)?;
+            Ok(RData::Cname(parse_name(Some(tokens[0]), origin, line)?))
+        }
+        "PTR" => {
+            need(1)?;
+            Ok(RData::Ptr(parse_name(Some(tokens[0]), origin, line)?))
+        }
+        "MX" => {
+            need(2)?;
+            let preference = tokens[0].parse().map_err(|_| MasterError::Malformed {
+                line,
+                reason: "bad MX preference".into(),
+            })?;
+            Ok(RData::Mx {
+                preference,
+                exchange: parse_name(Some(tokens[1]), origin, line)?,
+            })
+        }
+        "TXT" | "SPF" => {
+            need(1)?;
+            let strings: Vec<Vec<u8>> = tokens
+                .iter()
+                .map(|t| t.trim_matches('"').as_bytes().to_vec())
+                .collect();
+            Ok(if rtype == "TXT" {
+                RData::Txt(strings)
+            } else {
+                RData::Spf(strings)
+            })
+        }
+        "SOA" => {
+            need(7)?;
+            let num = |i: usize| -> Result<u32, MasterError> {
+                tokens[i].parse().map_err(|_| MasterError::Malformed {
+                    line,
+                    reason: format!("bad SOA numeric field {}", tokens[i]),
+                })
+            };
+            Ok(RData::Soa(Soa {
+                mname: parse_name(Some(tokens[0]), origin, line)?,
+                rname: parse_name(Some(tokens[1]), origin, line)?,
+                serial: num(2)?,
+                refresh: num(3)?,
+                retry: num(4)?,
+                expire: num(5)?,
+                minimum: num(6)?,
+            }))
+        }
+        "SRV" => {
+            need(4)?;
+            let num = |i: usize| -> Result<u16, MasterError> {
+                tokens[i].parse().map_err(|_| MasterError::Malformed {
+                    line,
+                    reason: format!("bad SRV numeric field {}", tokens[i]),
+                })
+            };
+            Ok(RData::Srv {
+                priority: num(0)?,
+                weight: num(1)?,
+                port: num(2)?,
+                target: parse_name(Some(tokens[3]), origin, line)?,
+            })
+        }
+        other => Err(MasterError::Malformed {
+            line,
+            reason: format!("unsupported record type {other}"),
+        }),
+    }
+}
+
+/// Renders `zone` back to master-file text (one record per line,
+/// absolute names). `parse_zone(render_zone(z))` reproduces `z`.
+pub fn render_zone(zone: &Zone) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("$ORIGIN {}\n", zone.apex()));
+    for record in zone.iter() {
+        out.push_str(&record.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Convenience: the paper's §IV-B2a CNAME-chain fragment for `q` aliases.
+///
+/// # Examples
+///
+/// ```
+/// use cde_dns::master::{cname_chain_fragment, parse_zone};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = cname_chain_fragment("cache.example", 3);
+/// let zone = parse_zone(&text, None)?;
+/// assert_eq!(zone.record_count(), 4); // 3 aliases + 1 target
+/// # Ok(())
+/// # }
+/// ```
+pub fn cname_chain_fragment(apex: &str, q: usize) -> String {
+    let mut out = format!("$ORIGIN {apex}.\n$TTL 3600\n");
+    for i in 1..=q {
+        out.push_str(&format!("x-{i} IN CNAME name.{apex}.\n"));
+    }
+    out.push_str(&format!("name IN A 198.51.100.4\n"));
+    out
+}
+
+/// Convenience: the paper's §IV-B2b names-hierarchy parent fragment.
+pub fn names_hierarchy_parent_fragment(apex: &str, sub_ns_addr: Ipv4Addr) -> String {
+    format!(
+        "$ORIGIN {apex}.\n\
+         sub IN NS ns.sub.{apex}.\n\
+         ns.sub.{apex}. IN A {sub_ns_addr}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rr::RecordType;
+    use crate::zone::LookupResult;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parses_the_papers_cname_fragment() {
+        // Verbatim structure from §IV-B2a.
+        let text = "\
+            $ORIGIN cache.example.\n\
+            x-1 IN CNAME name.cache.example.\n\
+            x-2 IN CNAME name.cache.example.\n\
+            name IN A 198.51.100.4\n";
+        let zone = parse_zone(text, None).unwrap();
+        assert_eq!(zone.apex(), &n("cache.example"));
+        match zone.lookup(&n("x-1.cache.example"), RecordType::A) {
+            LookupResult::Cname { chain, target_records } => {
+                assert_eq!(chain.len(), 1);
+                assert_eq!(target_records.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_the_papers_hierarchy_fragment() {
+        // Structure from §IV-B2b: delegation plus glue in the parent.
+        let text = "\
+            $ORIGIN cache.example.\n\
+            sub IN NS ns.sub.cache.example.\n\
+            ns.sub.cache.example. IN A 10.0.0.30\n";
+        let zone = parse_zone(text, None).unwrap();
+        assert!(matches!(
+            zone.lookup(&n("x-1.sub.cache.example"), RecordType::A),
+            LookupResult::Referral { .. }
+        ));
+    }
+
+    #[test]
+    fn relative_and_absolute_names_mix() {
+        let text = "\
+            $ORIGIN cache.example.\n\
+            www IN A 192.0.2.1\n\
+            mail.cache.example. IN A 192.0.2.2\n";
+        let zone = parse_zone(text, None).unwrap();
+        assert!(matches!(zone.lookup(&n("www.cache.example"), RecordType::A), LookupResult::Answer(_)));
+        assert!(matches!(zone.lookup(&n("mail.cache.example"), RecordType::A), LookupResult::Answer(_)));
+    }
+
+    #[test]
+    fn at_sign_denotes_origin() {
+        let text = "\
+            $ORIGIN cache.example.\n\
+            @ IN NS ns1\n\
+            ns1 IN A 192.0.2.53\n";
+        let zone = parse_zone(text, None).unwrap();
+        assert_eq!(zone.records_at(&n("cache.example"), RecordType::Ns).len(), 1);
+    }
+
+    #[test]
+    fn ttl_and_class_in_any_order() {
+        let text = "\
+            $ORIGIN e.\n\
+            a 60 IN A 1.1.1.1\n\
+            b IN 90 A 2.2.2.2\n\
+            c A 3.3.3.3\n";
+        let zone = parse_zone(text, None).unwrap();
+        assert_eq!(zone.records_at(&n("a.e"), RecordType::A)[0].ttl(), Ttl::from_secs(60));
+        assert_eq!(zone.records_at(&n("b.e"), RecordType::A)[0].ttl(), Ttl::from_secs(90));
+        assert_eq!(zone.records_at(&n("c.e"), RecordType::A)[0].ttl(), Ttl::from_secs(3600));
+    }
+
+    #[test]
+    fn dollar_ttl_sets_default() {
+        let text = "$ORIGIN e.\n$TTL 120\nx IN A 1.2.3.4\n";
+        let zone = parse_zone(text, None).unwrap();
+        assert_eq!(zone.records_at(&n("x.e"), RecordType::A)[0].ttl(), Ttl::from_secs(120));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\
+            ;zone fragment for cache.example\n\
+            $ORIGIN cache.example.\n\
+            \n\
+            name IN A 1.2.3.4 ; the honey record\n";
+        let zone = parse_zone(text, None).unwrap();
+        assert_eq!(zone.record_count(), 1);
+    }
+
+    #[test]
+    fn omitted_owner_repeats_previous() {
+        let text = "\
+            $ORIGIN e.\n\
+            multi IN A 1.1.1.1\n\
+            \x20     IN A 2.2.2.2\n";
+        let zone = parse_zone(text, None).unwrap();
+        assert_eq!(zone.records_at(&n("multi.e"), RecordType::A).len(), 2);
+    }
+
+    #[test]
+    fn soa_mx_txt_srv_parse() {
+        let text = "\
+            $ORIGIN e.\n\
+            @ IN SOA ns1.e. hostmaster.e. 2017010101 7200 3600 1209600 300\n\
+            @ IN MX 10 mail.e.\n\
+            @ IN TXT \"v=spf1_-all\"\n\
+            _dns._udp IN SRV 0 5 53 ns1.e.\n";
+        let zone = parse_zone(text, None).unwrap();
+        assert!(zone.soa().is_some());
+        assert_eq!(zone.records_at(&n("e"), RecordType::Mx).len(), 1);
+        assert_eq!(zone.records_at(&n("e"), RecordType::Txt).len(), 1);
+        assert_eq!(zone.records_at(&n("_dns._udp.e"), RecordType::Srv).len(), 1);
+    }
+
+    #[test]
+    fn relative_name_without_origin_fails() {
+        let err = parse_zone("www IN A 1.2.3.4\n", None).unwrap_err();
+        assert!(matches!(err, MasterError::MissingOrigin { .. }));
+    }
+
+    #[test]
+    fn explicit_origin_argument_works() {
+        let zone = parse_zone("www IN A 1.2.3.4\n", Some(n("cache.example"))).unwrap();
+        assert!(matches!(
+            zone.lookup(&n("www.cache.example"), RecordType::A),
+            LookupResult::Answer(_)
+        ));
+    }
+
+    #[test]
+    fn bad_ip_reports_line_number() {
+        let err = parse_zone("$ORIGIN e.\nx IN A not-an-ip\n", None).unwrap_err();
+        match err {
+            MasterError::Malformed { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_type_rejected() {
+        let err = parse_zone("$ORIGIN e.\nx IN NAPTR whatever\n", None).unwrap_err();
+        assert!(matches!(err, MasterError::Malformed { .. }));
+    }
+
+    #[test]
+    fn cname_conflict_surfaces_zone_error() {
+        let text = "$ORIGIN e.\nd IN A 1.1.1.1\nd IN CNAME x.e.\n";
+        let err = parse_zone(text, None).unwrap_err();
+        assert!(matches!(err, MasterError::Zone { line: 3, .. }));
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let text = cname_chain_fragment("cache.example", 4);
+        let zone = parse_zone(&text, None).unwrap();
+        let rendered = render_zone(&zone);
+        let back = parse_zone(&rendered, None).unwrap();
+        assert_eq!(back.record_count(), zone.record_count());
+        assert_eq!(back.apex(), zone.apex());
+    }
+
+    #[test]
+    fn hierarchy_fragment_helper_parses() {
+        let text = names_hierarchy_parent_fragment("cache.example", Ipv4Addr::new(10, 0, 0, 30));
+        let zone = parse_zone(&text, None).unwrap();
+        assert!(matches!(
+            zone.lookup(&n("q.sub.cache.example"), RecordType::A),
+            LookupResult::Referral { .. }
+        ));
+    }
+}

@@ -1,0 +1,529 @@
+//! DNS messages: header, questions and full encode/decode.
+
+use crate::error::WireError;
+use crate::name::Name;
+use crate::rr::{Record, RecordClass, RecordType};
+use crate::wire::{WireReader, WireWriter};
+use std::fmt;
+
+/// Operation codes (RFC 1035 §4.1.1). Only QUERY appears in the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Opcode {
+    /// Standard query.
+    #[default]
+    Query,
+    /// Inverse query (obsolete).
+    IQuery,
+    /// Server status request.
+    Status,
+    /// Any other opcode value.
+    Other(u8),
+}
+
+impl Opcode {
+    /// Numeric opcode value (4 bits).
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Opcode::Query => 0,
+            Opcode::IQuery => 1,
+            Opcode::Status => 2,
+            Opcode::Other(v) => v & 0x0F,
+        }
+    }
+
+    /// Maps the 4-bit opcode field.
+    pub fn from_u8(v: u8) -> Opcode {
+        match v & 0x0F {
+            0 => Opcode::Query,
+            1 => Opcode::IQuery,
+            2 => Opcode::Status,
+            other => Opcode::Other(other),
+        }
+    }
+}
+
+/// Response codes (RFC 1035 §4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Rcode {
+    /// No error.
+    #[default]
+    NoError,
+    /// Format error.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// Name does not exist (authoritative).
+    NxDomain,
+    /// Not implemented.
+    NotImp,
+    /// Query refused by policy.
+    Refused,
+    /// Any other rcode.
+    Other(u8),
+}
+
+impl Rcode {
+    /// Numeric rcode (4 bits).
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::Other(v) => v & 0x0F,
+        }
+    }
+
+    /// Maps the 4-bit rcode field.
+    pub fn from_u8(v: u8) -> Rcode {
+        match v & 0x0F {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            other => Rcode::Other(other),
+        }
+    }
+}
+
+/// Header flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Flags {
+    /// Response (vs query).
+    pub qr: bool,
+    /// Operation code.
+    pub opcode: Opcode,
+    /// Authoritative answer.
+    pub aa: bool,
+    /// Truncated.
+    pub tc: bool,
+    /// Recursion desired.
+    pub rd: bool,
+    /// Recursion available.
+    pub ra: bool,
+    /// Response code.
+    pub rcode: Rcode,
+}
+
+impl Flags {
+    /// Packs the flags into the header's second 16-bit word.
+    pub fn to_u16(self) -> u16 {
+        let mut v = 0u16;
+        if self.qr {
+            v |= 0x8000;
+        }
+        v |= (self.opcode.to_u8() as u16) << 11;
+        if self.aa {
+            v |= 0x0400;
+        }
+        if self.tc {
+            v |= 0x0200;
+        }
+        if self.rd {
+            v |= 0x0100;
+        }
+        if self.ra {
+            v |= 0x0080;
+        }
+        v |= self.rcode.to_u8() as u16;
+        v
+    }
+
+    /// Unpacks the header's second 16-bit word.
+    pub fn from_u16(v: u16) -> Flags {
+        Flags {
+            qr: v & 0x8000 != 0,
+            opcode: Opcode::from_u8((v >> 11) as u8),
+            aa: v & 0x0400 != 0,
+            tc: v & 0x0200 != 0,
+            rd: v & 0x0100 != 0,
+            ra: v & 0x0080 != 0,
+            rcode: Rcode::from_u8(v as u8),
+        }
+    }
+}
+
+/// A question: name, type and class.
+///
+/// # Examples
+///
+/// ```
+/// use cde_dns::{Question, RecordType};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let q = Question::new("name.cache.example".parse()?, RecordType::A);
+/// assert_eq!(q.qtype(), RecordType::A);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Question {
+    qname: Name,
+    qtype: RecordType,
+    qclass: RecordClass,
+}
+
+impl Question {
+    /// Creates an `IN`-class question.
+    pub fn new(qname: Name, qtype: RecordType) -> Question {
+        Question {
+            qname,
+            qtype,
+            qclass: RecordClass::In,
+        }
+    }
+
+    /// Queried name.
+    pub fn qname(&self) -> &Name {
+        &self.qname
+    }
+
+    /// Queried type.
+    pub fn qtype(&self) -> RecordType {
+        self.qtype
+    }
+
+    /// Queried class.
+    pub fn qclass(&self) -> RecordClass {
+        self.qclass
+    }
+
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_name(&self.qname);
+        w.put_u16(self.qtype.to_u16());
+        w.put_u16(self.qclass.to_u16());
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Question, WireError> {
+        Ok(Question {
+            qname: r.read_name()?,
+            qtype: RecordType::from_u16(r.read_u16()?),
+            qclass: RecordClass::from_u16(r.read_u16()?),
+        })
+    }
+}
+
+impl fmt::Display for Question {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.qname, self.qclass, self.qtype)
+    }
+}
+
+/// A complete DNS message.
+///
+/// # Examples
+///
+/// ```
+/// use cde_dns::{Message, Question, RecordType};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let query = Message::query(
+///     0x2b1d,
+///     Question::new("x-1.cache.example".parse()?, RecordType::A),
+/// );
+/// let bytes = query.encode()?;
+/// let back = Message::decode(&bytes)?;
+/// assert_eq!(back, query);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Transaction identifier.
+    pub id: u16,
+    /// Header flags.
+    pub flags: Flags,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<Record>,
+    /// Authority section (NS records of referrals live here).
+    pub authorities: Vec<Record>,
+    /// Additional section (glue, OPT).
+    pub additionals: Vec<Record>,
+}
+
+impl Message {
+    /// Builds a recursion-desired query with a single question.
+    pub fn query(id: u16, question: Question) -> Message {
+        Message {
+            id,
+            flags: Flags {
+                rd: true,
+                ..Flags::default()
+            },
+            questions: vec![question],
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// Builds a response skeleton echoing `query`'s id and question.
+    pub fn response_to(query: &Message) -> Message {
+        Message {
+            id: query.id,
+            flags: Flags {
+                qr: true,
+                opcode: query.flags.opcode,
+                rd: query.flags.rd,
+                ra: true,
+                ..Flags::default()
+            },
+            questions: query.questions.clone(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// First question, if any. Virtually all real traffic has exactly one.
+    pub fn question(&self) -> Option<&Question> {
+        self.questions.first()
+    }
+
+    /// `true` when this is a response.
+    pub fn is_response(&self) -> bool {
+        self.flags.qr
+    }
+
+    /// Encodes to wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::MessageTooLong`] when the encoded form exceeds
+    /// 65 535 octets.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut w = WireWriter::new();
+        w.put_u16(self.id);
+        w.put_u16(self.flags.to_u16());
+        w.put_u16(self.questions.len() as u16);
+        w.put_u16(self.answers.len() as u16);
+        w.put_u16(self.authorities.len() as u16);
+        w.put_u16(self.additionals.len() as u16);
+        for q in &self.questions {
+            q.encode(&mut w);
+        }
+        for section in [&self.answers, &self.authorities, &self.additionals] {
+            for rr in section {
+                rr.encode(&mut w)?;
+            }
+        }
+        if w.len() > u16::MAX as usize {
+            return Err(WireError::MessageTooLong);
+        }
+        Ok(w.into_bytes())
+    }
+
+    /// Decodes a full message, rejecting trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation, malformed names/records, or
+    /// trailing bytes beyond the declared section counts.
+    pub fn decode(bytes: &[u8]) -> Result<Message, WireError> {
+        let mut r = WireReader::new(bytes);
+        let id = r.read_u16()?;
+        let flags = Flags::from_u16(r.read_u16()?);
+        let qd = r.read_u16()? as usize;
+        let an = r.read_u16()? as usize;
+        let ns = r.read_u16()? as usize;
+        let ar = r.read_u16()? as usize;
+        let mut questions = Vec::with_capacity(qd);
+        for _ in 0..qd {
+            questions.push(Question::decode(&mut r)?);
+        }
+        let mut read_section = |count: usize| -> Result<Vec<Record>, WireError> {
+            let mut out = Vec::with_capacity(count);
+            for _ in 0..count {
+                out.push(Record::decode(&mut r)?);
+            }
+            Ok(out)
+        };
+        let answers = read_section(an)?;
+        let authorities = read_section(ns)?;
+        let additionals = read_section(ar)?;
+        if !r.is_at_end() {
+            return Err(WireError::TrailingBytes(r.remaining()));
+        }
+        Ok(Message {
+            id,
+            flags,
+            questions,
+            answers,
+            authorities,
+            additionals,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rr::{RData, Ttl};
+    use std::net::Ipv4Addr;
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn opcode_rcode_roundtrip() {
+        for op in [Opcode::Query, Opcode::IQuery, Opcode::Status, Opcode::Other(7)] {
+            assert_eq!(Opcode::from_u8(op.to_u8()), op);
+        }
+        for rc in [
+            Rcode::NoError,
+            Rcode::FormErr,
+            Rcode::ServFail,
+            Rcode::NxDomain,
+            Rcode::NotImp,
+            Rcode::Refused,
+            Rcode::Other(9),
+        ] {
+            assert_eq!(Rcode::from_u8(rc.to_u8()), rc);
+        }
+    }
+
+    #[test]
+    fn flags_bits_roundtrip() {
+        let f = Flags {
+            qr: true,
+            opcode: Opcode::Query,
+            aa: true,
+            tc: false,
+            rd: true,
+            ra: true,
+            rcode: Rcode::NxDomain,
+        };
+        assert_eq!(Flags::from_u16(f.to_u16()), f);
+    }
+
+    #[test]
+    fn flags_qr_bit_is_msb() {
+        let f = Flags {
+            qr: true,
+            ..Flags::default()
+        };
+        assert_eq!(f.to_u16() & 0x8000, 0x8000);
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let q = Message::query(
+            0xABCD,
+            Question::new(name("x-1.cache.example"), RecordType::A),
+        );
+        let bytes = q.encode().unwrap();
+        assert_eq!(Message::decode(&bytes).unwrap(), q);
+    }
+
+    #[test]
+    fn query_sets_rd() {
+        let q = Message::query(1, Question::new(name("a.b"), RecordType::Txt));
+        assert!(q.flags.rd);
+        assert!(!q.is_response());
+    }
+
+    #[test]
+    fn response_echoes_id_and_question() {
+        let q = Message::query(42, Question::new(name("a.b"), RecordType::Mx));
+        let mut resp = Message::response_to(&q);
+        resp.answers.push(Record::new(
+            name("a.b"),
+            Ttl::from_secs(60),
+            RData::Mx {
+                preference: 10,
+                exchange: name("mail.a.b"),
+            },
+        ));
+        assert_eq!(resp.id, 42);
+        assert!(resp.is_response());
+        assert_eq!(resp.question(), q.question());
+        let bytes = resp.encode().unwrap();
+        assert_eq!(Message::decode(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn full_message_with_all_sections_roundtrips() {
+        let q = Message::query(7, Question::new(name("w.sub.cache.example"), RecordType::A));
+        let mut resp = Message::response_to(&q);
+        resp.flags.aa = true;
+        resp.answers.push(Record::new(
+            name("w.sub.cache.example"),
+            Ttl::from_secs(30),
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        ));
+        resp.authorities.push(Record::new(
+            name("sub.cache.example"),
+            Ttl::from_secs(3600),
+            RData::Ns(name("ns.sub.cache.example")),
+        ));
+        resp.additionals.push(Record::new(
+            name("ns.sub.cache.example"),
+            Ttl::from_secs(3600),
+            RData::A(Ipv4Addr::new(192, 0, 2, 53)),
+        ));
+        let bytes = resp.encode().unwrap();
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(back.authorities.len(), 1);
+        assert_eq!(back.additionals.len(), 1);
+    }
+
+    #[test]
+    fn compression_shrinks_repeated_names() {
+        let q = Message::query(7, Question::new(name("host.cache.example"), RecordType::A));
+        let mut resp = Message::response_to(&q);
+        for i in 0..4 {
+            resp.answers.push(Record::new(
+                name("host.cache.example"),
+                Ttl::from_secs(30),
+                RData::A(Ipv4Addr::new(192, 0, 2, i)),
+            ));
+        }
+        let bytes = resp.encode().unwrap();
+        // Owner name of each answer should be a 2-byte pointer, so the
+        // whole message stays well under the uncompressed size.
+        let uncompressed = 12
+            + name("host.cache.example").wire_len() + 4
+            + 4 * (name("host.cache.example").wire_len() + 10 + 4);
+        assert!(bytes.len() < uncompressed);
+        assert_eq!(Message::decode(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let q = Message::query(1, Question::new(name("a.b"), RecordType::A));
+        let mut bytes = q.encode().unwrap();
+        bytes.push(0);
+        assert!(matches!(
+            Message::decode(&bytes).unwrap_err(),
+            WireError::TrailingBytes(1)
+        ));
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert_eq!(
+            Message::decode(&[0, 1, 2]).unwrap_err(),
+            WireError::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn section_count_overrun_rejected() {
+        let q = Message::query(1, Question::new(name("a.b"), RecordType::A));
+        let mut bytes = q.encode().unwrap();
+        // Claim one answer that is not present.
+        bytes[7] = 1;
+        assert_eq!(
+            Message::decode(&bytes).unwrap_err(),
+            WireError::UnexpectedEof
+        );
+    }
+}

@@ -1,0 +1,464 @@
+//! Domain names.
+//!
+//! [`Name`] stores a fully-qualified domain name as a sequence of labels,
+//! normalised to lowercase (DNS name comparison is case-insensitive,
+//! RFC 1034 §3.1). The root name has zero labels.
+
+use crate::error::NameError;
+use std::borrow::Borrow;
+use std::fmt;
+use std::str::FromStr;
+
+/// Maximum length of a single label in octets (RFC 1035 §2.3.4).
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum length of a name in wire form, including length octets and the
+/// terminating root label (RFC 1035 §2.3.4).
+pub const MAX_NAME_LEN: usize = 255;
+
+/// A fully-qualified, case-normalised DNS domain name.
+///
+/// # Examples
+///
+/// ```
+/// use cde_dns::Name;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let name: Name = "WWW.Cache.Example".parse()?;
+/// assert_eq!(name.to_string(), "www.cache.example.");
+/// assert_eq!(name.label_count(), 3);
+/// assert!(name.is_subdomain_of(&"cache.example".parse()?));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Name {
+    /// Labels from leftmost (most specific) to rightmost (closest to root).
+    labels: Vec<Box<[u8]>>,
+}
+
+impl Name {
+    /// The root name (zero labels).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cde_dns::Name;
+    /// assert!(Name::root().is_root());
+    /// assert_eq!(Name::root().to_string(), ".");
+    /// ```
+    pub fn root() -> Name {
+        Name { labels: Vec::new() }
+    }
+
+    /// Parses a name from its textual (dot-separated) representation.
+    ///
+    /// Accepts an optional trailing dot. The empty string and `"."` both
+    /// denote the root. Labels are normalised to ASCII lowercase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NameError`] when a label is empty or over 63 octets, when
+    /// the whole name exceeds 255 octets in wire form, or when a label
+    /// contains bytes outside `[A-Za-z0-9_-]`.
+    pub fn parse(text: &str) -> Result<Name, NameError> {
+        let trimmed = text.strip_suffix('.').unwrap_or(text);
+        if trimmed.is_empty() {
+            return Ok(Name::root());
+        }
+        let mut labels = Vec::new();
+        for raw in trimmed.split('.') {
+            labels.push(Label::validate(raw.as_bytes())?);
+        }
+        let name = Name { labels };
+        name.check_total_len()?;
+        Ok(name)
+    }
+
+    /// Builds a name from label byte strings, most-specific first.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`Name::parse`].
+    pub fn from_labels<I, L>(labels: I) -> Result<Name, NameError>
+    where
+        I: IntoIterator<Item = L>,
+        L: AsRef<[u8]>,
+    {
+        let mut out = Vec::new();
+        for l in labels {
+            out.push(Label::validate(l.as_ref())?);
+        }
+        let name = Name { labels: out };
+        name.check_total_len()?;
+        Ok(name)
+    }
+
+    fn check_total_len(&self) -> Result<(), NameError> {
+        if self.wire_len() > MAX_NAME_LEN {
+            return Err(NameError::NameTooLong);
+        }
+        Ok(())
+    }
+
+    /// Length of this name in uncompressed wire form (length octets plus the
+    /// terminating zero octet).
+    pub fn wire_len(&self) -> usize {
+        1 + self
+            .labels
+            .iter()
+            .map(|l| 1 + l.len())
+            .sum::<usize>()
+    }
+
+    /// Number of labels; the root has zero.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when this is the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Iterates over the labels, most-specific (leftmost) first.
+    pub fn labels(&self) -> impl Iterator<Item = &[u8]> + '_ {
+        self.labels.iter().map(|l| l.borrow())
+    }
+
+    /// The leftmost label, or `None` for the root.
+    pub fn first_label(&self) -> Option<&[u8]> {
+        self.labels.first().map(|l| l.borrow())
+    }
+
+    /// Returns the parent name (this name with its leftmost label removed),
+    /// or `None` for the root.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cde_dns::Name;
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let n: Name = "a.b.example".parse()?;
+    /// assert_eq!(n.parent().unwrap().to_string(), "b.example.");
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn parent(&self) -> Option<Name> {
+        if self.is_root() {
+            None
+        } else {
+            Some(Name {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+
+    /// `true` when `self` equals `other` or sits below it in the tree.
+    ///
+    /// Every name is a subdomain of the root; a name is a subdomain of
+    /// itself.
+    pub fn is_subdomain_of(&self, other: &Name) -> bool {
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        let skip = self.labels.len() - other.labels.len();
+        self.labels[skip..] == other.labels[..]
+    }
+
+    /// `true` when `self` is strictly below `other`.
+    pub fn is_strict_subdomain_of(&self, other: &Name) -> bool {
+        self.labels.len() > other.labels.len() && self.is_subdomain_of(other)
+    }
+
+    /// Prepends `label` to this name, producing a child name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NameError`] when the label is invalid or the result would
+    /// exceed the 255-octet wire limit.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cde_dns::Name;
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let apex: Name = "cache.example".parse()?;
+    /// let child = apex.prepend_label("x-1")?;
+    /// assert_eq!(child.to_string(), "x-1.cache.example.");
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn prepend_label(&self, label: impl AsRef<[u8]>) -> Result<Name, NameError> {
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(Label::validate(label.as_ref())?);
+        labels.extend(self.labels.iter().cloned());
+        let name = Name { labels };
+        name.check_total_len()?;
+        Ok(name)
+    }
+
+    /// Concatenates `self` (as the more-specific part) onto `suffix`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NameError::NameTooLong`] when the result exceeds the wire
+    /// limit.
+    pub fn concat(&self, suffix: &Name) -> Result<Name, NameError> {
+        let mut labels = Vec::with_capacity(self.labels.len() + suffix.labels.len());
+        labels.extend(self.labels.iter().cloned());
+        labels.extend(suffix.labels.iter().cloned());
+        let name = Name { labels };
+        name.check_total_len()?;
+        Ok(name)
+    }
+
+    /// Strips `suffix` from the end of this name, returning the relative
+    /// prefix as a new name, or `None` when `self` is not a subdomain of
+    /// `suffix`.
+    pub fn strip_suffix(&self, suffix: &Name) -> Option<Name> {
+        if !self.is_subdomain_of(suffix) {
+            return None;
+        }
+        let keep = self.labels.len() - suffix.labels.len();
+        Some(Name {
+            labels: self.labels[..keep].to_vec(),
+        })
+    }
+
+    /// All names from `self` up to and including the root, starting with
+    /// `self`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cde_dns::Name;
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let n: Name = "a.b".parse()?;
+    /// let chain: Vec<String> = n.ancestors().map(|a| a.to_string()).collect();
+    /// assert_eq!(chain, ["a.b.", "b.", "."]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn ancestors(&self) -> Ancestors {
+        Ancestors {
+            current: Some(self.clone()),
+        }
+    }
+}
+
+/// Iterator over a name and its ancestors up to the root.
+///
+/// Produced by [`Name::ancestors`].
+#[derive(Debug, Clone)]
+pub struct Ancestors {
+    current: Option<Name>,
+}
+
+impl Iterator for Ancestors {
+    type Item = Name;
+
+    fn next(&mut self) -> Option<Name> {
+        let out = self.current.take()?;
+        self.current = out.parent();
+        Some(out)
+    }
+}
+
+/// Label validation helper namespace.
+struct Label;
+
+impl Label {
+    /// Validates and lowercases one label.
+    fn validate(raw: &[u8]) -> Result<Box<[u8]>, NameError> {
+        if raw.is_empty() {
+            return Err(NameError::EmptyLabel);
+        }
+        if raw.len() > MAX_LABEL_LEN {
+            return Err(NameError::LabelTooLong);
+        }
+        let mut out = Vec::with_capacity(raw.len());
+        for &b in raw {
+            let ok = b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'*';
+            if !ok {
+                return Err(NameError::InvalidCharacter(b));
+            }
+            out.push(b.to_ascii_lowercase());
+        }
+        Ok(out.into_boxed_slice())
+    }
+}
+
+impl FromStr for Name {
+    type Err = NameError;
+
+    fn from_str(s: &str) -> Result<Name, NameError> {
+        Name::parse(s)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_root() {
+            return write!(f, ".");
+        }
+        for l in &self.labels {
+            // Labels are validated ASCII, so lossless.
+            f.write_str(std::str::from_utf8(l).expect("labels are ascii"))?;
+            f.write_str(".")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({self})")
+    }
+}
+
+impl serde::Serialize for Name {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Name {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Name, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        assert_eq!(n("www.example.com").to_string(), "www.example.com.");
+        assert_eq!(n("www.example.com.").to_string(), "www.example.com.");
+        assert_eq!(n(".").to_string(), ".");
+        assert_eq!(n("").to_string(), ".");
+    }
+
+    #[test]
+    fn case_insensitive_equality() {
+        assert_eq!(n("WWW.ExAmPlE.COM"), n("www.example.com"));
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        n("ABC.de").hash(&mut h1);
+        n("abc.DE").hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn rejects_empty_interior_label() {
+        assert_eq!("a..b".parse::<Name>().unwrap_err(), NameError::EmptyLabel);
+    }
+
+    #[test]
+    fn rejects_long_label() {
+        let label = "a".repeat(64);
+        assert_eq!(
+            label.parse::<Name>().unwrap_err(),
+            NameError::LabelTooLong
+        );
+        let ok = "a".repeat(63);
+        assert!(ok.parse::<Name>().is_ok());
+    }
+
+    #[test]
+    fn rejects_too_long_name() {
+        // Four 63-octet labels → 4*(63+1)+1 = 257 > 255.
+        let parts = vec!["a".repeat(63); 4];
+        let text = parts.join(".");
+        assert_eq!(text.parse::<Name>().unwrap_err(), NameError::NameTooLong);
+    }
+
+    #[test]
+    fn rejects_invalid_character() {
+        assert_eq!(
+            "ex ample".parse::<Name>().unwrap_err(),
+            NameError::InvalidCharacter(b' ')
+        );
+    }
+
+    #[test]
+    fn wildcard_label_accepted() {
+        assert_eq!(n("*.example").label_count(), 2);
+    }
+
+    #[test]
+    fn subdomain_relationships() {
+        let apex = n("cache.example");
+        assert!(n("x.cache.example").is_subdomain_of(&apex));
+        assert!(n("a.b.cache.example").is_subdomain_of(&apex));
+        assert!(apex.is_subdomain_of(&apex));
+        assert!(!apex.is_strict_subdomain_of(&apex));
+        assert!(n("x.cache.example").is_strict_subdomain_of(&apex));
+        assert!(!n("cache2.example").is_subdomain_of(&apex));
+        assert!(!n("ache.example").is_subdomain_of(&apex));
+        assert!(apex.is_subdomain_of(&Name::root()));
+    }
+
+    #[test]
+    fn parent_chain_terminates_at_root() {
+        let mut cur = Some(n("a.b.c"));
+        let mut hops = 0;
+        while let Some(c) = cur {
+            cur = c.parent();
+            hops += 1;
+        }
+        assert_eq!(hops, 4); // a.b.c, b.c, c, root
+    }
+
+    #[test]
+    fn ancestors_iterator_matches_parent_chain() {
+        let chain: Vec<String> = n("a.b.c").ancestors().map(|a| a.to_string()).collect();
+        assert_eq!(chain, vec!["a.b.c.", "b.c.", "c.", "."]);
+    }
+
+    #[test]
+    fn prepend_and_strip() {
+        let apex = n("cache.example");
+        let child = apex.prepend_label("x-17").unwrap();
+        assert_eq!(child.to_string(), "x-17.cache.example.");
+        let rel = child.strip_suffix(&apex).unwrap();
+        assert_eq!(rel.to_string(), "x-17.");
+        assert!(child.strip_suffix(&n("other.example")).is_none());
+    }
+
+    #[test]
+    fn concat_joins_names() {
+        let rel = n("www");
+        let apex = n("cache.example");
+        assert_eq!(rel.concat(&apex).unwrap(), n("www.cache.example"));
+        assert_eq!(Name::root().concat(&apex).unwrap(), apex);
+    }
+
+    #[test]
+    fn wire_len_counts_length_octets() {
+        assert_eq!(Name::root().wire_len(), 1);
+        assert_eq!(n("a").wire_len(), 3); // 1+1 label, +1 root
+        assert_eq!(n("ab.cd").wire_len(), 7);
+    }
+
+    #[test]
+    fn ordering_is_deterministic() {
+        let mut v = vec![n("b.example"), n("a.example"), n("a.a.example")];
+        v.sort();
+        assert_eq!(v[0], n("a.a.example"));
+    }
+
+    #[test]
+    fn from_labels_builds_name() {
+        let name = Name::from_labels(["x-1", "cache", "example"]).unwrap();
+        assert_eq!(name, n("x-1.cache.example"));
+    }
+}

@@ -1,0 +1,762 @@
+//! Resource records: types, classes, RDATA and TTLs.
+
+use crate::error::WireError;
+use crate::name::Name;
+use crate::wire::{WireReader, WireWriter};
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Time-to-live of a record, in seconds.
+///
+/// A thin newtype so TTLs cannot be confused with other `u32` quantities
+/// (ports, serials, counts).
+///
+/// # Examples
+///
+/// ```
+/// use cde_dns::Ttl;
+/// let t = Ttl::from_secs(300);
+/// assert_eq!(t.as_secs(), 300);
+/// assert_eq!(t.clamp(Ttl::from_secs(60), Ttl::from_secs(120)), Ttl::from_secs(120));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ttl(u32);
+
+impl Ttl {
+    /// Zero TTL: never cacheable.
+    pub const ZERO: Ttl = Ttl(0);
+
+    /// Creates a TTL from whole seconds.
+    pub fn from_secs(secs: u32) -> Ttl {
+        Ttl(secs)
+    }
+
+    /// This TTL in whole seconds.
+    pub fn as_secs(self) -> u32 {
+        self.0
+    }
+
+    /// Clamps into `[min, max]`, the adjustment resolution platforms apply
+    /// (paper §II-C footnote 2).
+    pub fn clamp(self, min: Ttl, max: Ttl) -> Ttl {
+        Ttl(self.0.clamp(min.0, max.0))
+    }
+
+    /// Saturating subtraction, used for TTL decay on cached answers.
+    pub fn saturating_sub(self, secs: u32) -> Ttl {
+        Ttl(self.0.saturating_sub(secs))
+    }
+}
+
+impl fmt::Display for Ttl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+impl From<u32> for Ttl {
+    fn from(secs: u32) -> Ttl {
+        Ttl(secs)
+    }
+}
+
+/// DNS record types used by the study (plus an escape hatch for others).
+///
+/// Covers the types the paper's probers trigger (Table I: TXT/SPF, MX, A,
+/// plus DKIM/DMARC which ride on TXT) and those the CDE techniques rely on
+/// (A, NS, CNAME).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum RecordType {
+    /// IPv4 host address.
+    A,
+    /// Authoritative nameserver.
+    Ns,
+    /// Canonical name (alias).
+    Cname,
+    /// Start of authority.
+    Soa,
+    /// Domain name pointer (reverse lookups).
+    Ptr,
+    /// Mail exchange.
+    Mx,
+    /// Text strings (modern SPF, DKIM, DMARC all use TXT).
+    Txt,
+    /// IPv6 host address.
+    Aaaa,
+    /// Service locator.
+    Srv,
+    /// EDNS(0) OPT pseudo-record (RFC 6891).
+    Opt,
+    /// The obsolete SPF RRTYPE (99), still observed in 14.2% of the paper's
+    /// SMTP-triggered queries.
+    Spf,
+    /// Any other type, carried numerically.
+    Other(u16),
+}
+
+impl RecordType {
+    /// Numeric RRTYPE value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            RecordType::A => 1,
+            RecordType::Ns => 2,
+            RecordType::Cname => 5,
+            RecordType::Soa => 6,
+            RecordType::Ptr => 12,
+            RecordType::Mx => 15,
+            RecordType::Txt => 16,
+            RecordType::Aaaa => 28,
+            RecordType::Srv => 33,
+            RecordType::Opt => 41,
+            RecordType::Spf => 99,
+            RecordType::Other(v) => v,
+        }
+    }
+
+    /// Maps a numeric RRTYPE to the enum; unknown values become
+    /// [`RecordType::Other`].
+    pub fn from_u16(v: u16) -> RecordType {
+        match v {
+            1 => RecordType::A,
+            2 => RecordType::Ns,
+            5 => RecordType::Cname,
+            6 => RecordType::Soa,
+            12 => RecordType::Ptr,
+            15 => RecordType::Mx,
+            16 => RecordType::Txt,
+            28 => RecordType::Aaaa,
+            33 => RecordType::Srv,
+            41 => RecordType::Opt,
+            99 => RecordType::Spf,
+            other => RecordType::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for RecordType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordType::A => write!(f, "A"),
+            RecordType::Ns => write!(f, "NS"),
+            RecordType::Cname => write!(f, "CNAME"),
+            RecordType::Soa => write!(f, "SOA"),
+            RecordType::Ptr => write!(f, "PTR"),
+            RecordType::Mx => write!(f, "MX"),
+            RecordType::Txt => write!(f, "TXT"),
+            RecordType::Aaaa => write!(f, "AAAA"),
+            RecordType::Srv => write!(f, "SRV"),
+            RecordType::Opt => write!(f, "OPT"),
+            RecordType::Spf => write!(f, "SPF"),
+            RecordType::Other(v) => write!(f, "TYPE{v}"),
+        }
+    }
+}
+
+/// DNS classes. Only `IN` matters for this study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RecordClass {
+    /// Internet.
+    #[default]
+    In,
+    /// Any other class, carried numerically.
+    Other(u16),
+}
+
+impl RecordClass {
+    /// Numeric class value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            RecordClass::In => 1,
+            RecordClass::Other(v) => v,
+        }
+    }
+
+    /// Maps a numeric class to the enum.
+    pub fn from_u16(v: u16) -> RecordClass {
+        match v {
+            1 => RecordClass::In,
+            other => RecordClass::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for RecordClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordClass::In => write!(f, "IN"),
+            RecordClass::Other(v) => write!(f, "CLASS{v}"),
+        }
+    }
+}
+
+/// SOA RDATA fields.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Soa {
+    /// Primary master nameserver.
+    pub mname: Name,
+    /// Responsible mailbox, encoded as a name.
+    pub rname: Name,
+    /// Zone serial number.
+    pub serial: u32,
+    /// Secondary refresh interval, seconds.
+    pub refresh: u32,
+    /// Retry interval, seconds.
+    pub retry: u32,
+    /// Expiry upper bound, seconds.
+    pub expire: u32,
+    /// Negative-caching TTL (RFC 2308).
+    pub minimum: u32,
+}
+
+/// Typed RDATA payloads.
+///
+/// # Examples
+///
+/// ```
+/// use cde_dns::RData;
+/// use std::net::Ipv4Addr;
+///
+/// let rdata = RData::A(Ipv4Addr::new(192, 0, 2, 7));
+/// assert_eq!(rdata.record_type().to_string(), "A");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RData {
+    /// IPv4 address.
+    A(Ipv4Addr),
+    /// IPv6 address.
+    Aaaa(Ipv6Addr),
+    /// Nameserver host name.
+    Ns(Name),
+    /// Alias target.
+    Cname(Name),
+    /// Pointer target.
+    Ptr(Name),
+    /// Mail exchange: preference and host.
+    Mx {
+        /// Lower values are preferred.
+        preference: u16,
+        /// Mail server host name.
+        exchange: Name,
+    },
+    /// One or more character strings.
+    Txt(Vec<Vec<u8>>),
+    /// Obsolete SPF type; same shape as TXT.
+    Spf(Vec<Vec<u8>>),
+    /// Start of authority.
+    Soa(Soa),
+    /// Service locator.
+    Srv {
+        /// Lower values are tried first.
+        priority: u16,
+        /// Relative weight among equal-priority targets.
+        weight: u16,
+        /// Service port.
+        port: u16,
+        /// Host providing the service.
+        target: Name,
+    },
+    /// Opaque RDATA for unknown types.
+    Opaque {
+        /// Numeric RRTYPE this payload belongs to.
+        rtype: u16,
+        /// Verbatim RDATA bytes.
+        data: Vec<u8>,
+    },
+}
+
+impl RData {
+    /// The RRTYPE this payload belongs to.
+    pub fn record_type(&self) -> RecordType {
+        match self {
+            RData::A(_) => RecordType::A,
+            RData::Aaaa(_) => RecordType::Aaaa,
+            RData::Ns(_) => RecordType::Ns,
+            RData::Cname(_) => RecordType::Cname,
+            RData::Ptr(_) => RecordType::Ptr,
+            RData::Mx { .. } => RecordType::Mx,
+            RData::Txt(_) => RecordType::Txt,
+            RData::Spf(_) => RecordType::Spf,
+            RData::Soa(_) => RecordType::Soa,
+            RData::Srv { .. } => RecordType::Srv,
+            RData::Opaque { rtype, .. } => RecordType::from_u16(*rtype),
+        }
+    }
+
+    /// Convenience constructor for single-string TXT data.
+    pub fn txt(s: impl Into<Vec<u8>>) -> RData {
+        RData::Txt(vec![s.into()])
+    }
+
+    /// Encodes the RDATA (without the RDLENGTH prefix).
+    ///
+    /// Names inside classic types use compression against the surrounding
+    /// message; per RFC 3597, unknown types are emitted verbatim.
+    pub fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        match self {
+            RData::A(ip) => w.put_slice(&ip.octets()),
+            RData::Aaaa(ip) => w.put_slice(&ip.octets()),
+            RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => w.put_name(n),
+            RData::Mx {
+                preference,
+                exchange,
+            } => {
+                w.put_u16(*preference);
+                w.put_name(exchange);
+            }
+            RData::Txt(strings) | RData::Spf(strings) => {
+                for s in strings {
+                    w.put_character_string(s)?;
+                }
+            }
+            RData::Soa(soa) => {
+                w.put_name(&soa.mname);
+                w.put_name(&soa.rname);
+                w.put_u32(soa.serial);
+                w.put_u32(soa.refresh);
+                w.put_u32(soa.retry);
+                w.put_u32(soa.expire);
+                w.put_u32(soa.minimum);
+            }
+            RData::Srv {
+                priority,
+                weight,
+                port,
+                target,
+            } => {
+                w.put_u16(*priority);
+                w.put_u16(*weight);
+                w.put_u16(*port);
+                // RFC 2782: target must not be compressed.
+                w.put_name_uncompressed(target);
+            }
+            RData::Opaque { data, .. } => w.put_slice(data),
+        }
+        Ok(())
+    }
+
+    /// Decodes RDATA of type `rtype` spanning exactly `rdlength` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation, malformed embedded names, or an
+    /// RDATA that does not consume exactly `rdlength` bytes.
+    pub fn decode(
+        r: &mut WireReader<'_>,
+        rtype: RecordType,
+        rdlength: usize,
+    ) -> Result<RData, WireError> {
+        let start = r.position();
+        let rdata = match rtype {
+            RecordType::A => {
+                let o = r.read_slice(4)?;
+                RData::A(Ipv4Addr::new(o[0], o[1], o[2], o[3]))
+            }
+            RecordType::Aaaa => {
+                let o = r.read_slice(16)?;
+                let mut a = [0u8; 16];
+                a.copy_from_slice(o);
+                RData::Aaaa(Ipv6Addr::from(a))
+            }
+            RecordType::Ns => RData::Ns(r.read_name()?),
+            RecordType::Cname => RData::Cname(r.read_name()?),
+            RecordType::Ptr => RData::Ptr(r.read_name()?),
+            RecordType::Mx => RData::Mx {
+                preference: r.read_u16()?,
+                exchange: r.read_name()?,
+            },
+            RecordType::Txt | RecordType::Spf => {
+                let mut strings = Vec::new();
+                while r.position() < start + rdlength {
+                    strings.push(r.read_character_string()?.to_vec());
+                }
+                if rtype == RecordType::Txt {
+                    RData::Txt(strings)
+                } else {
+                    RData::Spf(strings)
+                }
+            }
+            RecordType::Soa => RData::Soa(Soa {
+                mname: r.read_name()?,
+                rname: r.read_name()?,
+                serial: r.read_u32()?,
+                refresh: r.read_u32()?,
+                retry: r.read_u32()?,
+                expire: r.read_u32()?,
+                minimum: r.read_u32()?,
+            }),
+            RecordType::Srv => RData::Srv {
+                priority: r.read_u16()?,
+                weight: r.read_u16()?,
+                port: r.read_u16()?,
+                target: r.read_name()?,
+            },
+            RecordType::Opt | RecordType::Other(_) => RData::Opaque {
+                rtype: rtype.to_u16(),
+                data: r.read_slice(rdlength)?.to_vec(),
+            },
+        };
+        let consumed = r.position() - start;
+        if consumed != rdlength {
+            return Err(WireError::RdataLengthMismatch {
+                declared: rdlength,
+                actual: consumed,
+            });
+        }
+        Ok(rdata)
+    }
+}
+
+/// A complete resource record: owner name, class, TTL and typed RDATA.
+///
+/// # Examples
+///
+/// ```
+/// use cde_dns::{Name, RData, Record, Ttl};
+/// use std::net::Ipv4Addr;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let rr = Record::new(
+///     "name.cache.example".parse::<Name>()?,
+///     Ttl::from_secs(3600),
+///     RData::A(Ipv4Addr::new(198, 51, 100, 4)),
+/// );
+/// assert_eq!(rr.rtype().to_string(), "A");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Record {
+    name: Name,
+    class: RecordClass,
+    ttl: Ttl,
+    rdata: RData,
+}
+
+impl Record {
+    /// Creates an `IN`-class record.
+    pub fn new(name: Name, ttl: Ttl, rdata: RData) -> Record {
+        Record {
+            name,
+            class: RecordClass::In,
+            ttl,
+            rdata,
+        }
+    }
+
+    /// Creates a record with an explicit class. Pseudo-records overload the
+    /// class field (EDNS carries the UDP payload size there, RFC 6891).
+    pub fn new_with_class(name: Name, class: RecordClass, ttl: Ttl, rdata: RData) -> Record {
+        Record {
+            name,
+            class,
+            ttl,
+            rdata,
+        }
+    }
+
+    /// Owner name.
+    pub fn name(&self) -> &Name {
+        &self.name
+    }
+
+    /// Record class.
+    pub fn class(&self) -> RecordClass {
+        self.class
+    }
+
+    /// Time to live.
+    pub fn ttl(&self) -> Ttl {
+        self.ttl
+    }
+
+    /// Record type, derived from the RDATA.
+    pub fn rtype(&self) -> RecordType {
+        self.rdata.record_type()
+    }
+
+    /// Typed payload.
+    pub fn rdata(&self) -> &RData {
+        &self.rdata
+    }
+
+    /// Returns a copy with the TTL replaced (used for decay/clamping).
+    pub fn with_ttl(&self, ttl: Ttl) -> Record {
+        Record {
+            ttl,
+            ..self.clone()
+        }
+    }
+
+    /// Encodes the full record including owner name and RDLENGTH.
+    pub fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        w.put_name(&self.name);
+        w.put_u16(self.rtype().to_u16());
+        w.put_u16(self.class.to_u16());
+        w.put_u32(self.ttl.as_secs());
+        let len_at = w.len();
+        w.put_u16(0); // RDLENGTH placeholder
+        let before = w.len();
+        self.rdata.encode(w)?;
+        let rdlen = w.len() - before;
+        if rdlen > u16::MAX as usize {
+            return Err(WireError::MessageTooLong);
+        }
+        w.patch_u16(len_at, rdlen as u16);
+        Ok(())
+    }
+
+    /// Decodes one record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation or malformed RDATA.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<Record, WireError> {
+        let name = r.read_name()?;
+        let rtype = RecordType::from_u16(r.read_u16()?);
+        let class = RecordClass::from_u16(r.read_u16()?);
+        let ttl = Ttl::from_secs(r.read_u32()?);
+        let rdlength = r.read_u16()? as usize;
+        let rdata = RData::decode(r, rtype, rdlength)?;
+        Ok(Record {
+            name,
+            class,
+            ttl,
+            rdata,
+        })
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {}",
+            self.name,
+            self.ttl.as_secs(),
+            self.class,
+            self.rtype()
+        )?;
+        match &self.rdata {
+            RData::A(ip) => write!(f, " {ip}"),
+            RData::Aaaa(ip) => write!(f, " {ip}"),
+            RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => write!(f, " {n}"),
+            RData::Mx {
+                preference,
+                exchange,
+            } => write!(f, " {preference} {exchange}"),
+            RData::Txt(strings) | RData::Spf(strings) => {
+                for s in strings {
+                    write!(f, " \"{}\"", String::from_utf8_lossy(s))?;
+                }
+                Ok(())
+            }
+            RData::Soa(soa) => write!(
+                f,
+                " {} {} {} {} {} {} {}",
+                soa.mname, soa.rname, soa.serial, soa.refresh, soa.retry, soa.expire, soa.minimum
+            ),
+            RData::Srv {
+                priority,
+                weight,
+                port,
+                target,
+            } => write!(f, " {priority} {weight} {port} {target}"),
+            RData::Opaque { data, .. } => write!(f, " \\# {}", data.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn roundtrip(record: &Record) -> Record {
+        let mut w = WireWriter::new();
+        record.encode(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let out = Record::decode(&mut r).unwrap();
+        assert!(r.is_at_end(), "decoder left {} bytes", r.remaining());
+        out
+    }
+
+    #[test]
+    fn record_type_u16_roundtrip() {
+        for t in [
+            RecordType::A,
+            RecordType::Ns,
+            RecordType::Cname,
+            RecordType::Soa,
+            RecordType::Ptr,
+            RecordType::Mx,
+            RecordType::Txt,
+            RecordType::Aaaa,
+            RecordType::Srv,
+            RecordType::Opt,
+            RecordType::Spf,
+            RecordType::Other(4242),
+        ] {
+            assert_eq!(RecordType::from_u16(t.to_u16()), t);
+        }
+    }
+
+    #[test]
+    fn a_record_roundtrip() {
+        let rr = Record::new(
+            name("name.cache.example"),
+            Ttl::from_secs(3600),
+            RData::A(Ipv4Addr::new(10, 1, 2, 3)),
+        );
+        assert_eq!(roundtrip(&rr), rr);
+    }
+
+    #[test]
+    fn aaaa_record_roundtrip() {
+        let rr = Record::new(
+            name("v6.cache.example"),
+            Ttl::from_secs(60),
+            RData::Aaaa("2001:db8::1".parse().unwrap()),
+        );
+        assert_eq!(roundtrip(&rr), rr);
+    }
+
+    #[test]
+    fn cname_record_roundtrip() {
+        let rr = Record::new(
+            name("x-1.cache.example"),
+            Ttl::from_secs(30),
+            RData::Cname(name("name.cache.example")),
+        );
+        assert_eq!(roundtrip(&rr), rr);
+    }
+
+    #[test]
+    fn mx_record_roundtrip() {
+        let rr = Record::new(
+            name("enterprise.example"),
+            Ttl::from_secs(7200),
+            RData::Mx {
+                preference: 10,
+                exchange: name("mail.enterprise.example"),
+            },
+        );
+        assert_eq!(roundtrip(&rr), rr);
+    }
+
+    #[test]
+    fn txt_multi_string_roundtrip() {
+        let rr = Record::new(
+            name("_dmarc.enterprise.example"),
+            Ttl::from_secs(300),
+            RData::Txt(vec![b"v=DMARC1;".to_vec(), b"p=reject".to_vec()]),
+        );
+        assert_eq!(roundtrip(&rr), rr);
+    }
+
+    #[test]
+    fn spf_qtype_roundtrip() {
+        let rr = Record::new(
+            name("enterprise.example"),
+            Ttl::from_secs(300),
+            RData::Spf(vec![b"v=spf1 -all".to_vec()]),
+        );
+        let out = roundtrip(&rr);
+        assert_eq!(out.rtype(), RecordType::Spf);
+        assert_eq!(out, rr);
+    }
+
+    #[test]
+    fn soa_record_roundtrip() {
+        let rr = Record::new(
+            name("cache.example"),
+            Ttl::from_secs(86400),
+            RData::Soa(Soa {
+                mname: name("ns1.cache.example"),
+                rname: name("hostmaster.cache.example"),
+                serial: 2017010101,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum: 300,
+            }),
+        );
+        assert_eq!(roundtrip(&rr), rr);
+    }
+
+    #[test]
+    fn srv_record_roundtrip() {
+        let rr = Record::new(
+            name("_dns._udp.cache.example"),
+            Ttl::from_secs(120),
+            RData::Srv {
+                priority: 0,
+                weight: 5,
+                port: 53,
+                target: name("ns1.cache.example"),
+            },
+        );
+        assert_eq!(roundtrip(&rr), rr);
+    }
+
+    #[test]
+    fn opaque_record_roundtrip() {
+        let rr = Record::new(
+            name("odd.cache.example"),
+            Ttl::from_secs(10),
+            RData::Opaque {
+                rtype: 4242,
+                data: vec![1, 2, 3, 4, 5],
+            },
+        );
+        assert_eq!(roundtrip(&rr), rr);
+    }
+
+    #[test]
+    fn ttl_clamp_behaviour() {
+        let min = Ttl::from_secs(60);
+        let max = Ttl::from_secs(600);
+        assert_eq!(Ttl::from_secs(10).clamp(min, max), min);
+        assert_eq!(Ttl::from_secs(1000).clamp(min, max), max);
+        assert_eq!(Ttl::from_secs(300).clamp(min, max), Ttl::from_secs(300));
+    }
+
+    #[test]
+    fn ttl_decay_saturates() {
+        assert_eq!(Ttl::from_secs(5).saturating_sub(10), Ttl::ZERO);
+    }
+
+    #[test]
+    fn display_renders_master_file_style() {
+        let rr = Record::new(
+            name("name.cache.example"),
+            Ttl::from_secs(3600),
+            RData::A(Ipv4Addr::new(198, 51, 100, 4)),
+        );
+        assert_eq!(
+            rr.to_string(),
+            "name.cache.example. 3600 IN A 198.51.100.4"
+        );
+    }
+
+    #[test]
+    fn rdata_length_mismatch_detected() {
+        // Declare a 5-byte A record.
+        let mut w = WireWriter::new();
+        w.put_name(&name("a.b"));
+        w.put_u16(RecordType::A.to_u16());
+        w.put_u16(1);
+        w.put_u32(60);
+        w.put_u16(5);
+        w.put_slice(&[1, 2, 3, 4, 9]);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(
+            Record::decode(&mut r).unwrap_err(),
+            WireError::RdataLengthMismatch { declared: 5, actual: 4 }
+        ));
+    }
+}

@@ -1,0 +1,622 @@
+//! Authoritative zones and answer synthesis.
+//!
+//! A [`Zone`] holds the records of one cut of the namespace and answers
+//! queries the way an authoritative nameserver does: authoritative data,
+//! referrals at delegation points (the mechanism behind the paper's
+//! *names-hierarchy* local-cache bypass, §IV-B2b), CNAMEs, NXDOMAIN and
+//! NODATA.
+
+use crate::error::ZoneError;
+use crate::name::Name;
+use crate::rr::{RData, Record, RecordType, Soa, Ttl};
+use std::collections::BTreeMap;
+
+/// Outcome of a zone lookup, before packaging into a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LookupResult {
+    /// Authoritative records answering the question directly.
+    Answer(Vec<Record>),
+    /// The name is an alias; the CNAME record plus any chased records within
+    /// this zone.
+    Cname {
+        /// The full chain followed inside this zone (first element is the
+        /// CNAME at the queried name).
+        chain: Vec<Record>,
+        /// Records of the queried type at the final target, when the target
+        /// stays inside this zone and has them.
+        target_records: Vec<Record>,
+    },
+    /// The query falls under a delegation: NS records of the child zone and
+    /// any in-zone glue addresses.
+    Referral {
+        /// NS records at the delegation point.
+        ns_records: Vec<Record>,
+        /// A/AAAA glue for the nameserver names, when present in this zone.
+        glue: Vec<Record>,
+    },
+    /// The name exists but has no records of the queried type.
+    NoData {
+        /// SOA record for negative caching, when the zone has one.
+        soa: Option<Record>,
+    },
+    /// The name does not exist.
+    NxDomain {
+        /// SOA record for negative caching, when the zone has one.
+        soa: Option<Record>,
+    },
+}
+
+/// One authoritative zone: an apex name and its records.
+///
+/// # Examples
+///
+/// ```
+/// use cde_dns::{Name, RData, Record, RecordType, Ttl, Zone};
+/// use cde_dns::zone::LookupResult;
+/// use std::net::Ipv4Addr;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let apex: Name = "cache.example".parse()?;
+/// let mut zone = Zone::new(apex.clone());
+/// zone.add(Record::new(
+///     apex.prepend_label("name")?,
+///     Ttl::from_secs(3600),
+///     RData::A(Ipv4Addr::new(198, 51, 100, 4)),
+/// ))?;
+/// let result = zone.lookup(&apex.prepend_label("name")?, RecordType::A);
+/// assert!(matches!(result, LookupResult::Answer(ref rrs) if rrs.len() == 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zone {
+    apex: Name,
+    /// name → (type → records). BTreeMap keeps iteration deterministic.
+    records: BTreeMap<Name, BTreeMap<RecordType, Vec<Record>>>,
+}
+
+impl Zone {
+    /// Creates an empty zone rooted at `apex`.
+    pub fn new(apex: Name) -> Zone {
+        Zone {
+            apex,
+            records: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a zone with a standard SOA record at the apex.
+    ///
+    /// `negative_ttl` becomes the SOA MINIMUM used for negative caching.
+    pub fn with_soa(apex: Name, negative_ttl: Ttl) -> Zone {
+        let mut zone = Zone::new(apex.clone());
+        let soa = Record::new(
+            apex.clone(),
+            Ttl::from_secs(86400),
+            RData::Soa(Soa {
+                mname: apex.prepend_label("ns1").unwrap_or_else(|_| apex.clone()),
+                rname: apex
+                    .prepend_label("hostmaster")
+                    .unwrap_or_else(|_| apex.clone()),
+                serial: 2017_01_01,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum: negative_ttl.as_secs(),
+            }),
+        );
+        zone.records
+            .entry(apex)
+            .or_default()
+            .entry(RecordType::Soa)
+            .or_default()
+            .push(soa);
+        zone
+    }
+
+    /// The zone apex (origin).
+    pub fn apex(&self) -> &Name {
+        &self.apex
+    }
+
+    /// Total number of records in the zone.
+    pub fn record_count(&self) -> usize {
+        self.records
+            .values()
+            .flat_map(|m| m.values())
+            .map(|v| v.len())
+            .sum()
+    }
+
+    /// Whether `name` belongs to this zone's cut of the namespace.
+    pub fn contains_name(&self, name: &Name) -> bool {
+        name.is_subdomain_of(&self.apex)
+    }
+
+    /// Adds a record.
+    ///
+    /// # Errors
+    ///
+    /// * [`ZoneError::OutOfZone`] when the owner name is outside the apex.
+    /// * [`ZoneError::CnameConflict`] when a CNAME would coexist with other
+    ///   data at the same name (RFC 1034 §3.6.2).
+    pub fn add(&mut self, record: Record) -> Result<(), ZoneError> {
+        if !self.contains_name(record.name()) {
+            return Err(ZoneError::OutOfZone {
+                name: record.name().to_string(),
+                apex: self.apex.to_string(),
+            });
+        }
+        let by_type = self.records.entry(record.name().clone()).or_default();
+        let adding_cname = record.rtype() == RecordType::Cname;
+        let has_cname = by_type.contains_key(&RecordType::Cname);
+        let has_other = by_type.keys().any(|t| *t != RecordType::Cname);
+        if (adding_cname && has_other) || (!adding_cname && has_cname) {
+            return Err(ZoneError::CnameConflict(record.name().to_string()));
+        }
+        by_type.entry(record.rtype()).or_default().push(record);
+        Ok(())
+    }
+
+    /// Removes all records at `name` of type `rtype`, returning them.
+    pub fn remove(&mut self, name: &Name, rtype: RecordType) -> Vec<Record> {
+        let Some(by_type) = self.records.get_mut(name) else {
+            return Vec::new();
+        };
+        let out = by_type.remove(&rtype).unwrap_or_default();
+        if by_type.is_empty() {
+            self.records.remove(name);
+        }
+        out
+    }
+
+    /// Records of `rtype` at exactly `name`, if any.
+    pub fn records_at(&self, name: &Name, rtype: RecordType) -> &[Record] {
+        self.records
+            .get(name)
+            .and_then(|m| m.get(&rtype))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterates over every record in the zone in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> + '_ {
+        self.records
+            .values()
+            .flat_map(|m| m.values())
+            .flat_map(|v| v.iter())
+    }
+
+    /// The apex SOA record, if present.
+    pub fn soa(&self) -> Option<&Record> {
+        self.records_at(&self.apex, RecordType::Soa).first()
+    }
+
+    /// Finds the closest delegation point strictly between the apex and
+    /// `name` (exclusive of the apex, inclusive of `name` itself when NS
+    /// records exist there and `name` ≠ apex).
+    fn delegation_for(&self, name: &Name) -> Option<&Name> {
+        // Walk from just below the apex down towards `name`.
+        let mut candidates: Vec<Name> = name
+            .ancestors()
+            .take_while(|a| a.is_strict_subdomain_of(&self.apex))
+            .collect();
+        candidates.reverse(); // closest-to-apex first
+        for cand in &candidates {
+            if self
+                .records
+                .get(cand)
+                .is_some_and(|m| m.contains_key(&RecordType::Ns))
+            {
+                return self.records.get_key_value(cand).map(|(k, _)| k);
+            }
+        }
+        None
+    }
+
+    /// `true` when the zone has a wildcard record covering `name`.
+    fn wildcard_match(&self, name: &Name, rtype: RecordType) -> Option<Vec<Record>> {
+        // RFC 1034 §4.3.3: the wildcard is `*.<parent>`; it only applies when
+        // the queried name does not exist.
+        let mut parent = name.parent()?;
+        loop {
+            let star = parent.prepend_label("*").ok()?;
+            if let Some(by_type) = self.records.get(&star) {
+                let rrs = by_type.get(&rtype)?;
+                // Synthesise records at the queried name.
+                return Some(
+                    rrs.iter()
+                        .map(|rr| Record::new(name.clone(), rr.ttl(), rr.rdata().clone()))
+                        .collect(),
+                );
+            }
+            if !parent.is_strict_subdomain_of(&self.apex) {
+                return None;
+            }
+            parent = parent.parent()?;
+        }
+    }
+
+    /// Whether any record exists at or below `name` (decides NODATA vs
+    /// NXDOMAIN: an "empty non-terminal" exists).
+    fn name_exists(&self, name: &Name) -> bool {
+        if self.records.contains_key(name) {
+            return true;
+        }
+        self.records.keys().any(|k| k.is_strict_subdomain_of(name))
+    }
+
+    /// Answers a query the way an authoritative server would.
+    ///
+    /// Handles, in priority order: out-of-zone (treated as NXDOMAIN with no
+    /// SOA), delegations (referral), exact-match data, CNAME chasing within
+    /// the zone, wildcard synthesis, NODATA and NXDOMAIN.
+    pub fn lookup(&self, name: &Name, rtype: RecordType) -> LookupResult {
+        if !self.contains_name(name) {
+            return LookupResult::NxDomain { soa: None };
+        }
+
+        // Delegation check first: data below a zone cut is not authoritative
+        // here. An NS query *at* the apex is authoritative, handled by the
+        // subdomain guard in `delegation_for`.
+        if let Some(cut) = self.delegation_for(name) {
+            // NS queries at the cut itself are answered as a referral too
+            // (the parent is not authoritative for the child).
+            let ns_records = self.records_at(cut, RecordType::Ns).to_vec();
+            let mut glue = Vec::new();
+            for ns in &ns_records {
+                if let RData::Ns(host) = ns.rdata() {
+                    for t in [RecordType::A, RecordType::Aaaa] {
+                        glue.extend(self.records_at(host, t).iter().cloned());
+                    }
+                }
+            }
+            return LookupResult::Referral { ns_records, glue };
+        }
+
+        if let Some(by_type) = self.records.get(name) {
+            if let Some(rrs) = by_type.get(&rtype) {
+                return LookupResult::Answer(rrs.clone());
+            }
+            if let Some(cnames) = by_type.get(&RecordType::Cname) {
+                return self.chase_cname(name, rtype, cnames);
+            }
+            return LookupResult::NoData {
+                soa: self.soa().cloned(),
+            };
+        }
+
+        if let Some(rrs) = self.wildcard_match(name, rtype) {
+            return LookupResult::Answer(rrs);
+        }
+
+        if self.name_exists(name) {
+            return LookupResult::NoData {
+                soa: self.soa().cloned(),
+            };
+        }
+        LookupResult::NxDomain {
+            soa: self.soa().cloned(),
+        }
+    }
+
+    fn chase_cname(
+        &self,
+        _name: &Name,
+        rtype: RecordType,
+        cnames: &[Record],
+    ) -> LookupResult {
+        let mut chain = vec![cnames[0].clone()];
+        let mut target = match cnames[0].rdata() {
+            RData::Cname(t) => t.clone(),
+            _ => unreachable!("cname slot holds cname rdata"),
+        };
+        // Bounded chase to defend against alias loops.
+        for _ in 0..16 {
+            if !self.contains_name(&target) {
+                return LookupResult::Cname {
+                    chain,
+                    target_records: Vec::new(),
+                };
+            }
+            match self.records.get(&target) {
+                Some(by_type) => {
+                    if let Some(rrs) = by_type.get(&rtype) {
+                        return LookupResult::Cname {
+                            chain,
+                            target_records: rrs.clone(),
+                        };
+                    }
+                    if let Some(next) = by_type.get(&RecordType::Cname) {
+                        chain.push(next[0].clone());
+                        target = match next[0].rdata() {
+                            RData::Cname(t) => t.clone(),
+                            _ => unreachable!(),
+                        };
+                        continue;
+                    }
+                    return LookupResult::Cname {
+                        chain,
+                        target_records: Vec::new(),
+                    };
+                }
+                None => {
+                    return LookupResult::Cname {
+                        chain,
+                        target_records: Vec::new(),
+                    };
+                }
+            }
+        }
+        LookupResult::Cname {
+            chain,
+            target_records: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn a(name: &str, ip: [u8; 4]) -> Record {
+        Record::new(
+            n(name),
+            Ttl::from_secs(3600),
+            RData::A(Ipv4Addr::new(ip[0], ip[1], ip[2], ip[3])),
+        )
+    }
+
+    fn test_zone() -> Zone {
+        let mut z = Zone::with_soa(n("cache.example"), Ttl::from_secs(300));
+        z.add(a("name.cache.example", [198, 51, 100, 4])).unwrap();
+        z.add(Record::new(
+            n("x-1.cache.example"),
+            Ttl::from_secs(60),
+            RData::Cname(n("name.cache.example")),
+        ))
+        .unwrap();
+        // Delegation: sub.cache.example → ns.sub.cache.example with glue.
+        z.add(Record::new(
+            n("sub.cache.example"),
+            Ttl::from_secs(3600),
+            RData::Ns(n("ns.sub.cache.example")),
+        ))
+        .unwrap();
+        z.add(a("ns.sub.cache.example", [192, 0, 2, 53])).unwrap();
+        z
+    }
+
+    #[test]
+    fn authoritative_answer() {
+        let z = test_zone();
+        match z.lookup(&n("name.cache.example"), RecordType::A) {
+            LookupResult::Answer(rrs) => {
+                assert_eq!(rrs.len(), 1);
+                assert_eq!(rrs[0].rtype(), RecordType::A);
+            }
+            other => panic!("expected answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cname_is_chased_within_zone() {
+        let z = test_zone();
+        match z.lookup(&n("x-1.cache.example"), RecordType::A) {
+            LookupResult::Cname {
+                chain,
+                target_records,
+            } => {
+                assert_eq!(chain.len(), 1);
+                assert_eq!(chain[0].rtype(), RecordType::Cname);
+                assert_eq!(target_records.len(), 1);
+                assert_eq!(target_records[0].name(), &n("name.cache.example"));
+            }
+            other => panic!("expected cname, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_hop_cname_chain() {
+        let mut z = Zone::new(n("cache.example"));
+        z.add(Record::new(
+            n("one.cache.example"),
+            Ttl::from_secs(60),
+            RData::Cname(n("two.cache.example")),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            n("two.cache.example"),
+            Ttl::from_secs(60),
+            RData::Cname(n("three.cache.example")),
+        ))
+        .unwrap();
+        z.add(a("three.cache.example", [1, 2, 3, 4])).unwrap();
+        match z.lookup(&n("one.cache.example"), RecordType::A) {
+            LookupResult::Cname {
+                chain,
+                target_records,
+            } => {
+                assert_eq!(chain.len(), 2);
+                assert_eq!(target_records.len(), 1);
+            }
+            other => panic!("expected cname, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cname_loop_terminates() {
+        let mut z = Zone::new(n("cache.example"));
+        z.add(Record::new(
+            n("l1.cache.example"),
+            Ttl::from_secs(60),
+            RData::Cname(n("l2.cache.example")),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            n("l2.cache.example"),
+            Ttl::from_secs(60),
+            RData::Cname(n("l1.cache.example")),
+        ))
+        .unwrap();
+        // Must not hang; returns the partial chain.
+        match z.lookup(&n("l1.cache.example"), RecordType::A) {
+            LookupResult::Cname { target_records, .. } => assert!(target_records.is_empty()),
+            other => panic!("expected cname, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn referral_below_delegation_with_glue() {
+        let z = test_zone();
+        match z.lookup(&n("x-7.sub.cache.example"), RecordType::A) {
+            LookupResult::Referral { ns_records, glue } => {
+                assert_eq!(ns_records.len(), 1);
+                assert_eq!(ns_records[0].name(), &n("sub.cache.example"));
+                assert_eq!(glue.len(), 1);
+                assert_eq!(glue[0].name(), &n("ns.sub.cache.example"));
+            }
+            other => panic!("expected referral, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_at_delegation_point_is_referral() {
+        let z = test_zone();
+        assert!(matches!(
+            z.lookup(&n("sub.cache.example"), RecordType::A),
+            LookupResult::Referral { .. }
+        ));
+    }
+
+    #[test]
+    fn nxdomain_includes_soa() {
+        let z = test_zone();
+        match z.lookup(&n("missing.cache.example"), RecordType::A) {
+            LookupResult::NxDomain { soa } => assert!(soa.is_some()),
+            other => panic!("expected nxdomain, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nodata_for_existing_name_with_other_type() {
+        let z = test_zone();
+        match z.lookup(&n("name.cache.example"), RecordType::Mx) {
+            LookupResult::NoData { soa } => assert!(soa.is_some()),
+            other => panic!("expected nodata, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_non_terminal_is_nodata_not_nxdomain() {
+        let mut z = Zone::new(n("cache.example"));
+        z.add(a("a.b.cache.example", [9, 9, 9, 9])).unwrap();
+        // b.cache.example has no records itself but exists as a non-terminal.
+        assert!(matches!(
+            z.lookup(&n("b.cache.example"), RecordType::A),
+            LookupResult::NoData { .. }
+        ));
+    }
+
+    #[test]
+    fn out_of_zone_name_rejected_on_add() {
+        let mut z = Zone::new(n("cache.example"));
+        let err = z.add(a("other.example", [1, 1, 1, 1])).unwrap_err();
+        assert!(matches!(err, ZoneError::OutOfZone { .. }));
+    }
+
+    #[test]
+    fn out_of_zone_lookup_is_nxdomain_without_soa() {
+        let z = test_zone();
+        assert_eq!(
+            z.lookup(&n("unrelated.example"), RecordType::A),
+            LookupResult::NxDomain { soa: None }
+        );
+    }
+
+    #[test]
+    fn cname_conflict_rejected() {
+        let mut z = Zone::new(n("cache.example"));
+        z.add(a("dual.cache.example", [1, 1, 1, 1])).unwrap();
+        let err = z
+            .add(Record::new(
+                n("dual.cache.example"),
+                Ttl::from_secs(60),
+                RData::Cname(n("name.cache.example")),
+            ))
+            .unwrap_err();
+        assert!(matches!(err, ZoneError::CnameConflict(_)));
+        // And the converse.
+        let mut z2 = Zone::new(n("cache.example"));
+        z2.add(Record::new(
+            n("dual.cache.example"),
+            Ttl::from_secs(60),
+            RData::Cname(n("name.cache.example")),
+        ))
+        .unwrap();
+        assert!(z2.add(a("dual.cache.example", [1, 1, 1, 1])).is_err());
+    }
+
+    #[test]
+    fn wildcard_synthesis() {
+        let mut z = Zone::new(n("cache.example"));
+        z.add(a("*.wild.cache.example", [7, 7, 7, 7])).unwrap();
+        match z.lookup(&n("anything.wild.cache.example"), RecordType::A) {
+            LookupResult::Answer(rrs) => {
+                assert_eq!(rrs.len(), 1);
+                assert_eq!(rrs[0].name(), &n("anything.wild.cache.example"));
+            }
+            other => panic!("expected wildcard answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_match_beats_wildcard() {
+        let mut z = Zone::new(n("cache.example"));
+        z.add(a("*.wild.cache.example", [7, 7, 7, 7])).unwrap();
+        z.add(a("fixed.wild.cache.example", [8, 8, 8, 8])).unwrap();
+        match z.lookup(&n("fixed.wild.cache.example"), RecordType::A) {
+            LookupResult::Answer(rrs) => {
+                assert_eq!(rrs[0].rdata(), &RData::A(Ipv4Addr::new(8, 8, 8, 8)));
+            }
+            other => panic!("expected exact answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_deletes_records() {
+        let mut z = test_zone();
+        let removed = z.remove(&n("name.cache.example"), RecordType::A);
+        assert_eq!(removed.len(), 1);
+        assert!(matches!(
+            z.lookup(&n("name.cache.example"), RecordType::A),
+            LookupResult::NxDomain { .. } | LookupResult::NoData { .. }
+        ));
+    }
+
+    #[test]
+    fn record_count_and_iter_agree() {
+        let z = test_zone();
+        assert_eq!(z.record_count(), z.iter().count());
+        assert!(z.record_count() >= 4);
+    }
+
+    #[test]
+    fn apex_ns_is_not_a_referral() {
+        let mut z = Zone::with_soa(n("cache.example"), Ttl::from_secs(300));
+        z.add(Record::new(
+            n("cache.example"),
+            Ttl::from_secs(3600),
+            RData::Ns(n("ns1.cache.example")),
+        ))
+        .unwrap();
+        assert!(matches!(
+            z.lookup(&n("cache.example"), RecordType::Ns),
+            LookupResult::Answer(_)
+        ));
+    }
+}

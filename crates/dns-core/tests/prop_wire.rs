@@ -1,0 +1,180 @@
+//! Property-based tests: wire-format round trips and name algebra.
+
+use cde_dns::{Flags, Message, Name, Opcode, Question, RData, Rcode, Record, RecordType, Soa, Ttl};
+use proptest::prelude::*;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Strategy for one valid label (1–16 chars keeps names under limits).
+fn label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9_-]{1,16}").expect("valid regex")
+}
+
+/// Strategy for a name of 1–5 labels.
+fn name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(label(), 1..=5)
+        .prop_map(|labels| Name::from_labels(labels).expect("labels are valid"))
+}
+
+fn rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RData::A(Ipv4Addr::from(o))),
+        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(Ipv6Addr::from(o))),
+        name().prop_map(RData::Ns),
+        name().prop_map(RData::Cname),
+        name().prop_map(RData::Ptr),
+        (any::<u16>(), name()).prop_map(|(preference, exchange)| RData::Mx {
+            preference,
+            exchange
+        }),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..4)
+            .prop_map(RData::Txt),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..4)
+            .prop_map(RData::Spf),
+        (
+            name(),
+            name(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
+                RData::Soa(Soa {
+                    mname,
+                    rname,
+                    serial,
+                    refresh,
+                    retry,
+                    expire,
+                    minimum,
+                })
+            }),
+        (any::<u16>(), any::<u16>(), any::<u16>(), name()).prop_map(
+            |(priority, weight, port, target)| RData::Srv {
+                priority,
+                weight,
+                port,
+                target
+            }
+        ),
+        (256u16..=4000, proptest::collection::vec(any::<u8>(), 0..128)).prop_map(
+            |(rtype, data)| RData::Opaque { rtype, data }
+        ),
+    ]
+}
+
+fn record() -> impl Strategy<Value = Record> {
+    (name(), any::<u32>(), rdata())
+        .prop_map(|(n, ttl, rd)| Record::new(n, Ttl::from_secs(ttl), rd))
+}
+
+fn question() -> impl Strategy<Value = Question> {
+    (name(), any::<u16>()).prop_map(|(n, t)| Question::new(n, RecordType::from_u16(t)))
+}
+
+fn message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        0u8..6,
+        proptest::collection::vec(question(), 0..3),
+        proptest::collection::vec(record(), 0..6),
+        proptest::collection::vec(record(), 0..3),
+        proptest::collection::vec(record(), 0..3),
+    )
+        .prop_map(
+            |(id, qr, aa, rd, rcode, questions, answers, authorities, additionals)| Message {
+                id,
+                flags: Flags {
+                    qr,
+                    opcode: Opcode::Query,
+                    aa,
+                    tc: false,
+                    rd,
+                    ra: qr,
+                    rcode: Rcode::from_u8(rcode),
+                },
+                questions,
+                answers,
+                authorities,
+                additionals,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn record_wire_roundtrip(rr in record()) {
+        let mut w = cde_dns::wire::WireWriter::new();
+        rr.encode(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = cde_dns::wire::WireReader::new(&bytes);
+        let back = Record::decode(&mut r).unwrap();
+        prop_assert_eq!(back, rr);
+        prop_assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn message_wire_roundtrip(msg in message()) {
+        let bytes = msg.encode().unwrap();
+        let back = Message::decode(&bytes).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn decode_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn name_parse_display_roundtrip(n in name()) {
+        let text = n.to_string();
+        let back: Name = text.parse().unwrap();
+        prop_assert_eq!(back, n);
+    }
+
+    #[test]
+    fn subdomain_of_parent_always_holds(n in name()) {
+        for anc in n.ancestors() {
+            prop_assert!(n.is_subdomain_of(&anc));
+        }
+    }
+
+    #[test]
+    fn strip_then_concat_is_identity(n in name(), k in 0usize..5) {
+        let ancestors: Vec<Name> = n.ancestors().collect();
+        let suffix = &ancestors[k.min(ancestors.len() - 1)];
+        let prefix = n.strip_suffix(suffix).unwrap();
+        prop_assert_eq!(prefix.concat(suffix).unwrap(), n);
+    }
+
+    #[test]
+    fn compression_is_transparent(names in proptest::collection::vec(name(), 1..6)) {
+        // Encode many (possibly suffix-sharing) names into one buffer and
+        // decode them back in order.
+        let mut w = cde_dns::wire::WireWriter::new();
+        for n in &names {
+            w.put_name(n);
+        }
+        let bytes = w.into_bytes();
+        let mut r = cde_dns::wire::WireReader::new(&bytes);
+        for n in &names {
+            prop_assert_eq!(&r.read_name().unwrap(), n);
+        }
+        prop_assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn ttl_clamp_is_idempotent_and_bounded(t in any::<u32>(), lo in 0u32..1000, hi in 1000u32..100000) {
+        let min = Ttl::from_secs(lo);
+        let max = Ttl::from_secs(hi);
+        let c = Ttl::from_secs(t).clamp(min, max);
+        prop_assert!(c >= min && c <= max);
+        prop_assert_eq!(c.clamp(min, max), c);
+    }
+}

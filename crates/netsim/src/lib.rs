@@ -1,0 +1,40 @@
+//! Deterministic discrete-event network simulator for the CDE
+//! reproduction.
+//!
+//! The paper's measurements run over the live Internet; this crate is the
+//! substitute substrate (see `DESIGN.md` §2). It provides:
+//!
+//! * [`SimTime`]/[`SimDuration`]/[`Clock`] — virtual time shared between
+//!   probers, platforms and nameservers,
+//! * [`DetRng`] — seeded, fork-able randomness so runs replay exactly,
+//! * [`LatencyModel`]/[`LossModel`]/[`Link`] — the stochastic behaviour the
+//!   timing side channel (§IV-B3) and carpet bombing (§V) respond to,
+//! * [`CountryProfile`] — the per-country loss rates the paper measured,
+//! * [`Scheduler`] — an event queue for background traffic.
+//!
+//! # Examples
+//!
+//! ```
+//! use cde_netsim::{Clock, CountryProfile, DetRng, SimDuration};
+//!
+//! let clock = Clock::new();
+//! let link = CountryProfile::Typical.wan_link();
+//! let mut rng = DetRng::seed(7).fork("demo");
+//! if let Some(delay) = link.transmit(&mut rng) {
+//!     clock.advance(delay);
+//! }
+//! assert!(clock.now().as_micros() < 1_000_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod rng;
+pub mod scheduler;
+pub mod time;
+
+pub use link::{CountryProfile, LatencyModel, Link, LossModel};
+pub use rng::{sample_weighted, DetRng};
+pub use scheduler::Scheduler;
+pub use time::{Clock, SimDuration, SimTime};

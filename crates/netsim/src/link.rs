@@ -1,0 +1,358 @@
+//! Link models: latency distributions and packet loss.
+//!
+//! The timing side channel (paper §IV-B3) distinguishes cached from
+//! uncached answers by response latency, so latency needs a plausible
+//! stochastic model; carpet bombing (§V) reacts to per-network packet
+//! loss, so loss is Bernoulli with per-country rates matching the paper's
+//! measurements (Iran 11%, China ≈4%, elsewhere ≈1%).
+
+use crate::time::SimDuration;
+use rand::Rng;
+
+/// A latency distribution for one network hop.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum LatencyModel {
+    /// Fixed delay.
+    Constant(SimDuration),
+    /// Uniform in `[low, high]`.
+    Uniform {
+        /// Lower bound.
+        low: SimDuration,
+        /// Upper bound (inclusive).
+        high: SimDuration,
+    },
+    /// Log-normal with the given median and sigma (of the underlying
+    /// normal). Internet RTTs are heavy-tailed; log-normal is the usual
+    /// stand-in.
+    LogNormal {
+        /// Median delay (`exp(mu)`).
+        median: SimDuration,
+        /// Shape parameter of the underlying normal.
+        sigma: f64,
+    },
+}
+
+impl LatencyModel {
+    /// A typical intra-continent hop: log-normal, median 20 ms.
+    pub fn typical_wan() -> LatencyModel {
+        LatencyModel::LogNormal {
+            median: SimDuration::from_millis(20),
+            sigma: 0.35,
+        }
+    }
+
+    /// A fast in-datacenter hop between a load balancer and its caches.
+    pub fn datacenter() -> LatencyModel {
+        LatencyModel::Uniform {
+            low: SimDuration::from_micros(100),
+            high: SimDuration::from_micros(600),
+        }
+    }
+
+    /// Draws one delay.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform { low, high } => {
+                debug_assert!(low <= high);
+                SimDuration::from_micros(rng.gen_range(low.as_micros()..=high.as_micros()))
+            }
+            LatencyModel::LogNormal { median, sigma } => {
+                // Box–Muller; SmallRng has no normal distribution built in
+                // and we avoid extra dependencies.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen::<f64>();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let factor = (sigma * z).exp();
+                let us = (median.as_micros() as f64 * factor).round();
+                SimDuration::from_micros(us.clamp(1.0, 60_000_000.0) as u64)
+            }
+        }
+    }
+
+    /// The distribution's median, used by analysis code to set timing
+    /// thresholds.
+    pub fn median(&self) -> SimDuration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform { low, high } => (*low + *high) / 2,
+            LatencyModel::LogNormal { median, .. } => *median,
+        }
+    }
+}
+
+/// Bernoulli packet-loss model.
+///
+/// # Examples
+///
+/// ```
+/// use cde_netsim::LossModel;
+///
+/// let lossless = LossModel::none();
+/// assert_eq!(lossless.rate(), 0.0);
+/// let iran = LossModel::with_rate(0.11);
+/// assert!((iran.rate() - 0.11).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LossModel {
+    rate: f64,
+}
+
+impl LossModel {
+    /// No loss.
+    pub fn none() -> LossModel {
+        LossModel { rate: 0.0 }
+    }
+
+    /// Loss with probability `rate` per transmission.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rate` is outside `[0, 1]` or NaN.
+    pub fn with_rate(rate: f64) -> LossModel {
+        assert!(
+            rate.is_finite() && (0.0..=1.0).contains(&rate),
+            "loss rate must be in [0, 1]"
+        );
+        LossModel { rate }
+    }
+
+    /// The per-transmission loss probability.
+    pub fn rate(self) -> f64 {
+        self.rate
+    }
+
+    /// Draws whether one transmission is lost.
+    pub fn drops<R: Rng + ?Sized>(self, rng: &mut R) -> bool {
+        self.rate > 0.0 && rng.gen::<f64>() < self.rate
+    }
+}
+
+impl Default for LossModel {
+    fn default() -> LossModel {
+        LossModel::none()
+    }
+}
+
+/// One directed network hop: a latency distribution plus a loss model.
+///
+/// # Examples
+///
+/// ```
+/// use cde_netsim::{DetRng, LatencyModel, Link, LossModel, SimDuration};
+///
+/// let link = Link::new(LatencyModel::Constant(SimDuration::from_millis(10)), LossModel::none());
+/// let mut rng = DetRng::seed(1);
+/// assert_eq!(link.transmit(&mut rng), Some(SimDuration::from_millis(10)));
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Link {
+    latency: LatencyModel,
+    loss: LossModel,
+}
+
+impl Link {
+    /// Creates a link from its two models.
+    pub fn new(latency: LatencyModel, loss: LossModel) -> Link {
+        Link { latency, loss }
+    }
+
+    /// A zero-latency, lossless link (useful in unit tests).
+    pub fn ideal() -> Link {
+        Link::new(LatencyModel::Constant(SimDuration::ZERO), LossModel::none())
+    }
+
+    /// The latency model.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// The loss model.
+    pub fn loss(&self) -> LossModel {
+        self.loss
+    }
+
+    /// Attempts one transmission: `Some(delay)` on success, `None` when the
+    /// packet is lost.
+    pub fn transmit<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<SimDuration> {
+        if self.loss.drops(rng) {
+            None
+        } else {
+            Some(self.latency.sample(rng))
+        }
+    }
+}
+
+/// Per-country network profiles with the loss rates the paper measured
+/// (§V: Iran 11%, China almost 4%, elsewhere around 1%).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum CountryProfile {
+    /// 11% packet loss.
+    Iran,
+    /// ≈4% packet loss.
+    China,
+    /// ≈1% packet loss, the typical case.
+    Typical,
+    /// Lossless control case.
+    Lossless,
+}
+
+impl CountryProfile {
+    /// The loss rate the paper reports for this profile.
+    pub fn loss_rate(self) -> f64 {
+        match self {
+            CountryProfile::Iran => 0.11,
+            CountryProfile::China => 0.04,
+            CountryProfile::Typical => 0.01,
+            CountryProfile::Lossless => 0.0,
+        }
+    }
+
+    /// A WAN link with this profile's loss rate.
+    pub fn wan_link(self) -> Link {
+        Link::new(
+            LatencyModel::typical_wan(),
+            LossModel::with_rate(self.loss_rate()),
+        )
+    }
+
+    /// All profiles, for sweeps.
+    pub fn all() -> [CountryProfile; 4] {
+        [
+            CountryProfile::Lossless,
+            CountryProfile::Typical,
+            CountryProfile::China,
+            CountryProfile::Iran,
+        ]
+    }
+}
+
+impl std::fmt::Display for CountryProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CountryProfile::Iran => write!(f, "iran (11% loss)"),
+            CountryProfile::China => write!(f, "china (4% loss)"),
+            CountryProfile::Typical => write!(f, "typical (1% loss)"),
+            CountryProfile::Lossless => write!(f, "lossless"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+
+    #[test]
+    fn constant_latency_is_exact() {
+        let m = LatencyModel::Constant(SimDuration::from_millis(25));
+        let mut rng = DetRng::seed(0);
+        for _ in 0..8 {
+            assert_eq!(m.sample(&mut rng), SimDuration::from_millis(25));
+        }
+    }
+
+    #[test]
+    fn uniform_latency_within_bounds() {
+        let m = LatencyModel::Uniform {
+            low: SimDuration::from_millis(5),
+            high: SimDuration::from_millis(10),
+        };
+        let mut rng = DetRng::seed(1);
+        for _ in 0..1000 {
+            let d = m.sample(&mut rng);
+            assert!(d >= SimDuration::from_millis(5));
+            assert!(d <= SimDuration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn lognormal_median_approximately_holds() {
+        let m = LatencyModel::LogNormal {
+            median: SimDuration::from_millis(20),
+            sigma: 0.3,
+        };
+        let mut rng = DetRng::seed(2);
+        let mut samples: Vec<u64> = (0..4001).map(|_| m.sample(&mut rng).as_micros()).collect();
+        samples.sort_unstable();
+        let med = samples[samples.len() / 2] as f64;
+        assert!((med - 20_000.0).abs() < 2_000.0, "median {med}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_bounded() {
+        let m = LatencyModel::LogNormal {
+            median: SimDuration::from_millis(20),
+            sigma: 2.0,
+        };
+        let mut rng = DetRng::seed(3);
+        for _ in 0..1000 {
+            let d = m.sample(&mut rng);
+            assert!(d.as_micros() >= 1);
+            assert!(d <= SimDuration::from_secs(60));
+        }
+    }
+
+    #[test]
+    fn loss_rate_statistics() {
+        let loss = LossModel::with_rate(0.11);
+        let mut rng = DetRng::seed(4);
+        let n = 100_000;
+        let dropped = (0..n).filter(|_| loss.drops(&mut rng)).count();
+        let observed = dropped as f64 / n as f64;
+        assert!((observed - 0.11).abs() < 0.01, "observed {observed}");
+    }
+
+    #[test]
+    fn zero_loss_never_drops() {
+        let mut rng = DetRng::seed(5);
+        for _ in 0..1000 {
+            assert!(!LossModel::none().drops(&mut rng));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate")]
+    fn invalid_loss_rate_panics() {
+        LossModel::with_rate(1.5);
+    }
+
+    #[test]
+    fn ideal_link_is_free_and_reliable() {
+        let mut rng = DetRng::seed(6);
+        assert_eq!(Link::ideal().transmit(&mut rng), Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn country_profiles_match_paper() {
+        assert_eq!(CountryProfile::Iran.loss_rate(), 0.11);
+        assert_eq!(CountryProfile::China.loss_rate(), 0.04);
+        assert_eq!(CountryProfile::Typical.loss_rate(), 0.01);
+        assert_eq!(CountryProfile::Lossless.loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn lossy_link_sometimes_drops() {
+        let link = CountryProfile::Iran.wan_link();
+        let mut rng = DetRng::seed(7);
+        let drops = (0..1000).filter(|_| link.transmit(&mut rng).is_none()).count();
+        assert!(drops > 50, "expected ~110 drops, got {drops}");
+        assert!(drops < 200, "expected ~110 drops, got {drops}");
+    }
+
+    #[test]
+    fn median_accessor_matches_model() {
+        assert_eq!(
+            LatencyModel::Constant(SimDuration::from_millis(9)).median(),
+            SimDuration::from_millis(9)
+        );
+        assert_eq!(
+            LatencyModel::Uniform {
+                low: SimDuration::from_millis(4),
+                high: SimDuration::from_millis(6)
+            }
+            .median(),
+            SimDuration::from_millis(5)
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Deterministic random number generation.
+//!
+//! Every stochastic component of the simulation draws from a [`DetRng`]
+//! derived from a master seed, so whole experiments replay bit-identically.
+//! Substreams are forked by label, which keeps results stable when
+//! unrelated components add or remove draws.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic RNG with labelled substreams.
+///
+/// # Examples
+///
+/// ```
+/// use cde_netsim::DetRng;
+/// use rand::Rng;
+///
+/// let mut a = DetRng::seed(42).fork("latency");
+/// let mut b = DetRng::seed(42).fork("latency");
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+///
+/// let mut c = DetRng::seed(42).fork("loss");
+/// assert_ne!(DetRng::seed(42).fork("latency").gen::<u64>(), c.gen::<u64>());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: SmallRng,
+    seed: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a master seed.
+    pub fn seed(seed: u64) -> DetRng {
+        DetRng {
+            inner: SmallRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// Derives an independent substream named `label`.
+    ///
+    /// Forking does not consume state from `self`; the same `(seed, label)`
+    /// pair always produces the same stream.
+    pub fn fork(&self, label: &str) -> DetRng {
+        DetRng::seed(mix(self.seed, hash_label(label)))
+    }
+
+    /// Derives an independent substream indexed by `index` (e.g. one per
+    /// simulated network).
+    pub fn fork_indexed(&self, label: &str, index: u64) -> DetRng {
+        DetRng::seed(mix(mix(self.seed, hash_label(label)), index))
+    }
+
+    /// The master seed this generator derives from.
+    pub fn master_seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// FNV-1a over the label bytes.
+fn hash_label(label: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in label.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// SplitMix64 finaliser as a cheap 2-input mixer.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+/// Samples from a discrete distribution given `(item, weight)` pairs.
+///
+/// Returns the index of the chosen item. Weights need not sum to one.
+///
+/// # Panics
+///
+/// Panics when `weights` is empty or all weights are zero or negative.
+pub fn sample_weighted<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weights must be non-empty");
+    let total: f64 = weights.iter().filter(|w| **w > 0.0).sum();
+    assert!(total > 0.0, "weights must have positive mass");
+    let mut x = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if w <= 0.0 {
+            continue;
+        }
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    // Floating point slack: return the last positive-weight index.
+    weights
+        .iter()
+        .rposition(|w| *w > 0.0)
+        .expect("positive mass checked above")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::seed(7);
+        let mut b = DetRng::seed(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::seed(7);
+        let mut b = DetRng::seed(8);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn forks_are_independent_of_parent_consumption() {
+        let parent = DetRng::seed(9);
+        let mut f1 = parent.fork("x");
+        let mut parent2 = DetRng::seed(9);
+        let _ = parent2.next_u64(); // consume parent state
+        let mut f2 = parent2.fork("x");
+        assert_eq!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn fork_labels_separate_streams() {
+        let parent = DetRng::seed(9);
+        assert_ne!(
+            parent.fork("a").next_u64(),
+            parent.fork("b").next_u64()
+        );
+    }
+
+    #[test]
+    fn fork_indexed_separates_streams() {
+        let parent = DetRng::seed(9);
+        let mut s: Vec<u64> = (0..16)
+            .map(|i| parent.fork_indexed("net", i).next_u64())
+            .collect();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 16, "indexed forks must not collide");
+    }
+
+    #[test]
+    fn weighted_sampling_respects_mass() {
+        let mut rng = DetRng::seed(1);
+        let weights = [0.0, 10.0, 0.0, 1.0];
+        let mut counts = [0usize; 4];
+        for _ in 0..10_000 {
+            counts[sample_weighted(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[2], 0);
+        let ratio = counts[1] as f64 / counts[3] as f64;
+        assert!((5.0..20.0).contains(&ratio), "ratio {ratio} not near 10");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive mass")]
+    fn weighted_sampling_rejects_zero_mass() {
+        let mut rng = DetRng::seed(1);
+        sample_weighted(&mut rng, &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,159 @@
+//! A minimal discrete-event scheduler.
+//!
+//! Used for background client traffic arriving at resolution platforms
+//! while an enumeration runs (paper §V-B notes that enumeration complexity
+//! depends on "traffic from other clients").
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An event queue ordered by firing time; ties break by insertion order, so
+/// execution is fully deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use cde_netsim::{Scheduler, SimTime};
+///
+/// let mut s = Scheduler::new();
+/// s.schedule(SimTime::from_micros(20), "b");
+/// s.schedule(SimTime::from_micros(10), "a");
+/// assert_eq!(s.pop(), Some((SimTime::from_micros(10), "a")));
+/// assert_eq!(s.pop(), Some((SimTime::from_micros(20), "b")));
+/// assert_eq!(s.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler.
+    pub fn new() -> Scheduler<E> {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Enqueues `event` to fire at `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Firing time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Removes and returns the next event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+    }
+
+    /// Removes and returns the next event only if it fires at or before
+    /// `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? <= now {
+            self.pop()
+        } else {
+            None
+        }
+    }
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Scheduler<E> {
+        Scheduler::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut s = Scheduler::new();
+        for (t, e) in [(30, 'c'), (10, 'a'), (20, 'b')] {
+            s.schedule(SimTime::from_micros(t), e);
+        }
+        let order: Vec<char> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut s = Scheduler::new();
+        let t = SimTime::from_micros(5);
+        for e in 0..100 {
+            s.schedule(t, e);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_micros(10), "early");
+        s.schedule(SimTime::from_micros(100), "late");
+        assert_eq!(
+            s.pop_due(SimTime::from_micros(50)).map(|(_, e)| e),
+            Some("early")
+        );
+        assert_eq!(s.pop_due(SimTime::from_micros(50)), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn len_and_is_empty_track_contents() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        assert!(s.is_empty());
+        s.schedule(SimTime::ZERO, 1);
+        assert_eq!(s.len(), 1);
+        s.pop();
+        assert!(s.is_empty());
+    }
+}

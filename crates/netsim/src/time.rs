@@ -1,0 +1,293 @@
+//! Virtual time primitives.
+//!
+//! The simulation measures time in integer microseconds. [`SimTime`] is an
+//! absolute instant since simulation start; [`SimDuration`] is a span.
+//! Newtypes keep instants and spans from being mixed up (C-NEWTYPE).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A span of virtual time, in microseconds.
+///
+/// # Examples
+///
+/// ```
+/// use cde_netsim::SimDuration;
+///
+/// let rtt = SimDuration::from_millis(38);
+/// assert_eq!(rtt.as_micros(), 38_000);
+/// assert_eq!(rtt * 2, SimDuration::from_millis(76));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a span from microseconds.
+    pub fn from_micros(us: u64) -> SimDuration {
+        SimDuration(us)
+    }
+
+    /// Creates a span from milliseconds.
+    pub fn from_millis(ms: u64) -> SimDuration {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Creates a span from whole seconds.
+    pub fn from_secs(s: u64) -> SimDuration {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// This span in microseconds.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This span in (truncated) milliseconds.
+    pub fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// This span in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        SimDuration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+/// An absolute instant of virtual time since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use cde_netsim::{SimDuration, SimTime};
+///
+/// let t0 = SimTime::ZERO;
+/// let t1 = t0 + SimDuration::from_secs(2);
+/// assert_eq!(t1 - t0, SimDuration::from_secs(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from microseconds since the epoch.
+    pub fn from_micros(us: u64) -> SimTime {
+        SimTime(us)
+    }
+
+    /// Microseconds since the epoch.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Span since an earlier instant, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Whole seconds since the epoch (used for TTL arithmetic).
+    pub fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.as_micros())
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.as_micros();
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
+/// A shared, monotonically advancing virtual clock.
+///
+/// Cloning a `Clock` yields a handle onto the same underlying time, so a
+/// prober and the platform it probes observe one timeline.
+///
+/// # Examples
+///
+/// ```
+/// use cde_netsim::{Clock, SimDuration};
+///
+/// let clock = Clock::new();
+/// let view = clock.clone();
+/// clock.advance(SimDuration::from_millis(5));
+/// assert_eq!(view.now().as_micros(), 5_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    micros: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl Clock {
+    /// Creates a clock at the epoch.
+    pub fn new() -> Clock {
+        Clock::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.micros.load(std::sync::atomic::Ordering::SeqCst))
+    }
+
+    /// Advances the clock by `d` and returns the new time.
+    pub fn advance(&self, d: SimDuration) -> SimTime {
+        let v = self
+            .micros
+            .fetch_add(d.as_micros(), std::sync::atomic::Ordering::SeqCst);
+        SimTime(v + d.as_micros())
+    }
+
+    /// Advances the clock to `t` if it is in the future; never goes back.
+    pub fn advance_to(&self, t: SimTime) -> SimTime {
+        self.micros
+            .fetch_max(t.0, std::sync::atomic::Ordering::SeqCst);
+        self.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
+        assert_eq!(
+            SimDuration::from_millis(1),
+            SimDuration::from_micros(1000)
+        );
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_millis(10);
+        let b = SimDuration::from_millis(4);
+        assert_eq!(a + b, SimDuration::from_millis(14));
+        assert_eq!(a - b, SimDuration::from_millis(6));
+        assert_eq!(a * 3, SimDuration::from_millis(30));
+        assert_eq!(a / 2, SimDuration::from_millis(5));
+        assert_eq!(b.saturating_sub(a), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_millis).sum();
+        assert_eq!(total, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn time_duration_interaction() {
+        let t = SimTime::ZERO + SimDuration::from_secs(3);
+        assert_eq!(t.as_secs(), 3);
+        assert_eq!(t.since(SimTime::ZERO), SimDuration::from_secs(3));
+        assert_eq!(SimTime::ZERO.since(t), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_formats_scale() {
+        assert_eq!(SimDuration::from_micros(7).to_string(), "7us");
+        assert_eq!(SimDuration::from_millis(7).to_string(), "7.000ms");
+        assert_eq!(SimDuration::from_secs(7).to_string(), "7.000s");
+    }
+
+    #[test]
+    fn clock_is_shared_between_clones() {
+        let c1 = Clock::new();
+        let c2 = c1.clone();
+        c1.advance(SimDuration::from_millis(3));
+        c2.advance(SimDuration::from_millis(2));
+        assert_eq!(c1.now(), c2.now());
+        assert_eq!(c1.now().as_micros(), 5_000);
+    }
+
+    #[test]
+    fn clock_advance_to_is_monotone() {
+        let c = Clock::new();
+        c.advance(SimDuration::from_millis(10));
+        c.advance_to(SimTime::from_micros(5_000)); // in the past → no-op
+        assert_eq!(c.now().as_micros(), 10_000);
+        c.advance_to(SimTime::from_micros(20_000));
+        assert_eq!(c.now().as_micros(), 20_000);
+    }
+}

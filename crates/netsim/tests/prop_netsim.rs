@@ -1,0 +1,112 @@
+//! Property-based tests for the simulator primitives.
+
+use cde_netsim::{
+    sample_weighted, DetRng, LatencyModel, Link, LossModel, Scheduler, SimDuration, SimTime,
+};
+use proptest::prelude::*;
+use rand::RngCore;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The scheduler drains events in non-decreasing time order, with
+    /// insertion-order ties, regardless of insertion order.
+    #[test]
+    fn scheduler_orders_any_workload(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut s = Scheduler::new();
+        for (i, &t) in times.iter().enumerate() {
+            s.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        let mut drained = 0;
+        while let Some((at, idx)) = s.pop() {
+            prop_assert_eq!(SimTime::from_micros(times[idx]), at);
+            if let Some((lt, lidx)) = last {
+                prop_assert!(at > lt || (at == lt && idx > lidx));
+            }
+            last = Some((at, idx));
+            drained += 1;
+        }
+        prop_assert_eq!(drained, times.len());
+    }
+
+    /// Uniform latency samples always fall inside the configured bounds.
+    #[test]
+    fn uniform_latency_bounded(lo in 0u64..10_000, width in 0u64..10_000, seed in any::<u64>()) {
+        let model = LatencyModel::Uniform {
+            low: SimDuration::from_micros(lo),
+            high: SimDuration::from_micros(lo + width),
+        };
+        let mut rng = DetRng::seed(seed);
+        for _ in 0..50 {
+            let d = model.sample(&mut rng);
+            prop_assert!(d.as_micros() >= lo);
+            prop_assert!(d.as_micros() <= lo + width);
+        }
+    }
+
+    /// Log-normal samples are always positive and capped.
+    #[test]
+    fn lognormal_latency_sane(median_ms in 1u64..1_000, sigma in 0.0f64..3.0, seed in any::<u64>()) {
+        let model = LatencyModel::LogNormal {
+            median: SimDuration::from_millis(median_ms),
+            sigma,
+        };
+        let mut rng = DetRng::seed(seed);
+        for _ in 0..50 {
+            let d = model.sample(&mut rng);
+            prop_assert!(d.as_micros() >= 1);
+            prop_assert!(d <= SimDuration::from_secs(60));
+        }
+    }
+
+    /// Per-link transmissions succeed at roughly the configured rate.
+    #[test]
+    fn loss_rate_statistically_correct(rate_pct in 0u32..60, seed in any::<u64>()) {
+        let rate = rate_pct as f64 / 100.0;
+        let link = Link::new(
+            LatencyModel::Constant(SimDuration::from_micros(1)),
+            LossModel::with_rate(rate),
+        );
+        let mut rng = DetRng::seed(seed);
+        let n = 4_000;
+        let delivered = (0..n).filter(|_| link.transmit(&mut rng).is_some()).count();
+        let observed = 1.0 - delivered as f64 / n as f64;
+        prop_assert!((observed - rate).abs() < 0.04, "observed {observed}, rate {rate}");
+    }
+
+    /// Fork labels and indices always produce distinct, reproducible
+    /// streams.
+    #[test]
+    fn rng_forks_reproducible(seed in any::<u64>(), idx in 0u64..1_000) {
+        let a = DetRng::seed(seed).fork_indexed("x", idx).next_u64();
+        let b = DetRng::seed(seed).fork_indexed("x", idx).next_u64();
+        prop_assert_eq!(a, b);
+        let c = DetRng::seed(seed).fork_indexed("x", idx + 1).next_u64();
+        prop_assert_ne!(a, c);
+    }
+
+    /// Weighted sampling never selects zero-weight items.
+    #[test]
+    fn weighted_sampling_avoids_zero_mass(
+        weights in proptest::collection::vec(0.0f64..10.0, 1..10),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(weights.iter().any(|w| *w > 0.0));
+        let mut rng = DetRng::seed(seed);
+        for _ in 0..50 {
+            let idx = sample_weighted(&mut rng, &weights);
+            prop_assert!(weights[idx] > 0.0);
+        }
+    }
+
+    /// Time arithmetic is consistent: (t + d) - t == d.
+    #[test]
+    fn time_arithmetic_roundtrip(base in 0u64..1_000_000, delta in 0u64..1_000_000) {
+        let t = SimTime::from_micros(base);
+        let d = SimDuration::from_micros(delta);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d).since(t), d);
+        prop_assert_eq!(t.since(t + d), SimDuration::ZERO);
+    }
+}

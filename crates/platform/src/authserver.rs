@@ -1,0 +1,456 @@
+//! Authoritative nameservers with query logs.
+//!
+//! The query log is the paper's observation channel: the CDE infrastructure
+//! "counts the number of queries arriving at our nameservers" (§IV-A). The
+//! `minimal_responses` switch mirrors BIND's option of the same name; the
+//! CNAME-chain bypass (§IV-B2a) needs it on so resolving the alias target
+//! costs the resolver a separate, countable query.
+
+use cde_dns::zone::LookupResult;
+use cde_dns::{Edns, Message, Name, Question, Rcode, RecordType, Zone};
+use cde_netsim::SimTime;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// One query observed by an authoritative server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryLogEntry {
+    /// Virtual time of arrival.
+    pub at: SimTime,
+    /// Source (egress) address the query came from.
+    pub from: Ipv4Addr,
+    /// Queried name.
+    pub qname: Name,
+    /// Queried type.
+    pub qtype: RecordType,
+    /// EDNS parameters advertised by the querier, when any (the paper's
+    /// §II-C EDNS-adoption use case measures exactly this field).
+    pub edns: Option<Edns>,
+}
+
+/// An authoritative nameserver serving one or more zones.
+///
+/// # Examples
+///
+/// ```
+/// use cde_platform::AuthServer;
+/// use cde_dns::{Name, Question, RecordType, Ttl, Zone};
+/// use cde_netsim::SimTime;
+/// use std::net::Ipv4Addr;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let apex: Name = "cache.example".parse()?;
+/// let zone = Zone::with_soa(apex.clone(), Ttl::from_secs(300));
+/// let mut server = AuthServer::new(Ipv4Addr::new(198, 51, 100, 53), vec![zone]);
+/// let q = Question::new(apex, RecordType::Soa);
+/// let resp = server.handle(Ipv4Addr::new(203, 0, 113, 9), &q, SimTime::ZERO);
+/// assert!(resp.flags.aa);
+/// assert_eq!(server.log().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct AuthServer {
+    addr: Ipv4Addr,
+    zones: Vec<Zone>,
+    minimal_responses: bool,
+    log: Vec<QueryLogEntry>,
+}
+
+impl AuthServer {
+    /// Creates a server at `addr` serving `zones`.
+    pub fn new(addr: Ipv4Addr, zones: Vec<Zone>) -> AuthServer {
+        AuthServer {
+            addr,
+            zones,
+            minimal_responses: true,
+            log: Vec::new(),
+        }
+    }
+
+    /// Server address.
+    pub fn addr(&self) -> Ipv4Addr {
+        self.addr
+    }
+
+    /// Enables or disables target chasing in CNAME answers. With minimal
+    /// responses on (the default, and BIND's common configuration), the
+    /// alias target's records are *not* appended, forcing resolvers to
+    /// issue a separate query — the signal the CNAME-chain bypass counts.
+    pub fn set_minimal_responses(&mut self, on: bool) {
+        self.minimal_responses = on;
+    }
+
+    /// Mutable access to a served zone by apex (for planting records).
+    pub fn zone_mut(&mut self, apex: &Name) -> Option<&mut Zone> {
+        self.zones.iter_mut().find(|z| z.apex() == apex)
+    }
+
+    /// Starts serving an additional zone (measurement sessions delegate
+    /// fresh subzones onto a shared server).
+    pub fn add_zone(&mut self, zone: Zone) {
+        self.zones.push(zone);
+    }
+
+    /// The query log, in arrival order.
+    pub fn log(&self) -> &[QueryLogEntry] {
+        &self.log
+    }
+
+    /// Clears the query log (between measurement rounds).
+    pub fn clear_log(&mut self) {
+        self.log.clear();
+    }
+
+    /// Number of logged queries matching `qname` (any type).
+    pub fn count_queries_for(&self, qname: &Name) -> usize {
+        self.log.iter().filter(|e| &e.qname == qname).count()
+    }
+
+    /// Distinct source addresses seen asking for `qname`.
+    pub fn sources_for(&self, qname: &Name) -> Vec<Ipv4Addr> {
+        let mut out: Vec<Ipv4Addr> = self
+            .log
+            .iter()
+            .filter(|e| &e.qname == qname)
+            .map(|e| e.from)
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Finds the best zone for `qname`: the one with the deepest apex that
+    /// contains the name.
+    fn best_zone(&self, qname: &Name) -> Option<&Zone> {
+        self.zones
+            .iter()
+            .filter(|z| z.contains_name(qname))
+            .max_by_key(|z| z.apex().label_count())
+    }
+
+    /// Handles one query without EDNS: logs it and synthesises the answer.
+    pub fn handle(&mut self, from: Ipv4Addr, q: &Question, now: SimTime) -> Message {
+        self.handle_with_edns(from, q, None, now)
+    }
+
+    /// Handles one query carrying the querier's EDNS advertisement.
+    pub fn handle_with_edns(
+        &mut self,
+        from: Ipv4Addr,
+        q: &Question,
+        edns: Option<Edns>,
+        now: SimTime,
+    ) -> Message {
+        self.log.push(QueryLogEntry {
+            at: now,
+            from,
+            qname: q.qname().clone(),
+            qtype: q.qtype(),
+            edns,
+        });
+
+        let query = Message::query(0, q.clone());
+        let mut resp = Message::response_to(&query);
+
+        let Some(zone) = self.best_zone(q.qname()) else {
+            resp.flags.rcode = Rcode::Refused;
+            return resp;
+        };
+
+        match zone.lookup(q.qname(), q.qtype()) {
+            LookupResult::Answer(rrs) => {
+                resp.flags.aa = true;
+                resp.answers = rrs;
+            }
+            LookupResult::Cname {
+                chain,
+                target_records,
+            } => {
+                resp.flags.aa = true;
+                resp.answers = chain;
+                if !self.minimal_responses {
+                    resp.answers.extend(target_records);
+                }
+            }
+            LookupResult::Referral { ns_records, glue } => {
+                resp.flags.aa = false;
+                resp.authorities = ns_records;
+                resp.additionals = glue;
+            }
+            LookupResult::NoData { soa } => {
+                resp.flags.aa = true;
+                resp.authorities.extend(soa);
+            }
+            LookupResult::NxDomain { soa } => {
+                resp.flags.aa = true;
+                resp.flags.rcode = Rcode::NxDomain;
+                resp.authorities.extend(soa);
+            }
+        }
+        resp
+    }
+}
+
+/// The set of authoritative servers reachable in the simulated Internet,
+/// with root hints.
+///
+/// A thin registry: the platform's egress resolvers address servers by IP,
+/// exactly as real resolvers do.
+#[derive(Debug, Default)]
+pub struct NameserverNet {
+    servers: HashMap<Ipv4Addr, AuthServer>,
+    root_addr: Option<Ipv4Addr>,
+}
+
+impl NameserverNet {
+    /// Creates an empty network.
+    pub fn new() -> NameserverNet {
+        NameserverNet::default()
+    }
+
+    /// Registers a server; the first server registered with a root zone
+    /// (apex `.`) becomes the root hint.
+    pub fn add_server(&mut self, server: AuthServer) {
+        if self.root_addr.is_none()
+            && server
+                .zones
+                .iter()
+                .any(|z| z.apex().is_root())
+        {
+            self.root_addr = Some(server.addr);
+        }
+        self.servers.insert(server.addr, server);
+    }
+
+    /// Root server address.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no root server was registered.
+    pub fn root_addr(&self) -> Ipv4Addr {
+        self.root_addr.expect("a root server must be registered")
+    }
+
+    /// Shared access to a server.
+    pub fn server(&self, addr: Ipv4Addr) -> Option<&AuthServer> {
+        self.servers.get(&addr)
+    }
+
+    /// Mutable access to a server.
+    pub fn server_mut(&mut self, addr: Ipv4Addr) -> Option<&mut AuthServer> {
+        self.servers.get_mut(&addr)
+    }
+
+    /// Delivers one query to the server at `addr`.
+    ///
+    /// Returns `None` when no server listens there (the query blackholes).
+    pub fn deliver(
+        &mut self,
+        addr: Ipv4Addr,
+        from: Ipv4Addr,
+        q: &Question,
+        now: SimTime,
+    ) -> Option<Message> {
+        self.servers.get_mut(&addr).map(|s| s.handle(from, q, now))
+    }
+
+    /// Like [`NameserverNet::deliver`] with the querier's EDNS parameters.
+    pub fn deliver_with_edns(
+        &mut self,
+        addr: Ipv4Addr,
+        from: Ipv4Addr,
+        q: &Question,
+        edns: Option<Edns>,
+        now: SimTime,
+    ) -> Option<Message> {
+        self.servers
+            .get_mut(&addr)
+            .map(|s| s.handle_with_edns(from, q, edns, now))
+    }
+
+    /// Iterates over all registered servers.
+    pub fn servers(&self) -> impl Iterator<Item = &AuthServer> + '_ {
+        self.servers.values()
+    }
+
+    /// Clears every server's query log.
+    pub fn clear_logs(&mut self) {
+        for s in self.servers.values_mut() {
+            s.clear_log();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cde_dns::{RData, Record, Ttl};
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(a, b, c, d)
+    }
+
+    fn cde_zone() -> Zone {
+        let mut z = Zone::with_soa(n("cache.example"), Ttl::from_secs(300));
+        z.add(Record::new(
+            n("name.cache.example"),
+            Ttl::from_secs(3600),
+            RData::A(ip(198, 51, 100, 4)),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            n("x-1.cache.example"),
+            Ttl::from_secs(3600),
+            RData::Cname(n("name.cache.example")),
+        ))
+        .unwrap();
+        z
+    }
+
+    #[test]
+    fn handle_logs_and_answers() {
+        let mut s = AuthServer::new(ip(9, 9, 9, 9), vec![cde_zone()]);
+        let resp = s.handle(
+            ip(1, 2, 3, 4),
+            &Question::new(n("name.cache.example"), RecordType::A),
+            SimTime::ZERO,
+        );
+        assert!(resp.flags.aa);
+        assert_eq!(resp.answers.len(), 1);
+        assert_eq!(s.count_queries_for(&n("name.cache.example")), 1);
+        assert_eq!(s.log()[0].from, ip(1, 2, 3, 4));
+    }
+
+    #[test]
+    fn minimal_responses_hide_cname_target() {
+        let mut s = AuthServer::new(ip(9, 9, 9, 9), vec![cde_zone()]);
+        let q = Question::new(n("x-1.cache.example"), RecordType::A);
+        let resp = s.handle(ip(1, 1, 1, 1), &q, SimTime::ZERO);
+        assert_eq!(resp.answers.len(), 1);
+        assert_eq!(resp.answers[0].rtype(), RecordType::Cname);
+    }
+
+    #[test]
+    fn full_responses_chase_cname_target() {
+        let mut s = AuthServer::new(ip(9, 9, 9, 9), vec![cde_zone()]);
+        s.set_minimal_responses(false);
+        let q = Question::new(n("x-1.cache.example"), RecordType::A);
+        let resp = s.handle(ip(1, 1, 1, 1), &q, SimTime::ZERO);
+        assert_eq!(resp.answers.len(), 2);
+    }
+
+    #[test]
+    fn unknown_zone_is_refused() {
+        let mut s = AuthServer::new(ip(9, 9, 9, 9), vec![cde_zone()]);
+        let resp = s.handle(
+            ip(1, 1, 1, 1),
+            &Question::new(n("elsewhere.test"), RecordType::A),
+            SimTime::ZERO,
+        );
+        assert_eq!(resp.flags.rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn nxdomain_carries_soa() {
+        let mut s = AuthServer::new(ip(9, 9, 9, 9), vec![cde_zone()]);
+        let resp = s.handle(
+            ip(1, 1, 1, 1),
+            &Question::new(n("nope.cache.example"), RecordType::A),
+            SimTime::ZERO,
+        );
+        assert_eq!(resp.flags.rcode, Rcode::NxDomain);
+        assert_eq!(resp.authorities.len(), 1);
+        assert_eq!(resp.authorities[0].rtype(), RecordType::Soa);
+    }
+
+    #[test]
+    fn sources_are_deduplicated() {
+        let mut s = AuthServer::new(ip(9, 9, 9, 9), vec![cde_zone()]);
+        let q = Question::new(n("name.cache.example"), RecordType::A);
+        for src in [ip(1, 1, 1, 1), ip(2, 2, 2, 2), ip(1, 1, 1, 1)] {
+            s.handle(src, &q, SimTime::ZERO);
+        }
+        assert_eq!(
+            s.sources_for(&n("name.cache.example")),
+            vec![ip(1, 1, 1, 1), ip(2, 2, 2, 2)]
+        );
+    }
+
+    #[test]
+    fn deepest_zone_wins() {
+        let parent = cde_zone();
+        let mut child = Zone::with_soa(n("sub.cache.example"), Ttl::from_secs(60));
+        child
+            .add(Record::new(
+                n("w.sub.cache.example"),
+                Ttl::from_secs(60),
+                RData::A(ip(4, 4, 4, 4)),
+            ))
+            .unwrap();
+        let mut s = AuthServer::new(ip(9, 9, 9, 9), vec![parent, child]);
+        let resp = s.handle(
+            ip(1, 1, 1, 1),
+            &Question::new(n("w.sub.cache.example"), RecordType::A),
+            SimTime::ZERO,
+        );
+        assert!(resp.flags.aa);
+        assert_eq!(resp.answers.len(), 1);
+    }
+
+    #[test]
+    fn net_registers_root_and_delivers() {
+        let mut net = NameserverNet::new();
+        let mut root_zone = Zone::new(Name::root());
+        root_zone
+            .add(Record::new(
+                n("example"),
+                Ttl::from_secs(86400),
+                RData::Ns(n("ns.example")),
+            ))
+            .unwrap();
+        root_zone
+            .add(Record::new(
+                n("ns.example"),
+                Ttl::from_secs(86400),
+                RData::A(ip(10, 0, 0, 1)),
+            ))
+            .unwrap();
+        net.add_server(AuthServer::new(ip(10, 0, 0, 250), vec![root_zone]));
+        net.add_server(AuthServer::new(ip(10, 0, 0, 1), vec![cde_zone()]));
+        assert_eq!(net.root_addr(), ip(10, 0, 0, 250));
+        let resp = net
+            .deliver(
+                ip(10, 0, 0, 250),
+                ip(7, 7, 7, 7),
+                &Question::new(n("name.cache.example"), RecordType::A),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        // The root zone contains every name, so the root answers with a
+        // referral towards `example` (NoError, not authoritative).
+        assert_eq!(resp.flags.rcode, Rcode::NoError);
+        assert!(!resp.flags.aa);
+        assert_eq!(resp.authorities.len(), 1);
+        assert_eq!(resp.authorities[0].name(), &n("example"));
+        assert!(net.deliver(ip(1, 2, 3, 4), ip(7, 7, 7, 7), &Question::new(n("x"), RecordType::A), SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn clear_logs_resets_all_servers() {
+        let mut net = NameserverNet::new();
+        net.add_server(AuthServer::new(ip(10, 0, 0, 1), vec![cde_zone()]));
+        net.deliver(
+            ip(10, 0, 0, 1),
+            ip(7, 7, 7, 7),
+            &Question::new(n("name.cache.example"), RecordType::A),
+            SimTime::ZERO,
+        );
+        net.clear_logs();
+        assert!(net.server(ip(10, 0, 0, 1)).unwrap().log().is_empty());
+    }
+}

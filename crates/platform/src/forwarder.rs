@@ -1,0 +1,269 @@
+//! Forwarders: resolvers that relay to an upstream platform.
+//!
+//! The paper (§VI) observes that "ingress resolvers are also often
+//! configured to use upstream caches, such as Google Public DNS, in which
+//! cases the client will only see the forwarder whose sole functionality
+//! is to relay queries, while the complex caching logic is performed by
+//! the upstream cache." A [`Forwarder`] models exactly that: one address
+//! facing clients, an optional small local cache, and an upstream
+//! platform ingress it relays misses to.
+//!
+//! Measurement consequences (covered by tests here and used in the
+//! ablations): a *pure relay* is transparent — enumeration counts the
+//! upstream's caches; a *caching* forwarder absorbs repeated names, so
+//! identical-query enumeration sees exactly one cache (the forwarder's
+//! own), while the CNAME-farm technique still reaches the upstream.
+
+use crate::authserver::NameserverNet;
+use crate::platform::{PlatformError, PlatformResponse, ResolutionPlatform};
+use crate::resolver::ResolveResult;
+use cde_cache::{CacheConfig, CacheLookup, DnsCache};
+use cde_dns::{Name, RecordType};
+use cde_netsim::{DetRng, LatencyModel, SimTime};
+use std::net::Ipv4Addr;
+
+/// A forwarding resolver in front of an upstream platform.
+///
+/// # Examples
+///
+/// ```
+/// use cde_platform::testnet::build_simple_world;
+/// use cde_platform::Forwarder;
+/// use cde_dns::RecordType;
+/// use cde_netsim::SimTime;
+/// use std::net::Ipv4Addr;
+///
+/// let mut world = build_simple_world(2, 11);
+/// let upstream_ingress = world.platform.ingress_ips()[0];
+/// let mut fwd = Forwarder::pure_relay(Ipv4Addr::new(198, 18, 7, 53), upstream_ingress, 5);
+/// let resp = fwd
+///     .handle_query(
+///         Ipv4Addr::new(203, 0, 113, 4),
+///         &"name.cache.example".parse().unwrap(),
+///         RecordType::A,
+///         SimTime::ZERO,
+///         &mut world.platform,
+///         &mut world.net,
+///     )
+///     .unwrap();
+/// assert!(resp.outcome.result.is_success());
+/// ```
+#[derive(Debug)]
+pub struct Forwarder {
+    addr: Ipv4Addr,
+    upstream_ingress: Ipv4Addr,
+    cache: Option<DnsCache>,
+    hop_latency: LatencyModel,
+    rng: DetRng,
+    relayed: u64,
+    served_locally: u64,
+}
+
+impl Forwarder {
+    /// A forwarder that relays everything (no local cache).
+    pub fn pure_relay(addr: Ipv4Addr, upstream_ingress: Ipv4Addr, seed: u64) -> Forwarder {
+        Forwarder {
+            addr,
+            upstream_ingress,
+            cache: None,
+            hop_latency: LatencyModel::datacenter(),
+            rng: DetRng::seed(seed).fork("forwarder"),
+            relayed: 0,
+            served_locally: 0,
+        }
+    }
+
+    /// A forwarder with its own small cache in front of the upstream.
+    pub fn caching(
+        addr: Ipv4Addr,
+        upstream_ingress: Ipv4Addr,
+        capacity: usize,
+        seed: u64,
+    ) -> Forwarder {
+        Forwarder {
+            cache: Some(DnsCache::new(
+                seed ^ 0xF0,
+                CacheConfig {
+                    capacity,
+                    ..CacheConfig::default()
+                },
+            )),
+            ..Forwarder::pure_relay(addr, upstream_ingress, seed)
+        }
+    }
+
+    /// The forwarder's client-facing address.
+    pub fn addr(&self) -> Ipv4Addr {
+        self.addr
+    }
+
+    /// `true` when the forwarder has a local cache.
+    pub fn is_caching(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Queries relayed upstream so far.
+    pub fn relayed(&self) -> u64 {
+        self.relayed
+    }
+
+    /// Queries answered from the local cache so far.
+    pub fn served_locally(&self) -> u64 {
+        self.served_locally
+    }
+
+    /// Handles one client query: local cache first (when present), then
+    /// relay to the upstream platform's ingress.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlatformError::UnknownIngress`] when the configured
+    /// upstream ingress is wrong.
+    pub fn handle_query(
+        &mut self,
+        src: Ipv4Addr,
+        qname: &Name,
+        qtype: RecordType,
+        now: SimTime,
+        upstream: &mut ResolutionPlatform,
+        net: &mut NameserverNet,
+    ) -> Result<PlatformResponse, PlatformError> {
+        let hop = self.hop_latency.sample(&mut self.rng);
+        if let Some(cache) = &mut self.cache {
+            if let CacheLookup::Hit(records) = cache.lookup(qname, qtype, now) {
+                self.served_locally += 1;
+                return Ok(PlatformResponse {
+                    outcome: crate::resolver::ResolveOutcome {
+                        result: ResolveResult::Records(records),
+                        latency: hop * 2,
+                        upstream_queries: 0,
+                        cache_hit: true,
+                    },
+                    truth_cluster: usize::MAX, // served by the forwarder itself
+                    truth_cache: usize::MAX,
+                });
+            }
+        }
+        self.relayed += 1;
+        // The upstream sees the forwarder as the client.
+        let mut resp =
+            upstream.handle_query(self.addr, self.upstream_ingress, qname, qtype, now, net)?;
+        let _ = src;
+        resp.outcome.latency += hop * 2;
+        if let Some(cache) = &mut self.cache {
+            if let ResolveResult::Records(records) = &resp.outcome.result {
+                cache.insert(qname.clone(), qtype, records.clone(), now);
+            }
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::testnet::{build_simple_world, CDE_ZONE_SERVER};
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn client() -> Ipv4Addr {
+        Ipv4Addr::new(203, 0, 113, 31)
+    }
+
+    #[test]
+    fn pure_relay_is_transparent_to_enumeration() {
+        // q identical queries through a pure relay touch every upstream
+        // cache, exactly as direct queries would.
+        let mut w = build_simple_world(3, 21);
+        let ing = w.platform.ingress_ips()[0];
+        let mut fwd = Forwarder::pure_relay(Ipv4Addr::new(198, 18, 7, 53), ing, 1);
+        for _ in 0..48 {
+            fwd.handle_query(client(), &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut w.platform, &mut w.net)
+                .unwrap();
+        }
+        let omega = w
+            .net
+            .server(CDE_ZONE_SERVER)
+            .unwrap()
+            .count_queries_for(&n("name.cache.example"));
+        assert_eq!(omega, 3);
+        assert_eq!(fwd.relayed(), 48);
+        assert_eq!(fwd.served_locally(), 0);
+    }
+
+    #[test]
+    fn caching_forwarder_masks_upstream_caches_for_identical_queries() {
+        // The repeated name sticks in the forwarder's cache: the upstream
+        // is touched once, so identical-query enumeration reports 1.
+        let mut w = build_simple_world(3, 22);
+        let ing = w.platform.ingress_ips()[0];
+        let mut fwd = Forwarder::caching(Ipv4Addr::new(198, 18, 7, 53), ing, 1000, 2);
+        for _ in 0..48 {
+            fwd.handle_query(client(), &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut w.platform, &mut w.net)
+                .unwrap();
+        }
+        let omega = w
+            .net
+            .server(CDE_ZONE_SERVER)
+            .unwrap()
+            .count_queries_for(&n("name.cache.example"));
+        assert_eq!(omega, 1);
+        assert_eq!(fwd.relayed(), 1);
+        assert_eq!(fwd.served_locally(), 47);
+    }
+
+    #[test]
+    fn cname_farm_reaches_upstream_through_caching_forwarder() {
+        // Distinct aliases miss the forwarder cache each time, so the farm
+        // technique enumerates the upstream even behind a caching
+        // forwarder — the same reason it bypasses browser caches.
+        let mut w = build_simple_world(3, 23);
+        let ing = w.platform.ingress_ips()[0];
+        let mut fwd = Forwarder::caching(Ipv4Addr::new(198, 18, 7, 53), ing, 1000, 3);
+        for i in 1..=64 {
+            fwd.handle_query(
+                client(),
+                &n(&format!("x-{i}.cache.example")),
+                RecordType::A,
+                SimTime::ZERO,
+                &mut w.platform,
+                &mut w.net,
+            )
+            .unwrap();
+        }
+        let omega = w
+            .net
+            .server(CDE_ZONE_SERVER)
+            .unwrap()
+            .count_queries_for(&n("name.cache.example"));
+        assert_eq!(omega, 3);
+    }
+
+    #[test]
+    fn forwarder_reports_misconfigured_upstream() {
+        let mut w = build_simple_world(1, 24);
+        let mut fwd =
+            Forwarder::pure_relay(Ipv4Addr::new(198, 18, 7, 53), Ipv4Addr::new(9, 9, 9, 9), 4);
+        let err = fwd
+            .handle_query(client(), &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut w.platform, &mut w.net)
+            .unwrap_err();
+        assert!(matches!(err, PlatformError::UnknownIngress(_)));
+    }
+
+    #[test]
+    fn local_hits_are_faster_than_relays() {
+        let mut w = build_simple_world(1, 25);
+        let ing = w.platform.ingress_ips()[0];
+        let mut fwd = Forwarder::caching(Ipv4Addr::new(198, 18, 7, 53), ing, 1000, 5);
+        let miss = fwd
+            .handle_query(client(), &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut w.platform, &mut w.net)
+            .unwrap();
+        let hit = fwd
+            .handle_query(client(), &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut w.platform, &mut w.net)
+            .unwrap();
+        assert!(hit.outcome.cache_hit);
+        assert!(hit.outcome.latency <= miss.outcome.latency);
+    }
+}

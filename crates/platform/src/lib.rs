@@ -1,0 +1,59 @@
+//! Simulated DNS resolution platforms for the CDE reproduction.
+//!
+//! This crate implements the paper's platform model (Fig. 1): clients talk
+//! to *ingress* addresses, a load balancer selects exactly one hidden
+//! cache per query, and cache misses go out through *egress* addresses to
+//! authoritative nameservers. It also provides the nameserver side — the
+//! CDE infrastructure's observation point — and the local-cache chain that
+//! sits in front of indirect probers.
+//!
+//! * [`AuthServer`]/[`NameserverNet`] — authoritative servers with query
+//!   logs (§IV-A observation channel),
+//! * [`LoadBalancer`]/[`SelectorKind`] — the cache-selection strategies of
+//!   §IV-A,
+//! * [`resolver`] — per-cache iterative resolution (referrals, CNAME
+//!   restarts, negative caching, loss-aware retries),
+//! * [`ResolutionPlatform`]/[`PlatformBuilder`] — the full platform,
+//! * [`LocalCacheChain`] — browser/OS-stub caches the indirect techniques
+//!   must bypass (§IV-B2),
+//! * [`testnet`] — ready-made worlds for tests, examples and benches.
+//!
+//! # Examples
+//!
+//! ```
+//! use cde_platform::testnet::build_simple_world;
+//! use cde_dns::RecordType;
+//! use cde_netsim::SimTime;
+//!
+//! let mut world = build_simple_world(3, 1);
+//! let ingress = world.platform.ingress_ips()[0];
+//! let client = std::net::Ipv4Addr::new(203, 0, 113, 5);
+//! let qname = "name.cache.example".parse().unwrap();
+//! let resp = world
+//!     .platform
+//!     .handle_query(client, ingress, &qname, RecordType::A, SimTime::ZERO, &mut world.net)
+//!     .unwrap();
+//! assert!(resp.outcome.result.is_success());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod authserver;
+pub mod forwarder;
+pub mod localcache;
+pub mod platform;
+pub mod resolver;
+pub mod selector;
+pub mod traffic;
+
+pub use authserver::{AuthServer, NameserverNet, QueryLogEntry};
+pub use forwarder::Forwarder;
+pub use traffic::BackgroundTraffic;
+pub use localcache::{LocalCacheChain, LocalCacheLayer};
+pub use platform::{
+    testnet, Cluster, ClusterConfig, GroundTruth, PlatformBuilder, PlatformError,
+    PlatformResponse, ResolutionPlatform,
+};
+pub use resolver::{ResolveOutcome, ResolveResult, Upstream};
+pub use selector::{LoadBalancer, SelectorKind};

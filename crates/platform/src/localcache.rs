@@ -1,0 +1,229 @@
+//! Local caches between an indirect prober and the ingress resolver.
+//!
+//! When probing via email servers or web browsers (paper §IV-B), the
+//! prober's queries pass through a chain of local caches — the browser's
+//! own cache, the OS stub resolver's cache, possibly a web proxy. They
+//! impose the two limitations §IV-B spells out: a hostname reaches the
+//! ingress resolver only once per TTL, and the prober cannot control query
+//! timing. The CNAME-chain and names-hierarchy bypasses work because they
+//! use *distinct* query names that all funnel to one countable record.
+
+use cde_dns::{Name, Record, RecordType};
+use cde_netsim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// One layer of the local cache chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LocalCacheLayer {
+    /// In-browser DNS/resource cache (e.g. Internet Explorer's).
+    Browser,
+    /// Operating-system stub resolver cache (e.g. Windows 8's).
+    OsStub,
+    /// Forward web proxy with its own resolver cache.
+    Proxy,
+}
+
+impl std::fmt::Display for LocalCacheLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LocalCacheLayer::Browser => write!(f, "browser"),
+            LocalCacheLayer::OsStub => write!(f, "os-stub"),
+            LocalCacheLayer::Proxy => write!(f, "proxy"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LocalEntry {
+    records: Vec<Record>,
+    expires_at: SimTime,
+}
+
+/// A chain of simple positive caches keyed by `(name, type)`.
+///
+/// Local caches only ever see final answers (the CNAME redirection is
+/// resolved upstream, §IV-B2a), so each layer stores whole answers keyed by
+/// the *queried* name.
+///
+/// # Examples
+///
+/// ```
+/// use cde_platform::{LocalCacheChain, LocalCacheLayer};
+/// use cde_dns::{Name, RData, Record, RecordType, Ttl};
+/// use cde_netsim::SimTime;
+/// use std::net::Ipv4Addr;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut chain = LocalCacheChain::browser_and_stub();
+/// let name: Name = "a.cache.example".parse()?;
+/// assert!(chain.lookup(&name, RecordType::A, SimTime::ZERO).is_none());
+/// chain.store(
+///     name.clone(),
+///     RecordType::A,
+///     vec![Record::new(name.clone(), Ttl::from_secs(60), RData::A(Ipv4Addr::new(1, 2, 3, 4)))],
+///     SimTime::ZERO,
+/// );
+/// assert!(chain.lookup(&name, RecordType::A, SimTime::ZERO).is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct LocalCacheChain {
+    layers: Vec<(LocalCacheLayer, HashMap<(Name, RecordType), LocalEntry>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LocalCacheChain {
+    /// Creates a chain with the given layers (outermost first).
+    pub fn new(layers: &[LocalCacheLayer]) -> LocalCacheChain {
+        LocalCacheChain {
+            layers: layers.iter().map(|&l| (l, HashMap::new())).collect(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The typical web-client chain: browser cache over OS stub cache.
+    pub fn browser_and_stub() -> LocalCacheChain {
+        LocalCacheChain::new(&[LocalCacheLayer::Browser, LocalCacheLayer::OsStub])
+    }
+
+    /// The typical mail-server chain: just the OS stub cache.
+    pub fn stub_only() -> LocalCacheChain {
+        LocalCacheChain::new(&[LocalCacheLayer::OsStub])
+    }
+
+    /// An empty chain (direct prober: no local caching at all).
+    pub fn none() -> LocalCacheChain {
+        LocalCacheChain::new(&[])
+    }
+
+    /// Layers in this chain, outermost first.
+    pub fn layers(&self) -> Vec<LocalCacheLayer> {
+        self.layers.iter().map(|(l, _)| *l).collect()
+    }
+
+    /// Local lookups answered without reaching the ingress resolver.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to go through to the ingress resolver.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Checks every layer outermost-in; a fresh entry anywhere answers
+    /// locally.
+    pub fn lookup(
+        &mut self,
+        name: &Name,
+        rtype: RecordType,
+        now: SimTime,
+    ) -> Option<Vec<Record>> {
+        let key = (name.clone(), rtype);
+        for (_, map) in &mut self.layers {
+            if let Some(entry) = map.get(&key) {
+                if entry.expires_at > now {
+                    self.hits += 1;
+                    return Some(entry.records.clone());
+                }
+                map.remove(&key);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Stores a final answer in every layer (each local cache on the path
+    /// sees the response go by).
+    pub fn store(&mut self, name: Name, rtype: RecordType, records: Vec<Record>, now: SimTime) {
+        let ttl = records
+            .iter()
+            .map(|r| r.ttl().as_secs())
+            .min()
+            .unwrap_or(0);
+        if ttl == 0 {
+            return;
+        }
+        let expires_at = now + SimDuration::from_secs(ttl as u64);
+        for (_, map) in &mut self.layers {
+            map.insert(
+                (name.clone(), rtype),
+                LocalEntry {
+                    records: records.clone(),
+                    expires_at,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cde_dns::{RData, Ttl};
+    use std::net::Ipv4Addr;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn rec(name: &Name, ttl: u32) -> Record {
+        Record::new(
+            name.clone(),
+            Ttl::from_secs(ttl),
+            RData::A(Ipv4Addr::new(5, 5, 5, 5)),
+        )
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn empty_chain_never_hits() {
+        let mut c = LocalCacheChain::none();
+        let name = n("a.b");
+        c.store(name.clone(), RecordType::A, vec![rec(&name, 60)], t(0));
+        assert!(c.lookup(&name, RecordType::A, t(0)).is_none());
+    }
+
+    #[test]
+    fn stored_answers_hit_until_ttl() {
+        let mut c = LocalCacheChain::browser_and_stub();
+        let name = n("a.b");
+        c.store(name.clone(), RecordType::A, vec![rec(&name, 60)], t(0));
+        assert!(c.lookup(&name, RecordType::A, t(59)).is_some());
+        assert!(c.lookup(&name, RecordType::A, t(60)).is_none());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn distinct_names_do_not_collide() {
+        // The property the CNAME-chain bypass relies on.
+        let mut c = LocalCacheChain::browser_and_stub();
+        let n1 = n("x-1.cache.example");
+        c.store(n1.clone(), RecordType::A, vec![rec(&n1, 60)], t(0));
+        assert!(c.lookup(&n("x-2.cache.example"), RecordType::A, t(0)).is_none());
+    }
+
+    #[test]
+    fn zero_ttl_not_stored() {
+        let mut c = LocalCacheChain::stub_only();
+        let name = n("a.b");
+        c.store(name.clone(), RecordType::A, vec![rec(&name, 0)], t(0));
+        assert!(c.lookup(&name, RecordType::A, t(0)).is_none());
+    }
+
+    #[test]
+    fn layers_accessor_reports_chain() {
+        let c = LocalCacheChain::browser_and_stub();
+        assert_eq!(
+            c.layers(),
+            vec![LocalCacheLayer::Browser, LocalCacheLayer::OsStub]
+        );
+    }
+}

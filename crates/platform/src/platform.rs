@@ -1,0 +1,754 @@
+//! DNS resolution platforms (paper Fig. 1).
+//!
+//! A platform owns: a set of *ingress* addresses facing clients, one or
+//! more *cache clusters* (each a bank of hidden caches behind a load
+//! balancer), a pool of *egress* addresses facing nameservers, and the
+//! links between them. Ingress addresses map onto clusters; the paper's
+//! IP-to-caches mapping technique (§IV-B1b) recovers exactly this mapping
+//! from the outside.
+
+use crate::authserver::NameserverNet;
+use crate::resolver::{resolve, ResolveOutcome, Upstream};
+use crate::selector::{LoadBalancer, SelectorKind};
+use cde_cache::{CacheConfig, DnsCache};
+use cde_dns::{Edns, Name, RecordType};
+use cde_netsim::{DetRng, LatencyModel, Link, SimDuration, SimTime};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// One cache cluster: a bank of caches behind a load balancer.
+#[derive(Debug)]
+pub struct Cluster {
+    caches: Vec<DnsCache>,
+    balancer: LoadBalancer,
+}
+
+impl Cluster {
+    fn new(platform_id: u64, cluster_idx: usize, cache_count: usize, cache_config: CacheConfig, selector: SelectorKind) -> Cluster {
+        let caches = (0..cache_count)
+            .map(|i| {
+                DnsCache::new(
+                    platform_id
+                        .wrapping_mul(1_000_003)
+                        .wrapping_add(cluster_idx as u64 * 1009)
+                        .wrapping_add(i as u64),
+                    cache_config.clone(),
+                )
+            })
+            .collect();
+        Cluster {
+            caches,
+            balancer: LoadBalancer::new(selector, cache_count),
+        }
+    }
+
+    /// Number of caches in this cluster.
+    pub fn cache_count(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// The load balancer state.
+    pub fn balancer(&self) -> &LoadBalancer {
+        &self.balancer
+    }
+
+    /// Ground-truth access to one cache (validation only).
+    pub fn cache(&self, idx: usize) -> &DnsCache {
+        &self.caches[idx]
+    }
+
+    /// Ground-truth mutable access (failure injection in tests).
+    pub fn cache_mut(&mut self, idx: usize) -> &mut DnsCache {
+        &mut self.caches[idx]
+    }
+}
+
+/// Configuration of one cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of hidden caches.
+    pub cache_count: usize,
+    /// Per-cache configuration.
+    pub cache_config: CacheConfig,
+    /// Load-balancing strategy.
+    pub selector: SelectorKind,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            cache_count: 1,
+            cache_config: CacheConfig::default(),
+            selector: SelectorKind::Random,
+        }
+    }
+}
+
+/// Builder for [`ResolutionPlatform`] (C-BUILDER).
+///
+/// # Examples
+///
+/// ```
+/// use cde_platform::{PlatformBuilder, SelectorKind};
+/// use std::net::Ipv4Addr;
+///
+/// let platform = PlatformBuilder::new(7)
+///     .ingress((0..4).map(|i| Ipv4Addr::new(192, 0, 2, i)).collect())
+///     .egress((0..8).map(|i| Ipv4Addr::new(192, 0, 3, i)).collect())
+///     .cluster(3, SelectorKind::Random)
+///     .build();
+/// assert_eq!(platform.ground_truth().total_caches(), 3);
+/// ```
+#[derive(Debug)]
+pub struct PlatformBuilder {
+    id: u64,
+    ingress_ips: Vec<Ipv4Addr>,
+    egress_ips: Vec<Ipv4Addr>,
+    clusters: Vec<ClusterConfig>,
+    ingress_assignment: Option<Vec<usize>>,
+    upstream_link: Link,
+    internal_latency: LatencyModel,
+    retries: u32,
+    timeout: SimDuration,
+    edns: Option<Edns>,
+}
+
+impl PlatformBuilder {
+    /// Starts a builder; `id` seeds all of the platform's randomness.
+    pub fn new(id: u64) -> PlatformBuilder {
+        PlatformBuilder {
+            id,
+            ingress_ips: vec![Ipv4Addr::new(192, 0, 2, 1)],
+            egress_ips: vec![Ipv4Addr::new(192, 0, 2, 1)],
+            clusters: Vec::new(),
+            ingress_assignment: None,
+            upstream_link: Link::ideal(),
+            internal_latency: LatencyModel::datacenter(),
+            retries: 3,
+            timeout: SimDuration::from_millis(800),
+            edns: Some(Edns::default()),
+        }
+    }
+
+    /// Sets the ingress address pool.
+    pub fn ingress(mut self, ips: Vec<Ipv4Addr>) -> PlatformBuilder {
+        assert!(!ips.is_empty(), "at least one ingress address");
+        self.ingress_ips = ips;
+        self
+    }
+
+    /// Sets the egress address pool.
+    pub fn egress(mut self, ips: Vec<Ipv4Addr>) -> PlatformBuilder {
+        assert!(!ips.is_empty(), "at least one egress address");
+        self.egress_ips = ips;
+        self
+    }
+
+    /// Adds a cluster of `cache_count` caches using `selector`.
+    pub fn cluster(mut self, cache_count: usize, selector: SelectorKind) -> PlatformBuilder {
+        self.clusters.push(ClusterConfig {
+            cache_count,
+            selector,
+            ..ClusterConfig::default()
+        });
+        self
+    }
+
+    /// Adds a cluster with full configuration.
+    pub fn cluster_config(mut self, config: ClusterConfig) -> PlatformBuilder {
+        self.clusters.push(config);
+        self
+    }
+
+    /// Explicitly assigns each ingress address (by index) to a cluster.
+    /// Without this, ingress addresses are spread over clusters round-robin.
+    pub fn ingress_assignment(mut self, assignment: Vec<usize>) -> PlatformBuilder {
+        self.ingress_assignment = Some(assignment);
+        self
+    }
+
+    /// Sets the egress↔nameserver link.
+    pub fn upstream_link(mut self, link: Link) -> PlatformBuilder {
+        self.upstream_link = link;
+        self
+    }
+
+    /// Sets the load-balancer→cache hop latency.
+    pub fn internal_latency(mut self, latency: LatencyModel) -> PlatformBuilder {
+        self.internal_latency = latency;
+        self
+    }
+
+    /// Sets retry count and per-loss timeout for upstream queries.
+    pub fn retry_policy(mut self, retries: u32, timeout: SimDuration) -> PlatformBuilder {
+        self.retries = retries;
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sets the EDNS advertisement carried by upstream queries; `None`
+    /// models legacy resolver software without EDNS support.
+    pub fn edns(mut self, edns: Option<Edns>) -> PlatformBuilder {
+        self.edns = edns;
+        self
+    }
+
+    /// Builds the platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an explicit ingress assignment has the wrong length or
+    /// references a missing cluster.
+    pub fn build(self) -> ResolutionPlatform {
+        let clusters_cfg = if self.clusters.is_empty() {
+            vec![ClusterConfig::default()]
+        } else {
+            self.clusters
+        };
+        let clusters: Vec<Cluster> = clusters_cfg
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Cluster::new(self.id, i, c.cache_count, c.cache_config.clone(), c.selector))
+            .collect();
+        let assignment = match self.ingress_assignment {
+            Some(a) => {
+                assert_eq!(
+                    a.len(),
+                    self.ingress_ips.len(),
+                    "assignment length must match ingress count"
+                );
+                assert!(
+                    a.iter().all(|&c| c < clusters.len()),
+                    "assignment references missing cluster"
+                );
+                a
+            }
+            None => (0..self.ingress_ips.len())
+                .map(|i| i % clusters.len())
+                .collect(),
+        };
+        let ingress_map = self
+            .ingress_ips
+            .iter()
+            .copied()
+            .zip(assignment.iter().copied())
+            .collect();
+        ResolutionPlatform {
+            id: self.id,
+            rng: DetRng::seed(self.id).fork("platform"),
+            ingress_ips: self.ingress_ips,
+            ingress_map,
+            egress_ips: self.egress_ips,
+            clusters,
+            upstream_link: self.upstream_link,
+            internal_latency: self.internal_latency,
+            retries: self.retries,
+            timeout: self.timeout,
+            edns: self.edns,
+        }
+    }
+}
+
+/// Response a client receives from the platform, plus ground-truth
+/// annotations used only for validating the measurement pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlatformResponse {
+    /// Resolution status and records.
+    pub outcome: ResolveOutcome,
+    /// GROUND TRUTH (validation only — the measurement code never reads
+    /// this): index of the cluster that served the query.
+    pub truth_cluster: usize,
+    /// GROUND TRUTH (validation only): index of the cache probed within the
+    /// cluster.
+    pub truth_cache: usize,
+}
+
+/// Errors a platform can return to a client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlatformError {
+    /// The destination address is not an ingress of this platform.
+    UnknownIngress(Ipv4Addr),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::UnknownIngress(ip) => {
+                write!(f, "address {ip} is not an ingress of this platform")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// Ground truth about a platform, used to validate measurements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// Cache count per cluster.
+    pub cluster_cache_counts: Vec<usize>,
+    /// Ingress address → cluster index.
+    pub ingress_clusters: HashMap<Ipv4Addr, usize>,
+    /// Egress pool.
+    pub egress_ips: Vec<Ipv4Addr>,
+    /// Selector of each cluster.
+    pub selectors: Vec<SelectorKind>,
+}
+
+impl GroundTruth {
+    /// Total caches across clusters.
+    pub fn total_caches(&self) -> usize {
+        self.cluster_cache_counts.iter().sum()
+    }
+}
+
+/// A simulated DNS resolution platform.
+///
+/// # Examples
+///
+/// ```
+/// use cde_platform::testnet::build_simple_world;
+/// use cde_dns::RecordType;
+/// use cde_netsim::SimTime;
+///
+/// let mut world = build_simple_world(4, 42);
+/// let ingress = world.platform.ingress_ips()[0];
+/// let client = std::net::Ipv4Addr::new(203, 0, 113, 77);
+/// let qname = "name.cache.example".parse().unwrap();
+/// let resp = world
+///     .platform
+///     .handle_query(client, ingress, &qname, RecordType::A, SimTime::ZERO, &mut world.net)
+///     .unwrap();
+/// assert!(resp.outcome.result.is_success());
+/// ```
+#[derive(Debug)]
+pub struct ResolutionPlatform {
+    id: u64,
+    rng: DetRng,
+    ingress_ips: Vec<Ipv4Addr>,
+    ingress_map: HashMap<Ipv4Addr, usize>,
+    egress_ips: Vec<Ipv4Addr>,
+    clusters: Vec<Cluster>,
+    upstream_link: Link,
+    internal_latency: LatencyModel,
+    retries: u32,
+    timeout: SimDuration,
+    edns: Option<Edns>,
+}
+
+impl ResolutionPlatform {
+    /// Platform identifier (also its random seed).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Ingress addresses clients may query.
+    pub fn ingress_ips(&self) -> &[Ipv4Addr] {
+        &self.ingress_ips
+    }
+
+    /// Egress addresses used toward nameservers.
+    pub fn egress_ips(&self) -> &[Ipv4Addr] {
+        &self.egress_ips
+    }
+
+    /// The clusters (ground truth).
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// Mutable cluster access (failure injection).
+    pub fn clusters_mut(&mut self) -> &mut [Cluster] {
+        &mut self.clusters
+    }
+
+    /// Ground truth snapshot for validating measurements.
+    pub fn ground_truth(&self) -> GroundTruth {
+        GroundTruth {
+            cluster_cache_counts: self.clusters.iter().map(Cluster::cache_count).collect(),
+            ingress_clusters: self.ingress_map.clone(),
+            egress_ips: self.egress_ips.clone(),
+            selectors: self.clusters.iter().map(|c| c.balancer.kind()).collect(),
+        }
+    }
+
+    /// Handles one client query arriving at `ingress` from `src`.
+    ///
+    /// Selects exactly one cache via the cluster's load balancer, resolves
+    /// within that cache (going upstream through `net` on misses) and
+    /// returns the outcome with latency. The returned latency covers the
+    /// internal hop and all upstream traffic; the client↔ingress link is
+    /// the prober's concern.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownIngress`] when `ingress` is not an ingress
+    /// address of this platform.
+    pub fn handle_query(
+        &mut self,
+        src: Ipv4Addr,
+        ingress: Ipv4Addr,
+        qname: &Name,
+        qtype: RecordType,
+        now: SimTime,
+        net: &mut NameserverNet,
+    ) -> Result<PlatformResponse, PlatformError> {
+        let &cluster_idx = self
+            .ingress_map
+            .get(&ingress)
+            .ok_or(PlatformError::UnknownIngress(ingress))?;
+        let cluster = &mut self.clusters[cluster_idx];
+        let cache_idx = cluster.balancer.select(qname, src, &mut self.rng);
+        let internal = self.internal_latency.sample(&mut self.rng);
+        let mut up = Upstream {
+            net,
+            egress_ips: &self.egress_ips,
+            link: &self.upstream_link,
+            retries: self.retries,
+            timeout: self.timeout,
+            edns: self.edns,
+        };
+        let mut outcome = resolve(
+            &mut cluster.caches[cache_idx],
+            qname,
+            qtype,
+            now,
+            &mut self.rng,
+            &mut up,
+        );
+        outcome.latency += internal * 2; // in and out of the cache bank
+        Ok(PlatformResponse {
+            outcome,
+            truth_cluster: cluster_idx,
+            truth_cache: cache_idx,
+        })
+    }
+
+    /// Injects background client traffic: `queries` arrive in order from
+    /// synthetic clients, perturbing load-balancer state and cache contents
+    /// the way real concurrent users do (§V-B: enumeration complexity
+    /// depends on "traffic from other clients").
+    pub fn inject_background(
+        &mut self,
+        queries: &[(Name, RecordType)],
+        now: SimTime,
+        net: &mut NameserverNet,
+    ) {
+        let ingress: Vec<Ipv4Addr> = self.ingress_ips.clone();
+        for (i, (qname, qtype)) in queries.iter().enumerate() {
+            let src = Ipv4Addr::new(100, 64, (i >> 8) as u8, i as u8);
+            let ing = ingress[i % ingress.len()];
+            let _ = self.handle_query(src, ing, qname, *qtype, now, net);
+        }
+    }
+
+    /// Flushes every cache in every cluster (models a platform restart).
+    pub fn flush_all_caches(&mut self) {
+        for cluster in &mut self.clusters {
+            for cache in &mut cluster.caches {
+                cache.flush();
+            }
+        }
+    }
+}
+
+/// Pre-built miniature worlds for tests, examples and benches.
+pub mod testnet {
+    use super::*;
+    use crate::authserver::AuthServer;
+    use cde_dns::{RData, Record, Ttl, Zone};
+
+    /// A platform plus the authoritative Internet it resolves against.
+    #[derive(Debug)]
+    pub struct World {
+        /// The platform under measurement.
+        pub platform: ResolutionPlatform,
+        /// The authoritative servers, including the CDE domain.
+        pub net: NameserverNet,
+    }
+
+    /// Address of the nameserver authoritative for `cache.example` in
+    /// worlds built by [`build_simple_world`].
+    pub const CDE_ZONE_SERVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 20);
+    /// Address of the nameserver authoritative for `sub.cache.example`.
+    pub const CDE_SUB_SERVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 30);
+
+    /// Builds the authoritative tree used throughout the tests: a root, an
+    /// `example` TLD, the CDE domain `cache.example` (with `name` A record,
+    /// a farm of `x-i` CNAMEs and a delegated `sub.cache.example`) and the
+    /// child zone.
+    pub fn build_cde_net(cname_farm: usize) -> NameserverNet {
+        let mut net = NameserverNet::new();
+        let n = |s: &str| -> Name { s.parse().expect("static names are valid") };
+
+        let mut root = Zone::new(Name::root());
+        root.add(Record::new(
+            n("example"),
+            Ttl::from_secs(86400),
+            RData::Ns(n("ns.example")),
+        ))
+        .expect("in zone");
+        root.add(Record::new(
+            n("ns.example"),
+            Ttl::from_secs(86400),
+            RData::A(Ipv4Addr::new(10, 0, 0, 10)),
+        ))
+        .expect("in zone");
+        net.add_server(AuthServer::new(Ipv4Addr::new(10, 0, 0, 1), vec![root]));
+
+        let mut tld = Zone::with_soa(n("example"), Ttl::from_secs(300));
+        tld.add(Record::new(
+            n("cache.example"),
+            Ttl::from_secs(86400),
+            RData::Ns(n("ns1.cache.example")),
+        ))
+        .expect("in zone");
+        tld.add(Record::new(
+            n("ns1.cache.example"),
+            Ttl::from_secs(86400),
+            RData::A(CDE_ZONE_SERVER),
+        ))
+        .expect("in zone");
+        net.add_server(AuthServer::new(Ipv4Addr::new(10, 0, 0, 10), vec![tld]));
+
+        let mut zone = Zone::with_soa(n("cache.example"), Ttl::from_secs(300));
+        zone.add(Record::new(
+            n("name.cache.example"),
+            Ttl::from_secs(3600),
+            RData::A(Ipv4Addr::new(198, 51, 100, 4)),
+        ))
+        .expect("in zone");
+        for i in 1..=cname_farm {
+            zone.add(Record::new(
+                n(&format!("x-{i}.cache.example")),
+                Ttl::from_secs(3600),
+                RData::Cname(n("name.cache.example")),
+            ))
+            .expect("in zone");
+        }
+        zone.add(Record::new(
+            n("sub.cache.example"),
+            Ttl::from_secs(3600),
+            RData::Ns(n("ns.sub.cache.example")),
+        ))
+        .expect("in zone");
+        zone.add(Record::new(
+            n("ns.sub.cache.example"),
+            Ttl::from_secs(3600),
+            RData::A(CDE_SUB_SERVER),
+        ))
+        .expect("in zone");
+        net.add_server(AuthServer::new(CDE_ZONE_SERVER, vec![zone]));
+
+        let mut sub = Zone::with_soa(n("sub.cache.example"), Ttl::from_secs(300));
+        for i in 1..=cname_farm {
+            sub.add(Record::new(
+                n(&format!("x-{i}.sub.cache.example")),
+                Ttl::from_secs(3600),
+                RData::A(Ipv4Addr::new(198, 51, 100, 5)),
+            ))
+            .expect("in zone");
+        }
+        net.add_server(AuthServer::new(CDE_SUB_SERVER, vec![sub]));
+        net
+    }
+
+    /// Builds a single-cluster platform with `cache_count` caches (random
+    /// selection) resolving against [`build_cde_net`] with a 512-name farm.
+    pub fn build_simple_world(cache_count: usize, seed: u64) -> World {
+        let platform = PlatformBuilder::new(seed)
+            .ingress(vec![Ipv4Addr::new(192, 0, 2, 1)])
+            .egress((1..=4).map(|d| Ipv4Addr::new(192, 0, 3, d)).collect())
+            .cluster(cache_count, SelectorKind::Random)
+            .build();
+        World {
+            platform,
+            net: build_cde_net(512),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testnet::*;
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn client() -> Ipv4Addr {
+        Ipv4Addr::new(203, 0, 113, 99)
+    }
+
+    #[test]
+    fn single_cache_platform_answers() {
+        let mut w = build_simple_world(1, 1);
+        let ing = w.platform.ingress_ips()[0];
+        let resp = w
+            .platform
+            .handle_query(client(), ing, &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut w.net)
+            .unwrap();
+        assert!(resp.outcome.result.is_success());
+        assert_eq!(resp.truth_cache, 0);
+    }
+
+    #[test]
+    fn unknown_ingress_is_rejected() {
+        let mut w = build_simple_world(1, 1);
+        let err = w
+            .platform
+            .handle_query(
+                client(),
+                Ipv4Addr::new(9, 9, 9, 9),
+                &n("name.cache.example"),
+                RecordType::A,
+                SimTime::ZERO,
+                &mut w.net,
+            )
+            .unwrap_err();
+        assert!(matches!(err, PlatformError::UnknownIngress(_)));
+    }
+
+    #[test]
+    fn repeated_identical_queries_touch_each_cache_once() {
+        // The direct enumeration signal: q identical queries produce one
+        // upstream fetch per distinct cache.
+        let mut w = build_simple_world(4, 7);
+        let ing = w.platform.ingress_ips()[0];
+        let mut touched = std::collections::HashSet::new();
+        for _ in 0..64 {
+            let resp = w
+                .platform
+                .handle_query(client(), ing, &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut w.net)
+                .unwrap();
+            if !resp.outcome.cache_hit {
+                touched.insert(resp.truth_cache);
+            }
+        }
+        assert_eq!(touched.len(), 4);
+        // Nameserver saw exactly 4 queries for the name.
+        let count = w
+            .net
+            .server(CDE_ZONE_SERVER)
+            .unwrap()
+            .count_queries_for(&n("name.cache.example"));
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn ingress_clusters_are_isolated() {
+        // Two clusters; honey planted via ingress 0 must not be visible via
+        // ingress 1.
+        let mut platform = PlatformBuilder::new(11)
+            .ingress(vec![Ipv4Addr::new(192, 0, 2, 1), Ipv4Addr::new(192, 0, 2, 2)])
+            .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+            .cluster(1, SelectorKind::Random)
+            .cluster(1, SelectorKind::Random)
+            .ingress_assignment(vec![0, 1])
+            .build();
+        let mut net = build_cde_net(8);
+        let honey = n("name.cache.example");
+        platform
+            .handle_query(client(), Ipv4Addr::new(192, 0, 2, 1), &honey, RecordType::A, SimTime::ZERO, &mut net)
+            .unwrap();
+        net.clear_logs();
+        // Same cluster: cache hit, no upstream traffic.
+        let resp = platform
+            .handle_query(client(), Ipv4Addr::new(192, 0, 2, 1), &honey, RecordType::A, SimTime::ZERO, &mut net)
+            .unwrap();
+        assert!(resp.outcome.cache_hit);
+        // Other cluster: miss, upstream traffic observed.
+        let resp = platform
+            .handle_query(client(), Ipv4Addr::new(192, 0, 2, 2), &honey, RecordType::A, SimTime::ZERO, &mut net)
+            .unwrap();
+        assert!(!resp.outcome.cache_hit);
+    }
+
+    #[test]
+    fn ground_truth_reports_structure() {
+        let platform = PlatformBuilder::new(3)
+            .ingress((1..=6).map(|d| Ipv4Addr::new(192, 0, 2, d)).collect())
+            .egress((1..=9).map(|d| Ipv4Addr::new(192, 0, 3, d)).collect())
+            .cluster(2, SelectorKind::RoundRobin)
+            .cluster(5, SelectorKind::Random)
+            .build();
+        let gt = platform.ground_truth();
+        assert_eq!(gt.total_caches(), 7);
+        assert_eq!(gt.cluster_cache_counts, vec![2, 5]);
+        assert_eq!(gt.egress_ips.len(), 9);
+        assert_eq!(gt.selectors, vec![SelectorKind::RoundRobin, SelectorKind::Random]);
+        // Default assignment spreads ingress round-robin over clusters.
+        let c0 = gt.ingress_clusters.values().filter(|&&c| c == 0).count();
+        assert_eq!(c0, 3);
+    }
+
+    #[test]
+    fn background_traffic_perturbs_round_robin() {
+        // With round-robin selection and no other traffic, q = n identical
+        // queries hit all n caches; background traffic shifts the stride.
+        let mut platform = PlatformBuilder::new(5)
+            .ingress(vec![Ipv4Addr::new(192, 0, 2, 1)])
+            .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+            .cluster(4, SelectorKind::RoundRobin)
+            .build();
+        let mut net = build_cde_net(8);
+        let mut probed = Vec::new();
+        for i in 0..4 {
+            if i == 2 {
+                platform.inject_background(
+                    &[(n("x-1.cache.example"), RecordType::A)],
+                    SimTime::ZERO,
+                    &mut net,
+                );
+            }
+            let resp = platform
+                .handle_query(client(), Ipv4Addr::new(192, 0, 2, 1), &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut net)
+                .unwrap();
+            probed.push(resp.truth_cache);
+        }
+        // The four probes no longer cover four distinct caches.
+        let distinct: std::collections::HashSet<usize> = probed.iter().copied().collect();
+        assert!(distinct.len() < 4);
+    }
+
+    #[test]
+    fn flush_restores_cold_cache() {
+        let mut w = build_simple_world(1, 13);
+        let ing = w.platform.ingress_ips()[0];
+        w.platform
+            .handle_query(client(), ing, &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut w.net)
+            .unwrap();
+        w.platform.flush_all_caches();
+        let resp = w
+            .platform
+            .handle_query(client(), ing, &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut w.net)
+            .unwrap();
+        assert!(!resp.outcome.cache_hit);
+    }
+
+    #[test]
+    fn cache_hits_are_faster_than_misses() {
+        // The foundation of the §IV-B3 timing side channel.
+        let mut platform = PlatformBuilder::new(17)
+            .ingress(vec![Ipv4Addr::new(192, 0, 2, 1)])
+            .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+            .cluster(1, SelectorKind::Random)
+            .upstream_link(Link::new(
+                LatencyModel::Constant(SimDuration::from_millis(15)),
+                cde_netsim::LossModel::none(),
+            ))
+            .build();
+        let mut net = build_cde_net(8);
+        let miss = platform
+            .handle_query(client(), Ipv4Addr::new(192, 0, 2, 1), &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut net)
+            .unwrap();
+        let hit = platform
+            .handle_query(client(), Ipv4Addr::new(192, 0, 2, 1), &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut net)
+            .unwrap();
+        assert!(!miss.outcome.cache_hit);
+        assert!(hit.outcome.cache_hit);
+        assert!(hit.outcome.latency < miss.outcome.latency);
+    }
+}

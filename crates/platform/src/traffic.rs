@@ -1,0 +1,203 @@
+//! Background client traffic.
+//!
+//! §V-B notes that enumeration complexity "depends on the cache selection
+//! algorithm, and on the traffic from other clients, arriving to the
+//! resolution platform". This module generates that traffic: a Zipf-like
+//! popularity distribution over a synthetic domain catalogue, replayed
+//! through the platform between (or interleaved with) measurement probes.
+
+use crate::authserver::NameserverNet;
+use crate::platform::ResolutionPlatform;
+use cde_dns::{Name, RecordType};
+use cde_netsim::{DetRng, SimTime};
+use rand::Rng;
+use std::net::Ipv4Addr;
+
+/// A background-traffic generator with Zipf-distributed domain popularity.
+///
+/// # Examples
+///
+/// ```
+/// use cde_platform::BackgroundTraffic;
+///
+/// let mut traffic = BackgroundTraffic::new(100, 1.0, 7);
+/// assert_eq!(traffic.catalogue_size(), 100);
+/// ```
+#[derive(Debug)]
+pub struct BackgroundTraffic {
+    catalogue: Vec<Name>,
+    /// Cumulative Zipf weights for sampling.
+    cumulative: Vec<f64>,
+    rng: DetRng,
+    generated: u64,
+}
+
+impl BackgroundTraffic {
+    /// Creates a generator over `domains` synthetic popular domains with
+    /// Zipf exponent `s` (1.0 is the classic web value).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `domains` is zero or `s` is not finite.
+    pub fn new(domains: usize, s: f64, seed: u64) -> BackgroundTraffic {
+        assert!(domains > 0, "catalogue must be non-empty");
+        assert!(s.is_finite(), "zipf exponent must be finite");
+        let catalogue: Vec<Name> = (0..domains)
+            .map(|i| {
+                format!("www.site-{i}.example")
+                    .parse()
+                    .expect("static names are valid")
+            })
+            .collect();
+        let mut cumulative = Vec::with_capacity(domains);
+        let mut total = 0.0;
+        for rank in 1..=domains {
+            total += 1.0 / (rank as f64).powf(s);
+            cumulative.push(total);
+        }
+        BackgroundTraffic {
+            catalogue,
+            cumulative,
+            rng: DetRng::seed(seed).fork("background"),
+            generated: 0,
+        }
+    }
+
+    /// Number of domains in the catalogue.
+    pub fn catalogue_size(&self) -> usize {
+        self.catalogue.len()
+    }
+
+    /// Queries generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Draws one domain by popularity.
+    pub fn sample_domain(&mut self) -> Name {
+        let total = *self.cumulative.last().expect("non-empty catalogue");
+        let x = self.rng.gen::<f64>() * total;
+        let idx = self.cumulative.partition_point(|&c| c < x);
+        self.catalogue[idx.min(self.catalogue.len() - 1)].clone()
+    }
+
+    /// Sends `count` background queries from synthetic clients through the
+    /// platform (spread over its ingress addresses). Unresolvable domains
+    /// are fine: the load balancer and caches still do their work, which
+    /// is all the perturbation needs.
+    pub fn inject(
+        &mut self,
+        platform: &mut ResolutionPlatform,
+        net: &mut NameserverNet,
+        count: u64,
+        now: SimTime,
+    ) {
+        let ingress: Vec<Ipv4Addr> = platform.ingress_ips().to_vec();
+        for k in 0..count {
+            let domain = self.sample_domain();
+            let src = Ipv4Addr::new(100, 70, (k >> 8) as u8, k as u8);
+            let ing = ingress[self.rng.gen_range(0..ingress.len())];
+            let _ = platform.handle_query(src, ing, &domain, RecordType::A, now, net);
+            self.generated += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::testnet::build_simple_world;
+    use crate::selector::SelectorKind;
+    use crate::PlatformBuilder;
+
+    #[test]
+    fn sampling_is_zipf_skewed() {
+        let mut t = BackgroundTraffic::new(50, 1.0, 1);
+        let mut head = 0u64;
+        let trials = 20_000;
+        let top: Name = "www.site-0.example".parse().unwrap();
+        for _ in 0..trials {
+            if t.sample_domain() == top {
+                head += 1;
+            }
+        }
+        // Rank-1 share under Zipf(1.0) over 50 items ≈ 1/H_50 ≈ 22%.
+        let share = head as f64 / trials as f64;
+        assert!((0.17..0.28).contains(&share), "share {share}");
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let mut t = BackgroundTraffic::new(10, 0.0, 2);
+        let mut counts = vec![0u64; 10];
+        for _ in 0..20_000 {
+            let d = t.sample_domain();
+            let label = d.first_label().unwrap().to_vec();
+            let text = String::from_utf8(label).unwrap();
+            let _ = text; // first label is "www"; count by full name instead
+            let idx = (0..10)
+                .find(|i| d == format!("www.site-{i}.example").parse::<Name>().unwrap())
+                .unwrap();
+            counts[idx] += 1;
+        }
+        for &c in &counts {
+            assert!((1_500..2_500).contains(&(c as usize)), "count {c}");
+        }
+    }
+
+    #[test]
+    fn inject_counts_and_touches_platform() {
+        let mut w = build_simple_world(2, 31);
+        let mut t = BackgroundTraffic::new(20, 1.0, 3);
+        t.inject(&mut w.platform, &mut w.net, 100, SimTime::ZERO);
+        assert_eq!(t.generated(), 100);
+        // The load balancer saw the traffic.
+        let loads: u64 = w.platform.clusters()[0].balancer().loads().iter().sum();
+        assert_eq!(loads, 100);
+    }
+
+    #[test]
+    fn background_traffic_shifts_round_robin_phase() {
+        // The §V-B point: with round-robin selection, concurrent traffic
+        // makes the stride unpredictable from the prober's seat.
+        let run = |background: bool| {
+            let mut net = crate::platform::testnet::build_cde_net(8);
+            let mut platform = PlatformBuilder::new(77)
+                .ingress(vec![Ipv4Addr::new(192, 0, 2, 1)])
+                .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+                .cluster(4, SelectorKind::RoundRobin)
+                .build();
+            let mut traffic = BackgroundTraffic::new(10, 1.0, 4);
+            let mut probed = Vec::new();
+            for i in 0..4 {
+                if background && i == 2 {
+                    traffic.inject(&mut platform, &mut net, 1, SimTime::ZERO);
+                }
+                let r = platform
+                    .handle_query(
+                        Ipv4Addr::new(203, 0, 113, 5),
+                        Ipv4Addr::new(192, 0, 2, 1),
+                        &"name.cache.example".parse().unwrap(),
+                        RecordType::A,
+                        SimTime::ZERO,
+                        &mut net,
+                    )
+                    .unwrap();
+                probed.push(r.truth_cache);
+            }
+            probed
+        };
+        let clean = run(false);
+        let noisy = run(true);
+        assert_ne!(clean, noisy);
+        // Clean round-robin covers all 4 caches in 4 probes.
+        let distinct: std::collections::HashSet<_> = clean.iter().collect();
+        assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "catalogue")]
+    fn empty_catalogue_rejected() {
+        BackgroundTraffic::new(0, 1.0, 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for platform behaviour.
+
+use cde_dns::{Name, RecordType};
+use cde_netsim::{DetRng, SimTime};
+use cde_platform::testnet::{build_cde_net, CDE_ZONE_SERVER};
+use cde_platform::{PlatformBuilder, SelectorKind};
+use proptest::prelude::*;
+use rand::Rng;
+use std::net::Ipv4Addr;
+
+const INGRESS: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+const CLIENT: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 50);
+
+fn any_selector() -> impl Strategy<Value = SelectorKind> {
+    prop_oneof![
+        Just(SelectorKind::RoundRobin),
+        Just(SelectorKind::Random),
+        Just(SelectorKind::QnameHash),
+        Just(SelectorKind::SourceHash),
+        Just(SelectorKind::LeastLoaded),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Identical platform + identical query sequence = identical outcomes,
+    /// cache assignments and nameserver logs (full determinism).
+    #[test]
+    fn platform_is_deterministic(
+        n in 1usize..8,
+        selector in any_selector(),
+        seed in any::<u64>(),
+        query_picks in proptest::collection::vec(0usize..16, 1..40),
+    ) {
+        let run = || {
+            let mut net = build_cde_net(16);
+            let mut platform = PlatformBuilder::new(seed)
+                .ingress(vec![INGRESS])
+                .egress((1..=3).map(|d| Ipv4Addr::new(192, 0, 3, d)).collect())
+                .cluster(n, selector)
+                .build();
+            let mut outcomes = Vec::new();
+            for &pick in &query_picks {
+                let qname: Name = format!("x-{}.cache.example", pick + 1).parse().unwrap();
+                let r = platform
+                    .handle_query(CLIENT, INGRESS, &qname, RecordType::A, SimTime::ZERO, &mut net)
+                    .unwrap();
+                outcomes.push((r.truth_cache, r.outcome.cache_hit, r.outcome.upstream_queries));
+            }
+            let log_len = net.server(CDE_ZONE_SERVER).unwrap().log().len();
+            (outcomes, log_len)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The enumeration invariant behind the whole paper: with a lossless
+    /// path, the number of honey fetches at the nameserver never exceeds
+    /// min(n, probes), and always reaches at least 1.
+    #[test]
+    fn honey_fetches_bounded_by_caches_and_probes(
+        n in 1usize..10,
+        probes in 1usize..60,
+        selector in any_selector(),
+        seed in any::<u64>(),
+    ) {
+        let mut net = build_cde_net(8);
+        let mut platform = PlatformBuilder::new(seed)
+            .ingress(vec![INGRESS])
+            .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+            .cluster(n, selector)
+            .build();
+        let honey: Name = "name.cache.example".parse().unwrap();
+        for _ in 0..probes {
+            platform
+                .handle_query(CLIENT, INGRESS, &honey, RecordType::A, SimTime::ZERO, &mut net)
+                .unwrap();
+        }
+        let omega = net
+            .server(CDE_ZONE_SERVER)
+            .unwrap()
+            .count_queries_for(&honey);
+        prop_assert!(omega >= 1);
+        prop_assert!(omega <= n.min(probes), "omega {omega} n {n} probes {probes}");
+    }
+
+    /// Cache hits never generate upstream queries, and misses always do.
+    #[test]
+    fn hit_miss_upstream_invariant(
+        n in 1usize..6,
+        seed in any::<u64>(),
+        picks in proptest::collection::vec(0usize..8, 1..30),
+    ) {
+        let mut net = build_cde_net(8);
+        let mut platform = PlatformBuilder::new(seed)
+            .ingress(vec![INGRESS])
+            .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+            .cluster(n, SelectorKind::Random)
+            .build();
+        for &pick in &picks {
+            let qname: Name = format!("x-{}.cache.example", pick + 1).parse().unwrap();
+            let r = platform
+                .handle_query(CLIENT, INGRESS, &qname, RecordType::A, SimTime::ZERO, &mut net)
+                .unwrap();
+            if r.outcome.cache_hit {
+                prop_assert_eq!(r.outcome.upstream_queries, 0);
+            } else {
+                prop_assert!(r.outcome.upstream_queries >= 1);
+            }
+        }
+    }
+
+    /// Every upstream query's source address belongs to the platform's
+    /// configured egress pool.
+    #[test]
+    fn upstream_sources_come_from_egress_pool(
+        egress_count in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let egress: Vec<Ipv4Addr> =
+            (1..=egress_count as u8).map(|d| Ipv4Addr::new(192, 0, 3, d)).collect();
+        let mut net = build_cde_net(8);
+        let mut platform = PlatformBuilder::new(seed)
+            .ingress(vec![INGRESS])
+            .egress(egress.clone())
+            .cluster(2, SelectorKind::Random)
+            .build();
+        let mut rng = DetRng::seed(seed);
+        for _ in 0..20 {
+            let qname: Name = format!("x-{}.cache.example", rng.gen_range(1..=8)).parse().unwrap();
+            platform
+                .handle_query(CLIENT, INGRESS, &qname, RecordType::A, SimTime::ZERO, &mut net)
+                .unwrap();
+        }
+        for server in net.servers() {
+            for entry in server.log() {
+                prop_assert!(egress.contains(&entry.from), "{} not in pool", entry.from);
+            }
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Indirect probing through an ad-network (paper §III-C).
+//!
+//! A measurement script embedded in an ad iframe makes the visitor's
+//! browser navigate to URLs under the CDE domain, generating DNS queries
+//! through the visitor's ISP resolution platform. The prober controls
+//! neither the client's local caches (browser + OS stub) nor the timing;
+//! the test runs as a pop-under over several minutes and only about 1 in
+//! 50 executions completes (the paper's completion rate).
+
+use cde_dns::{Name, RecordType};
+use cde_netsim::{DetRng, SimDuration, SimTime};
+use cde_platform::{LocalCacheChain, NameserverNet, ResolutionPlatform};
+use rand::Rng;
+use std::net::Ipv4Addr;
+
+/// The fraction of ad impressions whose measurement run completes
+/// (paper §III-C: "approximately 1:50 of the executions resulted in tests
+/// that completed successfully").
+pub const COMPLETION_RATE: f64 = 1.0 / 50.0;
+
+/// One web client recruited through the ad network.
+#[derive(Debug)]
+pub struct WebClient {
+    addr: Ipv4Addr,
+    local: LocalCacheChain,
+    ingress: Ipv4Addr,
+}
+
+impl WebClient {
+    /// Creates a client at `addr` whose ISP resolver ingress is `ingress`.
+    pub fn new(addr: Ipv4Addr, ingress: Ipv4Addr) -> WebClient {
+        WebClient {
+            addr,
+            local: LocalCacheChain::browser_and_stub(),
+            ingress,
+        }
+    }
+
+    /// Client address.
+    pub fn addr(&self) -> Ipv4Addr {
+        self.addr
+    }
+
+    /// The local cache chain in front of this client.
+    pub fn local_caches(&self) -> &LocalCacheChain {
+        &self.local
+    }
+}
+
+/// Result of one client's measurement run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientRun {
+    /// `false` when the visitor closed the pop-under before the script
+    /// finished — no usable data.
+    pub completed: bool,
+    /// Hostnames whose queries actually reached the ISP platform.
+    pub reached_platform: Vec<Name>,
+    /// Hostnames answered by the client's local caches.
+    pub blocked_locally: Vec<Name>,
+    /// Virtual time the run consumed (pop-under dwell).
+    pub duration: SimDuration,
+}
+
+/// The ad-network campaign driver.
+///
+/// # Examples
+///
+/// ```
+/// use cde_probers::{AdNetProber, WebClient};
+/// use cde_platform::testnet::build_simple_world;
+/// use cde_netsim::SimTime;
+/// use std::net::Ipv4Addr;
+///
+/// let mut world = build_simple_world(2, 50);
+/// let ingress = world.platform.ingress_ips()[0];
+/// let mut client = WebClient::new(Ipv4Addr::new(203, 0, 113, 60), ingress);
+/// let mut prober = AdNetProber::new(5);
+/// let urls: Vec<_> = (1..=4)
+///     .map(|i| format!("x-{i}.cache.example").parse().unwrap())
+///     .collect();
+/// let run = prober.run_forced(&mut client, &mut world.platform, &mut world.net, &urls, SimTime::ZERO);
+/// assert!(run.completed);
+/// assert_eq!(run.reached_platform.len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct AdNetProber {
+    rng: DetRng,
+    impressions: u64,
+    completions: u64,
+}
+
+impl AdNetProber {
+    /// Creates a campaign driver.
+    pub fn new(seed: u64) -> AdNetProber {
+        AdNetProber {
+            rng: DetRng::seed(seed).fork("adnet-prober"),
+            impressions: 0,
+            completions: 0,
+        }
+    }
+
+    /// Ad impressions served so far.
+    pub fn impressions(&self) -> u64 {
+        self.impressions
+    }
+
+    /// Runs that completed so far.
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    /// Serves the measurement iframe to `client` and, with probability
+    /// [`COMPLETION_RATE`], runs the full URL list; otherwise the visitor
+    /// bails early after a random prefix.
+    pub fn run(
+        &mut self,
+        client: &mut WebClient,
+        platform: &mut ResolutionPlatform,
+        net: &mut NameserverNet,
+        urls: &[Name],
+        now: SimTime,
+    ) -> ClientRun {
+        self.impressions += 1;
+        let completes = self.rng.gen::<f64>() < COMPLETION_RATE;
+        let visible = if completes {
+            urls.len()
+        } else {
+            // Visitor closes the pop-under partway through.
+            self.rng.gen_range(0..urls.len().max(1))
+        };
+        let mut run = self.fetch_urls(client, platform, net, &urls[..visible], now);
+        run.completed = completes;
+        if completes {
+            self.completions += 1;
+        }
+        run
+    }
+
+    /// Runs the full URL list unconditionally (for studies that only use
+    /// completed runs, matching the paper's post-filtering).
+    pub fn run_forced(
+        &mut self,
+        client: &mut WebClient,
+        platform: &mut ResolutionPlatform,
+        net: &mut NameserverNet,
+        urls: &[Name],
+        now: SimTime,
+    ) -> ClientRun {
+        self.impressions += 1;
+        self.completions += 1;
+        let mut run = self.fetch_urls(client, platform, net, urls, now);
+        run.completed = true;
+        run
+    }
+
+    fn fetch_urls(
+        &mut self,
+        client: &mut WebClient,
+        platform: &mut ResolutionPlatform,
+        net: &mut NameserverNet,
+        urls: &[Name],
+        now: SimTime,
+    ) -> ClientRun {
+        let mut reached = Vec::new();
+        let mut blocked = Vec::new();
+        let mut elapsed = SimDuration::ZERO;
+        for qname in urls {
+            // Browser dwell between navigations: uncontrollable timing
+            // (several-minute pop-under, §III-C).
+            elapsed += SimDuration::from_millis(self.rng.gen_range(200..3_000));
+            let at = now + elapsed;
+            if client.local.lookup(qname, RecordType::A, at).is_some() {
+                blocked.push(qname.clone());
+                continue;
+            }
+            let resp = platform.handle_query(client.addr, client.ingress, qname, RecordType::A, at, net);
+            if let Ok(r) = &resp {
+                if let cde_platform::ResolveResult::Records(rrs) = &r.outcome.result {
+                    client.local.store(qname.clone(), RecordType::A, rrs.clone(), at);
+                }
+            }
+            reached.push(qname.clone());
+        }
+        ClientRun {
+            completed: false,
+            reached_platform: reached,
+            blocked_locally: blocked,
+            duration: elapsed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cde_platform::testnet::{build_simple_world, CDE_ZONE_SERVER};
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn urls(k: usize) -> Vec<Name> {
+        (1..=k).map(|i| n(&format!("x-{i}.cache.example"))).collect()
+    }
+
+    #[test]
+    fn forced_run_reaches_platform_for_every_distinct_name() {
+        let mut w = build_simple_world(2, 60);
+        let ing = w.platform.ingress_ips()[0];
+        let mut client = WebClient::new(Ipv4Addr::new(203, 0, 113, 61), ing);
+        let mut prober = AdNetProber::new(1);
+        let run = prober.run_forced(&mut client, &mut w.platform, &mut w.net, &urls(8), SimTime::ZERO);
+        assert_eq!(run.reached_platform.len(), 8);
+        assert!(run.blocked_locally.is_empty());
+        assert!(run.duration > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn repeated_names_are_blocked_by_browser_cache() {
+        let mut w = build_simple_world(1, 61);
+        let ing = w.platform.ingress_ips()[0];
+        let mut client = WebClient::new(Ipv4Addr::new(203, 0, 113, 62), ing);
+        let mut prober = AdNetProber::new(2);
+        let list = vec![n("x-1.cache.example"), n("x-1.cache.example")];
+        let run = prober.run_forced(&mut client, &mut w.platform, &mut w.net, &list, SimTime::ZERO);
+        assert_eq!(run.reached_platform.len(), 1);
+        assert_eq!(run.blocked_locally.len(), 1);
+    }
+
+    #[test]
+    fn completion_rate_is_about_one_in_fifty() {
+        let mut w = build_simple_world(1, 62);
+        let ing = w.platform.ingress_ips()[0];
+        let mut prober = AdNetProber::new(3);
+        let list = urls(2);
+        for i in 0..5_000 {
+            let mut client = WebClient::new(Ipv4Addr::new(203, 0, (i >> 8) as u8, i as u8), ing);
+            prober.run(&mut client, &mut w.platform, &mut w.net, &list, SimTime::ZERO);
+        }
+        let rate = prober.completions() as f64 / prober.impressions() as f64;
+        assert!((rate - COMPLETION_RATE).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn queries_land_in_cde_nameserver_log() {
+        let mut w = build_simple_world(1, 63);
+        let ing = w.platform.ingress_ips()[0];
+        let mut client = WebClient::new(Ipv4Addr::new(203, 0, 113, 64), ing);
+        let mut prober = AdNetProber::new(4);
+        prober.run_forced(&mut client, &mut w.platform, &mut w.net, &urls(3), SimTime::ZERO);
+        let server = w.net.server(CDE_ZONE_SERVER).unwrap();
+        for i in 1..=3 {
+            assert_eq!(server.count_queries_for(&n(&format!("x-{i}.cache.example"))), 1);
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! The direct prober (paper §IV-B1, set-up 2 in Fig. 1).
+//!
+//! Open recursive resolvers let the prober send DNS queries straight to an
+//! ingress address, controlling both the timing and the number of
+//! repetitions — the easiest setting for enumeration. The prober also
+//! measures response latency, which is the input to the §IV-B3 timing side
+//! channel.
+
+use cde_dns::{Name, RecordType};
+use cde_netsim::{DetRng, Link, SimDuration, SimTime};
+use cde_platform::{NameserverNet, PlatformError, ResolutionPlatform, ResolveResult};
+use std::net::Ipv4Addr;
+
+/// Outcome of one direct probe, as seen by the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeReply {
+    /// A response arrived.
+    Answered {
+        /// Resolution status and records.
+        result: ResolveResult,
+        /// Round-trip latency the prober measured.
+        latency: SimDuration,
+        /// `true` when the platform answered from cache — GROUND TRUTH for
+        /// validation; real probers infer this from `latency` only.
+        truth_cache_hit: bool,
+    },
+    /// No response within the prober's timeout (packet lost on either
+    /// direction).
+    Timeout {
+        /// Latency burned waiting.
+        latency: SimDuration,
+    },
+}
+
+impl ProbeReply {
+    /// `true` when a response arrived.
+    pub fn is_answered(&self) -> bool {
+        matches!(self, ProbeReply::Answered { .. })
+    }
+
+    /// The measured latency, whichever way the probe went.
+    pub fn latency(&self) -> SimDuration {
+        match self {
+            ProbeReply::Answered { latency, .. } | ProbeReply::Timeout { latency } => *latency,
+        }
+    }
+}
+
+/// A client probing ingress addresses directly.
+///
+/// # Examples
+///
+/// ```
+/// use cde_probers::DirectProber;
+/// use cde_platform::testnet::build_simple_world;
+/// use cde_dns::RecordType;
+/// use cde_netsim::{Link, SimTime};
+/// use std::net::Ipv4Addr;
+///
+/// let mut world = build_simple_world(2, 3);
+/// let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 8), Link::ideal(), 99);
+/// let ingress = world.platform.ingress_ips()[0];
+/// let reply = prober.probe(
+///     &mut world.platform,
+///     ingress,
+///     &"name.cache.example".parse().unwrap(),
+///     RecordType::A,
+///     SimTime::ZERO,
+///     &mut world.net,
+/// );
+/// assert!(reply.is_answered());
+/// ```
+#[derive(Debug)]
+pub struct DirectProber {
+    src: Ipv4Addr,
+    link: Link,
+    rng: DetRng,
+    timeout: SimDuration,
+    sent: u64,
+    answered: u64,
+}
+
+impl DirectProber {
+    /// Creates a prober at `src` reaching platforms over `link`.
+    pub fn new(src: Ipv4Addr, link: Link, seed: u64) -> DirectProber {
+        DirectProber {
+            src,
+            link,
+            rng: DetRng::seed(seed).fork("direct-prober"),
+            timeout: SimDuration::from_millis(2_000),
+            sent: 0,
+            answered: 0,
+        }
+    }
+
+    /// Source address used in queries.
+    pub fn src(&self) -> Ipv4Addr {
+        self.src
+    }
+
+    /// Replaces the client-side timeout (default 2 s).
+    pub fn set_timeout(&mut self, timeout: SimDuration) {
+        self.timeout = timeout;
+    }
+
+    /// Probes sent so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Probes answered so far.
+    pub fn answered(&self) -> u64 {
+        self.answered
+    }
+
+    /// Loss rate observed by this prober (the input to carpet-bombing
+    /// calibration).
+    pub fn observed_loss_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            1.0 - self.answered as f64 / self.sent as f64
+        }
+    }
+
+    /// Sends one query for `qname`/`qtype` to `ingress` of `platform`.
+    ///
+    /// Loss on the query direction means the platform never sees the probe;
+    /// loss on the response direction means the platform's caches changed
+    /// but the prober only observes a timeout — the asymmetry carpet
+    /// bombing (§V) is designed around.
+    pub fn probe(
+        &mut self,
+        platform: &mut ResolutionPlatform,
+        ingress: Ipv4Addr,
+        qname: &Name,
+        qtype: RecordType,
+        now: SimTime,
+        net: &mut NameserverNet,
+    ) -> ProbeReply {
+        self.sent += 1;
+        // Client → ingress.
+        let Some(fwd) = self.link.transmit(&mut self.rng) else {
+            return ProbeReply::Timeout {
+                latency: self.timeout,
+            };
+        };
+        let resp = match platform.handle_query(self.src, ingress, qname, qtype, now + fwd, net) {
+            Ok(r) => r,
+            Err(PlatformError::UnknownIngress(_)) => {
+                return ProbeReply::Timeout {
+                    latency: self.timeout,
+                }
+            }
+        };
+        // Ingress → client.
+        let Some(back) = self.link.transmit(&mut self.rng) else {
+            return ProbeReply::Timeout {
+                latency: self.timeout,
+            };
+        };
+        self.answered += 1;
+        ProbeReply::Answered {
+            result: resp.outcome.result,
+            latency: fwd + resp.outcome.latency + back,
+            truth_cache_hit: resp.outcome.cache_hit,
+        }
+    }
+
+    /// Sends the same probe up to `k` times, returning the first answer
+    /// (carpet bombing's per-probe redundancy).
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_with_redundancy(
+        &mut self,
+        platform: &mut ResolutionPlatform,
+        ingress: Ipv4Addr,
+        qname: &Name,
+        qtype: RecordType,
+        k: u64,
+        now: SimTime,
+        net: &mut NameserverNet,
+    ) -> ProbeReply {
+        assert!(k >= 1, "redundancy must be at least 1");
+        let mut last = ProbeReply::Timeout {
+            latency: self.timeout,
+        };
+        for _ in 0..k {
+            last = self.probe(platform, ingress, qname, qtype, now, net);
+            if last.is_answered() {
+                return last;
+            }
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cde_netsim::{LatencyModel, LossModel};
+    use cde_platform::testnet::build_simple_world;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn probe_answers_and_counts() {
+        let mut w = build_simple_world(1, 5);
+        let mut p = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 1);
+        let ing = w.platform.ingress_ips()[0];
+        let r = p.probe(
+            &mut w.platform,
+            ing,
+            &n("name.cache.example"),
+            RecordType::A,
+            SimTime::ZERO,
+            &mut w.net,
+        );
+        assert!(r.is_answered());
+        assert_eq!(p.sent(), 1);
+        assert_eq!(p.answered(), 1);
+        assert_eq!(p.observed_loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn lossy_link_times_out_sometimes() {
+        let mut w = build_simple_world(1, 6);
+        let link = Link::new(
+            LatencyModel::Constant(SimDuration::from_millis(5)),
+            LossModel::with_rate(0.5),
+        );
+        let mut p = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), link, 2);
+        let ing = w.platform.ingress_ips()[0];
+        let mut timeouts = 0;
+        for _ in 0..200 {
+            let r = p.probe(
+                &mut w.platform,
+                ing,
+                &n("name.cache.example"),
+                RecordType::A,
+                SimTime::ZERO,
+                &mut w.net,
+            );
+            if !r.is_answered() {
+                timeouts += 1;
+            }
+        }
+        // P(timeout) = 1 − 0.5·0.5 = 0.75.
+        assert!((100..200).contains(&timeouts), "timeouts {timeouts}");
+        assert!(p.observed_loss_rate() > 0.5);
+    }
+
+    #[test]
+    fn unknown_ingress_times_out() {
+        let mut w = build_simple_world(1, 7);
+        let mut p = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 3);
+        let r = p.probe(
+            &mut w.platform,
+            Ipv4Addr::new(8, 8, 8, 8),
+            &n("name.cache.example"),
+            RecordType::A,
+            SimTime::ZERO,
+            &mut w.net,
+        );
+        assert!(!r.is_answered());
+    }
+
+    #[test]
+    fn redundancy_overcomes_loss() {
+        let mut w = build_simple_world(1, 8);
+        let link = Link::new(
+            LatencyModel::Constant(SimDuration::from_millis(5)),
+            LossModel::with_rate(0.5),
+        );
+        let mut p = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), link, 4);
+        let ing = w.platform.ingress_ips()[0];
+        let mut answered = 0;
+        for _ in 0..100 {
+            let r = p.probe_with_redundancy(
+                &mut w.platform,
+                ing,
+                &n("name.cache.example"),
+                RecordType::A,
+                8,
+                SimTime::ZERO,
+                &mut w.net,
+            );
+            if r.is_answered() {
+                answered += 1;
+            }
+        }
+        // 1 − 0.75⁸ ≈ 0.9, so near-total success.
+        assert!(answered >= 85, "answered {answered}");
+    }
+
+    #[test]
+    fn latency_reflects_cache_state() {
+        let mut w = build_simple_world(1, 9);
+        let link = Link::new(
+            LatencyModel::Constant(SimDuration::from_millis(10)),
+            LossModel::none(),
+        );
+        let mut p = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), link, 5);
+        let ing = w.platform.ingress_ips()[0];
+        let cold = p.probe(&mut w.platform, ing, &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut w.net);
+        let warm = p.probe(&mut w.platform, ing, &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut w.net);
+        assert!(cold.latency() > warm.latency());
+    }
+}

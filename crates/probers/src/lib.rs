@@ -1,0 +1,26 @@
+//! Direct and indirect DNS probers for the CDE reproduction.
+//!
+//! The paper collects data through three channels (§III), each modelled
+//! here:
+//!
+//! * [`DirectProber`] — queries open recursive resolvers straight at their
+//!   ingress addresses (controls timing and repetition; measures latency),
+//! * [`SmtpProber`]/[`EnterpriseMailServer`] — triggers the enterprise
+//!   MTA's SPF/DKIM/DMARC/MX lookups by mailing a non-existent mailbox
+//!   (Table I query mix),
+//! * [`AdNetProber`]/[`WebClient`] — drives a visitor's browser to URLs
+//!   under the CDE domain through the browser/OS local caches, with the
+//!   paper's ~1:50 completion rate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adnet;
+pub mod direct;
+pub mod smtp;
+
+pub use adnet::{AdNetProber, ClientRun, WebClient, COMPLETION_RATE};
+pub use direct::{DirectProber, ProbeReply};
+pub use smtp::{
+    EnterpriseMailServer, MailChecks, QueryKind, SmtpProber, TriggeredQuery, TABLE1_FRACTIONS,
+};

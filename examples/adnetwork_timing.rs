@@ -1,0 +1,94 @@
+//! Ad-network probing and the timing side channel (§III-C, §IV-B3).
+//!
+//! Part 1 drives a visitor's browser (behind browser + OS stub caches)
+//! through the names-hierarchy bypass, counting the caches of the
+//! visitor's ISP at our *parent* nameserver.
+//!
+//! Part 2 counts the same caches with **no nameserver observation at
+//! all** — purely from response latency (the indirect-egress setting an
+//! APT-style measurement would need).
+//!
+//! Run with: `cargo run --example adnetwork_timing`
+
+use counting_dark::cde::access::{AccessChannel, AdNetAccess, DirectAccess};
+use counting_dark::cde::enumerate::{enumerate_names_hierarchy, EnumerateOptions};
+use counting_dark::cde::{calibrate, enumerate_via_timing, CdeInfra};
+use counting_dark::netsim::{LatencyModel, Link, LossModel, SimDuration, SimTime};
+use counting_dark::platform::{NameserverNet, PlatformBuilder, SelectorKind};
+use counting_dark::probers::{AdNetProber, DirectProber, WebClient};
+use std::net::Ipv4Addr;
+
+fn main() {
+    let secret_cache_count = 3;
+    let ingress = Ipv4Addr::new(192, 0, 2, 1);
+    let mut net = NameserverNet::new();
+    let mut infra = CdeInfra::install(&mut net);
+    let mut platform = PlatformBuilder::new(1234)
+        .ingress(vec![ingress])
+        .egress((1..=6).map(|d| Ipv4Addr::new(192, 0, 3, d)).collect())
+        .cluster(secret_cache_count, SelectorKind::Random)
+        .upstream_link(Link::new(
+            LatencyModel::LogNormal {
+                median: SimDuration::from_millis(22),
+                sigma: 0.25,
+            },
+            LossModel::none(),
+        ))
+        .build();
+    println!("ISP platform: {secret_cache_count} hidden caches\n");
+
+    // ---- Part 1: browser-driven enumeration via the names hierarchy ----
+    let q = counting_dark::analysis::coupon::query_budget(8, 0.001);
+    let session = infra.new_session(&mut net, q as usize);
+    let mut campaign = AdNetProber::new(7);
+    let mut visitor = WebClient::new(Ipv4Addr::new(203, 0, 113, 41), ingress);
+    let mut access = AdNetAccess {
+        prober: &mut campaign,
+        client: &mut visitor,
+        platform: &mut platform,
+        net: &mut net,
+    };
+    let result = enumerate_names_hierarchy(
+        &mut access,
+        &infra,
+        &session,
+        EnumerateOptions::with_probes(q),
+        SimTime::ZERO,
+    );
+    println!(
+        "[browser study] {} pop-under navigations under {} -> {} referral fetches at the parent",
+        result.probes, session.sub_apex, result.observed
+    );
+    assert_eq!(result.observed, secret_cache_count as u64);
+
+    // ---- Part 2: timing-only enumeration (indirect egress access) -----
+    let client_link = Link::new(
+        LatencyModel::LogNormal {
+            median: SimDuration::from_millis(14),
+            sigma: 0.2,
+        },
+        LossModel::none(),
+    );
+    let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 42), client_link, 8);
+    let mut access = DirectAccess::new(&mut prober, &mut platform, ingress, &mut net);
+    let cal = calibrate(&mut access, &mut infra, 16, SimTime::ZERO + SimDuration::from_secs(60))
+        .expect("cached and uncached latencies separate at this jitter");
+    println!(
+        "\n[timing study] calibrated: cached median {}, uncached median {}, threshold {}",
+        cal.cached_median, cal.uncached_median, cal.threshold
+    );
+    let session2 = infra.new_session(access.net_mut(), 0);
+    let t = enumerate_via_timing(
+        &mut access,
+        &session2.honey,
+        cal,
+        q,
+        SimTime::ZERO + SimDuration::from_secs(120),
+    );
+    println!(
+        "[timing study] {} probes: {} slow (uncached) responses, {} fast",
+        t.probes, t.slow_responses, t.fast_responses
+    );
+    println!("caches counted from latency alone: {}", t.slow_responses);
+    assert_eq!(t.slow_responses, secret_cache_count as u64);
+}

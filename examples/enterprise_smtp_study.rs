@@ -1,0 +1,77 @@
+//! Enterprise SMTP study: enumerate an enterprise's caches *indirectly*
+//! through its mail server (§III-B, §IV-B2a).
+//!
+//! We cannot query the enterprise's resolvers — only its MTA talks to
+//! them. Sending messages to non-existent mailboxes with sender domains
+//! inside our zone makes the MTA's SPF/DMARC/MX checks resolve names we
+//! chose. Distinct CNAME-farm aliases bypass the MTA's stub cache while
+//! funnelling every probe onto one countable honey record.
+//!
+//! Run with: `cargo run --example enterprise_smtp_study`
+
+use counting_dark::cde::access::SmtpAccess;
+use counting_dark::cde::enumerate::{enumerate_cname_farm, EnumerateOptions};
+use counting_dark::cde::CdeInfra;
+use counting_dark::netsim::SimTime;
+use counting_dark::platform::{NameserverNet, PlatformBuilder, SelectorKind};
+use counting_dark::probers::{EnterpriseMailServer, MailChecks, SmtpProber};
+use std::net::Ipv4Addr;
+
+fn main() {
+    // The enterprise: a 4-cache resolution platform plus a mail server
+    // that performs SPF (TXT) and DMARC verification on inbound mail.
+    let secret_cache_count = 4;
+    let ingress = Ipv4Addr::new(192, 0, 2, 1);
+    let mut net = NameserverNet::new();
+    let mut infra = CdeInfra::install(&mut net);
+    let mut platform = PlatformBuilder::new(99)
+        .ingress(vec![ingress])
+        .egress((1..=8).map(|d| Ipv4Addr::new(192, 0, 3, d)).collect())
+        .cluster(secret_cache_count, SelectorKind::Random)
+        .build();
+    let mut mta = EnterpriseMailServer::new(
+        Ipv4Addr::new(198, 18, 0, 25),
+        MailChecks {
+            spf_txt: true,
+            dmarc: true,
+            mx_a: true,
+            ..MailChecks::default()
+        },
+        ingress,
+    );
+    println!("enterprise: {secret_cache_count} hidden caches; MTA checks SPF, DMARC, MX/A");
+
+    // Our infrastructure: a session with a CNAME farm big enough for the
+    // probe budget.
+    let q = counting_dark::analysis::coupon::query_budget(8, 0.001);
+    let session = infra.new_session(&mut net, q as usize);
+    println!(
+        "CDE zone: honey {} behind {} CNAME aliases",
+        session.honey,
+        session.farm.len()
+    );
+
+    // Send q probe emails, one per alias sender-domain.
+    let mut prober = SmtpProber::new(5);
+    let mut access = SmtpAccess {
+        prober: &mut prober,
+        mta: &mut mta,
+        platform: &mut platform,
+        net: &mut net,
+    };
+    let result = enumerate_cname_farm(
+        &mut access,
+        &infra,
+        &session,
+        EnumerateOptions::with_probes(q),
+        SimTime::ZERO,
+    );
+
+    println!(
+        "sent {} probe emails (each bounced); our nameserver saw {} honey fetches",
+        result.probes, result.observed
+    );
+    println!("measured cache count: {}", result.estimated);
+    assert_eq!(result.observed, secret_cache_count as u64);
+    println!("the MTA never knew it was counting its own employer's caches");
+}

@@ -1,0 +1,68 @@
+//! Open-resolver census: survey a population of networks the way the
+//! paper surveys its Alexa-derived open-resolver dataset (§III-A, §V-A).
+//!
+//! Generates a miniature population calibrated to the paper's marginals,
+//! runs the full measurement pipeline (ingress mapping, cache
+//! enumeration, egress discovery) against every network, and prints the
+//! Fig. 4-style cache CDF plus a ground-truth accuracy column the real
+//! study could never have.
+//!
+//! Run with: `cargo run --release --example open_resolver_census`
+
+use counting_dark::analysis::stats::Cdf;
+use counting_dark::cde::{survey_platform, CdeInfra, SurveyOptions};
+use counting_dark::datasets::{generate_population, PopulationKind};
+use counting_dark::netsim::SimTime;
+use counting_dark::platform::NameserverNet;
+use counting_dark::probers::DirectProber;
+use std::net::Ipv4Addr;
+
+fn main() {
+    let population = generate_population(PopulationKind::OpenResolvers, 60, 7);
+    println!("surveying {} open-resolver networks ...\n", population.len());
+
+    let mut measured = Vec::new();
+    let mut exact = 0usize;
+    for spec in &population {
+        let mut net = NameserverNet::new();
+        let mut infra = CdeInfra::install(&mut net);
+        let mut platform = spec.build();
+        let ingress: Vec<Ipv4Addr> = spec.ingress_ips().into_iter().take(4).collect();
+        let mut prober = DirectProber::new(
+            Ipv4Addr::new(203, 0, 113, 9),
+            spec.client_link(),
+            spec.id,
+        );
+        let opts = SurveyOptions {
+            loss: spec.country.loss_rate(),
+            ..SurveyOptions::default()
+        };
+        let survey = survey_platform(
+            &mut prober,
+            &mut platform,
+            &mut net,
+            &mut infra,
+            &ingress,
+            &opts,
+            SimTime::ZERO,
+        );
+        if survey.total_caches == spec.total_caches() as u64 {
+            exact += 1;
+        }
+        measured.push(survey.total_caches);
+    }
+
+    let cdf = Cdf::from_samples(measured.iter().copied());
+    println!("measured caches per network (Fig. 4, open-resolver curve):");
+    for (value, frac) in cdf.steps().into_iter().take(8) {
+        println!("  <= {value:3} caches : {:5.1}% of networks", frac * 100.0);
+    }
+    println!(
+        "\npaper checkpoint: ~70% of open-resolver networks use 1-2 caches; measured {:.1}%",
+        cdf.fraction_at_or_below(2) * 100.0
+    );
+    println!(
+        "ground-truth validation: {exact}/{} networks measured exactly",
+        population.len()
+    );
+}

@@ -1,0 +1,64 @@
+//! Software census (§II-C): identify the software of the *caches* —
+//! not the egress resolvers — across a population of platforms.
+//!
+//! Prior fingerprinting work classifies the software answering on an IP
+//! address; the paper notes (§VI) that this misses the hidden caches that
+//! do the actual caching work. This example classifies cache software by
+//! probing the caches' own behaviour: their positive and negative TTL
+//! caps, observed by planting long-TTL records and timing re-fetches.
+//!
+//! Run with: `cargo run --release --example software_census`
+
+use counting_dark::cache::SoftwareProfile;
+use counting_dark::cde::access::DirectAccess;
+use counting_dark::cde::{fingerprint_software, CdeInfra, FingerprintOptions};
+use counting_dark::datasets::{generate_population, PopulationKind};
+use counting_dark::netsim::{Link, SimTime};
+use counting_dark::platform::NameserverNet;
+use counting_dark::probers::DirectProber;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+fn main() {
+    let population = generate_population(PopulationKind::OpenResolvers, 40, 99);
+    println!("fingerprinting the cache software of {} networks ...\n", population.len());
+
+    let mut census: BTreeMap<String, usize> = BTreeMap::new();
+    let mut correct = 0usize;
+    for spec in &population {
+        let mut net = NameserverNet::new();
+        let mut infra = CdeInfra::install(&mut net);
+        let mut platform = spec.build();
+        let ingress = spec.ingress_ips()[0];
+        let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 7), Link::ideal(), spec.id);
+        let mut access = DirectAccess::new(&mut prober, &mut platform, ingress, &mut net);
+        let fp = fingerprint_software(
+            &mut access,
+            &mut infra,
+            &FingerprintOptions::default(),
+            SimTime::ZERO,
+        );
+        let label = fp
+            .classified
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "unclassified".into());
+        *census.entry(label).or_insert(0) += 1;
+        if fp.classified == Some(spec.software) {
+            correct += 1;
+        }
+    }
+
+    println!("census (measured from outside, no cooperation from the platforms):");
+    for (software, count) in &census {
+        println!(
+            "  {software:<14} {count:>3} networks ({:.0}%)",
+            *count as f64 / population.len() as f64 * 100.0
+        );
+    }
+    println!(
+        "\nvalidation against ground truth: {correct}/{} classified correctly",
+        population.len()
+    );
+    let all: Vec<String> = SoftwareProfile::all().iter().map(|p| p.to_string()).collect();
+    println!("profiles modelled: {}", all.join(", "));
+}

@@ -1,0 +1,75 @@
+//! TTL-consistency audit (§II-C): is that platform violating TTLs, or
+//! does it just have several caches?
+//!
+//! Earlier measurement studies counted repeated upstream fetches within a
+//! record's TTL as evidence that resolvers disrespect TTLs. The paper's
+//! point: with n caches, up to n fetches are perfectly consistent. This
+//! example audits three platforms that look identical from a naive
+//! fetch-count perspective and tells them apart.
+//!
+//! Run with: `cargo run --example ttl_consistency_audit`
+
+use counting_dark::cache::CacheConfig;
+use counting_dark::cde::access::DirectAccess;
+use counting_dark::cde::{audit_ttl_consistency, CdeInfra, ConsistencyOptions};
+use counting_dark::dns::Ttl;
+use counting_dark::netsim::{Link, SimTime};
+use counting_dark::platform::{ClusterConfig, NameserverNet, PlatformBuilder, SelectorKind};
+use counting_dark::probers::DirectProber;
+use std::net::Ipv4Addr;
+
+fn main() {
+    let ingress = Ipv4Addr::new(192, 0, 2, 1);
+    let cases: [(&str, usize, CacheConfig); 3] = [
+        // Four caches, honest TTLs: four fetches for one record is fine.
+        ("platform A (4 honest caches)", 4, CacheConfig::default()),
+        // Two caches that cap TTLs at one minute: genuine early refresh.
+        (
+            "platform B (2 caches, 60s TTL cap)",
+            2,
+            CacheConfig {
+                max_ttl: Ttl::from_secs(60),
+                ..CacheConfig::default()
+            },
+        ),
+        // Two caches that stretch TTLs to a day: genuine stale serving.
+        (
+            "platform C (2 caches, 1-day TTL floor)",
+            2,
+            CacheConfig {
+                min_ttl: Ttl::from_secs(86_400),
+                ..CacheConfig::default()
+            },
+        ),
+    ];
+
+    println!("auditing three platforms with a 600s-TTL honey record:\n");
+    for (label, caches, cache_config) in cases {
+        let mut net = NameserverNet::new();
+        let mut infra = CdeInfra::install(&mut net);
+        let mut platform = PlatformBuilder::new(7)
+            .ingress(vec![ingress])
+            .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+            .cluster_config(ClusterConfig {
+                cache_count: caches,
+                cache_config,
+                selector: SelectorKind::Random,
+            })
+            .build();
+        let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 3);
+        let mut access = DirectAccess::new(&mut prober, &mut platform, ingress, &mut net);
+        let report = audit_ttl_consistency(
+            &mut access,
+            &mut infra,
+            ConsistencyOptions::default(),
+            SimTime::ZERO,
+        );
+        println!("{label}:");
+        println!("  caches counted:           {}", report.caches);
+        println!("  refetches within TTL:     {}", report.refetches_within_ttl);
+        println!("  fetches after TTL expiry: {}", report.fetches_after_expiry);
+        println!("  verdict:                  {}\n", report.verdict);
+    }
+    println!("a naive fetch-count study would have flagged platform A as a TTL violator;");
+    println!("the audit attributes its fetches to its four caches instead (paper Sec. II-C)");
+}

@@ -1,0 +1,56 @@
+//! **counting-dark** — a from-scratch Rust reproduction of *Counting in
+//! the Dark: DNS Caches Discovery and Enumeration in the Internet*
+//! (DSN 2017).
+//!
+//! This umbrella crate re-exports the whole workspace so examples and
+//! downstream users need a single dependency:
+//!
+//! * [`dns`] — the DNS substrate (names, records, wire format, zones),
+//! * [`cache`] — TTL caches with clamping and eviction policies,
+//! * [`netsim`] — deterministic virtual time, latency and loss models,
+//! * [`platform`] — simulated resolution platforms and authoritative
+//!   nameservers,
+//! * [`probers`] — direct, SMTP and ad-network probers,
+//! * [`cde`] — the paper's contribution: caches discovery & enumeration,
+//! * [`analysis`] — coupon-collector math and figure statistics,
+//! * [`datasets`] — populations calibrated to the paper's marginals.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use counting_dark::cde::access::DirectAccess;
+//! use counting_dark::cde::enumerate::{enumerate_identical, EnumerateOptions};
+//! use counting_dark::cde::CdeInfra;
+//! use counting_dark::netsim::{Link, SimTime};
+//! use counting_dark::platform::{NameserverNet, PlatformBuilder, SelectorKind};
+//! use counting_dark::probers::DirectProber;
+//! use std::net::Ipv4Addr;
+//!
+//! // A hidden 3-cache platform ...
+//! let mut net = NameserverNet::new();
+//! let mut infra = CdeInfra::install(&mut net);
+//! let mut platform = PlatformBuilder::new(7)
+//!     .ingress(vec![Ipv4Addr::new(192, 0, 2, 1)])
+//!     .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+//!     .cluster(3, SelectorKind::Random)
+//!     .build();
+//!
+//! // ... counted from the outside.
+//! let session = infra.new_session(&mut net, 0);
+//! let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 1);
+//! let mut access = DirectAccess::new(&mut prober, &mut platform, Ipv4Addr::new(192, 0, 2, 1), &mut net);
+//! let result = enumerate_identical(&mut access, &infra, &session, EnumerateOptions::with_probes(48), SimTime::ZERO);
+//! assert_eq!(result.observed, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cde_analysis as analysis;
+pub use cde_cache as cache;
+pub use cde_core as cde;
+pub use cde_datasets as datasets;
+pub use cde_dns as dns;
+pub use cde_netsim as netsim;
+pub use cde_platform as platform;
+pub use cde_probers as probers;

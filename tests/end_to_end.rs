@@ -1,0 +1,152 @@
+//! End-to-end integration: the full CDE pipeline against ground-truth
+//! platforms, spanning every crate in the workspace.
+
+use counting_dark::cde::{
+    survey_platform, validate_survey, CdeInfra, SurveyOptions,
+};
+use counting_dark::netsim::{Link, SimTime};
+use counting_dark::platform::{NameserverNet, PlatformBuilder, SelectorKind};
+use counting_dark::probers::DirectProber;
+use std::net::Ipv4Addr;
+
+fn ing(d: u8) -> Ipv4Addr {
+    Ipv4Addr::new(192, 0, 2, d)
+}
+
+#[test]
+fn full_survey_recovers_three_cluster_platform() {
+    let mut net = NameserverNet::new();
+    let mut infra = CdeInfra::install(&mut net);
+    let ingress: Vec<Ipv4Addr> = (1..=6).map(ing).collect();
+    let mut platform = PlatformBuilder::new(1001)
+        .ingress(ingress.clone())
+        .egress((1..=7).map(|d| Ipv4Addr::new(192, 0, 3, d)).collect())
+        .cluster(1, SelectorKind::Random)
+        .cluster(3, SelectorKind::Random)
+        .cluster(5, SelectorKind::Random)
+        .ingress_assignment(vec![0, 1, 2, 0, 1, 2])
+        .build();
+    let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 1);
+    let survey = survey_platform(
+        &mut prober,
+        &mut platform,
+        &mut net,
+        &mut infra,
+        &ingress,
+        &SurveyOptions::default(),
+        SimTime::ZERO,
+    );
+    assert!(
+        validate_survey(&survey, &platform).is_empty(),
+        "discrepancies: {:?}",
+        validate_survey(&survey, &platform)
+    );
+    assert_eq!(survey.total_caches, 9);
+    assert_eq!(survey.mapping.cluster_count(), 3);
+    let mut per_cluster = survey.caches_per_cluster.clone();
+    per_cluster.sort_unstable();
+    assert_eq!(per_cluster, vec![1, 3, 5]);
+}
+
+#[test]
+fn survey_handles_the_single_ip_single_cache_platform() {
+    // The degenerate platform the paper says dominates the open-resolver
+    // population.
+    let mut net = NameserverNet::new();
+    let mut infra = CdeInfra::install(&mut net);
+    let mut platform = PlatformBuilder::new(1002)
+        .ingress(vec![ing(1)])
+        .egress(vec![ing(1)]) // same address does ingress and egress
+        .cluster(1, SelectorKind::Random)
+        .build();
+    let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 2);
+    let survey = survey_platform(
+        &mut prober,
+        &mut platform,
+        &mut net,
+        &mut infra,
+        &[ing(1)],
+        &SurveyOptions::default(),
+        SimTime::ZERO,
+    );
+    assert_eq!(survey.total_caches, 1);
+    assert_eq!(survey.mapping.cluster_count(), 1);
+    assert_eq!(survey.egress_ips, vec![ing(1)]);
+}
+
+#[test]
+fn surveys_are_reproducible_across_runs() {
+    let run = || {
+        let mut net = NameserverNet::new();
+        let mut infra = CdeInfra::install(&mut net);
+        let ingress: Vec<Ipv4Addr> = (1..=4).map(ing).collect();
+        let mut platform = PlatformBuilder::new(1003)
+            .ingress(ingress.clone())
+            .egress((1..=9).map(|d| Ipv4Addr::new(192, 0, 3, d)).collect())
+            .cluster(2, SelectorKind::Random)
+            .cluster(4, SelectorKind::Random)
+            .build();
+        let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 3);
+        let s = survey_platform(
+            &mut prober,
+            &mut platform,
+            &mut net,
+            &mut infra,
+            &ingress,
+            &SurveyOptions::default(),
+            SimTime::ZERO,
+        );
+        (s.total_caches, s.caches_per_cluster, s.egress_ips)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn repeated_surveys_of_one_platform_do_not_contaminate() {
+    // Fresh sessions mean an earlier survey's records never count in a
+    // later one — the §II-C consistency concern.
+    let mut net = NameserverNet::new();
+    let mut infra = CdeInfra::install(&mut net);
+    let mut platform = PlatformBuilder::new(1004)
+        .ingress(vec![ing(1)])
+        .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+        .cluster(4, SelectorKind::Random)
+        .build();
+    let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 4);
+    for round in 0..3 {
+        let survey = survey_platform(
+            &mut prober,
+            &mut platform,
+            &mut net,
+            &mut infra,
+            &[ing(1)],
+            &SurveyOptions::default(),
+            SimTime::ZERO,
+        );
+        assert_eq!(survey.total_caches, 4, "round {round}");
+    }
+}
+
+#[test]
+fn survey_with_every_traffic_dependent_selector() {
+    for selector in [SelectorKind::RoundRobin, SelectorKind::LeastLoaded] {
+        let mut net = NameserverNet::new();
+        let mut infra = CdeInfra::install(&mut net);
+        let mut platform = PlatformBuilder::new(1005)
+            .ingress(vec![ing(1)])
+            .egress((1..=3).map(|d| Ipv4Addr::new(192, 0, 3, d)).collect())
+            .cluster(5, selector)
+            .build();
+        let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 5);
+        let survey = survey_platform(
+            &mut prober,
+            &mut platform,
+            &mut net,
+            &mut infra,
+            &[ing(1)],
+            &SurveyOptions::default(),
+            SimTime::ZERO,
+        );
+        assert_eq!(survey.total_caches, 5, "selector {selector}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Integration tests for the paper's §II use cases built on top of the
+//! core techniques: fingerprinting, longitudinal tracking, forwarders and
+//! the TTL audit working together.
+
+use counting_dark::cache::SoftwareProfile;
+use counting_dark::cde::access::DirectAccess;
+use counting_dark::cde::{
+    audit_ttl_consistency, fingerprint_software, CdeInfra, ConsistencyOptions,
+    FingerprintOptions, PlatformTracker, TtlVerdict,
+};
+use counting_dark::netsim::{Link, SimDuration, SimTime};
+use counting_dark::platform::{
+    ClusterConfig, Forwarder, NameserverNet, PlatformBuilder, ResolutionPlatform, SelectorKind,
+};
+use counting_dark::probers::DirectProber;
+use std::net::Ipv4Addr;
+
+const INGRESS: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+
+fn build_with_profile(profile: SoftwareProfile, caches: usize, seed: u64) -> ResolutionPlatform {
+    PlatformBuilder::new(seed)
+        .ingress(vec![INGRESS])
+        .egress((1..=2).map(|d| Ipv4Addr::new(192, 0, 3, d)).collect())
+        .cluster_config(ClusterConfig {
+            cache_count: caches,
+            cache_config: profile.cache_config(),
+            selector: SelectorKind::Random,
+        })
+        .build()
+}
+
+#[test]
+fn fingerprint_and_audit_agree_on_clamping_software() {
+    // Unbound-like software caps positive TTLs at one day. The §II-C audit
+    // with a 600 s record sees honest behaviour (600 < cap), while the
+    // fingerprinter still identifies the cap with long-TTL probes — the
+    // two tools answer different questions consistently.
+    let mut net = NameserverNet::new();
+    let mut infra = CdeInfra::install(&mut net);
+    let mut platform = build_with_profile(SoftwareProfile::UnboundLike, 2, 901);
+    let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 1);
+
+    let report = {
+        let mut access = DirectAccess::new(&mut prober, &mut platform, INGRESS, &mut net);
+        audit_ttl_consistency(&mut access, &mut infra, ConsistencyOptions::default(), SimTime::ZERO)
+    };
+    assert_eq!(report.verdict, TtlVerdict::Consistent);
+    assert_eq!(report.caches, 2);
+
+    let fp = {
+        let mut access = DirectAccess::new(&mut prober, &mut platform, INGRESS, &mut net);
+        fingerprint_software(
+            &mut access,
+            &mut infra,
+            &FingerprintOptions::default(),
+            SimTime::ZERO + SimDuration::from_secs(10_000),
+        )
+    };
+    assert_eq!(fp.classified, Some(SoftwareProfile::UnboundLike));
+}
+
+#[test]
+fn tracker_detects_outage_and_recovery() {
+    let mut net = NameserverNet::new();
+    let mut infra = CdeInfra::install(&mut net);
+    let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 2);
+    let mut tracker = PlatformTracker::new(8);
+    let day = |d: u64| SimTime::ZERO + SimDuration::from_secs(d * 86_400);
+
+    for (d, caches) in [(0u64, 4usize), (1, 4), (2, 2), (3, 4)] {
+        let mut platform = build_with_profile(SoftwareProfile::BindLike, caches, 902);
+        let mut access = DirectAccess::new(&mut prober, &mut platform, INGRESS, &mut net);
+        tracker.measure_epoch(&mut access, &mut infra, day(d));
+    }
+    let tl = tracker.timeline();
+    assert_eq!(tl.changes.len(), 2); // shrink at epoch 2, growth at epoch 3
+    assert_eq!(tl.current_caches(), Some(4));
+    assert!(!tl.is_stable());
+}
+
+#[test]
+fn enumeration_through_forwarder_uses_farm_technique() {
+    // End-to-end: a caching forwarder in front of a 4-cache upstream.
+    // Identical queries count the forwarder (1); the CNAME farm counts the
+    // upstream (4).
+    let mut net = NameserverNet::new();
+    let mut infra = CdeInfra::install(&mut net);
+    let mut upstream = build_with_profile(SoftwareProfile::BindLike, 4, 903);
+    let mut fwd = Forwarder::caching(Ipv4Addr::new(198, 18, 7, 53), INGRESS, 10_000, 3);
+    let session = infra.new_session(&mut net, 64);
+
+    // Identical queries through the forwarder.
+    for _ in 0..48 {
+        fwd.handle_query(
+            Ipv4Addr::new(203, 0, 113, 9),
+            &session.honey,
+            counting_dark::dns::RecordType::A,
+            SimTime::ZERO,
+            &mut upstream,
+            &mut net,
+        )
+        .unwrap();
+    }
+    assert_eq!(infra.count_honey_fetches(&net, &session.honey), 1);
+
+    // The farm bypasses the forwarder cache.
+    infra.clear_observations(&mut net);
+    let session2 = infra.new_session(&mut net, 64);
+    for alias in session2.farm.iter().take(48) {
+        fwd.handle_query(
+            Ipv4Addr::new(203, 0, 113, 9),
+            alias,
+            counting_dark::dns::RecordType::A,
+            SimTime::ZERO,
+            &mut upstream,
+            &mut net,
+        )
+        .unwrap();
+    }
+    assert_eq!(infra.count_honey_fetches(&net, &session2.honey), 4);
+}
+
+#[test]
+fn poisoning_bar_tracks_measured_cache_count() {
+    use counting_dark::analysis::coupon::query_budget;
+    use counting_dark::cde::enumerate::{enumerate_identical, EnumerateOptions};
+    use counting_dark::cde::resilience::expected_attack_attempts;
+
+    // Measure a platform, then derive its poisoning resilience from the
+    // *measured* count — the paper's §II-A security-assessment workflow.
+    let mut net = NameserverNet::new();
+    let mut infra = CdeInfra::install(&mut net);
+    let mut platform = build_with_profile(SoftwareProfile::BindLike, 8, 904);
+    let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 4);
+    let mut access = DirectAccess::new(&mut prober, &mut platform, INGRESS, &mut net);
+    let session = infra.new_session(access.net, 0);
+    let e = enumerate_identical(
+        &mut access,
+        &infra,
+        &session,
+        EnumerateOptions::with_probes(query_budget(8, 0.001)),
+        SimTime::ZERO,
+    );
+    assert_eq!(e.estimated, 8);
+    assert_eq!(expected_attack_attempts(e.estimated, 2), 8.0);
+    assert_eq!(expected_attack_attempts(e.estimated, 3), 64.0);
+}

@@ -1,0 +1,128 @@
+//! Integration tests under packet loss: loss measurement, carpet bombing
+//! and the init/validate protocol across the paper's country profiles.
+
+use counting_dark::analysis::estimators::{carpet_bombing_k, recommended_seeds};
+use counting_dark::cde::access::DirectAccess;
+use counting_dark::cde::enumerate::{enumerate_identical, EnumerateOptions};
+use counting_dark::cde::{measure_loss, CdeInfra, ProbePlan};
+use counting_dark::netsim::{CountryProfile, LatencyModel, Link, LossModel, SimDuration, SimTime};
+use counting_dark::platform::{NameserverNet, PlatformBuilder, ResolutionPlatform, SelectorKind};
+use counting_dark::probers::DirectProber;
+use std::net::Ipv4Addr;
+
+const INGRESS: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+
+fn build(n: usize, seed: u64) -> (ResolutionPlatform, NameserverNet, CdeInfra) {
+    let mut net = NameserverNet::new();
+    let infra = CdeInfra::install(&mut net);
+    let platform = PlatformBuilder::new(seed)
+        .ingress(vec![INGRESS])
+        .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+        .cluster(n, SelectorKind::Random)
+        .build();
+    (platform, net, infra)
+}
+
+fn lossy_link(rate: f64) -> Link {
+    Link::new(
+        LatencyModel::Constant(SimDuration::from_millis(10)),
+        LossModel::with_rate(rate),
+    )
+}
+
+#[test]
+fn measured_loss_tracks_country_profiles() {
+    for profile in CountryProfile::all() {
+        let (mut platform, mut net, mut infra) = build(2, 3001);
+        let mut prober = DirectProber::new(
+            Ipv4Addr::new(203, 0, 113, 1),
+            lossy_link(profile.loss_rate()),
+            7,
+        );
+        let mut access = DirectAccess::new(&mut prober, &mut platform, INGRESS, &mut net);
+        let measured = measure_loss(&mut access, &mut infra, 600, SimTime::ZERO);
+        let expected = 1.0 - (1.0 - profile.loss_rate()).powi(2);
+        assert!(
+            (measured - expected).abs() < 0.05,
+            "{profile}: measured {measured:.3} expected {expected:.3}"
+        );
+    }
+}
+
+#[test]
+fn plan_from_measured_loss_survives_iran_grade_loss() {
+    // Measure loss, derive a plan, and enumerate under that loss: the
+    // planned redundancy must keep the result exact in almost all trials.
+    let profile = CountryProfile::Iran;
+    let n = 4usize;
+    let trials = 20;
+    let mut exact = 0;
+    for t in 0..trials {
+        let (mut platform, mut net, mut infra) = build(n, 3100 + t);
+        let mut prober = DirectProber::new(
+            Ipv4Addr::new(203, 0, 113, 1),
+            lossy_link(profile.loss_rate()),
+            100 + t,
+        );
+        let mut access = DirectAccess::new(&mut prober, &mut platform, INGRESS, &mut net);
+        let loss = measure_loss(&mut access, &mut infra, 200, SimTime::ZERO);
+        let plan = ProbePlan::for_target(8, loss.min(0.9));
+        let session = infra.new_session(access.net, 0);
+        let e = enumerate_identical(
+            &mut access,
+            &infra,
+            &session,
+            EnumerateOptions {
+                probes: plan.probes,
+                redundancy: plan.redundancy,
+                gap: SimDuration::from_millis(10),
+            },
+            SimTime::ZERO + SimDuration::from_secs(10),
+        );
+        if e.observed == n as u64 {
+            exact += 1;
+        }
+    }
+    assert!(exact >= trials - 1, "exact {exact}/{trials}");
+}
+
+#[test]
+fn carpet_k_matches_paper_loss_profiles() {
+    assert_eq!(carpet_bombing_k(CountryProfile::Typical.loss_rate(), 0.001), 2);
+    assert_eq!(carpet_bombing_k(CountryProfile::China.loss_rate(), 0.001), 3);
+    assert_eq!(carpet_bombing_k(CountryProfile::Iran.loss_rate(), 0.001), 4);
+}
+
+#[test]
+fn seed_recommendation_scales_with_loss_and_n() {
+    let clean = recommended_seeds(8, 0.0);
+    let lossy = recommended_seeds(8, CountryProfile::Iran.loss_rate());
+    assert_eq!(clean, 16);
+    assert!(lossy >= 2 * clean);
+}
+
+#[test]
+fn response_direction_loss_still_counts_caches() {
+    // A probe whose response is lost still touched a cache (the upstream
+    // fetch happened) — ω is driven by cache state, not by what the
+    // prober saw. Verify ω stays correct even when the prober times out a
+    // lot.
+    let n = 3usize;
+    let (mut platform, mut net, mut infra) = build(n, 3200);
+    let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), lossy_link(0.3), 11);
+    let mut access = DirectAccess::new(&mut prober, &mut platform, INGRESS, &mut net);
+    let session = infra.new_session(access.net, 0);
+    let e = enumerate_identical(
+        &mut access,
+        &infra,
+        &session,
+        EnumerateOptions {
+            probes: 60,
+            redundancy: 4,
+            gap: SimDuration::from_millis(10),
+        },
+        SimTime::ZERO,
+    );
+    assert_eq!(e.observed, n as u64);
+    assert!(e.delivered < e.probes, "some probes must have timed out");
+}

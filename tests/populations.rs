@@ -1,0 +1,83 @@
+//! Integration tests over the synthetic populations: the measurement
+//! pipeline applied at small scale must reproduce the paper's headline
+//! shapes and stay close to ground truth.
+
+use cde_bench::runner::survey_population;
+use counting_dark::analysis::stats::{Cdf, Scatter};
+use counting_dark::datasets::PopulationKind;
+
+const SEED: u64 = 0xF165;
+
+#[test]
+fn open_resolver_survey_reproduces_fig4_and_fig6_shape() {
+    let measured = survey_population(PopulationKind::OpenResolvers, 80, SEED);
+    let cdf = Cdf::from_samples(measured.iter().map(|m| m.measured_caches));
+    // Fig. 4: ~70% of open-resolver platforms use 1-2 caches.
+    let small = cdf.fraction_at_or_below(2);
+    assert!((0.55..0.90).contains(&small), "1-2 caches share {small}");
+    // Fig. 6: the 1-IP/1-cache cell dominates.
+    let sc: Scatter = measured
+        .iter()
+        .map(|m| (m.spec.ingress_count as u64, m.measured_caches))
+        .collect();
+    let ((x, y), _) = sc.largest_cell().unwrap();
+    assert_eq!((x, y), (1, 1));
+}
+
+#[test]
+fn enterprise_survey_reproduces_multi_multi_dominance() {
+    let measured = survey_population(PopulationKind::Enterprises, 80, SEED);
+    let sc: Scatter = measured
+        .iter()
+        .map(|m| (m.spec.ingress_count as u64, m.measured_caches))
+        .collect();
+    // Fig. 6: >80% multi-IP and multi-cache, <5%-ish single/single.
+    assert!(sc.fraction_where(|x, y| x > 1 && y > 1) > 0.70);
+    assert!(sc.fraction_where(|x, y| x == 1 && y == 1) < 0.12);
+}
+
+#[test]
+fn isp_survey_sits_between_the_other_populations() {
+    let isps = survey_population(PopulationKind::Isps, 80, SEED);
+    let open = survey_population(PopulationKind::OpenResolvers, 80, SEED);
+    let ent = survey_population(PopulationKind::Enterprises, 80, SEED);
+    let median = |pop: &[cde_bench::MeasuredNetwork]| {
+        Cdf::from_samples(pop.iter().map(|m| m.measured_caches)).median()
+    };
+    // Ordering of cache medians: open <= isps <= enterprises (Fig. 4).
+    assert!(median(&open) <= median(&isps));
+    assert!(median(&isps) <= median(&ent));
+}
+
+#[test]
+fn egress_ordering_matches_fig3() {
+    let open = survey_population(PopulationKind::OpenResolvers, 60, SEED);
+    let ent = survey_population(PopulationKind::Enterprises, 60, SEED);
+    let isps = survey_population(PopulationKind::Isps, 60, SEED);
+    let median = |pop: &[cde_bench::MeasuredNetwork]| {
+        Cdf::from_samples(pop.iter().map(|m| m.measured_egress)).median()
+    };
+    // Fig. 3: enterprises have the most egress IPs, open resolvers the
+    // fewest.
+    assert!(median(&open) < median(&isps));
+    assert!(median(&isps) <= median(&ent));
+}
+
+#[test]
+fn pipeline_accuracy_is_high_across_populations() {
+    for kind in PopulationKind::all() {
+        let measured = survey_population(kind, 60, SEED);
+        let close = measured
+            .iter()
+            .filter(|m| (m.measured_caches as i64 - m.spec.total_caches() as i64).abs() <= 1)
+            .count() as f64
+            / measured.len() as f64;
+        assert!(close >= 0.75, "{kind}: only {close:.2} within ±1 cache");
+        let egress_exact = measured
+            .iter()
+            .filter(|m| m.measured_egress == m.spec.egress_count as u64)
+            .count() as f64
+            / measured.len() as f64;
+        assert!(egress_exact >= 0.85, "{kind}: egress exact only {egress_exact:.2}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based integration tests: the measurement pipeline recovers
+//! randomly drawn ground truths.
+
+use counting_dark::analysis::coupon::query_budget;
+use counting_dark::cde::access::DirectAccess;
+use counting_dark::cde::enumerate::{enumerate_cname_farm, enumerate_identical, EnumerateOptions};
+use counting_dark::cde::{
+    map_ingress_to_clusters, mapping_matches_ground_truth, CdeInfra, MappingOptions,
+};
+use counting_dark::netsim::{Link, SimTime};
+use counting_dark::platform::{NameserverNet, PlatformBuilder, SelectorKind};
+use counting_dark::probers::DirectProber;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+const INGRESS: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+
+/// Selectors under which identical-query enumeration is guaranteed to
+/// converge (hash-based selectors need the farm variant).
+fn converging_selector() -> impl Strategy<Value = SelectorKind> {
+    prop_oneof![
+        Just(SelectorKind::Random),
+        Just(SelectorKind::RoundRobin),
+        Just(SelectorKind::LeastLoaded),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Enumeration recovers any cache count under any converging selector.
+    #[test]
+    fn enumeration_recovers_ground_truth(
+        n in 1usize..12,
+        selector in converging_selector(),
+        seed in 0u64..10_000,
+    ) {
+        let mut net = NameserverNet::new();
+        let mut infra = CdeInfra::install(&mut net);
+        let mut platform = PlatformBuilder::new(seed)
+            .ingress(vec![INGRESS])
+            .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+            .cluster(n, selector)
+            .build();
+        let session = infra.new_session(&mut net, 0);
+        let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), seed);
+        let mut access = DirectAccess::new(&mut prober, &mut platform, INGRESS, &mut net);
+        let q = query_budget(n as u64, 0.0001);
+        let e = enumerate_identical(&mut access, &infra, &session, EnumerateOptions::with_probes(q), SimTime::ZERO);
+        prop_assert_eq!(e.observed, n as u64);
+    }
+
+    /// The CNAME farm recovers the count even under qname-hash selection.
+    #[test]
+    fn farm_enumeration_recovers_qname_hash(
+        n in 1usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let mut net = NameserverNet::new();
+        let mut infra = CdeInfra::install(&mut net);
+        let mut platform = PlatformBuilder::new(seed)
+            .ingress(vec![INGRESS])
+            .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+            .cluster(n, SelectorKind::QnameHash)
+            .build();
+        // Hash selection is deterministic per name, so coverage needs a
+        // wider farm than the coupon budget.
+        let probes = 64 * n as u64;
+        let session = infra.new_session(&mut net, probes as usize);
+        let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), seed);
+        let mut access = DirectAccess::new(&mut prober, &mut platform, INGRESS, &mut net);
+        let e = enumerate_cname_farm(&mut access, &infra, &session, EnumerateOptions::with_probes(probes), SimTime::ZERO);
+        prop_assert_eq!(e.observed, n as u64);
+    }
+
+    /// Ingress mapping (fresh-honey strategy) recovers any 2-cluster
+    /// partition exactly.
+    #[test]
+    fn mapping_recovers_random_partitions(
+        c0 in 1usize..5,
+        c1 in 1usize..5,
+        assignment in proptest::collection::vec(0usize..2, 2..6),
+        seed in 0u64..10_000,
+    ) {
+        // Ensure both clusters are referenced.
+        let mut assignment = assignment;
+        assignment[0] = 0;
+        if !assignment.contains(&1) {
+            let last = assignment.len() - 1;
+            assignment[last] = 1;
+        }
+        let ingress: Vec<Ipv4Addr> =
+            (1..=assignment.len() as u8).map(|d| Ipv4Addr::new(192, 0, 2, d)).collect();
+        let mut net = NameserverNet::new();
+        let mut infra = CdeInfra::install(&mut net);
+        let mut platform = PlatformBuilder::new(seed)
+            .ingress(ingress.clone())
+            .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+            .cluster(c0, SelectorKind::Random)
+            .cluster(c1, SelectorKind::Random)
+            .ingress_assignment(assignment)
+            .build();
+        let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), seed);
+        let mapping = map_ingress_to_clusters(
+            &mut prober,
+            &mut platform,
+            &mut net,
+            &mut infra,
+            &ingress,
+            MappingOptions::default(),
+            SimTime::ZERO,
+        );
+        prop_assert!(mapping_matches_ground_truth(&mapping, &platform));
+    }
+}

@@ -1,0 +1,160 @@
+//! Cross-technique agreement: every enumeration channel and bypass must
+//! report the same cache count on the same platform.
+
+use counting_dark::analysis::coupon::query_budget;
+use counting_dark::cde::access::{AdNetAccess, DirectAccess, SmtpAccess};
+use counting_dark::cde::enumerate::{
+    enumerate_cname_farm, enumerate_identical, enumerate_names_hierarchy, enumerate_two_phase,
+    EnumerateOptions,
+};
+use counting_dark::cde::{calibrate, enumerate_via_timing, CdeInfra};
+use counting_dark::netsim::{LatencyModel, Link, LossModel, SimDuration, SimTime};
+use counting_dark::platform::{NameserverNet, PlatformBuilder, ResolutionPlatform, SelectorKind};
+use counting_dark::probers::{
+    AdNetProber, DirectProber, EnterpriseMailServer, MailChecks, SmtpProber, WebClient,
+};
+use std::net::Ipv4Addr;
+
+const INGRESS: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+
+fn build(n: usize, seed: u64) -> (ResolutionPlatform, NameserverNet, CdeInfra) {
+    let mut net = NameserverNet::new();
+    let infra = CdeInfra::install(&mut net);
+    let platform = PlatformBuilder::new(seed)
+        .ingress(vec![INGRESS])
+        .egress((1..=4).map(|d| Ipv4Addr::new(192, 0, 3, d)).collect())
+        .cluster(n, SelectorKind::Random)
+        .upstream_link(Link::new(
+            LatencyModel::LogNormal {
+                median: SimDuration::from_millis(20),
+                sigma: 0.2,
+            },
+            LossModel::none(),
+        ))
+        .build();
+    (platform, net, infra)
+}
+
+#[test]
+fn five_techniques_agree_on_cache_count() {
+    let n = 4usize;
+    let q = query_budget(n as u64, 0.001);
+    let mut counts = Vec::new();
+
+    // 1. Direct, identical queries.
+    {
+        let (mut platform, mut net, mut infra) = build(n, 2001);
+        let session = infra.new_session(&mut net, 0);
+        let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 1);
+        let mut access = DirectAccess::new(&mut prober, &mut platform, INGRESS, &mut net);
+        counts.push((
+            "identical",
+            enumerate_identical(&mut access, &infra, &session, EnumerateOptions::with_probes(q), SimTime::ZERO)
+                .observed,
+        ));
+    }
+    // 2. Direct, CNAME farm.
+    {
+        let (mut platform, mut net, mut infra) = build(n, 2002);
+        let session = infra.new_session(&mut net, q as usize);
+        let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 2);
+        let mut access = DirectAccess::new(&mut prober, &mut platform, INGRESS, &mut net);
+        counts.push((
+            "cname-farm",
+            enumerate_cname_farm(&mut access, &infra, &session, EnumerateOptions::with_probes(q), SimTime::ZERO)
+                .observed,
+        ));
+    }
+    // 3. SMTP, names hierarchy.
+    {
+        let (mut platform, mut net, mut infra) = build(n, 2003);
+        let session = infra.new_session(&mut net, q as usize);
+        let mut prober = SmtpProber::new(3);
+        let mut mta = EnterpriseMailServer::new(
+            Ipv4Addr::new(198, 18, 0, 25),
+            MailChecks {
+                spf_txt: true,
+                ..MailChecks::default()
+            },
+            INGRESS,
+        );
+        let mut access = SmtpAccess {
+            prober: &mut prober,
+            mta: &mut mta,
+            platform: &mut platform,
+            net: &mut net,
+        };
+        counts.push((
+            "smtp-hierarchy",
+            enumerate_names_hierarchy(&mut access, &infra, &session, EnumerateOptions::with_probes(q), SimTime::ZERO)
+                .observed,
+        ));
+    }
+    // 4. Browser, CNAME farm.
+    {
+        let (mut platform, mut net, mut infra) = build(n, 2004);
+        let session = infra.new_session(&mut net, q as usize);
+        let mut prober = AdNetProber::new(4);
+        let mut client = WebClient::new(Ipv4Addr::new(203, 0, 113, 40), INGRESS);
+        let mut access = AdNetAccess {
+            prober: &mut prober,
+            client: &mut client,
+            platform: &mut platform,
+            net: &mut net,
+        };
+        counts.push((
+            "adnet-farm",
+            enumerate_cname_farm(&mut access, &infra, &session, EnumerateOptions::with_probes(q), SimTime::ZERO)
+                .observed,
+        ));
+    }
+    // 5. Timing side channel (no nameserver observation).
+    {
+        let (mut platform, mut net, mut infra) = build(n, 2005);
+        let client_link = Link::new(
+            LatencyModel::LogNormal {
+                median: SimDuration::from_millis(12),
+                sigma: 0.15,
+            },
+            LossModel::none(),
+        );
+        let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), client_link, 5);
+        let mut access = DirectAccess::new(&mut prober, &mut platform, INGRESS, &mut net);
+        let cal = calibrate(&mut access, &mut infra, 16, SimTime::ZERO).unwrap();
+        let session = infra.new_session(access.net, 0);
+        counts.push((
+            "timing",
+            enumerate_via_timing(&mut access, &session.honey, cal, q, SimTime::ZERO + SimDuration::from_secs(10))
+                .slow_responses,
+        ));
+    }
+
+    for (name, observed) in &counts {
+        assert_eq!(*observed, n as u64, "technique {name} disagreed: {counts:?}");
+    }
+}
+
+#[test]
+fn two_phase_matches_single_phase() {
+    for n in [1u64, 3, 7] {
+        let (mut platform, mut net, mut infra) = build(n as usize, 2100 + n);
+        let session = infra.new_session(&mut net, 0);
+        let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), n);
+        let mut access = DirectAccess::new(&mut prober, &mut platform, INGRESS, &mut net);
+        let r = enumerate_two_phase(&mut access, &infra, &session, 6 * n, SimTime::ZERO);
+        assert_eq!(r.total_observed, n, "n={n}");
+    }
+}
+
+#[test]
+fn techniques_work_across_a_range_of_cache_counts() {
+    for n in [1usize, 2, 6, 12] {
+        let q = query_budget(n as u64, 0.001);
+        let (mut platform, mut net, mut infra) = build(n, 2200 + n as u64);
+        let session = infra.new_session(&mut net, q as usize);
+        let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 9);
+        let mut access = DirectAccess::new(&mut prober, &mut platform, INGRESS, &mut net);
+        let farm = enumerate_cname_farm(&mut access, &infra, &session, EnumerateOptions::with_probes(q), SimTime::ZERO);
+        assert_eq!(farm.observed, n as u64, "n={n}");
+    }
+}
