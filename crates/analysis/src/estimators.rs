@@ -128,7 +128,7 @@ mod tests {
         // True n = 10, N = 10 probes: E[ω] = 10·(1−0.9^10) ≈ 6.5.
         // Observing 6 or 7 should give back ≈ 9–11.
         let est = estimate_cache_count(7, 10);
-        assert!(est >= 9 && est <= 14, "estimate {est}");
+        assert!((9..=14).contains(&est), "estimate {est}");
     }
 
     #[test]

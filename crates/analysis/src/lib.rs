@@ -29,6 +29,8 @@ pub mod coupon;
 pub mod estimators;
 pub mod stats;
 
-pub use coupon::{expected_queries, expected_success_rate, expected_uncovered_fraction, harmonic, query_budget};
+pub use coupon::{
+    expected_queries, expected_success_rate, expected_uncovered_fraction, harmonic, query_budget,
+};
 pub use estimators::{carpet_bombing_k, estimate_cache_count, recommended_seeds};
 pub use stats::{wilson_interval, Cdf, Histogram, Scatter, Summary};

@@ -1,0 +1,111 @@
+//! Engine benches: live-path building blocks the campaign hot loop hits
+//! per probe — rate-limiter debits, retry-schedule computation, metrics
+//! recording — plus a full round trip over real loopback UDP.
+
+use cde_core::CdeInfra;
+use cde_dns::RecordType;
+use cde_engine::{
+    EngineMetrics, RateConfig, RateLimiter, ResolverConfig, RetryPolicy, Transport, UdpTransport,
+};
+use cde_netsim::{DetRng, SimTime};
+use cde_platform::{NameserverNet, PlatformBuilder, SelectorKind};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+fn bench_rate_limiter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/rate_limiter_debit");
+    for &targets in &[1usize, 16, 256] {
+        // High budget so debits never compute a wait in the hot loop.
+        let limiter = RateLimiter::new(
+            RateConfig {
+                per_second: 1e9,
+                burst: 1e9,
+            },
+            Some(RateConfig {
+                per_second: 1e9,
+                burst: 1e9,
+            }),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(targets), &targets, |b, &n| {
+            let mut i = 0u32;
+            b.iter(|| {
+                let target = Ipv4Addr::new(192, 0, (i % n as u32) as u8, 1);
+                i = i.wrapping_add(1);
+                black_box(limiter.debit(target))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_retry_schedule(c: &mut Criterion) {
+    let policy = RetryPolicy::default();
+    c.bench_function("engine/retry_schedule", |b| {
+        let mut rng = DetRng::seed(5);
+        b.iter(|| {
+            let mut total = Duration::ZERO;
+            for attempt in 0..policy.attempts {
+                total += policy.timeout_for(attempt) + policy.delay_before(attempt, &mut rng);
+            }
+            black_box(total)
+        });
+    });
+}
+
+fn bench_metrics_record(c: &mut Criterion) {
+    let metrics = EngineMetrics::new();
+    c.bench_function("engine/metrics_record", |b| {
+        b.iter(|| {
+            metrics.record_sent();
+            metrics.record_received(Duration::from_micros(700));
+        });
+    });
+    black_box(metrics.snapshot());
+}
+
+fn bench_live_probe_roundtrip(c: &mut Criterion) {
+    // One full probe over real loopback UDP: transport → resolver
+    // (platform resolution) → response. Dominated by socket syscalls and
+    // the resolver's poll loop — the per-probe floor of a live campaign.
+    let mut net = NameserverNet::new();
+    let mut infra = CdeInfra::install(&mut net);
+    let session = infra.new_session(&mut net, 0);
+    let ingress = Ipv4Addr::new(192, 0, 2, 1);
+    let platform = PlatformBuilder::new(3)
+        .ingress(vec![ingress])
+        .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+        .cluster(2, SelectorKind::Random)
+        .build();
+    let resolver = cde_engine::LoopbackResolver::launch(
+        platform,
+        net.clone(),
+        None,
+        ResolverConfig::default(),
+        cde_engine::EngineClock::start(),
+    )
+    .expect("loopback sockets");
+    let mut transport = UdpTransport::connect(
+        &resolver,
+        None,
+        net,
+        RetryPolicy::single(Duration::from_secs(1)),
+        3,
+    )
+    .expect("transport sockets");
+
+    c.bench_function("engine/live_probe_roundtrip", |b| {
+        b.iter(|| {
+            black_box(transport.query(ingress, &session.honey, RecordType::A, SimTime::ZERO))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rate_limiter,
+    bench_retry_schedule,
+    bench_metrics_record,
+    bench_live_probe_roundtrip
+);
+criterion_main!(benches);

@@ -24,8 +24,7 @@ fn bench_enumerate_identical(c: &mut Criterion) {
                     .cluster(n, SelectorKind::Random)
                     .build();
                 let session = infra.new_session(&mut net, 0);
-                let mut prober =
-                    DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 1);
+                let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 1);
                 let mut access = DirectAccess::new(
                     &mut prober,
                     &mut platform,
@@ -59,8 +58,7 @@ fn bench_enumerate_farm(c: &mut Criterion) {
                     .cluster(n, SelectorKind::Random)
                     .build();
                 let session = infra.new_session(&mut net, q as usize);
-                let mut prober =
-                    DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 1);
+                let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 1);
                 let mut access = DirectAccess::new(
                     &mut prober,
                     &mut platform,

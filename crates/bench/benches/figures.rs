@@ -9,13 +9,9 @@ fn bench_measure_one(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures/measure_network");
     for kind in PopulationKind::all() {
         let spec = generate_population(kind, 1, 42).remove(0);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind),
-            &spec,
-            |b, spec| {
-                b.iter(|| black_box(measure_network(spec)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &spec, |b, spec| {
+            b.iter(|| black_box(measure_network(spec)));
+        });
     }
     group.finish();
 }

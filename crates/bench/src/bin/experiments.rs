@@ -99,7 +99,10 @@ fn main() {
                 .expect("write scatters.csv");
             std::fs::write(dir.join("networks.csv"), exp::csv_networks(p))
                 .expect("write networks.csv");
-            eprintln!("wrote cdfs.csv, scatters.csv, networks.csv to {}", dir.display());
+            eprintln!(
+                "wrote cdfs.csv, scatters.csv, networks.csv to {}",
+                dir.display()
+            );
         }
     }
     if all || which == "analysis" {

@@ -8,9 +8,7 @@
 //! different substrates; see `EXPERIMENTS.md`).
 
 use crate::runner::{survey_population, MeasuredNetwork};
-use cde_analysis::coupon::{
-    expected_queries, expected_success_rate, query_budget, simulate_mean,
-};
+use cde_analysis::coupon::{expected_queries, expected_success_rate, query_budget, simulate_mean};
 use cde_analysis::estimators::carpet_bombing_k;
 use cde_analysis::stats::{Cdf, Scatter};
 use cde_core::access::{AccessChannel, DirectAccess};
@@ -72,7 +70,11 @@ pub fn table1(size: usize, seed: u64) -> String {
         (QueryKind::MxA, 30.4),
     ];
     let mut out = String::new();
-    writeln!(out, "Table I — DNS queries generated during the SMTP data collection ({size} domains)").unwrap();
+    writeln!(
+        out,
+        "Table I — DNS queries generated during the SMTP data collection ({size} domains)"
+    )
+    .unwrap();
     writeln!(out, "{:<45} {:>9} {:>9}", "Query type", "measured", "paper").unwrap();
     for (kind, paper_pct) in paper {
         let measured = *counts.get(&kind).unwrap_or(&0) as f64 / size as f64;
@@ -95,7 +97,11 @@ pub fn table1(size: usize, seed: u64) -> String {
 /// Fig. 2: distribution of network operators across the three datasets.
 pub fn fig2(scale: Scale, seed: u64) -> String {
     let mut out = String::new();
-    writeln!(out, "Fig. 2 — Distribution of network operators across the datasets").unwrap();
+    writeln!(
+        out,
+        "Fig. 2 — Distribution of network operators across the datasets"
+    )
+    .unwrap();
     for kind in PopulationKind::all() {
         let pop = generate_population(kind, scale.size(kind), seed);
         let mut counts = std::collections::BTreeMap::<&'static str, u64>::new();
@@ -164,7 +170,11 @@ impl SurveyedPopulations {
 /// Fig. 3: CDF of the number of egress IP addresses per platform.
 pub fn fig3(populations: &SurveyedPopulations) -> String {
     let mut out = String::new();
-    writeln!(out, "Fig. 3 — Number of egress IP addresses supported by resolution platforms").unwrap();
+    writeln!(
+        out,
+        "Fig. 3 — Number of egress IP addresses supported by resolution platforms"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<16} {:>8} {:>8} {:>8} {:>10} {:>24}",
@@ -190,14 +200,22 @@ pub fn fig3(populations: &SurveyedPopulations) -> String {
         )
         .unwrap();
     }
-    writeln!(out, "paper: enterprises 50% > 20 IPs; ISPs 50% > 11 IPs; open 85% <= 5 IPs").unwrap();
+    writeln!(
+        out,
+        "paper: enterprises 50% > 20 IPs; ISPs 50% > 11 IPs; open 85% <= 5 IPs"
+    )
+    .unwrap();
     out
 }
 
 /// Fig. 4: CDF of the number of caches per platform.
 pub fn fig4(populations: &SurveyedPopulations) -> String {
     let mut out = String::new();
-    writeln!(out, "Fig. 4 — Number of caches supported by resolution platforms (measured)").unwrap();
+    writeln!(
+        out,
+        "Fig. 4 — Number of caches supported by resolution platforms (measured)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<16} {:>8} {:>8} {:>8} {:>10} {:>24}",
@@ -223,7 +241,11 @@ pub fn fig4(populations: &SurveyedPopulations) -> String {
         )
         .unwrap();
     }
-    writeln!(out, "paper: open 70% use 1-2; ISPs ~60% use 1-3; enterprises 65% use 1-4").unwrap();
+    writeln!(
+        out,
+        "paper: open 70% use 1-2; ISPs ~60% use 1-3; enterprises 65% use 1-4"
+    )
+    .unwrap();
     out
 }
 
@@ -237,10 +259,19 @@ fn scatter_report(title: &str, pop: &[MeasuredNetwork], paper_note: &str) -> Str
     let sc = scatter_of(pop);
     let mut out = String::new();
     writeln!(out, "{title}").unwrap();
-    writeln!(out, "(x = ingress IPs, y = measured caches; count = circle size)").unwrap();
+    writeln!(
+        out,
+        "(x = ingress IPs, y = measured caches; count = circle size)"
+    )
+    .unwrap();
     let mut cells: Vec<((u64, u64), u64)> = sc.cells().collect();
     cells.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    writeln!(out, "{:>10} {:>8} {:>8} {:>8}", "ingress", "caches", "count", "share").unwrap();
+    writeln!(
+        out,
+        "{:>10} {:>8} {:>8} {:>8}",
+        "ingress", "caches", "count", "share"
+    )
+    .unwrap();
     for ((x, y), count) in cells.iter().take(10) {
         writeln!(
             out,
@@ -265,7 +296,11 @@ pub fn fig5(populations: &SurveyedPopulations) -> String {
 /// Fig. 6: share of single-IP/single-cache vs multi/multi networks.
 pub fn fig6(populations: &SurveyedPopulations) -> String {
     let mut out = String::new();
-    writeln!(out, "Fig. 6 — IP addresses vs caches across the three populations").unwrap();
+    writeln!(
+        out,
+        "Fig. 6 — IP addresses vs caches across the three populations"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<16} {:>16} {:>16} {:>16}",
@@ -316,7 +351,11 @@ pub fn fig8(populations: &SurveyedPopulations) -> String {
 /// truth exactly (not in the paper — our validation column).
 pub fn accuracy(populations: &SurveyedPopulations) -> String {
     let mut out = String::new();
-    writeln!(out, "Validation — measured vs ground truth (not in the paper)").unwrap();
+    writeln!(
+        out,
+        "Validation — measured vs ground truth (not in the paper)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<16} {:>14} {:>16} {:>18}",
@@ -327,9 +366,7 @@ pub fn accuracy(populations: &SurveyedPopulations) -> String {
         let exact = pop.iter().filter(|m| m.caches_exact()).count() as f64 / pop.len() as f64;
         let close = pop
             .iter()
-            .filter(|m| {
-                (m.measured_caches as i64 - m.spec.total_caches() as i64).abs() <= 1
-            })
+            .filter(|m| (m.measured_caches as i64 - m.spec.total_caches() as i64).abs() <= 1)
             .count() as f64
             / pop.len() as f64;
         let egress = pop
@@ -359,7 +396,11 @@ pub fn accuracy(populations: &SurveyedPopulations) -> String {
 pub fn analysis(seed: u64) -> String {
     let mut rng = DetRng::seed(seed).fork("analysis");
     let mut out = String::new();
-    writeln!(out, "Analysis (Sec. V-B) — E[X] = n*H_n, closed form vs Monte Carlo").unwrap();
+    writeln!(
+        out,
+        "Analysis (Sec. V-B) — E[X] = n*H_n, closed form vs Monte Carlo"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:>4} {:>12} {:>12} {:>12} {:>10}",
@@ -377,7 +418,11 @@ pub fn analysis(seed: u64) -> String {
         )
         .unwrap();
     }
-    writeln!(out, "\nInit/validate success rate N*(1 - exp(-N/n))^2 for n = 8:").unwrap();
+    writeln!(
+        out,
+        "\nInit/validate success rate N*(1 - exp(-N/n))^2 for n = 8:"
+    )
+    .unwrap();
     writeln!(out, "{:>6} {:>14} {:>18}", "N", "N/n", "expected successes").unwrap();
     for ratio in [1u64, 2, 4, 8] {
         let n = 8u64;
@@ -389,7 +434,11 @@ pub fn analysis(seed: u64) -> String {
         )
         .unwrap();
     }
-    writeln!(out, "(as N/n grows the rate asymptotically reaches N — paper Sec. V-B)").unwrap();
+    writeln!(
+        out,
+        "(as N/n grows the rate asymptotically reaches N — paper Sec. V-B)"
+    )
+    .unwrap();
     out
 }
 
@@ -441,8 +490,7 @@ pub fn loss(seed: u64) -> String {
                     LatencyModel::Constant(SimDuration::from_millis(10)),
                     LossModel::with_rate(profile.loss_rate()),
                 );
-                let mut prober =
-                    DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), link, seed + t);
+                let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), link, seed + t);
                 let mut access = DirectAccess::new(
                     &mut prober,
                     &mut platform,
@@ -474,7 +522,11 @@ pub fn loss(seed: u64) -> String {
         )
         .unwrap();
     }
-    writeln!(out, "paper: loss Iran 11%, China ~4%, typical ~1%; carpet bombing compensates").unwrap();
+    writeln!(
+        out,
+        "paper: loss Iran 11%, China ~4%, typical ~1%; carpet bombing compensates"
+    )
+    .unwrap();
     out
 }
 
@@ -482,7 +534,11 @@ pub fn loss(seed: u64) -> String {
 pub fn timing(seed: u64) -> String {
     let n = 4usize;
     let mut out = String::new();
-    writeln!(out, "Timing side channel (Sec. IV-B3) — {n}-cache platform, latency-only enumeration").unwrap();
+    writeln!(
+        out,
+        "Timing side channel (Sec. IV-B3) — {n}-cache platform, latency-only enumeration"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<12} {:>12} {:>12} {:>12}",
@@ -512,12 +568,22 @@ pub fn timing(seed: u64) -> String {
             LossModel::none(),
         );
         let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), client, seed);
-        let mut access =
-            DirectAccess::new(&mut prober, &mut platform, Ipv4Addr::new(192, 0, 2, 1), &mut net);
+        let mut access = DirectAccess::new(
+            &mut prober,
+            &mut platform,
+            Ipv4Addr::new(192, 0, 2, 1),
+            &mut net,
+        );
         match calibrate(&mut access, &mut infra, 16, SimTime::ZERO) {
             Err(e) => {
-                writeln!(out, "{sigma:<12} {:>12} {:>12} {:>12}", format!("no ({e})"), "-", "-")
-                    .unwrap();
+                writeln!(
+                    out,
+                    "{sigma:<12} {:>12} {:>12} {:>12}",
+                    format!("no ({e})"),
+                    "-",
+                    "-"
+                )
+                .unwrap();
             }
             Ok(cal) => {
                 let session = infra.new_session(access.net_mut(), 0);
@@ -533,13 +599,21 @@ pub fn timing(seed: u64) -> String {
                     "{sigma:<12} {:>12} {:>12} {:>12}",
                     "yes",
                     t.slow_responses,
-                    if t.slow_responses == n as u64 { "yes" } else { "no" }
+                    if t.slow_responses == n as u64 {
+                        "yes"
+                    } else {
+                        "no"
+                    }
                 )
                 .unwrap();
             }
         }
     }
-    writeln!(out, "(counts caches with no nameserver observation — the indirect-egress setting)").unwrap();
+    writeln!(
+        out,
+        "(counts caches with no nameserver observation — the indirect-egress setting)"
+    )
+    .unwrap();
     out
 }
 
@@ -558,8 +632,12 @@ pub fn selectors(seed: u64) -> String {
         let (mut platform, mut net, mut infra) = small_world(n, selector, seed);
         let session = infra.new_session(&mut net, 256);
         let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), seed);
-        let mut access =
-            DirectAccess::new(&mut prober, &mut platform, Ipv4Addr::new(192, 0, 2, 1), &mut net);
+        let mut access = DirectAccess::new(
+            &mut prober,
+            &mut platform,
+            Ipv4Addr::new(192, 0, 2, 1),
+            &mut net,
+        );
         let ident = enumerate_identical(
             &mut access,
             &infra,
@@ -571,8 +649,12 @@ pub fn selectors(seed: u64) -> String {
         let (mut platform, mut net, mut infra) = small_world(n, selector, seed + 1);
         let session = infra.new_session(&mut net, 256);
         let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), seed + 1);
-        let mut access =
-            DirectAccess::new(&mut prober, &mut platform, Ipv4Addr::new(192, 0, 2, 1), &mut net);
+        let mut access = DirectAccess::new(
+            &mut prober,
+            &mut platform,
+            Ipv4Addr::new(192, 0, 2, 1),
+            &mut net,
+        );
         let farm = enumerate_cname_farm(
             &mut access,
             &infra,
@@ -602,8 +684,17 @@ pub fn bypass(seed: u64) -> String {
 
     let n = 4usize;
     let mut out = String::new();
-    writeln!(out, "Local-cache bypass ablation (Sec. IV-B2) — {n}-cache platform behind browser caches").unwrap();
-    writeln!(out, "{:<18} {:>10} {:>10} {:>8}", "technique", "probes", "ω", "truth").unwrap();
+    writeln!(
+        out,
+        "Local-cache bypass ablation (Sec. IV-B2) — {n}-cache platform behind browser caches"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<18} {:>10} {:>10} {:>8}",
+        "technique", "probes", "ω", "truth"
+    )
+    .unwrap();
 
     // Naive: repeat the same hostname through the browser — blocked after
     // the first query, so ω stays 1 regardless of n.
@@ -623,7 +714,12 @@ pub fn bypass(seed: u64) -> String {
             let _ = access.trigger(&session.honey, SimTime::ZERO + SimDuration::from_secs(i));
         }
         let observed = infra.count_honey_fetches(access.net(), &session.honey);
-        writeln!(out, "{:<18} {probes:>10} {observed:>10} {n:>8}", "naive repeat").unwrap();
+        writeln!(
+            out,
+            "{:<18} {probes:>10} {observed:>10} {n:>8}",
+            "naive repeat"
+        )
+        .unwrap();
     }
 
     // CNAME farm.
@@ -645,7 +741,12 @@ pub fn bypass(seed: u64) -> String {
             EnumerateOptions::with_probes(query_budget(n as u64, 0.001)),
             SimTime::ZERO,
         );
-        writeln!(out, "{:<18} {:>10} {:>10} {n:>8}", "cname chain", e.probes, e.observed).unwrap();
+        writeln!(
+            out,
+            "{:<18} {:>10} {:>10} {n:>8}",
+            "cname chain", e.probes, e.observed
+        )
+        .unwrap();
     }
 
     // Names hierarchy.
@@ -667,9 +768,18 @@ pub fn bypass(seed: u64) -> String {
             EnumerateOptions::with_probes(query_budget(n as u64, 0.001)),
             SimTime::ZERO,
         );
-        writeln!(out, "{:<18} {:>10} {:>10} {n:>8}", "names hierarchy", e.probes, e.observed).unwrap();
+        writeln!(
+            out,
+            "{:<18} {:>10} {:>10} {n:>8}",
+            "names hierarchy", e.probes, e.observed
+        )
+        .unwrap();
     }
-    writeln!(out, "paper: both bypasses defeat browser/OS caches; naive repeats cannot").unwrap();
+    writeln!(
+        out,
+        "paper: both bypasses defeat browser/OS caches; naive repeats cannot"
+    )
+    .unwrap();
     out
 }
 
@@ -679,9 +789,21 @@ pub fn mapping_ablation(seed: u64) -> String {
     use cde_core::{map_ingress_to_clusters, mapping_matches_ground_truth};
 
     let mut out = String::new();
-    writeln!(out, "Mapping ablation (Sec. IV-B1b) — 6 ingress IPs over 3 single-cache clusters").unwrap();
-    writeln!(out, "{:<26} {:>10} {:>14}", "strategy", "correct", "queries").unwrap();
-    for strategy in [MappingStrategy::FreshHoneyPerTest, MappingStrategy::SharedHoneyPerPivot] {
+    writeln!(
+        out,
+        "Mapping ablation (Sec. IV-B1b) — 6 ingress IPs over 3 single-cache clusters"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<26} {:>10} {:>14}",
+        "strategy", "correct", "queries"
+    )
+    .unwrap();
+    for strategy in [
+        MappingStrategy::FreshHoneyPerTest,
+        MappingStrategy::SharedHoneyPerPivot,
+    ] {
         let trials = 10u64;
         let mut correct = 0u64;
         let mut queries = 0u64;
@@ -697,7 +819,8 @@ pub fn mapping_ablation(seed: u64) -> String {
                 .cluster(1, SelectorKind::Random)
                 .ingress_assignment(vec![0, 1, 2, 0, 1, 2])
                 .build();
-            let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), seed + t);
+            let mut prober =
+                DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), seed + t);
             let mapping = map_ingress_to_clusters(
                 &mut prober,
                 &mut platform,
@@ -724,7 +847,11 @@ pub fn mapping_ablation(seed: u64) -> String {
         )
         .unwrap();
     }
-    writeln!(out, "(shared honey pollutes candidate clusters; fresh honey spends more queries)").unwrap();
+    writeln!(
+        out,
+        "(shared honey pollutes candidate clusters; fresh honey spends more queries)"
+    )
+    .unwrap();
     out
 }
 
@@ -748,12 +875,20 @@ pub fn two_phase(seed: u64) -> String {
         let mut tot_extra = 0u64;
         let mut tot_hits = 0u64;
         for t in 0..trials {
-            let (mut platform, mut net, mut infra) =
-                small_world(n, SelectorKind::Random, seed + 100 * ratio + t + rng.gen::<u8>() as u64);
+            let (mut platform, mut net, mut infra) = small_world(
+                n,
+                SelectorKind::Random,
+                seed + 100 * ratio + t + rng.gen::<u8>() as u64,
+            );
             let session = infra.new_session(&mut net, 0);
-            let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), seed + t);
-            let mut access =
-                DirectAccess::new(&mut prober, &mut platform, Ipv4Addr::new(192, 0, 2, 1), &mut net);
+            let mut prober =
+                DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), seed + t);
+            let mut access = DirectAccess::new(
+                &mut prober,
+                &mut platform,
+                Ipv4Addr::new(192, 0, 2, 1),
+                &mut net,
+            );
             let r = enumerate_two_phase(&mut access, &infra, &session, seeds, SimTime::ZERO);
             tot_obs += r.observed_init;
             tot_extra += r.observed_validate;
@@ -771,7 +906,11 @@ pub fn two_phase(seed: u64) -> String {
         )
         .unwrap();
     }
-    writeln!(out, "paper: with N = 2n only a small fraction of caches is missed").unwrap();
+    writeln!(
+        out,
+        "paper: with N = 2n only a small fraction of caches is missed"
+    )
+    .unwrap();
     writeln!(
         out,
         "note: measured validate hits track N(1-e^-N/n); the paper's squared form counts\n\
@@ -784,13 +923,17 @@ pub fn two_phase(seed: u64) -> String {
 /// §II-C ablation: TTL-consistency audit — separating multiple caches
 /// from genuine TTL inconsistencies.
 pub fn consistency(seed: u64) -> String {
-    use cde_core::{audit_ttl_consistency, ConsistencyOptions};
     use cde_cache::CacheConfig;
+    use cde_core::{audit_ttl_consistency, ConsistencyOptions};
     use cde_dns::Ttl;
     use cde_platform::ClusterConfig;
 
     let mut out = String::new();
-    writeln!(out, "TTL consistency audit (Sec. II-C) — multiple caches vs TTL violations").unwrap();
+    writeln!(
+        out,
+        "TTL consistency audit (Sec. II-C) — multiple caches vs TTL violations"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<34} {:>8} {:>12} {:>14} {:>14}",
@@ -830,8 +973,12 @@ pub fn consistency(seed: u64) -> String {
             })
             .build();
         let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), seed);
-        let mut access =
-            DirectAccess::new(&mut prober, &mut platform, Ipv4Addr::new(192, 0, 2, 1), &mut net);
+        let mut access = DirectAccess::new(
+            &mut prober,
+            &mut platform,
+            Ipv4Addr::new(192, 0, 2, 1),
+            &mut net,
+        );
         let report = audit_ttl_consistency(
             &mut access,
             &mut infra,
@@ -865,7 +1012,11 @@ pub fn poisoning(seed: u64) -> String {
     };
 
     let mut out = String::new();
-    writeln!(out, "Poisoning resilience (Sec. II-A) — 2-record injection chain (NS then A)").unwrap();
+    writeln!(
+        out,
+        "Poisoning resilience (Sec. II-A) — 2-record injection chain (NS then A)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:>4} {:>16} {:>16} {:>18}",
@@ -900,7 +1051,11 @@ pub fn forwarders(seed: u64) -> String {
 
     let n = 3usize;
     let mut out = String::new();
-    writeln!(out, "Forwarders (Sec. VI) — {n}-cache upstream behind a forwarder").unwrap();
+    writeln!(
+        out,
+        "Forwarders (Sec. VI) — {n}-cache upstream behind a forwarder"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<20} {:>22} {:>18}",
@@ -980,7 +1135,11 @@ pub fn background(seed: u64) -> String {
     let n = 4usize;
     let trials = 25u64;
     let mut out = String::new();
-    writeln!(out, "Background traffic (Sec. V-B) — {n}-cache platform, round-robin selector").unwrap();
+    writeln!(
+        out,
+        "Background traffic (Sec. V-B) — {n}-cache platform, round-robin selector"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:>14} {:>22} {:>18} {:>14}",
@@ -1067,7 +1226,11 @@ pub fn edns(scale: Scale, seed: u64) -> String {
     use cde_core::discover_egress;
 
     let mut out = String::new();
-    writeln!(out, "EDNS adoption (Sec. II-C) — observed at the CDE nameservers").unwrap();
+    writeln!(
+        out,
+        "EDNS adoption (Sec. II-C) — observed at the CDE nameservers"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<16} {:>10} {:>14} {:>14}",
@@ -1127,8 +1290,14 @@ pub fn csv_cdfs(populations: &SurveyedPopulations) -> String {
     let mut out = String::from("population,metric,value,cumulative_fraction\n");
     for (label, pop) in populations.labelled() {
         for (metric, samples) in [
-            ("egress_ips", pop.iter().map(|m| m.measured_egress).collect::<Vec<_>>()),
-            ("caches", pop.iter().map(|m| m.measured_caches).collect::<Vec<_>>()),
+            (
+                "egress_ips",
+                pop.iter().map(|m| m.measured_egress).collect::<Vec<_>>(),
+            ),
+            (
+                "caches",
+                pop.iter().map(|m| m.measured_caches).collect::<Vec<_>>(),
+            ),
         ] {
             let cdf = Cdf::from_samples(samples);
             for (value, fraction) in cdf.steps() {
@@ -1190,7 +1359,11 @@ pub fn fingerprint(scale: Scale, seed: u64) -> String {
     use cde_core::{fingerprint_software, FingerprintOptions};
 
     let mut out = String::new();
-    writeln!(out, "Software fingerprinting (Sec. II-C) — caps-based cache classification").unwrap();
+    writeln!(
+        out,
+        "Software fingerprinting (Sec. II-C) — caps-based cache classification"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<16} {:>10} {:>12} {:>14}",
@@ -1289,10 +1462,7 @@ pub fn caching(seed: u64) -> String {
             for (k, &idx) in stream.iter().enumerate() {
                 let now = SimTime::ZERO + SimDuration::from_millis(k as u64 * 50);
                 let name = &names[idx];
-                if !cache
-                    .lookup(name, cde_dns::RecordType::A, now)
-                    .is_hit()
-                {
+                if !cache.lookup(name, cde_dns::RecordType::A, now).is_hit() {
                     let rr = Record::new(
                         name.clone(),
                         Ttl::from_secs(3_600),

@@ -132,7 +132,12 @@ mod tests {
             })
             .expect("population contains a small network");
         let m = measure_network(spec);
-        assert!(m.caches_exact(), "measured {} truth {}", m.measured_caches, spec.total_caches());
+        assert!(
+            m.caches_exact(),
+            "measured {} truth {}",
+            m.measured_caches,
+            spec.total_caches()
+        );
         assert_eq!(m.measured_egress, spec.egress_count as u64);
     }
 

@@ -10,7 +10,9 @@
 use cde_dns::{Name, RecordType};
 use cde_netsim::{SimDuration, SimTime};
 use cde_platform::{NameserverNet, ResolutionPlatform};
-use cde_probers::{AdNetProber, DirectProber, EnterpriseMailServer, ProbeReply, SmtpProber, WebClient};
+use cde_probers::{
+    AdNetProber, DirectProber, EnterpriseMailServer, ProbeReply, SmtpProber, WebClient,
+};
 use std::net::Ipv4Addr;
 
 /// What the prober observed for one triggered probe.
@@ -137,9 +139,9 @@ pub struct SmtpAccess<'a> {
 
 impl AccessChannel for SmtpAccess<'_> {
     fn trigger(&mut self, qname: &Name, now: SimTime) -> TriggerOutcome {
-        let triggered =
-            self.prober
-                .send_probe_email(self.mta, self.platform, self.net, qname, now);
+        let triggered = self
+            .prober
+            .send_probe_email(self.mta, self.platform, self.net, qname, now);
         if triggered.iter().any(|t| t.reached_platform) {
             TriggerOutcome::Delivered { latency: None }
         } else if triggered.is_empty() {
@@ -198,6 +200,68 @@ impl AccessChannel for AdNetAccess<'_> {
     }
 }
 
+/// A factory handing out one [`AccessChannel`] per ingress address.
+///
+/// Multi-ingress pipelines (ingress→cluster mapping, whole-platform
+/// surveys) interleave probes through *different* ingress addresses of the
+/// same platform. A provider owns whatever state those channels share —
+/// the prober, the platform handle, the authoritative net or a live
+/// transport — and lends out short-lived channels aimed at one ingress at
+/// a time, so the pipelines can be written once and run over simulated or
+/// wire-level backends alike.
+pub trait AccessProvider {
+    /// The channel type lent out, borrowing from the provider.
+    type Channel<'a>: AccessChannel
+    where
+        Self: 'a;
+
+    /// Opens a channel probing `ingress`.
+    fn channel(&mut self, ingress: Ipv4Addr) -> Self::Channel<'_>;
+}
+
+/// [`AccessProvider`] over direct probing of a simulated platform — the
+/// provider counterpart of [`DirectAccess`].
+#[derive(Debug)]
+pub struct DirectAccessProvider<'w> {
+    prober: &'w mut DirectProber,
+    platform: &'w mut ResolutionPlatform,
+    net: &'w mut NameserverNet,
+    qtype: RecordType,
+}
+
+impl<'w> DirectAccessProvider<'w> {
+    /// Creates a provider probing `platform` with A queries.
+    pub fn new(
+        prober: &'w mut DirectProber,
+        platform: &'w mut ResolutionPlatform,
+        net: &'w mut NameserverNet,
+    ) -> DirectAccessProvider<'w> {
+        DirectAccessProvider {
+            prober,
+            platform,
+            net,
+            qtype: RecordType::A,
+        }
+    }
+}
+
+impl AccessProvider for DirectAccessProvider<'_> {
+    type Channel<'a>
+        = DirectAccess<'a>
+    where
+        Self: 'a;
+
+    fn channel(&mut self, ingress: Ipv4Addr) -> DirectAccess<'_> {
+        DirectAccess {
+            prober: self.prober,
+            platform: self.platform,
+            ingress,
+            net: self.net,
+            qtype: self.qtype,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,10 +286,18 @@ mod tests {
         let (mut platform, mut net, mut infra) = build_world();
         let session = infra.new_session(&mut net, 4);
         let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 1);
-        let mut access = DirectAccess::new(&mut prober, &mut platform, Ipv4Addr::new(192, 0, 2, 1), &mut net);
+        let mut access = DirectAccess::new(
+            &mut prober,
+            &mut platform,
+            Ipv4Addr::new(192, 0, 2, 1),
+            &mut net,
+        );
         assert!(access.measures_latency());
         let out = access.trigger(&session.honey, SimTime::ZERO);
-        assert!(matches!(out, TriggerOutcome::Delivered { latency: Some(_) }));
+        assert!(matches!(
+            out,
+            TriggerOutcome::Delivered { latency: Some(_) }
+        ));
         assert_eq!(infra.count_honey_fetches(access.net(), &session.honey), 1);
     }
 
@@ -298,7 +370,10 @@ mod tests {
             platform: &mut platform,
             net: &mut net,
         };
-        assert_eq!(access.trigger(&session.honey, SimTime::ZERO), TriggerOutcome::TimedOut);
+        assert_eq!(
+            access.trigger(&session.honey, SimTime::ZERO),
+            TriggerOutcome::TimedOut
+        );
     }
 
     #[test]
@@ -306,7 +381,8 @@ mod tests {
         let (mut platform, mut net, mut infra) = build_world();
         let session = infra.new_session(&mut net, 4);
         let mut prober = AdNetProber::new(5);
-        let mut client = WebClient::new(Ipv4Addr::new(203, 0, 113, 50), Ipv4Addr::new(192, 0, 2, 1));
+        let mut client =
+            WebClient::new(Ipv4Addr::new(203, 0, 113, 50), Ipv4Addr::new(192, 0, 2, 1));
         let mut access = AdNetAccess {
             prober: &mut prober,
             client: &mut client,

@@ -163,13 +163,19 @@ mod tests {
     use crate::access::DirectAccess;
     use cde_cache::CacheConfig;
     use cde_netsim::Link;
-    use cde_platform::{ClusterConfig, NameserverNet, PlatformBuilder, ResolutionPlatform, SelectorKind};
+    use cde_platform::{
+        ClusterConfig, NameserverNet, PlatformBuilder, ResolutionPlatform, SelectorKind,
+    };
     use cde_probers::DirectProber;
     use std::net::Ipv4Addr;
 
     const INGRESS: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
 
-    fn build(caches: usize, cache_config: CacheConfig, seed: u64) -> (ResolutionPlatform, NameserverNet, CdeInfra) {
+    fn build(
+        caches: usize,
+        cache_config: CacheConfig,
+        seed: u64,
+    ) -> (ResolutionPlatform, NameserverNet, CdeInfra) {
         let mut net = NameserverNet::new();
         let infra = CdeInfra::install(&mut net);
         let platform = PlatformBuilder::new(seed)
@@ -184,10 +190,19 @@ mod tests {
         (platform, net, infra)
     }
 
-    fn audit(platform: &mut ResolutionPlatform, net: &mut NameserverNet, infra: &mut CdeInfra) -> ConsistencyReport {
+    fn audit(
+        platform: &mut ResolutionPlatform,
+        net: &mut NameserverNet,
+        infra: &mut CdeInfra,
+    ) -> ConsistencyReport {
         let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 1);
         let mut access = DirectAccess::new(&mut prober, platform, INGRESS, net);
-        audit_ttl_consistency(&mut access, infra, ConsistencyOptions::default(), SimTime::ZERO)
+        audit_ttl_consistency(
+            &mut access,
+            infra,
+            ConsistencyOptions::default(),
+            SimTime::ZERO,
+        )
     }
 
     #[test]

@@ -251,7 +251,11 @@ mod tests {
     use rand::Rng;
     use std::net::Ipv4Addr;
 
-    fn world(caches: usize, selector: SelectorKind, seed: u64) -> (ResolutionPlatform, NameserverNet, CdeInfra) {
+    fn world(
+        caches: usize,
+        selector: SelectorKind,
+        seed: u64,
+    ) -> (ResolutionPlatform, NameserverNet, CdeInfra) {
         let mut net = NameserverNet::new();
         let infra = CdeInfra::install(&mut net);
         let platform = PlatformBuilder::new(seed)
@@ -464,7 +468,10 @@ mod tests {
             carpet_wrong <= plain_wrong,
             "carpet {carpet_wrong} vs plain {plain_wrong}"
         );
-        assert!(carpet_wrong <= 2, "carpet bombing still wrong {carpet_wrong}/{trials}");
+        assert!(
+            carpet_wrong <= 2,
+            "carpet bombing still wrong {carpet_wrong}/{trials}"
+        );
     }
 
     #[test]

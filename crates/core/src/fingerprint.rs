@@ -155,13 +155,19 @@ mod tests {
     use super::*;
     use crate::access::DirectAccess;
     use cde_netsim::Link;
-    use cde_platform::{ClusterConfig, NameserverNet, PlatformBuilder, ResolutionPlatform, SelectorKind};
+    use cde_platform::{
+        ClusterConfig, NameserverNet, PlatformBuilder, ResolutionPlatform, SelectorKind,
+    };
     use cde_probers::DirectProber;
     use std::net::Ipv4Addr;
 
     const INGRESS: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
 
-    fn build(profile: SoftwareProfile, caches: usize, seed: u64) -> (ResolutionPlatform, NameserverNet, CdeInfra) {
+    fn build(
+        profile: SoftwareProfile,
+        caches: usize,
+        seed: u64,
+    ) -> (ResolutionPlatform, NameserverNet, CdeInfra) {
         let mut net = NameserverNet::new();
         let infra = CdeInfra::install(&mut net);
         let platform = PlatformBuilder::new(seed)
@@ -180,7 +186,12 @@ mod tests {
         let (mut platform, mut net, mut infra) = build(profile, caches, seed);
         let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), seed);
         let mut access = DirectAccess::new(&mut prober, &mut platform, INGRESS, &mut net);
-        fingerprint_software(&mut access, &mut infra, &FingerprintOptions::default(), SimTime::ZERO)
+        fingerprint_software(
+            &mut access,
+            &mut infra,
+            &FingerprintOptions::default(),
+            SimTime::ZERO,
+        )
     }
 
     #[test]

@@ -77,14 +77,16 @@ impl CdeInfra {
         }
 
         let mut root = Zone::new(Name::root());
-        root.add(ns_record("example", "ns.example")).expect("in zone");
+        root.add(ns_record("example", "ns.example"))
+            .expect("in zone");
         root.add(a_record("ns.example", TLD_ADDR)).expect("in zone");
         net.add_server(AuthServer::new(ROOT_ADDR, vec![root]));
 
         let mut tld = Zone::with_soa("example".parse().expect("static"), Ttl::from_secs(300));
         tld.add(ns_record("cache.example", "ns1.cache.example"))
             .expect("in zone");
-        tld.add(a_record("ns1.cache.example", ZONE_ADDR)).expect("in zone");
+        tld.add(a_record("ns1.cache.example", ZONE_ADDR))
+            .expect("in zone");
         net.add_server(AuthServer::new(TLD_ADDR, vec![tld]));
 
         // A high SOA MINIMUM makes the *target's* negative-TTL cap the
@@ -164,8 +166,12 @@ impl CdeInfra {
                 RData::Ns(sub_ns.clone()),
             ))
             .expect("in zone");
-            zone.add(Record::new(sub_ns.clone(), session_ttl(), RData::A(SUB_ADDR)))
-                .expect("in zone");
+            zone.add(Record::new(
+                sub_ns.clone(),
+                session_ttl(),
+                RData::A(SUB_ADDR),
+            ))
+            .expect("in zone");
         }
         let mut farm = Vec::with_capacity(farm_size);
         for i in 1..=farm_size {
@@ -333,8 +339,8 @@ fn a_record(owner: &str, addr: Ipv4Addr) -> Record {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cde_dns::RecordType;
     use cde_dns::Question;
+    use cde_dns::RecordType;
 
     #[test]
     fn install_registers_four_servers() {

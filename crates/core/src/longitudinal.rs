@@ -250,7 +250,11 @@ mod tests {
         for h in 0..3 {
             let mut access = DirectAccess::new(&mut prober, &mut platform, INGRESS, &mut net);
             // Epochs only minutes apart: all session TTLs still alive.
-            let m = tracker.measure_epoch(&mut access, &mut infra, SimTime::ZERO + SimDuration::from_secs(h * 120));
+            let m = tracker.measure_epoch(
+                &mut access,
+                &mut infra,
+                SimTime::ZERO + SimDuration::from_secs(h * 120),
+            );
             assert_eq!(m.caches, 5, "epoch {h}");
         }
         assert!(tracker.timeline().is_stable());

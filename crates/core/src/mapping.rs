@@ -9,9 +9,8 @@
 //! source addresses arriving at the CDE nameservers; repeated experiments
 //! cover the whole egress pool (coupon collector over egress addresses).
 
-use crate::access::AccessChannel;
+use crate::access::{AccessChannel, AccessProvider, DirectAccessProvider};
 use crate::infra::CdeInfra;
-use cde_dns::RecordType;
 use cde_netsim::{SimDuration, SimTime};
 use cde_platform::{NameserverNet, ResolutionPlatform};
 use cde_probers::DirectProber;
@@ -92,11 +91,28 @@ impl IngressMapping {
 /// honey-record procedure.
 ///
 /// Requires direct access (the prober must choose which ingress address to
-/// query).
+/// query). Convenience wrapper over [`map_ingress_to_clusters_with`].
 pub fn map_ingress_to_clusters(
     prober: &mut DirectProber,
     platform: &mut ResolutionPlatform,
     net: &mut NameserverNet,
+    infra: &mut CdeInfra,
+    ingress: &[Ipv4Addr],
+    opts: MappingOptions,
+    start: SimTime,
+) -> IngressMapping {
+    let mut provider = DirectAccessProvider::new(prober, platform, net);
+    map_ingress_to_clusters_with(&mut provider, infra, ingress, opts, start)
+}
+
+/// Maps ingress addresses to cache clusters through any access backend.
+///
+/// The provider lends a channel per ingress address; everything else —
+/// honey seeding, cross-ingress testing, the observation reads — goes
+/// through the channel, so this runs identically over the simulator and
+/// over a live wire-level transport.
+pub fn map_ingress_to_clusters_with<P: AccessProvider>(
+    provider: &mut P,
     infra: &mut CdeInfra,
     ingress: &[Ipv4Addr],
     opts: MappingOptions,
@@ -114,10 +130,11 @@ pub fn map_ingress_to_clusters(
             let pivot = cluster[0];
             let honey = match opts.strategy {
                 MappingStrategy::FreshHoneyPerTest => {
-                    let session = infra.new_session(net, 0);
+                    let mut access = provider.channel(pivot);
+                    let session = infra.new_session(access.net_mut(), 0);
                     // Seed via pivot.
                     for _ in 0..opts.seeds_per_pivot {
-                        let _ = prober.probe(platform, pivot, &session.honey, RecordType::A, now, net);
+                        let _ = access.trigger(&session.honey, now);
                         queries += 1;
                         now += opts.gap;
                     }
@@ -125,13 +142,14 @@ pub fn map_ingress_to_clusters(
                 }
                 MappingStrategy::SharedHoneyPerPivot => cluster_honey[ci].clone(),
             };
-            infra.clear_observations(net);
+            let mut access = provider.channel(candidate);
+            infra.clear_observations(access.net_mut());
             let mut fetched = false;
             for _ in 0..opts.test_probes {
-                let _ = prober.probe(platform, candidate, &honey, RecordType::A, now, net);
+                let _ = access.trigger(&honey, now);
                 queries += 1;
                 now += opts.gap;
-                if infra.count_honey_fetches(net, &honey) > 0 {
+                if infra.count_honey_fetches(access.net(), &honey) > 0 {
                     fetched = true;
                     break;
                 }
@@ -146,9 +164,10 @@ pub fn map_ingress_to_clusters(
             None => {
                 // New cluster pivoted at `candidate`.
                 clusters.push(vec![candidate]);
-                let session = infra.new_session(net, 0);
+                let mut access = provider.channel(candidate);
+                let session = infra.new_session(access.net_mut(), 0);
                 for _ in 0..opts.seeds_per_pivot {
-                    let _ = prober.probe(platform, candidate, &session.honey, RecordType::A, now, net);
+                    let _ = access.trigger(&session.honey, now);
                     queries += 1;
                     now += opts.gap;
                 }
@@ -205,8 +224,8 @@ pub fn mapping_matches_ground_truth(
     let ips: Vec<Ipv4Addr> = truth.keys().copied().collect();
     for (i, &a) in ips.iter().enumerate() {
         for &b in &ips[i + 1..] {
-            let measured_same = mapping.cluster_of(a).is_some()
-                && mapping.cluster_of(a) == mapping.cluster_of(b);
+            let measured_same =
+                mapping.cluster_of(a).is_some() && mapping.cluster_of(a) == mapping.cluster_of(b);
             let truth_same = truth[&a] == truth[&b];
             if measured_same != truth_same {
                 return false;
@@ -227,7 +246,11 @@ mod tests {
         Ipv4Addr::new(192, 0, 2, d)
     }
 
-    fn build(clusters: &[usize], assignment: Vec<usize>, seed: u64) -> (ResolutionPlatform, NameserverNet, CdeInfra) {
+    fn build(
+        clusters: &[usize],
+        assignment: Vec<usize>,
+        seed: u64,
+    ) -> (ResolutionPlatform, NameserverNet, CdeInfra) {
         let mut net = NameserverNet::new();
         let infra = CdeInfra::install(&mut net);
         let ingress: Vec<Ipv4Addr> = (1..=assignment.len() as u8).map(ing).collect();
@@ -244,8 +267,7 @@ mod tests {
     #[test]
     fn maps_two_clear_clusters() {
         // 4 ingress IPs: {1,3} → cluster 0, {2,4} → cluster 1.
-        let (mut platform, mut net, mut infra) =
-            build(&[2, 3], vec![0, 1, 0, 1], 21);
+        let (mut platform, mut net, mut infra) = build(&[2, 3], vec![0, 1, 0, 1], 21);
         let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 1);
         let mapping = map_ingress_to_clusters(
             &mut prober,
@@ -284,8 +306,7 @@ mod tests {
     fn fresh_honey_strategy_correct_on_single_cache_clusters() {
         // The adversarial case for the shared strategy: 3 clusters of one
         // cache each; candidate order interleaves the clusters.
-        let (mut platform, mut net, mut infra) =
-            build(&[1, 1, 1], vec![0, 1, 2, 0, 1, 2], 23);
+        let (mut platform, mut net, mut infra) = build(&[1, 1, 1], vec![0, 1, 2, 0, 1, 2], 23);
         let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 3);
         let mapping = map_ingress_to_clusters(
             &mut prober,
@@ -309,8 +330,7 @@ mod tests {
         // (cluster 1) against pivot 1 plants pivot honey into cluster 1's
         // only cache; ingress 4 (cluster 1 again) then false-joins the
         // pivot's cluster.
-        let (mut platform, mut net, mut infra) =
-            build(&[1, 1], vec![0, 1, 0, 1], 24);
+        let (mut platform, mut net, mut infra) = build(&[1, 1], vec![0, 1, 0, 1], 24);
         let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 4);
         let mapping = map_ingress_to_clusters(
             &mut prober,
@@ -330,8 +350,7 @@ mod tests {
     #[test]
     fn fresh_strategy_spends_more_queries_than_shared() {
         let run = |strategy| {
-            let (mut platform, mut net, mut infra) =
-                build(&[2, 2], vec![0, 1, 0, 1], 25);
+            let (mut platform, mut net, mut infra) = build(&[2, 2], vec![0, 1, 0, 1], 25);
             let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 5);
             map_ingress_to_clusters(
                 &mut prober,
@@ -347,7 +366,9 @@ mod tests {
             )
             .queries_spent
         };
-        assert!(run(MappingStrategy::FreshHoneyPerTest) > run(MappingStrategy::SharedHoneyPerPivot));
+        assert!(
+            run(MappingStrategy::FreshHoneyPerTest) > run(MappingStrategy::SharedHoneyPerPivot)
+        );
     }
 
     #[test]

@@ -128,8 +128,12 @@ mod tests {
                 LossModel::with_rate(profile.loss_rate()),
             );
             let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), link, 1);
-            let mut access =
-                DirectAccess::new(&mut prober, &mut platform, Ipv4Addr::new(192, 0, 2, 1), &mut net);
+            let mut access = DirectAccess::new(
+                &mut prober,
+                &mut platform,
+                Ipv4Addr::new(192, 0, 2, 1),
+                &mut net,
+            );
             let measured = measure_loss(&mut access, &mut infra, 400, SimTime::ZERO);
             // Two traversals per probe → effective ≈ 1 − (1−p)².
             let expected = 1.0 - (1.0 - profile.loss_rate()).powi(2);

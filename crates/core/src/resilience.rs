@@ -99,7 +99,11 @@ pub fn simulate_attack_campaign(
         let first = balancer.select(&first_name, attacker, &mut rng);
         let mut all_same = true;
         for hop in 1..chain_len {
-            let name = if hop % 2 == 1 { &chained_name } else { &first_name };
+            let name = if hop % 2 == 1 {
+                &chained_name
+            } else {
+                &first_name
+            };
             if balancer.select(name, attacker, &mut rng) != first {
                 all_same = false;
             }
@@ -143,8 +147,7 @@ mod tests {
     #[test]
     fn random_selection_matches_closed_form() {
         for n in [1usize, 2, 4, 8] {
-            let outcome =
-                simulate_attack_campaign(n, SelectorKind::Random, 2, 40_000, 9);
+            let outcome = simulate_attack_campaign(n, SelectorKind::Random, 2, 40_000, 9);
             let expected = poisoning_success_probability(n as u64, 2);
             assert!(
                 (outcome.success_rate() - expected).abs() < 0.02,
@@ -188,7 +191,11 @@ mod tests {
         // Interleaved background queries shift the stride, so consecutive
         // attacker queries rarely co-locate.
         let outcome = simulate_attack_campaign(8, SelectorKind::RoundRobin, 2, 10_000, 13);
-        assert!(outcome.success_rate() < 0.2, "rate {}", outcome.success_rate());
+        assert!(
+            outcome.success_rate() < 0.2,
+            "rate {}",
+            outcome.success_rate()
+        );
     }
 
     #[test]

@@ -6,10 +6,10 @@
 //! in total, and the discovered egress addresses. The pipeline never reads
 //! platform ground truth; validation code compares afterwards.
 
-use crate::access::{AccessChannel, DirectAccess};
+use crate::access::{AccessChannel, AccessProvider, DirectAccessProvider};
 use crate::enumerate::{enumerate_identical, EnumerateOptions, Enumeration};
 use crate::infra::CdeInfra;
-use crate::mapping::{map_ingress_to_clusters, IngressMapping, MappingOptions};
+use crate::mapping::{map_ingress_to_clusters_with, IngressMapping, MappingOptions};
 use crate::planner::ProbePlan;
 use cde_netsim::{SimDuration, SimTime};
 use cde_platform::{NameserverNet, ResolutionPlatform};
@@ -141,10 +141,28 @@ pub fn discover_egress_adaptive<A: AccessChannel>(
 }
 
 /// Runs the full pipeline against one platform over direct access.
+///
+/// Convenience wrapper over [`survey_platform_with`].
 pub fn survey_platform(
     prober: &mut DirectProber,
     platform: &mut ResolutionPlatform,
     net: &mut NameserverNet,
+    infra: &mut CdeInfra,
+    ingress: &[Ipv4Addr],
+    opts: &SurveyOptions,
+    start: SimTime,
+) -> PlatformSurvey {
+    let mut provider = DirectAccessProvider::new(prober, platform, net);
+    survey_platform_with(&mut provider, infra, ingress, opts, start)
+}
+
+/// Runs the full survey pipeline through any access backend.
+///
+/// This is the backend-generic entry point: handed a provider over the
+/// simulator it reproduces [`survey_platform`] exactly; handed one over a
+/// live transport it runs the same technique against real sockets.
+pub fn survey_platform_with<P: AccessProvider>(
+    provider: &mut P,
     infra: &mut CdeInfra,
     ingress: &[Ipv4Addr],
     opts: &SurveyOptions,
@@ -155,17 +173,15 @@ pub fn survey_platform(
     // seed honey records proportionally to the real cache count —
     // under-seeding would leave caches uncovered and false-split clusters.
     let pre = {
-        let mut access = DirectAccess::new(prober, platform, ingress[0], net);
+        let mut access = provider.channel(ingress[0]);
         enumerate_adaptive(&mut access, infra, opts, start)
     };
     let mut mapping_opts = opts.mapping;
-    mapping_opts.seeds_per_pivot = mapping_opts
-        .seeds_per_pivot
-        .max(6 * pre.estimated.max(1));
+    mapping_opts.seeds_per_pivot = mapping_opts.seeds_per_pivot.max(6 * pre.estimated.max(1));
 
     // 1. Group ingress addresses into cache clusters.
     let mapping = if ingress.len() > 1 {
-        map_ingress_to_clusters(prober, platform, net, infra, ingress, mapping_opts, start)
+        map_ingress_to_clusters_with(provider, infra, ingress, mapping_opts, start)
     } else {
         IngressMapping {
             clusters: vec![vec![ingress[0]]],
@@ -178,14 +194,14 @@ pub fn survey_platform(
     let mut now = start + SimDuration::from_secs(5);
     for cluster in &mapping.clusters {
         let representative = cluster[0];
-        let mut access = DirectAccess::new(prober, platform, representative, net);
+        let mut access = provider.channel(representative);
         let e = enumerate_adaptive(&mut access, infra, opts, now);
         caches_per_cluster.push(e.estimated);
         now += SimDuration::from_secs(5);
     }
 
     // 3. Discover egress addresses through the first ingress.
-    let mut access = DirectAccess::new(prober, platform, ingress[0], net);
+    let mut access = provider.channel(ingress[0]);
     let egress_ips = discover_egress_adaptive(&mut access, infra, opts.egress_patience, now);
 
     PlatformSurvey {
@@ -233,6 +249,7 @@ pub fn validate_survey(survey: &PlatformSurvey, platform: &ResolutionPlatform) -
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::access::DirectAccess;
     use cde_netsim::Link;
     use cde_platform::{PlatformBuilder, SelectorKind};
 

@@ -185,7 +185,11 @@ mod tests {
     use cde_probers::DirectProber;
     use std::net::Ipv4Addr;
 
-    fn world(caches: usize, seed: u64, jitter: f64) -> (ResolutionPlatform, NameserverNet, CdeInfra) {
+    fn world(
+        caches: usize,
+        seed: u64,
+        jitter: f64,
+    ) -> (ResolutionPlatform, NameserverNet, CdeInfra) {
         let mut net = NameserverNet::new();
         let infra = CdeInfra::install(&mut net);
         let platform = PlatformBuilder::new(seed)
@@ -217,7 +221,12 @@ mod tests {
     fn calibration_separates_hit_from_miss() {
         let (mut platform, mut net, mut infra) = world(2, 31, 0.15);
         let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), client_link(), 1);
-        let mut access = DirectAccess::new(&mut prober, &mut platform, Ipv4Addr::new(192, 0, 2, 1), &mut net);
+        let mut access = DirectAccess::new(
+            &mut prober,
+            &mut platform,
+            Ipv4Addr::new(192, 0, 2, 1),
+            &mut net,
+        );
         let cal = calibrate(&mut access, &mut infra, 16, SimTime::ZERO).unwrap();
         assert!(cal.cached_median < cal.uncached_median);
         assert!(cal.threshold > cal.cached_median);
@@ -229,7 +238,12 @@ mod tests {
         for n in [1usize, 3, 5] {
             let (mut platform, mut net, mut infra) = world(n, 40 + n as u64, 0.15);
             let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), client_link(), 2);
-            let mut access = DirectAccess::new(&mut prober, &mut platform, Ipv4Addr::new(192, 0, 2, 1), &mut net);
+            let mut access = DirectAccess::new(
+                &mut prober,
+                &mut platform,
+                Ipv4Addr::new(192, 0, 2, 1),
+                &mut net,
+            );
             let cal = calibrate(&mut access, &mut infra, 16, SimTime::ZERO).unwrap();
             // Fresh session honey, never queried before.
             let session = infra.new_session(access.net_mut(), 0);
@@ -253,7 +267,12 @@ mod tests {
         let n = 4usize;
         let (mut platform, mut net, mut infra) = world(n, 50, 2.5);
         let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), client_link(), 3);
-        let mut access = DirectAccess::new(&mut prober, &mut platform, Ipv4Addr::new(192, 0, 2, 1), &mut net);
+        let mut access = DirectAccess::new(
+            &mut prober,
+            &mut platform,
+            Ipv4Addr::new(192, 0, 2, 1),
+            &mut net,
+        );
         match calibrate(&mut access, &mut infra, 16, SimTime::ZERO) {
             Err(_) => {} // jitter may defeat calibration entirely — accepted
             Ok(cal) => {
@@ -298,16 +317,26 @@ mod tests {
     fn lossy_probes_become_unclassified() {
         let (mut platform, mut net, mut infra) = world(2, 52, 0.15);
         let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), client_link(), 4);
-        let mut access = DirectAccess::new(&mut prober, &mut platform, Ipv4Addr::new(192, 0, 2, 1), &mut net);
+        let mut access = DirectAccess::new(
+            &mut prober,
+            &mut platform,
+            Ipv4Addr::new(192, 0, 2, 1),
+            &mut net,
+        );
         let cal = calibrate(&mut access, &mut infra, 16, SimTime::ZERO).unwrap();
-        // Swap in a very lossy prober for the enumeration phase.
-        drop(access);
+        // The first access channel's borrows end here; swap in a very
+        // lossy prober for the enumeration phase.
         let lossy = Link::new(
             LatencyModel::Constant(SimDuration::from_millis(12)),
             LossModel::with_rate(0.6),
         );
         let mut prober2 = DirectProber::new(Ipv4Addr::new(203, 0, 113, 2), lossy, 5);
-        let mut access2 = DirectAccess::new(&mut prober2, &mut platform, Ipv4Addr::new(192, 0, 2, 1), &mut net);
+        let mut access2 = DirectAccess::new(
+            &mut prober2,
+            &mut platform,
+            Ipv4Addr::new(192, 0, 2, 1),
+            &mut net,
+        );
         let session = infra.new_session(access2.net_mut(), 0);
         let t = enumerate_via_timing(&mut access2, &session.honey, cal, 50, SimTime::ZERO);
         assert!(t.unclassified > 10, "unclassified {}", t.unclassified);

@@ -17,47 +17,146 @@ pub struct OperatorShare {
 
 /// Fig. 2, "Open Resolvers" column.
 pub const OPEN_RESOLVER_OPERATORS: [OperatorShare; 11] = [
-    OperatorShare { name: "Aruba S.p.A.", percent: 9.597 },
-    OperatorShare { name: "Google Inc.", percent: 6.59 },
-    OperatorShare { name: "Korea Telecom", percent: 4.095 },
-    OperatorShare { name: "INTERNET CZ, a.s.", percent: 3.199 },
-    OperatorShare { name: "tw telecom holdings, inc.", percent: 3.135 },
-    OperatorShare { name: "LG DACOM Corporation", percent: 2.687 },
-    OperatorShare { name: "Data Communication Business Group", percent: 2.175 },
-    OperatorShare { name: "Getty Images", percent: 1.727 },
-    OperatorShare { name: "CNCGROUP IP network China169 Beijing", percent: 1.536 },
-    OperatorShare { name: "Level 3 Communications, Inc.", percent: 1.536 },
-    OperatorShare { name: "OTHER", percent: 63.72 },
+    OperatorShare {
+        name: "Aruba S.p.A.",
+        percent: 9.597,
+    },
+    OperatorShare {
+        name: "Google Inc.",
+        percent: 6.59,
+    },
+    OperatorShare {
+        name: "Korea Telecom",
+        percent: 4.095,
+    },
+    OperatorShare {
+        name: "INTERNET CZ, a.s.",
+        percent: 3.199,
+    },
+    OperatorShare {
+        name: "tw telecom holdings, inc.",
+        percent: 3.135,
+    },
+    OperatorShare {
+        name: "LG DACOM Corporation",
+        percent: 2.687,
+    },
+    OperatorShare {
+        name: "Data Communication Business Group",
+        percent: 2.175,
+    },
+    OperatorShare {
+        name: "Getty Images",
+        percent: 1.727,
+    },
+    OperatorShare {
+        name: "CNCGROUP IP network China169 Beijing",
+        percent: 1.536,
+    },
+    OperatorShare {
+        name: "Level 3 Communications, Inc.",
+        percent: 1.536,
+    },
+    OperatorShare {
+        name: "OTHER",
+        percent: 63.72,
+    },
 ];
 
 /// Fig. 2, "Email Servers" column.
 pub const EMAIL_SERVER_OPERATORS: [OperatorShare; 11] = [
-    OperatorShare { name: "Google Inc.", percent: 24.211 },
-    OperatorShare { name: "Yandex LLC", percent: 10.526 },
-    OperatorShare { name: "Amazon.com, Inc.", percent: 4.2105 },
-    OperatorShare { name: "Hangzhou Alibaba Advertising Co.,Ltd.", percent: 4.2105 },
-    OperatorShare { name: "Internet Initiative Japan Inc.", percent: 4.2105 },
-    OperatorShare { name: "Websense Hosted Security Network", percent: 4.2105 },
-    OperatorShare { name: "SAKURA Internet Inc.", percent: 3.1579 },
-    OperatorShare { name: "ADVANCEDHOSTERS LIMITED", percent: 2.1053 },
-    OperatorShare { name: "Dadeh Gostar Asr Novin P.J.S. Co.", percent: 2.1053 },
-    OperatorShare { name: "Limited liability company Mail.Ru", percent: 2.1053 },
-    OperatorShare { name: "OTHER", percent: 38.947 },
+    OperatorShare {
+        name: "Google Inc.",
+        percent: 24.211,
+    },
+    OperatorShare {
+        name: "Yandex LLC",
+        percent: 10.526,
+    },
+    OperatorShare {
+        name: "Amazon.com, Inc.",
+        percent: 4.2105,
+    },
+    OperatorShare {
+        name: "Hangzhou Alibaba Advertising Co.,Ltd.",
+        percent: 4.2105,
+    },
+    OperatorShare {
+        name: "Internet Initiative Japan Inc.",
+        percent: 4.2105,
+    },
+    OperatorShare {
+        name: "Websense Hosted Security Network",
+        percent: 4.2105,
+    },
+    OperatorShare {
+        name: "SAKURA Internet Inc.",
+        percent: 3.1579,
+    },
+    OperatorShare {
+        name: "ADVANCEDHOSTERS LIMITED",
+        percent: 2.1053,
+    },
+    OperatorShare {
+        name: "Dadeh Gostar Asr Novin P.J.S. Co.",
+        percent: 2.1053,
+    },
+    OperatorShare {
+        name: "Limited liability company Mail.Ru",
+        percent: 2.1053,
+    },
+    OperatorShare {
+        name: "OTHER",
+        percent: 38.947,
+    },
 ];
 
 /// Fig. 2, "Ad-Network" column.
 pub const AD_NETWORK_OPERATORS: [OperatorShare; 11] = [
-    OperatorShare { name: "Comcast Cable Communications, Inc.", percent: 15.02 },
-    OperatorShare { name: "Time Warner Cable Internet LLC", percent: 6.103 },
-    OperatorShare { name: "Orange S.A.", percent: 5.634 },
-    OperatorShare { name: "Google Inc.", percent: 4.695 },
-    OperatorShare { name: "BT Public Internet Service", percent: 4.225 },
-    OperatorShare { name: "MCI Communications Services, Inc. Verizon", percent: 3.286 },
-    OperatorShare { name: "AT&T Services, Inc.", percent: 2.817 },
-    OperatorShare { name: "OVH SAS", percent: 2.817 },
-    OperatorShare { name: "Free SAS", percent: 2.347 },
-    OperatorShare { name: "Qwest Communications Company, LLC", percent: 2.347 },
-    OperatorShare { name: "OTHER", percent: 50.7 },
+    OperatorShare {
+        name: "Comcast Cable Communications, Inc.",
+        percent: 15.02,
+    },
+    OperatorShare {
+        name: "Time Warner Cable Internet LLC",
+        percent: 6.103,
+    },
+    OperatorShare {
+        name: "Orange S.A.",
+        percent: 5.634,
+    },
+    OperatorShare {
+        name: "Google Inc.",
+        percent: 4.695,
+    },
+    OperatorShare {
+        name: "BT Public Internet Service",
+        percent: 4.225,
+    },
+    OperatorShare {
+        name: "MCI Communications Services, Inc. Verizon",
+        percent: 3.286,
+    },
+    OperatorShare {
+        name: "AT&T Services, Inc.",
+        percent: 2.817,
+    },
+    OperatorShare {
+        name: "OVH SAS",
+        percent: 2.817,
+    },
+    OperatorShare {
+        name: "Free SAS",
+        percent: 2.347,
+    },
+    OperatorShare {
+        name: "Qwest Communications Company, LLC",
+        percent: 2.347,
+    },
+    OperatorShare {
+        name: "OTHER",
+        percent: 50.7,
+    },
 ];
 
 /// Samples an operator name according to a Fig. 2 column.

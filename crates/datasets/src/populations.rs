@@ -123,7 +123,11 @@ impl NetworkSpec {
         let mut builder = PlatformBuilder::new(0xD5EE_D000 + self.id)
             .ingress(self.ingress_ips())
             .egress(self.egress_ips())
-            .edns(if self.edns { Some(Edns::default()) } else { None })
+            .edns(if self.edns {
+                Some(Edns::default())
+            } else {
+                None
+            })
             .upstream_link(Link::new(LatencyModel::typical_wan(), LossModel::none()))
             .internal_latency(LatencyModel::Uniform {
                 low: SimDuration::from_micros(150),
@@ -306,7 +310,11 @@ fn split_into_clusters<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Vec<usize> {
     if caches >= 4 && ingress_count >= 4 && rng.gen::<f64>() < 0.3 {
-        let parts = if caches >= 9 && rng.gen::<f64>() < 0.4 { 3 } else { 2 };
+        let parts = if caches >= 9 && rng.gen::<f64>() < 0.4 {
+            3
+        } else {
+            2
+        };
         let mut out = vec![caches / parts; parts];
         out[0] += caches % parts;
         out
@@ -343,11 +351,8 @@ mod tests {
         let single_single = sc.fraction_where(|x, y| x == 1 && y == 1);
         assert!((0.64..0.74).contains(&single_single), "{single_single}");
         // "70% use 1-2 caches" (Fig. 4).
-        let small_cache = pop
-            .iter()
-            .filter(|s| s.total_caches() <= 2)
-            .count() as f64
-            / pop.len() as f64;
+        let small_cache =
+            pop.iter().filter(|s| s.total_caches() <= 2).count() as f64 / pop.len() as f64;
         assert!((0.65..0.80).contains(&small_cache), "{small_cache}");
         // "85% use 5 or less [egress] IP addresses" (Fig. 3).
         let egress = Cdf::from_samples(pop.iter().map(|s| s.egress_count as u64));
@@ -403,11 +408,8 @@ mod tests {
     #[test]
     fn selector_mix_is_mostly_unpredictable() {
         let pop = population(PopulationKind::Enterprises, 4000);
-        let unpredictable = pop
-            .iter()
-            .filter(|s| s.selector.is_unpredictable())
-            .count() as f64
-            / pop.len() as f64;
+        let unpredictable =
+            pop.iter().filter(|s| s.selector.is_unpredictable()).count() as f64 / pop.len() as f64;
         assert!(unpredictable > 0.80, "{unpredictable}");
         assert!(unpredictable < 0.90, "{unpredictable}");
     }
@@ -415,8 +417,14 @@ mod tests {
     #[test]
     fn country_mix_includes_lossy_countries() {
         let pop = population(PopulationKind::OpenResolvers, 2000);
-        let iran = pop.iter().filter(|s| s.country == CountryProfile::Iran).count();
-        let china = pop.iter().filter(|s| s.country == CountryProfile::China).count();
+        let iran = pop
+            .iter()
+            .filter(|s| s.country == CountryProfile::Iran)
+            .count();
+        let china = pop
+            .iter()
+            .filter(|s| s.country == CountryProfile::China)
+            .count();
         assert!(iran > 0 && china > 0);
         assert!(iran < pop.len() / 10);
     }
@@ -453,7 +461,10 @@ mod tests {
         for spec in &pop {
             assert!(!spec.cluster_caches.is_empty());
             assert!(spec.cluster_caches.iter().all(|&c| c >= 1));
-            assert_eq!(spec.cluster_caches.iter().sum::<usize>(), spec.total_caches());
+            assert_eq!(
+                spec.cluster_caches.iter().sum::<usize>(),
+                spec.total_caches()
+            );
         }
         // Some multi-cluster networks exist.
         assert!(pop.iter().any(|s| s.cluster_caches.len() > 1));

@@ -267,21 +267,11 @@ impl DnsCache {
     /// The entry TTL is the minimum record TTL, clamped into the configured
     /// `[min_ttl, max_ttl]` window. Records with zero post-clamp TTL are
     /// not cached.
-    pub fn insert(
-        &mut self,
-        name: Name,
-        rtype: RecordType,
-        records: Vec<Record>,
-        now: SimTime,
-    ) {
+    pub fn insert(&mut self, name: Name, rtype: RecordType, records: Vec<Record>, now: SimTime) {
         if records.is_empty() {
             return;
         }
-        let raw_ttl = records
-            .iter()
-            .map(Record::ttl)
-            .min()
-            .unwrap_or(Ttl::ZERO);
+        let raw_ttl = records.iter().map(Record::ttl).min().unwrap_or(Ttl::ZERO);
         let ttl = raw_ttl.clamp(self.config.min_ttl, self.config.max_ttl);
         if ttl == Ttl::ZERO {
             return;
@@ -586,7 +576,12 @@ mod tests {
                 ..CacheConfig::default()
             },
         );
-        c.insert(n("short.b"), RecordType::A, vec![a_rec("short.b", 10)], t(0));
+        c.insert(
+            n("short.b"),
+            RecordType::A,
+            vec![a_rec("short.b", 10)],
+            t(0),
+        );
         c.insert(n("long.b"), RecordType::A, vec![a_rec("long.b", 600)], t(0));
         c.insert(n("new.b"), RecordType::A, vec![a_rec("new.b", 60)], t(1));
         assert!(!c.contains_fresh(&n("short.b"), RecordType::A, t(1)));

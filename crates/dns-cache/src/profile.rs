@@ -122,7 +122,10 @@ mod tests {
         );
         cache.insert(name.clone(), RecordType::A, vec![rr], t(0));
         assert!(cache.lookup(&name, RecordType::A, t(604_799)).is_hit());
-        assert_eq!(cache.lookup(&name, RecordType::A, t(604_800)), CacheLookup::Miss);
+        assert_eq!(
+            cache.lookup(&name, RecordType::A, t(604_800)),
+            CacheLookup::Miss
+        );
     }
 
     #[test]
@@ -136,7 +139,10 @@ mod tests {
         );
         cache.insert(name.clone(), RecordType::A, vec![rr], t(0));
         assert!(cache.lookup(&name, RecordType::A, t(86_399)).is_hit());
-        assert_eq!(cache.lookup(&name, RecordType::A, t(86_400)), CacheLookup::Miss);
+        assert_eq!(
+            cache.lookup(&name, RecordType::A, t(86_400)),
+            CacheLookup::Miss
+        );
     }
 
     #[test]
@@ -151,7 +157,10 @@ mod tests {
             t(0),
         );
         assert!(cache.lookup(&name, RecordType::A, t(899)).is_hit());
-        assert_eq!(cache.lookup(&name, RecordType::A, t(900)), CacheLookup::Miss);
+        assert_eq!(
+            cache.lookup(&name, RecordType::A, t(900)),
+            CacheLookup::Miss
+        );
     }
 
     #[test]

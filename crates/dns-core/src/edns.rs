@@ -146,10 +146,7 @@ mod tests {
 
     #[test]
     fn set_edns_replaces_existing_opt() {
-        let mut q = Message::query(
-            9,
-            Question::new("a.b".parse().unwrap(), RecordType::A),
-        );
+        let mut q = Message::query(9, Question::new("a.b".parse().unwrap(), RecordType::A));
         q.set_edns(Edns::new(512));
         q.set_edns(Edns::new(4096));
         assert_eq!(
@@ -164,10 +161,7 @@ mod tests {
 
     #[test]
     fn message_without_opt_has_no_edns() {
-        let q = Message::query(
-            9,
-            Question::new("a.b".parse().unwrap(), RecordType::A),
-        );
+        let q = Message::query(9, Question::new("a.b".parse().unwrap(), RecordType::A));
         assert_eq!(q.edns(), None);
     }
 }

@@ -139,13 +139,12 @@ pub fn parse_zone(text: &str, origin: Option<Name>) -> Result<Zone, MasterError>
             continue;
         }
         if tokens[0] == "$TTL" {
-            let secs: u32 = tokens
-                .get(1)
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| MasterError::Malformed {
+            let secs: u32 = tokens.get(1).and_then(|t| t.parse().ok()).ok_or_else(|| {
+                MasterError::Malformed {
                     line: line_no,
                     reason: "$TTL needs a numeric argument".into(),
-                })?;
+                }
+            })?;
             default_ttl = Ttl::from_secs(secs);
             continue;
         }
@@ -188,9 +187,8 @@ pub fn parse_zone(text: &str, origin: Option<Name>) -> Result<Zone, MasterError>
         let rdata_tokens = &rest[i + 1..];
         let rdata = parse_rdata(type_tok, rdata_tokens, &origin, line_no)?;
 
-        let zone_ref = zone.get_or_insert_with(|| {
-            Zone::new(origin.clone().unwrap_or_else(Name::root))
-        });
+        let zone_ref =
+            zone.get_or_insert_with(|| Zone::new(origin.clone().unwrap_or_else(Name::root)));
         zone_ref
             .add(Record::new(owner, ttl, rdata))
             .map_err(|source| MasterError::Zone {
@@ -216,11 +214,7 @@ fn parse_owner(tok: &str, origin: &Option<Name>, line: usize) -> Result<Name, Ma
     parse_name(Some(tok), origin, line)
 }
 
-fn parse_name(
-    tok: Option<&str>,
-    origin: &Option<Name>,
-    line: usize,
-) -> Result<Name, MasterError> {
+fn parse_name(tok: Option<&str>, origin: &Option<Name>, line: usize) -> Result<Name, MasterError> {
     let tok = tok.ok_or_else(|| MasterError::Malformed {
         line,
         reason: "missing name".into(),
@@ -229,11 +223,15 @@ fn parse_name(
         return origin.clone().ok_or(MasterError::MissingOrigin { line });
     }
     if let Some(absolute) = tok.strip_suffix('.') {
-        return absolute.parse().map_err(|source| MasterError::Name { line, source });
+        return absolute
+            .parse()
+            .map_err(|source| MasterError::Name { line, source });
     }
     // Relative name: append the origin.
     let origin = origin.clone().ok_or(MasterError::MissingOrigin { line })?;
-    let rel: Name = tok.parse().map_err(|source| MasterError::Name { line, source })?;
+    let rel: Name = tok
+        .parse()
+        .map_err(|source| MasterError::Name { line, source })?;
     rel.concat(&origin)
         .map_err(|source| MasterError::Name { line, source })
 }
@@ -377,7 +375,7 @@ pub fn cname_chain_fragment(apex: &str, q: usize) -> String {
     for i in 1..=q {
         out.push_str(&format!("x-{i} IN CNAME name.{apex}.\n"));
     }
-    out.push_str(&format!("name IN A 198.51.100.4\n"));
+    out.push_str("name IN A 198.51.100.4\n");
     out
 }
 
@@ -411,7 +409,10 @@ mod tests {
         let zone = parse_zone(text, None).unwrap();
         assert_eq!(zone.apex(), &n("cache.example"));
         match zone.lookup(&n("x-1.cache.example"), RecordType::A) {
-            LookupResult::Cname { chain, target_records } => {
+            LookupResult::Cname {
+                chain,
+                target_records,
+            } => {
                 assert_eq!(chain.len(), 1);
                 assert_eq!(target_records.len(), 1);
             }
@@ -440,8 +441,14 @@ mod tests {
             www IN A 192.0.2.1\n\
             mail.cache.example. IN A 192.0.2.2\n";
         let zone = parse_zone(text, None).unwrap();
-        assert!(matches!(zone.lookup(&n("www.cache.example"), RecordType::A), LookupResult::Answer(_)));
-        assert!(matches!(zone.lookup(&n("mail.cache.example"), RecordType::A), LookupResult::Answer(_)));
+        assert!(matches!(
+            zone.lookup(&n("www.cache.example"), RecordType::A),
+            LookupResult::Answer(_)
+        ));
+        assert!(matches!(
+            zone.lookup(&n("mail.cache.example"), RecordType::A),
+            LookupResult::Answer(_)
+        ));
     }
 
     #[test]
@@ -451,7 +458,10 @@ mod tests {
             @ IN NS ns1\n\
             ns1 IN A 192.0.2.53\n";
         let zone = parse_zone(text, None).unwrap();
-        assert_eq!(zone.records_at(&n("cache.example"), RecordType::Ns).len(), 1);
+        assert_eq!(
+            zone.records_at(&n("cache.example"), RecordType::Ns).len(),
+            1
+        );
     }
 
     #[test]
@@ -462,16 +472,28 @@ mod tests {
             b IN 90 A 2.2.2.2\n\
             c A 3.3.3.3\n";
         let zone = parse_zone(text, None).unwrap();
-        assert_eq!(zone.records_at(&n("a.e"), RecordType::A)[0].ttl(), Ttl::from_secs(60));
-        assert_eq!(zone.records_at(&n("b.e"), RecordType::A)[0].ttl(), Ttl::from_secs(90));
-        assert_eq!(zone.records_at(&n("c.e"), RecordType::A)[0].ttl(), Ttl::from_secs(3600));
+        assert_eq!(
+            zone.records_at(&n("a.e"), RecordType::A)[0].ttl(),
+            Ttl::from_secs(60)
+        );
+        assert_eq!(
+            zone.records_at(&n("b.e"), RecordType::A)[0].ttl(),
+            Ttl::from_secs(90)
+        );
+        assert_eq!(
+            zone.records_at(&n("c.e"), RecordType::A)[0].ttl(),
+            Ttl::from_secs(3600)
+        );
     }
 
     #[test]
     fn dollar_ttl_sets_default() {
         let text = "$ORIGIN e.\n$TTL 120\nx IN A 1.2.3.4\n";
         let zone = parse_zone(text, None).unwrap();
-        assert_eq!(zone.records_at(&n("x.e"), RecordType::A)[0].ttl(), Ttl::from_secs(120));
+        assert_eq!(
+            zone.records_at(&n("x.e"), RecordType::A)[0].ttl(),
+            Ttl::from_secs(120)
+        );
     }
 
     #[test]

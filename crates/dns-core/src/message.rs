@@ -333,6 +333,20 @@ impl Message {
         let an = r.read_u16()? as usize;
         let ns = r.read_u16()? as usize;
         let ar = r.read_u16()? as usize;
+        // Reject counts the payload cannot possibly hold before any
+        // count-sized allocation: a question is at least 5 bytes (1-byte
+        // root name + type + class), a record at least 11 (root name +
+        // type + class + TTL + empty RDATA). Untrusted datagrams can
+        // otherwise claim 65535 sections from a 12-byte header and drive
+        // `Vec::with_capacity` allocations far past the input size.
+        const MIN_QUESTION: usize = 5;
+        const MIN_RECORD: usize = 11;
+        let need = qd
+            .saturating_mul(MIN_QUESTION)
+            .saturating_add((an + ns + ar).saturating_mul(MIN_RECORD));
+        if need > r.remaining() {
+            return Err(WireError::UnexpectedEof);
+        }
         let mut questions = Vec::with_capacity(qd);
         for _ in 0..qd {
             questions.push(Question::decode(&mut r)?);
@@ -373,7 +387,12 @@ mod tests {
 
     #[test]
     fn opcode_rcode_roundtrip() {
-        for op in [Opcode::Query, Opcode::IQuery, Opcode::Status, Opcode::Other(7)] {
+        for op in [
+            Opcode::Query,
+            Opcode::IQuery,
+            Opcode::Status,
+            Opcode::Other(7),
+        ] {
             assert_eq!(Opcode::from_u8(op.to_u8()), op);
         }
         for rc in [
@@ -490,7 +509,8 @@ mod tests {
         // Owner name of each answer should be a 2-byte pointer, so the
         // whole message stays well under the uncompressed size.
         let uncompressed = 12
-            + name("host.cache.example").wire_len() + 4
+            + name("host.cache.example").wire_len()
+            + 4
             + 4 * (name("host.cache.example").wire_len() + 10 + 4);
         assert!(bytes.len() < uncompressed);
         assert_eq!(Message::decode(&bytes).unwrap(), resp);

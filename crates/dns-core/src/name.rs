@@ -103,11 +103,7 @@ impl Name {
     /// Length of this name in uncompressed wire form (length octets plus the
     /// terminating zero octet).
     pub fn wire_len(&self) -> usize {
-        1 + self
-            .labels
-            .iter()
-            .map(|l| 1 + l.len())
-            .sum::<usize>()
+        1 + self.labels.iter().map(|l| 1 + l.len()).sum::<usize>()
     }
 
     /// Number of labels; the root has zero.
@@ -365,10 +361,7 @@ mod tests {
     #[test]
     fn rejects_long_label() {
         let label = "a".repeat(64);
-        assert_eq!(
-            label.parse::<Name>().unwrap_err(),
-            NameError::LabelTooLong
-        );
+        assert_eq!(label.parse::<Name>().unwrap_err(), NameError::LabelTooLong);
         let ok = "a".repeat(63);
         assert!(ok.parse::<Name>().is_ok());
     }
@@ -451,7 +444,7 @@ mod tests {
 
     #[test]
     fn ordering_is_deterministic() {
-        let mut v = vec![n("b.example"), n("a.example"), n("a.a.example")];
+        let mut v = [n("b.example"), n("a.example"), n("a.a.example")];
         v.sort();
         assert_eq!(v[0], n("a.a.example"));
     }

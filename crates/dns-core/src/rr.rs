@@ -65,7 +65,9 @@ impl From<u32> for Ttl {
 /// Covers the types the paper's probers trigger (Table I: TXT/SPF, MX, A,
 /// plus DKIM/DMARC which ride on TXT) and those the CDE techniques rely on
 /// (A, NS, CNAME).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum RecordType {
     /// IPv4 host address.
     A,
@@ -736,10 +738,7 @@ mod tests {
             Ttl::from_secs(3600),
             RData::A(Ipv4Addr::new(198, 51, 100, 4)),
         );
-        assert_eq!(
-            rr.to_string(),
-            "name.cache.example. 3600 IN A 198.51.100.4"
-        );
+        assert_eq!(rr.to_string(), "name.cache.example. 3600 IN A 198.51.100.4");
     }
 
     #[test]
@@ -756,7 +755,10 @@ mod tests {
         let mut r = WireReader::new(&bytes);
         assert!(matches!(
             Record::decode(&mut r).unwrap_err(),
-            WireError::RdataLengthMismatch { declared: 5, actual: 4 }
+            WireError::RdataLengthMismatch {
+                declared: 5,
+                actual: 4
+            }
         ));
     }
 }

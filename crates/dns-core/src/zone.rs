@@ -97,7 +97,7 @@ impl Zone {
                 rname: apex
                     .prepend_label("hostmaster")
                     .unwrap_or_else(|_| apex.clone()),
-                serial: 2017_01_01,
+                serial: 20170101,
                 refresh: 7200,
                 retry: 3600,
                 expire: 1209600,
@@ -299,12 +299,7 @@ impl Zone {
         }
     }
 
-    fn chase_cname(
-        &self,
-        _name: &Name,
-        rtype: RecordType,
-        cnames: &[Record],
-    ) -> LookupResult {
+    fn chase_cname(&self, _name: &Name, rtype: RecordType, cnames: &[Record]) -> LookupResult {
         let mut chain = vec![cnames[0].clone()];
         let mut target = match cnames[0].rdata() {
             RData::Cname(t) => t.clone(),

@@ -58,15 +58,16 @@ fn rdata() -> impl Strategy<Value = RData> {
                 target
             }
         ),
-        (256u16..=4000, proptest::collection::vec(any::<u8>(), 0..128)).prop_map(
-            |(rtype, data)| RData::Opaque { rtype, data }
-        ),
+        (
+            256u16..=4000,
+            proptest::collection::vec(any::<u8>(), 0..128)
+        )
+            .prop_map(|(rtype, data)| RData::Opaque { rtype, data }),
     ]
 }
 
 fn record() -> impl Strategy<Value = Record> {
-    (name(), any::<u32>(), rdata())
-        .prop_map(|(n, ttl, rd)| Record::new(n, Ttl::from_secs(ttl), rd))
+    (name(), any::<u32>(), rdata()).prop_map(|(n, ttl, rd)| Record::new(n, Ttl::from_secs(ttl), rd))
 }
 
 fn question() -> impl Strategy<Value = Question> {
@@ -128,6 +129,67 @@ proptest! {
 
     #[test]
     fn decode_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn decode_truncated_valid_message_never_panics(msg in message(), keep in 0usize..600) {
+        // Every prefix of a valid encoding must decode cleanly or error,
+        // never panic — this is the wire shape a cut-off datagram has.
+        let bytes = msg.encode().unwrap();
+        let cut = keep.min(bytes.len());
+        if cut < bytes.len() {
+            prop_assert!(Message::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn decode_bitflipped_message_never_panics(
+        msg in message(),
+        flips in proptest::collection::vec((0usize..600, 0u8..8), 1..8),
+    ) {
+        // Random bit flips model on-path corruption; they may produce
+        // pointer loops, bad label types, or wild counts.
+        let mut bytes = msg.encode().unwrap();
+        for (pos, bit) in flips {
+            let len = bytes.len();
+            bytes[pos % len] ^= 1 << bit;
+        }
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn decode_claimed_counts_beyond_payload_error(
+        qd in 1u16..=u16::MAX,
+        an in 0u16..=u16::MAX,
+        ns in 0u16..=u16::MAX,
+        ar in 0u16..=u16::MAX,
+    ) {
+        // A bare 12-byte header claiming non-empty sections must be
+        // rejected up front (no count-sized allocations from untrusted
+        // counts).
+        let mut bytes = vec![0u8; 12];
+        bytes[4..6].copy_from_slice(&qd.to_be_bytes());
+        bytes[6..8].copy_from_slice(&an.to_be_bytes());
+        bytes[8..10].copy_from_slice(&ns.to_be_bytes());
+        bytes[10..12].copy_from_slice(&ar.to_be_bytes());
+        prop_assert!(Message::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_pointer_heavy_bytes_never_panics(
+        header in proptest::collection::vec(any::<u8>(), 12..13),
+        body in proptest::collection::vec((0xC0u8..=0xFF, any::<u8>()), 1..32),
+    ) {
+        // Saturate the name parser with compression pointers (0b11
+        // prefixes), the shape loops and forward references take.
+        let mut bytes = header;
+        bytes[4] = 0;
+        bytes[5] = 1; // one question, so decoding reaches read_name
+        for (hi, lo) in body {
+            bytes.push(hi);
+            bytes.push(lo);
+        }
         let _ = Message::decode(&bytes);
     }
 

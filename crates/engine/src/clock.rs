@@ -1,0 +1,66 @@
+//! Wall-clock → virtual-time bridge.
+//!
+//! The measurement algorithms in `cde-core` reason in [`SimTime`]; a live
+//! engine runs on the host's monotonic clock. [`EngineClock`] anchors a
+//! `SimTime` axis at engine start-up so both sides agree on "now": log
+//! entries recorded by the wire authority carry comparable timestamps, and
+//! session TTLs expire against real elapsed time.
+
+use cde_netsim::{SimDuration, SimTime};
+use std::time::Instant;
+
+/// Maps the host's monotonic clock onto the virtual [`SimTime`] axis.
+///
+/// Cheap to copy; every component of one engine shares the same epoch so
+/// timestamps are mutually comparable.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineClock {
+    epoch: Instant,
+}
+
+impl EngineClock {
+    /// Starts a clock whose [`SimTime::ZERO`] is "now".
+    pub fn start() -> EngineClock {
+        EngineClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Current virtual time: microseconds elapsed since the epoch.
+    pub fn now(&self) -> SimTime {
+        SimTime::ZERO + self.elapsed()
+    }
+
+    /// Elapsed time since the epoch as a [`SimDuration`].
+    pub fn elapsed(&self) -> SimDuration {
+        SimDuration::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let clock = EngineClock::start();
+        let a = clock.now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = clock.now();
+        assert!(b > a);
+        assert!(b.since(a) >= SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn copies_share_the_epoch() {
+        let clock = EngineClock::start();
+        let copy = clock;
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let a = clock.now().as_micros();
+        let b = copy.now().as_micros();
+        // Both read the same axis; they differ only by the time between
+        // the two calls.
+        assert!(b >= a);
+        assert!(b - a < 1_000_000);
+    }
+}

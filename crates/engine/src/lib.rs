@@ -1,0 +1,58 @@
+//! **cde-engine** — the live wire-level measurement engine.
+//!
+//! Everything else in this workspace drives *simulated* resolution
+//! platforms through `cde-netsim`'s virtual time. This crate adds the
+//! missing layer for the paper's actual modus operandi — an
+//! Internet-facing measurement system — while staying hermetic:
+//!
+//! * [`transport`] — the [`Transport`](transport::Transport) abstraction
+//!   plus [`EngineAccess`](transport::EngineAccess), which adapts any
+//!   transport to `cde-core`'s `AccessChannel` so every enumeration /
+//!   mapping / survey algorithm runs unchanged over the wire.
+//! * [`udp`] — [`UdpTransport`](udp::UdpTransport): real `std::net` UDP
+//!   sockets with a socket pool, randomized query IDs and source ports,
+//!   read deadlines, retries with jittered backoff.
+//! * [`sim`] — [`SimTransport`](sim::SimTransport): the same interface
+//!   over an in-process `cde-platform::ResolutionPlatform`.
+//! * [`authority`] — [`WireAuthority`](authority::WireAuthority): a
+//!   loopback UDP authoritative nameserver farm serving the `CdeInfra`
+//!   zones (honey records, CNAME farm, delegated subzone) with
+//!   `cde-dns` wire encoding, recording observed sources.
+//! * [`resolver`] — [`LoopbackResolver`](resolver::LoopbackResolver): a
+//!   loopback recursive-resolver shim backed by a simulated cache
+//!   platform, with injectable loss, for hermetic end-to-end tests.
+//! * [`scheduler`] — campaign execution: crossbeam worker pools, bounded
+//!   in-flight probes, token-bucket rate limiting, loss feedback into
+//!   `cde-core::planner`.
+//! * [`metrics`] — [`EngineMetrics`](metrics::EngineMetrics): atomic
+//!   counters and a latency histogram with a `snapshot()` API.
+//! * [`testbed`] — [`LiveTestbed`](testbed::LiveTestbed): the whole live
+//!   chain (transport → resolver → authority) launched on loopback in
+//!   one call.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod authority;
+pub mod clock;
+pub mod metrics;
+pub mod ratelimit;
+pub mod resolver;
+pub mod retry;
+pub mod scheduler;
+pub mod sim;
+pub mod testbed;
+pub mod transport;
+pub mod udp;
+
+pub use authority::WireAuthority;
+pub use clock::EngineClock;
+pub use metrics::{EngineMetrics, MetricsSnapshot};
+pub use ratelimit::{RateConfig, RateLimiter};
+pub use resolver::{LoopbackResolver, ResolverConfig};
+pub use retry::RetryPolicy;
+pub use scheduler::{run_campaign, CampaignOptions, CampaignReport, Probe, ProbeOutcome};
+pub use sim::SimTransport;
+pub use testbed::LiveTestbed;
+pub use transport::{EngineAccess, Transport, TransportReply};
+pub use udp::UdpTransport;

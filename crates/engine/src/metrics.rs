@@ -1,0 +1,276 @@
+//! Engine observability: lock-free counters and a latency histogram.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of exponential latency buckets. Bucket `i` covers
+/// `[BASE_US << i, BASE_US << (i + 1))` microseconds; the last bucket is
+/// open-ended.
+const BUCKETS: usize = 24;
+/// Lower edge of bucket 0, in microseconds.
+const BASE_US: u64 = 16;
+
+/// Shared atomic counters for one engine (transport + scheduler).
+///
+/// All methods take `&self`; the struct is designed to sit behind an
+/// `Arc` and be hammered from worker threads. `snapshot()` produces a
+/// consistent-enough point-in-time copy for reporting (individual loads
+/// are relaxed; exact cross-counter consistency is not needed for
+/// telemetry).
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    /// Datagrams handed to the OS (every attempt counts).
+    sent: AtomicU64,
+    /// Responses received and matched to an outstanding query.
+    received: AtomicU64,
+    /// Probes that exhausted every attempt without an answer.
+    timeouts: AtomicU64,
+    /// Re-transmissions after a per-attempt deadline.
+    retries: AtomicU64,
+    /// Times a sender had to wait for rate-limiter tokens.
+    rate_limit_stalls: AtomicU64,
+    /// Total time spent waiting on the rate limiter, in microseconds.
+    rate_limit_wait_us: AtomicU64,
+    /// Datagrams that arrived but failed wire decoding or ID matching.
+    decode_errors: AtomicU64,
+    /// Latency histogram (microsecond buckets, exponential).
+    latency_buckets: [AtomicU64; BUCKETS],
+    /// Sum of all recorded latencies, in microseconds.
+    latency_sum_us: AtomicU64,
+    /// Count of recorded latencies.
+    latency_count: AtomicU64,
+}
+
+impl EngineMetrics {
+    /// Creates a zeroed metrics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one datagram sent.
+    pub fn record_sent(&self) {
+        self.sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one matched response, with its round-trip time.
+    pub fn record_received(&self, rtt: Duration) {
+        self.received.fetch_add(1, Ordering::Relaxed);
+        let us = rtt.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+        self.latency_buckets[Self::bucket_for(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a probe that ran out of attempts.
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one retry (an attempt after the first).
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a rate-limiter stall of `waited`.
+    pub fn record_rate_limit_stall(&self, waited: Duration) {
+        self.rate_limit_stalls.fetch_add(1, Ordering::Relaxed);
+        self.rate_limit_wait_us.fetch_add(
+            waited.as_micros().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Records a datagram that could not be decoded/matched.
+    pub fn record_decode_error(&self) {
+        self.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn bucket_for(us: u64) -> usize {
+        if us < BASE_US {
+            return 0;
+        }
+        let idx = (64 - (us / BASE_US).leading_zeros()) as usize;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Takes a point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut latency_buckets = [0u64; BUCKETS];
+        for (dst, src) in latency_buckets.iter_mut().zip(&self.latency_buckets) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        MetricsSnapshot {
+            sent: self.sent.load(Ordering::Relaxed),
+            received: self.received.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            rate_limit_stalls: self.rate_limit_stalls.load(Ordering::Relaxed),
+            rate_limit_wait: Duration::from_micros(self.rate_limit_wait_us.load(Ordering::Relaxed)),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            latency_buckets,
+            latency_sum_us: self.latency_sum_us.load(Ordering::Relaxed),
+            latency_count: self.latency_count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`EngineMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Datagrams sent (attempts included).
+    pub sent: u64,
+    /// Matched responses received.
+    pub received: u64,
+    /// Probes that timed out after all attempts.
+    pub timeouts: u64,
+    /// Retransmissions.
+    pub retries: u64,
+    /// Rate-limiter stalls.
+    pub rate_limit_stalls: u64,
+    /// Cumulative time spent stalled on the rate limiter.
+    pub rate_limit_wait: Duration,
+    /// Undecodable/unmatched datagrams.
+    pub decode_errors: u64,
+    /// Latency histogram counts (exponential microsecond buckets).
+    pub latency_buckets: [u64; BUCKETS],
+    /// Sum of recorded latencies in microseconds.
+    pub latency_sum_us: u64,
+    /// Number of recorded latencies.
+    pub latency_count: u64,
+}
+
+impl MetricsSnapshot {
+    /// Observed datagram loss rate: unanswered sends over sends.
+    /// Retransmissions count as sends, so this tracks *wire* loss, not
+    /// probe-level failure.
+    pub fn loss_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            1.0 - (self.received as f64 / self.sent as f64).min(1.0)
+        }
+    }
+
+    /// Mean round-trip latency over all matched responses.
+    pub fn mean_latency(&self) -> Option<Duration> {
+        self.latency_sum_us
+            .checked_div(self.latency_count)
+            .map(Duration::from_micros)
+    }
+
+    /// Approximate latency quantile (`q` in `[0, 1]`) from the histogram:
+    /// upper edge of the bucket containing the q-th response.
+    pub fn latency_quantile(&self, q: f64) -> Option<Duration> {
+        if self.latency_count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.latency_count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &count) in self.latency_buckets.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                let upper_us = if i == 0 { BASE_US } else { BASE_US << i };
+                return Some(Duration::from_micros(upper_us));
+            }
+        }
+        Some(Duration::from_micros(BASE_US << (BUCKETS - 1)))
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "sent {}  received {}  timeouts {}  retries {}  decode errors {}",
+            self.sent, self.received, self.timeouts, self.retries, self.decode_errors
+        )?;
+        writeln!(
+            f,
+            "rate-limit stalls {} (total wait {:?})  wire loss {:.2}%",
+            self.rate_limit_stalls,
+            self.rate_limit_wait,
+            self.loss_rate() * 100.0
+        )?;
+        match (
+            self.mean_latency(),
+            self.latency_quantile(0.5),
+            self.latency_quantile(0.99),
+        ) {
+            (Some(mean), Some(p50), Some(p99)) => {
+                write!(f, "latency mean {mean:?}  p50 ≤ {p50:?}  p99 ≤ {p99:?}")
+            }
+            _ => write!(f, "latency: no samples"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = EngineMetrics::new();
+        m.record_sent();
+        m.record_sent();
+        m.record_received(Duration::from_micros(300));
+        m.record_retry();
+        m.record_timeout();
+        m.record_rate_limit_stall(Duration::from_millis(2));
+        m.record_decode_error();
+        let s = m.snapshot();
+        assert_eq!(s.sent, 2);
+        assert_eq!(s.received, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.rate_limit_stalls, 1);
+        assert_eq!(s.decode_errors, 1);
+        assert!(s.rate_limit_wait >= Duration::from_millis(2));
+        assert!((s.loss_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone() {
+        let m = EngineMetrics::new();
+        for us in [1u64, 20, 100, 1_000, 10_000, 100_000, 1_000_000] {
+            m.record_received(Duration::from_micros(us));
+        }
+        let s = m.snapshot();
+        assert_eq!(s.latency_count, 7);
+        let p50 = s.latency_quantile(0.5).unwrap();
+        let p99 = s.latency_quantile(0.99).unwrap();
+        assert!(p50 <= p99);
+        assert!(s.mean_latency().unwrap() > Duration::from_micros(100));
+    }
+
+    #[test]
+    fn quantiles_cover_edges() {
+        let m = EngineMetrics::new();
+        assert_eq!(m.snapshot().latency_quantile(0.5), None);
+        m.record_received(Duration::from_micros(64));
+        let s = m.snapshot();
+        assert!(s.latency_quantile(0.0).is_some());
+        assert!(s.latency_quantile(1.0).is_some());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        use std::sync::Arc;
+        let m = Arc::new(EngineMetrics::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    m.record_sent();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.snapshot().sent, 4000);
+    }
+}

@@ -1,0 +1,176 @@
+//! Token-bucket rate limiting for probe campaigns.
+//!
+//! Live probing must be polite twice over: a *global* budget caps the
+//! engine's aggregate send rate, and a *per-target* budget keeps any single
+//! ingress address from seeing a burst even when the global budget would
+//! allow it (the paper's measurements deliberately spread load for this
+//! reason). Both are classic token buckets; `acquire` blocks the calling
+//! worker until both buckets can pay.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::time::{Duration, Instant};
+
+/// Refill rate and burst capacity of one bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateConfig {
+    /// Sustained rate in tokens (probes) per second.
+    pub per_second: f64,
+    /// Bucket capacity: probes that may be sent back-to-back after idle.
+    pub burst: f64,
+}
+
+impl RateConfig {
+    /// A rate of `per_second` with a small default burst of 4.
+    pub fn per_second(per_second: f64) -> RateConfig {
+        RateConfig {
+            per_second,
+            burst: 4.0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Bucket {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl Bucket {
+    fn full(cfg: &RateConfig) -> Bucket {
+        Bucket {
+            tokens: cfg.burst,
+            last_refill: Instant::now(),
+        }
+    }
+
+    /// Takes one token, returning how long the caller must wait first.
+    fn debit(&mut self, cfg: &RateConfig) -> Duration {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.last_refill).as_secs_f64();
+        self.tokens = (self.tokens + elapsed * cfg.per_second).min(cfg.burst);
+        self.last_refill = now;
+        self.tokens -= 1.0;
+        if self.tokens >= 0.0 {
+            Duration::ZERO
+        } else {
+            // The deficit is repaid by future refill; the caller sleeps
+            // until the bucket is whole again.
+            Duration::from_secs_f64(-self.tokens / cfg.per_second)
+        }
+    }
+}
+
+/// A global plus optional per-target token-bucket limiter.
+///
+/// Thread-safe: campaign workers share one limiter behind an `Arc`.
+#[derive(Debug)]
+pub struct RateLimiter {
+    global_cfg: RateConfig,
+    global: Mutex<Bucket>,
+    per_target_cfg: Option<RateConfig>,
+    per_target: Mutex<HashMap<Ipv4Addr, Bucket>>,
+}
+
+impl RateLimiter {
+    /// Creates a limiter with a global budget and, optionally, a separate
+    /// budget applied to each distinct target address.
+    pub fn new(global: RateConfig, per_target: Option<RateConfig>) -> RateLimiter {
+        RateLimiter {
+            global: Mutex::new(Bucket::full(&global)),
+            global_cfg: global,
+            per_target_cfg: per_target,
+            per_target: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Computes the wait needed to send one probe to `target` now and
+    /// debits both buckets. Does not sleep.
+    pub fn debit(&self, target: Ipv4Addr) -> Duration {
+        let global_wait = self.global.lock().debit(&self.global_cfg);
+        let target_wait = match &self.per_target_cfg {
+            Some(cfg) => self
+                .per_target
+                .lock()
+                .entry(target)
+                .or_insert_with(|| Bucket::full(cfg))
+                .debit(cfg),
+            None => Duration::ZERO,
+        };
+        global_wait.max(target_wait)
+    }
+
+    /// Blocks until one probe to `target` is within budget; returns the
+    /// time actually waited.
+    pub fn acquire(&self, target: Ipv4Addr) -> Duration {
+        let wait = self.debit(target);
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
+        }
+        wait
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(192, 0, 2, d)
+    }
+
+    #[test]
+    fn burst_is_free_then_rate_applies() {
+        let limiter = RateLimiter::new(
+            RateConfig {
+                per_second: 1000.0,
+                burst: 8.0,
+            },
+            None,
+        );
+        for _ in 0..8 {
+            assert_eq!(limiter.debit(ip(1)), Duration::ZERO);
+        }
+        // The ninth probe must wait roughly one refill period.
+        let wait = limiter.debit(ip(1));
+        assert!(wait > Duration::ZERO);
+        assert!(wait <= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn per_target_budget_bites_before_global() {
+        let limiter = RateLimiter::new(
+            RateConfig {
+                per_second: 1_000_000.0,
+                burst: 1000.0,
+            },
+            Some(RateConfig {
+                per_second: 100.0,
+                burst: 1.0,
+            }),
+        );
+        assert_eq!(limiter.debit(ip(1)), Duration::ZERO);
+        // Second probe to the same target exceeds its budget...
+        assert!(limiter.debit(ip(1)) > Duration::ZERO);
+        // ...while a different target still has its own burst.
+        assert_eq!(limiter.debit(ip(2)), Duration::ZERO);
+    }
+
+    #[test]
+    fn sustained_rate_converges() {
+        let limiter = RateLimiter::new(
+            RateConfig {
+                per_second: 2000.0,
+                burst: 1.0,
+            },
+            None,
+        );
+        let t0 = Instant::now();
+        for _ in 0..20 {
+            limiter.acquire(ip(1));
+        }
+        // 20 probes at 2000/s need ≥ ~9.5 ms (first is burst).
+        assert!(t0.elapsed() >= Duration::from_millis(7));
+    }
+}

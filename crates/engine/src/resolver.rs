@@ -1,0 +1,471 @@
+//! The loopback resolver: a resolution platform behind real UDP sockets.
+//!
+//! [`LoopbackResolver`] stands in for the opaque DNS platform the paper
+//! measures from outside. It binds one `127.0.0.1` socket per virtual
+//! platform ingress and serves real DNS datagrams, answering from an
+//! in-process [`ResolutionPlatform`] (caches, clusters, selectors — the
+//! machinery under test). Every upstream query the platform makes is
+//! *replayed* over real UDP to a [`WireAuthority`], so the cache-miss
+//! traffic the measurement depends on crosses actual sockets, and the
+//! authority's source attribution sees the platform's virtual egresses.
+//!
+//! Loss is injected here — deterministically, from a seeded RNG — which
+//! is what makes retry/backoff behaviour testable hermetically.
+
+use crate::authority::{Observation, SourceRegistrar, WireAuthority};
+use crate::clock::EngineClock;
+use cde_dns::{Message, Question, Rcode};
+use cde_netsim::DetRng;
+use cde_platform::{NameserverNet, ResolutionPlatform, ResolveResult};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rand::Rng;
+use std::collections::HashMap;
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+const MAX_DATAGRAM: usize = 4096;
+/// Sleep between polls when no socket had traffic.
+const IDLE_SLEEP: Duration = Duration::from_micros(200);
+/// How long a replayed upstream query waits for the authority's answer.
+const REPLAY_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Behaviour knobs for the loopback platform front-end.
+#[derive(Debug, Clone, Copy)]
+pub struct ResolverConfig {
+    /// Probability an inbound client query is silently dropped.
+    pub query_loss: f64,
+    /// Probability a computed response is silently dropped.
+    pub response_loss: f64,
+    /// Seed for the loss/latency RNG (deterministic runs).
+    pub seed: u64,
+    /// Fraction of the platform's simulated latency actually slept
+    /// before responding (0.0 = answer immediately).
+    pub latency_scale: f64,
+}
+
+impl Default for ResolverConfig {
+    fn default() -> ResolverConfig {
+        ResolverConfig {
+            query_loss: 0.0,
+            response_loss: 0.0,
+            seed: 0,
+            latency_scale: 0.0,
+        }
+    }
+}
+
+enum Control {
+    /// Replace the resolver's authoritative world snapshot.
+    Sync(NameserverNet),
+}
+
+/// Clone-able handle pushing zone snapshots to the resolver thread.
+#[derive(Clone)]
+pub struct ResolverSync {
+    ctl: Sender<Control>,
+}
+
+impl ResolverSync {
+    /// Ships a fresh snapshot of the authoritative world.
+    pub fn sync(&self, net: &NameserverNet) {
+        let mut snapshot = net.clone();
+        snapshot.clear_logs();
+        let _ = self.ctl.send(Control::Sync(snapshot));
+    }
+}
+
+/// A resolution platform listening on real loopback UDP sockets.
+pub struct LoopbackResolver {
+    ingress_addrs: HashMap<Ipv4Addr, SocketAddr>,
+    sync: ResolverSync,
+    obs_rx: Receiver<Observation>,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl LoopbackResolver {
+    /// Binds one socket per platform ingress and starts serving.
+    ///
+    /// When `authority` is given, every upstream query the platform makes
+    /// is replayed to it over real UDP, attributed to the platform egress
+    /// that made it.
+    pub fn launch(
+        platform: ResolutionPlatform,
+        net: NameserverNet,
+        authority: Option<&WireAuthority>,
+        cfg: ResolverConfig,
+        clock: EngineClock,
+    ) -> io::Result<LoopbackResolver> {
+        let mut ingress_addrs = HashMap::new();
+        let mut sockets = Vec::new();
+        for &ingress in platform.ingress_ips() {
+            let socket = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
+            socket.set_nonblocking(true)?;
+            ingress_addrs.insert(ingress, socket.local_addr()?);
+            sockets.push((ingress, socket));
+        }
+        let (ctl_tx, ctl_rx) = unbounded();
+        let (obs_tx, obs_rx) = unbounded();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let authority_link = authority.map(|a| (a.addrs().clone(), a.registrar()));
+        let handle = std::thread::spawn({
+            let shutdown = Arc::clone(&shutdown);
+            move || {
+                run(
+                    platform,
+                    net,
+                    sockets,
+                    ctl_rx,
+                    obs_tx,
+                    authority_link,
+                    cfg,
+                    clock,
+                    shutdown,
+                )
+            }
+        });
+        Ok(LoopbackResolver {
+            ingress_addrs,
+            sync: ResolverSync { ctl: ctl_tx },
+            obs_rx,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The real socket standing in for virtual ingress `ingress`.
+    pub fn addr_of(&self, ingress: Ipv4Addr) -> Option<SocketAddr> {
+        self.ingress_addrs.get(&ingress).copied()
+    }
+
+    /// Virtual-ingress → real-socket table.
+    pub fn ingress_addrs(&self) -> &HashMap<Ipv4Addr, SocketAddr> {
+        &self.ingress_addrs
+    }
+
+    /// Zone-snapshot push handle (clone-able, thread-safe).
+    pub fn syncer(&self) -> ResolverSync {
+        self.sync.clone()
+    }
+
+    /// Drains the upstream queries observed since the last call.
+    pub fn take_observations(&self) -> Vec<Observation> {
+        self.obs_rx.try_iter().collect()
+    }
+
+    /// A clone of the observation stream, for a transport to drain.
+    pub fn observations(&self) -> Receiver<Observation> {
+        self.obs_rx.clone()
+    }
+}
+
+impl Drop for LoopbackResolver {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for LoopbackResolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoopbackResolver")
+            .field("ingress_addrs", &self.ingress_addrs)
+            .finish()
+    }
+}
+
+/// Replays upstream queries observed in the local net to the wire
+/// authority, one real socket per virtual egress.
+struct Replayer {
+    addrs: HashMap<Ipv4Addr, SocketAddr>,
+    registrar: SourceRegistrar,
+    sockets: HashMap<Ipv4Addr, UdpSocket>,
+    rng: DetRng,
+}
+
+impl Replayer {
+    fn replay(&mut self, server_vaddr: Ipv4Addr, egress: Ipv4Addr, question: &Question) {
+        let Some(&target) = self.addrs.get(&server_vaddr) else {
+            return;
+        };
+        let id: u16 = self.rng.gen();
+        let socket = match self.socket_for(egress) {
+            Some(s) => s,
+            None => return,
+        };
+        let query = Message::query(id, question.clone());
+        let Ok(bytes) = query.encode() else { return };
+        if socket.send_to(&bytes, target).is_err() {
+            return;
+        }
+        // Wait (briefly) for the authority's reply so the wire round trip
+        // completes before the client sees its own response.
+        let mut buf = [0u8; MAX_DATAGRAM];
+        let _ = socket.recv_from(&mut buf);
+    }
+
+    fn socket_for(&mut self, egress: Ipv4Addr) -> Option<&UdpSocket> {
+        if !self.sockets.contains_key(&egress) {
+            let socket = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).ok()?;
+            socket.set_read_timeout(Some(REPLAY_TIMEOUT)).ok()?;
+            self.registrar
+                .register(socket.local_addr().ok()?.port(), egress);
+            self.sockets.insert(egress, socket);
+        }
+        self.sockets.get(&egress)
+    }
+}
+
+/// The resolver thread's main loop.
+#[allow(clippy::too_many_arguments)]
+fn run(
+    mut platform: ResolutionPlatform,
+    mut net: NameserverNet,
+    sockets: Vec<(Ipv4Addr, UdpSocket)>,
+    ctl_rx: Receiver<Control>,
+    obs_tx: Sender<Observation>,
+    authority_link: Option<(HashMap<Ipv4Addr, SocketAddr>, SourceRegistrar)>,
+    cfg: ResolverConfig,
+    clock: EngineClock,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut rng = DetRng::seed(cfg.seed).fork("loopback-resolver");
+    let mut replayer = authority_link.map(|(addrs, registrar)| Replayer {
+        addrs,
+        registrar,
+        sockets: HashMap::new(),
+        rng: DetRng::seed(cfg.seed).fork("replayer"),
+    });
+    let mut buf = [0u8; MAX_DATAGRAM];
+    while !shutdown.load(Ordering::SeqCst) {
+        // Zone edits first, so a snapshot pushed before a probe arrives is
+        // always visible to that probe's resolution.
+        while let Ok(Control::Sync(snapshot)) = ctl_rx.try_recv() {
+            net = snapshot;
+        }
+        let mut idle = true;
+        for (ingress, socket) in &sockets {
+            let (len, peer) = match socket.recv_from(&mut buf) {
+                Ok(ok) => ok,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+                Err(_) => continue,
+            };
+            idle = false;
+            handle_datagram(
+                &mut platform,
+                &mut net,
+                *ingress,
+                socket,
+                &buf[..len],
+                peer,
+                &mut rng,
+                &mut replayer,
+                &obs_tx,
+                &cfg,
+                clock,
+            );
+        }
+        if idle {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_datagram(
+    platform: &mut ResolutionPlatform,
+    net: &mut NameserverNet,
+    ingress: Ipv4Addr,
+    socket: &UdpSocket,
+    datagram: &[u8],
+    peer: SocketAddr,
+    rng: &mut DetRng,
+    replayer: &mut Option<Replayer>,
+    obs_tx: &Sender<Observation>,
+    cfg: &ResolverConfig,
+    clock: EngineClock,
+) {
+    // Untrusted bytes from the wire: drop anything malformed.
+    let Ok(query) = Message::decode(datagram) else {
+        return;
+    };
+    if query.is_response() {
+        return;
+    }
+    let Some(question) = query.question().cloned() else {
+        return;
+    };
+    // Injected request-direction loss: the query never "reaches" us.
+    if cfg.query_loss > 0.0 && rng.gen_bool(cfg.query_loss) {
+        return;
+    }
+    // Each distinct client port is a distinct synthetic client address, so
+    // the platform's per-client behaviour (selectors, logs) still varies.
+    let client = synth_client(peer);
+    // Fresh logs so everything after handle_query is this query's traffic.
+    net.clear_logs();
+    let response = platform.handle_query(
+        client,
+        ingress,
+        question.qname(),
+        question.qtype(),
+        clock.now(),
+        net,
+    );
+    // Stream the upstream queries this resolution caused: replay each over
+    // real UDP to the authority, then hand the observation (with its true
+    // virtual egress) to whoever owns the canonical net.
+    for server in net.servers() {
+        let vaddr = server.addr();
+        for entry in server.log() {
+            if let Some(replayer) = replayer.as_mut() {
+                replayer.replay(
+                    vaddr,
+                    entry.from,
+                    &Question::new(entry.qname.clone(), entry.qtype),
+                );
+            }
+            let _ = obs_tx.send((vaddr, entry.clone()));
+        }
+    }
+    net.clear_logs();
+
+    let mut resp = Message::response_to(&query);
+    match response {
+        Ok(platform_response) => {
+            let outcome = platform_response.outcome;
+            match outcome.result {
+                ResolveResult::Records(records) => {
+                    resp.answers = records;
+                }
+                ResolveResult::NxDomain => resp.flags.rcode = Rcode::NxDomain,
+                ResolveResult::NoData => {}
+                ResolveResult::ServFail => resp.flags.rcode = Rcode::ServFail,
+            }
+            if cfg.latency_scale > 0.0 {
+                std::thread::sleep(Duration::from_micros(
+                    (outcome.latency.as_micros() as f64 * cfg.latency_scale) as u64,
+                ));
+            }
+        }
+        // A query for an address that is not an ingress of this platform:
+        // answer REFUSED, as a real open resolver would.
+        Err(_) => resp.flags.rcode = Rcode::Refused,
+    }
+    // Injected response-direction loss: the answer is computed (caches
+    // warmed, honey fetched) but never arrives.
+    if cfg.response_loss > 0.0 && rng.gen_bool(cfg.response_loss) {
+        return;
+    }
+    if let Ok(bytes) = resp.encode() {
+        let _ = socket.send_to(&bytes, peer);
+    }
+}
+
+/// Maps a real loopback peer to a synthetic client address in the CGNAT
+/// range (`100.64.0.0/10`), one per source port.
+fn synth_client(peer: SocketAddr) -> Ipv4Addr {
+    let port = peer.port();
+    Ipv4Addr::new(100, 64, (port >> 8) as u8, (port & 0xff) as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cde_dns::RecordType;
+    use cde_platform::{PlatformBuilder, SelectorKind};
+
+    fn n(s: &str) -> cde_dns::Name {
+        s.parse().unwrap()
+    }
+
+    /// Installs CDE infra, opens one session, launches a resolver over it.
+    fn launch_simple(cfg: ResolverConfig) -> (LoopbackResolver, Ipv4Addr, cde_dns::Name) {
+        let mut net = NameserverNet::new();
+        let mut infra = cde_core::CdeInfra::install(&mut net);
+        let session = infra.new_session(&mut net, 0);
+        let ingress = Ipv4Addr::new(192, 0, 2, 1);
+        let platform = PlatformBuilder::new(17)
+            .ingress(vec![ingress])
+            .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+            .cluster(2, SelectorKind::Random)
+            .build();
+        let resolver =
+            LoopbackResolver::launch(platform, net, None, cfg, EngineClock::start()).unwrap();
+        (resolver, ingress, session.honey)
+    }
+
+    fn ask(addr: SocketAddr, id: u16, qname: &cde_dns::Name) -> Option<Message> {
+        let sock = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        sock.set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        let query = Message::query(id, Question::new(qname.clone(), RecordType::A));
+        sock.send_to(&query.encode().unwrap(), addr).unwrap();
+        let mut buf = [0u8; MAX_DATAGRAM];
+        let (len, _) = sock.recv_from(&mut buf).ok()?;
+        Message::decode(&buf[..len]).ok()
+    }
+
+    #[test]
+    fn resolves_cde_zone_names_over_real_udp() {
+        let (resolver, ingress, honey) = launch_simple(ResolverConfig::default());
+        let addr = resolver.addr_of(ingress).unwrap();
+        let resp = ask(addr, 0x1234, &honey).unwrap();
+        assert_eq!(resp.id, 0x1234);
+        assert_eq!(resp.flags.rcode, Rcode::NoError);
+        assert!(!resp.answers.is_empty());
+        // The upstream fetch surfaced as an observation.
+        let obs = resolver.take_observations();
+        assert!(!obs.is_empty());
+    }
+
+    #[test]
+    fn nxdomain_is_propagated() {
+        let (resolver, ingress, _) = launch_simple(ResolverConfig::default());
+        let addr = resolver.addr_of(ingress).unwrap();
+        let resp = ask(addr, 7, &n("no-such-name.cache.example")).unwrap();
+        assert_eq!(resp.flags.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn total_query_loss_times_out() {
+        let (resolver, ingress, honey) = launch_simple(ResolverConfig {
+            query_loss: 1.0,
+            ..ResolverConfig::default()
+        });
+        let addr = resolver.addr_of(ingress).unwrap();
+        assert!(ask(addr, 9, &honey).is_none());
+    }
+
+    #[test]
+    fn zone_sync_exposes_new_honey_records() {
+        let mut net = NameserverNet::new();
+        let mut infra = cde_core::CdeInfra::install(&mut net);
+        let ingress = Ipv4Addr::new(192, 0, 2, 1);
+        let platform = PlatformBuilder::new(23)
+            .ingress(vec![ingress])
+            .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+            .cluster(1, SelectorKind::Random)
+            .build();
+        let resolver = LoopbackResolver::launch(
+            platform,
+            net.clone(),
+            None,
+            ResolverConfig::default(),
+            EngineClock::start(),
+        )
+        .unwrap();
+        let addr = resolver.addr_of(ingress).unwrap();
+        // Plant a session honey record in the canonical net and sync it.
+        let session = infra.new_session(&mut net, 0);
+        resolver.syncer().sync(&net);
+        let resp = ask(addr, 11, &session.honey).unwrap();
+        assert_eq!(resp.flags.rcode, Rcode::NoError);
+    }
+}

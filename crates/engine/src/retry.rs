@@ -1,0 +1,148 @@
+//! Timeout, retry and backoff policy for wire probes.
+//!
+//! UDP gives no delivery guarantee, so every probe carries a read deadline
+//! and a bounded retransmission schedule. Exponential backoff with jitter
+//! avoids retransmit synchronisation across campaign workers — without the
+//! jitter, a burst of probes lost to one congestion event would all
+//! retransmit in lock-step and lose again.
+
+use rand::Rng;
+use std::time::Duration;
+
+/// Retransmission schedule for one probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, the initial send included. At least 1.
+    pub attempts: u32,
+    /// Read deadline for the first attempt.
+    pub timeout: Duration,
+    /// Multiplier applied to the deadline and delay per retry (≥ 1.0).
+    pub backoff: f64,
+    /// Delay before the first retransmission.
+    pub base_delay: Duration,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by a uniform
+    /// factor from `[1 − jitter, 1 + jitter]`.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 3,
+            timeout: Duration::from_millis(500),
+            backoff: 2.0,
+            base_delay: Duration::from_millis(20),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A single-attempt policy with the given read deadline.
+    pub fn single(timeout: Duration) -> RetryPolicy {
+        RetryPolicy {
+            attempts: 1,
+            timeout,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Read deadline for `attempt` (0-based): `timeout · backoff^attempt`.
+    pub fn timeout_for(&self, attempt: u32) -> Duration {
+        scale(self.timeout, self.backoff.powi(attempt as i32))
+    }
+
+    /// Jittered pause before retransmission number `attempt` (1-based;
+    /// attempt 0 is the initial send and has no pause).
+    pub fn delay_before<R: Rng + ?Sized>(&self, attempt: u32, rng: &mut R) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let base = scale(self.base_delay, self.backoff.powi(attempt as i32 - 1));
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        let factor = if jitter > 0.0 {
+            1.0 - jitter + rng.gen_range(0.0..(2.0 * jitter))
+        } else {
+            1.0
+        };
+        scale(base, factor)
+    }
+
+    /// Worst-case wall time one probe can consume under this policy.
+    pub fn worst_case(&self) -> Duration {
+        let mut total = Duration::ZERO;
+        for attempt in 0..self.attempts.max(1) {
+            total += self.timeout_for(attempt);
+            if attempt > 0 {
+                // Upper bound of the jittered delay.
+                total += scale(
+                    scale(self.base_delay, self.backoff.powi(attempt as i32 - 1)),
+                    1.0 + self.jitter.clamp(0.0, 1.0),
+                );
+            }
+        }
+        total
+    }
+}
+
+fn scale(d: Duration, factor: f64) -> Duration {
+    Duration::from_secs_f64((d.as_secs_f64() * factor).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cde_netsim::DetRng;
+
+    #[test]
+    fn deadlines_grow_exponentially() {
+        let p = RetryPolicy {
+            attempts: 3,
+            timeout: Duration::from_millis(100),
+            backoff: 2.0,
+            base_delay: Duration::from_millis(10),
+            jitter: 0.0,
+        };
+        assert_eq!(p.timeout_for(0), Duration::from_millis(100));
+        assert_eq!(p.timeout_for(1), Duration::from_millis(200));
+        assert_eq!(p.timeout_for(2), Duration::from_millis(400));
+    }
+
+    #[test]
+    fn jitter_spreads_delays() {
+        let p = RetryPolicy {
+            jitter: 0.5,
+            ..RetryPolicy::default()
+        };
+        let mut rng = DetRng::seed(7);
+        let lo = Duration::from_secs_f64(p.base_delay.as_secs_f64() * 0.5);
+        let hi = Duration::from_secs_f64(p.base_delay.as_secs_f64() * 1.5);
+        let mut distinct = std::collections::BTreeSet::new();
+        for _ in 0..32 {
+            let d = p.delay_before(1, &mut rng);
+            assert!(d >= lo && d <= hi, "delay {d:?} outside [{lo:?}, {hi:?}]");
+            distinct.insert(d.as_nanos());
+        }
+        assert!(distinct.len() > 16, "jitter should vary the delays");
+    }
+
+    #[test]
+    fn initial_attempt_has_no_delay() {
+        let mut rng = DetRng::seed(1);
+        assert_eq!(
+            RetryPolicy::default().delay_before(0, &mut rng),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn worst_case_bounds_every_schedule() {
+        let p = RetryPolicy::default();
+        let mut rng = DetRng::seed(3);
+        let mut total = Duration::ZERO;
+        for attempt in 0..p.attempts {
+            total += p.timeout_for(attempt) + p.delay_before(attempt, &mut rng);
+        }
+        assert!(total <= p.worst_case());
+    }
+}

@@ -1,0 +1,73 @@
+//! One-call hermetic live deployments.
+//!
+//! [`LiveTestbed`] wires the full live chain together on loopback:
+//!
+//! ```text
+//! UdpTransport ──UDP──▶ LoopbackResolver(platform) ──UDP──▶ WireAuthority
+//!      ▲                        │ observations                   │
+//!      └────────────────────────┴────────── zone sync ◀──────────┘
+//! ```
+//!
+//! Everything binds `127.0.0.1:0`, so tests and examples run anywhere
+//! with no fixtures, no privileges and no port collisions.
+
+use crate::authority::WireAuthority;
+use crate::clock::EngineClock;
+use crate::resolver::{LoopbackResolver, ResolverConfig};
+use crate::retry::RetryPolicy;
+use crate::udp::UdpTransport;
+use cde_platform::{NameserverNet, ResolutionPlatform};
+use std::io;
+
+/// A launched authority + resolver pair over one platform and world.
+#[derive(Debug)]
+pub struct LiveTestbed {
+    authority: WireAuthority,
+    resolver: LoopbackResolver,
+    initial_net: NameserverNet,
+}
+
+impl LiveTestbed {
+    /// Launches the wire authority for `net` and a loopback resolver
+    /// serving `platform`, with upstream replay wired between them.
+    pub fn launch(
+        platform: ResolutionPlatform,
+        net: NameserverNet,
+        cfg: ResolverConfig,
+    ) -> io::Result<LiveTestbed> {
+        let clock = EngineClock::start();
+        let authority = WireAuthority::launch(&net, clock)?;
+        let resolver =
+            LoopbackResolver::launch(platform, net.clone(), Some(&authority), cfg, clock)?;
+        Ok(LiveTestbed {
+            authority,
+            resolver,
+            initial_net: net,
+        })
+    }
+
+    /// A live transport over this testbed, owning a canonical copy of the
+    /// authoritative world.
+    ///
+    /// The resolver's observation stream is drained by whichever transport
+    /// reads it first — create one transport per testbed.
+    pub fn transport(&self, policy: RetryPolicy, seed: u64) -> io::Result<UdpTransport> {
+        UdpTransport::connect(
+            &self.resolver,
+            Some(&self.authority),
+            self.initial_net.clone(),
+            policy,
+            seed,
+        )
+    }
+
+    /// The wire authority (source logs, served-query counter).
+    pub fn authority(&self) -> &WireAuthority {
+        &self.authority
+    }
+
+    /// The loopback resolver front-end.
+    pub fn resolver(&self) -> &LoopbackResolver {
+        &self.resolver
+    }
+}

@@ -1,0 +1,371 @@
+//! The live transport: CDE probes over real UDP sockets.
+//!
+//! [`UdpTransport`] is the engine's wire backend. Each probe is a real DNS
+//! datagram sent from a pooled socket (ephemeral port, fresh random query
+//! id per attempt — the classic anti-spoofing hygiene) toward whatever
+//! serves the target ingress, with a read deadline, bounded retransmission
+//! and jittered backoff from [`RetryPolicy`], and optional token-bucket
+//! pacing from [`RateLimiter`].
+//!
+//! The transport owns the canonical [`NameserverNet`]. Zone edits made
+//! through [`Transport::net_mut`] are pushed to the serving side (resolver
+//! and authority) before the next probe; queries observed at the serving
+//! side flow back and are folded into the canonical logs after each probe,
+//! so `cde-core`'s honey counting reads exactly what it reads in the
+//! simulator.
+
+use crate::authority::{AuthoritySync, Observation, WireAuthority};
+use crate::metrics::EngineMetrics;
+use crate::ratelimit::RateLimiter;
+use crate::resolver::{LoopbackResolver, ResolverSync};
+use crate::retry::RetryPolicy;
+use crate::transport::{Transport, TransportReply};
+use cde_core::AccessProvider;
+use cde_dns::{Message, Name, Question, RecordType};
+use cde_netsim::{DetRng, SimDuration, SimTime};
+use cde_platform::NameserverNet;
+use crossbeam::channel::Receiver;
+use rand::Rng;
+use std::collections::HashMap;
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const MAX_DATAGRAM: usize = 4096;
+/// Sockets in the source pool; ports rotate across attempts.
+const DEFAULT_POOL: usize = 4;
+
+/// Back-channel to the serving side of a live deployment.
+struct SyncLink {
+    resolver: ResolverSync,
+    authority: Option<AuthoritySync>,
+    observations: Receiver<Observation>,
+}
+
+/// [`Transport`] over real UDP sockets.
+pub struct UdpTransport {
+    net: NameserverNet,
+    targets: HashMap<Ipv4Addr, SocketAddr>,
+    sockets: Vec<UdpSocket>,
+    next_socket: usize,
+    rng: DetRng,
+    policy: RetryPolicy,
+    limiter: Option<Arc<RateLimiter>>,
+    link: Option<SyncLink>,
+    metrics: Arc<EngineMetrics>,
+    dirty: bool,
+}
+
+impl UdpTransport {
+    /// Wires a transport to a launched [`LoopbackResolver`] (and, when the
+    /// resolver replays upstream traffic, its [`WireAuthority`]).
+    ///
+    /// `net` is the canonical authoritative world — normally the same net
+    /// the resolver/authority were launched from.
+    pub fn connect(
+        resolver: &LoopbackResolver,
+        authority: Option<&WireAuthority>,
+        net: NameserverNet,
+        policy: RetryPolicy,
+        seed: u64,
+    ) -> io::Result<UdpTransport> {
+        let mut transport =
+            UdpTransport::direct(resolver.ingress_addrs().clone(), net, policy, seed)?;
+        transport.link = Some(SyncLink {
+            resolver: resolver.syncer(),
+            authority: authority.map(WireAuthority::syncer),
+            observations: resolver.observations(),
+        });
+        Ok(transport)
+    }
+
+    /// A transport aimed at arbitrary `targets` with no serving-side
+    /// back-channel — probes go out, observations do not come back.
+    /// (Useful against external servers, or in tests of the send path.)
+    pub fn direct(
+        targets: HashMap<Ipv4Addr, SocketAddr>,
+        net: NameserverNet,
+        policy: RetryPolicy,
+        seed: u64,
+    ) -> io::Result<UdpTransport> {
+        let mut sockets = Vec::with_capacity(DEFAULT_POOL);
+        for _ in 0..DEFAULT_POOL {
+            // 127.0.0.1:0 — the OS picks an unpredictable ephemeral port,
+            // which is the source-port randomisation the probe needs.
+            let socket = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
+            sockets.push(socket);
+        }
+        Ok(UdpTransport {
+            net,
+            targets,
+            sockets,
+            next_socket: 0,
+            rng: DetRng::seed(seed).fork("udp-transport"),
+            policy,
+            limiter: None,
+            link: None,
+            metrics: Arc::new(EngineMetrics::new()),
+            dirty: true,
+        })
+    }
+
+    /// Attaches a shared rate limiter; every probe then pays its buckets.
+    pub fn with_rate_limiter(mut self, limiter: Arc<RateLimiter>) -> UdpTransport {
+        self.limiter = Some(limiter);
+        self
+    }
+
+    /// The transport's retry policy.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Per-attempt wire loss observed so far (`1 − received/sent`); the
+    /// number the campaign feeds back into `cde-core`'s planner.
+    pub fn observed_loss_rate(&self) -> f64 {
+        self.metrics.snapshot().loss_rate()
+    }
+
+    /// Pushes zone snapshots to the serving side if the canonical net has
+    /// been edited since the last sync.
+    fn sync_if_dirty(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        if let Some(link) = &self.link {
+            link.resolver.sync(&self.net);
+            if let Some(authority) = &link.authority {
+                authority.sync(&self.net);
+            }
+        }
+        self.dirty = false;
+    }
+
+    /// Folds queries observed at the serving side into the canonical net.
+    fn drain_observations(&mut self) {
+        let Some(link) = &self.link else { return };
+        for (vaddr, entry) in link.observations.try_iter() {
+            if let Some(server) = self.net.server_mut(vaddr) {
+                server.record_query(entry);
+            }
+        }
+    }
+
+    /// One attempt: send the query, wait out the deadline for a matching
+    /// response, tolerating (and counting) strays and garbage.
+    fn attempt(
+        &mut self,
+        target: SocketAddr,
+        qname: &Name,
+        qtype: RecordType,
+        deadline: Duration,
+    ) -> Option<(Duration, cde_dns::Rcode)> {
+        let id: u16 = self.rng.gen();
+        let query = Message::query(id, Question::new(qname.clone(), qtype));
+        let bytes = query.encode().ok()?;
+        let socket = &self.sockets[self.next_socket];
+        self.next_socket = (self.next_socket + 1) % self.sockets.len();
+        socket.send_to(&bytes, target).ok()?;
+        self.metrics.record_sent();
+        let start = Instant::now();
+        let mut buf = [0u8; MAX_DATAGRAM];
+        loop {
+            let elapsed = start.elapsed();
+            if elapsed >= deadline {
+                return None;
+            }
+            // Never pass a zero timeout: set_read_timeout rejects it.
+            socket.set_read_timeout(Some(deadline - elapsed)).ok()?;
+            let (len, _) = match socket.recv_from(&mut buf) {
+                Ok(ok) => ok,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return None;
+                }
+                Err(_) => return None,
+            };
+            let msg = match Message::decode(&buf[..len]) {
+                Ok(msg) => msg,
+                Err(_) => {
+                    // Garbage on our port: count it, keep waiting.
+                    self.metrics.record_decode_error();
+                    continue;
+                }
+            };
+            if !msg.is_response() || msg.id != id {
+                // A stray or stale datagram, not our answer.
+                continue;
+            }
+            return Some((start.elapsed(), msg.flags.rcode));
+        }
+    }
+}
+
+impl std::fmt::Debug for UdpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdpTransport")
+            .field("targets", &self.targets)
+            .field("pool", &self.sockets.len())
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+impl Transport for UdpTransport {
+    fn query(
+        &mut self,
+        ingress: Ipv4Addr,
+        qname: &Name,
+        qtype: RecordType,
+        _now: SimTime,
+    ) -> TransportReply {
+        self.sync_if_dirty();
+        let Some(&target) = self.targets.get(&ingress) else {
+            // No route to this ingress — indistinguishable from loss.
+            self.metrics.record_timeout();
+            return TransportReply::TimedOut;
+        };
+        if let Some(limiter) = &self.limiter {
+            let waited = limiter.acquire(ingress);
+            if !waited.is_zero() {
+                self.metrics.record_rate_limit_stall(waited);
+            }
+        }
+        for attempt in 0..self.policy.attempts.max(1) {
+            if attempt > 0 {
+                self.metrics.record_retry();
+                let pause = self.policy.delay_before(attempt, &mut self.rng);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+            }
+            let deadline = self.policy.timeout_for(attempt);
+            if let Some((rtt, rcode)) = self.attempt(target, qname, qtype, deadline) {
+                self.metrics.record_received(rtt);
+                self.drain_observations();
+                return TransportReply::Answered {
+                    latency: Some(SimDuration::from_micros(rtt.as_micros() as u64)),
+                    rcode,
+                };
+            }
+        }
+        self.metrics.record_timeout();
+        // The query may have reached the platform even though no response
+        // made it back — collect whatever the serving side saw.
+        self.drain_observations();
+        TransportReply::TimedOut
+    }
+
+    fn net(&self) -> &NameserverNet {
+        &self.net
+    }
+
+    fn net_mut(&mut self) -> &mut NameserverNet {
+        self.dirty = true;
+        &mut self.net
+    }
+
+    fn metrics(&self) -> Arc<EngineMetrics> {
+        Arc::clone(&self.metrics)
+    }
+}
+
+impl AccessProvider for UdpTransport {
+    type Channel<'a>
+        = crate::transport::EngineAccess<'a, UdpTransport>
+    where
+        Self: 'a;
+
+    fn channel(&mut self, ingress: Ipv4Addr) -> Self::Channel<'_> {
+        crate::transport::EngineAccess::new(self, ingress)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unroutable_ingress_times_out_and_counts() {
+        let mut transport = UdpTransport::direct(
+            HashMap::new(),
+            NameserverNet::new(),
+            RetryPolicy::single(Duration::from_millis(10)),
+            5,
+        )
+        .unwrap();
+        let qname: Name = "x.example".parse().unwrap();
+        let reply = transport.query(
+            Ipv4Addr::new(192, 0, 2, 1),
+            &qname,
+            RecordType::A,
+            SimTime::ZERO,
+        );
+        assert_eq!(reply, TransportReply::TimedOut);
+        assert_eq!(transport.metrics().snapshot().timeouts, 1);
+    }
+
+    #[test]
+    fn silent_target_exhausts_retries() {
+        // A bound socket nobody serves: every attempt must time out.
+        let sink = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let mut targets = HashMap::new();
+        let ingress = Ipv4Addr::new(192, 0, 2, 1);
+        targets.insert(ingress, sink.local_addr().unwrap());
+        let policy = RetryPolicy {
+            attempts: 3,
+            timeout: Duration::from_millis(5),
+            backoff: 1.0,
+            base_delay: Duration::from_millis(1),
+            jitter: 0.5,
+        };
+        let mut transport = UdpTransport::direct(targets, NameserverNet::new(), policy, 6).unwrap();
+        let qname: Name = "y.example".parse().unwrap();
+        let reply = transport.query(ingress, &qname, RecordType::A, SimTime::ZERO);
+        assert_eq!(reply, TransportReply::TimedOut);
+        let snap = transport.metrics().snapshot();
+        assert_eq!(snap.sent, 3);
+        assert_eq!(snap.retries, 2);
+        assert_eq!(snap.timeouts, 1);
+        assert_eq!(snap.received, 0);
+        assert!(snap.loss_rate() > 0.99);
+    }
+
+    #[test]
+    fn garbage_then_answer_is_tolerated() {
+        // An echo-ish server: first sends garbage, then a real answer.
+        let server = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        server
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let server_addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut buf = [0u8; MAX_DATAGRAM];
+            let (len, peer) = server.recv_from(&mut buf).unwrap();
+            let query = Message::decode(&buf[..len]).unwrap();
+            server.send_to(&[0xde, 0xad], peer).unwrap();
+            let resp = Message::response_to(&query);
+            server.send_to(&resp.encode().unwrap(), peer).unwrap();
+        });
+        let mut targets = HashMap::new();
+        let ingress = Ipv4Addr::new(192, 0, 2, 9);
+        targets.insert(ingress, server_addr);
+        let mut transport = UdpTransport::direct(
+            targets,
+            NameserverNet::new(),
+            RetryPolicy::single(Duration::from_secs(2)),
+            7,
+        )
+        .unwrap();
+        let qname: Name = "z.example".parse().unwrap();
+        let reply = transport.query(ingress, &qname, RecordType::A, SimTime::ZERO);
+        assert!(reply.is_answered());
+        let snap = transport.metrics().snapshot();
+        assert_eq!(snap.decode_errors, 1);
+        assert_eq!(snap.received, 1);
+        handle.join().unwrap();
+    }
+}

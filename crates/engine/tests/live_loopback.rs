@@ -1,0 +1,219 @@
+//! Hermetic end-to-end tests of the live measurement chain.
+//!
+//! Everything here runs over *real* UDP datagrams on loopback:
+//!
+//! ```text
+//! enumerate_adaptive ──▶ UdpTransport ──▶ LoopbackResolver(platform)
+//!                                              │ upstream replay
+//!                                              ▼
+//!                                         WireAuthority
+//! ```
+//!
+//! The assertions mirror the simulator's: the paper's enumeration recovers
+//! the planted cache count, now across actual sockets — and keeps
+//! recovering it when the wire deterministically drops queries.
+
+use cde_core::{enumerate_adaptive, AccessProvider, CdeInfra, SurveyOptions};
+use cde_engine::scheduler::{run_campaign, CampaignOptions, Probe};
+use cde_engine::{
+    EngineAccess, LiveTestbed, RateConfig, RateLimiter, ResolverConfig, RetryPolicy, SimTransport,
+    Transport, UdpTransport,
+};
+use cde_netsim::{Link, SimTime};
+use cde_platform::{NameserverNet, PlatformBuilder, ResolutionPlatform, SelectorKind};
+use cde_probers::DirectProber;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+use std::time::Duration;
+
+const INGRESS: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+
+fn build_world(caches: usize, seed: u64) -> (ResolutionPlatform, NameserverNet, CdeInfra) {
+    let mut net = NameserverNet::new();
+    let infra = CdeInfra::install(&mut net);
+    let platform = PlatformBuilder::new(seed)
+        .ingress(vec![INGRESS])
+        .egress((1..=3).map(|d| Ipv4Addr::new(192, 0, 3, d)).collect())
+        .cluster(caches, SelectorKind::Random)
+        .build();
+    (platform, net, infra)
+}
+
+/// A retry policy tight enough for a fast test but still able to absorb
+/// injected loss.
+fn test_policy() -> RetryPolicy {
+    RetryPolicy {
+        attempts: 4,
+        timeout: Duration::from_millis(400),
+        backoff: 1.5,
+        base_delay: Duration::from_millis(2),
+        jitter: 0.5,
+    }
+}
+
+#[test]
+fn enumeration_over_real_udp_recovers_cache_count() {
+    let caches = 5;
+    let (platform, net, mut infra) = build_world(caches, 41);
+    let testbed = LiveTestbed::launch(platform, net, ResolverConfig::default()).unwrap();
+    let mut transport = testbed.transport(test_policy(), 41).unwrap();
+
+    let e = {
+        let mut access = EngineAccess::new(&mut transport, INGRESS);
+        enumerate_adaptive(
+            &mut access,
+            &mut infra,
+            &SurveyOptions::default(),
+            SimTime::ZERO,
+        )
+    };
+    assert_eq!(
+        e.estimated, caches as u64,
+        "live enumeration must recover the planted cache count (got {e:?})"
+    );
+
+    // Prove the probes actually crossed the wire twice: client → resolver
+    // (every probe answered) and resolver → authority (upstream replay).
+    let snap = transport.metrics().snapshot();
+    assert!(snap.sent > 0, "no datagrams sent");
+    assert_eq!(snap.sent, snap.received, "unexpected loss on loopback");
+    assert_eq!(snap.retries, 0);
+    assert!(
+        testbed.authority().queries_served() > 0,
+        "the wire authority never saw the platform's upstream traffic"
+    );
+}
+
+#[test]
+fn enumeration_survives_injected_loss_with_retries() {
+    let caches = 4;
+    let (platform, net, mut infra) = build_world(caches, 53);
+    // Deterministic request-direction loss: dropped queries never reach
+    // the platform, so retransmission is a clean replay.
+    let testbed = LiveTestbed::launch(
+        platform,
+        net,
+        ResolverConfig {
+            query_loss: 0.25,
+            seed: 7,
+            ..ResolverConfig::default()
+        },
+    )
+    .unwrap();
+    // Tight deadlines: a dropped attempt costs 120 ms, not 400 ms. A slow
+    // machine can trigger spurious retries here, which this test tolerates
+    // (retries are exactly what it measures).
+    let policy = RetryPolicy {
+        attempts: 5,
+        timeout: Duration::from_millis(120),
+        backoff: 1.5,
+        base_delay: Duration::from_millis(2),
+        jitter: 0.5,
+    };
+    let mut transport = testbed.transport(policy, 53).unwrap();
+
+    let opts = SurveyOptions {
+        // Plan for the loss we are about to experience (paper §V).
+        loss: 0.25,
+        ..SurveyOptions::default()
+    };
+    let e = {
+        let mut access = EngineAccess::new(&mut transport, INGRESS);
+        enumerate_adaptive(&mut access, &mut infra, &opts, SimTime::ZERO)
+    };
+    assert_eq!(
+        e.estimated, caches as u64,
+        "enumeration under loss must still recover the cache count (got {e:?})"
+    );
+
+    let snap = transport.metrics().snapshot();
+    assert!(snap.retries > 0, "injected loss must force retransmissions");
+    assert!(snap.sent > snap.received, "loss must be visible in metrics");
+    assert!(
+        transport.observed_loss_rate() > 0.05,
+        "observed loss rate should reflect the injected loss, got {}",
+        transport.observed_loss_rate()
+    );
+}
+
+#[test]
+fn sim_and_live_backends_agree_on_the_same_platform() {
+    let caches = 6;
+
+    // Simulated backend.
+    let (platform, net, mut infra) = build_world(caches, 67);
+    let prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 67);
+    let mut sim = SimTransport::new(platform, net, prober);
+    let sim_estimate = {
+        let mut access = sim.channel(INGRESS);
+        enumerate_adaptive(
+            &mut access,
+            &mut infra,
+            &SurveyOptions::default(),
+            SimTime::ZERO,
+        )
+        .estimated
+    };
+
+    // Live backend over an identically-built platform.
+    let (platform, net, mut infra) = build_world(caches, 67);
+    let testbed = LiveTestbed::launch(platform, net, ResolverConfig::default()).unwrap();
+    let mut transport = testbed.transport(test_policy(), 67).unwrap();
+    let live_estimate = {
+        let mut access = transport.channel(INGRESS);
+        enumerate_adaptive(
+            &mut access,
+            &mut infra,
+            &SurveyOptions::default(),
+            SimTime::ZERO,
+        )
+        .estimated
+    };
+
+    assert_eq!(sim_estimate, caches as u64);
+    assert_eq!(
+        sim_estimate, live_estimate,
+        "both transports must expose the same platform to the same algorithm"
+    );
+}
+
+#[test]
+fn rate_limited_campaign_over_real_udp() {
+    let caches = 2;
+    let (platform, mut net, mut infra) = build_world(caches, 29);
+    // Open the session before launch so the resolver's world already
+    // contains the honey record (direct transports carry no sync link).
+    let session = infra.new_session(&mut net, 0);
+    let testbed = LiveTestbed::launch(platform, net, ResolverConfig::default()).unwrap();
+
+    let addrs = testbed.resolver().ingress_addrs().clone();
+    let limiter = Arc::new(RateLimiter::new(
+        RateConfig {
+            per_second: 4000.0,
+            burst: 2.0,
+        },
+        None,
+    ));
+    let probes: Vec<Probe> = (0..24)
+        .map(|_| Probe::a(INGRESS, session.honey.clone()))
+        .collect();
+    let opts = CampaignOptions {
+        workers: 3,
+        max_in_flight: 6,
+        limiter: Some(limiter),
+    };
+    let report = run_campaign(
+        |_worker| {
+            UdpTransport::direct(addrs.clone(), NameserverNet::new(), test_policy(), 29).unwrap()
+        },
+        probes,
+        &opts,
+    );
+    assert_eq!(report.answered(), 24, "every probe must be answered");
+    assert_eq!(report.outcomes.len(), 24);
+    assert!(report.rate_limit_stalls > 0, "the limiter never engaged");
+    // Observed (zero) loss feeds the next plan.
+    let plan = report.plan_for(8);
+    assert_eq!(plan.loss, 0.0);
+    assert!(testbed.authority().queries_served() > 0);
+}

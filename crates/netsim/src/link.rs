@@ -335,7 +335,9 @@ mod tests {
     fn lossy_link_sometimes_drops() {
         let link = CountryProfile::Iran.wan_link();
         let mut rng = DetRng::seed(7);
-        let drops = (0..1000).filter(|_| link.transmit(&mut rng).is_none()).count();
+        let drops = (0..1000)
+            .filter(|_| link.transmit(&mut rng).is_none())
+            .count();
         assert!(drops > 50, "expected ~110 drops, got {drops}");
         assert!(drops < 200, "expected ~110 drops, got {drops}");
     }

@@ -157,10 +157,7 @@ mod tests {
     #[test]
     fn fork_labels_separate_streams() {
         let parent = DetRng::seed(9);
-        assert_ne!(
-            parent.fork("a").next_u64(),
-            parent.fork("b").next_u64()
-        );
+        assert_ne!(parent.fork("a").next_u64(), parent.fork("b").next_u64());
     }
 
     #[test]

@@ -19,7 +19,19 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub};
 /// assert_eq!(rtt.as_micros(), 38_000);
 /// assert_eq!(rtt * 2, SimDuration::from_millis(76));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -125,7 +137,19 @@ impl fmt::Display for SimDuration {
 /// let t1 = t0 + SimDuration::from_secs(2);
 /// assert_eq!(t1 - t0, SimDuration::from_secs(2));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -233,10 +257,7 @@ mod tests {
     #[test]
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
-        assert_eq!(
-            SimDuration::from_millis(1),
-            SimDuration::from_micros(1000)
-        );
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1000));
     }
 
     #[test]

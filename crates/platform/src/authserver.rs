@@ -49,7 +49,7 @@ pub struct QueryLogEntry {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AuthServer {
     addr: Ipv4Addr,
     zones: Vec<Zone>,
@@ -95,6 +95,16 @@ impl AuthServer {
     /// The query log, in arrival order.
     pub fn log(&self) -> &[QueryLogEntry] {
         &self.log
+    }
+
+    /// Appends an externally observed query to the log.
+    ///
+    /// Live measurement engines serve snapshots of this server over real
+    /// sockets on worker threads; the queries those snapshots observe are
+    /// streamed back and re-recorded here so the canonical net remains the
+    /// single observation point the measurement code reads.
+    pub fn record_query(&mut self, entry: QueryLogEntry) {
+        self.log.push(entry);
     }
 
     /// Clears the query log (between measurement rounds).
@@ -197,7 +207,7 @@ impl AuthServer {
 ///
 /// A thin registry: the platform's egress resolvers address servers by IP,
 /// exactly as real resolvers do.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct NameserverNet {
     servers: HashMap<Ipv4Addr, AuthServer>,
     root_addr: Option<Ipv4Addr>,
@@ -212,12 +222,7 @@ impl NameserverNet {
     /// Registers a server; the first server registered with a root zone
     /// (apex `.`) becomes the root hint.
     pub fn add_server(&mut self, server: AuthServer) {
-        if self.root_addr.is_none()
-            && server
-                .zones
-                .iter()
-                .any(|z| z.apex().is_root())
-        {
+        if self.root_addr.is_none() && server.zones.iter().any(|z| z.apex().is_root()) {
             self.root_addr = Some(server.addr);
         }
         self.servers.insert(server.addr, server);
@@ -437,7 +442,14 @@ mod tests {
         assert!(!resp.flags.aa);
         assert_eq!(resp.authorities.len(), 1);
         assert_eq!(resp.authorities[0].name(), &n("example"));
-        assert!(net.deliver(ip(1, 2, 3, 4), ip(7, 7, 7, 7), &Question::new(n("x"), RecordType::A), SimTime::ZERO).is_none());
+        assert!(net
+            .deliver(
+                ip(1, 2, 3, 4),
+                ip(7, 7, 7, 7),
+                &Question::new(n("x"), RecordType::A),
+                SimTime::ZERO
+            )
+            .is_none());
     }
 
     #[test]

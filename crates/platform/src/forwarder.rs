@@ -180,8 +180,15 @@ mod tests {
         let ing = w.platform.ingress_ips()[0];
         let mut fwd = Forwarder::pure_relay(Ipv4Addr::new(198, 18, 7, 53), ing, 1);
         for _ in 0..48 {
-            fwd.handle_query(client(), &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut w.platform, &mut w.net)
-                .unwrap();
+            fwd.handle_query(
+                client(),
+                &n("name.cache.example"),
+                RecordType::A,
+                SimTime::ZERO,
+                &mut w.platform,
+                &mut w.net,
+            )
+            .unwrap();
         }
         let omega = w
             .net
@@ -201,8 +208,15 @@ mod tests {
         let ing = w.platform.ingress_ips()[0];
         let mut fwd = Forwarder::caching(Ipv4Addr::new(198, 18, 7, 53), ing, 1000, 2);
         for _ in 0..48 {
-            fwd.handle_query(client(), &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut w.platform, &mut w.net)
-                .unwrap();
+            fwd.handle_query(
+                client(),
+                &n("name.cache.example"),
+                RecordType::A,
+                SimTime::ZERO,
+                &mut w.platform,
+                &mut w.net,
+            )
+            .unwrap();
         }
         let omega = w
             .net
@@ -247,7 +261,14 @@ mod tests {
         let mut fwd =
             Forwarder::pure_relay(Ipv4Addr::new(198, 18, 7, 53), Ipv4Addr::new(9, 9, 9, 9), 4);
         let err = fwd
-            .handle_query(client(), &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut w.platform, &mut w.net)
+            .handle_query(
+                client(),
+                &n("name.cache.example"),
+                RecordType::A,
+                SimTime::ZERO,
+                &mut w.platform,
+                &mut w.net,
+            )
             .unwrap_err();
         assert!(matches!(err, PlatformError::UnknownIngress(_)));
     }
@@ -258,10 +279,24 @@ mod tests {
         let ing = w.platform.ingress_ips()[0];
         let mut fwd = Forwarder::caching(Ipv4Addr::new(198, 18, 7, 53), ing, 1000, 5);
         let miss = fwd
-            .handle_query(client(), &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut w.platform, &mut w.net)
+            .handle_query(
+                client(),
+                &n("name.cache.example"),
+                RecordType::A,
+                SimTime::ZERO,
+                &mut w.platform,
+                &mut w.net,
+            )
             .unwrap();
         let hit = fwd
-            .handle_query(client(), &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut w.platform, &mut w.net)
+            .handle_query(
+                client(),
+                &n("name.cache.example"),
+                RecordType::A,
+                SimTime::ZERO,
+                &mut w.platform,
+                &mut w.net,
+            )
             .unwrap();
         assert!(hit.outcome.cache_hit);
         assert!(hit.outcome.latency <= miss.outcome.latency);

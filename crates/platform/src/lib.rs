@@ -49,11 +49,11 @@ pub mod traffic;
 
 pub use authserver::{AuthServer, NameserverNet, QueryLogEntry};
 pub use forwarder::Forwarder;
-pub use traffic::BackgroundTraffic;
 pub use localcache::{LocalCacheChain, LocalCacheLayer};
 pub use platform::{
-    testnet, Cluster, ClusterConfig, GroundTruth, PlatformBuilder, PlatformError,
-    PlatformResponse, ResolutionPlatform,
+    testnet, Cluster, ClusterConfig, GroundTruth, PlatformBuilder, PlatformError, PlatformResponse,
+    ResolutionPlatform,
 };
 pub use resolver::{ResolveOutcome, ResolveResult, Upstream};
 pub use selector::{LoadBalancer, SelectorKind};
+pub use traffic::BackgroundTraffic;

@@ -69,10 +69,13 @@ struct LocalEntry {
 /// ```
 #[derive(Debug)]
 pub struct LocalCacheChain {
-    layers: Vec<(LocalCacheLayer, HashMap<(Name, RecordType), LocalEntry>)>,
+    layers: Vec<(LocalCacheLayer, LayerStore)>,
     hits: u64,
     misses: u64,
 }
+
+/// One layer's stored answers, keyed by the queried `(name, type)`.
+type LayerStore = HashMap<(Name, RecordType), LocalEntry>;
 
 impl LocalCacheChain {
     /// Creates a chain with the given layers (outermost first).
@@ -116,12 +119,7 @@ impl LocalCacheChain {
 
     /// Checks every layer outermost-in; a fresh entry anywhere answers
     /// locally.
-    pub fn lookup(
-        &mut self,
-        name: &Name,
-        rtype: RecordType,
-        now: SimTime,
-    ) -> Option<Vec<Record>> {
+    pub fn lookup(&mut self, name: &Name, rtype: RecordType, now: SimTime) -> Option<Vec<Record>> {
         let key = (name.clone(), rtype);
         for (_, map) in &mut self.layers {
             if let Some(entry) = map.get(&key) {
@@ -139,11 +137,7 @@ impl LocalCacheChain {
     /// Stores a final answer in every layer (each local cache on the path
     /// sees the response go by).
     pub fn store(&mut self, name: Name, rtype: RecordType, records: Vec<Record>, now: SimTime) {
-        let ttl = records
-            .iter()
-            .map(|r| r.ttl().as_secs())
-            .min()
-            .unwrap_or(0);
+        let ttl = records.iter().map(|r| r.ttl().as_secs()).min().unwrap_or(0);
         if ttl == 0 {
             return;
         }
@@ -207,7 +201,9 @@ mod tests {
         let mut c = LocalCacheChain::browser_and_stub();
         let n1 = n("x-1.cache.example");
         c.store(n1.clone(), RecordType::A, vec![rec(&n1, 60)], t(0));
-        assert!(c.lookup(&n("x-2.cache.example"), RecordType::A, t(0)).is_none());
+        assert!(c
+            .lookup(&n("x-2.cache.example"), RecordType::A, t(0))
+            .is_none());
     }
 
     #[test]

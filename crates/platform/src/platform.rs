@@ -25,7 +25,13 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    fn new(platform_id: u64, cluster_idx: usize, cache_count: usize, cache_config: CacheConfig, selector: SelectorKind) -> Cluster {
+    fn new(
+        platform_id: u64,
+        cluster_idx: usize,
+        cache_count: usize,
+        cache_config: CacheConfig,
+        selector: SelectorKind,
+    ) -> Cluster {
         let caches = (0..cache_count)
             .map(|i| {
                 DnsCache::new(
@@ -209,7 +215,15 @@ impl PlatformBuilder {
         let clusters: Vec<Cluster> = clusters_cfg
             .iter()
             .enumerate()
-            .map(|(i, c)| Cluster::new(self.id, i, c.cache_count, c.cache_config.clone(), c.selector))
+            .map(|(i, c)| {
+                Cluster::new(
+                    self.id,
+                    i,
+                    c.cache_count,
+                    c.cache_config.clone(),
+                    c.selector,
+                )
+            })
             .collect();
         let assignment = match self.ingress_assignment {
             Some(a) => {
@@ -588,7 +602,14 @@ mod tests {
         let ing = w.platform.ingress_ips()[0];
         let resp = w
             .platform
-            .handle_query(client(), ing, &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut w.net)
+            .handle_query(
+                client(),
+                ing,
+                &n("name.cache.example"),
+                RecordType::A,
+                SimTime::ZERO,
+                &mut w.net,
+            )
             .unwrap();
         assert!(resp.outcome.result.is_success());
         assert_eq!(resp.truth_cache, 0);
@@ -621,7 +642,14 @@ mod tests {
         for _ in 0..64 {
             let resp = w
                 .platform
-                .handle_query(client(), ing, &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut w.net)
+                .handle_query(
+                    client(),
+                    ing,
+                    &n("name.cache.example"),
+                    RecordType::A,
+                    SimTime::ZERO,
+                    &mut w.net,
+                )
                 .unwrap();
             if !resp.outcome.cache_hit {
                 touched.insert(resp.truth_cache);
@@ -642,7 +670,10 @@ mod tests {
         // Two clusters; honey planted via ingress 0 must not be visible via
         // ingress 1.
         let mut platform = PlatformBuilder::new(11)
-            .ingress(vec![Ipv4Addr::new(192, 0, 2, 1), Ipv4Addr::new(192, 0, 2, 2)])
+            .ingress(vec![
+                Ipv4Addr::new(192, 0, 2, 1),
+                Ipv4Addr::new(192, 0, 2, 2),
+            ])
             .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
             .cluster(1, SelectorKind::Random)
             .cluster(1, SelectorKind::Random)
@@ -651,17 +682,38 @@ mod tests {
         let mut net = build_cde_net(8);
         let honey = n("name.cache.example");
         platform
-            .handle_query(client(), Ipv4Addr::new(192, 0, 2, 1), &honey, RecordType::A, SimTime::ZERO, &mut net)
+            .handle_query(
+                client(),
+                Ipv4Addr::new(192, 0, 2, 1),
+                &honey,
+                RecordType::A,
+                SimTime::ZERO,
+                &mut net,
+            )
             .unwrap();
         net.clear_logs();
         // Same cluster: cache hit, no upstream traffic.
         let resp = platform
-            .handle_query(client(), Ipv4Addr::new(192, 0, 2, 1), &honey, RecordType::A, SimTime::ZERO, &mut net)
+            .handle_query(
+                client(),
+                Ipv4Addr::new(192, 0, 2, 1),
+                &honey,
+                RecordType::A,
+                SimTime::ZERO,
+                &mut net,
+            )
             .unwrap();
         assert!(resp.outcome.cache_hit);
         // Other cluster: miss, upstream traffic observed.
         let resp = platform
-            .handle_query(client(), Ipv4Addr::new(192, 0, 2, 2), &honey, RecordType::A, SimTime::ZERO, &mut net)
+            .handle_query(
+                client(),
+                Ipv4Addr::new(192, 0, 2, 2),
+                &honey,
+                RecordType::A,
+                SimTime::ZERO,
+                &mut net,
+            )
             .unwrap();
         assert!(!resp.outcome.cache_hit);
     }
@@ -678,7 +730,10 @@ mod tests {
         assert_eq!(gt.total_caches(), 7);
         assert_eq!(gt.cluster_cache_counts, vec![2, 5]);
         assert_eq!(gt.egress_ips.len(), 9);
-        assert_eq!(gt.selectors, vec![SelectorKind::RoundRobin, SelectorKind::Random]);
+        assert_eq!(
+            gt.selectors,
+            vec![SelectorKind::RoundRobin, SelectorKind::Random]
+        );
         // Default assignment spreads ingress round-robin over clusters.
         let c0 = gt.ingress_clusters.values().filter(|&&c| c == 0).count();
         assert_eq!(c0, 3);
@@ -704,7 +759,14 @@ mod tests {
                 );
             }
             let resp = platform
-                .handle_query(client(), Ipv4Addr::new(192, 0, 2, 1), &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut net)
+                .handle_query(
+                    client(),
+                    Ipv4Addr::new(192, 0, 2, 1),
+                    &n("name.cache.example"),
+                    RecordType::A,
+                    SimTime::ZERO,
+                    &mut net,
+                )
                 .unwrap();
             probed.push(resp.truth_cache);
         }
@@ -718,12 +780,26 @@ mod tests {
         let mut w = build_simple_world(1, 13);
         let ing = w.platform.ingress_ips()[0];
         w.platform
-            .handle_query(client(), ing, &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut w.net)
+            .handle_query(
+                client(),
+                ing,
+                &n("name.cache.example"),
+                RecordType::A,
+                SimTime::ZERO,
+                &mut w.net,
+            )
             .unwrap();
         w.platform.flush_all_caches();
         let resp = w
             .platform
-            .handle_query(client(), ing, &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut w.net)
+            .handle_query(
+                client(),
+                ing,
+                &n("name.cache.example"),
+                RecordType::A,
+                SimTime::ZERO,
+                &mut w.net,
+            )
             .unwrap();
         assert!(!resp.outcome.cache_hit);
     }
@@ -742,10 +818,24 @@ mod tests {
             .build();
         let mut net = build_cde_net(8);
         let miss = platform
-            .handle_query(client(), Ipv4Addr::new(192, 0, 2, 1), &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut net)
+            .handle_query(
+                client(),
+                Ipv4Addr::new(192, 0, 2, 1),
+                &n("name.cache.example"),
+                RecordType::A,
+                SimTime::ZERO,
+                &mut net,
+            )
             .unwrap();
         let hit = platform
-            .handle_query(client(), Ipv4Addr::new(192, 0, 2, 1), &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut net)
+            .handle_query(
+                client(),
+                Ipv4Addr::new(192, 0, 2, 1),
+                &n("name.cache.example"),
+                RecordType::A,
+                SimTime::ZERO,
+                &mut net,
+            )
             .unwrap();
         assert!(!miss.outcome.cache_hit);
         assert!(hit.outcome.cache_hit);

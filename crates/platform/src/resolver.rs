@@ -224,15 +224,9 @@ fn iterate(
     let question = Question::new(qname.clone(), qtype);
     for _ in 0..MAX_REFERRALS {
         let ns_addr = best_nameserver(cache, qname, now, up);
-        let Some(resp) = send_with_retries(
-            ns_addr,
-            &question,
-            now,
-            rng,
-            up,
-            latency,
-            upstream_queries,
-        ) else {
+        let Some(resp) =
+            send_with_retries(ns_addr, &question, now, rng, up, latency, upstream_queries)
+        else {
             return IterOutcome::Fail;
         };
 
@@ -261,12 +255,7 @@ fn iterate(
             cache.insert(zone, RecordType::Ns, ns_owned, now);
             for glue in &resp.additionals {
                 if matches!(glue.rtype(), RecordType::A | RecordType::Aaaa) {
-                    cache.insert(
-                        glue.name().clone(),
-                        glue.rtype(),
-                        vec![glue.clone()],
-                        now,
-                    );
+                    cache.insert(glue.name().clone(), glue.rtype(), vec![glue.clone()], now);
                 }
             }
             continue;
@@ -279,12 +268,7 @@ fn iterate(
 }
 
 /// Deepest cached delegation with a usable address, else the root.
-fn best_nameserver(
-    cache: &DnsCache,
-    qname: &Name,
-    now: SimTime,
-    up: &Upstream<'_>,
-) -> Ipv4Addr {
+fn best_nameserver(cache: &DnsCache, qname: &Name, now: SimTime, up: &Upstream<'_>) -> Ipv4Addr {
     for zone in qname.ancestors() {
         if let Some(ns_set) = cache.peek(&zone, RecordType::Ns, now) {
             for ns in &ns_set {
@@ -441,7 +425,11 @@ mod tests {
         net
     }
 
-    fn upstream<'a>(net: &'a mut NameserverNet, link: &'a Link, egress: &'a [Ipv4Addr]) -> Upstream<'a> {
+    fn upstream<'a>(
+        net: &'a mut NameserverNet,
+        link: &'a Link,
+        egress: &'a [Ipv4Addr],
+    ) -> Upstream<'a> {
         Upstream {
             net,
             egress_ips: egress,
@@ -573,7 +561,9 @@ mod tests {
         // Only the x-2 CNAME fetch; the target came from cache. This is the
         // exact signal the CNAME-chain enumeration counts.
         assert_eq!(
-            net.server(ip(20)).unwrap().count_queries_for(&n("name.cache.example")),
+            net.server(ip(20))
+                .unwrap()
+                .count_queries_for(&n("name.cache.example")),
             0
         );
     }

@@ -102,12 +102,7 @@ impl LoadBalancer {
     }
 
     /// Selects the cache index for one query.
-    pub fn select<R: Rng + ?Sized>(
-        &mut self,
-        qname: &Name,
-        src: Ipv4Addr,
-        rng: &mut R,
-    ) -> usize {
+    pub fn select<R: Rng + ?Sized>(&mut self, qname: &Name, src: Ipv4Addr, rng: &mut R) -> usize {
         let idx = match self.kind {
             SelectorKind::RoundRobin => {
                 let i = self.rr_next;
@@ -115,7 +110,9 @@ impl LoadBalancer {
                 i
             }
             SelectorKind::Random => rng.gen_range(0..self.cache_count),
-            SelectorKind::QnameHash => (fnv(qname.to_string().as_bytes()) as usize) % self.cache_count,
+            SelectorKind::QnameHash => {
+                (fnv(qname.to_string().as_bytes()) as usize) % self.cache_count
+            }
             SelectorKind::SourceHash => (fnv(&src.octets()) as usize) % self.cache_count,
             SelectorKind::LeastLoaded => self
                 .loads
@@ -156,7 +153,9 @@ mod tests {
     fn round_robin_cycles() {
         let mut lb = LoadBalancer::new(SelectorKind::RoundRobin, 3);
         let mut rng = DetRng::seed(0);
-        let picks: Vec<usize> = (0..7).map(|_| lb.select(&n("a.b"), src(), &mut rng)).collect();
+        let picks: Vec<usize> = (0..7)
+            .map(|_| lb.select(&n("a.b"), src(), &mut rng))
+            .collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
     }
 

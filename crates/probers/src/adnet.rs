@@ -173,10 +173,13 @@ impl AdNetProber {
                 blocked.push(qname.clone());
                 continue;
             }
-            let resp = platform.handle_query(client.addr, client.ingress, qname, RecordType::A, at, net);
+            let resp =
+                platform.handle_query(client.addr, client.ingress, qname, RecordType::A, at, net);
             if let Ok(r) = &resp {
                 if let cde_platform::ResolveResult::Records(rrs) = &r.outcome.result {
-                    client.local.store(qname.clone(), RecordType::A, rrs.clone(), at);
+                    client
+                        .local
+                        .store(qname.clone(), RecordType::A, rrs.clone(), at);
                 }
             }
             reached.push(qname.clone());
@@ -200,7 +203,9 @@ mod tests {
     }
 
     fn urls(k: usize) -> Vec<Name> {
-        (1..=k).map(|i| n(&format!("x-{i}.cache.example"))).collect()
+        (1..=k)
+            .map(|i| n(&format!("x-{i}.cache.example")))
+            .collect()
     }
 
     #[test]
@@ -209,7 +214,13 @@ mod tests {
         let ing = w.platform.ingress_ips()[0];
         let mut client = WebClient::new(Ipv4Addr::new(203, 0, 113, 61), ing);
         let mut prober = AdNetProber::new(1);
-        let run = prober.run_forced(&mut client, &mut w.platform, &mut w.net, &urls(8), SimTime::ZERO);
+        let run = prober.run_forced(
+            &mut client,
+            &mut w.platform,
+            &mut w.net,
+            &urls(8),
+            SimTime::ZERO,
+        );
         assert_eq!(run.reached_platform.len(), 8);
         assert!(run.blocked_locally.is_empty());
         assert!(run.duration > SimDuration::ZERO);
@@ -222,7 +233,13 @@ mod tests {
         let mut client = WebClient::new(Ipv4Addr::new(203, 0, 113, 62), ing);
         let mut prober = AdNetProber::new(2);
         let list = vec![n("x-1.cache.example"), n("x-1.cache.example")];
-        let run = prober.run_forced(&mut client, &mut w.platform, &mut w.net, &list, SimTime::ZERO);
+        let run = prober.run_forced(
+            &mut client,
+            &mut w.platform,
+            &mut w.net,
+            &list,
+            SimTime::ZERO,
+        );
         assert_eq!(run.reached_platform.len(), 1);
         assert_eq!(run.blocked_locally.len(), 1);
     }
@@ -235,7 +252,13 @@ mod tests {
         let list = urls(2);
         for i in 0..5_000 {
             let mut client = WebClient::new(Ipv4Addr::new(203, 0, (i >> 8) as u8, i as u8), ing);
-            prober.run(&mut client, &mut w.platform, &mut w.net, &list, SimTime::ZERO);
+            prober.run(
+                &mut client,
+                &mut w.platform,
+                &mut w.net,
+                &list,
+                SimTime::ZERO,
+            );
         }
         let rate = prober.completions() as f64 / prober.impressions() as f64;
         assert!((rate - COMPLETION_RATE).abs() < 0.01, "rate {rate}");
@@ -247,10 +270,19 @@ mod tests {
         let ing = w.platform.ingress_ips()[0];
         let mut client = WebClient::new(Ipv4Addr::new(203, 0, 113, 64), ing);
         let mut prober = AdNetProber::new(4);
-        prober.run_forced(&mut client, &mut w.platform, &mut w.net, &urls(3), SimTime::ZERO);
+        prober.run_forced(
+            &mut client,
+            &mut w.platform,
+            &mut w.net,
+            &urls(3),
+            SimTime::ZERO,
+        );
         let server = w.net.server(CDE_ZONE_SERVER).unwrap();
         for i in 1..=3 {
-            assert_eq!(server.count_queries_for(&n(&format!("x-{i}.cache.example"))), 1);
+            assert_eq!(
+                server.count_queries_for(&n(&format!("x-{i}.cache.example"))),
+                1
+            );
         }
     }
 }

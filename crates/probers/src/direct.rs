@@ -78,6 +78,7 @@ pub struct DirectProber {
     timeout: SimDuration,
     sent: u64,
     answered: u64,
+    unreachable: u64,
 }
 
 impl DirectProber {
@@ -90,6 +91,7 @@ impl DirectProber {
             timeout: SimDuration::from_millis(2_000),
             sent: 0,
             answered: 0,
+            unreachable: 0,
         }
     }
 
@@ -113,13 +115,26 @@ impl DirectProber {
         self.answered
     }
 
+    /// Probes that targeted an address that is not an ingress of the
+    /// platform at all. These look like timeouts on the wire but carry no
+    /// information about packet loss.
+    pub fn unreachable(&self) -> u64 {
+        self.unreachable
+    }
+
     /// Loss rate observed by this prober (the input to carpet-bombing
     /// calibration).
+    ///
+    /// Probes to unknown ingresses are excluded from the denominator:
+    /// they time out deterministically, so counting them as losses would
+    /// inflate the estimate and push the §V carpet-bombing planner toward
+    /// needlessly high redundancy.
     pub fn observed_loss_rate(&self) -> f64 {
-        if self.sent == 0 {
+        let lossy_sent = self.sent - self.unreachable;
+        if lossy_sent == 0 {
             0.0
         } else {
-            1.0 - self.answered as f64 / self.sent as f64
+            1.0 - self.answered as f64 / lossy_sent as f64
         }
     }
 
@@ -148,9 +163,13 @@ impl DirectProber {
         let resp = match platform.handle_query(self.src, ingress, qname, qtype, now + fwd, net) {
             Ok(r) => r,
             Err(PlatformError::UnknownIngress(_)) => {
+                // Indistinguishable from a timeout on the wire, but not a
+                // loss event — tracked separately so it cannot distort
+                // `observed_loss_rate`.
+                self.unreachable += 1;
                 return ProbeReply::Timeout {
                     latency: self.timeout,
-                }
+                };
             }
         };
         // Ingress → client.
@@ -267,6 +286,43 @@ mod tests {
     }
 
     #[test]
+    fn unreachable_ingress_does_not_inflate_loss_rate() {
+        let mut w = build_simple_world(1, 7);
+        let mut p = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 3);
+        let ing = w.platform.ingress_ips()[0];
+        // Deterministic timeouts against a non-ingress address...
+        for _ in 0..10 {
+            let r = p.probe(
+                &mut w.platform,
+                Ipv4Addr::new(8, 8, 8, 8),
+                &n("name.cache.example"),
+                RecordType::A,
+                SimTime::ZERO,
+                &mut w.net,
+            );
+            assert!(!r.is_answered());
+        }
+        // ...and lossless answers from a real one.
+        for _ in 0..10 {
+            let r = p.probe(
+                &mut w.platform,
+                ing,
+                &n("name.cache.example"),
+                RecordType::A,
+                SimTime::ZERO,
+                &mut w.net,
+            );
+            assert!(r.is_answered());
+        }
+        assert_eq!(p.sent(), 20);
+        assert_eq!(p.answered(), 10);
+        assert_eq!(p.unreachable(), 10);
+        // The ideal link lost nothing, and unreachable probes must not
+        // masquerade as loss.
+        assert_eq!(p.observed_loss_rate(), 0.0);
+    }
+
+    #[test]
     fn redundancy_overcomes_loss() {
         let mut w = build_simple_world(1, 8);
         let link = Link::new(
@@ -303,8 +359,22 @@ mod tests {
         );
         let mut p = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), link, 5);
         let ing = w.platform.ingress_ips()[0];
-        let cold = p.probe(&mut w.platform, ing, &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut w.net);
-        let warm = p.probe(&mut w.platform, ing, &n("name.cache.example"), RecordType::A, SimTime::ZERO, &mut w.net);
+        let cold = p.probe(
+            &mut w.platform,
+            ing,
+            &n("name.cache.example"),
+            RecordType::A,
+            SimTime::ZERO,
+            &mut w.net,
+        );
+        let warm = p.probe(
+            &mut w.platform,
+            ing,
+            &n("name.cache.example"),
+            RecordType::A,
+            SimTime::ZERO,
+            &mut w.net,
+        );
         assert!(cold.latency() > warm.latency());
     }
 }

@@ -174,9 +174,7 @@ impl EnterpriseMailServer {
     /// The names this server would look up for `sender_domain`.
     pub fn lookups_for(&self, sender_domain: &Name) -> Vec<(QueryKind, Name, RecordType)> {
         let mut out = Vec::new();
-        let child = |label: &str| -> Option<Name> {
-            sender_domain.prepend_label(label).ok()
-        };
+        let child = |label: &str| -> Option<Name> { sender_domain.prepend_label(label).ok() };
         if self.checks.spf_txt {
             out.push((QueryKind::SpfTxt, sender_domain.clone(), RecordType::Txt));
         }
@@ -189,7 +187,9 @@ impl EnterpriseMailServer {
             }
         }
         if self.checks.dkim {
-            if let Some(n) = child("_domainkey").and_then(|d| d.prepend_label("selector1").err_into()) {
+            if let Some(n) =
+                child("_domainkey").and_then(|d| d.prepend_label("selector1").err_into())
+            {
                 out.push((QueryKind::Dkim, n, RecordType::Txt));
             }
         }
@@ -360,7 +360,10 @@ mod tests {
         assert!(kinds.contains(&QueryKind::MxA));
         assert!(!kinds.contains(&QueryKind::SpfTxt));
         // DMARC uses the _dmarc child label.
-        let dmarc = lookups.iter().find(|(k, _, _)| *k == QueryKind::Dmarc).unwrap();
+        let dmarc = lookups
+            .iter()
+            .find(|(k, _, _)| *k == QueryKind::Dmarc)
+            .unwrap();
         assert_eq!(dmarc.1, n("_dmarc.x-1.cache.example"));
     }
 
@@ -406,9 +409,21 @@ mod tests {
             ing,
         );
         let mut prober = SmtpProber::new(2);
-        let first = prober.send_probe_email(&mut mta, &mut w.platform, &mut w.net, &n("x-1.cache.example"), SimTime::ZERO);
+        let first = prober.send_probe_email(
+            &mut mta,
+            &mut w.platform,
+            &mut w.net,
+            &n("x-1.cache.example"),
+            SimTime::ZERO,
+        );
         assert!(first[0].reached_platform);
-        let second = prober.send_probe_email(&mut mta, &mut w.platform, &mut w.net, &n("x-1.cache.example"), SimTime::ZERO);
+        let second = prober.send_probe_email(
+            &mut mta,
+            &mut w.platform,
+            &mut w.net,
+            &n("x-1.cache.example"),
+            SimTime::ZERO,
+        );
         // TXT answer for x-1 was NODATA/CNAME chain... if records came back
         // they are stubbed; at minimum the call must not panic and must
         // report whether the platform was reached.

@@ -71,8 +71,13 @@ fn main() {
     );
     let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 42), client_link, 8);
     let mut access = DirectAccess::new(&mut prober, &mut platform, ingress, &mut net);
-    let cal = calibrate(&mut access, &mut infra, 16, SimTime::ZERO + SimDuration::from_secs(60))
-        .expect("cached and uncached latencies separate at this jitter");
+    let cal = calibrate(
+        &mut access,
+        &mut infra,
+        16,
+        SimTime::ZERO + SimDuration::from_secs(60),
+    )
+    .expect("cached and uncached latencies separate at this jitter");
     println!(
         "\n[timing study] calibrated: cached median {}, uncached median {}, threshold {}",
         cal.cached_median, cal.uncached_median, cal.threshold

@@ -32,9 +32,9 @@ fn main() {
     let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 11);
 
     let measure = |platform: &mut counting_dark::platform::ResolutionPlatform,
-                       net: &mut NameserverNet,
-                       infra: &mut CdeInfra,
-                       prober: &mut DirectProber| {
+                   net: &mut NameserverNet,
+                   infra: &mut CdeInfra,
+                   prober: &mut DirectProber| {
         let mut access = DirectAccess::new(prober, platform, ingress, net);
         let session = infra.new_session(access.net_mut(), 0);
         enumerate_identical(

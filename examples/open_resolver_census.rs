@@ -19,7 +19,10 @@ use std::net::Ipv4Addr;
 
 fn main() {
     let population = generate_population(PopulationKind::OpenResolvers, 60, 7);
-    println!("surveying {} open-resolver networks ...\n", population.len());
+    println!(
+        "surveying {} open-resolver networks ...\n",
+        population.len()
+    );
 
     let mut measured = Vec::new();
     let mut exact = 0usize;
@@ -28,11 +31,8 @@ fn main() {
         let mut infra = CdeInfra::install(&mut net);
         let mut platform = spec.build();
         let ingress: Vec<Ipv4Addr> = spec.ingress_ips().into_iter().take(4).collect();
-        let mut prober = DirectProber::new(
-            Ipv4Addr::new(203, 0, 113, 9),
-            spec.client_link(),
-            spec.id,
-        );
+        let mut prober =
+            DirectProber::new(Ipv4Addr::new(203, 0, 113, 9), spec.client_link(), spec.id);
         let opts = SurveyOptions {
             loss: spec.country.loss_rate(),
             ..SurveyOptions::default()

@@ -27,7 +27,9 @@ fn main() {
         .egress((1..=4).map(|d| Ipv4Addr::new(192, 0, 3, d)).collect())
         .cluster(secret_cache_count, SelectorKind::Random)
         .build();
-    println!("target platform: 1 ingress IP, {secret_cache_count} caches (hidden), random selection");
+    println!(
+        "target platform: 1 ingress IP, {secret_cache_count} caches (hidden), random selection"
+    );
 
     // --- The measurement: CDE direct enumeration. ----------------------
     let n_guess = 8; // assumed upper bound on the cache count

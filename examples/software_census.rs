@@ -21,7 +21,10 @@ use std::net::Ipv4Addr;
 
 fn main() {
     let population = generate_population(PopulationKind::OpenResolvers, 40, 99);
-    println!("fingerprinting the cache software of {} networks ...\n", population.len());
+    println!(
+        "fingerprinting the cache software of {} networks ...\n",
+        population.len()
+    );
 
     let mut census: BTreeMap<String, usize> = BTreeMap::new();
     let mut correct = 0usize;
@@ -59,6 +62,9 @@ fn main() {
         "\nvalidation against ground truth: {correct}/{} classified correctly",
         population.len()
     );
-    let all: Vec<String> = SoftwareProfile::all().iter().map(|p| p.to_string()).collect();
+    let all: Vec<String> = SoftwareProfile::all()
+        .iter()
+        .map(|p| p.to_string())
+        .collect();
     println!("profiles modelled: {}", all.join(", "));
 }

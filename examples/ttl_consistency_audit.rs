@@ -66,8 +66,14 @@ fn main() {
         );
         println!("{label}:");
         println!("  caches counted:           {}", report.caches);
-        println!("  refetches within TTL:     {}", report.refetches_within_ttl);
-        println!("  fetches after TTL expiry: {}", report.fetches_after_expiry);
+        println!(
+            "  refetches within TTL:     {}",
+            report.refetches_within_ttl
+        );
+        println!(
+            "  fetches after TTL expiry: {}",
+            report.fetches_after_expiry
+        );
         println!("  verdict:                  {}\n", report.verdict);
     }
     println!("a naive fetch-count study would have flagged platform A as a TTL violator;");

@@ -13,7 +13,9 @@
 //! * [`probers`] — direct, SMTP and ad-network probers,
 //! * [`cde`] — the paper's contribution: caches discovery & enumeration,
 //! * [`analysis`] — coupon-collector math and figure statistics,
-//! * [`datasets`] — populations calibrated to the paper's marginals.
+//! * [`datasets`] — populations calibrated to the paper's marginals,
+//! * [`engine`] — the live wire-level engine: real UDP transports, a
+//!   loopback authoritative farm, campaign scheduling and rate limiting.
 //!
 //! # Quickstart
 //!
@@ -51,6 +53,7 @@ pub use cde_cache as cache;
 pub use cde_core as cde;
 pub use cde_datasets as datasets;
 pub use cde_dns as dns;
+pub use cde_engine as engine;
 pub use cde_netsim as netsim;
 pub use cde_platform as platform;
 pub use cde_probers as probers;

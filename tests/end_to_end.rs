@@ -1,9 +1,7 @@
 //! End-to-end integration: the full CDE pipeline against ground-truth
 //! platforms, spanning every crate in the workspace.
 
-use counting_dark::cde::{
-    survey_platform, validate_survey, CdeInfra, SurveyOptions,
-};
+use counting_dark::cde::{survey_platform, validate_survey, CdeInfra, SurveyOptions};
 use counting_dark::netsim::{Link, SimTime};
 use counting_dark::platform::{NameserverNet, PlatformBuilder, SelectorKind};
 use counting_dark::probers::DirectProber;

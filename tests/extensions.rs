@@ -5,8 +5,8 @@
 use counting_dark::cache::SoftwareProfile;
 use counting_dark::cde::access::DirectAccess;
 use counting_dark::cde::{
-    audit_ttl_consistency, fingerprint_software, CdeInfra, ConsistencyOptions,
-    FingerprintOptions, PlatformTracker, TtlVerdict,
+    audit_ttl_consistency, fingerprint_software, CdeInfra, ConsistencyOptions, FingerprintOptions,
+    PlatformTracker, TtlVerdict,
 };
 use counting_dark::netsim::{Link, SimDuration, SimTime};
 use counting_dark::platform::{
@@ -42,7 +42,12 @@ fn fingerprint_and_audit_agree_on_clamping_software() {
 
     let report = {
         let mut access = DirectAccess::new(&mut prober, &mut platform, INGRESS, &mut net);
-        audit_ttl_consistency(&mut access, &mut infra, ConsistencyOptions::default(), SimTime::ZERO)
+        audit_ttl_consistency(
+            &mut access,
+            &mut infra,
+            ConsistencyOptions::default(),
+            SimTime::ZERO,
+        )
     };
     assert_eq!(report.verdict, TtlVerdict::Consistent);
     assert_eq!(report.caches, 2);

@@ -88,8 +88,14 @@ fn plan_from_measured_loss_survives_iran_grade_loss() {
 
 #[test]
 fn carpet_k_matches_paper_loss_profiles() {
-    assert_eq!(carpet_bombing_k(CountryProfile::Typical.loss_rate(), 0.001), 2);
-    assert_eq!(carpet_bombing_k(CountryProfile::China.loss_rate(), 0.001), 3);
+    assert_eq!(
+        carpet_bombing_k(CountryProfile::Typical.loss_rate(), 0.001),
+        2
+    );
+    assert_eq!(
+        carpet_bombing_k(CountryProfile::China.loss_rate(), 0.001),
+        3
+    );
     assert_eq!(carpet_bombing_k(CountryProfile::Iran.loss_rate(), 0.001), 4);
 }
 

@@ -78,6 +78,9 @@ fn pipeline_accuracy_is_high_across_populations() {
             .filter(|m| m.measured_egress == m.spec.egress_count as u64)
             .count() as f64
             / measured.len() as f64;
-        assert!(egress_exact >= 0.85, "{kind}: egress exact only {egress_exact:.2}");
+        assert!(
+            egress_exact >= 0.85,
+            "{kind}: egress exact only {egress_exact:.2}"
+        );
     }
 }

@@ -49,8 +49,14 @@ fn five_techniques_agree_on_cache_count() {
         let mut access = DirectAccess::new(&mut prober, &mut platform, INGRESS, &mut net);
         counts.push((
             "identical",
-            enumerate_identical(&mut access, &infra, &session, EnumerateOptions::with_probes(q), SimTime::ZERO)
-                .observed,
+            enumerate_identical(
+                &mut access,
+                &infra,
+                &session,
+                EnumerateOptions::with_probes(q),
+                SimTime::ZERO,
+            )
+            .observed,
         ));
     }
     // 2. Direct, CNAME farm.
@@ -61,8 +67,14 @@ fn five_techniques_agree_on_cache_count() {
         let mut access = DirectAccess::new(&mut prober, &mut platform, INGRESS, &mut net);
         counts.push((
             "cname-farm",
-            enumerate_cname_farm(&mut access, &infra, &session, EnumerateOptions::with_probes(q), SimTime::ZERO)
-                .observed,
+            enumerate_cname_farm(
+                &mut access,
+                &infra,
+                &session,
+                EnumerateOptions::with_probes(q),
+                SimTime::ZERO,
+            )
+            .observed,
         ));
     }
     // 3. SMTP, names hierarchy.
@@ -86,8 +98,14 @@ fn five_techniques_agree_on_cache_count() {
         };
         counts.push((
             "smtp-hierarchy",
-            enumerate_names_hierarchy(&mut access, &infra, &session, EnumerateOptions::with_probes(q), SimTime::ZERO)
-                .observed,
+            enumerate_names_hierarchy(
+                &mut access,
+                &infra,
+                &session,
+                EnumerateOptions::with_probes(q),
+                SimTime::ZERO,
+            )
+            .observed,
         ));
     }
     // 4. Browser, CNAME farm.
@@ -104,8 +122,14 @@ fn five_techniques_agree_on_cache_count() {
         };
         counts.push((
             "adnet-farm",
-            enumerate_cname_farm(&mut access, &infra, &session, EnumerateOptions::with_probes(q), SimTime::ZERO)
-                .observed,
+            enumerate_cname_farm(
+                &mut access,
+                &infra,
+                &session,
+                EnumerateOptions::with_probes(q),
+                SimTime::ZERO,
+            )
+            .observed,
         ));
     }
     // 5. Timing side channel (no nameserver observation).
@@ -124,13 +148,22 @@ fn five_techniques_agree_on_cache_count() {
         let session = infra.new_session(access.net, 0);
         counts.push((
             "timing",
-            enumerate_via_timing(&mut access, &session.honey, cal, q, SimTime::ZERO + SimDuration::from_secs(10))
-                .slow_responses,
+            enumerate_via_timing(
+                &mut access,
+                &session.honey,
+                cal,
+                q,
+                SimTime::ZERO + SimDuration::from_secs(10),
+            )
+            .slow_responses,
         ));
     }
 
     for (name, observed) in &counts {
-        assert_eq!(*observed, n as u64, "technique {name} disagreed: {counts:?}");
+        assert_eq!(
+            *observed, n as u64,
+            "technique {name} disagreed: {counts:?}"
+        );
     }
 }
 
@@ -154,7 +187,13 @@ fn techniques_work_across_a_range_of_cache_counts() {
         let session = infra.new_session(&mut net, q as usize);
         let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 9);
         let mut access = DirectAccess::new(&mut prober, &mut platform, INGRESS, &mut net);
-        let farm = enumerate_cname_farm(&mut access, &infra, &session, EnumerateOptions::with_probes(q), SimTime::ZERO);
+        let farm = enumerate_cname_farm(
+            &mut access,
+            &infra,
+            &session,
+            EnumerateOptions::with_probes(q),
+            SimTime::ZERO,
+        );
         assert_eq!(farm.observed, n as u64, "n={n}");
     }
 }

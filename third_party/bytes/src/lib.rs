@@ -1,0 +1,229 @@
+//! Offline drop-in subset of the [`bytes`](https://crates.io/crates/bytes)
+//! crate, vendored so the workspace resolves without registry access.
+//!
+//! Only the surface the workspace actually uses is provided: [`BytesMut`]
+//! as a growable byte buffer and the [`BufMut`] write trait. Semantics
+//! match upstream for that subset (network byte order for the integer
+//! writers, `Deref<Target = [u8]>` for reads and index patching).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable, uniquely-owned byte buffer.
+///
+/// Upstream `bytes::BytesMut` supports zero-copy splitting; this subset is
+/// backed by a plain `Vec<u8>`, which is all the wire encoder needs.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self { inner: Vec::new() }
+    }
+
+    /// Creates an empty buffer with at least `capacity` bytes preallocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes currently in the buffer.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Total capacity of the underlying allocation.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.inner.reserve(additional);
+    }
+
+    /// Clears the buffer, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Shortens the buffer to `len` bytes; no-op if already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        self.inner.truncate(len);
+    }
+
+    /// Appends a slice to the buffer.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.inner.extend_from_slice(extend);
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+
+    /// Consumes the buffer, yielding the underlying `Vec<u8>`.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.inner
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in &self.inner {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(inner: Vec<u8>) -> Self {
+        Self { inner }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(slice: &[u8]) -> Self {
+        Self {
+            inner: slice.to_vec(),
+        }
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(buf: BytesMut) -> Vec<u8> {
+        buf.inner
+    }
+}
+
+/// A trait for writing bytes into a buffer, network byte order for
+/// multi-byte integers. Mirrors the upstream `bytes::BufMut` subset the
+/// workspace uses.
+pub trait BufMut {
+    /// Appends a single byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_are_big_endian() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(0xAB);
+        b.put_u16(0x1234);
+        b.put_u32(0xDEAD_BEEF);
+        assert_eq!(b.to_vec(), vec![0xAB, 0x12, 0x34, 0xDE, 0xAD, 0xBE, 0xEF]);
+    }
+
+    #[test]
+    fn deref_allows_in_place_patching() {
+        let mut b = BytesMut::new();
+        b.put_u16(0);
+        b[0..2].copy_from_slice(&0xC00Cu16.to_be_bytes());
+        assert_eq!(&b[..], &[0xC0, 0x0C]);
+    }
+
+    #[test]
+    fn put_slice_appends() {
+        let mut b = BytesMut::new();
+        b.put_slice(b"abc");
+        b.put_slice(b"def");
+        assert_eq!(b.len(), 6);
+        assert_eq!(b.as_ref(), b"abcdef");
+    }
+}

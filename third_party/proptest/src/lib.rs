@@ -1,0 +1,253 @@
+//! Offline drop-in subset of the
+//! [`proptest`](https://crates.io/crates/proptest) framework, vendored so
+//! the workspace resolves without registry access.
+//!
+//! Supported surface (exactly what the workspace's property tests use):
+//! the [`proptest!`] block macro with optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`, `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`,
+//! [`strategy::Strategy`] with `prop_map`, [`prop_oneof!`] over
+//! heterogeneous arms, [`arbitrary::any`], integer/float range strategies,
+//! tuple strategies, [`collection::vec`] and [`string::string_regex`].
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (derived from the test path), and failing inputs are
+//! **not shrunk** — the panic message reports the case number and seed so
+//! a failure is still reproducible by rerunning the test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Single-import convenience module, mirroring `proptest::prelude`.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares a block of property tests.
+///
+/// ```ignore
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            #[allow(clippy::redundant_closure_call)]
+            fn $name() {
+                let mut __runner = $crate::test_runner::TestRunner::new(
+                    $cfg,
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                __runner.run(|__rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut *__rng);)*
+                    let __case = move || -> $crate::test_runner::TestCaseResult {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    __case()
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test, recording a failure (with
+/// the generating case) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(*__left == *__right, $($fmt)*);
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(*__left != *__right, $($fmt)*);
+    }};
+}
+
+/// Skips the current case (without counting it as run) when a sampled
+/// input does not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Chooses uniformly between heterogeneous strategies producing the same
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::box_arm($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_even() -> impl Strategy<Value = u32> {
+        (0u32..500).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(v in 10u8..20, w in 5usize..=9) {
+            prop_assert!((10..20).contains(&v));
+            prop_assert!((5..=9).contains(&w));
+        }
+
+        #[test]
+        fn prop_map_applies(v in small_even()) {
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn tuples_and_vecs_compose(
+            (a, b) in (0u16..100, 0u16..100),
+            items in crate::collection::vec(0u64..10, 1..=5),
+        ) {
+            prop_assert!(a < 100 && b < 100);
+            prop_assert!(!items.is_empty() && items.len() <= 5);
+            prop_assert!(items.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn oneof_hits_every_arm_eventually(v in prop_oneof![Just(1u8), Just(2u8), Just(3u8)]) {
+            prop_assert!((1..=3).contains(&v));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(v in 0u32..10) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn regex_strings_match_class(s in crate::string::string_regex("[a-z0-9_-]{1,16}").expect("valid")) {
+            prop_assert!(!s.is_empty() && s.len() <= 16);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || c == '_'
+                || c == '-'));
+        }
+
+        #[test]
+        fn any_arrays_fill(bytes in any::<[u8; 16]>(), word in any::<u64>()) {
+            prop_assert_eq!(bytes.len(), 16);
+            let _ = word;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property test")]
+    fn failing_property_panics_with_context() {
+        // No #[test] on the inner item: rustc cannot run nested tests
+        // and warns on the attribute; we call it directly instead.
+        proptest! {
+            fn always_fails(v in 0u32..10) {
+                prop_assert!(v > 100, "v was {}", v);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = crate::collection::vec(0u64..1000, 1..10);
+        let a: Vec<Vec<u64>> = (0..5)
+            .map(|i| s.sample(&mut TestRng::deterministic("det", i)))
+            .collect();
+        let b: Vec<Vec<u64>> = (0..5)
+            .map(|i| s.sample(&mut TestRng::deterministic("det", i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,215 @@
+//! String strategies driven by a (small) regex subset.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt;
+
+/// Error returned for patterns outside the supported regex subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsupported regex pattern: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// One generatable unit of the pattern.
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A fixed character.
+    Literal(char),
+    /// A character class, expanded to its members.
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Strategy returned by [`string_regex`]: generates strings matching the
+/// parsed pattern.
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    pieces: Vec<Piece>,
+}
+
+/// Builds a strategy generating strings that match `pattern`.
+///
+/// Supported subset: literal characters, character classes
+/// (`[a-z0-9_-]`, ranges and literal members), and the quantifiers
+/// `{m}`, `{m,n}`, `?`, `*`, `+` (the open-ended ones capped at 8
+/// repetitions). Anything else returns an [`Error`].
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let mut pieces = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut members = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let m = chars
+                        .next()
+                        .ok_or_else(|| Error(format!("unterminated class in {pattern:?}")))?;
+                    match m {
+                        ']' => break,
+                        '^' if prev.is_none() && members.is_empty() => {
+                            return Err(Error(format!("negated class in {pattern:?}")));
+                        }
+                        '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                            let start = prev.take().expect("checked above");
+                            let end = chars.next().expect("peeked above");
+                            if start > end {
+                                return Err(Error(format!("bad range {start}-{end}")));
+                            }
+                            // `start` is already in `members`; add the rest.
+                            for cp in (start as u32 + 1)..=(end as u32) {
+                                members.push(char::from_u32(cp).ok_or_else(|| {
+                                    Error(format!("bad codepoint in {pattern:?}"))
+                                })?);
+                            }
+                        }
+                        '\\' => {
+                            let esc = chars
+                                .next()
+                                .ok_or_else(|| Error(format!("dangling escape in {pattern:?}")))?;
+                            members.push(esc);
+                            prev = Some(esc);
+                        }
+                        other => {
+                            members.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                if members.is_empty() {
+                    return Err(Error(format!("empty class in {pattern:?}")));
+                }
+                Atom::Class(members)
+            }
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .ok_or_else(|| Error(format!("dangling escape in {pattern:?}")))?;
+                Atom::Literal(esc)
+            }
+            '(' | ')' | '|' | '.' | '^' | '$' => {
+                return Err(Error(format!("construct {c:?} in {pattern:?}")));
+            }
+            other => Atom::Literal(other),
+        };
+
+        // Optional quantifier.
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                loop {
+                    let d = chars
+                        .next()
+                        .ok_or_else(|| Error(format!("unterminated {{}} in {pattern:?}")))?;
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                let parse = |s: &str| {
+                    s.trim()
+                        .parse::<usize>()
+                        .map_err(|_| Error(format!("bad quantifier {{{spec}}}")))
+                };
+                match spec.split_once(',') {
+                    Some((m, n)) => (parse(m)?, parse(n)?),
+                    None => {
+                        let m = parse(&spec)?;
+                        (m, m)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        if min > max {
+            return Err(Error(format!("inverted quantifier in {pattern:?}")));
+        }
+        pieces.push(Piece { atom, min, max });
+    }
+    Ok(RegexGeneratorStrategy { pieces })
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let count = if piece.min == piece.max {
+                piece.min
+            } else {
+                piece.min + rng.below(piece.max - piece.min + 1)
+            };
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(members) => out.push(members[rng.below(members.len())]),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn label_pattern_generates_valid_labels() {
+        let s = string_regex("[a-z0-9_-]{1,16}").expect("valid regex");
+        let mut rng = TestRng::deterministic("label", 0);
+        for _ in 0..500 {
+            let v = s.sample(&mut rng);
+            assert!(!v.is_empty() && v.len() <= 16, "bad length: {v:?}");
+            assert!(
+                v.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-'),
+                "bad char in {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let s = string_regex("ab{3}c?").expect("valid regex");
+        let mut rng = TestRng::deterministic("lit", 0);
+        for _ in 0..50 {
+            let v = s.sample(&mut rng);
+            assert!(v == "abbb" || v == "abbbc", "got {v:?}");
+        }
+    }
+
+    #[test]
+    fn unsupported_constructs_error() {
+        assert!(string_regex("(a|b)").is_err());
+        assert!(string_regex("[^a]").is_err());
+        assert!(string_regex("a{2,").is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Value distributions for [`Rng::gen`](crate::Rng::gen).
+//!
+//! The constructions here follow upstream rand 0.8 *bit-exactly*, not
+//! just statistically: the workspace's deterministic simulations pick
+//! seeds whose behaviour was validated against upstream streams, so a
+//! vendored generator must consume and map raw RNG output the same way
+//! (e.g. `u8`/`u16`/`u32` come from `next_u32`, not `next_u64`; `bool`
+//! is the sign bit of a `u32`).
+
+use crate::{Rng, RngCore};
+
+/// A distribution of values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample using `rng`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution: uniform over the full range for integers,
+/// uniform on `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_from_u32 {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! standard_from_u64 {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_from_u32!(u8, u16, u32, i8, i16, i32);
+standard_from_u64!(u64, usize, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        // Low word first, matching upstream's draw order.
+        let x = u128::from(rng.next_u64());
+        let y = u128::from(rng.next_u64());
+        (y << 64) | x
+    }
+}
+
+impl Distribution<i128> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i128 {
+        Distribution::<u128>::sample(&Standard, rng) as i128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    /// The sign bit of a `u32` draw (upstream avoids the low bits, which
+    /// are weaker for some generators).
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    /// Uniform on `[0, 1)` with 53 bits of precision (upstream's
+    /// multiply-based construction).
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    /// Uniform on `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl<const N: usize> Distribution<[u8; N]> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> [u8; N] {
+        let mut out = [0u8; N];
+        RngCore::fill_bytes(rng, &mut out);
+        out
+    }
+}

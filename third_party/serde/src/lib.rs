@@ -1,0 +1,183 @@
+//! Offline drop-in subset of the [`serde`](https://serde.rs) framework,
+//! vendored so the workspace resolves without registry access.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on plain data types and
+//! hand-implements the pair for `Name` via `serialize_str` /
+//! `String::deserialize`; no serializer backend (e.g. serde_json) is in
+//! the dependency set. This subset therefore provides the trait
+//! vocabulary — enough to compile every impl and to drive string-shaped
+//! ones — while derived impls produced by the vendored `serde_derive`
+//! panic if actually invoked (nothing in the workspace invokes them).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod ser {
+    //! Serialization half of the vocabulary.
+
+    use std::fmt::Display;
+
+    /// Errors produced by a [`Serializer`].
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a display-able message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A data format that can serialize values.
+    pub trait Serializer: Sized {
+        /// Output on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+
+        /// Serializes a string slice.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+
+        /// Serializes a `bool`.
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+            let _ = v;
+            Err(Error::custom("serialize_bool unsupported by this format"))
+        }
+
+        /// Serializes a `u64`.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+            let _ = v;
+            Err(Error::custom("serialize_u64 unsupported by this format"))
+        }
+
+        /// Serializes an `f64`.
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+            let _ = v;
+            Err(Error::custom("serialize_f64 unsupported by this format"))
+        }
+    }
+
+    /// A value serializable into any format.
+    pub trait Serialize {
+        /// Serializes `self` into the given serializer.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    impl Serialize for str {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_str(self)
+        }
+    }
+
+    impl Serialize for String {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_str(self)
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(serializer)
+        }
+    }
+}
+
+pub mod de {
+    //! Deserialization half of the vocabulary.
+
+    use std::fmt::Display;
+
+    /// Errors produced by a [`Deserializer`].
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a display-able message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A data format that can deserialize values.
+    ///
+    /// Upstream drives deserialization through a visitor; this subset
+    /// exposes the one primitive the workspace needs (owned strings).
+    pub trait Deserializer<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+
+        /// Deserializes an owned string.
+        fn deserialize_string(self) -> Result<String, Self::Error>;
+    }
+
+    /// A value deserializable from any format.
+    pub trait Deserialize<'de>: Sized {
+        /// Deserializes `Self` from the given deserializer.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    impl<'de> Deserialize<'de> for String {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            deserializer.deserialize_string()
+        }
+    }
+}
+
+// Mirror upstream: `serde::Serialize` names both the trait and (via the
+// derive re-export above) the derive macro; Rust resolves by namespace, so
+// `#[derive(serde::Serialize)]` and `impl serde::Serialize for T` both work.
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(test)]
+mod tests {
+    use super::{de, ser};
+    use std::fmt;
+
+    #[derive(Debug)]
+    struct StrError(String);
+
+    impl fmt::Display for StrError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for StrError {}
+
+    impl ser::Error for StrError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            Self(msg.to_string())
+        }
+    }
+
+    impl de::Error for StrError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            Self(msg.to_string())
+        }
+    }
+
+    /// A toy format that (de)serializes only strings.
+    struct StringFormat(String);
+
+    impl ser::Serializer for &mut StringFormat {
+        type Ok = ();
+        type Error = StrError;
+
+        fn serialize_str(self, v: &str) -> Result<(), StrError> {
+            self.0 = v.to_string();
+            Ok(())
+        }
+    }
+
+    impl<'de> de::Deserializer<'de> for &StringFormat {
+        type Error = StrError;
+
+        fn deserialize_string(self) -> Result<String, StrError> {
+            Ok(self.0.clone())
+        }
+    }
+
+    #[test]
+    fn string_roundtrip_through_toy_format() {
+        use de::Deserialize;
+        use ser::Serialize;
+
+        let mut fmt = StringFormat(String::new());
+        "cache.example".serialize(&mut fmt).unwrap();
+        let back = String::deserialize(&fmt).unwrap();
+        assert_eq!(back, "cache.example");
+    }
+}
