@@ -1,0 +1,24 @@
+# Convenience targets; everything builds offline from vendored deps
+# (third_party/, see README "Offline builds").
+
+.PHONY: build test bench-smoke bench-json lint
+
+build:
+	cargo build --release --locked
+
+test:
+	cargo test -q --workspace --locked
+
+# Run every criterion bench exactly once — a fast correctness pass over
+# the bench harnesses (the zero-alloc wire bench asserts its property).
+bench-smoke:
+	cargo bench -p cde-bench --locked -- --test
+
+# Blocking-vs-reactor campaign throughput at 1k/10k probes over real
+# loopback UDP; writes BENCH_engine.json (probes/sec, p50/p99 latency).
+bench-json:
+	cargo run --release --locked -p cde-bench --bin engine_bench -- BENCH_engine.json
+
+lint:
+	cargo clippy --workspace --all-targets --locked -- -D warnings
+	cargo fmt --all -- --check

@@ -5,7 +5,8 @@
 use cde_core::CdeInfra;
 use cde_dns::RecordType;
 use cde_engine::{
-    EngineMetrics, RateConfig, RateLimiter, ResolverConfig, RetryPolicy, Transport, UdpTransport,
+    EngineMetrics, RateConfig, RateLimiter, ReactorConfig, ReactorTransport, ResolverConfig,
+    RetryPolicy, Transport, UdpTransport,
 };
 use cde_netsim::{DetRng, SimTime};
 use cde_platform::{NameserverNet, PlatformBuilder, SelectorKind};
@@ -101,11 +102,49 @@ fn bench_live_probe_roundtrip(c: &mut Criterion) {
     });
 }
 
+fn bench_reactor_probe_roundtrip(c: &mut Criterion) {
+    // The same full loopback round trip, but through the event-driven
+    // reactor's blocking seam: submit → event loop → completion. One
+    // probe at a time, so this measures the seam's overhead, not the
+    // pipelining win (`make bench-json` measures that).
+    let mut net = NameserverNet::new();
+    let mut infra = CdeInfra::install(&mut net);
+    let session = infra.new_session(&mut net, 0);
+    let ingress = Ipv4Addr::new(192, 0, 2, 1);
+    let platform = PlatformBuilder::new(3)
+        .ingress(vec![ingress])
+        .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+        .cluster(2, SelectorKind::Random)
+        .build();
+    let resolver = cde_engine::LoopbackResolver::launch(
+        platform,
+        net.clone(),
+        None,
+        ResolverConfig::default(),
+        cde_engine::EngineClock::start(),
+    )
+    .expect("loopback sockets");
+    let mut transport = ReactorTransport::connect(
+        &resolver,
+        None,
+        net,
+        ReactorConfig::with_policy(RetryPolicy::single(Duration::from_secs(1)), 3),
+    )
+    .expect("reactor sockets");
+
+    c.bench_function("engine/reactor_probe_roundtrip", |b| {
+        b.iter(|| {
+            black_box(transport.query(ingress, &session.honey, RecordType::A, SimTime::ZERO))
+        });
+    });
+}
+
 criterion_group!(
     benches,
     bench_rate_limiter,
     bench_retry_schedule,
     bench_metrics_record,
-    bench_live_probe_roundtrip
+    bench_live_probe_roundtrip,
+    bench_reactor_probe_roundtrip
 );
 criterion_main!(benches);

@@ -1,8 +1,40 @@
-//! DNS wire-format benches: message encode/decode with compression.
+//! DNS wire-format benches: message encode/decode with compression, plus
+//! an allocation-counting proof that the probe hot path (reusable-writer
+//! encode + peek decode) touches the heap zero times after warm-up.
 
-use cde_dns::{Message, Name, Question, RData, Record, RecordType, Ttl};
+use cde_dns::wire::WireWriter;
+use cde_dns::{Message, MessagePeek, Name, Question, RData, Record, RecordType, Ttl};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every heap allocation so the zero-alloc bench can *assert* the
+/// property it measures, not just time it.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to the system allocator; the counter has no
+// effect on layout or pointers.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
 
 fn sample_response(answers: usize) -> Message {
     let qname: Name = "x-1.cache.example".parse().unwrap();
@@ -51,5 +83,54 @@ fn bench_name_parse(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_encode, bench_decode, bench_name_parse);
+fn bench_zero_alloc_probe(c: &mut Criterion) {
+    // A typical CDE probe cycle: encode a honey-name query through the
+    // reusable writer, then peek-decode the response and verify the
+    // echoed question — exactly what the reactor does per probe.
+    let qname: Name = "x-1234.sub-9.cache.example".parse().unwrap();
+    let response_bytes = {
+        let query = Message::query(7, Question::new(qname.clone(), RecordType::A));
+        let mut resp = Message::response_to(&query);
+        resp.answers.push(Record::new(
+            qname.clone(),
+            Ttl::from_secs(60),
+            RData::A(Ipv4Addr::new(198, 51, 100, 1)),
+        ));
+        resp.encode().unwrap()
+    };
+    let mut writer = WireWriter::new();
+    // Warm up: the first encode sizes the writer's buffers.
+    Message::encode_query_into(&mut writer, 1, &qname, RecordType::A);
+
+    // The property itself, asserted (not just timed): one full
+    // encode + peek + question check performs zero heap allocations.
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for id in 0..64u16 {
+        Message::encode_query_into(&mut writer, id, &qname, RecordType::A);
+        let peek = MessagePeek::parse(&response_bytes).unwrap();
+        assert!(peek.is_response());
+        assert!(peek.question_matches(&qname, RecordType::A).unwrap());
+    }
+    let allocated = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocated, 0,
+        "probe encode+decode must not touch the heap after warm-up"
+    );
+
+    c.bench_function("wire/zero_alloc_probe", |b| {
+        b.iter(|| {
+            Message::encode_query_into(&mut writer, black_box(3), &qname, RecordType::A);
+            let peek = MessagePeek::parse(black_box(&response_bytes)).unwrap();
+            black_box(peek.question_matches(&qname, RecordType::A).unwrap())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_decode,
+    bench_name_parse,
+    bench_zero_alloc_probe
+);
 criterion_main!(benches);

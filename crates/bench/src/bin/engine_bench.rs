@@ -1,0 +1,227 @@
+//! Campaign throughput: blocking worker pool vs. the probe reactor.
+//!
+//! Launches one loopback resolver (real UDP, simulated cache platform
+//! behind it), then pushes identical probe campaigns through both
+//! engines and writes `BENCH_engine.json`:
+//!
+//! * **blocking** — [`run_campaign`]: a worker-thread pool, one probe per
+//!   worker in flight, each parked in `recv` for its probe's round trip;
+//! * **reactor** — [`run_campaign_pipelined`]: a single event loop
+//!   multiplexing hundreds of probes over batched syscalls.
+//!
+//! Same sockets, same resolver, same retry policy — the delta is purely
+//! the engine. Usage: `engine_bench [output.json]`.
+
+use cde_core::CdeInfra;
+use cde_engine::scheduler::{run_campaign, run_campaign_pipelined, CampaignOptions, Probe};
+use cde_engine::{
+    CampaignReport, EngineClock, LoopbackResolver, Reactor, ReactorConfig, ResolverConfig,
+    RetryPolicy, UdpTransport,
+};
+use cde_platform::{NameserverNet, PlatformBuilder, SelectorKind};
+use std::net::{Ipv4Addr, SocketAddr};
+use std::time::{Duration, Instant};
+
+const INGRESS: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+/// Probes the reactor keeps in flight. Enough to hide the resolver's
+/// per-datagram service time, yet small enough that the resolver's
+/// receive queue stays under the default kernel socket buffer
+/// (~270 small datagrams) — deeper windows overflow it and turn the
+/// measurement into a retransmission bench.
+const REACTOR_WINDOW: usize = 128;
+
+/// Loopback should be lossless, but a loaded burst can still shed the
+/// odd datagram at a socket buffer; a short first timeout keeps any such
+/// retransmission from dominating the tail of a run.
+fn bench_policy() -> RetryPolicy {
+    RetryPolicy {
+        attempts: 4,
+        timeout: Duration::from_millis(250),
+        backoff: 2.0,
+        base_delay: Duration::from_millis(2),
+        jitter: 0.5,
+    }
+}
+
+struct RunStats {
+    backend: &'static str,
+    probes: usize,
+    threads: usize,
+    elapsed: Duration,
+    answered: usize,
+    retries: u64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+impl RunStats {
+    fn probes_per_sec(&self) -> f64 {
+        self.probes as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"backend\": \"{}\", \"probes\": {}, \"threads\": {}, ",
+                "\"elapsed_s\": {:.4}, \"probes_per_sec\": {:.1}, ",
+                "\"answered\": {}, \"retries\": {}, ",
+                "\"latency_p50_us\": {}, \"latency_p99_us\": {}}}"
+            ),
+            self.backend,
+            self.probes,
+            self.threads,
+            self.elapsed.as_secs_f64(),
+            self.probes_per_sec(),
+            self.answered,
+            self.retries,
+            self.p50_us,
+            self.p99_us,
+        )
+    }
+}
+
+fn stats(
+    backend: &'static str,
+    threads: usize,
+    probes: usize,
+    elapsed: Duration,
+    report: &CampaignReport,
+) -> RunStats {
+    let mut latencies: Vec<u64> = report
+        .outcomes
+        .iter()
+        .filter_map(|o| match &o.reply {
+            cde_engine::TransportReply::Answered { latency, .. } => latency.map(|l| l.as_micros()),
+            cde_engine::TransportReply::TimedOut => None,
+        })
+        .collect();
+    latencies.sort_unstable();
+    let percentile = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() as f64 * p) as usize).min(latencies.len() - 1);
+        latencies[idx]
+    };
+    RunStats {
+        backend,
+        probes,
+        threads,
+        elapsed,
+        answered: report.answered(),
+        retries: report.retries,
+        p50_us: percentile(0.50),
+        p99_us: percentile(0.99),
+    }
+}
+
+fn probe_batch(honey: &cde_dns::Name, count: usize) -> Vec<Probe> {
+    (0..count)
+        .map(|_| Probe::a(INGRESS, honey.clone()))
+        .collect()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    // One resolver serves every run: a platform with a couple of caches
+    // and a standing session whose honey record all probes hit (cached
+    // after the first, so throughput is front-end-bound, as in a real
+    // enumeration burst).
+    let mut net = NameserverNet::new();
+    let mut infra = CdeInfra::install(&mut net);
+    let session = infra.new_session(&mut net, 0);
+    let platform = PlatformBuilder::new(11)
+        .ingress(vec![INGRESS])
+        .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+        .cluster(2, SelectorKind::Random)
+        .build();
+    let resolver = LoopbackResolver::launch(
+        platform,
+        net.clone(),
+        None,
+        ResolverConfig::default(),
+        EngineClock::start(),
+    )
+    .expect("loopback resolver");
+    let addrs = resolver.ingress_addrs().clone();
+
+    let blocking_opts = CampaignOptions::default();
+    let mut runs: Vec<RunStats> = Vec::new();
+    let mut speedups: Vec<(usize, f64)> = Vec::new();
+
+    for count in [1_000usize, 10_000] {
+        // Blocking worker pool.
+        let opts = blocking_opts.clone();
+        let addrs_for_worker: std::collections::HashMap<Ipv4Addr, SocketAddr> = addrs.clone();
+        let start = Instant::now();
+        let report = run_campaign(
+            move |_worker| {
+                UdpTransport::direct(
+                    addrs_for_worker.clone(),
+                    NameserverNet::new(),
+                    bench_policy(),
+                    11,
+                )
+                .expect("blocking transport")
+            },
+            probe_batch(&session.honey, count),
+            &opts,
+        );
+        let blocking = stats("blocking", opts.workers, count, start.elapsed(), &report);
+        eprintln!(
+            "blocking  {:>6} probes  {:>10.0} probes/s  p50 {:>6} us  p99 {:>6} us",
+            count,
+            blocking.probes_per_sec(),
+            blocking.p50_us,
+            blocking.p99_us
+        );
+
+        // Reactor (fresh per run so its metrics are this run's).
+        let reactor = Reactor::launch(
+            addrs.clone(),
+            ReactorConfig::with_policy(bench_policy(), 11),
+        )
+        .expect("reactor");
+        let start = Instant::now();
+        let report =
+            run_campaign_pipelined(&reactor, probe_batch(&session.honey, count), REACTOR_WINDOW);
+        let reactor_stats = stats("reactor", 1, count, start.elapsed(), &report);
+        eprintln!(
+            "reactor   {:>6} probes  {:>10.0} probes/s  p50 {:>6} us  p99 {:>6} us",
+            count,
+            reactor_stats.probes_per_sec(),
+            reactor_stats.p50_us,
+            reactor_stats.p99_us
+        );
+
+        let speedup = reactor_stats.probes_per_sec() / blocking.probes_per_sec();
+        eprintln!("          {count:>6} probes  reactor speedup {speedup:.2}x");
+        speedups.push((count, speedup));
+        runs.push(blocking);
+        runs.push(reactor_stats);
+    }
+
+    let runs_json: Vec<String> = runs
+        .iter()
+        .map(|r| format!("    {}", r.to_json()))
+        .collect();
+    let speedups_json: Vec<String> = speedups
+        .iter()
+        .map(|(count, s)| format!("    {{\"probes\": {count}, \"reactor_vs_blocking\": {s:.2}}}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"engine_campaign_throughput\",\n  \
+         \"description\": \"loopback probe campaigns, blocking worker pool vs event-driven reactor\",\n  \
+         \"available_parallelism\": {},\n  \"reactor_window\": {},\n  \
+         \"runs\": [\n{}\n  ],\n  \"speedup\": [\n{}\n  ]\n}}\n",
+        std::thread::available_parallelism().map_or(0, usize::from),
+        REACTOR_WINDOW,
+        runs_json.join(",\n"),
+        speedups_json.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write bench output");
+    eprintln!("wrote {out_path}");
+}

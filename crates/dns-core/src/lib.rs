@@ -66,7 +66,7 @@ pub mod zone;
 
 pub use edns::{Edns, EdnsMessage};
 pub use error::{NameError, WireError, ZoneError};
-pub use message::{Flags, Message, Opcode, Question, Rcode};
+pub use message::{Flags, Message, MessagePeek, Opcode, Question, Rcode};
 pub use name::Name;
 pub use rr::{RData, Record, RecordClass, RecordType, Soa, Ttl};
 pub use zone::{LookupResult, Zone};

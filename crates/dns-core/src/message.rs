@@ -299,6 +299,21 @@ impl Message {
     /// 65 535 octets.
     pub fn encode(&self) -> Result<Vec<u8>, WireError> {
         let mut w = WireWriter::new();
+        self.encode_into(&mut w)?;
+        Ok(w.into_bytes())
+    }
+
+    /// Encodes into a reusable writer, clearing it first. The encoded
+    /// message is left in `w` (read it via [`WireWriter::as_slice`]);
+    /// the writer keeps its buffer across calls, so steady-state encoding
+    /// does not allocate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::MessageTooLong`] when the encoded form exceeds
+    /// 65 535 octets.
+    pub fn encode_into(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        w.clear();
         w.put_u16(self.id);
         w.put_u16(self.flags.to_u16());
         w.put_u16(self.questions.len() as u16);
@@ -306,17 +321,44 @@ impl Message {
         w.put_u16(self.authorities.len() as u16);
         w.put_u16(self.additionals.len() as u16);
         for q in &self.questions {
-            q.encode(&mut w);
+            q.encode(w);
         }
         for section in [&self.answers, &self.authorities, &self.additionals] {
             for rr in section {
-                rr.encode(&mut w)?;
+                rr.encode(w)?;
             }
         }
         if w.len() > u16::MAX as usize {
             return Err(WireError::MessageTooLong);
         }
-        Ok(w.into_bytes())
+        Ok(())
+    }
+
+    /// Encodes a recursion-desired single-question `IN`-class query
+    /// directly into `w`, without constructing a [`Message`]. This is the
+    /// probe hot path: with a warm writer it performs zero allocations.
+    ///
+    /// The layout is identical to
+    /// `Message::query(id, Question::new(qname, qtype)).encode()`, and a
+    /// single question can never exceed the 64 KiB message limit, so this
+    /// is infallible.
+    pub fn encode_query_into(w: &mut WireWriter, id: u16, qname: &Name, qtype: RecordType) {
+        w.clear();
+        w.put_u16(id);
+        w.put_u16(
+            Flags {
+                rd: true,
+                ..Flags::default()
+            }
+            .to_u16(),
+        );
+        w.put_u16(1); // qdcount
+        w.put_u16(0); // ancount
+        w.put_u16(0); // nscount
+        w.put_u16(0); // arcount
+        w.put_name(qname);
+        w.put_u16(qtype.to_u16());
+        w.put_u16(RecordClass::In.to_u16());
     }
 
     /// Decodes a full message, rejecting trailing bytes.
@@ -372,6 +414,109 @@ impl Message {
             authorities,
             additionals,
         })
+    }
+}
+
+/// A zero-copy view of a DNS message header plus the location of its
+/// question section.
+///
+/// Response matching on a measurement hot path only needs the id, the
+/// header flags and a comparison of the echoed question against the
+/// outstanding probe — a full [`Message::decode`] allocates section
+/// vectors and owned names for data that is immediately discarded.
+/// `MessagePeek` borrows the datagram instead and performs no heap
+/// allocation at all.
+///
+/// # Examples
+///
+/// ```
+/// use cde_dns::{Message, MessagePeek, Question, RecordType};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let qname = "x-1.cache.example".parse()?;
+/// let query = Message::query(0x2b1d, Question::new(qname, RecordType::A));
+/// let bytes = query.encode()?;
+///
+/// let peek = MessagePeek::parse(&bytes)?;
+/// assert_eq!(peek.id(), 0x2b1d);
+/// assert!(!peek.is_response());
+/// assert!(peek.question_matches(&"x-1.cache.example".parse()?, RecordType::A)?);
+/// assert!(!peek.question_matches(&"other.example".parse()?, RecordType::A)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MessagePeek<'a> {
+    bytes: &'a [u8],
+    id: u16,
+    flags: Flags,
+    qdcount: u16,
+    question_start: usize,
+}
+
+impl<'a> MessagePeek<'a> {
+    /// Parses the 12-byte header, borrowing the datagram.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEof`] when `bytes` is shorter than
+    /// a DNS header.
+    pub fn parse(bytes: &'a [u8]) -> Result<MessagePeek<'a>, WireError> {
+        let mut r = WireReader::new(bytes);
+        let id = r.read_u16()?;
+        let flags = Flags::from_u16(r.read_u16()?);
+        let qdcount = r.read_u16()?;
+        // Skip an/ns/ar counts; the question section starts right after.
+        r.read_u16()?;
+        r.read_u16()?;
+        r.read_u16()?;
+        Ok(MessagePeek {
+            bytes,
+            id,
+            flags,
+            qdcount,
+            question_start: 12,
+        })
+    }
+
+    /// Transaction id.
+    pub fn id(&self) -> u16 {
+        self.id
+    }
+
+    /// Header flags.
+    pub fn flags(&self) -> Flags {
+        self.flags
+    }
+
+    /// `true` when the QR bit marks this as a response.
+    pub fn is_response(&self) -> bool {
+        self.flags.qr
+    }
+
+    /// Declared question count.
+    pub fn qdcount(&self) -> u16 {
+        self.qdcount
+    }
+
+    /// Checks whether the first question is exactly `(qname, qtype)` in
+    /// class `IN`, without allocating.
+    ///
+    /// A message with no question section returns `Ok(false)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] when the question section is structurally
+    /// malformed (truncated or bad compression).
+    pub fn question_matches(&self, qname: &Name, qtype: RecordType) -> Result<bool, WireError> {
+        if self.qdcount == 0 {
+            return Ok(false);
+        }
+        let mut r = WireReader::new_at(self.bytes, self.question_start);
+        let name_ok = r.name_matches(qname)?;
+        let wire_qtype = r.read_u16()?;
+        let wire_qclass = r.read_u16()?;
+        Ok(name_ok && wire_qtype == qtype.to_u16() && wire_qclass == RecordClass::In.to_u16())
     }
 }
 
@@ -514,6 +659,80 @@ mod tests {
             + 4 * (name("host.cache.example").wire_len() + 10 + 4);
         assert!(bytes.len() < uncompressed);
         assert_eq!(Message::decode(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn encode_query_into_matches_message_encode() {
+        let qname = name("x-17.cache.example");
+        let full = Message::query(0x5ace, Question::new(qname.clone(), RecordType::Txt))
+            .encode()
+            .unwrap();
+        let mut w = WireWriter::new();
+        // Dirty the writer first: encode_query_into must clear it.
+        w.put_u16(0xFFFF);
+        Message::encode_query_into(&mut w, 0x5ace, &qname, RecordType::Txt);
+        assert_eq!(w.as_slice(), &full[..]);
+    }
+
+    #[test]
+    fn encode_into_reuses_writer() {
+        let a = Message::query(1, Question::new(name("a.cache.example"), RecordType::A));
+        let b = Message::query(2, Question::new(name("b.cache.example"), RecordType::A));
+        let mut w = WireWriter::new();
+        a.encode_into(&mut w).unwrap();
+        assert_eq!(w.as_slice(), &a.encode().unwrap()[..]);
+        b.encode_into(&mut w).unwrap();
+        assert_eq!(w.as_slice(), &b.encode().unwrap()[..]);
+    }
+
+    #[test]
+    fn peek_reads_header_and_question() {
+        let qname = name("probe.cache.example");
+        let q = Message::query(0xBEEF, Question::new(qname.clone(), RecordType::A));
+        let mut resp = Message::response_to(&q);
+        resp.answers.push(Record::new(
+            qname.clone(),
+            Ttl::from_secs(60),
+            RData::A(Ipv4Addr::new(192, 0, 2, 5)),
+        ));
+        let bytes = resp.encode().unwrap();
+        let peek = MessagePeek::parse(&bytes).unwrap();
+        assert_eq!(peek.id(), 0xBEEF);
+        assert!(peek.is_response());
+        assert_eq!(peek.qdcount(), 1);
+        assert_eq!(peek.flags().rcode, Rcode::NoError);
+        assert!(peek.question_matches(&qname, RecordType::A).unwrap());
+        assert!(!peek.question_matches(&qname, RecordType::Txt).unwrap());
+        assert!(!peek
+            .question_matches(&name("other.cache.example"), RecordType::A)
+            .unwrap());
+    }
+
+    #[test]
+    fn peek_question_match_is_case_insensitive() {
+        let q = Message::query(9, Question::new(name("MiXeD.Cache.Example"), RecordType::A));
+        let bytes = q.encode().unwrap();
+        let peek = MessagePeek::parse(&bytes).unwrap();
+        assert!(peek
+            .question_matches(&name("mixed.cache.example"), RecordType::A)
+            .unwrap());
+    }
+
+    #[test]
+    fn peek_rejects_short_and_empty_question() {
+        assert!(MessagePeek::parse(&[0u8; 11]).is_err());
+        // Header-only message (qdcount = 0): parses, matches nothing.
+        let m = Message {
+            id: 3,
+            flags: Flags::default(),
+            questions: Vec::new(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        };
+        let bytes = m.encode().unwrap();
+        let peek = MessagePeek::parse(&bytes).unwrap();
+        assert!(!peek.question_matches(&name("a.b"), RecordType::A).unwrap());
     }
 
     #[test]

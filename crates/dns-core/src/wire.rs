@@ -4,15 +4,27 @@
 //! [`WireReader`] decodes them, guarding against pointer loops and forward
 //! references.
 
+use crate::error::NameError;
 use crate::error::WireError;
-use crate::name::Name;
+use crate::name::{Name, MAX_NAME_LEN};
 use bytes::{BufMut, BytesMut};
-use std::collections::HashMap;
 
 /// Compression pointers address at most 14 bits of offset.
 const MAX_POINTER_TARGET: usize = 0x3FFF;
+/// A 255-octet name holds at most 127 one-octet labels.
+const MAX_LABELS: usize = 127;
+/// Cap on remembered suffix offsets: bounds the linear suffix scan in
+/// [`WireWriter::put_name`] for pathological many-name messages while
+/// leaving typical probe/answer traffic fully compressed.
+const MAX_TRACKED_OFFSETS: usize = 192;
 
 /// Growable wire-format encoder with name compression.
+///
+/// The writer is designed for reuse on hot paths: [`WireWriter::clear`]
+/// resets it without releasing its buffers, so a warmed-up writer encodes
+/// messages with **zero heap allocations**. Compression state is an
+/// offset list compared directly against the written bytes (no per-name
+/// hashing or cloning).
 ///
 /// # Examples
 ///
@@ -32,8 +44,8 @@ const MAX_POINTER_TARGET: usize = 0x3FFF;
 #[derive(Debug, Default)]
 pub struct WireWriter {
     buf: BytesMut,
-    /// Offset at which each already-emitted name suffix starts.
-    offsets: HashMap<Name, usize>,
+    /// Buffer offsets at which an already-emitted name suffix starts.
+    name_offsets: Vec<u16>,
 }
 
 impl WireWriter {
@@ -41,8 +53,14 @@ impl WireWriter {
     pub fn new() -> WireWriter {
         WireWriter {
             buf: BytesMut::with_capacity(512),
-            offsets: HashMap::new(),
+            name_offsets: Vec::with_capacity(32),
         }
+    }
+
+    /// Resets the writer for a fresh message, keeping its allocations.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.name_offsets.clear();
     }
 
     /// Bytes written so far.
@@ -91,26 +109,80 @@ impl WireWriter {
 
     /// Appends `name`, reusing compression pointers for suffixes that were
     /// already emitted.
+    ///
+    /// Allocation-free: suffix matching walks the written buffer directly
+    /// instead of keeping cloned `Name` keys.
     pub fn put_name(&mut self, name: &Name) {
-        let mut current = name.clone();
-        loop {
-            if current.is_root() {
-                self.buf.put_u8(0);
-                return;
-            }
-            if let Some(&off) = self.offsets.get(&current) {
-                debug_assert!(off <= MAX_POINTER_TARGET);
-                self.buf.put_u16(0xC000 | off as u16);
-                return;
-            }
+        // A name holds at most 127 labels, so the refs fit on the stack.
+        let mut labels: [&[u8]; MAX_LABELS] = [&[]; MAX_LABELS];
+        let mut n = 0;
+        for label in name.labels() {
+            labels[n] = label;
+            n += 1;
+        }
+        // Longest matching suffix wins: try from the whole name down.
+        let (emit, pointer) = (0..n)
+            .find_map(|i| self.find_suffix(&labels[i..n]).map(|off| (i, Some(off))))
+            .unwrap_or((n, None));
+        for label in labels[..emit].iter() {
             let here = self.buf.len();
-            if here <= MAX_POINTER_TARGET {
-                self.offsets.insert(current.clone(), here);
+            if here <= MAX_POINTER_TARGET && self.name_offsets.len() < MAX_TRACKED_OFFSETS {
+                self.name_offsets.push(here as u16);
             }
-            let label = current.first_label().expect("non-root has a label");
             self.buf.put_u8(label.len() as u8);
             self.buf.put_slice(label);
-            current = current.parent().expect("non-root has a parent");
+        }
+        match pointer {
+            Some(off) => self.buf.put_u16(0xC000 | off),
+            None => self.buf.put_u8(0),
+        }
+    }
+
+    /// Looks for a recorded suffix position whose label sequence equals
+    /// `labels` (and then terminates), walking any pointer chains already
+    /// in the buffer.
+    fn find_suffix(&self, labels: &[&[u8]]) -> Option<u16> {
+        if labels.is_empty() {
+            return None;
+        }
+        self.name_offsets
+            .iter()
+            .copied()
+            .find(|&off| self.suffix_matches(off as usize, labels))
+    }
+
+    fn suffix_matches(&self, mut pos: usize, labels: &[&[u8]]) -> bool {
+        for expected in labels {
+            pos = match self.resolve_pointers(pos) {
+                Some(p) => p,
+                None => return false,
+            };
+            let len = self.buf[pos] as usize;
+            if len == 0 || len != expected.len() {
+                return false;
+            }
+            if &self.buf[pos + 1..pos + 1 + len] != *expected {
+                return false;
+            }
+            pos += 1 + len;
+        }
+        // The stored name must terminate here: a longer stored name would
+        // compress to the wrong target.
+        matches!(self.resolve_pointers(pos), Some(p) if self.buf[p] == 0)
+    }
+
+    /// Follows compression-pointer chains starting at `pos` down to a
+    /// label (or terminal zero) offset. Everything in the buffer was
+    /// written by this writer, so chains are finite and backward-only.
+    fn resolve_pointers(&self, mut pos: usize) -> Option<usize> {
+        loop {
+            let b = *self.buf.get(pos)?;
+            if b & 0xC0 == 0xC0 {
+                let lo = *self.buf.get(pos + 1)? as usize;
+                pos = ((b & 0x3F) as usize) << 8 | lo;
+            } else {
+                return Some(pos);
+            }
         }
     }
 
@@ -163,6 +235,15 @@ impl<'a> WireReader<'a> {
     /// Creates a reader over a complete DNS message.
     pub fn new(data: &'a [u8]) -> WireReader<'a> {
         WireReader { data, pos: 0 }
+    }
+
+    /// Creates a reader positioned at `pos` within the message (pointer
+    /// chasing still sees the whole buffer).
+    pub fn new_at(data: &'a [u8], pos: usize) -> WireReader<'a> {
+        WireReader {
+            data,
+            pos: pos.min(data.len()),
+        }
     }
 
     /// Current cursor offset.
@@ -240,16 +321,77 @@ impl<'a> WireReader<'a> {
 
     /// Reads a (possibly compressed) domain name.
     ///
+    /// The temporary label buffer lives on the stack as `(offset, len)`
+    /// spans into the message — no per-label heap churn; only the final
+    /// [`Name`] owns memory.
+    ///
     /// # Errors
     ///
     /// Fails on truncated labels, reserved label types, pointer loops,
     /// forward pointers, or labels violating [`Name`] constraints.
     pub fn read_name(&mut self) -> Result<Name, WireError> {
-        let mut labels: Vec<Vec<u8>> = Vec::new();
+        let mut spans = [(0u32, 0u8); MAX_LABELS];
+        let mut count = 0usize;
+        self.walk_name(|pos, len| {
+            // Pre-check the name-length limits so `spans` cannot overflow
+            // on adversarial pointer chains.
+            if count == MAX_LABELS {
+                return Err(WireError::Name(NameError::NameTooLong));
+            }
+            spans[count] = (pos as u32, len as u8);
+            count += 1;
+            Ok(())
+        })?;
+        Name::from_labels(
+            spans[..count]
+                .iter()
+                .map(|&(pos, len)| &self.data[pos as usize..pos as usize + len as usize]),
+        )
+        .map_err(WireError::from)
+    }
+
+    /// Compares the (possibly compressed) name at the cursor against
+    /// `name` without allocating, advancing the cursor past the wire name
+    /// in either case.
+    ///
+    /// Comparison is case-insensitive, as wire names may differ in case
+    /// from the canonical (lowercased) `Name`.
+    ///
+    /// # Errors
+    ///
+    /// Same structural errors as [`WireReader::read_name`]; a well-formed
+    /// non-matching name is `Ok(false)`, not an error.
+    pub fn name_matches(&mut self, name: &Name) -> Result<bool, WireError> {
+        let mut expected = name.labels();
+        let mut equal = true;
+        let data = self.data;
+        self.walk_name(|pos, len| {
+            if equal {
+                equal = match expected.next() {
+                    Some(label) => {
+                        label.len() == len && data[pos..pos + len].eq_ignore_ascii_case(label)
+                    }
+                    None => false,
+                };
+            }
+            Ok(())
+        })?;
+        Ok(equal && expected.next().is_none())
+    }
+
+    /// Walks the name at the cursor, invoking `visit(offset, len)` per
+    /// label and leaving the cursor just past the name. Shared structure
+    /// validation for [`read_name`](Self::read_name) and
+    /// [`name_matches`](Self::name_matches).
+    fn walk_name(
+        &mut self,
+        mut visit: impl FnMut(usize, usize) -> Result<(), WireError>,
+    ) -> Result<(), WireError> {
         let mut pos = self.pos;
         // After the first pointer hop the main cursor no longer advances.
         let mut cursor_fixed: Option<usize> = None;
         let mut hops = 0usize;
+        let mut wire_len = 1usize;
 
         loop {
             let len = *self.data.get(pos).ok_or(WireError::UnexpectedEof)? as usize;
@@ -259,11 +401,14 @@ impl<'a> WireReader<'a> {
                     if len == 0 {
                         break;
                     }
-                    let label = self
-                        .data
-                        .get(pos..pos + len)
-                        .ok_or(WireError::UnexpectedEof)?;
-                    labels.push(label.to_vec());
+                    if self.data.get(pos..pos + len).is_none() {
+                        return Err(WireError::UnexpectedEof);
+                    }
+                    wire_len += 1 + len;
+                    if wire_len > MAX_NAME_LEN {
+                        return Err(WireError::Name(NameError::NameTooLong));
+                    }
+                    visit(pos, len)?;
                     pos += len;
                 }
                 0xC0 => {
@@ -288,7 +433,7 @@ impl<'a> WireReader<'a> {
         }
 
         self.pos = cursor_fixed.unwrap_or(pos);
-        Name::from_labels(labels).map_err(WireError::from)
+        Ok(())
     }
 }
 

@@ -14,7 +14,7 @@
 use crate::clock::EngineClock;
 use cde_dns::{Edns, Message};
 use cde_platform::{AuthServer, NameserverNet, QueryLogEntry};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, SendError, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
@@ -28,9 +28,59 @@ use std::time::Duration;
 const MAX_DATAGRAM: usize = 4096;
 /// Poll granularity of the serving loops; bounds shutdown latency.
 const POLL_TIMEOUT: Duration = Duration::from_millis(20);
+/// Capacity of the observation back-channels. A pipelined campaign can
+/// produce observations far faster than the measurement thread drains
+/// them; the bound turns that into drop-oldest instead of unbounded
+/// memory growth.
+pub(crate) const OBS_QUEUE_CAP: usize = 1 << 16;
 
 /// One observed query: which virtual server saw it, and the log entry.
 pub type Observation = (Ipv4Addr, QueryLogEntry);
+
+/// Producer half of a bounded observation queue with drop-oldest
+/// overflow: when the consumer falls behind, the *stalest* observation is
+/// evicted (and counted) rather than blocking a serving thread or growing
+/// without bound.
+#[derive(Clone)]
+pub(crate) struct ObsSender {
+    tx: Sender<Observation>,
+    rx: Receiver<Observation>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl ObsSender {
+    pub(crate) fn push(&self, obs: Observation) {
+        match self.tx.try_send(obs) {
+            Ok(()) => {}
+            Err(SendError(obs)) => {
+                // Full (or the consumer is gone): evict the oldest entry
+                // and retry once. Whatever ends up lost is counted.
+                let evicted = self.rx.try_recv().is_ok();
+                let requeued = self.tx.try_send(obs).is_ok();
+                let lost = u64::from(evicted) + u64::from(!requeued);
+                if lost > 0 {
+                    self.dropped.fetch_add(lost, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// Builds a bounded observation queue; returns the producer handle, the
+/// consumer end and the dropped-observation counter.
+pub(crate) fn obs_queue(cap: usize) -> (ObsSender, Receiver<Observation>, Arc<AtomicU64>) {
+    let (tx, rx) = bounded(cap);
+    let dropped = Arc::new(AtomicU64::new(0));
+    (
+        ObsSender {
+            tx,
+            rx: rx.clone(),
+            dropped: Arc::clone(&dropped),
+        },
+        rx,
+        dropped,
+    )
+}
 
 enum Control {
     /// Replace the served zone snapshot.
@@ -75,6 +125,7 @@ pub struct WireAuthority {
     addrs: HashMap<Ipv4Addr, SocketAddr>,
     sync: AuthoritySync,
     obs_rx: Receiver<Observation>,
+    obs_dropped: Arc<AtomicU64>,
     source_map: Arc<Mutex<HashMap<u16, Ipv4Addr>>>,
     served: Arc<AtomicU64>,
     shutdown: Arc<AtomicBool>,
@@ -85,7 +136,7 @@ impl WireAuthority {
     /// Binds one loopback socket per server in `net` and starts serving
     /// snapshots of their zones.
     pub fn launch(net: &NameserverNet, clock: EngineClock) -> io::Result<WireAuthority> {
-        let (obs_tx, obs_rx) = unbounded();
+        let (obs_tx, obs_rx, obs_dropped) = obs_queue(OBS_QUEUE_CAP);
         let source_map: Arc<Mutex<HashMap<u16, Ipv4Addr>>> = Arc::new(Mutex::new(HashMap::new()));
         let served = Arc::new(AtomicU64::new(0));
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -122,6 +173,7 @@ impl WireAuthority {
                 controls: Arc::new(controls),
             },
             obs_rx,
+            obs_dropped,
             source_map,
             served,
             shutdown,
@@ -163,6 +215,12 @@ impl WireAuthority {
         self.served.load(Ordering::Relaxed)
     }
 
+    /// Observations evicted because the bounded back-channel overflowed
+    /// (the consumer fell behind by more than the queue capacity).
+    pub fn dropped_observations(&self) -> u64 {
+        self.obs_dropped.load(Ordering::Relaxed)
+    }
+
     /// Drains observed queries into the canonical `net`'s logs; returns
     /// how many entries were folded in.
     pub fn drain_observations(&self, net: &mut NameserverNet) -> usize {
@@ -202,7 +260,7 @@ fn serve(
     vaddr: Ipv4Addr,
     mut server: AuthServer,
     ctl_rx: Receiver<Control>,
-    obs_tx: Sender<Observation>,
+    obs_tx: ObsSender,
     source_map: Arc<Mutex<HashMap<u16, Ipv4Addr>>>,
     served: Arc<AtomicU64>,
     shutdown: Arc<AtomicBool>,
@@ -240,7 +298,7 @@ fn serve(
         let mut resp = server.handle_with_edns(from, question, edns, clock.now());
         resp.id = query.id;
         if let Some(entry) = server.log().last().cloned() {
-            let _ = obs_tx.send((vaddr, entry));
+            obs_tx.push((vaddr, entry));
         }
         // The thread-local log only buffers the entry until it is streamed;
         // the canonical log lives with the measurement code.
@@ -357,6 +415,30 @@ mod tests {
         let resp = ask(addr, 3, &honey).unwrap();
         assert_eq!(resp.flags.rcode, Rcode::NoError);
         assert_eq!(resp.answers.len(), 1);
+    }
+
+    #[test]
+    fn bounded_obs_queue_drops_oldest_and_counts() {
+        let (tx, rx, dropped) = obs_queue(2);
+        let entry = |tag: u8| {
+            (
+                Ipv4Addr::new(10, 0, 0, 20),
+                QueryLogEntry {
+                    at: cde_netsim::SimTime::ZERO,
+                    from: Ipv4Addr::new(192, 0, 3, tag),
+                    qname: n("name.cache.example"),
+                    qtype: RecordType::A,
+                    edns: None,
+                },
+            )
+        };
+        for tag in 1..=5 {
+            tx.push(entry(tag));
+        }
+        // Capacity 2: the three oldest were evicted, the two newest kept.
+        assert_eq!(dropped.load(Ordering::Relaxed), 3);
+        let kept: Vec<u8> = rx.try_iter().map(|(_, e)| e.from.octets()[3]).collect();
+        assert_eq!(kept, vec![4, 5]);
     }
 
     #[test]

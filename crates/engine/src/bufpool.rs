@@ -1,0 +1,92 @@
+//! A free-list buffer pool for probe encodings.
+//!
+//! Every in-flight probe holds its encoded datagram so retransmits can
+//! resend the cached bytes (with a patched query id) instead of
+//! re-encoding. Allocating a fresh `Vec` per probe would put the hot path
+//! back on the allocator; the pool recycles buffers so a steady-state
+//! campaign reuses the same handful of allocations forever.
+
+/// Recycles `Vec<u8>` buffers between probes.
+///
+/// Not thread-safe by design: the reactor loop is single-threaded and the
+/// pool lives inside it.
+#[derive(Debug)]
+pub struct BufferPool {
+    free: Vec<Vec<u8>>,
+    /// Initial capacity of newly minted buffers.
+    buf_capacity: usize,
+    /// Retained free buffers; beyond this, returned buffers are dropped.
+    max_free: usize,
+}
+
+impl BufferPool {
+    /// A pool minting `buf_capacity`-byte buffers and retaining at most
+    /// `max_free` of them between uses.
+    pub fn new(buf_capacity: usize, max_free: usize) -> BufferPool {
+        BufferPool {
+            free: Vec::with_capacity(max_free.min(1024)),
+            buf_capacity,
+            max_free,
+        }
+    }
+
+    /// Takes an empty buffer (recycled if available, fresh otherwise).
+    pub fn take(&mut self) -> Vec<u8> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf
+            }
+            None => Vec::with_capacity(self.buf_capacity),
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn give(&mut self, buf: Vec<u8>) {
+        if self.free.len() < self.max_free {
+            self.free.push(buf);
+        }
+    }
+
+    /// Buffers currently sitting in the free list.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_capacity() {
+        let mut pool = BufferPool::new(64, 8);
+        let mut a = pool.take();
+        a.extend_from_slice(&[1; 100]); // grow beyond the mint size
+        let cap = a.capacity();
+        let ptr = a.as_ptr();
+        pool.give(a);
+        let b = pool.take();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap);
+        assert_eq!(b.as_ptr(), ptr, "the same allocation must come back");
+    }
+
+    #[test]
+    fn bounded_retention() {
+        let mut pool = BufferPool::new(16, 2);
+        let bufs: Vec<_> = (0..4).map(|_| pool.take()).collect();
+        for buf in bufs {
+            pool.give(buf);
+        }
+        assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn mints_when_empty() {
+        let mut pool = BufferPool::new(32, 4);
+        assert_eq!(pool.idle(), 0);
+        let buf = pool.take();
+        assert!(buf.capacity() >= 32);
+    }
+}

@@ -21,9 +21,22 @@
 //! * [`resolver`] — [`LoopbackResolver`](resolver::LoopbackResolver): a
 //!   loopback recursive-resolver shim backed by a simulated cache
 //!   platform, with injectable loss, for hermetic end-to-end tests.
+//! * [`reactor`] — the event-driven probe [`Reactor`](reactor::Reactor):
+//!   one thread multiplexing thousands of in-flight probes over
+//!   non-blocking sockets, with a correlation table (query-id / source /
+//!   question validation against spoofed and stray replies), a
+//!   hierarchical timer wheel for deadlines and retransmits, batched
+//!   `sendmmsg`/`recvmmsg` syscalls via `cde-sysio`, and pooled
+//!   zero-alloc encodings; [`ReactorTransport`](reactor::ReactorTransport)
+//!   is its one-probe-at-a-time [`Transport`](transport::Transport) seam.
 //! * [`scheduler`] — campaign execution: crossbeam worker pools, bounded
 //!   in-flight probes, token-bucket rate limiting, loss feedback into
-//!   `cde-core::planner`.
+//!   `cde-core::planner`; [`PipelinedCampaign`](scheduler::PipelinedCampaign)
+//!   streams probes through a reactor with a bounded window.
+//! * [`timer`] — [`TimerWheel`](timer::TimerWheel): the hierarchical
+//!   timing wheel backing the reactor's deadlines.
+//! * [`bufpool`] — [`BufferPool`](bufpool::BufferPool): recycled probe
+//!   encodings for the reactor's alloc-free hot path.
 //! * [`metrics`] — [`EngineMetrics`](metrics::EngineMetrics): atomic
 //!   counters and a latency histogram with a `snapshot()` API.
 //! * [`testbed`] — [`LiveTestbed`](testbed::LiveTestbed): the whole live
@@ -34,25 +47,34 @@
 #![warn(missing_docs)]
 
 pub mod authority;
+pub mod bufpool;
 pub mod clock;
 pub mod metrics;
 pub mod ratelimit;
+pub mod reactor;
 pub mod resolver;
 pub mod retry;
 pub mod scheduler;
 pub mod sim;
 pub mod testbed;
+pub mod timer;
 pub mod transport;
 pub mod udp;
 
 pub use authority::WireAuthority;
+pub use bufpool::BufferPool;
 pub use clock::EngineClock;
 pub use metrics::{EngineMetrics, MetricsSnapshot};
 pub use ratelimit::{RateConfig, RateLimiter};
+pub use reactor::{ProbeCompletion, Reactor, ReactorConfig, ReactorHandle, ReactorTransport};
 pub use resolver::{LoopbackResolver, ResolverConfig};
 pub use retry::RetryPolicy;
-pub use scheduler::{run_campaign, CampaignOptions, CampaignReport, Probe, ProbeOutcome};
+pub use scheduler::{
+    run_campaign, run_campaign_pipelined, CampaignOptions, CampaignReport, PipelinedCampaign,
+    Probe, ProbeOutcome,
+};
 pub use sim::SimTransport;
 pub use testbed::LiveTestbed;
+pub use timer::TimerWheel;
 pub use transport::{EngineAccess, Transport, TransportReply};
 pub use udp::UdpTransport;

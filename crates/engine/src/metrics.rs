@@ -10,6 +10,9 @@ use std::time::Duration;
 const BUCKETS: usize = 24;
 /// Lower edge of bucket 0, in microseconds.
 const BASE_US: u64 = 16;
+/// Power-of-two send-batch size buckets: bucket `i` counts batches of
+/// `2^i` to `2^(i+1) − 1` datagrams; the last bucket is open-ended.
+const BATCH_BUCKETS: usize = 8;
 
 /// Shared atomic counters for one engine (transport + scheduler).
 ///
@@ -40,6 +43,27 @@ pub struct EngineMetrics {
     latency_sum_us: AtomicU64,
     /// Count of recorded latencies.
     latency_count: AtomicU64,
+    /// Probes currently in flight (reactor gauge).
+    in_flight: AtomicU64,
+    /// High-water mark of the in-flight gauge.
+    in_flight_peak: AtomicU64,
+    /// Well-formed replies with no matching outstanding probe (wrong or
+    /// stale query id, or a reply arriving after the probe timed out).
+    stray_replies: AtomicU64,
+    /// Replies that matched a correlation key but came from a source
+    /// address other than the probed target — spoofing, dropped.
+    spoofed_replies: AtomicU64,
+    /// Replies that matched `(socket, id)` but echoed a different
+    /// question — a query-id collision, dropped.
+    qname_mismatches: AtomicU64,
+    /// Send-batch size histogram (power-of-two buckets).
+    batch_buckets: [AtomicU64; BATCH_BUCKETS],
+    /// Reactor loop iterations measured.
+    loop_count: AtomicU64,
+    /// Total reactor loop-iteration time, in microseconds.
+    loop_sum_us: AtomicU64,
+    /// Slowest reactor loop iteration, in microseconds.
+    loop_max_us: AtomicU64,
 }
 
 impl EngineMetrics {
@@ -86,6 +110,44 @@ impl EngineMetrics {
         self.decode_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Sets the in-flight gauge, tracking its high-water mark.
+    pub fn set_in_flight(&self, n: u64) {
+        self.in_flight.store(n, Ordering::Relaxed);
+        self.in_flight_peak.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Records a well-formed reply that matched no outstanding probe.
+    pub fn record_stray_reply(&self) {
+        self.stray_replies.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a reply from an address other than the probed target.
+    pub fn record_spoofed_reply(&self) {
+        self.spoofed_replies.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an id-matched reply echoing the wrong question.
+    pub fn record_qname_mismatch(&self) {
+        self.qname_mismatches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one batched send of `n` datagrams.
+    pub fn record_send_batch(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let idx = (usize::BITS - 1 - (n.max(1)).leading_zeros()) as usize;
+        self.batch_buckets[idx.min(BATCH_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one reactor loop iteration taking `took`.
+    pub fn record_loop_iteration(&self, took: Duration) {
+        let us = took.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.loop_count.fetch_add(1, Ordering::Relaxed);
+        self.loop_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.loop_max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
     fn bucket_for(us: u64) -> usize {
         if us < BASE_US {
             return 0;
@@ -100,6 +162,10 @@ impl EngineMetrics {
         for (dst, src) in latency_buckets.iter_mut().zip(&self.latency_buckets) {
             *dst = src.load(Ordering::Relaxed);
         }
+        let mut batch_buckets = [0u64; BATCH_BUCKETS];
+        for (dst, src) in batch_buckets.iter_mut().zip(&self.batch_buckets) {
+            *dst = src.load(Ordering::Relaxed);
+        }
         MetricsSnapshot {
             sent: self.sent.load(Ordering::Relaxed),
             received: self.received.load(Ordering::Relaxed),
@@ -111,6 +177,15 @@ impl EngineMetrics {
             latency_buckets,
             latency_sum_us: self.latency_sum_us.load(Ordering::Relaxed),
             latency_count: self.latency_count.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            in_flight_peak: self.in_flight_peak.load(Ordering::Relaxed),
+            stray_replies: self.stray_replies.load(Ordering::Relaxed),
+            spoofed_replies: self.spoofed_replies.load(Ordering::Relaxed),
+            qname_mismatches: self.qname_mismatches.load(Ordering::Relaxed),
+            batch_buckets,
+            loop_count: self.loop_count.load(Ordering::Relaxed),
+            loop_sum_us: self.loop_sum_us.load(Ordering::Relaxed),
+            loop_max_us: self.loop_max_us.load(Ordering::Relaxed),
         }
     }
 }
@@ -138,6 +213,25 @@ pub struct MetricsSnapshot {
     pub latency_sum_us: u64,
     /// Number of recorded latencies.
     pub latency_count: u64,
+    /// Probes in flight at snapshot time (reactor gauge).
+    pub in_flight: u64,
+    /// Highest in-flight count seen.
+    pub in_flight_peak: u64,
+    /// Replies with no matching outstanding probe (wrong/stale id, or
+    /// arrival after the probe's timeout).
+    pub stray_replies: u64,
+    /// Id-matched replies from an unexpected source address.
+    pub spoofed_replies: u64,
+    /// Id-matched replies echoing the wrong question (id collisions).
+    pub qname_mismatches: u64,
+    /// Send-batch size histogram (power-of-two buckets).
+    pub batch_buckets: [u64; BATCH_BUCKETS],
+    /// Reactor loop iterations measured.
+    pub loop_count: u64,
+    /// Total reactor loop time in microseconds.
+    pub loop_sum_us: u64,
+    /// Slowest reactor loop iteration in microseconds.
+    pub loop_max_us: u64,
 }
 
 impl MetricsSnapshot {
@@ -177,6 +271,23 @@ impl MetricsSnapshot {
         }
         Some(Duration::from_micros(BASE_US << (BUCKETS - 1)))
     }
+
+    /// Replies dropped without matching a probe, for any reason.
+    pub fn dropped_replies(&self) -> u64 {
+        self.stray_replies + self.spoofed_replies + self.qname_mismatches
+    }
+
+    /// Mean reactor loop-iteration time.
+    pub fn mean_loop_latency(&self) -> Option<Duration> {
+        self.loop_sum_us
+            .checked_div(self.loop_count)
+            .map(Duration::from_micros)
+    }
+
+    /// Number of batched sends recorded.
+    pub fn batches_sent(&self) -> u64 {
+        self.batch_buckets.iter().sum()
+    }
 }
 
 impl fmt::Display for MetricsSnapshot {
@@ -193,6 +304,27 @@ impl fmt::Display for MetricsSnapshot {
             self.rate_limit_wait,
             self.loss_rate() * 100.0
         )?;
+        if self.in_flight_peak > 0 || self.dropped_replies() > 0 {
+            writeln!(
+                f,
+                "in-flight {} (peak {})  dropped replies: {} stray, {} spoofed, {} id-collisions",
+                self.in_flight,
+                self.in_flight_peak,
+                self.stray_replies,
+                self.spoofed_replies,
+                self.qname_mismatches
+            )?;
+        }
+        if self.loop_count > 0 {
+            writeln!(
+                f,
+                "reactor: {} loops (mean {:?}, max {:?})  {} send batches",
+                self.loop_count,
+                self.mean_loop_latency().unwrap_or_default(),
+                Duration::from_micros(self.loop_max_us),
+                self.batches_sent()
+            )?;
+        }
         match (
             self.mean_latency(),
             self.latency_quantile(0.5),
@@ -229,6 +361,38 @@ mod tests {
         assert_eq!(s.decode_errors, 1);
         assert!(s.rate_limit_wait >= Duration::from_millis(2));
         assert!((s.loss_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reactor_counters_accumulate() {
+        let m = EngineMetrics::new();
+        m.set_in_flight(5);
+        m.set_in_flight(9);
+        m.set_in_flight(2);
+        m.record_stray_reply();
+        m.record_spoofed_reply();
+        m.record_qname_mismatch();
+        m.record_qname_mismatch();
+        m.record_send_batch(1);
+        m.record_send_batch(7);
+        m.record_send_batch(32);
+        m.record_send_batch(0); // ignored
+        m.record_loop_iteration(Duration::from_micros(100));
+        m.record_loop_iteration(Duration::from_micros(300));
+        let s = m.snapshot();
+        assert_eq!(s.in_flight, 2);
+        assert_eq!(s.in_flight_peak, 9);
+        assert_eq!(s.stray_replies, 1);
+        assert_eq!(s.spoofed_replies, 1);
+        assert_eq!(s.qname_mismatches, 2);
+        assert_eq!(s.dropped_replies(), 4);
+        assert_eq!(s.batches_sent(), 3);
+        assert_eq!(s.batch_buckets[0], 1); // batch of 1
+        assert_eq!(s.batch_buckets[2], 1); // batch of 7 → [4, 8)
+        assert_eq!(s.batch_buckets[5], 1); // batch of 32
+        assert_eq!(s.loop_count, 2);
+        assert_eq!(s.mean_loop_latency(), Some(Duration::from_micros(200)));
+        assert_eq!(s.loop_max_us, 300);
     }
 
     #[test]

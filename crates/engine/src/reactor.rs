@@ -1,0 +1,1017 @@
+//! The probe reactor: thousands of probes in flight over a few sockets.
+//!
+//! [`UdpTransport`](crate::udp::UdpTransport) is lockstep-blocking — each
+//! worker parks in `recv` until reply-or-deadline, so aggregate throughput
+//! is `workers / RTT` no matter what the network could absorb. The
+//! [`Reactor`] replaces that with a single readiness-driven event loop
+//! over non-blocking sockets:
+//!
+//! * a **correlation table** keyed on `(socket, query id)` matches replies
+//!   to outstanding probes, verifying the echoed question (id collisions)
+//!   and the source address (spoofed answers) before accepting;
+//! * a **[hierarchical timer wheel](crate::timer::TimerWheel)** drives
+//!   per-probe deadlines and [`RetryPolicy`] retransmits without a thread
+//!   per probe;
+//! * **batched syscalls** (`cde-sysio`'s `sendmmsg`/`recvmmsg`) move whole
+//!   bursts per kernel crossing;
+//! * a **buffer pool + reusable [`WireWriter`]** keep the hot path free of
+//!   heap allocation — retransmits patch a fresh query id into the cached
+//!   encoding instead of re-encoding.
+//!
+//! Probes are submitted over a channel and complete over a caller-supplied
+//! channel, so any number of clients can pipeline against one reactor.
+//! [`ReactorTransport`] wraps it back into the blocking one-probe
+//! [`Transport`] seam for `cde-core`'s algorithms.
+
+use crate::authority::WireAuthority;
+use crate::bufpool::BufferPool;
+use crate::metrics::EngineMetrics;
+use crate::ratelimit::RateLimiter;
+use crate::resolver::LoopbackResolver;
+use crate::retry::RetryPolicy;
+use crate::timer::TimerWheel;
+use crate::transport::{Transport, TransportReply};
+use crate::udp::SyncLink;
+use cde_core::AccessProvider;
+use cde_dns::wire::WireWriter;
+use cde_dns::{Message, MessagePeek, Name, RecordType};
+use cde_netsim::{DetRng, SimDuration, SimTime};
+use cde_platform::NameserverNet;
+use cde_sysio::{RecvSlot, SendItem, MAX_BATCH};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use rand::Rng;
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Timer-wheel granularity. Deadlines and backoffs are millisecond-scale,
+/// so a 1 ms tick wastes no precision the wire could deliver.
+const TICK: Duration = Duration::from_millis(1);
+/// Idle sleep while probes are in flight (lets the loopback serving
+/// threads run on small machines; bounds added reply latency).
+const BUSY_IDLE: Duration = Duration::from_micros(500);
+/// Idle sleep with nothing in flight; bounds shutdown latency.
+const DRAINED_IDLE: Duration = Duration::from_millis(20);
+
+/// Hardware-derived in-flight default: enough depth to hide RTT on any
+/// machine, scaled up with cores.
+fn default_max_in_flight() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .saturating_mul(1024)
+        .clamp(1024, 16 * 1024)
+}
+
+/// Sizing and policy knobs for one [`Reactor`].
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Sockets in the pool. Replies correlate per socket, so the pool
+    /// bounds id-space pressure; sends rotate across it for source-port
+    /// diversity.
+    pub sockets: usize,
+    /// Correlation-table capacity: probes held in flight at once.
+    pub max_in_flight: usize,
+    /// Per-probe deadline/retransmit schedule.
+    pub policy: RetryPolicy,
+    /// Optional shared pacing (batch-aware token take).
+    pub limiter: Option<Arc<RateLimiter>>,
+    /// Seed for query-id generation and retransmit jitter.
+    pub seed: u64,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> ReactorConfig {
+        let max_in_flight = default_max_in_flight();
+        ReactorConfig {
+            // Pool sized to the in-flight target: one socket per ~256
+            // outstanding probes keeps the id space per socket sparse.
+            sockets: (max_in_flight / 256).clamp(4, 16),
+            max_in_flight,
+            policy: RetryPolicy::default(),
+            limiter: None,
+            seed: 0,
+        }
+    }
+}
+
+impl ReactorConfig {
+    /// The default sizing with a specific retry policy and seed.
+    pub fn with_policy(policy: RetryPolicy, seed: u64) -> ReactorConfig {
+        ReactorConfig {
+            policy,
+            seed,
+            ..ReactorConfig::default()
+        }
+    }
+}
+
+/// One finished probe, delivered on the submitter's completion channel.
+#[derive(Debug, Clone)]
+pub struct ProbeCompletion {
+    /// The caller's correlation token, echoed back.
+    pub token: u64,
+    /// What the wire produced.
+    pub reply: TransportReply,
+}
+
+/// A probe handed to the reactor.
+struct Submission {
+    token: u64,
+    ingress: Ipv4Addr,
+    qname: Name,
+    qtype: RecordType,
+    done: Sender<ProbeCompletion>,
+}
+
+/// Clone-able submission handle to a running [`Reactor`].
+#[derive(Debug, Clone)]
+pub struct ReactorHandle {
+    submit: Sender<Submission>,
+    metrics: Arc<EngineMetrics>,
+}
+
+impl ReactorHandle {
+    /// Submits one probe; its [`ProbeCompletion`] (tagged `token`) will
+    /// arrive on `done`. Returns `false` if the reactor has shut down.
+    pub fn submit(
+        &self,
+        token: u64,
+        ingress: Ipv4Addr,
+        qname: Name,
+        qtype: RecordType,
+        done: &Sender<ProbeCompletion>,
+    ) -> bool {
+        self.submit
+            .send(Submission {
+                token,
+                ingress,
+                qname,
+                qtype,
+                done: done.clone(),
+            })
+            .is_ok()
+    }
+
+    /// The reactor's shared metrics.
+    pub fn metrics(&self) -> Arc<EngineMetrics> {
+        Arc::clone(&self.metrics)
+    }
+}
+
+/// The event-driven probe engine. See the module docs.
+pub struct Reactor {
+    handle: ReactorHandle,
+    policy: RetryPolicy,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Reactor {
+    /// Binds the socket pool and starts the event loop.
+    ///
+    /// `targets` maps platform ingress addresses to the real sockets
+    /// serving them (e.g. [`LoopbackResolver::ingress_addrs`]).
+    pub fn launch(
+        targets: HashMap<Ipv4Addr, SocketAddr>,
+        config: ReactorConfig,
+    ) -> io::Result<Reactor> {
+        let mut sockets = Vec::with_capacity(config.sockets.max(1));
+        for _ in 0..config.sockets.max(1) {
+            let socket = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
+            socket.set_nonblocking(true)?;
+            sockets.push(socket);
+        }
+        let (submit_tx, submit_rx) = unbounded();
+        let metrics = Arc::new(EngineMetrics::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let max_in_flight = config.max_in_flight.max(1);
+        let event_loop = EventLoop {
+            targets,
+            sockets,
+            next_socket: 0,
+            submit_rx,
+            stash: None,
+            disconnected: false,
+            slots: (0..max_in_flight).map(|_| None).collect(),
+            free_slots: (0..max_in_flight).rev().collect(),
+            occupied: 0,
+            correlation: HashMap::with_capacity(max_in_flight),
+            timers: TimerWheel::new(0),
+            expired: Vec::new(),
+            ready: VecDeque::with_capacity(max_in_flight),
+            admitted: Vec::new(),
+            pool: BufferPool::new(128, max_in_flight),
+            writer: WireWriter::new(),
+            recv_slots: (0..MAX_BATCH).map(|_| RecvSlot::new()).collect(),
+            policy: config.policy,
+            limiter: config.limiter,
+            rng: DetRng::seed(config.seed).fork("reactor"),
+            generation: 0,
+            start: Instant::now(),
+            metrics: Arc::clone(&metrics),
+            shutdown: Arc::clone(&shutdown),
+        };
+        let thread = std::thread::Builder::new()
+            .name("cde-reactor".into())
+            .spawn(move || event_loop.run())?;
+        Ok(Reactor {
+            handle: ReactorHandle {
+                submit: submit_tx,
+                metrics,
+            },
+            policy: config.policy,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// A clone-able submission handle.
+    pub fn handle(&self) -> ReactorHandle {
+        self.handle.clone()
+    }
+
+    /// The reactor's shared metrics.
+    pub fn metrics(&self) -> Arc<EngineMetrics> {
+        Arc::clone(&self.handle.metrics)
+    }
+
+    /// The per-probe retry policy the loop applies.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Reactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor")
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+/// Where one in-flight probe stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PendingState {
+    /// Waiting to be (re)sent — rate-limit delay or retransmit backoff.
+    Scheduled,
+    /// On the wire, awaiting a reply until the deadline timer fires.
+    Waiting,
+}
+
+/// One correlation-table entry.
+struct Pending {
+    generation: u64,
+    token: u64,
+    ingress: Ipv4Addr,
+    qname: Name,
+    qtype: RecordType,
+    target: SocketAddrV4,
+    /// Cached wire encoding; retransmits patch bytes 0–1 (the id).
+    bytes: Vec<u8>,
+    socket: usize,
+    id: u16,
+    attempt: u32,
+    sent_at: Instant,
+    state: PendingState,
+    done: Sender<ProbeCompletion>,
+}
+
+/// What a timer firing means. Events are validated against the slot's
+/// generation and attempt, so cancellation is free (stale events no-op).
+#[derive(Debug, Clone, Copy)]
+struct TimerEvent {
+    slot: usize,
+    generation: u64,
+    attempt: u32,
+    kind: EventKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// The attempt's read deadline passed: retransmit or give up.
+    Deadline,
+    /// A scheduled (delayed) send is now due.
+    Send,
+}
+
+struct EventLoop {
+    targets: HashMap<Ipv4Addr, SocketAddr>,
+    sockets: Vec<UdpSocket>,
+    next_socket: usize,
+    submit_rx: Receiver<Submission>,
+    /// A submission picked up while idling, admitted next iteration.
+    stash: Option<Submission>,
+    disconnected: bool,
+    slots: Vec<Option<Pending>>,
+    free_slots: Vec<usize>,
+    occupied: usize,
+    correlation: HashMap<(usize, u16), usize>,
+    timers: TimerWheel<TimerEvent>,
+    expired: Vec<TimerEvent>,
+    ready: VecDeque<usize>,
+    admitted: Vec<usize>,
+    pool: BufferPool,
+    writer: WireWriter,
+    recv_slots: Vec<RecvSlot>,
+    policy: RetryPolicy,
+    limiter: Option<Arc<RateLimiter>>,
+    rng: DetRng,
+    generation: u64,
+    start: Instant,
+    metrics: Arc<EngineMetrics>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            let iter_start = Instant::now();
+            let mut progress = self.admit();
+            progress |= self.fire_timers();
+            progress |= self.send_ready();
+            progress |= self.receive();
+            self.metrics.record_loop_iteration(iter_start.elapsed());
+            if self.disconnected && self.occupied == 0 && self.stash.is_none() {
+                break;
+            }
+            if progress {
+                // Busy: stay hot, but let serving threads run on small
+                // machines.
+                std::thread::yield_now();
+            } else {
+                self.idle_wait();
+            }
+        }
+    }
+
+    fn now_tick(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn ticks(d: Duration) -> u64 {
+        if d.is_zero() {
+            0
+        } else {
+            (d.as_millis() as u64).max(1)
+        }
+    }
+
+    /// Pulls submissions into free correlation slots; batch-debits the
+    /// rate limiter for everything admitted this round.
+    fn admit(&mut self) -> bool {
+        debug_assert!(self.admitted.is_empty());
+        while !self.free_slots.is_empty() {
+            let sub = if let Some(stashed) = self.stash.take() {
+                stashed
+            } else {
+                match self.submit_rx.try_recv() {
+                    Ok(sub) => sub,
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        self.disconnected = true;
+                        break;
+                    }
+                }
+            };
+            self.admit_one(sub);
+        }
+        if self.admitted.is_empty() {
+            return false;
+        }
+        self.metrics.set_in_flight(self.occupied as u64);
+        let admitted = std::mem::take(&mut self.admitted);
+        if let Some(limiter) = self.limiter.clone() {
+            // Batch-aware token take: one bucket update per distinct
+            // ingress in the admitted burst, not one per probe.
+            let mut groups: Vec<(Ipv4Addr, u32)> = Vec::new();
+            for &slot in &admitted {
+                let ingress = self.slots[slot].as_ref().expect("admitted slot").ingress;
+                match groups.iter_mut().find(|(ip, _)| *ip == ingress) {
+                    Some((_, n)) => *n += 1,
+                    None => groups.push((ingress, 1)),
+                }
+            }
+            let mut waits: Vec<(Ipv4Addr, Duration)> = Vec::with_capacity(groups.len());
+            for (ingress, n) in groups {
+                waits.push((ingress, limiter.debit_n(ingress, n)));
+            }
+            let now_tick = self.now_tick();
+            for &slot in &admitted {
+                let ingress = self.slots[slot].as_ref().expect("admitted slot").ingress;
+                let wait = waits
+                    .iter()
+                    .find(|(ip, _)| *ip == ingress)
+                    .map(|(_, w)| *w)
+                    .unwrap_or_default();
+                if wait.is_zero() {
+                    self.ready.push_back(slot);
+                } else {
+                    // Pay the limiter by scheduling, not sleeping.
+                    self.metrics.record_rate_limit_stall(wait);
+                    let p = self.slots[slot].as_ref().expect("admitted slot");
+                    self.timers.schedule(
+                        now_tick + Self::ticks(wait),
+                        TimerEvent {
+                            slot,
+                            generation: p.generation,
+                            attempt: 0,
+                            kind: EventKind::Send,
+                        },
+                    );
+                }
+            }
+        } else {
+            self.ready.extend(admitted.iter().copied());
+        }
+        self.admitted = admitted;
+        self.admitted.clear();
+        true
+    }
+
+    fn admit_one(&mut self, sub: Submission) {
+        let target = match self.targets.get(&sub.ingress) {
+            Some(SocketAddr::V4(v4)) => *v4,
+            // No route to this ingress — indistinguishable from loss.
+            _ => {
+                self.metrics.record_timeout();
+                let _ = sub.done.send(ProbeCompletion {
+                    token: sub.token,
+                    reply: TransportReply::TimedOut,
+                });
+                return;
+            }
+        };
+        let slot = self.free_slots.pop().expect("admit checked free_slots");
+        self.generation += 1;
+        self.slots[slot] = Some(Pending {
+            generation: self.generation,
+            token: sub.token,
+            ingress: sub.ingress,
+            qname: sub.qname,
+            qtype: sub.qtype,
+            target,
+            bytes: self.pool.take(),
+            socket: usize::MAX,
+            id: 0,
+            attempt: 0,
+            sent_at: Instant::now(),
+            state: PendingState::Scheduled,
+            done: sub.done,
+        });
+        self.occupied += 1;
+        self.admitted.push(slot);
+    }
+
+    /// Advances the wheel and acts on expired, still-valid events.
+    fn fire_timers(&mut self) -> bool {
+        let now_tick = self.now_tick();
+        let mut expired = std::mem::take(&mut self.expired);
+        expired.clear();
+        self.timers.advance(now_tick, &mut expired);
+        let mut progress = false;
+        for ev in expired.drain(..) {
+            let Some(p) = self.slots[ev.slot].as_ref() else {
+                continue;
+            };
+            if p.generation != ev.generation || p.attempt != ev.attempt {
+                continue; // lazily cancelled
+            }
+            match ev.kind {
+                EventKind::Send => {
+                    if p.state == PendingState::Scheduled {
+                        self.ready.push_back(ev.slot);
+                        progress = true;
+                    }
+                }
+                EventKind::Deadline => {
+                    if p.state != PendingState::Waiting {
+                        continue;
+                    }
+                    progress = true;
+                    // The attempt is dead: late replies to its id must
+                    // land as strays, never match.
+                    self.correlation.remove(&(p.socket, p.id));
+                    if ev.attempt + 1 >= self.policy.attempts.max(1) {
+                        self.metrics.record_timeout();
+                        self.complete(ev.slot, TransportReply::TimedOut);
+                    } else {
+                        let delay = self.policy.delay_before(ev.attempt + 1, &mut self.rng);
+                        let p = self.slots[ev.slot].as_mut().expect("checked above");
+                        p.attempt += 1;
+                        p.state = PendingState::Scheduled;
+                        self.metrics.record_retry();
+                        self.timers.schedule(
+                            now_tick + Self::ticks(delay),
+                            TimerEvent {
+                                slot: ev.slot,
+                                generation: ev.generation,
+                                attempt: ev.attempt + 1,
+                                kind: EventKind::Send,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        self.expired = expired;
+        progress
+    }
+
+    /// Drains the ready queue in batches: one `sendmmsg` per socket per
+    /// round, rotating sockets for source-port diversity.
+    fn send_ready(&mut self) -> bool {
+        if self.ready.is_empty() {
+            return false;
+        }
+        let mut progress = false;
+        for _ in 0..self.sockets.len() {
+            if self.ready.is_empty() {
+                break;
+            }
+            let socket_idx = self.next_socket;
+            self.next_socket = (self.next_socket + 1) % self.sockets.len();
+            let count = self.ready.len().min(MAX_BATCH);
+            let mut batch = [0usize; MAX_BATCH];
+            for b in batch.iter_mut().take(count) {
+                *b = self.ready.pop_front().expect("counted");
+            }
+            let batch = &batch[..count];
+            // Arm each probe: fresh id patched into the cached encoding
+            // (first send encodes via the reusable writer — no per-probe
+            // allocation either way).
+            for &slot in batch {
+                let id = fresh_id(&mut self.rng, &self.correlation, socket_idx);
+                let p = self.slots[slot].as_mut().expect("ready slot occupied");
+                p.socket = socket_idx;
+                p.id = id;
+                if p.bytes.is_empty() {
+                    Message::encode_query_into(&mut self.writer, id, &p.qname, p.qtype);
+                    p.bytes.extend_from_slice(self.writer.as_slice());
+                } else {
+                    p.bytes[0..2].copy_from_slice(&id.to_be_bytes());
+                }
+                self.correlation.insert((socket_idx, id), slot);
+            }
+            let empty: &[u8] = &[];
+            let mut items = [SendItem {
+                payload: empty,
+                dest: SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0),
+            }; MAX_BATCH];
+            for (item, &slot) in items.iter_mut().zip(batch) {
+                let p = self.slots[slot].as_ref().expect("ready slot occupied");
+                *item = SendItem {
+                    payload: &p.bytes,
+                    dest: p.target,
+                };
+            }
+            let outcome = cde_sysio::send_batch(&self.sockets[socket_idx], &items[..count]);
+            let now_tick = self.now_tick();
+            match outcome {
+                Ok(sent) => {
+                    if sent > 0 {
+                        progress = true;
+                        self.metrics.record_send_batch(sent);
+                    }
+                    for (i, &slot) in batch.iter().enumerate().rev() {
+                        if i < sent {
+                            let p = self.slots[slot].as_mut().expect("ready slot occupied");
+                            p.state = PendingState::Waiting;
+                            p.sent_at = Instant::now();
+                            self.metrics.record_sent();
+                            let deadline =
+                                now_tick + Self::ticks(self.policy.timeout_for(p.attempt)).max(1);
+                            self.timers.schedule(
+                                deadline,
+                                TimerEvent {
+                                    slot,
+                                    generation: p.generation,
+                                    attempt: p.attempt,
+                                    kind: EventKind::Deadline,
+                                },
+                            );
+                        } else {
+                            // Kernel backpressure: retract and retry next
+                            // round (reverse order keeps FIFO).
+                            let p = self.slots[slot].as_ref().expect("ready slot occupied");
+                            self.correlation.remove(&(socket_idx, p.id));
+                            self.ready.push_front(slot);
+                        }
+                    }
+                }
+                Err(_) => {
+                    // A hard socket error: fail the whole batch rather
+                    // than spin on it.
+                    for &slot in batch {
+                        let p = self.slots[slot].as_ref().expect("ready slot occupied");
+                        self.correlation.remove(&(socket_idx, p.id));
+                        self.metrics.record_timeout();
+                        self.complete(slot, TransportReply::TimedOut);
+                    }
+                }
+            }
+        }
+        progress
+    }
+
+    /// Drains every socket's receive queue in batches and correlates.
+    fn receive(&mut self) -> bool {
+        let mut progress = false;
+        let mut recv_slots = std::mem::take(&mut self.recv_slots);
+        for socket_idx in 0..self.sockets.len() {
+            loop {
+                let got =
+                    cde_sysio::recv_batch(&self.sockets[socket_idx], &mut recv_slots).unwrap_or(0);
+                if got == 0 {
+                    break;
+                }
+                progress = true;
+                for rs in recv_slots.iter().take(got) {
+                    let Some(from) = rs.from() else { continue };
+                    self.process_datagram(socket_idx, rs.bytes(), from);
+                }
+                if got < recv_slots.len() {
+                    break;
+                }
+            }
+        }
+        self.recv_slots = recv_slots;
+        progress
+    }
+
+    /// Correlates one inbound datagram, enforcing the anti-spoofing
+    /// checks: id match, source address match, echoed-question match.
+    fn process_datagram(&mut self, socket_idx: usize, bytes: &[u8], from: SocketAddrV4) {
+        let Ok(peek) = MessagePeek::parse(bytes) else {
+            self.metrics.record_decode_error();
+            return;
+        };
+        if !peek.is_response() {
+            return;
+        }
+        let Some(&slot) = self.correlation.get(&(socket_idx, peek.id())) else {
+            // Wrong id, or a duplicate/late reply after the deadline
+            // already retired the attempt.
+            self.metrics.record_stray_reply();
+            return;
+        };
+        let p = self.slots[slot].as_ref().expect("correlated slot occupied");
+        if from != p.target {
+            // Right id, wrong source: off-path spoofing. Keep waiting for
+            // the genuine answer.
+            self.metrics.record_spoofed_reply();
+            return;
+        }
+        match peek.question_matches(&p.qname, p.qtype) {
+            Ok(true) => {}
+            Ok(false) => {
+                // Id collision: someone else's answer hashed onto our id.
+                self.metrics.record_qname_mismatch();
+                return;
+            }
+            Err(_) => {
+                self.metrics.record_decode_error();
+                return;
+            }
+        }
+        let rtt = p.sent_at.elapsed();
+        self.metrics.record_received(rtt);
+        self.complete(
+            slot,
+            TransportReply::Answered {
+                latency: Some(SimDuration::from_micros(rtt.as_micros() as u64)),
+                rcode: peek.flags().rcode,
+            },
+        );
+    }
+
+    /// Retires a slot: frees the correlation entry, recycles the buffer,
+    /// delivers the completion. Timers die by lazy cancellation.
+    fn complete(&mut self, slot: usize, reply: TransportReply) {
+        let p = self.slots[slot].take().expect("completing occupied slot");
+        self.correlation.remove(&(p.socket, p.id));
+        self.pool.give(p.bytes);
+        self.occupied -= 1;
+        self.free_slots.push(slot);
+        self.metrics.set_in_flight(self.occupied as u64);
+        let _ = p.done.send(ProbeCompletion {
+            token: p.token,
+            reply,
+        });
+    }
+
+    /// Nothing to do right now: sleep until the next timer or a new
+    /// submission, whichever comes first.
+    fn idle_wait(&mut self) {
+        let wait = if self.occupied == 0 && self.ready.is_empty() {
+            DRAINED_IDLE
+        } else {
+            let now = self.now_tick();
+            let ticks_away = self.timers.next_due().map_or(1, |t| t.saturating_sub(now));
+            (TICK * ticks_away.clamp(1, 4) as u32)
+                .min(Duration::from_millis(4))
+                .max(BUSY_IDLE)
+        };
+        if self.disconnected {
+            // recv_timeout would return instantly on a dead channel.
+            std::thread::sleep(wait);
+            return;
+        }
+        match self.submit_rx.recv_timeout(wait) {
+            Ok(sub) => self.stash = Some(sub),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => self.disconnected = true,
+        }
+    }
+}
+
+/// Picks a query id unused on `socket`, preferring a random draw and
+/// linearly probing on collision.
+fn fresh_id(rng: &mut DetRng, correlation: &HashMap<(usize, u16), usize>, socket: usize) -> u16 {
+    let mut id: u16 = rng.gen();
+    for _ in 0..=u16::MAX {
+        if !correlation.contains_key(&(socket, id)) {
+            return id;
+        }
+        id = id.wrapping_add(1);
+    }
+    id // unreachable: the table can never hold 65 536 entries per socket
+}
+
+/// The one-shot blocking seam over a [`Reactor`]: a [`Transport`], so
+/// `cde-core`'s algorithms (and [`EngineAccess`](crate::EngineAccess))
+/// run on the reactor unchanged.
+pub struct ReactorTransport {
+    reactor: Reactor,
+    net: NameserverNet,
+    link: Option<SyncLink>,
+    done_tx: Sender<ProbeCompletion>,
+    done_rx: Receiver<ProbeCompletion>,
+    next_token: u64,
+    dirty: bool,
+}
+
+impl ReactorTransport {
+    /// Wires a reactor-backed transport to a launched resolver (and
+    /// optionally the authority behind it), mirroring
+    /// [`UdpTransport::connect`](crate::udp::UdpTransport::connect).
+    pub fn connect(
+        resolver: &LoopbackResolver,
+        authority: Option<&WireAuthority>,
+        net: NameserverNet,
+        config: ReactorConfig,
+    ) -> io::Result<ReactorTransport> {
+        let mut transport =
+            ReactorTransport::direct(resolver.ingress_addrs().clone(), net, config)?;
+        transport.link = Some(SyncLink::connect(resolver, authority));
+        Ok(transport)
+    }
+
+    /// A reactor-backed transport aimed at arbitrary `targets` with no
+    /// serving-side back-channel.
+    pub fn direct(
+        targets: HashMap<Ipv4Addr, SocketAddr>,
+        net: NameserverNet,
+        config: ReactorConfig,
+    ) -> io::Result<ReactorTransport> {
+        let reactor = Reactor::launch(targets, config)?;
+        let (done_tx, done_rx) = unbounded();
+        Ok(ReactorTransport {
+            reactor,
+            net,
+            link: None,
+            done_tx,
+            done_rx,
+            next_token: 0,
+            dirty: true,
+        })
+    }
+
+    /// The reactor behind this transport (for pipelined submission).
+    pub fn reactor(&self) -> &Reactor {
+        &self.reactor
+    }
+
+    /// Per-attempt wire loss observed so far.
+    pub fn observed_loss_rate(&self) -> f64 {
+        self.reactor.metrics().snapshot().loss_rate()
+    }
+
+    fn sync_if_dirty(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        if let Some(link) = &self.link {
+            link.push(&self.net);
+        }
+        self.dirty = false;
+    }
+
+    fn drain_observations(&mut self) {
+        if let Some(link) = &self.link {
+            link.drain_into(&mut self.net);
+        }
+    }
+}
+
+impl std::fmt::Debug for ReactorTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactorTransport")
+            .field("reactor", &self.reactor)
+            .finish()
+    }
+}
+
+impl Transport for ReactorTransport {
+    fn query(
+        &mut self,
+        ingress: Ipv4Addr,
+        qname: &Name,
+        qtype: RecordType,
+        _now: SimTime,
+    ) -> TransportReply {
+        self.sync_if_dirty();
+        let token = self.next_token;
+        self.next_token += 1;
+        if !self
+            .reactor
+            .handle
+            .submit(token, ingress, qname.clone(), qtype, &self.done_tx)
+        {
+            return TransportReply::TimedOut;
+        }
+        // Generous upper bound: the reactor itself enforces the real
+        // deadlines; this only guards against a dead loop.
+        let grace = self.reactor.policy().worst_case() + Duration::from_secs(2);
+        loop {
+            match self.done_rx.recv_timeout(grace) {
+                Ok(c) if c.token == token => {
+                    self.drain_observations();
+                    return c.reply;
+                }
+                // A stale completion from an abandoned earlier query.
+                Ok(_) => continue,
+                Err(_) => {
+                    self.drain_observations();
+                    return TransportReply::TimedOut;
+                }
+            }
+        }
+    }
+
+    fn net(&self) -> &NameserverNet {
+        &self.net
+    }
+
+    fn net_mut(&mut self) -> &mut NameserverNet {
+        self.dirty = true;
+        &mut self.net
+    }
+
+    fn metrics(&self) -> Arc<EngineMetrics> {
+        self.reactor.metrics()
+    }
+}
+
+impl AccessProvider for ReactorTransport {
+    type Channel<'a>
+        = crate::transport::EngineAccess<'a, ReactorTransport>
+    where
+        Self: 'a;
+
+    fn channel(&mut self, ingress: Ipv4Addr) -> Self::Channel<'_> {
+        crate::transport::EngineAccess::new(self, ingress)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy_ms(attempts: u32, timeout_ms: u64) -> RetryPolicy {
+        RetryPolicy {
+            attempts,
+            timeout: Duration::from_millis(timeout_ms),
+            backoff: 1.0,
+            base_delay: Duration::from_millis(1),
+            jitter: 0.0,
+        }
+    }
+
+    #[test]
+    fn unroutable_ingress_completes_as_timeout() {
+        let reactor = Reactor::launch(
+            HashMap::new(),
+            ReactorConfig::with_policy(policy_ms(1, 20), 3),
+        )
+        .unwrap();
+        let (done_tx, done_rx) = unbounded();
+        let qname: Name = "x.example".parse().unwrap();
+        assert!(reactor.handle().submit(
+            7,
+            Ipv4Addr::new(192, 0, 2, 1),
+            qname,
+            RecordType::A,
+            &done_tx
+        ));
+        let c = done_rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(c.token, 7);
+        assert_eq!(c.reply, TransportReply::TimedOut);
+        assert_eq!(reactor.metrics().snapshot().timeouts, 1);
+    }
+
+    #[test]
+    fn silent_target_retries_then_times_out() {
+        let sink = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let ingress = Ipv4Addr::new(192, 0, 2, 1);
+        let mut targets = HashMap::new();
+        targets.insert(ingress, sink.local_addr().unwrap());
+        let reactor =
+            Reactor::launch(targets, ReactorConfig::with_policy(policy_ms(3, 15), 9)).unwrap();
+        let (done_tx, done_rx) = unbounded();
+        let qname: Name = "y.example".parse().unwrap();
+        reactor
+            .handle()
+            .submit(1, ingress, qname, RecordType::A, &done_tx);
+        let c = done_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(c.reply, TransportReply::TimedOut);
+        let snap = reactor.metrics().snapshot();
+        assert_eq!(snap.sent, 3);
+        assert_eq!(snap.retries, 2);
+        assert_eq!(snap.timeouts, 1);
+        assert_eq!(snap.in_flight, 0);
+        assert_eq!(snap.in_flight_peak, 1);
+    }
+
+    #[test]
+    fn many_probes_pipeline_through_one_echo_server() {
+        // An echo server answering every query: N probes must all
+        // complete while overlapping in flight.
+        let server = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        server
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let server_addr = server.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let server_thread = std::thread::spawn({
+            let stop = Arc::clone(&stop);
+            move || {
+                let mut buf = [0u8; 2048];
+                while !stop.load(Ordering::SeqCst) {
+                    let Ok((len, peer)) = server.recv_from(&mut buf) else {
+                        continue;
+                    };
+                    if let Ok(q) = Message::decode(&buf[..len]) {
+                        let resp = Message::response_to(&q);
+                        let _ = server.send_to(&resp.encode().unwrap(), peer);
+                    }
+                }
+            }
+        });
+
+        let ingress = Ipv4Addr::new(192, 0, 2, 5);
+        let mut targets = HashMap::new();
+        targets.insert(ingress, server_addr);
+        let reactor =
+            Reactor::launch(targets, ReactorConfig::with_policy(policy_ms(3, 500), 11)).unwrap();
+        let (done_tx, done_rx) = unbounded();
+        let total = 300u64;
+        let handle = reactor.handle();
+        for token in 0..total {
+            let qname: Name = format!("p-{token}.cache.example").parse().unwrap();
+            assert!(handle.submit(token, ingress, qname, RecordType::A, &done_tx));
+        }
+        let mut answered = 0;
+        for _ in 0..total {
+            let c = done_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+            if c.reply.is_answered() {
+                answered += 1;
+            }
+        }
+        stop.store(true, Ordering::SeqCst);
+        server_thread.join().unwrap();
+        assert_eq!(answered, total, "every echoed probe must complete");
+        let snap = reactor.metrics().snapshot();
+        assert_eq!(snap.received, total);
+        assert!(
+            snap.in_flight_peak > 1,
+            "probes never overlapped (peak {})",
+            snap.in_flight_peak
+        );
+        assert!(snap.batches_sent() > 0);
+        assert!(snap.loop_count > 0);
+    }
+}

@@ -12,7 +12,7 @@
 //! Loss is injected here — deterministically, from a seeded RNG — which
 //! is what makes retry/backoff behaviour testable hermetically.
 
-use crate::authority::{Observation, SourceRegistrar, WireAuthority};
+use crate::authority::{obs_queue, ObsSender, Observation, SourceRegistrar, WireAuthority};
 use crate::clock::EngineClock;
 use cde_dns::{Message, Question, Rcode};
 use cde_netsim::DetRng;
@@ -22,7 +22,7 @@ use rand::Rng;
 use std::collections::HashMap;
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -32,6 +32,11 @@ const MAX_DATAGRAM: usize = 4096;
 const IDLE_SLEEP: Duration = Duration::from_micros(200);
 /// How long a replayed upstream query waits for the authority's answer.
 const REPLAY_TIMEOUT: Duration = Duration::from_millis(250);
+/// Datagrams drained per socket per loop pass. A reactor-driven campaign
+/// lands whole `sendmmsg` bursts at once; draining one datagram per pass
+/// (the old behaviour) would cap throughput at one query per
+/// `IDLE_SLEEP`-ish iteration.
+const RECV_BURST: usize = 64;
 
 /// Behaviour knobs for the loopback platform front-end.
 #[derive(Debug, Clone, Copy)]
@@ -83,6 +88,7 @@ pub struct LoopbackResolver {
     ingress_addrs: HashMap<Ipv4Addr, SocketAddr>,
     sync: ResolverSync,
     obs_rx: Receiver<Observation>,
+    obs_dropped: Arc<AtomicU64>,
     shutdown: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
 }
@@ -109,7 +115,7 @@ impl LoopbackResolver {
             sockets.push((ingress, socket));
         }
         let (ctl_tx, ctl_rx) = unbounded();
-        let (obs_tx, obs_rx) = unbounded();
+        let (obs_tx, obs_rx, obs_dropped) = obs_queue(crate::authority::OBS_QUEUE_CAP);
         let shutdown = Arc::new(AtomicBool::new(false));
         let authority_link = authority.map(|a| (a.addrs().clone(), a.registrar()));
         let handle = std::thread::spawn({
@@ -132,6 +138,7 @@ impl LoopbackResolver {
             ingress_addrs,
             sync: ResolverSync { ctl: ctl_tx },
             obs_rx,
+            obs_dropped,
             shutdown,
             handle: Some(handle),
         })
@@ -160,6 +167,11 @@ impl LoopbackResolver {
     /// A clone of the observation stream, for a transport to drain.
     pub fn observations(&self) -> Receiver<Observation> {
         self.obs_rx.clone()
+    }
+
+    /// Observations evicted because the bounded back-channel overflowed.
+    pub fn dropped_observations(&self) -> u64 {
+        self.obs_dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -229,7 +241,7 @@ fn run(
     mut net: NameserverNet,
     sockets: Vec<(Ipv4Addr, UdpSocket)>,
     ctl_rx: Receiver<Control>,
-    obs_tx: Sender<Observation>,
+    obs_tx: ObsSender,
     authority_link: Option<(HashMap<Ipv4Addr, SocketAddr>, SourceRegistrar)>,
     cfg: ResolverConfig,
     clock: EngineClock,
@@ -251,25 +263,29 @@ fn run(
         }
         let mut idle = true;
         for (ingress, socket) in &sockets {
-            let (len, peer) = match socket.recv_from(&mut buf) {
-                Ok(ok) => ok,
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
-                Err(_) => continue,
-            };
-            idle = false;
-            handle_datagram(
-                &mut platform,
-                &mut net,
-                *ingress,
-                socket,
-                &buf[..len],
-                peer,
-                &mut rng,
-                &mut replayer,
-                &obs_tx,
-                &cfg,
-                clock,
-            );
+            // Drain a whole burst per pass: batched senders deliver many
+            // datagrams between two polls of this loop.
+            for _ in 0..RECV_BURST {
+                let (len, peer) = match socket.recv_from(&mut buf) {
+                    Ok(ok) => ok,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                };
+                idle = false;
+                handle_datagram(
+                    &mut platform,
+                    &mut net,
+                    *ingress,
+                    socket,
+                    &buf[..len],
+                    peer,
+                    &mut rng,
+                    &mut replayer,
+                    &obs_tx,
+                    &cfg,
+                    clock,
+                );
+            }
         }
         if idle {
             std::thread::sleep(IDLE_SLEEP);
@@ -287,7 +303,7 @@ fn handle_datagram(
     peer: SocketAddr,
     rng: &mut DetRng,
     replayer: &mut Option<Replayer>,
-    obs_tx: &Sender<Observation>,
+    obs_tx: &ObsSender,
     cfg: &ResolverConfig,
     clock: EngineClock,
 ) {
@@ -331,7 +347,7 @@ fn handle_datagram(
                     &Question::new(entry.qname.clone(), entry.qtype),
                 );
             }
-            let _ = obs_tx.send((vaddr, entry.clone()));
+            obs_tx.push((vaddr, entry.clone()));
         }
     }
     net.clear_logs();

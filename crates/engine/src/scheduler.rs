@@ -11,14 +11,29 @@
 //! closed over live measurements.
 
 use crate::clock::EngineClock;
+use crate::metrics::MetricsSnapshot;
 use crate::ratelimit::RateLimiter;
+use crate::reactor::{ProbeCompletion, Reactor, ReactorHandle};
 use crate::transport::{Transport, TransportReply};
 use cde_core::ProbePlan;
 use cde_dns::{Name, RecordType};
-use crossbeam::channel::{bounded, unbounded};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use crossbeam::thread;
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Hardware-derived worker-pool default: blocking probe workers spend
+/// almost all their life parked in `recv`, so oversubscribe the cores;
+/// the floor of 4 keeps even a single-core box pipelined.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(2)
+        .saturating_mul(2)
+        .clamp(4, 32)
+}
 
 /// One probe to schedule.
 #[derive(Debug, Clone)]
@@ -55,9 +70,13 @@ pub struct CampaignOptions {
 
 impl Default for CampaignOptions {
     fn default() -> CampaignOptions {
+        // Sized from the machine, not hard-coded: `default_workers()`
+        // scales with `available_parallelism`, and the in-flight cap
+        // keeps every worker's job queue a few probes deep.
+        let workers = default_workers();
         CampaignOptions {
-            workers: 4,
-            max_in_flight: 8,
+            workers,
+            max_in_flight: workers * 4,
             limiter: None,
         }
     }
@@ -187,6 +206,180 @@ where
         report.rate_limit_stalls += snap.rate_limit_stalls;
     }
     report
+}
+
+/// Pipelined campaign execution over a [`Reactor`]: submit probes as they
+/// become known, collect completions as they arrive, no worker threads.
+///
+/// Where [`run_campaign`] parks one thread per in-flight probe, a
+/// `PipelinedCampaign` keeps up to `window` probes outstanding inside the
+/// reactor's correlation table and the submitting thread never blocks on
+/// the wire (only on a full window). Typical shape:
+///
+/// ```no_run
+/// # use cde_engine::reactor::{Reactor, ReactorConfig};
+/// # use cde_engine::scheduler::{PipelinedCampaign, Probe};
+/// # let reactor = Reactor::launch(Default::default(), ReactorConfig::default()).unwrap();
+/// # let probes: Vec<Probe> = Vec::new();
+/// let mut campaign = PipelinedCampaign::new(&reactor, 1024);
+/// for probe in probes {
+///     campaign.submit(probe); // blocks only when 1024 are in flight
+/// }
+/// let report = campaign.finish(); // drains the tail
+/// ```
+#[derive(Debug)]
+pub struct PipelinedCampaign {
+    handle: ReactorHandle,
+    /// Upper bound on one completion wait; the reactor enforces the real
+    /// per-probe deadlines, this only guards against a dead loop.
+    grace: Duration,
+    done_tx: Sender<ProbeCompletion>,
+    done_rx: Receiver<ProbeCompletion>,
+    pending: HashMap<u64, Probe>,
+    outcomes: Vec<(u64, ProbeOutcome)>,
+    next_token: u64,
+    window: usize,
+    baseline: MetricsSnapshot,
+    metrics: Arc<crate::metrics::EngineMetrics>,
+}
+
+impl PipelinedCampaign {
+    /// Starts a campaign keeping at most `window` probes in flight on
+    /// `reactor` (alongside whatever other clients submit).
+    pub fn new(reactor: &Reactor, window: usize) -> PipelinedCampaign {
+        let (done_tx, done_rx) = unbounded();
+        let metrics = reactor.metrics();
+        PipelinedCampaign {
+            handle: reactor.handle(),
+            grace: reactor.policy().worst_case() + Duration::from_secs(2),
+            done_tx,
+            done_rx,
+            pending: HashMap::new(),
+            outcomes: Vec::new(),
+            next_token: 0,
+            window: window.max(1),
+            baseline: metrics.snapshot(),
+            metrics,
+        }
+    }
+
+    /// Submits one probe, blocking only while the window is full.
+    pub fn submit(&mut self, probe: Probe) {
+        while self.pending.len() >= self.window {
+            if !self.complete_one() {
+                break;
+            }
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        if self.handle.submit(
+            token,
+            probe.ingress,
+            probe.qname.clone(),
+            probe.qtype,
+            &self.done_tx,
+        ) {
+            self.pending.insert(token, probe);
+        } else {
+            // The reactor is gone; fail fast instead of wedging.
+            self.outcomes.push((
+                token,
+                ProbeOutcome {
+                    probe,
+                    reply: TransportReply::TimedOut,
+                },
+            ));
+        }
+    }
+
+    /// Collects any completions already available, without blocking.
+    /// Returns how many arrived.
+    pub fn try_complete(&mut self) -> usize {
+        let mut drained = 0;
+        while let Ok(completion) = self.done_rx.try_recv() {
+            self.record(completion);
+            drained += 1;
+        }
+        drained
+    }
+
+    /// Probes currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Waits for every outstanding probe, then reports. Outcomes are in
+    /// submission order; the wire counters are this campaign's share of
+    /// the reactor's metrics (delta since [`PipelinedCampaign::new`]).
+    pub fn finish(mut self) -> CampaignReport {
+        while !self.pending.is_empty() {
+            if !self.complete_one() {
+                break;
+            }
+        }
+        self.outcomes.sort_by_key(|(token, _)| *token);
+        let snap = self.metrics.snapshot();
+        CampaignReport {
+            outcomes: self.outcomes.into_iter().map(|(_, o)| o).collect(),
+            sent: snap.sent.saturating_sub(self.baseline.sent),
+            received: snap.received.saturating_sub(self.baseline.received),
+            timeouts: snap.timeouts.saturating_sub(self.baseline.timeouts),
+            retries: snap.retries.saturating_sub(self.baseline.retries),
+            rate_limit_stalls: snap
+                .rate_limit_stalls
+                .saturating_sub(self.baseline.rate_limit_stalls),
+        }
+    }
+
+    /// Blocks for one completion. `false` means the reactor died — all
+    /// remaining pending probes are failed as timed out.
+    fn complete_one(&mut self) -> bool {
+        match self.done_rx.recv_timeout(self.grace) {
+            Ok(completion) => {
+                self.record(completion);
+                true
+            }
+            Err(_) => {
+                for (token, probe) in std::mem::take(&mut self.pending) {
+                    self.outcomes.push((
+                        token,
+                        ProbeOutcome {
+                            probe,
+                            reply: TransportReply::TimedOut,
+                        },
+                    ));
+                }
+                false
+            }
+        }
+    }
+
+    fn record(&mut self, completion: ProbeCompletion) {
+        if let Some(probe) = self.pending.remove(&completion.token) {
+            self.outcomes.push((
+                completion.token,
+                ProbeOutcome {
+                    probe,
+                    reply: completion.reply,
+                },
+            ));
+        }
+    }
+}
+
+/// Runs `probes` through `reactor` with up to `window` in flight;
+/// blocks until all complete. The pipelined counterpart of
+/// [`run_campaign`].
+pub fn run_campaign_pipelined(
+    reactor: &Reactor,
+    probes: Vec<Probe>,
+    window: usize,
+) -> CampaignReport {
+    let mut campaign = PipelinedCampaign::new(reactor, window);
+    for probe in probes {
+        campaign.submit(probe);
+    }
+    campaign.finish()
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@
 
 use crate::authority::WireAuthority;
 use crate::clock::EngineClock;
+use crate::reactor::{ReactorConfig, ReactorTransport};
 use crate::resolver::{LoopbackResolver, ResolverConfig};
 use crate::retry::RetryPolicy;
 use crate::udp::UdpTransport;
@@ -58,6 +59,22 @@ impl LiveTestbed {
             self.initial_net.clone(),
             policy,
             seed,
+        )
+    }
+
+    /// A reactor-backed transport over this testbed: same seam as
+    /// [`LiveTestbed::transport`], but probes multiplex through the
+    /// event-driven [`Reactor`](crate::reactor::Reactor) instead of
+    /// blocking per call.
+    ///
+    /// Like [`LiveTestbed::transport`], the observation stream is drained
+    /// by whichever transport reads it first — create one per testbed.
+    pub fn reactor_transport(&self, config: ReactorConfig) -> io::Result<ReactorTransport> {
+        ReactorTransport::connect(
+            &self.resolver,
+            Some(&self.authority),
+            self.initial_net.clone(),
+            config,
         )
     }
 

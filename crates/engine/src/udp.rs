@@ -33,14 +33,56 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const MAX_DATAGRAM: usize = 4096;
-/// Sockets in the source pool; ports rotate across attempts.
-const DEFAULT_POOL: usize = 4;
 
-/// Back-channel to the serving side of a live deployment.
-struct SyncLink {
-    resolver: ResolverSync,
-    authority: Option<AuthoritySync>,
-    observations: Receiver<Observation>,
+/// Sockets in the source pool; ports rotate across attempts. Derived
+/// from the machine rather than hard-coded: one socket per available
+/// core (floor 4 so small machines keep port diversity, cap 16 because a
+/// one-probe-at-a-time transport gains nothing beyond that).
+pub(crate) fn default_pool() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .clamp(4, 16)
+}
+
+/// Back-channel to the serving side of a live deployment. Shared by the
+/// blocking transport and the reactor transport.
+pub(crate) struct SyncLink {
+    pub(crate) resolver: ResolverSync,
+    pub(crate) authority: Option<AuthoritySync>,
+    pub(crate) observations: Receiver<Observation>,
+}
+
+impl SyncLink {
+    /// Wires a back-channel to a launched resolver (and optionally the
+    /// authority behind it).
+    pub(crate) fn connect(
+        resolver: &LoopbackResolver,
+        authority: Option<&WireAuthority>,
+    ) -> SyncLink {
+        SyncLink {
+            resolver: resolver.syncer(),
+            authority: authority.map(WireAuthority::syncer),
+            observations: resolver.observations(),
+        }
+    }
+
+    /// Pushes zone snapshots to the serving side.
+    pub(crate) fn push(&self, net: &NameserverNet) {
+        self.resolver.sync(net);
+        if let Some(authority) = &self.authority {
+            authority.sync(net);
+        }
+    }
+
+    /// Folds queries observed at the serving side into the canonical net.
+    pub(crate) fn drain_into(&self, net: &mut NameserverNet) {
+        for (vaddr, entry) in self.observations.try_iter() {
+            if let Some(server) = net.server_mut(vaddr) {
+                server.record_query(entry);
+            }
+        }
+    }
 }
 
 /// [`Transport`] over real UDP sockets.
@@ -72,11 +114,7 @@ impl UdpTransport {
     ) -> io::Result<UdpTransport> {
         let mut transport =
             UdpTransport::direct(resolver.ingress_addrs().clone(), net, policy, seed)?;
-        transport.link = Some(SyncLink {
-            resolver: resolver.syncer(),
-            authority: authority.map(WireAuthority::syncer),
-            observations: resolver.observations(),
-        });
+        transport.link = Some(SyncLink::connect(resolver, authority));
         Ok(transport)
     }
 
@@ -89,8 +127,9 @@ impl UdpTransport {
         policy: RetryPolicy,
         seed: u64,
     ) -> io::Result<UdpTransport> {
-        let mut sockets = Vec::with_capacity(DEFAULT_POOL);
-        for _ in 0..DEFAULT_POOL {
+        let pool = default_pool();
+        let mut sockets = Vec::with_capacity(pool);
+        for _ in 0..pool {
             // 127.0.0.1:0 — the OS picks an unpredictable ephemeral port,
             // which is the source-port randomisation the probe needs.
             let socket = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
@@ -134,21 +173,15 @@ impl UdpTransport {
             return;
         }
         if let Some(link) = &self.link {
-            link.resolver.sync(&self.net);
-            if let Some(authority) = &link.authority {
-                authority.sync(&self.net);
-            }
+            link.push(&self.net);
         }
         self.dirty = false;
     }
 
     /// Folds queries observed at the serving side into the canonical net.
     fn drain_observations(&mut self) {
-        let Some(link) = &self.link else { return };
-        for (vaddr, entry) in link.observations.try_iter() {
-            if let Some(server) = self.net.server_mut(vaddr) {
-                server.record_query(entry);
-            }
+        if let Some(link) = &self.link {
+            link.drain_into(&mut self.net);
         }
     }
 

@@ -14,10 +14,10 @@
 //! recovering it when the wire deterministically drops queries.
 
 use cde_core::{enumerate_adaptive, AccessProvider, CdeInfra, SurveyOptions};
-use cde_engine::scheduler::{run_campaign, CampaignOptions, Probe};
+use cde_engine::scheduler::{run_campaign, run_campaign_pipelined, CampaignOptions, Probe};
 use cde_engine::{
-    EngineAccess, LiveTestbed, RateConfig, RateLimiter, ResolverConfig, RetryPolicy, SimTransport,
-    Transport, UdpTransport,
+    EngineAccess, LiveTestbed, RateConfig, RateLimiter, Reactor, ReactorConfig, ResolverConfig,
+    RetryPolicy, SimTransport, Transport, UdpTransport,
 };
 use cde_netsim::{Link, SimTime};
 use cde_platform::{NameserverNet, PlatformBuilder, ResolutionPlatform, SelectorKind};
@@ -170,11 +170,154 @@ fn sim_and_live_backends_agree_on_the_same_platform() {
         .estimated
     };
 
+    // Reactor backend over the same platform again.
+    let (platform, net, mut infra) = build_world(caches, 67);
+    let testbed = LiveTestbed::launch(platform, net, ResolverConfig::default()).unwrap();
+    let mut transport = testbed
+        .reactor_transport(ReactorConfig::with_policy(test_policy(), 67))
+        .unwrap();
+    let reactor_estimate = {
+        let mut access = transport.channel(INGRESS);
+        enumerate_adaptive(
+            &mut access,
+            &mut infra,
+            &SurveyOptions::default(),
+            SimTime::ZERO,
+        )
+        .estimated
+    };
+
     assert_eq!(sim_estimate, caches as u64);
     assert_eq!(
         sim_estimate, live_estimate,
         "both transports must expose the same platform to the same algorithm"
     );
+    assert_eq!(
+        sim_estimate, reactor_estimate,
+        "the reactor backend must agree with the sim and blocking backends"
+    );
+}
+
+#[test]
+fn enumeration_over_reactor_backend_recovers_cache_count() {
+    let caches = 5;
+    let (platform, net, mut infra) = build_world(caches, 71);
+    let testbed = LiveTestbed::launch(platform, net, ResolverConfig::default()).unwrap();
+    let mut transport = testbed
+        .reactor_transport(ReactorConfig::with_policy(test_policy(), 71))
+        .unwrap();
+
+    let e = {
+        let mut access = transport.channel(INGRESS);
+        enumerate_adaptive(
+            &mut access,
+            &mut infra,
+            &SurveyOptions::default(),
+            SimTime::ZERO,
+        )
+    };
+    assert_eq!(
+        e.estimated, caches as u64,
+        "reactor-backed enumeration must recover the planted cache count (got {e:?})"
+    );
+
+    let snap = transport.metrics().snapshot();
+    assert!(snap.sent > 0, "no datagrams sent");
+    assert_eq!(snap.sent, snap.received, "unexpected loss on loopback");
+    assert_eq!(snap.dropped_replies(), 0, "no strays expected on loopback");
+    assert!(
+        testbed.authority().queries_served() > 0,
+        "the wire authority never saw the platform's upstream traffic"
+    );
+}
+
+#[test]
+fn enumeration_over_reactor_survives_injected_loss() {
+    let caches = 4;
+    let (platform, net, mut infra) = build_world(caches, 59);
+    let testbed = LiveTestbed::launch(
+        platform,
+        net,
+        ResolverConfig {
+            query_loss: 0.25,
+            seed: 7,
+            ..ResolverConfig::default()
+        },
+    )
+    .unwrap();
+    let policy = RetryPolicy {
+        attempts: 5,
+        timeout: Duration::from_millis(120),
+        backoff: 1.5,
+        base_delay: Duration::from_millis(2),
+        jitter: 0.5,
+    };
+    let mut transport = testbed
+        .reactor_transport(ReactorConfig::with_policy(policy, 59))
+        .unwrap();
+
+    let opts = SurveyOptions {
+        loss: 0.25,
+        ..SurveyOptions::default()
+    };
+    let e = {
+        let mut access = transport.channel(INGRESS);
+        enumerate_adaptive(&mut access, &mut infra, &opts, SimTime::ZERO)
+    };
+    assert_eq!(
+        e.estimated, caches as u64,
+        "reactor enumeration under loss must still recover the cache count (got {e:?})"
+    );
+
+    let snap = transport.metrics().snapshot();
+    assert!(snap.retries > 0, "injected loss must force retransmissions");
+    assert!(snap.sent > snap.received, "loss must be visible in metrics");
+    assert!(
+        transport.observed_loss_rate() > 0.05,
+        "observed loss rate should reflect the injected loss, got {}",
+        transport.observed_loss_rate()
+    );
+}
+
+#[test]
+fn pipelined_campaign_over_reactor() {
+    let caches = 2;
+    let (platform, mut net, mut infra) = build_world(caches, 31);
+    // Open the session before launch so the resolver's world already
+    // contains the honey record (a bare reactor carries no sync link).
+    let session = infra.new_session(&mut net, 0);
+    let testbed = LiveTestbed::launch(platform, net, ResolverConfig::default()).unwrap();
+
+    let limiter = Arc::new(RateLimiter::new(
+        RateConfig {
+            per_second: 4000.0,
+            burst: 2.0,
+        },
+        None,
+    ));
+    let reactor = Reactor::launch(
+        testbed.resolver().ingress_addrs().clone(),
+        ReactorConfig {
+            policy: test_policy(),
+            limiter: Some(limiter),
+            seed: 31,
+            ..ReactorConfig::default()
+        },
+    )
+    .unwrap();
+    let probes: Vec<Probe> = (0..24)
+        .map(|_| Probe::a(INGRESS, session.honey.clone()))
+        .collect();
+    let report = run_campaign_pipelined(&reactor, probes, 16);
+    assert_eq!(report.answered(), 24, "every probe must be answered");
+    assert_eq!(report.outcomes.len(), 24);
+    assert!(
+        report.rate_limit_stalls > 0,
+        "the batch-aware limiter never engaged"
+    );
+    let snap = reactor.metrics().snapshot();
+    assert!(snap.in_flight_peak > 1, "probes never overlapped");
+    assert!(testbed.authority().queries_served() > 0);
 }
 
 #[test]

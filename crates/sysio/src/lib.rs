@@ -1,0 +1,361 @@
+//! Batched UDP syscalls for the probe reactor.
+//!
+//! A campaign tick wants to hand the kernel a whole burst of datagrams
+//! (and drain a whole burst of replies) per syscall. Linux exposes this
+//! as `sendmmsg(2)`/`recvmmsg(2)`; everywhere else — and on Linux when
+//! `CDE_SYSIO_FALLBACK=1` is set — we degrade to a loop of one-datagram
+//! `send_to`/`recv_from` calls with identical semantics.
+//!
+//! This is deliberately the *only* crate in the workspace that contains
+//! `unsafe` code (the FFI structs and calls live in [`mmsg`]); every
+//! other crate keeps `#![forbid(unsafe_code)]`.
+//!
+//! All functions assume a non-blocking socket: "nothing to do right now"
+//! is reported as `Ok(0)`, never as an `Err(WouldBlock)` the caller has
+//! to pattern-match.
+//!
+//! # Examples
+//!
+//! ```
+//! use cde_sysio::{recv_batch, send_batch, RecvSlot, SendItem};
+//! use std::net::{SocketAddrV4, UdpSocket};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let a = UdpSocket::bind("127.0.0.1:0")?;
+//! let b = UdpSocket::bind("127.0.0.1:0")?;
+//! a.set_nonblocking(true)?;
+//! b.set_nonblocking(true)?;
+//! let dest = match b.local_addr()? {
+//!     std::net::SocketAddr::V4(v4) => v4,
+//!     _ => unreachable!(),
+//! };
+//!
+//! let sent = send_batch(&a, &[SendItem { payload: b"ping", dest }])?;
+//! assert_eq!(sent, 1);
+//!
+//! let mut slots = vec![RecvSlot::new()];
+//! // Non-blocking: poll until the datagram lands.
+//! let mut got = 0;
+//! while got == 0 {
+//!     got = recv_batch(&b, &mut slots)?;
+//! }
+//! assert_eq!(slots[0].bytes(), b"ping");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::net::{SocketAddrV4, UdpSocket};
+use std::sync::OnceLock;
+
+#[cfg(target_os = "linux")]
+mod mmsg;
+
+/// Largest number of datagrams moved per batched syscall. Callers may
+/// pass longer slices; the excess simply waits for the next call.
+pub const MAX_BATCH: usize = 32;
+
+/// Receive buffer size per slot. Measurement replies are single
+/// questions plus a handful of records — far below this, and anything
+/// larger is truncated exactly as a fixed-size `recv_from` would.
+pub const RECV_BUF_LEN: usize = 2048;
+
+/// One outbound datagram in a [`send_batch`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct SendItem<'a> {
+    /// Wire bytes to transmit.
+    pub payload: &'a [u8],
+    /// Destination address.
+    pub dest: SocketAddrV4,
+}
+
+/// One reusable receive slot for [`recv_batch`].
+///
+/// Slots own their buffer; constructing a slot allocates once and every
+/// subsequent `recv_batch` call reuses it.
+#[derive(Debug)]
+pub struct RecvSlot {
+    buf: Vec<u8>,
+    len: usize,
+    from: Option<SocketAddrV4>,
+}
+
+impl RecvSlot {
+    /// Creates an empty slot with a [`RECV_BUF_LEN`]-byte buffer.
+    pub fn new() -> RecvSlot {
+        RecvSlot {
+            buf: vec![0; RECV_BUF_LEN],
+            len: 0,
+            from: None,
+        }
+    }
+
+    /// The datagram received into this slot by the last `recv_batch`
+    /// call that filled it. Empty if the slot was not filled.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf[..self.len]
+    }
+
+    /// Source address of the received datagram, if the slot was filled.
+    pub fn from(&self) -> Option<SocketAddrV4> {
+        self.from
+    }
+
+    /// Clears the slot (receive functions do this implicitly).
+    pub fn reset(&mut self) {
+        self.len = 0;
+        self.from = None;
+    }
+
+    fn fill(&mut self, len: usize, from: SocketAddrV4) {
+        self.len = len.min(self.buf.len());
+        self.from = Some(from);
+    }
+
+    fn buf_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl Default for RecvSlot {
+    fn default() -> Self {
+        RecvSlot::new()
+    }
+}
+
+fn use_fallback() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("CDE_SYSIO_FALLBACK").is_ok_and(|v| !v.is_empty() && v != "0")
+    })
+}
+
+/// Name of the active backend: `"mmsg"` (batched Linux syscalls) or
+/// `"fallback"` (portable one-datagram loop).
+pub fn backend() -> &'static str {
+    #[cfg(target_os = "linux")]
+    {
+        if !use_fallback() {
+            return "mmsg";
+        }
+    }
+    "fallback"
+}
+
+/// Sends up to [`MAX_BATCH`] datagrams from `items`, returning how many
+/// the kernel accepted (a prefix of `items`).
+///
+/// `Ok(0)` means the socket's send buffer is full right now — try again
+/// after the next reactor tick.
+///
+/// # Errors
+///
+/// Any socket error other than `WouldBlock`/`Interrupted` (those map to
+/// `Ok(0)` and a short count respectively).
+pub fn send_batch(sock: &UdpSocket, items: &[SendItem<'_>]) -> io::Result<usize> {
+    let items = &items[..items.len().min(MAX_BATCH)];
+    if items.is_empty() {
+        return Ok(0);
+    }
+    #[cfg(target_os = "linux")]
+    {
+        if !use_fallback() {
+            return mmsg::send_batch(sock, items);
+        }
+    }
+    fallback::send_batch(sock, items)
+}
+
+/// Receives up to `slots.len().min(MAX_BATCH)` datagrams, filling slots
+/// from the front and returning how many were filled.
+///
+/// `Ok(0)` means nothing is queued on the socket right now.
+///
+/// # Errors
+///
+/// Any socket error other than `WouldBlock`/`Interrupted`.
+pub fn recv_batch(sock: &UdpSocket, slots: &mut [RecvSlot]) -> io::Result<usize> {
+    let n = slots.len().min(MAX_BATCH);
+    let slots = &mut slots[..n];
+    if slots.is_empty() {
+        return Ok(0);
+    }
+    #[cfg(target_os = "linux")]
+    {
+        if !use_fallback() {
+            return mmsg::recv_batch(sock, slots);
+        }
+    }
+    fallback::recv_batch(sock, slots)
+}
+
+/// Portable implementation: a loop of one-datagram std calls.
+mod fallback {
+    use super::{RecvSlot, SendItem};
+    use std::io::{self, ErrorKind};
+    use std::net::{SocketAddr, UdpSocket};
+
+    pub fn send_batch(sock: &UdpSocket, items: &[SendItem<'_>]) -> io::Result<usize> {
+        let mut sent = 0;
+        for item in items {
+            match sock.send_to(item.payload, SocketAddr::V4(item.dest)) {
+                Ok(_) => sent += 1,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => break,
+                Err(e) => {
+                    if sent > 0 {
+                        break;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(sent)
+    }
+
+    pub fn recv_batch(sock: &UdpSocket, slots: &mut [RecvSlot]) -> io::Result<usize> {
+        let mut filled = 0;
+        for slot in slots.iter_mut() {
+            slot.reset();
+            match sock.recv_from(slot.buf_mut()) {
+                Ok((len, SocketAddr::V4(from))) => {
+                    slot.fill(len, from);
+                    filled += 1;
+                }
+                // The engine is IPv4-only; skip the slot but keep going.
+                Ok((_, SocketAddr::V6(_))) => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => break,
+                Err(e) => {
+                    if filled > 0 {
+                        break;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(filled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::SocketAddr;
+
+    fn pair() -> (UdpSocket, UdpSocket, SocketAddrV4) {
+        let a = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let b = UdpSocket::bind("127.0.0.1:0").unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        let dest = match b.local_addr().unwrap() {
+            SocketAddr::V4(v4) => v4,
+            _ => unreachable!(),
+        };
+        (a, b, dest)
+    }
+
+    fn drain(sock: &UdpSocket, slots: &mut [RecvSlot], want: usize) -> usize {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        let mut got = 0;
+        while got < want && std::time::Instant::now() < deadline {
+            got += recv_batch(sock, &mut slots[got..]).unwrap();
+            if got < want {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+        }
+        got
+    }
+
+    fn roundtrip(send: impl Fn(&UdpSocket, &[SendItem<'_>]) -> io::Result<usize>) {
+        let (a, b, dest) = pair();
+        let payloads: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 16 + i as usize]).collect();
+        let items: Vec<SendItem<'_>> = payloads
+            .iter()
+            .map(|p| SendItem { payload: p, dest })
+            .collect();
+        assert_eq!(send(&a, &items).unwrap(), 5);
+
+        let mut slots: Vec<RecvSlot> = (0..8).map(|_| RecvSlot::new()).collect();
+        assert_eq!(drain(&b, &mut slots, 5), 5);
+        let src = match a.local_addr().unwrap() {
+            SocketAddr::V4(v4) => v4,
+            _ => unreachable!(),
+        };
+        for (slot, payload) in slots.iter().zip(&payloads) {
+            assert_eq!(slot.bytes(), &payload[..]);
+            assert_eq!(slot.from(), Some(src));
+        }
+        // Unfilled slots stay empty.
+        assert!(slots[5].bytes().is_empty());
+        assert_eq!(slots[5].from(), None);
+    }
+
+    #[test]
+    fn default_backend_roundtrips() {
+        roundtrip(send_batch);
+    }
+
+    #[test]
+    fn fallback_backend_roundtrips() {
+        roundtrip(fallback::send_batch);
+        // And fallback receive against default send.
+        let (a, b, dest) = pair();
+        let payload = b"xyz".to_vec();
+        assert_eq!(
+            send_batch(
+                &a,
+                &[SendItem {
+                    payload: &payload,
+                    dest
+                }]
+            )
+            .unwrap(),
+            1
+        );
+        let mut slots = [RecvSlot::new()];
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        let mut got = 0;
+        while got == 0 && std::time::Instant::now() < deadline {
+            got = fallback::recv_batch(&b, &mut slots).unwrap();
+        }
+        assert_eq!(got, 1);
+        assert_eq!(slots[0].bytes(), b"xyz");
+    }
+
+    #[test]
+    fn empty_batches_are_noops() {
+        let (a, _b, _dest) = pair();
+        assert_eq!(send_batch(&a, &[]).unwrap(), 0);
+        assert_eq!(recv_batch(&a, &mut []).unwrap(), 0);
+    }
+
+    #[test]
+    fn recv_on_idle_socket_returns_zero() {
+        let (a, _b, _dest) = pair();
+        let mut slots = [RecvSlot::new()];
+        assert_eq!(recv_batch(&a, &mut slots).unwrap(), 0);
+    }
+
+    #[test]
+    fn backend_reports_a_known_name() {
+        assert!(matches!(backend(), "mmsg" | "fallback"));
+    }
+
+    #[test]
+    fn batch_larger_than_max_is_clamped() {
+        let (a, b, dest) = pair();
+        let payload = [7u8; 8];
+        let items: Vec<SendItem<'_>> = (0..MAX_BATCH + 9)
+            .map(|_| SendItem {
+                payload: &payload,
+                dest,
+            })
+            .collect();
+        assert_eq!(send_batch(&a, &items).unwrap(), MAX_BATCH);
+        let mut slots: Vec<RecvSlot> = (0..MAX_BATCH + 9).map(|_| RecvSlot::new()).collect();
+        assert_eq!(drain(&b, &mut slots, MAX_BATCH), MAX_BATCH);
+    }
+}
