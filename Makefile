@@ -15,9 +15,12 @@ bench-smoke:
 	cargo bench -p cde-bench --locked -- --test
 
 # Blocking-vs-reactor campaign throughput at 1k/10k probes over real
-# loopback UDP; writes BENCH_engine.json (probes/sec, p50/p99 latency).
+# loopback UDP; writes BENCH_engine.json (probes/sec, p50/p99 latency)
+# plus BENCH_engine_metrics.json (final reactor metrics-registry
+# snapshot: engine counters, health gauges, pool/limiter/telemetry).
 bench-json:
-	cargo run --release --locked -p cde-bench --bin engine_bench -- BENCH_engine.json
+	cargo run --release --locked -p cde-bench --bin engine_bench -- \
+		BENCH_engine.json --metrics-out BENCH_engine_metrics.json
 
 lint:
 	cargo clippy --workspace --all-targets --locked -- -D warnings

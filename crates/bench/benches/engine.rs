@@ -10,6 +10,7 @@ use cde_engine::{
 };
 use cde_netsim::{DetRng, SimTime};
 use cde_platform::{NameserverNet, PlatformBuilder, SelectorKind};
+use cde_telemetry::{EventKind, MetricsRegistry, TelemetryHub};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::net::Ipv4Addr;
 use std::time::Duration;
@@ -102,41 +103,91 @@ fn bench_live_probe_roundtrip(c: &mut Criterion) {
     });
 }
 
+fn bench_telemetry_emit(c: &mut Criterion) {
+    // Per-event cost of the telemetry seam the reactor's hot path pays:
+    // a disabled hub is one branch, an enabled one is a clock read plus
+    // a ring push under an uncontended mutex.
+    let mut group = c.benchmark_group("engine/telemetry_emit");
+    let disabled = TelemetryHub::disabled();
+    group.bench_function("disabled", |b| {
+        let mut token = 0u64;
+        b.iter(|| {
+            token = token.wrapping_add(1);
+            disabled.emit(0, EventKind::ProbeSent { token, attempt: 0 });
+        });
+    });
+    let enabled = TelemetryHub::new(64 * 1024);
+    group.bench_function("enabled", |b| {
+        let mut token = 0u64;
+        b.iter(|| {
+            token = token.wrapping_add(1);
+            enabled.emit(0, EventKind::ProbeSent { token, attempt: 0 });
+        });
+    });
+    group.finish();
+    black_box(enabled.emitted());
+}
+
 fn bench_reactor_probe_roundtrip(c: &mut Criterion) {
     // The same full loopback round trip, but through the event-driven
     // reactor's blocking seam: submit → event loop → completion. One
     // probe at a time, so this measures the seam's overhead, not the
-    // pipelining win (`make bench-json` measures that).
-    let mut net = NameserverNet::new();
-    let mut infra = CdeInfra::install(&mut net);
-    let session = infra.new_session(&mut net, 0);
-    let ingress = Ipv4Addr::new(192, 0, 2, 1);
-    let platform = PlatformBuilder::new(3)
-        .ingress(vec![ingress])
-        .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
-        .cluster(2, SelectorKind::Random)
-        .build();
-    let resolver = cde_engine::LoopbackResolver::launch(
-        platform,
-        net.clone(),
-        None,
-        ResolverConfig::default(),
-        cde_engine::EngineClock::start(),
-    )
-    .expect("loopback sockets");
-    let mut transport = ReactorTransport::connect(
-        &resolver,
-        None,
-        net,
-        ReactorConfig::with_policy(RetryPolicy::single(Duration::from_secs(1)), 3),
-    )
-    .expect("reactor sockets");
+    // pipelining win (`make bench-json` measures that). Run once with
+    // telemetry disabled and once with a hub + registry attached — the
+    // acceptance bar is that streaming probe lifecycle events costs the
+    // reactor hot path within noise (≤2%).
+    let mut group = c.benchmark_group("engine/reactor_probe_roundtrip");
+    for telemetry_on in [false, true] {
+        let mut net = NameserverNet::new();
+        let mut infra = CdeInfra::install(&mut net);
+        let session = infra.new_session(&mut net, 0);
+        let ingress = Ipv4Addr::new(192, 0, 2, 1);
+        let platform = PlatformBuilder::new(3)
+            .ingress(vec![ingress])
+            .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+            .cluster(2, SelectorKind::Random)
+            .build();
+        let resolver = cde_engine::LoopbackResolver::launch(
+            platform,
+            net.clone(),
+            None,
+            ResolverConfig::default(),
+            cde_engine::EngineClock::start(),
+        )
+        .expect("loopback sockets");
+        let hub = telemetry_on.then(|| TelemetryHub::new(64 * 1024));
+        let registry = telemetry_on.then(MetricsRegistry::new);
+        let mut transport = ReactorTransport::connect(
+            &resolver,
+            None,
+            net,
+            ReactorConfig {
+                telemetry: hub.clone(),
+                registry,
+                ..ReactorConfig::with_policy(RetryPolicy::single(Duration::from_secs(1)), 3)
+            },
+        )
+        .expect("reactor sockets");
 
-    c.bench_function("engine/reactor_probe_roundtrip", |b| {
-        b.iter(|| {
-            black_box(transport.query(ingress, &session.honey, RecordType::A, SimTime::ZERO))
+        let label = if telemetry_on {
+            "telemetry_on"
+        } else {
+            "telemetry_off"
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                // Keep the ring from saturating so the telemetry-on run
+                // pays the steady-state push, not the drop-oldest path.
+                if let Some(hub) = &hub {
+                    if hub.queued() > 32 * 1024 {
+                        black_box(hub.drain().len());
+                    }
+                }
+                black_box(transport.query(ingress, &session.honey, RecordType::A, SimTime::ZERO))
+            });
         });
-    });
+    }
+    group.finish();
 }
 
 criterion_group!(
@@ -144,6 +195,7 @@ criterion_group!(
     bench_rate_limiter,
     bench_retry_schedule,
     bench_metrics_record,
+    bench_telemetry_emit,
     bench_live_probe_roundtrip,
     bench_reactor_probe_roundtrip
 );

@@ -10,7 +10,11 @@
 //!   multiplexing hundreds of probes over batched syscalls.
 //!
 //! Same sockets, same resolver, same retry policy — the delta is purely
-//! the engine. Usage: `engine_bench [output.json]`.
+//! the engine. Usage: `engine_bench [output.json] [--metrics-out metrics.json]`.
+//!
+//! With `--metrics-out`, the final reactor run's metrics registry
+//! (engine counters, reactor health gauges, buffer-pool and telemetry
+//! stats) is written as a JSON snapshot alongside the bench results.
 
 use cde_core::CdeInfra;
 use cde_engine::scheduler::{run_campaign, run_campaign_pipelined, CampaignOptions, Probe};
@@ -122,9 +126,17 @@ fn probe_batch(honey: &cde_dns::Name, count: usize) -> Vec<Probe> {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let mut out_path = "BENCH_engine.json".to_string();
+    let mut metrics_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--metrics-out" => {
+                metrics_out = Some(args.next().expect("--metrics-out needs a path"));
+            }
+            other => out_path = other.to_string(),
+        }
+    }
 
     // One resolver serves every run: a platform with a couple of caches
     // and a standing session whose honey record all probes hit (cached
@@ -151,6 +163,7 @@ fn main() {
     let blocking_opts = CampaignOptions::default();
     let mut runs: Vec<RunStats> = Vec::new();
     let mut speedups: Vec<(usize, f64)> = Vec::new();
+    let mut last_registry: Option<std::sync::Arc<cde_telemetry::MetricsRegistry>> = None;
 
     for count in [1_000usize, 10_000] {
         // Blocking worker pool.
@@ -179,12 +192,18 @@ fn main() {
             blocking.p99_us
         );
 
-        // Reactor (fresh per run so its metrics are this run's).
+        // Reactor (fresh per run so its metrics are this run's; a fresh
+        // registry likewise, so `--metrics-out` reflects the last run).
+        let registry = cde_telemetry::MetricsRegistry::new();
         let reactor = Reactor::launch(
             addrs.clone(),
-            ReactorConfig::with_policy(bench_policy(), 11),
+            ReactorConfig {
+                registry: Some(std::sync::Arc::clone(&registry)),
+                ..ReactorConfig::with_policy(bench_policy(), 11)
+            },
         )
         .expect("reactor");
+        last_registry = Some(registry);
         let start = Instant::now();
         let report =
             run_campaign_pipelined(&reactor, probe_batch(&session.honey, count), REACTOR_WINDOW);
@@ -224,4 +243,10 @@ fn main() {
     );
     std::fs::write(&out_path, &json).expect("write bench output");
     eprintln!("wrote {out_path}");
+
+    if let Some(path) = metrics_out {
+        let registry = last_registry.expect("at least one reactor run");
+        std::fs::write(&path, registry.json_snapshot()).expect("write metrics output");
+        eprintln!("wrote {path}");
+    }
 }

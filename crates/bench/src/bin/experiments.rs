@@ -4,12 +4,17 @@
 //!
 //! ```text
 //! experiments <exp> [--scale <f>] [--seed <u64>] [--csv <dir>]
+//!             [--metrics-out <path>]
 //!
 //! <exp>: all | table1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 |
 //!        analysis | loss | timing | selectors | bypass | mapping |
 //!        twophase | accuracy | consistency | poisoning | forwarders |
 //!        background
 //! ```
+//!
+//! With `--metrics-out`, a telemetry hub is installed globally so the
+//! survey pipeline's campaign spans stream through it, and the final
+//! metrics registry is written as a JSON snapshot to the given path.
 
 use cde_bench::experiments as exp;
 use cde_bench::{Scale, SurveyedPopulations};
@@ -20,6 +25,7 @@ fn main() {
     let mut scale = Scale::default();
     let mut seed = 0xC0DEu64;
     let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -35,11 +41,26 @@ fn main() {
                 i += 1;
                 csv_dir = Some(std::path::PathBuf::from(&args[i]));
             }
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = Some(std::path::PathBuf::from(&args[i]));
+            }
             other if !other.starts_with("--") => which = other.to_string(),
             other => panic!("unknown flag {other}"),
         }
         i += 1;
     }
+
+    // Install the hub before any experiment runs so every campaign span
+    // the survey pipeline opens is observed.
+    let telemetry = metrics_out.as_ref().map(|_| {
+        let hub = cde_telemetry::TelemetryHub::new(cde_telemetry::DEFAULT_RING_CAPACITY);
+        cde_telemetry::install_global(std::sync::Arc::clone(&hub));
+        let registry = cde_telemetry::MetricsRegistry::new();
+        registry
+            .register(std::sync::Arc::clone(&hub) as std::sync::Arc<dyn cde_telemetry::Collector>);
+        (hub, registry)
+    });
 
     let needs_surveys = matches!(
         which.as_str(),
@@ -151,5 +172,19 @@ fn main() {
     if !printed {
         eprintln!("unknown experiment `{which}`");
         std::process::exit(2);
+    }
+
+    if let (Some(path), Some((hub, registry))) = (&metrics_out, &telemetry) {
+        // Drain the ring so queue-depth reflects steady state, not the
+        // backlog of a run nobody consumed.
+        let events = hub.drain();
+        eprintln!(
+            "telemetry: {} events emitted, {} drained at exit, {} dropped",
+            hub.emitted(),
+            events.len(),
+            hub.dropped()
+        );
+        std::fs::write(path, registry.json_snapshot()).expect("write metrics output");
+        eprintln!("wrote {}", path.display());
     }
 }

@@ -81,9 +81,11 @@ pub fn enumerate_adaptive<A: AccessChannel>(
     opts: &SurveyOptions,
     start: SimTime,
 ) -> Enumeration {
+    let span = cde_telemetry::global().begin_campaign("enumerate_adaptive", 0);
     let mut n_max = opts.initial_n_max.max(1);
     let mut now = start;
     loop {
+        span.note("n_max", n_max);
         let plan = ProbePlan::for_target(n_max, opts.loss);
         let session = infra.new_session(access.net_mut(), 0);
         let e = enumerate_identical(
@@ -99,6 +101,8 @@ pub fn enumerate_adaptive<A: AccessChannel>(
         );
         now += SimDuration::from_secs(1);
         if e.estimated * 2 <= n_max || n_max >= opts.n_max_ceiling {
+            span.note("estimated_caches", e.estimated);
+            span.end(e.probes, e.delivered, e.probes.saturating_sub(e.delivered));
             return e;
         }
         n_max = (n_max * 4).min(opts.n_max_ceiling);
@@ -113,12 +117,15 @@ pub fn discover_egress_adaptive<A: AccessChannel>(
     patience: u64,
     start: SimTime,
 ) -> Vec<Ipv4Addr> {
+    let span = cde_telemetry::global().begin_campaign("discover_egress", 0);
     infra.clear_observations(access.net_mut());
     let mut known = 0usize;
     let mut quiet = 0u64;
     let mut now = start;
+    let mut probed = 0u64;
     // Bound total work: even enormous pools finish.
     for _ in 0..100_000u64 {
+        probed += 1;
         let nonce = infra.fresh_nonce_name();
         let _ = access.trigger(&nonce, now);
         now += SimDuration::from_millis(10);
@@ -137,7 +144,10 @@ pub fn discover_egress_adaptive<A: AccessChannel>(
             }
         }
     }
-    infra.observed_egress_sources(access.net())
+    let egress = infra.observed_egress_sources(access.net());
+    span.note("egress_discovered", egress.len() as u64);
+    span.end(probed, egress.len() as u64, 0);
+    egress
 }
 
 /// Runs the full pipeline against one platform over direct access.
@@ -169,6 +179,7 @@ pub fn survey_platform_with<P: AccessProvider>(
     start: SimTime,
 ) -> PlatformSurvey {
     assert!(!ingress.is_empty(), "survey needs at least one ingress");
+    let span = cde_telemetry::global().begin_campaign("survey_platform", ingress.len() as u64);
     // 0. Pre-enumerate through the first ingress so the mapping phase can
     // seed honey records proportionally to the real cache count —
     // under-seeding would leave caches uncovered and false-split clusters.
@@ -204,9 +215,14 @@ pub fn survey_platform_with<P: AccessProvider>(
     let mut access = provider.channel(ingress[0]);
     let egress_ips = discover_egress_adaptive(&mut access, infra, opts.egress_patience, now);
 
+    let total_caches: u64 = caches_per_cluster.iter().sum();
+    span.note("clusters", mapping.cluster_count() as u64);
+    span.note("total_caches", total_caches);
+    span.note("egress_discovered", egress_ips.len() as u64);
+    span.end(ingress.len() as u64, ingress.len() as u64, 0);
     PlatformSurvey {
         ingress_ips: ingress.to_vec(),
-        total_caches: caches_per_cluster.iter().sum(),
+        total_caches,
         caches_per_cluster,
         mapping,
         egress_ips,
@@ -342,6 +358,57 @@ mod tests {
         let mut access = DirectAccess::new(&mut prober, &mut platform, ing(1), &mut net);
         let egress = discover_egress_adaptive(&mut access, &mut infra, 8, SimTime::ZERO);
         assert_eq!(egress, vec![Ipv4Addr::new(192, 0, 3, 1)]);
+    }
+
+    #[test]
+    fn survey_emits_campaign_spans_when_hub_installed() {
+        // Installs a process-global hub; other tests may emit into it
+        // concurrently, so assertions are containment, not equality.
+        let hub = cde_telemetry::TelemetryHub::new(64 * 1024);
+        cde_telemetry::install_global(std::sync::Arc::clone(&hub));
+        let mut net = NameserverNet::new();
+        let mut infra = CdeInfra::install(&mut net);
+        let mut platform = PlatformBuilder::new(76)
+            .ingress(vec![ing(1)])
+            .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+            .cluster(2, SelectorKind::Random)
+            .build();
+        let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), 6);
+        let survey = survey_platform(
+            &mut prober,
+            &mut platform,
+            &mut net,
+            &mut infra,
+            &[ing(1)],
+            &SurveyOptions::default(),
+            SimTime::ZERO,
+        );
+        assert_eq!(survey.total_caches, 2);
+        let events = hub.drain();
+        let begins: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                cde_telemetry::EventKind::CampaignBegin { name, .. } => Some(name),
+                _ => None,
+            })
+            .collect();
+        assert!(begins.contains(&"survey_platform"), "spans: {begins:?}");
+        assert!(begins.contains(&"enumerate_adaptive"));
+        assert!(begins.contains(&"discover_egress"));
+        let notes: Vec<(&str, u64)> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                cde_telemetry::EventKind::CampaignNote { key, value } => Some((key, value)),
+                _ => None,
+            })
+            .collect();
+        assert!(notes.contains(&("total_caches", 2)), "notes: {notes:?}");
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, cde_telemetry::EventKind::CampaignEnd { .. })),
+            "survey spans must close"
+        );
     }
 
     #[test]

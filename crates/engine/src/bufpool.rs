@@ -6,10 +6,75 @@
 //! back on the allocator; the pool recycles buffers so a steady-state
 //! campaign reuses the same handful of allocations forever.
 
+use cde_telemetry::{Collector, Metric};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Thread-safe view of a pool's recycling behaviour, shareable with a
+/// [`MetricsRegistry`](cde_telemetry::MetricsRegistry) while the pool
+/// itself stays single-threaded inside the reactor loop.
+///
+/// A healthy steady state mints once and recycles forever; a climbing
+/// `minted` count after warm-up means buffers are leaking past the pool.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    minted: AtomicU64,
+    recycled: AtomicU64,
+    discarded: AtomicU64,
+    idle: AtomicU64,
+}
+
+impl PoolStats {
+    /// Buffers allocated fresh because the free list was empty.
+    pub fn minted(&self) -> u64 {
+        self.minted.load(Ordering::Relaxed)
+    }
+
+    /// Takes served from the free list.
+    pub fn recycled(&self) -> u64 {
+        self.recycled.load(Ordering::Relaxed)
+    }
+
+    /// Returned buffers dropped because the free list was full.
+    pub fn discarded(&self) -> u64 {
+        self.discarded.load(Ordering::Relaxed)
+    }
+
+    /// Buffers sitting in the free list right now.
+    pub fn idle(&self) -> u64 {
+        self.idle.load(Ordering::Relaxed)
+    }
+}
+
+impl Collector for PoolStats {
+    fn collect(&self, out: &mut Vec<Metric>) {
+        out.push(Metric::counter(
+            "cde_bufpool_minted_total",
+            "Buffers allocated because the free list was empty",
+            self.minted(),
+        ));
+        out.push(Metric::counter(
+            "cde_bufpool_recycled_total",
+            "Buffer takes served from the free list",
+            self.recycled(),
+        ));
+        out.push(Metric::counter(
+            "cde_bufpool_discarded_total",
+            "Returned buffers dropped by the retention cap",
+            self.discarded(),
+        ));
+        out.push(Metric::gauge(
+            "cde_bufpool_idle",
+            "Buffers currently in the free list",
+            self.idle() as f64,
+        ));
+    }
+}
+
 /// Recycles `Vec<u8>` buffers between probes.
 ///
 /// Not thread-safe by design: the reactor loop is single-threaded and the
-/// pool lives inside it.
+/// pool lives inside it. Only the [`PoolStats`] handle crosses threads.
 #[derive(Debug)]
 pub struct BufferPool {
     free: Vec<Vec<u8>>,
@@ -17,6 +82,7 @@ pub struct BufferPool {
     buf_capacity: usize,
     /// Retained free buffers; beyond this, returned buffers are dropped.
     max_free: usize,
+    stats: Arc<PoolStats>,
 }
 
 impl BufferPool {
@@ -27,6 +93,7 @@ impl BufferPool {
             free: Vec::with_capacity(max_free.min(1024)),
             buf_capacity,
             max_free,
+            stats: Arc::new(PoolStats::default()),
         }
     }
 
@@ -35,9 +102,16 @@ impl BufferPool {
         match self.free.pop() {
             Some(mut buf) => {
                 buf.clear();
+                self.stats.recycled.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .idle
+                    .store(self.free.len() as u64, Ordering::Relaxed);
                 buf
             }
-            None => Vec::with_capacity(self.buf_capacity),
+            None => {
+                self.stats.minted.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(self.buf_capacity)
+            }
         }
     }
 
@@ -45,12 +119,22 @@ impl BufferPool {
     pub fn give(&mut self, buf: Vec<u8>) {
         if self.free.len() < self.max_free {
             self.free.push(buf);
+            self.stats
+                .idle
+                .store(self.free.len() as u64, Ordering::Relaxed);
+        } else {
+            self.stats.discarded.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Buffers currently sitting in the free list.
     pub fn idle(&self) -> usize {
         self.free.len()
+    }
+
+    /// The shareable stats handle (register it into a metrics registry).
+    pub fn stats(&self) -> Arc<PoolStats> {
+        Arc::clone(&self.stats)
     }
 }
 
@@ -88,5 +172,23 @@ mod tests {
         assert_eq!(pool.idle(), 0);
         let buf = pool.take();
         assert!(buf.capacity() >= 32);
+    }
+
+    #[test]
+    fn stats_track_mint_recycle_discard() {
+        let mut pool = BufferPool::new(16, 1);
+        let stats = pool.stats();
+        let a = pool.take();
+        let b = pool.take();
+        pool.give(a);
+        pool.give(b); // beyond max_free → discarded
+        let _c = pool.take(); // recycled
+        assert_eq!(stats.minted(), 2);
+        assert_eq!(stats.recycled(), 1);
+        assert_eq!(stats.discarded(), 1);
+        assert_eq!(stats.idle(), 0);
+        let mut out = Vec::new();
+        stats.collect(&mut out);
+        assert!(out.iter().any(|m| m.name == "cde_bufpool_minted_total"));
     }
 }

@@ -38,7 +38,14 @@
 //! * [`bufpool`] — [`BufferPool`](bufpool::BufferPool): recycled probe
 //!   encodings for the reactor's alloc-free hot path.
 //! * [`metrics`] — [`EngineMetrics`](metrics::EngineMetrics): atomic
-//!   counters and a latency histogram with a `snapshot()` API.
+//!   counters, latency and reactor-tick histograms, and in-loop health
+//!   gauges (timer-wheel depth, slab occupancy, send-batch fill) with a
+//!   `snapshot()` API; implements `cde-telemetry`'s `Collector`, so one
+//!   `registry.register(reactor.metrics())` exposes everything over
+//!   Prometheus text or JSON. Probe lifecycle events (`planned → sent →
+//!   retried → matched | timed_out`, plus drop reasons) stream through a
+//!   `cde_telemetry::TelemetryHub`; see `ReactorConfig::{telemetry,
+//!   registry}` and `PipelinedCampaign::named`.
 //! * [`testbed`] — [`LiveTestbed`](testbed::LiveTestbed): the whole live
 //!   chain (transport → resolver → authority) launched on loopback in
 //!   one call.
@@ -62,7 +69,10 @@ pub mod transport;
 pub mod udp;
 
 pub use authority::WireAuthority;
-pub use bufpool::BufferPool;
+pub use bufpool::{BufferPool, PoolStats};
+/// Datagrams per `sendmmsg`/`recvmmsg` syscall — the denominator for
+/// [`MetricsSnapshot::batch_fill_ratio`](metrics::MetricsSnapshot::batch_fill_ratio).
+pub use cde_sysio::MAX_BATCH;
 pub use clock::EngineClock;
 pub use metrics::{EngineMetrics, MetricsSnapshot};
 pub use ratelimit::{RateConfig, RateLimiter};
@@ -70,8 +80,8 @@ pub use reactor::{ProbeCompletion, Reactor, ReactorConfig, ReactorHandle, Reacto
 pub use resolver::{LoopbackResolver, ResolverConfig};
 pub use retry::RetryPolicy;
 pub use scheduler::{
-    run_campaign, run_campaign_pipelined, CampaignOptions, CampaignReport, PipelinedCampaign,
-    Probe, ProbeOutcome,
+    run_campaign, run_campaign_pipelined, run_campaign_pipelined_reported, CampaignOptions,
+    CampaignReport, PipelinedCampaign, Probe, ProbeOutcome,
 };
 pub use sim::SimTransport;
 pub use testbed::LiveTestbed;

@@ -1,5 +1,12 @@
 //! Engine observability: lock-free counters and a latency histogram.
+//!
+//! [`EngineMetrics`] is the shared atomic counter block every transport
+//! and the reactor hammer from their hot paths; it also implements
+//! `cde_telemetry`'s [`Collector`], so registering the block into a
+//! [`MetricsRegistry`](cde_telemetry::MetricsRegistry) exposes every
+//! counter, gauge and histogram over Prometheus text or JSON snapshots.
 
+use cde_telemetry::{Collector, Metric};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -58,12 +65,24 @@ pub struct EngineMetrics {
     qname_mismatches: AtomicU64,
     /// Send-batch size histogram (power-of-two buckets).
     batch_buckets: [AtomicU64; BATCH_BUCKETS],
+    /// Total datagrams across all batched sends (batch fill numerator).
+    batch_datagrams: AtomicU64,
     /// Reactor loop iterations measured.
     loop_count: AtomicU64,
     /// Total reactor loop-iteration time, in microseconds.
     loop_sum_us: AtomicU64,
     /// Slowest reactor loop iteration, in microseconds.
     loop_max_us: AtomicU64,
+    /// Reactor tick (loop-iteration) latency histogram, same exponential
+    /// microsecond buckets as the probe latency histogram.
+    loop_buckets: [AtomicU64; BUCKETS],
+    /// Timers pending in the reactor's wheel (sampled every iteration).
+    wheel_pending: AtomicU64,
+    /// High-water mark of the wheel-pending gauge.
+    wheel_pending_peak: AtomicU64,
+    /// Correlation-slab capacity (set once at reactor launch; the
+    /// occupancy gauge is `in_flight`, its high-water `in_flight_peak`).
+    slab_capacity: AtomicU64,
 }
 
 impl EngineMetrics {
@@ -138,6 +157,7 @@ impl EngineMetrics {
         }
         let idx = (usize::BITS - 1 - (n.max(1)).leading_zeros()) as usize;
         self.batch_buckets[idx.min(BATCH_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.batch_datagrams.fetch_add(n as u64, Ordering::Relaxed);
     }
 
     /// Records one reactor loop iteration taking `took`.
@@ -146,6 +166,18 @@ impl EngineMetrics {
         self.loop_count.fetch_add(1, Ordering::Relaxed);
         self.loop_sum_us.fetch_add(us, Ordering::Relaxed);
         self.loop_max_us.fetch_max(us, Ordering::Relaxed);
+        self.loop_buckets[Self::bucket_for(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sets the timer-wheel pending gauge, tracking its high-water mark.
+    pub fn set_wheel_pending(&self, n: u64) {
+        self.wheel_pending.store(n, Ordering::Relaxed);
+        self.wheel_pending_peak.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Records the correlation-slab capacity (once, at reactor launch).
+    pub fn set_slab_capacity(&self, n: u64) {
+        self.slab_capacity.store(n, Ordering::Relaxed);
     }
 
     fn bucket_for(us: u64) -> usize {
@@ -166,6 +198,10 @@ impl EngineMetrics {
         for (dst, src) in batch_buckets.iter_mut().zip(&self.batch_buckets) {
             *dst = src.load(Ordering::Relaxed);
         }
+        let mut loop_buckets = [0u64; BUCKETS];
+        for (dst, src) in loop_buckets.iter_mut().zip(&self.loop_buckets) {
+            *dst = src.load(Ordering::Relaxed);
+        }
         MetricsSnapshot {
             sent: self.sent.load(Ordering::Relaxed),
             received: self.received.load(Ordering::Relaxed),
@@ -183,9 +219,14 @@ impl EngineMetrics {
             spoofed_replies: self.spoofed_replies.load(Ordering::Relaxed),
             qname_mismatches: self.qname_mismatches.load(Ordering::Relaxed),
             batch_buckets,
+            batch_datagrams: self.batch_datagrams.load(Ordering::Relaxed),
             loop_count: self.loop_count.load(Ordering::Relaxed),
             loop_sum_us: self.loop_sum_us.load(Ordering::Relaxed),
             loop_max_us: self.loop_max_us.load(Ordering::Relaxed),
+            loop_buckets,
+            wheel_pending: self.wheel_pending.load(Ordering::Relaxed),
+            wheel_pending_peak: self.wheel_pending_peak.load(Ordering::Relaxed),
+            slab_capacity: self.slab_capacity.load(Ordering::Relaxed),
         }
     }
 }
@@ -226,12 +267,22 @@ pub struct MetricsSnapshot {
     pub qname_mismatches: u64,
     /// Send-batch size histogram (power-of-two buckets).
     pub batch_buckets: [u64; BATCH_BUCKETS],
+    /// Total datagrams across all batched sends.
+    pub batch_datagrams: u64,
     /// Reactor loop iterations measured.
     pub loop_count: u64,
     /// Total reactor loop time in microseconds.
     pub loop_sum_us: u64,
     /// Slowest reactor loop iteration in microseconds.
     pub loop_max_us: u64,
+    /// Reactor tick latency histogram (exponential microsecond buckets).
+    pub loop_buckets: [u64; BUCKETS],
+    /// Timers pending in the reactor wheel at snapshot time.
+    pub wheel_pending: u64,
+    /// Highest wheel-pending count seen.
+    pub wheel_pending_peak: u64,
+    /// Correlation-slab capacity (0 outside a reactor).
+    pub slab_capacity: u64,
 }
 
 impl MetricsSnapshot {
@@ -256,13 +307,22 @@ impl MetricsSnapshot {
     /// Approximate latency quantile (`q` in `[0, 1]`) from the histogram:
     /// upper edge of the bucket containing the q-th response.
     pub fn latency_quantile(&self, q: f64) -> Option<Duration> {
-        if self.latency_count == 0 {
+        Self::quantile_from(&self.latency_buckets, self.latency_count, q)
+    }
+
+    /// Approximate reactor tick-latency quantile from the loop histogram.
+    pub fn loop_latency_quantile(&self, q: f64) -> Option<Duration> {
+        Self::quantile_from(&self.loop_buckets, self.loop_count, q)
+    }
+
+    fn quantile_from(buckets: &[u64; BUCKETS], total: u64, q: f64) -> Option<Duration> {
+        if total == 0 {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
-        let target = ((self.latency_count as f64) * q).ceil().max(1.0) as u64;
+        let target = ((total as f64) * q).ceil().max(1.0) as u64;
         let mut seen = 0u64;
-        for (i, &count) in self.latency_buckets.iter().enumerate() {
+        for (i, &count) in buckets.iter().enumerate() {
             seen += count;
             if seen >= target {
                 let upper_us = if i == 0 { BASE_US } else { BASE_US << i };
@@ -288,6 +348,25 @@ impl MetricsSnapshot {
     pub fn batches_sent(&self) -> u64 {
         self.batch_buckets.iter().sum()
     }
+
+    /// Mean send-batch fill against a batch capacity of `max_batch`
+    /// datagrams: 1.0 means every `sendmmsg` went out full.
+    pub fn batch_fill_ratio(&self, max_batch: usize) -> Option<f64> {
+        let batches = self.batches_sent();
+        if batches == 0 || max_batch == 0 {
+            return None;
+        }
+        Some(self.batch_datagrams as f64 / (batches * max_batch as u64) as f64)
+    }
+
+    /// Correlation-slab occupancy high-water mark as a fraction of
+    /// capacity — how close the reactor came to saturating its slab.
+    pub fn slab_fill_peak(&self) -> Option<f64> {
+        if self.slab_capacity == 0 {
+            return None;
+        }
+        Some(self.in_flight_peak as f64 / self.slab_capacity as f64)
+    }
 }
 
 impl fmt::Display for MetricsSnapshot {
@@ -304,17 +383,15 @@ impl fmt::Display for MetricsSnapshot {
             self.rate_limit_wait,
             self.loss_rate() * 100.0
         )?;
-        if self.in_flight_peak > 0 || self.dropped_replies() > 0 {
-            writeln!(
-                f,
-                "in-flight {} (peak {})  dropped replies: {} stray, {} spoofed, {} id-collisions",
-                self.in_flight,
-                self.in_flight_peak,
-                self.stray_replies,
-                self.spoofed_replies,
-                self.qname_mismatches
-            )?;
-        }
+        writeln!(
+            f,
+            "in-flight {} (peak {})  dropped replies: {} stray, {} spoofed, {} id-collisions",
+            self.in_flight,
+            self.in_flight_peak,
+            self.stray_replies,
+            self.spoofed_replies,
+            self.qname_mismatches
+        )?;
         if self.loop_count > 0 {
             writeln!(
                 f,
@@ -335,6 +412,126 @@ impl fmt::Display for MetricsSnapshot {
             }
             _ => write!(f, "latency: no samples"),
         }
+    }
+}
+
+/// Cumulative Prometheus buckets from our exponential microsecond
+/// histogram: bucket `i`'s upper edge is `BASE_US << i` µs, converted to
+/// seconds. The open-ended top bucket is left to the implicit `+Inf`.
+fn cumulative_seconds(buckets: &[u64; BUCKETS]) -> Vec<(f64, u64)> {
+    let mut out = Vec::with_capacity(BUCKETS - 1);
+    let mut cumulative = 0u64;
+    for (i, &count) in buckets.iter().take(BUCKETS - 1).enumerate() {
+        cumulative += count;
+        out.push(((BASE_US << i) as f64 / 1e6, cumulative));
+    }
+    out
+}
+
+impl Collector for EngineMetrics {
+    fn collect(&self, out: &mut Vec<Metric>) {
+        let s = self.snapshot();
+        out.push(Metric::counter(
+            "cde_engine_sent_total",
+            "Datagrams handed to the OS (every attempt counts)",
+            s.sent,
+        ));
+        out.push(Metric::counter(
+            "cde_engine_received_total",
+            "Responses matched to an outstanding probe",
+            s.received,
+        ));
+        out.push(Metric::counter(
+            "cde_engine_timeouts_total",
+            "Probes that exhausted every attempt unanswered",
+            s.timeouts,
+        ));
+        out.push(Metric::counter(
+            "cde_engine_retries_total",
+            "Retransmissions after a per-attempt deadline",
+            s.retries,
+        ));
+        out.push(Metric::counter(
+            "cde_engine_rate_limit_stalls_total",
+            "Times a sender waited for rate-limiter tokens",
+            s.rate_limit_stalls,
+        ));
+        out.push(Metric::counter(
+            "cde_engine_rate_limit_wait_us_total",
+            "Cumulative rate-limiter wait, in microseconds",
+            s.rate_limit_wait.as_micros().min(u128::from(u64::MAX)) as u64,
+        ));
+        out.push(Metric::counter(
+            "cde_engine_decode_errors_total",
+            "Datagrams that failed wire decoding or matching",
+            s.decode_errors,
+        ));
+        for (reason, count) in [
+            ("stray", s.stray_replies),
+            ("spoofed", s.spoofed_replies),
+            ("duplicate", s.qname_mismatches),
+        ] {
+            out.push(
+                Metric::counter(
+                    "cde_engine_dropped_replies_total",
+                    "Replies dropped without completing a probe, by reason",
+                    count,
+                )
+                .with_label("reason", reason),
+            );
+        }
+        out.push(Metric::gauge(
+            "cde_engine_in_flight",
+            "Probes currently in flight",
+            s.in_flight as f64,
+        ));
+        out.push(Metric::gauge(
+            "cde_engine_in_flight_peak",
+            "Correlation-slab occupancy high-water mark",
+            s.in_flight_peak as f64,
+        ));
+        out.push(Metric::gauge(
+            "cde_engine_slab_capacity",
+            "Correlation-slab capacity (0 outside a reactor)",
+            s.slab_capacity as f64,
+        ));
+        out.push(Metric::gauge(
+            "cde_engine_wheel_pending",
+            "Timers pending in the reactor wheel",
+            s.wheel_pending as f64,
+        ));
+        out.push(Metric::gauge(
+            "cde_engine_wheel_pending_peak",
+            "High-water mark of pending reactor timers",
+            s.wheel_pending_peak as f64,
+        ));
+        out.push(Metric::histogram(
+            "cde_engine_probe_rtt_seconds",
+            "Round-trip time of matched probes",
+            cumulative_seconds(&s.latency_buckets),
+            s.latency_sum_us as f64 / 1e6,
+            s.latency_count,
+        ));
+        out.push(Metric::histogram(
+            "cde_engine_loop_tick_seconds",
+            "Reactor loop-iteration latency",
+            cumulative_seconds(&s.loop_buckets),
+            s.loop_sum_us as f64 / 1e6,
+            s.loop_count,
+        ));
+        let mut batch_cumulative = Vec::with_capacity(BATCH_BUCKETS - 1);
+        let mut seen = 0u64;
+        for (i, &count) in s.batch_buckets.iter().take(BATCH_BUCKETS - 1).enumerate() {
+            seen += count;
+            batch_cumulative.push((((1u64 << (i + 1)) - 1) as f64, seen));
+        }
+        out.push(Metric::histogram(
+            "cde_engine_send_batch_size",
+            "Datagrams per batched send",
+            batch_cumulative,
+            s.batch_datagrams as f64,
+            s.batches_sent(),
+        ));
     }
 }
 
@@ -417,6 +614,85 @@ mod tests {
         let s = m.snapshot();
         assert!(s.latency_quantile(0.0).is_some());
         assert!(s.latency_quantile(1.0).is_some());
+    }
+
+    #[test]
+    fn health_gauges_and_ratios() {
+        let m = EngineMetrics::new();
+        m.set_slab_capacity(1000);
+        m.set_in_flight(250);
+        m.set_wheel_pending(40);
+        m.set_wheel_pending(10);
+        m.record_send_batch(16);
+        m.record_send_batch(32);
+        m.record_loop_iteration(Duration::from_micros(50));
+        let s = m.snapshot();
+        assert_eq!(s.wheel_pending, 10);
+        assert_eq!(s.wheel_pending_peak, 40);
+        assert_eq!(s.slab_capacity, 1000);
+        assert_eq!(s.slab_fill_peak(), Some(0.25));
+        // 48 datagrams over 2 batches of capacity 32 → 0.75 fill.
+        assert_eq!(s.batch_fill_ratio(32), Some(0.75));
+        assert!(s.loop_latency_quantile(0.5).is_some());
+        assert_eq!(EngineMetrics::new().snapshot().batch_fill_ratio(32), None);
+        assert_eq!(EngineMetrics::new().snapshot().slab_fill_peak(), None);
+    }
+
+    #[test]
+    fn display_always_reports_drop_counters() {
+        let m = EngineMetrics::new();
+        let quiet = m.snapshot().to_string();
+        assert!(quiet.contains("0 stray, 0 spoofed, 0 id-collisions"));
+        m.record_stray_reply();
+        m.record_spoofed_reply();
+        m.record_qname_mismatch();
+        let busy = m.snapshot().to_string();
+        assert!(busy.contains("1 stray, 1 spoofed, 1 id-collisions"));
+    }
+
+    #[test]
+    fn collector_exports_families() {
+        let m = EngineMetrics::new();
+        m.record_sent();
+        m.record_received(Duration::from_micros(500));
+        m.record_stray_reply();
+        m.set_slab_capacity(64);
+        m.set_wheel_pending(3);
+        let mut metrics = Vec::new();
+        m.collect(&mut metrics);
+        let find = |name: &str| metrics.iter().find(|x| x.name == name);
+        assert!(matches!(
+            find("cde_engine_sent_total").unwrap().value,
+            cde_telemetry::MetricValue::Counter(1)
+        ));
+        let dropped: Vec<_> = metrics
+            .iter()
+            .filter(|x| x.name == "cde_engine_dropped_replies_total")
+            .collect();
+        assert_eq!(dropped.len(), 3);
+        assert!(dropped.iter().any(|x| {
+            x.labels == vec![("reason", "stray".to_string())]
+                && matches!(x.value, cde_telemetry::MetricValue::Counter(1))
+        }));
+        match &find("cde_engine_probe_rtt_seconds").unwrap().value {
+            cde_telemetry::MetricValue::Histogram {
+                buckets,
+                sum,
+                count,
+            } => {
+                assert_eq!(*count, 1);
+                assert!((sum - 0.0005).abs() < 1e-9);
+                // Buckets are cumulative and end below the open top edge.
+                assert_eq!(buckets.len(), BUCKETS - 1);
+                assert_eq!(buckets.last().unwrap().1, 1);
+                assert!(buckets
+                    .windows(2)
+                    .all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        let wheel = find("cde_engine_wheel_pending").unwrap();
+        assert!(matches!(wheel.value, cde_telemetry::MetricValue::Gauge(v) if v == 3.0));
     }
 
     #[test]

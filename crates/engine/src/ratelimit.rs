@@ -7,9 +7,11 @@
 //! reason). Both are classic token buckets; `acquire` blocks the calling
 //! worker until both buckets can pay.
 
+use cde_telemetry::{Collector, Metric};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Refill rate and burst capacity of one bucket.
@@ -77,6 +79,12 @@ pub struct RateLimiter {
     global: Mutex<Bucket>,
     per_target_cfg: Option<RateConfig>,
     per_target: Mutex<HashMap<Ipv4Addr, Bucket>>,
+    /// Tokens debited (probes paid for), for telemetry.
+    tokens_debited: AtomicU64,
+    /// Debits that came back with a non-zero wait.
+    delayed_debits: AtomicU64,
+    /// Cumulative wait imposed across all debits, in microseconds.
+    delay_us: AtomicU64,
 }
 
 impl RateLimiter {
@@ -88,6 +96,21 @@ impl RateLimiter {
             global_cfg: global,
             per_target_cfg: per_target,
             per_target: Mutex::new(HashMap::new()),
+            tokens_debited: AtomicU64::new(0),
+            delayed_debits: AtomicU64::new(0),
+            delay_us: AtomicU64::new(0),
+        }
+    }
+
+    fn record_debit(&self, n: u32, wait: Duration) {
+        self.tokens_debited
+            .fetch_add(u64::from(n), Ordering::Relaxed);
+        if !wait.is_zero() {
+            self.delayed_debits.fetch_add(1, Ordering::Relaxed);
+            self.delay_us.fetch_add(
+                wait.as_micros().min(u128::from(u64::MAX)) as u64,
+                Ordering::Relaxed,
+            );
         }
     }
 
@@ -104,7 +127,9 @@ impl RateLimiter {
                 .debit(cfg),
             None => Duration::ZERO,
         };
-        global_wait.max(target_wait)
+        let wait = global_wait.max(target_wait);
+        self.record_debit(1, wait);
+        wait
     }
 
     /// Batch-aware token take: debits `n` probes to `target` in one
@@ -125,7 +150,9 @@ impl RateLimiter {
                 .debit_n(cfg, n),
             None => Duration::ZERO,
         };
-        global_wait.max(target_wait)
+        let wait = global_wait.max(target_wait);
+        self.record_debit(n, wait);
+        wait
     }
 
     /// Blocks until one probe to `target` is within budget; returns the
@@ -136,6 +163,46 @@ impl RateLimiter {
             std::thread::sleep(wait);
         }
         wait
+    }
+
+    /// Tokens debited so far (probes paid for).
+    pub fn tokens_debited(&self) -> u64 {
+        self.tokens_debited.load(Ordering::Relaxed)
+    }
+
+    /// Debits that imposed a non-zero wait.
+    pub fn delayed_debits(&self) -> u64 {
+        self.delayed_debits.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative wait imposed on callers.
+    pub fn total_delay(&self) -> Duration {
+        Duration::from_micros(self.delay_us.load(Ordering::Relaxed))
+    }
+}
+
+impl Collector for RateLimiter {
+    fn collect(&self, out: &mut Vec<Metric>) {
+        out.push(Metric::counter(
+            "cde_ratelimit_tokens_total",
+            "Probe tokens debited from the rate limiter",
+            self.tokens_debited(),
+        ));
+        out.push(Metric::counter(
+            "cde_ratelimit_delayed_debits_total",
+            "Debits that imposed a non-zero pacing wait",
+            self.delayed_debits(),
+        ));
+        out.push(Metric::counter(
+            "cde_ratelimit_delay_us_total",
+            "Cumulative pacing wait imposed, in microseconds",
+            self.delay_us.load(Ordering::Relaxed),
+        ));
+        out.push(Metric::gauge(
+            "cde_ratelimit_targets",
+            "Distinct targets with a live per-target bucket",
+            self.per_target.lock().len() as f64,
+        ));
     }
 }
 
@@ -204,6 +271,35 @@ mod tests {
         let diff = batch_wait.abs_diff(serial_wait);
         assert!(diff < Duration::from_millis(2), "diff {diff:?}");
         assert_eq!(batch.debit_n(ip(1), 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn debit_counters_feed_the_collector() {
+        let limiter = RateLimiter::new(
+            RateConfig {
+                per_second: 1000.0,
+                burst: 2.0,
+            },
+            Some(RateConfig {
+                per_second: 1000.0,
+                burst: 2.0,
+            }),
+        );
+        limiter.debit(ip(1));
+        limiter.debit_n(ip(2), 4); // exceeds the burst → delayed
+        assert_eq!(limiter.tokens_debited(), 5);
+        assert_eq!(limiter.delayed_debits(), 1);
+        assert!(limiter.total_delay() > Duration::ZERO);
+        let mut out = Vec::new();
+        limiter.collect(&mut out);
+        let targets = out
+            .iter()
+            .find(|m| m.name == "cde_ratelimit_targets")
+            .unwrap();
+        assert!(
+            matches!(targets.value, cde_telemetry::MetricValue::Gauge(v) if v == 2.0),
+            "two per-target buckets expected"
+        );
     }
 
     #[test]

@@ -38,6 +38,7 @@ use cde_dns::{Message, MessagePeek, Name, RecordType};
 use cde_netsim::{DetRng, SimDuration, SimTime};
 use cde_platform::NameserverNet;
 use cde_sysio::{RecvSlot, SendItem, MAX_BATCH};
+use cde_telemetry::{DropReason, EventKind as TelemetryEvent, MetricsRegistry, TelemetryHub};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use rand::Rng;
 use std::collections::{HashMap, VecDeque};
@@ -82,6 +83,14 @@ pub struct ReactorConfig {
     pub limiter: Option<Arc<RateLimiter>>,
     /// Seed for query-id generation and retransmit jitter.
     pub seed: u64,
+    /// Event hub for probe lifecycle events. `None` uses the process
+    /// [`global`](cde_telemetry::global) hub (a no-op unless a binary
+    /// installed one), so instrumentation costs one branch by default.
+    pub telemetry: Option<Arc<TelemetryHub>>,
+    /// Registry to register the engine's collectors into at launch:
+    /// [`EngineMetrics`], the buffer-pool stats, the rate limiter (if
+    /// any) and the event hub itself.
+    pub registry: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for ReactorConfig {
@@ -95,6 +104,8 @@ impl Default for ReactorConfig {
             policy: RetryPolicy::default(),
             limiter: None,
             seed: 0,
+            telemetry: None,
+            registry: None,
         }
     }
 }
@@ -133,6 +144,7 @@ struct Submission {
 pub struct ReactorHandle {
     submit: Sender<Submission>,
     metrics: Arc<EngineMetrics>,
+    telemetry: Arc<TelemetryHub>,
 }
 
 impl ReactorHandle {
@@ -160,6 +172,11 @@ impl ReactorHandle {
     /// The reactor's shared metrics.
     pub fn metrics(&self) -> Arc<EngineMetrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// The event hub the reactor emits probe lifecycle events into.
+    pub fn telemetry(&self) -> Arc<TelemetryHub> {
+        Arc::clone(&self.telemetry)
     }
 }
 
@@ -190,6 +207,20 @@ impl Reactor {
         let metrics = Arc::new(EngineMetrics::new());
         let shutdown = Arc::new(AtomicBool::new(false));
         let max_in_flight = config.max_in_flight.max(1);
+        metrics.set_slab_capacity(max_in_flight as u64);
+        let telemetry = config
+            .telemetry
+            .clone()
+            .unwrap_or_else(cde_telemetry::global);
+        let pool = BufferPool::new(128, max_in_flight);
+        if let Some(registry) = &config.registry {
+            registry.register(Arc::clone(&metrics) as Arc<dyn cde_telemetry::Collector>);
+            registry.register(pool.stats());
+            registry.register(Arc::clone(&telemetry) as Arc<dyn cde_telemetry::Collector>);
+            if let Some(limiter) = &config.limiter {
+                registry.register(Arc::clone(limiter) as Arc<dyn cde_telemetry::Collector>);
+            }
+        }
         let event_loop = EventLoop {
             targets,
             sockets,
@@ -205,7 +236,7 @@ impl Reactor {
             expired: Vec::new(),
             ready: VecDeque::with_capacity(max_in_flight),
             admitted: Vec::new(),
-            pool: BufferPool::new(128, max_in_flight),
+            pool,
             writer: WireWriter::new(),
             recv_slots: (0..MAX_BATCH).map(|_| RecvSlot::new()).collect(),
             policy: config.policy,
@@ -214,6 +245,7 @@ impl Reactor {
             generation: 0,
             start: Instant::now(),
             metrics: Arc::clone(&metrics),
+            telemetry: Arc::clone(&telemetry),
             shutdown: Arc::clone(&shutdown),
         };
         let thread = std::thread::Builder::new()
@@ -223,6 +255,7 @@ impl Reactor {
             handle: ReactorHandle {
                 submit: submit_tx,
                 metrics,
+                telemetry,
             },
             policy: config.policy,
             shutdown,
@@ -238,6 +271,12 @@ impl Reactor {
     /// The reactor's shared metrics.
     pub fn metrics(&self) -> Arc<EngineMetrics> {
         Arc::clone(&self.handle.metrics)
+    }
+
+    /// The event hub this reactor emits into (the configured one, or the
+    /// process global at launch time).
+    pub fn telemetry(&self) -> Arc<TelemetryHub> {
+        self.handle.telemetry()
     }
 
     /// The per-probe retry policy the loop applies.
@@ -333,6 +372,7 @@ struct EventLoop {
     generation: u64,
     start: Instant,
     metrics: Arc<EngineMetrics>,
+    telemetry: Arc<TelemetryHub>,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -344,6 +384,7 @@ impl EventLoop {
             progress |= self.fire_timers();
             progress |= self.send_ready();
             progress |= self.receive();
+            self.metrics.set_wheel_pending(self.timers.len() as u64);
             self.metrics.record_loop_iteration(iter_start.elapsed());
             if self.disconnected && self.occupied == 0 && self.stash.is_none() {
                 break;
@@ -448,6 +489,13 @@ impl EventLoop {
             // No route to this ingress — indistinguishable from loss.
             _ => {
                 self.metrics.record_timeout();
+                self.telemetry.emit(
+                    0,
+                    TelemetryEvent::ProbeTimedOut {
+                        token: sub.token,
+                        attempts: 0,
+                    },
+                );
                 let _ = sub.done.send(ProbeCompletion {
                     token: sub.token,
                     reply: TransportReply::TimedOut,
@@ -507,13 +555,28 @@ impl EventLoop {
                     self.correlation.remove(&(p.socket, p.id));
                     if ev.attempt + 1 >= self.policy.attempts.max(1) {
                         self.metrics.record_timeout();
+                        self.telemetry.emit(
+                            0,
+                            TelemetryEvent::ProbeTimedOut {
+                                token: p.token,
+                                attempts: ev.attempt + 1,
+                            },
+                        );
                         self.complete(ev.slot, TransportReply::TimedOut);
                     } else {
                         let delay = self.policy.delay_before(ev.attempt + 1, &mut self.rng);
                         let p = self.slots[ev.slot].as_mut().expect("checked above");
                         p.attempt += 1;
                         p.state = PendingState::Scheduled;
+                        let token = p.token;
                         self.metrics.record_retry();
+                        self.telemetry.emit(
+                            0,
+                            TelemetryEvent::ProbeRetried {
+                                token,
+                                attempt: ev.attempt + 1,
+                            },
+                        );
                         self.timers.schedule(
                             now_tick + Self::ticks(delay),
                             TimerEvent {
@@ -592,6 +655,13 @@ impl EventLoop {
                             p.state = PendingState::Waiting;
                             p.sent_at = Instant::now();
                             self.metrics.record_sent();
+                            self.telemetry.emit(
+                                0,
+                                TelemetryEvent::ProbeSent {
+                                    token: p.token,
+                                    attempt: p.attempt,
+                                },
+                            );
                             let deadline =
                                 now_tick + Self::ticks(self.policy.timeout_for(p.attempt)).max(1);
                             self.timers.schedule(
@@ -666,6 +736,12 @@ impl EventLoop {
             // Wrong id, or a duplicate/late reply after the deadline
             // already retired the attempt.
             self.metrics.record_stray_reply();
+            self.telemetry.emit(
+                0,
+                TelemetryEvent::ReplyDropped {
+                    reason: DropReason::Stray,
+                },
+            );
             return;
         };
         let p = self.slots[slot].as_ref().expect("correlated slot occupied");
@@ -673,6 +749,12 @@ impl EventLoop {
             // Right id, wrong source: off-path spoofing. Keep waiting for
             // the genuine answer.
             self.metrics.record_spoofed_reply();
+            self.telemetry.emit(
+                0,
+                TelemetryEvent::ReplyDropped {
+                    reason: DropReason::Spoofed,
+                },
+            );
             return;
         }
         match peek.question_matches(&p.qname, p.qtype) {
@@ -680,6 +762,12 @@ impl EventLoop {
             Ok(false) => {
                 // Id collision: someone else's answer hashed onto our id.
                 self.metrics.record_qname_mismatch();
+                self.telemetry.emit(
+                    0,
+                    TelemetryEvent::ReplyDropped {
+                        reason: DropReason::Duplicate,
+                    },
+                );
                 return;
             }
             Err(_) => {
@@ -689,6 +777,14 @@ impl EventLoop {
         }
         let rtt = p.sent_at.elapsed();
         self.metrics.record_received(rtt);
+        self.telemetry.emit(
+            0,
+            TelemetryEvent::ProbeMatched {
+                token: p.token,
+                attempt: p.attempt,
+                rtt_us: rtt.as_micros().min(u128::from(u64::MAX)) as u64,
+            },
+        );
         self.complete(
             slot,
             TransportReply::Answered {

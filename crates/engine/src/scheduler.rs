@@ -17,6 +17,7 @@ use crate::reactor::{ProbeCompletion, Reactor, ReactorHandle};
 use crate::transport::{Transport, TransportReply};
 use cde_core::ProbePlan;
 use cde_dns::{Name, RecordType};
+use cde_telemetry::{CampaignSpan, EventKind as TelemetryEvent, ProgressReporter};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use crossbeam::thread;
 use std::collections::HashMap;
@@ -145,6 +146,7 @@ where
 {
     let workers = opts.workers.max(1);
     let clock = EngineClock::start();
+    let span = cde_telemetry::global().begin_campaign("worker_campaign", probes.len() as u64);
     let (job_tx, job_rx) = bounded::<(usize, Probe)>(opts.max_in_flight.max(1));
     let (res_tx, res_rx) = unbounded();
     let (met_tx, met_rx) = unbounded();
@@ -205,6 +207,9 @@ where
         report.retries += snap.retries;
         report.rate_limit_stalls += snap.rate_limit_stalls;
     }
+    let completed = report.outcomes.len() as u64;
+    let answered = report.answered() as u64;
+    span.end(completed, answered, completed - answered);
     report
 }
 
@@ -241,14 +246,31 @@ pub struct PipelinedCampaign {
     window: usize,
     baseline: MetricsSnapshot,
     metrics: Arc<crate::metrics::EngineMetrics>,
+    span: CampaignSpan,
+    answered: u64,
+    /// Completions between `campaign_progress` emissions.
+    progress_stride: usize,
+    since_progress: usize,
 }
 
 impl PipelinedCampaign {
     /// Starts a campaign keeping at most `window` probes in flight on
     /// `reactor` (alongside whatever other clients submit).
     pub fn new(reactor: &Reactor, window: usize) -> PipelinedCampaign {
+        PipelinedCampaign::named(reactor, window, "pipelined_campaign", 0)
+    }
+
+    /// Like [`PipelinedCampaign::new`], with an explicit campaign-span
+    /// name and planned probe count for the telemetry stream.
+    pub fn named(
+        reactor: &Reactor,
+        window: usize,
+        name: &'static str,
+        planned: u64,
+    ) -> PipelinedCampaign {
         let (done_tx, done_rx) = unbounded();
         let metrics = reactor.metrics();
+        let window = window.max(1);
         PipelinedCampaign {
             handle: reactor.handle(),
             grace: reactor.policy().worst_case() + Duration::from_secs(2),
@@ -257,10 +279,20 @@ impl PipelinedCampaign {
             pending: HashMap::new(),
             outcomes: Vec::new(),
             next_token: 0,
-            window: window.max(1),
+            window,
             baseline: metrics.snapshot(),
             metrics,
+            span: reactor.telemetry().begin_campaign(name, planned),
+            answered: 0,
+            // Roughly two progress events per full window turnover.
+            progress_stride: (window / 2).max(1),
+            since_progress: 0,
         }
+    }
+
+    /// The campaign's telemetry span (e.g. to attach `note` annotations).
+    pub fn span(&self) -> &CampaignSpan {
+        &self.span
     }
 
     /// Submits one probe, blocking only while the window is full.
@@ -272,6 +304,7 @@ impl PipelinedCampaign {
         }
         let token = self.next_token;
         self.next_token += 1;
+        self.span.event(TelemetryEvent::ProbePlanned { token });
         if self.handle.submit(
             token,
             probe.ingress,
@@ -318,6 +351,17 @@ impl PipelinedCampaign {
             }
         }
         self.outcomes.sort_by_key(|(token, _)| *token);
+        let completed = self.outcomes.len() as u64;
+        let answered = self
+            .outcomes
+            .iter()
+            .filter(|(_, o)| o.reply.is_answered())
+            .count() as u64;
+        std::mem::replace(&mut self.span, CampaignSpan::detached()).end(
+            completed,
+            answered,
+            completed - answered,
+        );
         let snap = self.metrics.snapshot();
         CampaignReport {
             outcomes: self.outcomes.into_iter().map(|(_, o)| o).collect(),
@@ -356,6 +400,9 @@ impl PipelinedCampaign {
 
     fn record(&mut self, completion: ProbeCompletion) {
         if let Some(probe) = self.pending.remove(&completion.token) {
+            if completion.reply.is_answered() {
+                self.answered += 1;
+            }
             self.outcomes.push((
                 completion.token,
                 ProbeOutcome {
@@ -363,6 +410,16 @@ impl PipelinedCampaign {
                     reply: completion.reply,
                 },
             ));
+            self.since_progress += 1;
+            if self.since_progress >= self.progress_stride {
+                self.since_progress = 0;
+                self.span.progress(
+                    self.next_token,
+                    self.outcomes.len() as u64,
+                    self.answered,
+                    self.pending.len() as u64,
+                );
+            }
         }
     }
 }
@@ -375,11 +432,32 @@ pub fn run_campaign_pipelined(
     probes: Vec<Probe>,
     window: usize,
 ) -> CampaignReport {
-    let mut campaign = PipelinedCampaign::new(reactor, window);
+    run_campaign_pipelined_reported(reactor, probes, window, "pipelined_campaign", None)
+}
+
+/// [`run_campaign_pipelined`] with an explicit campaign-span name and an
+/// optional [`ProgressReporter`] ticked through the submission loop and
+/// flushed when the campaign completes — the JSONL stream (and TTY line)
+/// track the campaign live instead of appearing when it ends.
+pub fn run_campaign_pipelined_reported(
+    reactor: &Reactor,
+    probes: Vec<Probe>,
+    window: usize,
+    name: &'static str,
+    mut reporter: Option<&mut ProgressReporter>,
+) -> CampaignReport {
+    let mut campaign = PipelinedCampaign::named(reactor, window, name, probes.len() as u64);
     for probe in probes {
         campaign.submit(probe);
+        if let Some(r) = reporter.as_deref_mut() {
+            let _ = r.tick();
+        }
     }
-    campaign.finish()
+    let report = campaign.finish();
+    if let Some(r) = reporter {
+        let _ = r.flush();
+    }
+    report
 }
 
 #[cfg(test)]

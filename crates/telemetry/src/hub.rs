@@ -1,0 +1,377 @@
+//! The telemetry hub: where emitters meet the drain.
+//!
+//! A [`TelemetryHub`] owns the event ring, the epoch all timestamps are
+//! relative to, and the campaign-id allocator. It is designed to sit
+//! behind an `Arc` shared by every layer of a measurement stack — the
+//! reactor emits probe lifecycle events into it, campaign drivers open
+//! [`CampaignSpan`]s, and one drainer periodically pulls JSONL out.
+//!
+//! A **disabled** hub (the default global) reduces every emit to a single
+//! branch, so instrumented code pays nothing when nobody is listening.
+//! Mirroring `tracing`'s global-subscriber shape (without the
+//! dependency), [`install_global`] lets binaries opt whole-process
+//! instrumentation in; library code reaches the hub via [`global`].
+
+use crate::event::{Event, EventKind};
+use crate::registry::{Collector, Metric};
+use crate::ring::EventRing;
+use parking_lot::RwLock;
+use std::io;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Default ring capacity for [`TelemetryHub::new`] callers that do not
+/// care: a 10k-probe campaign window's worth of lifecycle events.
+pub const DEFAULT_RING_CAPACITY: usize = 64 * 1024;
+
+/// Shared event hub. See the module docs.
+#[derive(Debug)]
+pub struct TelemetryHub {
+    ring: EventRing,
+    epoch: Instant,
+    enabled: bool,
+    next_campaign: AtomicU32,
+}
+
+impl TelemetryHub {
+    /// An enabled hub with a ring of `capacity` events.
+    pub fn new(capacity: usize) -> Arc<TelemetryHub> {
+        Arc::new(TelemetryHub {
+            ring: EventRing::new(capacity),
+            epoch: Instant::now(),
+            enabled: true,
+            next_campaign: AtomicU32::new(1),
+        })
+    }
+
+    /// A no-op hub: every emit is a branch and nothing is stored.
+    pub fn disabled() -> Arc<TelemetryHub> {
+        Arc::new(TelemetryHub {
+            ring: EventRing::new(1),
+            epoch: Instant::now(),
+            enabled: false,
+            next_campaign: AtomicU32::new(1),
+        })
+    }
+
+    /// `true` when events are actually recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Microseconds since this hub's epoch.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Emits one event tagged with `campaign` (0 = no span). Non-blocking;
+    /// sheds oldest under backpressure.
+    pub fn emit(&self, campaign: u32, kind: EventKind) {
+        if !self.enabled {
+            return;
+        }
+        self.ring.push(Event {
+            at_us: self.now_us(),
+            campaign,
+            kind,
+        });
+    }
+
+    /// Opens a campaign span: emits `campaign_begin` and returns the span
+    /// handle that will emit `campaign_end` when closed (or dropped).
+    pub fn begin_campaign(self: &Arc<Self>, name: &'static str, planned: u64) -> CampaignSpan {
+        let id = self.next_campaign.fetch_add(1, Ordering::Relaxed);
+        self.emit(id, EventKind::CampaignBegin { name, planned });
+        CampaignSpan {
+            hub: Arc::clone(self),
+            id,
+            completed: 0,
+            answered: 0,
+            timeouts: 0,
+            ended: false,
+        }
+    }
+
+    /// Drains queued events (oldest first) into `out`. If events were
+    /// shed since the previous drain, an [`EventKind::EventsDropped`]
+    /// record is appended so the stream itself shows the loss.
+    pub fn drain_into(&self, out: &mut Vec<Event>) {
+        self.ring.drain_into(out);
+        let shed = self.ring.take_dropped();
+        if shed > 0 {
+            out.push(Event {
+                at_us: self.now_us(),
+                campaign: 0,
+                kind: EventKind::EventsDropped { count: shed },
+            });
+        }
+    }
+
+    /// Drains queued events and returns them.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut out = Vec::new();
+        self.drain_into(&mut out);
+        out
+    }
+
+    /// Drains queued events as JSONL into `w`. Returns lines written.
+    pub fn drain_jsonl<W: io::Write>(&self, w: &mut W) -> io::Result<usize> {
+        let events = self.drain();
+        let mut buf = String::new();
+        for ev in &events {
+            ev.write_jsonl(&mut buf);
+        }
+        w.write_all(buf.as_bytes())?;
+        Ok(events.len())
+    }
+
+    /// Total events emitted into this hub.
+    pub fn emitted(&self) -> u64 {
+        self.ring.emitted()
+    }
+
+    /// Total events shed by the ring (drop-oldest backpressure).
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// Events currently queued awaiting a drain.
+    pub fn queued(&self) -> usize {
+        self.ring.len()
+    }
+}
+
+/// A hub exports its own health: emitted/dropped totals and the current
+/// queue depth, so telemetry loss is itself observable.
+impl Collector for TelemetryHub {
+    fn collect(&self, out: &mut Vec<Metric>) {
+        out.push(Metric::counter(
+            "cde_telemetry_events_emitted_total",
+            "Events emitted into the telemetry ring",
+            self.emitted(),
+        ));
+        out.push(Metric::counter(
+            "cde_telemetry_events_dropped_total",
+            "Events shed by the ring under backpressure (drop-oldest)",
+            self.dropped(),
+        ));
+        out.push(Metric::gauge(
+            "cde_telemetry_queue_depth",
+            "Events queued awaiting a drain",
+            self.queued() as f64,
+        ));
+    }
+}
+
+/// An open campaign span. Emit progress through it as the campaign runs;
+/// closing it (explicitly via [`CampaignSpan::end`], or implicitly on
+/// drop) emits `campaign_end` with the last reported totals.
+#[derive(Debug)]
+pub struct CampaignSpan {
+    hub: Arc<TelemetryHub>,
+    id: u32,
+    completed: u64,
+    answered: u64,
+    timeouts: u64,
+    ended: bool,
+}
+
+impl CampaignSpan {
+    /// An already-ended span on a disabled hub: emits nothing, ever.
+    /// Useful as a placeholder when moving a span out of a struct field
+    /// to [`CampaignSpan::end`] it.
+    pub fn detached() -> CampaignSpan {
+        CampaignSpan {
+            hub: TelemetryHub::disabled(),
+            id: 0,
+            completed: 0,
+            answered: 0,
+            timeouts: 0,
+            ended: true,
+        }
+    }
+
+    /// The span id tagged onto its events.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The hub this span emits into.
+    pub fn hub(&self) -> &Arc<TelemetryHub> {
+        &self.hub
+    }
+
+    /// Emits a `campaign_progress` event and remembers the totals for
+    /// the final `campaign_end`.
+    pub fn progress(&mut self, submitted: u64, completed: u64, answered: u64, in_flight: u64) {
+        self.completed = completed;
+        self.answered = answered;
+        self.timeouts = completed.saturating_sub(answered);
+        self.hub.emit(
+            self.id,
+            EventKind::CampaignProgress {
+                submitted,
+                completed,
+                answered,
+                in_flight,
+            },
+        );
+    }
+
+    /// Emits a campaign-defined annotation (e.g. `estimated_caches`).
+    pub fn note(&self, key: &'static str, value: u64) {
+        self.hub
+            .emit(self.id, EventKind::CampaignNote { key, value });
+    }
+
+    /// Emits an arbitrary event tagged with this span's id — the hook
+    /// campaign drivers use for probe lifecycle events they originate
+    /// (e.g. `probe_planned` at submission time).
+    pub fn event(&self, kind: EventKind) {
+        self.hub.emit(self.id, kind);
+    }
+
+    /// Closes the span with explicit totals.
+    pub fn end(mut self, completed: u64, answered: u64, timeouts: u64) {
+        self.completed = completed;
+        self.answered = answered;
+        self.timeouts = timeouts;
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if self.ended {
+            return;
+        }
+        self.ended = true;
+        self.hub.emit(
+            self.id,
+            EventKind::CampaignEnd {
+                completed: self.completed,
+                answered: self.answered,
+                timeouts: self.timeouts,
+            },
+        );
+    }
+}
+
+impl Drop for CampaignSpan {
+    fn drop(&mut self) {
+        // A span abandoned mid-flight (early return, panic unwind) still
+        // closes with its last reported totals.
+        self.finish();
+    }
+}
+
+static GLOBAL: RwLock<Option<Arc<TelemetryHub>>> = RwLock::new(None);
+static DISABLED: OnceLock<Arc<TelemetryHub>> = OnceLock::new();
+
+/// The process-wide hub. Disabled (no-op) until [`install_global`] runs.
+pub fn global() -> Arc<TelemetryHub> {
+    if let Some(hub) = GLOBAL.read().as_ref() {
+        return Arc::clone(hub);
+    }
+    Arc::clone(DISABLED.get_or_init(TelemetryHub::disabled))
+}
+
+/// Installs `hub` as the process-wide hub (replacing any previous one).
+/// Library code that calls [`global`] starts emitting into it from the
+/// next event on.
+pub fn install_global(hub: Arc<TelemetryHub>) {
+    *GLOBAL.write() = Some(hub);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DropReason;
+
+    #[test]
+    fn span_emits_begin_progress_end() {
+        let hub = TelemetryHub::new(64);
+        let mut span = hub.begin_campaign("test_campaign", 10);
+        span.progress(4, 2, 2, 2);
+        span.note("estimated_caches", 7);
+        span.end(10, 9, 1);
+        let events = hub.drain();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "campaign_begin",
+                "campaign_progress",
+                "campaign_note",
+                "campaign_end"
+            ]
+        );
+        // All tagged with the same span id.
+        assert!(events.iter().all(|e| e.campaign == events[0].campaign));
+        assert!(matches!(
+            events[3].kind,
+            EventKind::CampaignEnd {
+                completed: 10,
+                answered: 9,
+                timeouts: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn dropped_span_still_ends() {
+        let hub = TelemetryHub::new(64);
+        {
+            let mut span = hub.begin_campaign("abandoned", 0);
+            span.progress(5, 3, 1, 2);
+        }
+        let events = hub.drain();
+        assert_eq!(events.last().unwrap().kind.name(), "campaign_end");
+        assert!(matches!(
+            events.last().unwrap().kind,
+            EventKind::CampaignEnd {
+                completed: 3,
+                answered: 1,
+                timeouts: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn disabled_hub_records_nothing() {
+        let hub = TelemetryHub::disabled();
+        hub.emit(
+            0,
+            EventKind::ReplyDropped {
+                reason: DropReason::Stray,
+            },
+        );
+        let mut span = hub.begin_campaign("quiet", 1);
+        span.progress(1, 1, 1, 0);
+        drop(span);
+        assert_eq!(hub.emitted(), 0);
+        assert!(hub.drain().is_empty());
+    }
+
+    #[test]
+    fn drain_surfaces_ring_loss() {
+        let hub = TelemetryHub::new(2);
+        for token in 0..5 {
+            hub.emit(0, EventKind::ProbePlanned { token });
+        }
+        let events = hub.drain();
+        match events.last().unwrap().kind {
+            EventKind::EventsDropped { count } => assert_eq!(count, 3),
+            other => panic!("expected events_dropped, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn global_defaults_to_disabled_then_installs() {
+        assert!(!global().is_enabled() || global().is_enabled());
+        let hub = TelemetryHub::new(8);
+        install_global(Arc::clone(&hub));
+        assert!(global().is_enabled());
+        global().emit(0, EventKind::ProbePlanned { token: 1 });
+        assert_eq!(hub.emitted(), 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! Minimal JSON string escaping — the one piece of JSON machinery the
+//! exporters need. Numbers are formatted with Rust's shortest-roundtrip
+//! `Display`, which is already valid JSON.
+
+use std::fmt::Write;
+
+/// Appends `s` to `out` as a JSON string literal (quotes included),
+/// escaping quotes, backslashes and control characters.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` as a JSON number. Non-finite values (which JSON
+/// cannot represent) are emitted as `null`.
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut out = String::new();
+        write_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_roundtrip() {
+        let mut out = String::new();
+        write_f64(&mut out, 1.5);
+        out.push(' ');
+        write_f64(&mut out, 3.0);
+        out.push(' ');
+        write_f64(&mut out, f64::NAN);
+        assert_eq!(out, "1.5 3 null");
+    }
+}

@@ -1,0 +1,178 @@
+//! Prometheus text exposition rendering (version 0.0.4 of the format).
+//!
+//! One `# HELP` / `# TYPE` pair per metric family, samples beneath it,
+//! label values escaped per the spec (`\\`, `\"`, `\n`), histograms
+//! expanded into `_bucket{le=...}` / `_sum` / `_count` with the implicit
+//! `+Inf` bucket appended.
+
+use crate::registry::{Metric, MetricValue};
+use std::fmt::Write;
+
+/// Escapes a HELP string: backslash and newline.
+fn escape_help(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Escapes a label value: backslash, double quote and newline.
+fn escape_label(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Writes `{k="v",...}` — with `extra` (used for `le`) appended last.
+fn write_labels(out: &mut String, labels: &[(&'static str, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_label(out, v);
+        out.push('"');
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_label(out, v);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else if v.is_nan() {
+        out.push_str("NaN");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Renders `metrics` (pre-sorted by name so families are contiguous) as
+/// the Prometheus text format.
+pub fn render(metrics: &[Metric]) -> String {
+    let mut out = String::with_capacity(metrics.len() * 64 + 16);
+    let mut last_family: Option<&str> = None;
+    for m in metrics {
+        if last_family != Some(m.name) {
+            let _ = write!(out, "# HELP {} ", m.name);
+            escape_help(&mut out, m.help);
+            out.push('\n');
+            let _ = writeln!(out, "# TYPE {} {}", m.name, m.value.type_name());
+            last_family = Some(m.name);
+        }
+        match &m.value {
+            MetricValue::Counter(v) => {
+                out.push_str(m.name);
+                write_labels(&mut out, &m.labels, None);
+                let _ = writeln!(out, " {v}");
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(m.name);
+                write_labels(&mut out, &m.labels, None);
+                out.push(' ');
+                write_f64(&mut out, *v);
+                out.push('\n');
+            }
+            MetricValue::Histogram {
+                buckets,
+                sum,
+                count,
+            } => {
+                let mut le = String::new();
+                for (bound, cumulative) in buckets {
+                    le.clear();
+                    write_f64(&mut le, *bound);
+                    out.push_str(m.name);
+                    out.push_str("_bucket");
+                    write_labels(&mut out, &m.labels, Some(("le", &le)));
+                    let _ = writeln!(out, " {cumulative}");
+                }
+                out.push_str(m.name);
+                out.push_str("_bucket");
+                write_labels(&mut out, &m.labels, Some(("le", "+Inf")));
+                let _ = writeln!(out, " {count}");
+                out.push_str(m.name);
+                out.push_str("_sum");
+                write_labels(&mut out, &m.labels, None);
+                out.push(' ');
+                write_f64(&mut out, *sum);
+                out.push('\n');
+                out.push_str(m.name);
+                out.push_str("_count");
+                write_labels(&mut out, &m.labels, None);
+                let _ = writeln!(out, " {count}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_share_one_header() {
+        let metrics = vec![
+            Metric::counter("requests_total", "Total requests", 1).with_label("code", "200"),
+            Metric::counter("requests_total", "Total requests", 2).with_label("code", "500"),
+        ];
+        let text = render(&metrics);
+        assert_eq!(text.matches("# HELP requests_total").count(), 1);
+        assert_eq!(text.matches("# TYPE requests_total counter").count(), 1);
+        assert!(text.contains("requests_total{code=\"200\"} 1\n"));
+        assert!(text.contains("requests_total{code=\"500\"} 2\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let metrics =
+            vec![Metric::gauge("g", "help with \\ and\nnewline", 1.0)
+                .with_label("path", "a\"b\\c\nd")];
+        let text = render(&metrics);
+        assert!(text.contains("# HELP g help with \\\\ and\\nnewline\n"));
+        assert!(text.contains("g{path=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    fn histogram_expands_with_inf_bucket() {
+        let metrics = vec![Metric::histogram(
+            "latency_seconds",
+            "Latency",
+            vec![(0.001, 2), (0.01, 5)],
+            0.042,
+            6,
+        )];
+        let text = render(&metrics);
+        assert!(text.contains("latency_seconds_bucket{le=\"0.001\"} 2\n"));
+        assert!(text.contains("latency_seconds_bucket{le=\"0.01\"} 5\n"));
+        assert!(text.contains("latency_seconds_bucket{le=\"+Inf\"} 6\n"));
+        assert!(text.contains("latency_seconds_sum 0.042\n"));
+        assert!(text.contains("latency_seconds_count 6\n"));
+    }
+}

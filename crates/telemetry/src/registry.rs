@@ -1,0 +1,282 @@
+//! The metrics registry: pull-model collection with two exporters.
+//!
+//! Instrumented components implement [`Collector`] (or hand the registry
+//! a closure via [`MetricsRegistry::register_fn`]) and are polled at
+//! export time — registration costs nothing at runtime, and a component
+//! keeps its own representation (atomics, histograms) between scrapes.
+//! [`MetricsRegistry::prometheus_text`] renders the Prometheus text
+//! exposition format; [`MetricsRegistry::json_snapshot`] renders the same
+//! gather as one machine-readable JSON document.
+
+use crate::json;
+use crate::prometheus;
+use parking_lot::Mutex;
+use std::fmt::Write;
+use std::sync::Arc;
+
+/// One exported value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonically non-decreasing count.
+    Counter(u64),
+    /// Point-in-time level.
+    Gauge(f64),
+    /// Cumulative histogram: `(upper_bound, cumulative_count)` pairs in
+    /// increasing bound order; the implicit `+Inf` bucket is `count`.
+    Histogram {
+        /// Bucket upper bounds with cumulative counts.
+        buckets: Vec<(f64, u64)>,
+        /// Sum of all observed values.
+        sum: f64,
+        /// Number of observations.
+        count: u64,
+    },
+}
+
+impl MetricValue {
+    /// Prometheus TYPE keyword for this value.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram { .. } => "histogram",
+        }
+    }
+}
+
+/// One named metric sample, possibly labelled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Full metric name (e.g. `cde_engine_sent_total`).
+    pub name: &'static str,
+    /// One-line help text.
+    pub help: &'static str,
+    /// Label pairs; values are escaped at render time.
+    pub labels: Vec<(&'static str, String)>,
+    /// The sample.
+    pub value: MetricValue,
+}
+
+impl Metric {
+    /// An unlabelled counter.
+    pub fn counter(name: &'static str, help: &'static str, value: u64) -> Metric {
+        Metric {
+            name,
+            help,
+            labels: Vec::new(),
+            value: MetricValue::Counter(value),
+        }
+    }
+
+    /// An unlabelled gauge.
+    pub fn gauge(name: &'static str, help: &'static str, value: f64) -> Metric {
+        Metric {
+            name,
+            help,
+            labels: Vec::new(),
+            value: MetricValue::Gauge(value),
+        }
+    }
+
+    /// An unlabelled histogram from cumulative buckets.
+    pub fn histogram(
+        name: &'static str,
+        help: &'static str,
+        buckets: Vec<(f64, u64)>,
+        sum: f64,
+        count: u64,
+    ) -> Metric {
+        Metric {
+            name,
+            help,
+            labels: Vec::new(),
+            value: MetricValue::Histogram {
+                buckets,
+                sum,
+                count,
+            },
+        }
+    }
+
+    /// The same metric with one label attached.
+    pub fn with_label(mut self, key: &'static str, value: impl Into<String>) -> Metric {
+        self.labels.push((key, value.into()));
+        self
+    }
+}
+
+/// Anything that can report metrics when the registry is polled.
+pub trait Collector: Send + Sync {
+    /// Appends this component's current samples to `out`.
+    fn collect(&self, out: &mut Vec<Metric>);
+}
+
+struct FnCollector<F>(F);
+
+impl<F> Collector for FnCollector<F>
+where
+    F: Fn(&mut Vec<Metric>) + Send + Sync,
+{
+    fn collect(&self, out: &mut Vec<Metric>) {
+        (self.0)(out)
+    }
+}
+
+/// A set of registered collectors polled at export time.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    collectors: Mutex<Vec<Arc<dyn Collector>>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("collectors", &self.collectors.lock().len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry, ready to share behind an `Arc`.
+    pub fn new() -> Arc<MetricsRegistry> {
+        Arc::new(MetricsRegistry::default())
+    }
+
+    /// Registers a collector; it is polled on every export.
+    pub fn register(&self, collector: Arc<dyn Collector>) {
+        self.collectors.lock().push(collector);
+    }
+
+    /// Registers a closure producing metrics on demand — the lightweight
+    /// path for a single gauge or counter (e.g. a shared atomic).
+    pub fn register_fn<F>(&self, f: F)
+    where
+        F: Fn(&mut Vec<Metric>) + Send + Sync + 'static,
+    {
+        self.register(Arc::new(FnCollector(f)));
+    }
+
+    /// Number of registered collectors.
+    pub fn collector_count(&self) -> usize {
+        self.collectors.lock().len()
+    }
+
+    /// Polls every collector and returns the samples sorted by name (then
+    /// by labels), so exports are deterministic.
+    pub fn gather(&self) -> Vec<Metric> {
+        let collectors: Vec<Arc<dyn Collector>> = self.collectors.lock().clone();
+        let mut out = Vec::new();
+        for collector in collectors {
+            collector.collect(&mut out);
+        }
+        out.sort_by(|a, b| a.name.cmp(b.name).then_with(|| a.labels.cmp(&b.labels)));
+        out
+    }
+
+    /// Renders the current gather in the Prometheus text exposition
+    /// format (`# HELP` / `# TYPE` per family, escaped label values).
+    pub fn prometheus_text(&self) -> String {
+        prometheus::render(&self.gather())
+    }
+
+    /// Renders the current gather as one JSON document:
+    /// `{"metrics": [{"name", "type", "labels", ...value}]}`.
+    pub fn json_snapshot(&self) -> String {
+        let metrics = self.gather();
+        let mut out = String::with_capacity(metrics.len() * 96 + 32);
+        out.push_str("{\"metrics\": [");
+        for (i, m) in metrics.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"name\": ");
+            json::write_str(&mut out, m.name);
+            out.push_str(", \"type\": ");
+            json::write_str(&mut out, m.value.type_name());
+            if !m.labels.is_empty() {
+                out.push_str(", \"labels\": {");
+                for (j, (k, v)) in m.labels.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    json::write_str(&mut out, k);
+                    out.push_str(": ");
+                    json::write_str(&mut out, v);
+                }
+                out.push('}');
+            }
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, ", \"value\": {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(", \"value\": ");
+                    json::write_f64(&mut out, *v);
+                }
+                MetricValue::Histogram {
+                    buckets,
+                    sum,
+                    count,
+                } => {
+                    out.push_str(", \"sum\": ");
+                    json::write_f64(&mut out, *sum);
+                    let _ = write!(out, ", \"count\": {count}, \"buckets\": [");
+                    for (j, (le, c)) in buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str("{\"le\": ");
+                        json::write_f64(&mut out, *le);
+                        let _ = write!(out, ", \"count\": {c}}}");
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn gather_is_sorted_and_polls_live_values() {
+        let registry = MetricsRegistry::new();
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&counter);
+        registry.register_fn(move |out| {
+            out.push(Metric::counter("zzz_total", "z", c.load(Ordering::Relaxed)));
+            out.push(Metric::gauge("aaa", "a", 1.5));
+        });
+        counter.store(7, Ordering::Relaxed);
+        let metrics = registry.gather();
+        assert_eq!(metrics[0].name, "aaa");
+        assert_eq!(metrics[1].value, MetricValue::Counter(7));
+    }
+
+    #[test]
+    fn json_snapshot_shapes_all_kinds() {
+        let registry = MetricsRegistry::new();
+        registry.register_fn(|out| {
+            out.push(Metric::counter("c_total", "c", 3).with_label("kind", "x\"y"));
+            out.push(Metric::gauge("g", "g", 0.25));
+            out.push(Metric::histogram(
+                "h",
+                "h",
+                vec![(0.001, 1), (0.01, 4)],
+                0.02,
+                4,
+            ));
+        });
+        let json = registry.json_snapshot();
+        assert!(json.contains("\"name\": \"c_total\", \"type\": \"counter\""));
+        assert!(json.contains("\"labels\": {\"kind\": \"x\\\"y\"}"));
+        assert!(json.contains("\"value\": 0.25"));
+        assert!(json.contains("\"buckets\": [{\"le\": 0.001, \"count\": 1}"));
+    }
+}

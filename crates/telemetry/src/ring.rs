@@ -1,0 +1,149 @@
+//! The telemetry ring: a bounded, non-blocking event queue.
+//!
+//! The contract the reactor's hot path needs is strict: an emitter must
+//! *never* wait on the drain side, and under backpressure the ring sheds
+//! the **oldest** events (the newest are the ones an operator diagnosing
+//! a live campaign still cares about), counting every shed event exactly
+//! once. Emitters only ever contend with each other for the short
+//! push critical section; a stalled — or absent — drainer costs nothing.
+//!
+//! The queue is preallocated to capacity, so steady-state emission does
+//! not touch the allocator.
+
+use crate::event::Event;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bounded drop-oldest MPMC event queue. See the module docs.
+#[derive(Debug)]
+pub struct EventRing {
+    queue: Mutex<VecDeque<Event>>,
+    capacity: usize,
+    /// Events pushed, shed or not (updated under the queue lock so the
+    /// `emitted == drained + queued + dropped` invariant is exact).
+    emitted: AtomicU64,
+    /// Events shed by drop-oldest.
+    dropped: AtomicU64,
+    /// Dropped count already reported to a drainer (see `take_dropped`).
+    dropped_reported: AtomicU64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> EventRing {
+        let capacity = capacity.max(1);
+        EventRing {
+            queue: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            emitted: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            dropped_reported: AtomicU64::new(0),
+        }
+    }
+
+    /// Pushes one event, shedding the oldest queued event when full.
+    /// Never blocks on the drain side.
+    pub fn push(&self, event: Event) {
+        let mut queue = self.queue.lock();
+        if queue.len() >= self.capacity {
+            queue.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        queue.push_back(event);
+        self.emitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Moves every queued event into `out`, oldest first.
+    pub fn drain_into(&self, out: &mut Vec<Event>) {
+        let mut queue = self.queue.lock();
+        out.extend(queue.drain(..));
+    }
+
+    /// Events currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// `true` when no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The ring's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever pushed (including later-shed ones).
+    pub fn emitted(&self) -> u64 {
+        self.emitted.load(Ordering::Relaxed)
+    }
+
+    /// Total events shed by drop-oldest.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Events shed since the last call — lets a drainer surface loss in
+    /// the output stream (as an `EventsDropped` record) without double
+    /// counting across drains.
+    pub fn take_dropped(&self) -> u64 {
+        let total = self.dropped.load(Ordering::Relaxed);
+        let prev = self.dropped_reported.swap(total, Ordering::Relaxed);
+        total.saturating_sub(prev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(token: u64) -> Event {
+        Event {
+            at_us: token,
+            campaign: 0,
+            kind: EventKind::ProbePlanned { token },
+        }
+    }
+
+    #[test]
+    fn drops_oldest_when_full() {
+        let ring = EventRing::new(3);
+        for t in 0..5 {
+            ring.push(ev(t));
+        }
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        let tokens: Vec<u64> = out.iter().map(|e| e.at_us).collect();
+        assert_eq!(tokens, vec![2, 3, 4], "oldest must be shed first");
+        assert_eq!(ring.emitted(), 5);
+        assert_eq!(ring.dropped(), 2);
+    }
+
+    #[test]
+    fn accounting_is_exact() {
+        let ring = EventRing::new(4);
+        for t in 0..10 {
+            ring.push(ev(t));
+        }
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        assert_eq!(
+            ring.emitted(),
+            out.len() as u64 + ring.dropped() + ring.len() as u64
+        );
+    }
+
+    #[test]
+    fn take_dropped_reports_each_loss_once() {
+        let ring = EventRing::new(1);
+        ring.push(ev(0));
+        ring.push(ev(1));
+        assert_eq!(ring.take_dropped(), 1);
+        assert_eq!(ring.take_dropped(), 0);
+        ring.push(ev(2));
+        assert_eq!(ring.take_dropped(), 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Golden-file coverage of the Prometheus text exposition: the rendered
+//! output is compared byte-for-byte against `tests/golden/registry.prom`,
+//! pinning family headers, sort order, label escaping and histogram
+//! expansion. A second test checks the counter contract across
+//! consecutive gathers: counters never move backwards.
+
+use cde_telemetry::{EventKind, Metric, MetricValue, MetricsRegistry, TelemetryHub};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A registry covering every value kind, label escaping, and a family
+/// with multiple labelled samples (which must share one HELP/TYPE pair
+/// and sort by label value).
+fn demo_registry() -> Arc<MetricsRegistry> {
+    let registry = MetricsRegistry::new();
+    registry.register_fn(|out| {
+        // Deliberately unsorted: gather must order by name, then labels.
+        out.push(
+            Metric::counter("cde_probe_sent_total", "Datagrams handed to the OS", 1200)
+                .with_label("engine", "reactor"),
+        );
+        out.push(
+            Metric::counter("cde_probe_sent_total", "Datagrams handed to the OS", 45)
+                .with_label("engine", "blocking"),
+        );
+        out.push(Metric::gauge(
+            "cde_in_flight",
+            "Probes awaiting a reply",
+            128.0,
+        ));
+        out.push(Metric::gauge(
+            "cde_fill_ratio",
+            "Send-batch occupancy",
+            0.875,
+        ));
+        out.push(Metric::histogram(
+            "cde_probe_rtt_seconds",
+            "Probe round-trip time",
+            vec![(0.000256, 3), (0.001024, 90), (0.004096, 117)],
+            0.162,
+            120,
+        ));
+        out.push(
+            Metric::counter("cde_dropped_total", "Replies dropped before correlation", 7)
+                .with_label("reason", "path\\with\"quotes\nand newline"),
+        );
+    });
+    registry
+}
+
+#[test]
+fn prometheus_text_matches_golden_file() {
+    let rendered = demo_registry().prometheus_text();
+    let golden = include_str!("golden/registry.prom");
+    assert_eq!(
+        rendered, golden,
+        "Prometheus text drifted from tests/golden/registry.prom"
+    );
+}
+
+#[test]
+fn counters_are_monotonic_across_snapshots() {
+    let registry = MetricsRegistry::new();
+    let hub = TelemetryHub::new(256);
+    registry.register(Arc::clone(&hub) as Arc<dyn cde_telemetry::Collector>);
+    let work = Arc::new(AtomicU64::new(0));
+    let w = Arc::clone(&work);
+    registry.register_fn(move |out| {
+        out.push(Metric::counter(
+            "test_work_total",
+            "Units of work",
+            w.load(Ordering::Relaxed),
+        ));
+    });
+
+    type CounterSample = (&'static str, Vec<(&'static str, String)>, u64);
+    let counters = |metrics: &[Metric]| -> Vec<CounterSample> {
+        metrics
+            .iter()
+            .filter_map(|m| match m.value {
+                MetricValue::Counter(v) => Some((m.name, m.labels.clone(), v)),
+                _ => None,
+            })
+            .collect()
+    };
+
+    let mut previous = counters(&registry.gather());
+    for round in 1..=5u64 {
+        for token in 0..round * 10 {
+            hub.emit(0, EventKind::ProbePlanned { token });
+        }
+        hub.drain();
+        work.fetch_add(round, Ordering::Relaxed);
+
+        let current = counters(&registry.gather());
+        assert_eq!(current.len(), previous.len(), "counter set must be stable");
+        for ((name, labels, now), (pname, plabels, before)) in current.iter().zip(&previous) {
+            assert_eq!((name, &labels), (pname, &plabels));
+            assert!(
+                now >= before,
+                "{name}{labels:?} went backwards: {before} -> {now}"
+            );
+        }
+        previous = current;
+    }
+    // And they actually advanced — monotonic, not frozen.
+    let emitted = previous
+        .iter()
+        .find(|(name, _, _)| *name == "cde_telemetry_events_emitted_total")
+        .expect("hub collector present");
+    assert_eq!(emitted.2, (1..=5u64).map(|r| r * 10).sum::<u64>());
+}

@@ -2,24 +2,51 @@
 //!
 //! Launches the full live chain hermetically on `127.0.0.1` — a
 //! [`WireAuthority`] farm serving the CDE zones, a [`LoopbackResolver`]
-//! fronting a hidden simulated cache platform, and a [`UdpTransport`]
-//! probing it with real datagrams, retries and jittered backoff — then
-//! runs the exact same `enumerate_adaptive` the simulator uses and
-//! compares its estimate against ground truth. A second pass injects 20%
-//! request loss to show the retry machinery absorbing it.
+//! fronting a hidden simulated cache platform, and the event-driven probe
+//! reactor multiplexing real datagrams at it with retries and jittered
+//! backoff — then runs the exact same `enumerate_adaptive` the simulator
+//! uses and compares its estimate against ground truth. A second pass
+//! injects 20% request loss to show the retry machinery absorbing it.
+//!
+//! The whole run is observable: a process-wide telemetry hub streams the
+//! campaign span and per-probe lifecycle events, and each reactor
+//! registers its metrics (counters, RTT/tick histograms, health gauges)
+//! into a `MetricsRegistry`.
 //!
 //! Run with: `cargo run --release --example live_loopback_census`
+//!
+//! Flags:
+//!
+//! * `--telemetry-jsonl <path>` — append the telemetry event stream
+//!   (campaign spans + probe lifecycle) to `<path>` as JSON Lines;
+//! * `--prometheus` — dump the final registry in Prometheus text format.
 
 use counting_dark::cde::{enumerate_adaptive, CdeInfra, SurveyOptions};
-use counting_dark::engine::{EngineAccess, LiveTestbed, ResolverConfig, RetryPolicy, Transport};
+use counting_dark::engine::{
+    EngineAccess, LiveTestbed, ReactorConfig, ResolverConfig, RetryPolicy, MAX_BATCH,
+};
 use counting_dark::netsim::SimTime;
 use counting_dark::platform::{NameserverNet, PlatformBuilder, SelectorKind};
+use counting_dark::telemetry::{
+    install_global, MetricsRegistry, ProgressReporter, TelemetryHub, DEFAULT_RING_CAPACITY,
+};
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 use std::time::Duration;
 
 const INGRESS: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
 
-fn census(caches: usize, seed: u64, cfg: ResolverConfig, label: &str) {
+fn census(
+    caches: usize,
+    seed: u64,
+    cfg: ResolverConfig,
+    label: &str,
+    reporter: &mut ProgressReporter,
+) -> Arc<MetricsRegistry> {
+    // A fresh registry per pass: each pass launches its own reactor, and
+    // re-registering a second reactor's collectors into the same registry
+    // would duplicate every metric family.
+    let registry = MetricsRegistry::new();
     let mut net = NameserverNet::new();
     let mut infra = CdeInfra::install(&mut net);
     let platform = PlatformBuilder::new(seed)
@@ -36,7 +63,12 @@ fn census(caches: usize, seed: u64, cfg: ResolverConfig, label: &str) {
         base_delay: Duration::from_millis(2),
         jitter: 0.5,
     };
-    let mut transport = testbed.transport(policy, seed).expect("transport sockets");
+    let mut transport = testbed
+        .reactor_transport(ReactorConfig {
+            registry: Some(Arc::clone(&registry)),
+            ..ReactorConfig::with_policy(policy, seed)
+        })
+        .expect("reactor transport");
 
     let opts = SurveyOptions {
         loss: cfg.query_loss,
@@ -46,8 +78,9 @@ fn census(caches: usize, seed: u64, cfg: ResolverConfig, label: &str) {
         let mut access = EngineAccess::new(&mut transport, INGRESS);
         enumerate_adaptive(&mut access, &mut infra, &opts, SimTime::ZERO).estimated
     };
+    reporter.flush().expect("drain telemetry");
 
-    let snap = transport.metrics().snapshot();
+    let snap = transport.reactor().metrics().snapshot();
     println!("{label}");
     println!("  ground truth      : {caches} caches");
     println!(
@@ -70,21 +103,67 @@ fn census(caches: usize, seed: u64, cfg: ResolverConfig, label: &str) {
     if let Some(p50) = snap.latency_quantile(0.5) {
         println!("  median probe RTT  : {p50:?}");
     }
+    print!(
+        "  reactor health    : wheel peak {}",
+        snap.wheel_pending_peak
+    );
+    if let Some(fill) = snap.slab_fill_peak() {
+        print!(", slab fill peak {:.1}%", fill * 100.0);
+    }
+    if let Some(fill) = snap.batch_fill_ratio(MAX_BATCH) {
+        print!(", send-batch fill {:.1}%", fill * 100.0);
+    }
+    println!();
+    if let (Some(p50), Some(p99)) = (
+        snap.loop_latency_quantile(0.5),
+        snap.loop_latency_quantile(0.99),
+    ) {
+        println!(
+            "  loop tick latency : p50 {:?}, p99 {:?} over {} iterations",
+            p50, p99, snap.loop_count
+        );
+    }
     println!(
         "  authority queries : {} served over real UDP\n",
         testbed.authority().queries_served()
     );
+    registry
 }
 
 fn main() {
+    let mut telemetry_jsonl: Option<std::path::PathBuf> = None;
+    let mut print_prometheus = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--telemetry-jsonl" => {
+                telemetry_jsonl = Some(args.next().expect("--telemetry-jsonl needs a path").into());
+            }
+            "--prometheus" => print_prometheus = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    // Install the hub before anything runs: the reactor picks it up via
+    // `cde_telemetry::global()`, and cde-core's `enumerate_adaptive`
+    // wraps each census in a campaign span on the same hub.
+    let hub = TelemetryHub::new(DEFAULT_RING_CAPACITY);
+    install_global(Arc::clone(&hub));
+    let mut reporter = ProgressReporter::new(Arc::clone(&hub));
+    if let Some(path) = &telemetry_jsonl {
+        let file = std::fs::File::create(path).expect("create telemetry jsonl");
+        reporter = reporter.to_sink(file);
+    }
+
     println!("live loopback census — real sockets, hermetic world\n");
     census(
         7,
         101,
         ResolverConfig::default(),
         "clean wire (no injected loss):",
+        &mut reporter,
     );
-    census(
+    let registry = census(
         7,
         102,
         ResolverConfig {
@@ -93,5 +172,18 @@ fn main() {
             ..ResolverConfig::default()
         },
         "lossy wire (20% of requests dropped, absorbed by retries):",
+        &mut reporter,
     );
+
+    if let Some(path) = &telemetry_jsonl {
+        println!(
+            "telemetry: {} events written to {} ({} dropped)",
+            reporter.events_written(),
+            path.display(),
+            hub.dropped()
+        );
+    }
+    if print_prometheus {
+        println!("{}", registry.prometheus_text());
+    }
 }

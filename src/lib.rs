@@ -15,7 +15,9 @@
 //! * [`analysis`] — coupon-collector math and figure statistics,
 //! * [`datasets`] — populations calibrated to the paper's marginals,
 //! * [`engine`] — the live wire-level engine: real UDP transports, a
-//!   loopback authoritative farm, campaign scheduling and rate limiting.
+//!   loopback authoritative farm, campaign scheduling and rate limiting,
+//! * [`telemetry`] — campaign tracing (JSONL event stream) and the
+//!   pull-model metrics registry with Prometheus text export.
 //!
 //! # Quickstart
 //!
@@ -57,3 +59,4 @@ pub use cde_engine as engine;
 pub use cde_netsim as netsim;
 pub use cde_platform as platform;
 pub use cde_probers as probers;
+pub use cde_telemetry as telemetry;
