@@ -1,7 +1,7 @@
 # Convenience targets; everything builds offline from vendored deps
 # (third_party/, see README "Offline builds").
 
-.PHONY: build test bench-smoke bench-json lint
+.PHONY: build test chaos bench-smoke bench-json bench-check lint
 
 build:
 	cargo build --release --locked
@@ -21,6 +21,21 @@ bench-smoke:
 bench-json:
 	cargo run --release --locked -p cde-bench --bin engine_bench -- \
 		BENCH_engine.json --metrics-out BENCH_engine_metrics.json
+
+# Both chaos suites: the hermetic FaultyTransport tests and the live
+# loopback reactor fault-layer tests. Override the seed with
+# CDE_CHAOS_SEED=<n>; failures print the seed to replay.
+chaos:
+	cargo test --release --locked --test chaos
+	cargo test --release --locked -p cde-engine --test reactor_chaos
+
+# Regenerate the engine benchmark and gate on the committed baseline:
+# fails when the reactor-vs-blocking speedup drops more than 25%.
+bench-check:
+	cargo run --release --locked -p cde-bench --bin engine_bench -- \
+		BENCH_engine.fresh.json
+	cargo run --release --locked -p cde-bench --bin bench_check -- \
+		BENCH_engine.json BENCH_engine.fresh.json
 
 lint:
 	cargo clippy --workspace --all-targets --locked -- -D warnings

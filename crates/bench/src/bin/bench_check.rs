@@ -1,0 +1,159 @@
+//! Bench-regression gate: compares a fresh `BENCH_engine.json` against
+//! the committed baseline and fails when the reactor regresses.
+//!
+//! ```text
+//! bench_check <baseline.json> <fresh.json> [--max-regress 0.25] [--absolute]
+//! ```
+//!
+//! The default comparison is the `reactor_vs_blocking` *speedup ratio*
+//! per probe count — both backends run on the same box in the same
+//! process, so the ratio cancels machine speed and is stable enough to
+//! gate in CI. `--absolute` compares raw reactor `probes_per_sec`
+//! instead (useful on pinned hardware). Exit codes: 0 pass, 1 regression
+//! found, 2 unreadable/unparseable input.
+//!
+//! The parser is deliberately line-oriented (the workspace carries no
+//! JSON parser): `engine_bench` writes one run object per line.
+
+use std::process::ExitCode;
+
+/// Extracts the number after `"key": ` on `line`, if present.
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\": ");
+    let at = line.find(&needle)? + needle.len();
+    let tail = &line[at..];
+    let end = tail.find([',', '}']).unwrap_or(tail.len());
+    tail[..end].trim().parse().ok()
+}
+
+/// `(probes, value)` pairs to gate on, extracted from one report.
+fn extract(json: &str, absolute: bool) -> Vec<(u64, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let value = if absolute {
+            if !line.contains("\"backend\": \"reactor\"") {
+                continue;
+            }
+            field_f64(line, "probes_per_sec")
+        } else {
+            field_f64(line, "reactor_vs_blocking")
+        };
+        if let (Some(value), Some(probes)) = (value, field_f64(line, "probes")) {
+            out.push((probes as u64, value));
+        }
+    }
+    out
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_check <baseline.json> <fresh.json> [--max-regress 0.25] [--absolute]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut paths: Vec<String> = Vec::new();
+    let mut max_regress = 0.25f64;
+    let mut absolute = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-regress" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                max_regress = v;
+            }
+            "--absolute" => absolute = true,
+            _ => paths.push(arg),
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        return usage();
+    };
+    if !(0.0..1.0).contains(&max_regress) {
+        eprintln!("--max-regress must be in [0, 1), got {max_regress}");
+        return ExitCode::from(2);
+    }
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(err) => {
+            eprintln!("bench_check: cannot read {path}: {err}");
+            None
+        }
+    };
+    let (Some(baseline), Some(fresh)) = (read(baseline_path), read(fresh_path)) else {
+        return ExitCode::from(2);
+    };
+
+    let metric = if absolute {
+        "reactor probes/sec"
+    } else {
+        "reactor-vs-blocking speedup"
+    };
+    let base = extract(&baseline, absolute);
+    let new = extract(&fresh, absolute);
+    if base.is_empty() || new.is_empty() {
+        eprintln!("bench_check: no {metric} entries found (baseline {base:?}, fresh {new:?})");
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    for (probes, was) in &base {
+        let Some((_, now)) = new.iter().find(|(p, _)| p == probes) else {
+            eprintln!("FAIL {probes} probes: baseline has {metric} but fresh run lacks it");
+            failed = true;
+            continue;
+        };
+        let floor = was * (1.0 - max_regress);
+        let verdict = if *now < floor { "FAIL" } else { "ok  " };
+        eprintln!(
+            "{verdict} {probes} probes: {metric} {now:.2} vs baseline {was:.2} \
+             (floor {floor:.2} at -{:.0}%)",
+            max_regress * 100.0
+        );
+        failed |= *now < floor;
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPORT: &str = r#"{
+  "runs": [
+    {"backend": "blocking", "probes": 1000, "probes_per_sec": 13710.8, "latency_p50_us": 312},
+    {"backend": "reactor", "probes": 1000, "probes_per_sec": 75976.2, "latency_p50_us": 690},
+    {"backend": "reactor", "probes": 10000, "probes_per_sec": 79818.3, "latency_p50_us": 839}
+  ],
+  "speedup": [
+    {"probes": 1000, "reactor_vs_blocking": 5.54},
+    {"probes": 10000, "reactor_vs_blocking": 6.05}
+  ]
+}"#;
+
+    #[test]
+    fn extracts_speedup_ratios() {
+        assert_eq!(extract(REPORT, false), vec![(1000, 5.54), (10000, 6.05)]);
+    }
+
+    #[test]
+    fn extracts_absolute_reactor_throughput() {
+        assert_eq!(
+            extract(REPORT, true),
+            vec![(1000, 75976.2), (10000, 79818.3)]
+        );
+    }
+
+    #[test]
+    fn parses_terminal_field_before_closing_brace() {
+        assert_eq!(field_f64(r#"{"probes": 7}"#, "probes"), Some(7.0));
+        assert_eq!(field_f64(r#"{"probes": 7, "x": 1}"#, "probes"), Some(7.0));
+        assert_eq!(field_f64(r#"{"x": 1}"#, "probes"), None);
+    }
+}

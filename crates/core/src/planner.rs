@@ -49,6 +49,55 @@ impl ProbePlan {
     pub fn worst_case_queries(&self) -> u64 {
         self.probes * self.redundancy
     }
+
+    /// Like [`for_target`](ProbePlan::for_target), but for *bursty* loss
+    /// with mean burst length `mean_burst` packets (Gilbert–Elliott).
+    ///
+    /// Carpet bombing sends its K copies back-to-back, so under bursty
+    /// loss the copies are *not* independent: a burst that eats the first
+    /// copy likely eats its neighbours too. The uniform-loss budget
+    /// `carpet_bombing_k` (⌈ln eps / ln loss⌉) under-provisions; this
+    /// plan adds a burst-aware floor and keeps whichever is larger.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_max` is zero, `loss` is outside `[0, 1)`, or
+    /// `mean_burst < 1`.
+    pub fn for_bursty_target(n_max: u64, loss: f64, mean_burst: f64) -> ProbePlan {
+        assert!(
+            mean_burst.is_finite() && mean_burst >= 1.0,
+            "mean_burst must be >= 1"
+        );
+        let base = ProbePlan::for_target(n_max, loss);
+        ProbePlan {
+            redundancy: base
+                .redundancy
+                .max(bursty_redundancy(loss, mean_burst, 0.001)),
+            ..base
+        }
+    }
+}
+
+/// Copies per probe so that, in the Gilbert–Elliott bad state, at least
+/// one copy survives with probability `1 − eps`.
+///
+/// Back-to-back copies see correlated fates: if copy `i` died in a burst,
+/// copy `i+1` is still inside it with probability `stay = 1 − 1/burst`.
+/// The first copy dies with the stationary rate `loss`; given that, the
+/// next `k−1` copies all die with probability ≈ `stay^(k−1)`, so
+/// `loss · stay^(k−1) ≤ eps` gives `k = 1 + ⌈ln(eps/loss) / ln stay⌉`.
+fn bursty_redundancy(loss: f64, mean_burst: f64, eps: f64) -> u64 {
+    if loss <= eps {
+        return 1;
+    }
+    let stay = 1.0 - 1.0 / mean_burst;
+    if stay <= 0.0 {
+        // Bursts of one packet: drops are independent, two copies only
+        // ever die together by coincidence — the uniform budget rules.
+        return 2;
+    }
+    let k = 1.0 + ((eps / loss).ln() / stay.ln()).ceil();
+    (k as u64).clamp(2, 255)
 }
 
 /// Measures packet loss toward the target: triggers `probes` fresh nonce
@@ -117,6 +166,35 @@ mod tests {
     #[should_panic(expected = "n_max")]
     fn zero_n_max_rejected() {
         ProbePlan::for_target(0, 0.0);
+    }
+
+    #[test]
+    fn bursty_plan_out_provisions_the_uniform_budget() {
+        let uniform = ProbePlan::for_target(8, 0.3);
+        let bursty = ProbePlan::for_bursty_target(8, 0.3, 4.0);
+        // ln(0.001)/ln(0.3) → 6 copies under independence; 4-packet
+        // bursts (stay 0.75) need 1 + ⌈ln(0.001/0.3)/ln 0.75⌉ = 21.
+        assert_eq!(uniform.redundancy, 6);
+        assert_eq!(bursty.redundancy, 21);
+        // Everything except redundancy matches the uniform plan.
+        assert_eq!(bursty.probes, uniform.probes);
+        assert_eq!(bursty.seeds, uniform.seeds);
+    }
+
+    #[test]
+    fn bursty_plan_degenerates_gracefully() {
+        // Single-packet bursts are independent loss: the uniform budget
+        // dominates.
+        let single = ProbePlan::for_bursty_target(8, 0.3, 1.0);
+        assert_eq!(single.redundancy, ProbePlan::for_target(8, 0.3).redundancy);
+        // Negligible loss needs no redundancy at all.
+        assert_eq!(ProbePlan::for_bursty_target(8, 0.0, 4.0).redundancy, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean_burst")]
+    fn bursty_plan_rejects_sub_packet_bursts() {
+        ProbePlan::for_bursty_target(8, 0.3, 0.5);
     }
 
     #[test]

@@ -49,6 +49,11 @@
 //! * [`testbed`] — [`LiveTestbed`](testbed::LiveTestbed): the whole live
 //!   chain (transport → resolver → authority) launched on loopback in
 //!   one call.
+//! * [`faulty`] — [`FaultyTransport`](faulty::FaultyTransport): any
+//!   transport wrapped in a deterministic `cde-faults::FaultPlan`
+//!   (bursty loss, duplication, delay spikes, REFUSED rate limiting);
+//!   the reactor and [`UdpTransport`](udp::UdpTransport) additionally
+//!   wear plans natively at their socket seams for live-loopback chaos.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,6 +61,7 @@
 pub mod authority;
 pub mod bufpool;
 pub mod clock;
+pub mod faulty;
 pub mod metrics;
 pub mod ratelimit;
 pub mod reactor;
@@ -74,6 +80,7 @@ pub use bufpool::{BufferPool, PoolStats};
 /// [`MetricsSnapshot::batch_fill_ratio`](metrics::MetricsSnapshot::batch_fill_ratio).
 pub use cde_sysio::MAX_BATCH;
 pub use clock::EngineClock;
+pub use faulty::FaultyTransport;
 pub use metrics::{EngineMetrics, MetricsSnapshot};
 pub use ratelimit::{RateConfig, RateLimiter};
 pub use reactor::{ProbeCompletion, Reactor, ReactorConfig, ReactorHandle, ReactorTransport};

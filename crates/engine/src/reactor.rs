@@ -35,13 +35,15 @@ use crate::udp::SyncLink;
 use cde_core::AccessProvider;
 use cde_dns::wire::WireWriter;
 use cde_dns::{Message, MessagePeek, Name, RecordType};
+use cde_faults::{refused_reply, Direction, FaultInjector, FaultPlan, FaultStats, Verdict};
 use cde_netsim::{DetRng, SimDuration, SimTime};
 use cde_platform::NameserverNet;
 use cde_sysio::{RecvSlot, SendItem, MAX_BATCH};
 use cde_telemetry::{DropReason, EventKind as TelemetryEvent, MetricsRegistry, TelemetryHub};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use rand::Rng;
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -91,6 +93,14 @@ pub struct ReactorConfig {
     /// [`EngineMetrics`], the buffer-pool stats, the rate limiter (if
     /// any) and the event hub itself.
     pub registry: Option<Arc<MetricsRegistry>>,
+    /// Chaos: a deterministic fault plan worn at the send/recv seam.
+    /// Outbound datagrams can be dropped, REFUSED, delayed, duplicated
+    /// or truncated before they reach the wire; inbound replies run the
+    /// same gauntlet before correlation — so retries, timeouts and the
+    /// stray/decode-error taxonomy react to injected faults exactly as
+    /// they would to real ones. The injector's [`FaultStats`] register
+    /// into `registry` when both are set.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ReactorConfig {
@@ -106,6 +116,7 @@ impl Default for ReactorConfig {
             seed: 0,
             telemetry: None,
             registry: None,
+            faults: None,
         }
     }
 }
@@ -180,10 +191,86 @@ impl ReactorHandle {
     }
 }
 
+/// A datagram held back by the fault layer, ordered by due tick (ties
+/// broken by injection order so replay is exact).
+struct DelayedDatagram {
+    due: u64,
+    seq: u64,
+    socket: usize,
+    bytes: Vec<u8>,
+    addr: SocketAddrV4,
+}
+
+impl PartialEq for DelayedDatagram {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for DelayedDatagram {}
+impl PartialOrd for DelayedDatagram {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DelayedDatagram {
+    // Reversed: BinaryHeap is a max-heap, we want earliest-due first.
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+/// The reactor's chaos shim: a [`FaultInjector`] at the socket seam plus
+/// the holding pens for delayed copies in both directions.
+struct FaultLayer {
+    injector: FaultInjector,
+    /// Outbound copies waiting for their injected delay.
+    delayed_out: BinaryHeap<DelayedDatagram>,
+    /// Inbound datagrams (delayed replies, synthesized REFUSED answers)
+    /// waiting to re-enter correlation.
+    delayed_in: BinaryHeap<DelayedDatagram>,
+    seq: u64,
+}
+
+impl FaultLayer {
+    fn new(plan: &FaultPlan) -> FaultLayer {
+        FaultLayer {
+            injector: FaultInjector::new(plan),
+            delayed_out: BinaryHeap::new(),
+            delayed_in: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    fn push_out(&mut self, due: u64, socket: usize, bytes: Vec<u8>, addr: SocketAddrV4) {
+        self.seq += 1;
+        let seq = self.seq;
+        self.delayed_out.push(DelayedDatagram {
+            due,
+            seq,
+            socket,
+            bytes,
+            addr,
+        });
+    }
+
+    fn push_in(&mut self, due: u64, socket: usize, bytes: Vec<u8>, addr: SocketAddrV4) {
+        self.seq += 1;
+        let seq = self.seq;
+        self.delayed_in.push(DelayedDatagram {
+            due,
+            seq,
+            socket,
+            bytes,
+            addr,
+        });
+    }
+}
+
 /// The event-driven probe engine. See the module docs.
 pub struct Reactor {
     handle: ReactorHandle,
     policy: RetryPolicy,
+    fault_stats: Option<Arc<FaultStats>>,
     shutdown: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
 }
@@ -213,12 +300,17 @@ impl Reactor {
             .clone()
             .unwrap_or_else(cde_telemetry::global);
         let pool = BufferPool::new(128, max_in_flight);
+        let faults = config.faults.as_ref().map(FaultLayer::new);
+        let fault_stats = faults.as_ref().map(|layer| layer.injector.stats());
         if let Some(registry) = &config.registry {
             registry.register(Arc::clone(&metrics) as Arc<dyn cde_telemetry::Collector>);
             registry.register(pool.stats());
             registry.register(Arc::clone(&telemetry) as Arc<dyn cde_telemetry::Collector>);
             if let Some(limiter) = &config.limiter {
                 registry.register(Arc::clone(limiter) as Arc<dyn cde_telemetry::Collector>);
+            }
+            if let Some(stats) = &fault_stats {
+                registry.register(Arc::clone(stats) as Arc<dyn cde_telemetry::Collector>);
             }
         }
         let event_loop = EventLoop {
@@ -247,6 +339,7 @@ impl Reactor {
             metrics: Arc::clone(&metrics),
             telemetry: Arc::clone(&telemetry),
             shutdown: Arc::clone(&shutdown),
+            faults,
         };
         let thread = std::thread::Builder::new()
             .name("cde-reactor".into())
@@ -258,6 +351,7 @@ impl Reactor {
                 telemetry,
             },
             policy: config.policy,
+            fault_stats,
             shutdown,
             thread: Some(thread),
         })
@@ -282,6 +376,12 @@ impl Reactor {
     /// The per-probe retry policy the loop applies.
     pub fn policy(&self) -> RetryPolicy {
         self.policy
+    }
+
+    /// Counters of what the chaos layer injected — `None` unless the
+    /// reactor was launched with [`ReactorConfig::faults`].
+    pub fn fault_stats(&self) -> Option<Arc<FaultStats>> {
+        self.fault_stats.as_ref().map(Arc::clone)
     }
 }
 
@@ -374,6 +474,7 @@ struct EventLoop {
     metrics: Arc<EngineMetrics>,
     telemetry: Arc<TelemetryHub>,
     shutdown: Arc<AtomicBool>,
+    faults: Option<FaultLayer>,
 }
 
 impl EventLoop {
@@ -384,6 +485,7 @@ impl EventLoop {
             progress |= self.fire_timers();
             progress |= self.send_ready();
             progress |= self.receive();
+            progress |= self.release_delayed();
             self.metrics.set_wheel_pending(self.timers.len() as u64);
             self.metrics.record_loop_iteration(iter_start.elapsed());
             if self.disconnected && self.occupied == 0 && self.stash.is_none() {
@@ -629,19 +731,32 @@ impl EventLoop {
                 }
                 self.correlation.insert((socket_idx, id), slot);
             }
-            let empty: &[u8] = &[];
-            let mut items = [SendItem {
-                payload: empty,
-                dest: SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0),
-            }; MAX_BATCH];
-            for (item, &slot) in items.iter_mut().zip(batch) {
-                let p = self.slots[slot].as_ref().expect("ready slot occupied");
-                *item = SendItem {
-                    payload: &p.bytes,
-                    dest: p.target,
-                };
-            }
-            let outcome = cde_sysio::send_batch(&self.sockets[socket_idx], &items[..count]);
+            let outcome = if self.faults.is_some() {
+                // Chaos path: every armed probe is "sent" from the
+                // engine's point of view (deadlines, retries and loss
+                // feedback behave), but each datagram runs the fault
+                // gauntlet on its way to the wire.
+                let mut layer = self.faults.take().expect("checked is_some");
+                for &slot in batch {
+                    self.emit_faulty(&mut layer, socket_idx, slot);
+                }
+                self.faults = Some(layer);
+                Ok(count)
+            } else {
+                let empty: &[u8] = &[];
+                let mut items = [SendItem {
+                    payload: empty,
+                    dest: SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0),
+                }; MAX_BATCH];
+                for (item, &slot) in items.iter_mut().zip(batch) {
+                    let p = self.slots[slot].as_ref().expect("ready slot occupied");
+                    *item = SendItem {
+                        payload: &p.bytes,
+                        dest: p.target,
+                    };
+                }
+                cde_sysio::send_batch(&self.sockets[socket_idx], &items[..count])
+            };
             let now_tick = self.now_tick();
             match outcome {
                 Ok(sent) => {
@@ -711,7 +826,11 @@ impl EventLoop {
                 progress = true;
                 for rs in recv_slots.iter().take(got) {
                     let Some(from) = rs.from() else { continue };
-                    self.process_datagram(socket_idx, rs.bytes(), from);
+                    if self.faults.is_some() {
+                        self.receive_faulty(socket_idx, rs.bytes(), from);
+                    } else {
+                        self.process_datagram(socket_idx, rs.bytes(), from);
+                    }
                 }
                 if got < recv_slots.len() {
                     break;
@@ -719,6 +838,105 @@ impl EventLoop {
             }
         }
         self.recv_slots = recv_slots;
+        progress
+    }
+
+    /// Sends one armed probe through the fault layer: dropped, REFUSED
+    /// (a synthesized answer queued inbound), or delivered — possibly
+    /// delayed, duplicated or truncated.
+    fn emit_faulty(&mut self, layer: &mut FaultLayer, socket_idx: usize, slot: usize) {
+        let now = self.start.elapsed();
+        let now_tick = self.now_tick();
+        let p = self.slots[slot].as_ref().expect("ready slot occupied");
+        match layer
+            .injector
+            .decide(Direction::ClientToServer, now, p.bytes.len())
+        {
+            Verdict::Refuse => {
+                // The "resolver" answers REFUSED without resolving: the
+                // synthesized reply re-enters through correlation (from
+                // the probed target, so the anti-spoofing checks pass).
+                if let Some(reply) = refused_reply(&p.bytes) {
+                    layer.push_in(now_tick, socket_idx, reply, p.target);
+                }
+            }
+            // Nothing reaches the wire; the deadline timer will fire.
+            Verdict::Drop(_) => {}
+            Verdict::Deliver(copies) => {
+                for copy in copies {
+                    let len = copy.truncate_to.unwrap_or(p.bytes.len()).min(p.bytes.len());
+                    if copy.delay.is_zero() && len == p.bytes.len() {
+                        let _ = self.sockets[socket_idx].send_to(&p.bytes, p.target);
+                    } else {
+                        layer.push_out(
+                            now_tick + Self::ticks(copy.delay),
+                            socket_idx,
+                            p.bytes[..len].to_vec(),
+                            p.target,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs one received datagram through the reply-direction gauntlet
+    /// before correlation: lost replies vanish, delayed/duplicated
+    /// copies queue up (late duplicates then land as strays — exactly
+    /// the taxonomy a chaotic wire produces).
+    fn receive_faulty(&mut self, socket_idx: usize, bytes: &[u8], from: SocketAddrV4) {
+        let now = self.start.elapsed();
+        let now_tick = self.now_tick();
+        let mut immediate = 0u32;
+        {
+            let layer = self.faults.as_mut().expect("faults enabled");
+            match layer
+                .injector
+                .decide(Direction::ServerToClient, now, bytes.len())
+            {
+                Verdict::Drop(_) | Verdict::Refuse => {}
+                Verdict::Deliver(copies) => {
+                    for copy in copies {
+                        let len = copy.truncate_to.unwrap_or(bytes.len()).min(bytes.len());
+                        if copy.delay.is_zero() && len == bytes.len() {
+                            immediate += 1;
+                        } else {
+                            layer.push_in(
+                                now_tick + Self::ticks(copy.delay),
+                                socket_idx,
+                                bytes[..len].to_vec(),
+                                from,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        for _ in 0..immediate {
+            self.process_datagram(socket_idx, bytes, from);
+        }
+    }
+
+    /// Flushes fault-layer datagrams whose injected delay has elapsed:
+    /// outbound copies hit the wire, inbound ones re-enter correlation.
+    fn release_delayed(&mut self) -> bool {
+        if self.faults.is_none() {
+            return false;
+        }
+        let mut layer = self.faults.take().expect("checked is_none");
+        let now_tick = self.now_tick();
+        let mut progress = false;
+        while layer.delayed_out.peek().is_some_and(|d| d.due <= now_tick) {
+            let d = layer.delayed_out.pop().expect("peeked");
+            let _ = self.sockets[d.socket].send_to(&d.bytes, d.addr);
+            progress = true;
+        }
+        while layer.delayed_in.peek().is_some_and(|d| d.due <= now_tick) {
+            let d = layer.delayed_in.pop().expect("peeked");
+            self.process_datagram(d.socket, &d.bytes, d.addr);
+            progress = true;
+        }
+        self.faults = Some(layer);
         progress
     }
 

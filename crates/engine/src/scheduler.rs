@@ -126,6 +126,21 @@ impl CampaignReport {
         1.0 - self.received as f64 / self.sent as f64
     }
 
+    /// Probes that exhausted every attempt unanswered.
+    pub fn timed_out(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.reply.is_answered())
+            .count()
+    }
+
+    /// Every submitted probe produced exactly one outcome — answered or
+    /// timed out, nothing lost in the correlation slab. The invariant
+    /// the chaos suite asserts after every run.
+    pub fn fully_accounted(&self, submitted: usize) -> bool {
+        self.outcomes.len() == submitted && self.answered() + self.timed_out() == submitted
+    }
+
     /// Plans the next campaign against the same target: the observed loss
     /// feeds `cde-core`'s coupon-collector budgets (paper §IV-C).
     pub fn plan_for(&self, n_max: u64) -> ProbePlan {

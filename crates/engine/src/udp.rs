@@ -22,6 +22,7 @@ use crate::retry::RetryPolicy;
 use crate::transport::{Transport, TransportReply};
 use cde_core::AccessProvider;
 use cde_dns::{Message, Name, Question, RecordType};
+use cde_faults::{Direction, FaultInjector, FaultPlan, FaultStats, Verdict};
 use cde_netsim::{DetRng, SimDuration, SimTime};
 use cde_platform::NameserverNet;
 use crossbeam::channel::Receiver;
@@ -97,6 +98,9 @@ pub struct UdpTransport {
     link: Option<SyncLink>,
     metrics: Arc<EngineMetrics>,
     dirty: bool,
+    /// Chaos shim at the send/recv seam; the [`Instant`] is the epoch
+    /// feeding the injector's deterministic rate-limit clock.
+    faults: Option<(FaultInjector, Instant)>,
 }
 
 impl UdpTransport {
@@ -146,6 +150,7 @@ impl UdpTransport {
             link: None,
             metrics: Arc::new(EngineMetrics::new()),
             dirty: true,
+            faults: None,
         })
     }
 
@@ -153,6 +158,25 @@ impl UdpTransport {
     pub fn with_rate_limiter(mut self, limiter: Arc<RateLimiter>) -> UdpTransport {
         self.limiter = Some(limiter);
         self
+    }
+
+    /// Wears a deterministic fault plan at the socket seam: queries can
+    /// be dropped (the attempt still burns its deadline, so retries and
+    /// observed loss behave), REFUSED or truncated; replies can be lost
+    /// or truncated on the way back in.
+    ///
+    /// Reduced fidelity versus the reactor's fault layer: this blocking
+    /// transport ignores injected *delays* (it has no event loop to park
+    /// datagrams in) and extra duplicate copies are sent back-to-back.
+    pub fn with_faults(mut self, plan: &FaultPlan) -> UdpTransport {
+        self.faults = Some((FaultInjector::new(plan), Instant::now()));
+        self
+    }
+
+    /// Counters of what the chaos layer injected — `None` unless
+    /// [`with_faults`](UdpTransport::with_faults) was applied.
+    pub fn fault_stats(&self) -> Option<Arc<FaultStats>> {
+        self.faults.as_ref().map(|(injector, _)| injector.stats())
     }
 
     /// The transport's retry policy.
@@ -199,7 +223,30 @@ impl UdpTransport {
         let bytes = query.encode().ok()?;
         let socket = &self.sockets[self.next_socket];
         self.next_socket = (self.next_socket + 1) % self.sockets.len();
-        socket.send_to(&bytes, target).ok()?;
+        let mut send_plain = true;
+        if let Some((injector, epoch)) = &mut self.faults {
+            match injector.decide(Direction::ClientToServer, epoch.elapsed(), bytes.len()) {
+                Verdict::Refuse => {
+                    // The "resolver" sheds the query with REFUSED: an
+                    // instant answer, nothing resolved.
+                    self.metrics.record_sent();
+                    return Some((Duration::from_micros(1), cde_dns::Rcode::Refused));
+                }
+                // Nothing reaches the wire, but the attempt still burns
+                // its deadline below — exactly what real loss costs.
+                Verdict::Drop(_) => send_plain = false,
+                Verdict::Deliver(copies) => {
+                    for copy in copies {
+                        let len = copy.truncate_to.unwrap_or(bytes.len()).min(bytes.len());
+                        socket.send_to(&bytes[..len], target).ok()?;
+                    }
+                    send_plain = false;
+                }
+            }
+        }
+        if send_plain {
+            socket.send_to(&bytes, target).ok()?;
+        }
         self.metrics.record_sent();
         let start = Instant::now();
         let mut buf = [0u8; MAX_DATAGRAM];
@@ -220,6 +267,20 @@ impl UdpTransport {
                 }
                 Err(_) => return None,
             };
+            let mut len = len;
+            if let Some((injector, epoch)) = &mut self.faults {
+                match injector.decide(Direction::ServerToClient, epoch.elapsed(), len) {
+                    // The reply dies on the way back; keep waiting.
+                    Verdict::Drop(_) | Verdict::Refuse => continue,
+                    Verdict::Deliver(copies) => {
+                        if let Some(cut) = copies.first().and_then(|c| c.truncate_to) {
+                            // Truncated mid-message: decoding below fails
+                            // and is counted as a decode error.
+                            len = cut.min(len);
+                        }
+                    }
+                }
+            }
             let msg = match Message::decode(&buf[..len]) {
                 Ok(msg) => msg,
                 Err(_) => {
@@ -365,6 +426,49 @@ mod tests {
         assert_eq!(snap.timeouts, 1);
         assert_eq!(snap.received, 0);
         assert!(snap.loss_rate() > 0.99);
+    }
+
+    #[test]
+    fn injected_faults_refuse_and_drop_without_a_server() {
+        // A bound socket nobody serves: only injected faults answer.
+        let sink = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let mut targets = HashMap::new();
+        let ingress = Ipv4Addr::new(192, 0, 2, 2);
+        targets.insert(ingress, sink.local_addr().unwrap());
+        let plan = FaultPlan {
+            query_loss: cde_faults::LossFault::Uniform { rate: 0.9999 },
+            rate_limit: Some(cde_faults::RateLimitFault {
+                qps: 1e-6,
+                burst: 1.0,
+                action: cde_faults::RateLimitAction::Refuse,
+            }),
+            ..FaultPlan::clean(21)
+        };
+        let mut transport = UdpTransport::direct(
+            targets,
+            NameserverNet::new(),
+            RetryPolicy::single(Duration::from_millis(10)),
+            8,
+        )
+        .unwrap()
+        .with_faults(&plan);
+        let qname: Name = "w.example".parse().unwrap();
+        // The single bucket token admits the first query, which the loss
+        // model then eats: a timeout that still consumed the attempt.
+        let first = transport.query(ingress, &qname, RecordType::A, SimTime::ZERO);
+        assert_eq!(first, TransportReply::TimedOut);
+        // The bucket is now empty: instant REFUSED, no wire involved.
+        match transport.query(ingress, &qname, RecordType::A, SimTime::ZERO) {
+            TransportReply::Answered { rcode, .. } => {
+                assert_eq!(rcode, cde_dns::Rcode::Refused);
+            }
+            other => panic!("expected REFUSED, got {other:?}"),
+        }
+        let stats = transport.fault_stats().expect("faults attached");
+        assert_eq!(stats.refused(), 1);
+        assert_eq!(stats.query_drops(), 1);
+        let snap = transport.metrics().snapshot();
+        assert_eq!((snap.sent, snap.timeouts, snap.received), (2, 1, 1));
     }
 
     #[test]

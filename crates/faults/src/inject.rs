@@ -1,0 +1,513 @@
+//! The stateful interpreter of a [`FaultPlan`].
+
+use crate::plan::{
+    DelayFault, DuplicateFault, FaultPlan, LossFault, RateLimitAction, TruncateFault,
+};
+use crate::stats::FaultStats;
+use cde_netsim::{DetRng, GilbertElliott};
+use rand::Rng;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which way a datagram is travelling through the injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// A probe query on its way to the resolver.
+    ClientToServer,
+    /// A resolver reply on its way back to the prober.
+    ServerToClient,
+}
+
+/// One surviving copy of a datagram and how to mangle it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Hold the copy back this long before putting it on the wire
+    /// (unequal delays across copies are what reorders traffic).
+    pub delay: Duration,
+    /// Cut the payload to this many bytes before delivery.
+    pub truncate_to: Option<usize>,
+}
+
+/// Why a datagram was removed from the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// The loss model (uniform or bursty) ate it.
+    Loss,
+    /// An ICMP-unreachable-style hard error killed it.
+    HardError,
+    /// The resolver's rate limiter shed it silently.
+    RateLimit,
+}
+
+/// What the injector decided for one datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Deliver these copies (always ≥ 1; more when duplication fired).
+    Deliver(Vec<Delivery>),
+    /// The datagram vanishes; nothing reaches the other side.
+    Drop(DropCause),
+    /// The resolver answers REFUSED instead of resolving — synthesize a
+    /// response via [`refused_reply`] and do not forward the query.
+    Refuse,
+}
+
+impl Verdict {
+    /// `true` when nothing reaches the other side.
+    pub fn is_drop(&self) -> bool {
+        matches!(self, Verdict::Drop(_))
+    }
+}
+
+/// Stateful loss: uniform draws or a Gilbert–Elliott chain advanced once
+/// per datagram.
+#[derive(Debug, Clone)]
+enum LossState {
+    None,
+    Uniform(f64),
+    Bursty(GilbertElliott),
+}
+
+impl LossState {
+    fn from_plan(fault: &LossFault) -> LossState {
+        match *fault {
+            LossFault::None => LossState::None,
+            LossFault::Uniform { rate } if rate <= 0.0 => LossState::None,
+            LossFault::Uniform { rate } => LossState::Uniform(rate),
+            LossFault::Bursty {
+                mean_loss,
+                mean_burst,
+            } => LossState::Bursty(GilbertElliott::bursty(mean_loss, mean_burst)),
+        }
+    }
+
+    fn drops(&mut self, rng: &mut DetRng) -> bool {
+        match self {
+            LossState::None => false,
+            LossState::Uniform(rate) => rng.gen::<f64>() < *rate,
+            LossState::Bursty(chain) => chain.drops(rng),
+        }
+    }
+}
+
+/// Deterministic token bucket: refills from the caller-supplied clock,
+/// so simulated and wall time both work and replays are exact.
+#[derive(Debug, Clone)]
+struct TokenBucket {
+    qps: f64,
+    burst: f64,
+    tokens: f64,
+    last: Duration,
+}
+
+impl TokenBucket {
+    fn new(qps: f64, burst: f64) -> TokenBucket {
+        TokenBucket {
+            qps,
+            burst,
+            tokens: burst,
+            last: Duration::ZERO,
+        }
+    }
+
+    fn admit(&mut self, now: Duration) -> bool {
+        if now > self.last {
+            let refill = (now - self.last).as_secs_f64() * self.qps;
+            self.tokens = (self.tokens + refill).min(self.burst);
+            self.last = now;
+        }
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The stateful fault interpreter: one per transport, every decision
+/// drawn from the plan's seed.
+#[derive(Debug)]
+pub struct FaultInjector {
+    seed: u64,
+    query_loss: LossState,
+    reply_loss: LossState,
+    hard_error_rate: f64,
+    delay: Option<DelayFault>,
+    duplicate: Option<DuplicateFault>,
+    truncate: Option<TruncateFault>,
+    bucket: Option<(TokenBucket, RateLimitAction)>,
+    rng: DetRng,
+    stats: Arc<FaultStats>,
+}
+
+impl FaultInjector {
+    /// Builds the interpreter, validating the plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`FaultPlan::validate`] rejects the plan.
+    pub fn new(plan: &FaultPlan) -> FaultInjector {
+        plan.validate();
+        FaultInjector {
+            seed: plan.seed,
+            query_loss: LossState::from_plan(&plan.query_loss),
+            reply_loss: LossState::from_plan(&plan.reply_loss),
+            hard_error_rate: plan.hard_error_rate,
+            delay: plan.delay,
+            duplicate: plan.duplicate,
+            truncate: plan.truncate,
+            bucket: plan
+                .rate_limit
+                .map(|r| (TokenBucket::new(r.qps, r.burst), r.action)),
+            rng: DetRng::seed(plan.seed).fork("fault-injector"),
+            stats: Arc::new(FaultStats::new()),
+        }
+    }
+
+    /// The plan seed every decision derives from — print this on test
+    /// failure so the run can be replayed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Shared handle to the injected-fault counters.
+    pub fn stats(&self) -> Arc<FaultStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Decides the fate of one datagram. `now` is the transport's clock
+    /// (wall or simulated) and only feeds the rate-limit bucket;
+    /// `payload_len` sizes truncation.
+    ///
+    /// Stateful: call exactly once per datagram, in transmission order,
+    /// or replays diverge.
+    pub fn decide(&mut self, dir: Direction, now: Duration, payload_len: usize) -> Verdict {
+        match dir {
+            Direction::ClientToServer => self.decide_query(now, payload_len),
+            Direction::ServerToClient => self.decide_reply(payload_len),
+        }
+    }
+
+    fn decide_query(&mut self, now: Duration, payload_len: usize) -> Verdict {
+        if let Some((bucket, action)) = &mut self.bucket {
+            if !bucket.admit(now) {
+                self.stats.record_rate_limited();
+                return match action {
+                    RateLimitAction::Drop => Verdict::Drop(DropCause::RateLimit),
+                    RateLimitAction::Refuse => {
+                        self.stats.record_refused();
+                        Verdict::Refuse
+                    }
+                };
+            }
+        }
+        if self.hard_error_rate > 0.0 && self.rng.gen::<f64>() < self.hard_error_rate {
+            self.stats.record_hard_error();
+            return Verdict::Drop(DropCause::HardError);
+        }
+        let mut loss = std::mem::replace(&mut self.query_loss, LossState::None);
+        let dropped = loss.drops(&mut self.rng);
+        self.query_loss = loss;
+        if dropped {
+            self.stats.record_query_drop();
+            return Verdict::Drop(DropCause::Loss);
+        }
+        self.deliveries(payload_len)
+    }
+
+    fn decide_reply(&mut self, payload_len: usize) -> Verdict {
+        let mut loss = std::mem::replace(&mut self.reply_loss, LossState::None);
+        let dropped = loss.drops(&mut self.rng);
+        self.reply_loss = loss;
+        if dropped {
+            self.stats.record_reply_drop();
+            return Verdict::Drop(DropCause::Loss);
+        }
+        self.deliveries(payload_len)
+    }
+
+    fn deliveries(&mut self, payload_len: usize) -> Verdict {
+        let extra = match self.duplicate {
+            Some(DuplicateFault { rate, copies }) if self.rng.gen::<f64>() < rate => {
+                for _ in 0..copies {
+                    self.stats.record_duplicated();
+                }
+                copies
+            }
+            _ => 0,
+        };
+        let mut copies = Vec::with_capacity(1 + extra as usize);
+        for _ in 0..=extra {
+            let mut delay = Duration::ZERO;
+            if let Some(DelayFault {
+                jitter,
+                spike_rate,
+                spike,
+            }) = self.delay
+            {
+                if !jitter.is_zero() {
+                    delay += jitter.mul_f64(self.rng.gen::<f64>());
+                }
+                if spike_rate > 0.0 && self.rng.gen::<f64>() < spike_rate {
+                    delay += spike;
+                }
+                if !delay.is_zero() {
+                    self.stats.record_delayed();
+                }
+            }
+            let truncate_to = match self.truncate {
+                Some(TruncateFault { rate }) if self.rng.gen::<f64>() < rate => {
+                    self.stats.record_truncated();
+                    // Half the payload: cuts mid-header or mid-question,
+                    // which any DNS decoder must reject.
+                    Some(payload_len / 2)
+                }
+                _ => None,
+            };
+            copies.push(Delivery { delay, truncate_to });
+        }
+        self.stats.record_delivered();
+        Verdict::Deliver(copies)
+    }
+}
+
+/// Synthesizes the REFUSED response a rate-limiting resolver would send:
+/// the query bytes with QR flipped on and RCODE set to 5 (REFUSED),
+/// question section intact — so it passes the engine's id, source and
+/// echoed-question correlation checks.
+///
+/// Returns `None` when `query` is too short to be a DNS header.
+pub fn refused_reply(query: &[u8]) -> Option<Vec<u8>> {
+    if query.len() < 12 {
+        return None;
+    }
+    let mut reply = query.to_vec();
+    reply[2] |= 0x80; // QR: this is a response
+    reply[3] = (reply[3] & 0xF0) | 0x05; // RCODE 5 REFUSED
+    Some(reply)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::RateLimitFault;
+
+    fn decide_n(injector: &mut FaultInjector, dir: Direction, n: usize) -> Vec<Verdict> {
+        (0..n)
+            .map(|i| injector.decide(dir, Duration::from_millis(i as u64 * 10), 64))
+            .collect()
+    }
+
+    #[test]
+    fn clean_plan_delivers_everything_unmangled() {
+        let mut injector = FaultInjector::new(&FaultPlan::clean(1));
+        for v in decide_n(&mut injector, Direction::ClientToServer, 100) {
+            assert_eq!(
+                v,
+                Verdict::Deliver(vec![Delivery {
+                    delay: Duration::ZERO,
+                    truncate_to: None
+                }])
+            );
+        }
+        assert!(!injector.stats().anything_injected());
+    }
+
+    #[test]
+    fn identical_plans_make_identical_decisions() {
+        let plan = FaultPlan {
+            seed: 9,
+            query_loss: LossFault::Bursty {
+                mean_loss: 0.3,
+                mean_burst: 4.0,
+            },
+            reply_loss: LossFault::Uniform { rate: 0.1 },
+            hard_error_rate: 0.05,
+            delay: Some(DelayFault {
+                jitter: Duration::from_millis(5),
+                spike_rate: 0.2,
+                spike: Duration::from_millis(40),
+            }),
+            duplicate: Some(DuplicateFault {
+                rate: 0.15,
+                copies: 1,
+            }),
+            truncate: Some(TruncateFault { rate: 0.1 }),
+            rate_limit: Some(RateLimitFault {
+                qps: 50.0,
+                burst: 5.0,
+                action: RateLimitAction::Refuse,
+            }),
+        };
+        let mut a = FaultInjector::new(&plan);
+        let mut b = FaultInjector::new(&plan);
+        for i in 0..500u64 {
+            let now = Duration::from_millis(i * 3);
+            let dir = if i % 3 == 0 {
+                Direction::ServerToClient
+            } else {
+                Direction::ClientToServer
+            };
+            assert_eq!(a.decide(dir, now, 80), b.decide(dir, now, 80), "step {i}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultInjector::new(&FaultPlan::bursty(1, 0.4, 3.0));
+        let mut b = FaultInjector::new(&FaultPlan::bursty(2, 0.4, 3.0));
+        let va = decide_n(&mut a, Direction::ClientToServer, 200);
+        let vb = decide_n(&mut b, Direction::ClientToServer, 200);
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn bursty_loss_hits_its_long_run_rate() {
+        let mut injector = FaultInjector::new(&FaultPlan::bursty(7, 0.3, 4.0));
+        let verdicts = decide_n(&mut injector, Direction::ClientToServer, 20_000);
+        let drops = verdicts.iter().filter(|v| v.is_drop()).count();
+        let rate = drops as f64 / verdicts.len() as f64;
+        assert!((rate - 0.3).abs() < 0.03, "observed {rate}");
+        assert_eq!(injector.stats().query_drops(), drops as u64);
+    }
+
+    #[test]
+    fn directions_have_independent_loss() {
+        let plan = FaultPlan {
+            reply_loss: LossFault::Uniform { rate: 0.5 },
+            ..FaultPlan::clean(3)
+        };
+        let mut injector = FaultInjector::new(&plan);
+        let queries = decide_n(&mut injector, Direction::ClientToServer, 200);
+        assert!(queries.iter().all(|v| !v.is_drop()), "query dir is clean");
+        let replies = decide_n(&mut injector, Direction::ServerToClient, 200);
+        let dropped = replies.iter().filter(|v| v.is_drop()).count();
+        assert!(dropped > 60, "reply dir must drop ≈50%, got {dropped}");
+        assert_eq!(injector.stats().reply_drops(), dropped as u64);
+        assert_eq!(injector.stats().query_drops(), 0);
+    }
+
+    #[test]
+    fn rate_limit_refuses_over_budget_queries() {
+        let plan = FaultPlan {
+            rate_limit: Some(RateLimitFault {
+                qps: 100.0,
+                burst: 3.0,
+                action: RateLimitAction::Refuse,
+            }),
+            ..FaultPlan::clean(4)
+        };
+        let mut injector = FaultInjector::new(&plan);
+        // A burst at t=0: the first 3 pass, the rest are refused.
+        let now = Duration::ZERO;
+        let verdicts: Vec<Verdict> = (0..10)
+            .map(|_| injector.decide(Direction::ClientToServer, now, 64))
+            .collect();
+        assert_eq!(
+            verdicts.iter().filter(|v| **v == Verdict::Refuse).count(),
+            7
+        );
+        // After a second the bucket refills.
+        assert!(matches!(
+            injector.decide(Direction::ClientToServer, Duration::from_secs(1), 64),
+            Verdict::Deliver(_)
+        ));
+        assert_eq!(injector.stats().refused(), 7);
+        assert_eq!(injector.stats().rate_limited(), 7);
+    }
+
+    #[test]
+    fn rate_limit_drop_action_sheds_silently() {
+        let plan = FaultPlan {
+            rate_limit: Some(RateLimitFault {
+                qps: 10.0,
+                burst: 1.0,
+                action: RateLimitAction::Drop,
+            }),
+            ..FaultPlan::clean(5)
+        };
+        let mut injector = FaultInjector::new(&plan);
+        assert!(matches!(
+            injector.decide(Direction::ClientToServer, Duration::ZERO, 64),
+            Verdict::Deliver(_)
+        ));
+        assert_eq!(
+            injector.decide(Direction::ClientToServer, Duration::ZERO, 64),
+            Verdict::Drop(DropCause::RateLimit)
+        );
+        assert_eq!(injector.stats().refused(), 0);
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let plan = FaultPlan {
+            duplicate: Some(DuplicateFault {
+                rate: 1.0,
+                copies: 2,
+            }),
+            ..FaultPlan::clean(6)
+        };
+        let mut injector = FaultInjector::new(&plan);
+        let Verdict::Deliver(copies) =
+            injector.decide(Direction::ServerToClient, Duration::ZERO, 64)
+        else {
+            panic!("expected delivery");
+        };
+        assert_eq!(copies.len(), 3);
+        assert_eq!(injector.stats().duplicated(), 2);
+    }
+
+    #[test]
+    fn truncation_halves_the_payload() {
+        let plan = FaultPlan {
+            truncate: Some(TruncateFault { rate: 1.0 }),
+            ..FaultPlan::clean(7)
+        };
+        let mut injector = FaultInjector::new(&plan);
+        let Verdict::Deliver(copies) =
+            injector.decide(Direction::ClientToServer, Duration::ZERO, 80)
+        else {
+            panic!("expected delivery");
+        };
+        assert_eq!(copies[0].truncate_to, Some(40));
+        assert_eq!(injector.stats().truncated(), 1);
+    }
+
+    #[test]
+    fn delay_spikes_fire_at_their_rate() {
+        let plan = FaultPlan {
+            delay: Some(DelayFault {
+                jitter: Duration::ZERO,
+                spike_rate: 1.0,
+                spike: Duration::from_millis(25),
+            }),
+            ..FaultPlan::clean(8)
+        };
+        let mut injector = FaultInjector::new(&plan);
+        let Verdict::Deliver(copies) =
+            injector.decide(Direction::ServerToClient, Duration::ZERO, 64)
+        else {
+            panic!("expected delivery");
+        };
+        assert_eq!(copies[0].delay, Duration::from_millis(25));
+        assert_eq!(injector.stats().delayed(), 1);
+    }
+
+    #[test]
+    fn refused_reply_flips_qr_and_rcode_only() {
+        // A minimal query header + one question byte pattern.
+        let query = [
+            0xAB, 0xCD, // id
+            0x01, 0x00, // RD set, no QR
+            0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // counts
+            0x01, b'x', 0x00, 0x00, 0x01, 0x00, 0x01, // x. A IN
+        ];
+        let reply = refused_reply(&query).expect("long enough");
+        assert_eq!(reply[0], 0xAB);
+        assert_eq!(reply[1], 0xCD);
+        assert_eq!(reply[2], 0x81, "QR set, RD preserved");
+        assert_eq!(reply[3], 0x05, "RCODE REFUSED");
+        assert_eq!(&reply[4..], &query[4..], "rest untouched");
+        assert_eq!(refused_reply(&[0u8; 4]), None);
+    }
+}

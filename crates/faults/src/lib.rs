@@ -1,0 +1,66 @@
+//! **cde-faults** — deterministic, seedable network fault injection.
+//!
+//! The paper's measurements only work because CDE tolerates a hostile
+//! network: §V copes with packet loss via carpet bombing (K-fold
+//! redundancy) and the two-phase init/validate protocol, and the timing
+//! side channel (§IV-B3) survives only if jitter and reordering don't
+//! corrupt the cached/uncached threshold. This crate is the adversary:
+//! a composable set of fault models the engine's transports can wear,
+//! every decision drawn from one per-plan seed so any chaos run replays
+//! bit-identically.
+//!
+//! * [`FaultPlan`] — the declarative recipe: loss (uniform or
+//!   Gilbert–Elliott bursty) per direction, ICMP-unreachable-style hard
+//!   errors, latency jitter/spikes (reordering emerges from unequal
+//!   delays), duplication, truncation, and resolver-side rate limiting
+//!   (drop or REFUSED after N qps).
+//! * [`FaultInjector`] — the stateful interpreter: feed it each datagram
+//!   (direction, clock, size) and act on the [`Verdict`].
+//! * [`FaultStats`] — atomic counters of everything injected, exposed as
+//!   a `cde-telemetry` [`Collector`](cde_telemetry::Collector)
+//!   (`cde_faults_*` metric families).
+//!
+//! Transports integrate at their send/recv seam: decide
+//! [`Direction::ClientToServer`] before writing a datagram to the wire
+//! and [`Direction::ServerToClient`] before processing one received —
+//! dropped queries still consume retry budget, late replies land as
+//! strays, REFUSED synthesizes a [`refused_reply`]. The engine's retry,
+//! rate-limit and planner feedback loops then react to injected faults
+//! exactly as they would to real ones.
+//!
+//! # Examples
+//!
+//! ```
+//! use cde_faults::{Direction, FaultInjector, FaultPlan, LossFault, Verdict};
+//! use std::time::Duration;
+//!
+//! let plan = FaultPlan {
+//!     query_loss: LossFault::Bursty { mean_loss: 0.3, mean_burst: 4.0 },
+//!     ..FaultPlan::clean(42)
+//! };
+//! let mut injector = FaultInjector::new(&plan);
+//! let mut dropped = 0;
+//! for i in 0..1000 {
+//!     let now = Duration::from_millis(i);
+//!     if let Verdict::Drop(_) = injector.decide(Direction::ClientToServer, now, 64) {
+//!         dropped += 1;
+//!     }
+//! }
+//! assert!(dropped > 200 && dropped < 400, "≈30% bursty loss, got {dropped}");
+//! // Same plan, same seed → same decisions.
+//! assert_eq!(injector.stats().query_drops(), dropped);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod inject;
+pub mod plan;
+pub mod stats;
+
+pub use inject::{refused_reply, Delivery, Direction, DropCause, FaultInjector, Verdict};
+pub use plan::{
+    DelayFault, DuplicateFault, FaultPlan, LossFault, RateLimitAction, RateLimitFault,
+    TruncateFault,
+};
+pub use stats::FaultStats;

@@ -1,0 +1,278 @@
+//! The declarative fault recipe a transport wears.
+
+use std::time::Duration;
+
+/// A packet-loss model for one traffic direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossFault {
+    /// No loss.
+    None,
+    /// Independent per-packet loss with probability `rate`.
+    Uniform {
+        /// Loss probability per packet, in `[0, 1)`.
+        rate: f64,
+    },
+    /// Correlated loss from a Gilbert–Elliott two-state chain
+    /// ([`cde_netsim::GilbertElliott::bursty`]): the long-run rate is
+    /// `mean_loss`, but drops cluster in runs of ≈`mean_burst` packets.
+    Bursty {
+        /// Long-run loss rate, in `[0, 1)`.
+        mean_loss: f64,
+        /// Mean burst length in packets, ≥ 1.
+        mean_burst: f64,
+    },
+}
+
+impl LossFault {
+    /// The long-run loss rate of this model.
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            LossFault::None => 0.0,
+            LossFault::Uniform { rate } => rate,
+            LossFault::Bursty { mean_loss, .. } => mean_loss,
+        }
+    }
+
+    fn validate(&self, what: &str) {
+        let rate = self.mean_rate();
+        assert!(
+            rate.is_finite() && (0.0..1.0).contains(&rate),
+            "{what} loss rate must be in [0, 1), got {rate}"
+        );
+        if let LossFault::Bursty { mean_burst, .. } = *self {
+            assert!(
+                mean_burst.is_finite() && mean_burst >= 1.0,
+                "{what} mean_burst must be >= 1, got {mean_burst}"
+            );
+        }
+    }
+}
+
+/// Latency jitter and spikes. Each delivered copy is held for a uniform
+/// draw from `[0, jitter]`, plus `spike` with probability `spike_rate` —
+/// unequal delays are exactly how the wire reorders datagrams, so there
+/// is no separate "reordering" knob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayFault {
+    /// Upper bound of the per-packet uniform jitter.
+    pub jitter: Duration,
+    /// Probability of an additional latency spike, in `[0, 1]`.
+    pub spike_rate: f64,
+    /// Extra delay added when a spike fires.
+    pub spike: Duration,
+}
+
+/// Packet duplication: with probability `rate`, `copies` extra copies of
+/// the datagram are delivered (late duplicates exercise the engine's
+/// stray-reply taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DuplicateFault {
+    /// Probability a datagram is duplicated, in `[0, 1]`.
+    pub rate: f64,
+    /// Extra copies delivered when duplication fires (≥ 1).
+    pub copies: u32,
+}
+
+/// Truncation: with probability `rate` the datagram is cut to half its
+/// length, which a DNS decoder must reject (the engine counts it as a
+/// decode error and keeps waiting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncateFault {
+    /// Probability a datagram is truncated, in `[0, 1]`.
+    pub rate: f64,
+}
+
+/// What a rate-limiting resolver does with excess queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RateLimitAction {
+    /// Silently drop (the common response-rate-limiting behaviour).
+    Drop,
+    /// Answer with RCODE 5 REFUSED instead of resolving.
+    Refuse,
+}
+
+/// Resolver-side rate limiting: a token bucket of `qps` with burst
+/// capacity `burst`; queries beyond it are dropped or REFUSED.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimitFault {
+    /// Sustained queries per second admitted.
+    pub qps: f64,
+    /// Bucket depth: queries admitted in an instantaneous burst.
+    pub burst: f64,
+    /// What happens to queries over the limit.
+    pub action: RateLimitAction,
+}
+
+/// A complete, composable fault recipe. Every stochastic decision the
+/// resulting [`FaultInjector`](crate::FaultInjector) makes derives from
+/// `seed`, so a plan replays bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed for every fault decision.
+    pub seed: u64,
+    /// Loss on the client→server (query) direction.
+    pub query_loss: LossFault,
+    /// Loss on the server→client (reply) direction.
+    pub reply_loss: LossFault,
+    /// Probability a query dies to a hard error (ICMP unreachable /
+    /// socket error semantics: gone before it ever reaches the wire).
+    pub hard_error_rate: f64,
+    /// Latency jitter/spikes applied to delivered copies.
+    pub delay: Option<DelayFault>,
+    /// Duplication of delivered datagrams.
+    pub duplicate: Option<DuplicateFault>,
+    /// Truncation of delivered datagrams.
+    pub truncate: Option<TruncateFault>,
+    /// Resolver-side rate limiting of queries.
+    pub rate_limit: Option<RateLimitFault>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing — the identity recipe to build on
+    /// with struct-update syntax.
+    pub fn clean(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            query_loss: LossFault::None,
+            reply_loss: LossFault::None,
+            hard_error_rate: 0.0,
+            delay: None,
+            duplicate: None,
+            truncate: None,
+            rate_limit: None,
+        }
+    }
+
+    /// The chaos-suite staple: Gilbert–Elliott bursty loss on the query
+    /// direction at `mean_loss` with `mean_burst`-packet bursts.
+    pub fn bursty(seed: u64, mean_loss: f64, mean_burst: f64) -> FaultPlan {
+        FaultPlan {
+            query_loss: LossFault::Bursty {
+                mean_loss,
+                mean_burst,
+            },
+            ..FaultPlan::clean(seed)
+        }
+    }
+
+    /// The worst long-run loss either direction injects — what a planner
+    /// should budget redundancy for.
+    pub fn worst_loss(&self) -> f64 {
+        self.query_loss.mean_rate().max(self.reply_loss.mean_rate())
+    }
+
+    /// Mean burst length of the lossiest direction (1.0 when loss is
+    /// uniform or absent) — feeds burst-aware redundancy planning.
+    pub fn worst_burst(&self) -> f64 {
+        let burst = |loss: &LossFault| match *loss {
+            LossFault::Bursty { mean_burst, .. } => mean_burst,
+            _ => 1.0,
+        };
+        if self.query_loss.mean_rate() >= self.reply_loss.mean_rate() {
+            burst(&self.query_loss)
+        } else {
+            burst(&self.reply_loss)
+        }
+    }
+
+    /// Checks every knob is in range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any out-of-range rate or parameter, naming it.
+    pub fn validate(&self) {
+        self.query_loss.validate("query");
+        self.reply_loss.validate("reply");
+        assert!(
+            self.hard_error_rate.is_finite() && (0.0..=1.0).contains(&self.hard_error_rate),
+            "hard_error_rate must be in [0, 1]"
+        );
+        if let Some(d) = &self.delay {
+            assert!(
+                d.spike_rate.is_finite() && (0.0..=1.0).contains(&d.spike_rate),
+                "spike_rate must be in [0, 1]"
+            );
+        }
+        if let Some(d) = &self.duplicate {
+            assert!(
+                d.rate.is_finite() && (0.0..=1.0).contains(&d.rate),
+                "duplicate rate must be in [0, 1]"
+            );
+            assert!(d.copies >= 1, "duplicate copies must be >= 1");
+        }
+        if let Some(t) = &self.truncate {
+            assert!(
+                t.rate.is_finite() && (0.0..=1.0).contains(&t.rate),
+                "truncate rate must be in [0, 1]"
+            );
+        }
+        if let Some(r) = &self.rate_limit {
+            assert!(
+                r.qps.is_finite() && r.qps > 0.0,
+                "rate limit qps must be positive"
+            );
+            assert!(
+                r.burst.is_finite() && r.burst >= 1.0,
+                "rate limit burst must be >= 1"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_plan_is_the_identity() {
+        let plan = FaultPlan::clean(5);
+        plan.validate();
+        assert_eq!(plan.worst_loss(), 0.0);
+        assert_eq!(plan.worst_burst(), 1.0);
+    }
+
+    #[test]
+    fn bursty_preset_reports_its_parameters() {
+        let plan = FaultPlan::bursty(5, 0.3, 4.0);
+        plan.validate();
+        assert!((plan.worst_loss() - 0.3).abs() < 1e-12);
+        assert!((plan.worst_burst() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_loss_picks_the_lossier_direction() {
+        let plan = FaultPlan {
+            query_loss: LossFault::Uniform { rate: 0.1 },
+            reply_loss: LossFault::Bursty {
+                mean_loss: 0.2,
+                mean_burst: 3.0,
+            },
+            ..FaultPlan::clean(1)
+        };
+        assert!((plan.worst_loss() - 0.2).abs() < 1e-12);
+        assert!((plan.worst_burst() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "query loss rate")]
+    fn validate_rejects_total_loss() {
+        FaultPlan {
+            query_loss: LossFault::Uniform { rate: 1.0 },
+            ..FaultPlan::clean(0)
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate copies")]
+    fn validate_rejects_zero_copy_duplication() {
+        FaultPlan {
+            duplicate: Some(DuplicateFault {
+                rate: 0.5,
+                copies: 0,
+            }),
+            ..FaultPlan::clean(0)
+        }
+        .validate();
+    }
+}

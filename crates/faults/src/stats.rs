@@ -1,0 +1,145 @@
+//! Atomic accounting of everything the injector did to the traffic.
+
+use cde_telemetry::{Collector, Metric};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters of injected faults, shared between the injector and whoever
+/// wants to assert on (or export) what the chaos layer actually did.
+///
+/// Registered into a [`MetricsRegistry`](cde_telemetry::MetricsRegistry)
+/// these surface as `cde_faults_*` counter families.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    query_drops: AtomicU64,
+    reply_drops: AtomicU64,
+    hard_errors: AtomicU64,
+    rate_limited: AtomicU64,
+    refused: AtomicU64,
+    duplicated: AtomicU64,
+    delayed: AtomicU64,
+    truncated: AtomicU64,
+    delivered: AtomicU64,
+}
+
+macro_rules! counter {
+    ($record:ident, $get:ident) => {
+        pub(crate) fn $record(&self) {
+            self.$get.fetch_add(1, Ordering::Relaxed);
+        }
+
+        /// The current value of this counter.
+        pub fn $get(&self) -> u64 {
+            self.$get.load(Ordering::Relaxed)
+        }
+    };
+}
+
+impl FaultStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> FaultStats {
+        FaultStats::default()
+    }
+
+    counter!(record_query_drop, query_drops);
+    counter!(record_reply_drop, reply_drops);
+    counter!(record_hard_error, hard_errors);
+    counter!(record_rate_limited, rate_limited);
+    counter!(record_refused, refused);
+    counter!(record_duplicated, duplicated);
+    counter!(record_delayed, delayed);
+    counter!(record_truncated, truncated);
+    counter!(record_delivered, delivered);
+
+    /// Datagrams removed from the wire for any reason (loss, hard error,
+    /// rate-limit drops — REFUSED answers are not drops).
+    pub fn total_drops(&self) -> u64 {
+        self.query_drops() + self.reply_drops() + self.hard_errors()
+    }
+
+    /// Any fault injected at all? Used by tests to assert the chaos run
+    /// was not accidentally a clean run.
+    pub fn anything_injected(&self) -> bool {
+        self.total_drops() > 0
+            || self.rate_limited() > 0
+            || self.duplicated() > 0
+            || self.delayed() > 0
+            || self.truncated() > 0
+    }
+}
+
+impl Collector for FaultStats {
+    fn collect(&self, out: &mut Vec<Metric>) {
+        out.push(Metric::counter(
+            "cde_faults_query_drops_total",
+            "Queries dropped by injected loss",
+            self.query_drops(),
+        ));
+        out.push(Metric::counter(
+            "cde_faults_reply_drops_total",
+            "Replies dropped by injected loss",
+            self.reply_drops(),
+        ));
+        out.push(Metric::counter(
+            "cde_faults_hard_errors_total",
+            "Queries killed by injected hard (ICMP-style) errors",
+            self.hard_errors(),
+        ));
+        out.push(Metric::counter(
+            "cde_faults_rate_limited_total",
+            "Queries over the injected resolver rate limit",
+            self.rate_limited(),
+        ));
+        out.push(Metric::counter(
+            "cde_faults_refused_total",
+            "Rate-limited queries answered REFUSED",
+            self.refused(),
+        ));
+        out.push(Metric::counter(
+            "cde_faults_duplicated_total",
+            "Extra datagram copies injected",
+            self.duplicated(),
+        ));
+        out.push(Metric::counter(
+            "cde_faults_delayed_total",
+            "Datagrams held back by injected jitter/spikes",
+            self.delayed(),
+        ));
+        out.push(Metric::counter(
+            "cde_faults_truncated_total",
+            "Datagrams cut short by injected truncation",
+            self.truncated(),
+        ));
+        out.push(Metric::counter(
+            "cde_faults_delivered_total",
+            "Datagrams the injector let through",
+            self.delivered(),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_export() {
+        let stats = FaultStats::new();
+        stats.record_query_drop();
+        stats.record_query_drop();
+        stats.record_refused();
+        assert_eq!(stats.query_drops(), 2);
+        assert_eq!(stats.total_drops(), 2);
+        assert!(stats.anything_injected());
+        let mut out = Vec::new();
+        stats.collect(&mut out);
+        assert_eq!(out.len(), 9);
+        assert!(out.iter().all(|m| m.name.starts_with("cde_faults_")));
+    }
+
+    #[test]
+    fn fresh_stats_report_nothing_injected() {
+        let stats = FaultStats::new();
+        stats.record_delivered();
+        assert!(!stats.anything_injected());
+    }
+}

@@ -9,6 +9,7 @@
 //! * [`DetRng`] — seeded, fork-able randomness so runs replay exactly,
 //! * [`LatencyModel`]/[`LossModel`]/[`Link`] — the stochastic behaviour the
 //!   timing side channel (§IV-B3) and carpet bombing (§V) respond to,
+//! * [`GilbertElliott`] — correlated (bursty) loss for chaos testing,
 //! * [`CountryProfile`] — the per-country loss rates the paper measured,
 //! * [`Scheduler`] — an event queue for background traffic.
 //!
@@ -34,7 +35,7 @@ pub mod rng;
 pub mod scheduler;
 pub mod time;
 
-pub use link::{CountryProfile, LatencyModel, Link, LossModel};
-pub use rng::{sample_weighted, DetRng};
+pub use link::{CountryProfile, GilbertElliott, LatencyModel, Link, LossModel};
+pub use rng::{sample_weighted, seed_from_env, DetRng, SeedGuard};
 pub use scheduler::Scheduler;
 pub use time::{Clock, SimDuration, SimTime};

@@ -134,6 +134,127 @@ impl Default for LossModel {
     }
 }
 
+/// Two-state Markov (Gilbert–Elliott) burst-loss model.
+///
+/// Real packet loss is correlated, not Bernoulli: a congestion event or a
+/// route flap kills several consecutive datagrams. That matters to carpet
+/// bombing (paper §V) because K back-to-back copies of one probe can all
+/// die inside a single burst — uniform-loss redundancy math undercounts
+/// the required K. The chain sits in a *good* or *bad* state with
+/// per-packet loss `good_loss` / `bad_loss`, transitioning good→bad with
+/// probability `p_enter` and bad→good with `p_exit` after each packet.
+///
+/// # Examples
+///
+/// ```
+/// use cde_netsim::{DetRng, GilbertElliott};
+///
+/// let mut ge = GilbertElliott::bursty(0.25, 4.0);
+/// assert!((ge.mean_loss() - 0.25).abs() < 1e-9);
+/// assert!((ge.mean_burst_len() - 4.0).abs() < 1e-9);
+/// let mut rng = DetRng::seed(7);
+/// let _ = ge.drops(&mut rng);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GilbertElliott {
+    p_enter: f64,
+    p_exit: f64,
+    good_loss: f64,
+    bad_loss: f64,
+    in_bad: bool,
+}
+
+impl GilbertElliott {
+    /// A chain from raw parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any probability is outside `[0, 1]` or `p_exit` is 0
+    /// (the chain would never leave the bad state).
+    pub fn new(p_enter: f64, p_exit: f64, good_loss: f64, bad_loss: f64) -> GilbertElliott {
+        for (name, p) in [
+            ("p_enter", p_enter),
+            ("p_exit", p_exit),
+            ("good_loss", good_loss),
+            ("bad_loss", bad_loss),
+        ] {
+            assert!(
+                p.is_finite() && (0.0..=1.0).contains(&p),
+                "{name} must be in [0, 1]"
+            );
+        }
+        assert!(p_exit > 0.0, "p_exit must be positive");
+        GilbertElliott {
+            p_enter,
+            p_exit,
+            good_loss,
+            bad_loss,
+            in_bad: false,
+        }
+    }
+
+    /// The classic simplified model (good state lossless, bad state drops
+    /// everything) parameterised by what an operator actually measures:
+    /// the long-run loss rate and the mean burst length in packets.
+    ///
+    /// Solves the stationary distribution `π_bad = p_enter / (p_enter +
+    /// p_exit) = mean_loss` with `p_exit = 1 / mean_burst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mean_loss` is outside `[0, 1)` or `mean_burst < 1`.
+    pub fn bursty(mean_loss: f64, mean_burst: f64) -> GilbertElliott {
+        assert!(
+            mean_loss.is_finite() && (0.0..1.0).contains(&mean_loss),
+            "mean_loss must be in [0, 1)"
+        );
+        assert!(
+            mean_burst.is_finite() && mean_burst >= 1.0,
+            "mean_burst must be >= 1 packet"
+        );
+        let p_exit = 1.0 / mean_burst;
+        let p_enter = (p_exit * mean_loss / (1.0 - mean_loss)).min(1.0);
+        GilbertElliott::new(p_enter, p_exit, 0.0, 1.0)
+    }
+
+    /// The stationary long-run loss rate.
+    pub fn mean_loss(&self) -> f64 {
+        let pi_bad = self.p_enter / (self.p_enter + self.p_exit);
+        (1.0 - pi_bad) * self.good_loss + pi_bad * self.bad_loss
+    }
+
+    /// Mean sojourn in the bad state, in packets (`1 / p_exit`).
+    pub fn mean_burst_len(&self) -> f64 {
+        1.0 / self.p_exit
+    }
+
+    /// Whether the chain currently sits in the bad state.
+    pub fn in_bad_state(&self) -> bool {
+        self.in_bad
+    }
+
+    /// Advances the chain one packet: samples loss in the current state,
+    /// then transitions. Stateful — each transmitted packet must call
+    /// this exactly once, in order.
+    pub fn drops<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        let rate = if self.in_bad {
+            self.bad_loss
+        } else {
+            self.good_loss
+        };
+        let lost = rate > 0.0 && rng.gen::<f64>() < rate;
+        let flip = if self.in_bad {
+            self.p_exit
+        } else {
+            self.p_enter
+        };
+        if flip > 0.0 && rng.gen::<f64>() < flip {
+            self.in_bad = !self.in_bad;
+        }
+        lost
+    }
+}
+
 /// One directed network hop: a latency distribution plus a loss model.
 ///
 /// # Examples
@@ -340,6 +461,66 @@ mod tests {
             .count();
         assert!(drops > 50, "expected ~110 drops, got {drops}");
         assert!(drops < 200, "expected ~110 drops, got {drops}");
+    }
+
+    #[test]
+    fn gilbert_elliott_stationary_loss_matches() {
+        for (loss, burst) in [(0.11, 2.0), (0.25, 4.0), (0.40, 3.0)] {
+            let mut ge = GilbertElliott::bursty(loss, burst);
+            let mut rng = DetRng::seed(11);
+            let n = 200_000;
+            let dropped = (0..n).filter(|_| ge.drops(&mut rng)).count();
+            let observed = dropped as f64 / n as f64;
+            assert!(
+                (observed - loss).abs() < 0.02,
+                "loss {loss} burst {burst}: observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_come_in_bursts() {
+        // Mean run length of consecutive drops must track mean_burst, and
+        // be clearly longer than the ≈1/(1−p) runs of uniform loss.
+        let mut ge = GilbertElliott::bursty(0.25, 5.0);
+        let mut rng = DetRng::seed(12);
+        let mut runs = Vec::new();
+        let mut current = 0u64;
+        for _ in 0..200_000 {
+            if ge.drops(&mut rng) {
+                current += 1;
+            } else if current > 0 {
+                runs.push(current);
+                current = 0;
+            }
+        }
+        let mean = runs.iter().sum::<u64>() as f64 / runs.len() as f64;
+        assert!((mean - 5.0).abs() < 0.5, "mean burst {mean}, want ≈5");
+    }
+
+    #[test]
+    fn gilbert_elliott_is_deterministic_per_seed() {
+        let draw = |seed| {
+            let mut ge = GilbertElliott::bursty(0.3, 4.0);
+            let mut rng = DetRng::seed(seed);
+            (0..512).map(|_| ge.drops(&mut rng)).collect::<Vec<bool>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    fn gilbert_elliott_zero_loss_never_drops() {
+        let mut ge = GilbertElliott::bursty(0.0, 4.0);
+        let mut rng = DetRng::seed(13);
+        assert!((0..10_000).all(|_| !ge.drops(&mut rng)));
+        assert_eq!(ge.mean_loss(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean_burst")]
+    fn gilbert_elliott_rejects_sub_packet_bursts() {
+        GilbertElliott::bursty(0.2, 0.5);
     }
 
     #[test]

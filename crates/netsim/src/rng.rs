@@ -58,6 +58,69 @@ impl DetRng {
     }
 }
 
+/// Reads a replay seed from the environment, falling back to `default`.
+///
+/// The chaos suites derive every fault decision from one master seed;
+/// exporting `CDE_CHAOS_SEED=<n>` replays a failed run bit-identically.
+///
+/// # Panics
+///
+/// Panics when the variable is set but not a `u64` — a silently ignored
+/// typo would "replay" a different universe.
+pub fn seed_from_env(var: &str, default: u64) -> u64 {
+    match std::env::var(var) {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{var} must be a u64 seed, got {s:?}")),
+        Err(_) => default,
+    }
+}
+
+/// Prints the replay recipe when a test panics while the guard is live.
+///
+/// Hold one at the top of a seeded test; on an assertion failure the
+/// drop handler prints `replay with <VAR>=<seed>` so the exact run can
+/// be reproduced via [`seed_from_env`]. Passing runs stay silent.
+///
+/// # Examples
+///
+/// ```
+/// use cde_netsim::rng::{seed_from_env, SeedGuard};
+///
+/// let seed = seed_from_env("CDE_CHAOS_SEED", 0xC0FFEE);
+/// let _guard = SeedGuard::new("CDE_CHAOS_SEED", seed);
+/// // ... seeded assertions ...
+/// ```
+#[derive(Debug)]
+pub struct SeedGuard {
+    var: &'static str,
+    seed: u64,
+}
+
+impl SeedGuard {
+    /// Guards the current scope with the seed to print on panic.
+    pub fn new(var: &'static str, seed: u64) -> SeedGuard {
+        SeedGuard { var, seed }
+    }
+
+    /// The guarded seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl Drop for SeedGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "seeded test failed — replay with {}={}",
+                self.var, self.seed
+            );
+        }
+    }
+}
+
 /// FNV-1a over the label bytes.
 fn hash_label(label: &str) -> u64 {
     let mut h = 0xcbf29ce484222325u64;
@@ -190,5 +253,27 @@ mod tests {
     fn weighted_sampling_rejects_zero_mass() {
         let mut rng = DetRng::seed(1);
         sample_weighted(&mut rng, &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn seed_from_env_prefers_the_variable() {
+        // Env mutation is process-global; use a name unique to this test.
+        std::env::set_var("CDE_TEST_SEED_A", "  1234 ");
+        assert_eq!(seed_from_env("CDE_TEST_SEED_A", 9), 1234);
+        std::env::remove_var("CDE_TEST_SEED_A");
+        assert_eq!(seed_from_env("CDE_TEST_SEED_A", 9), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a u64")]
+    fn seed_from_env_rejects_garbage() {
+        std::env::set_var("CDE_TEST_SEED_B", "not-a-seed");
+        let _ = seed_from_env("CDE_TEST_SEED_B", 0);
+    }
+
+    #[test]
+    fn seed_guard_is_silent_on_success() {
+        let guard = SeedGuard::new("CDE_TEST_SEED_C", 77);
+        assert_eq!(guard.seed(), 77);
     }
 }

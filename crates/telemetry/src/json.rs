@@ -34,9 +34,47 @@ pub fn write_f64(out: &mut String, v: f64) {
     }
 }
 
+/// Strips the `"at_us": N, ` field from each line of a JSONL event
+/// export, leaving everything else byte-identical.
+///
+/// Two runs of the same seeded chaos plan produce the same probe-level
+/// event *sequence* but not the same wall-clock timestamps; diffing
+/// `strip_at_us(a) == strip_at_us(b)` is the replay-identity check.
+pub fn strip_at_us(jsonl: &str) -> String {
+    const FIELD: &str = "\"at_us\": ";
+    let mut out = String::with_capacity(jsonl.len());
+    for line in jsonl.lines() {
+        match line.find(FIELD) {
+            Some(at) => {
+                let tail = &line[at + FIELD.len()..];
+                let digits = tail.chars().take_while(char::is_ascii_digit).count();
+                let rest = tail[digits..].strip_prefix(", ").unwrap_or(&tail[digits..]);
+                out.push_str(&line[..at]);
+                out.push_str(rest);
+            }
+            None => out.push_str(line),
+        }
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn strips_timestamps_only() {
+        let a = "{\"at_us\": 12345, \"campaign\": 1, \"kind\": \"probe_sent\"}\n";
+        let b = "{\"at_us\": 99, \"campaign\": 1, \"kind\": \"probe_sent\"}\n";
+        assert_eq!(strip_at_us(a), strip_at_us(b));
+        assert_eq!(
+            strip_at_us(a),
+            "{\"campaign\": 1, \"kind\": \"probe_sent\"}\n"
+        );
+        // Lines without the field pass through untouched.
+        assert_eq!(strip_at_us("{\"x\": 1}\n"), "{\"x\": 1}\n");
+    }
 
     #[test]
     fn escapes_specials() {

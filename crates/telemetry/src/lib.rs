@@ -34,6 +34,7 @@ pub mod ring;
 
 pub use event::{DropReason, Event, EventKind};
 pub use hub::{global, install_global, CampaignSpan, TelemetryHub, DEFAULT_RING_CAPACITY};
+pub use json::strip_at_us;
 pub use registry::{Collector, Metric, MetricValue, MetricsRegistry};
 pub use report::ProgressReporter;
 pub use ring::EventRing;

@@ -19,13 +19,17 @@
 //!
 //! * `--telemetry-jsonl <path>` — append the telemetry event stream
 //!   (campaign spans + probe lifecycle) to `<path>` as JSON Lines;
-//! * `--prometheus` — dump the final registry in Prometheus text format.
+//! * `--prometheus` — dump the final registry in Prometheus text format;
+//! * `--chaos` — run a third pass under a seeded [`FaultPlan`] (30%
+//!   bursty loss, duplication, jitter) injected by the reactor's fault
+//!   layer; the seed comes from `CDE_CHAOS_SEED` (default 4242).
 
 use counting_dark::cde::{enumerate_adaptive, CdeInfra, SurveyOptions};
 use counting_dark::engine::{
     EngineAccess, LiveTestbed, ReactorConfig, ResolverConfig, RetryPolicy, MAX_BATCH,
 };
-use counting_dark::netsim::SimTime;
+use counting_dark::faults::{DelayFault, DuplicateFault, FaultPlan};
+use counting_dark::netsim::{seed_from_env, SimTime};
 use counting_dark::platform::{NameserverNet, PlatformBuilder, SelectorKind};
 use counting_dark::telemetry::{
     install_global, MetricsRegistry, ProgressReporter, TelemetryHub, DEFAULT_RING_CAPACITY,
@@ -40,6 +44,7 @@ fn census(
     caches: usize,
     seed: u64,
     cfg: ResolverConfig,
+    faults: Option<FaultPlan>,
     label: &str,
     reporter: &mut ProgressReporter,
 ) -> Arc<MetricsRegistry> {
@@ -63,15 +68,17 @@ fn census(
         base_delay: Duration::from_millis(2),
         jitter: 0.5,
     };
+    let injected_loss = faults.as_ref().map_or(0.0, FaultPlan::worst_loss);
     let mut transport = testbed
         .reactor_transport(ReactorConfig {
             registry: Some(Arc::clone(&registry)),
+            faults,
             ..ReactorConfig::with_policy(policy, seed)
         })
         .expect("reactor transport");
 
     let opts = SurveyOptions {
-        loss: cfg.query_loss,
+        loss: cfg.query_loss.max(injected_loss),
         ..SurveyOptions::default()
     };
     let estimate = {
@@ -98,8 +105,17 @@ fn census(
     println!(
         "  observed loss     : {:4.1}%  (injected {:4.1}%)",
         snap.loss_rate() * 100.0,
-        cfg.query_loss * 100.0
+        (cfg.query_loss.max(injected_loss)) * 100.0
     );
+    if let Some(stats) = transport.reactor().fault_stats() {
+        println!(
+            "  fault layer       : {} query drops, {} reply drops, {} duplicated, {} delayed",
+            stats.query_drops(),
+            stats.reply_drops(),
+            stats.duplicated(),
+            stats.delayed()
+        );
+    }
     if let Some(p50) = snap.latency_quantile(0.5) {
         println!("  median probe RTT  : {p50:?}");
     }
@@ -133,6 +149,7 @@ fn census(
 fn main() {
     let mut telemetry_jsonl: Option<std::path::PathBuf> = None;
     let mut print_prometheus = false;
+    let mut chaos = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -140,6 +157,7 @@ fn main() {
                 telemetry_jsonl = Some(args.next().expect("--telemetry-jsonl needs a path").into());
             }
             "--prometheus" => print_prometheus = true,
+            "--chaos" => chaos = true,
             other => panic!("unknown flag {other}"),
         }
     }
@@ -160,10 +178,11 @@ fn main() {
         7,
         101,
         ResolverConfig::default(),
+        None,
         "clean wire (no injected loss):",
         &mut reporter,
     );
-    let registry = census(
+    let mut registry = census(
         7,
         102,
         ResolverConfig {
@@ -171,9 +190,37 @@ fn main() {
             seed: 11,
             ..ResolverConfig::default()
         },
+        None,
         "lossy wire (20% of requests dropped, absorbed by retries):",
         &mut reporter,
     );
+
+    if chaos {
+        // The reactor's own fault layer this time: bursty loss in
+        // 3-packet runs plus duplicated and jittered datagrams, all
+        // replayable from one seed.
+        let seed = seed_from_env("CDE_CHAOS_SEED", 4242);
+        let plan = FaultPlan {
+            duplicate: Some(DuplicateFault {
+                rate: 0.10,
+                copies: 1,
+            }),
+            delay: Some(DelayFault {
+                jitter: Duration::from_millis(3),
+                spike_rate: 0.0,
+                spike: Duration::ZERO,
+            }),
+            ..FaultPlan::bursty(seed, 0.30, 3.0)
+        };
+        registry = census(
+            7,
+            103,
+            ResolverConfig::default(),
+            Some(plan),
+            &format!("chaotic wire (seeded fault plan, CDE_CHAOS_SEED={seed}):"),
+            &mut reporter,
+        );
+    }
 
     if let Some(path) = &telemetry_jsonl {
         println!(

@@ -17,7 +17,10 @@
 //! * [`engine`] — the live wire-level engine: real UDP transports, a
 //!   loopback authoritative farm, campaign scheduling and rate limiting,
 //! * [`telemetry`] — campaign tracing (JSONL event stream) and the
-//!   pull-model metrics registry with Prometheus text export.
+//!   pull-model metrics registry with Prometheus text export,
+//! * [`faults`] — deterministic, seedable network fault injection
+//!   (bursty loss, reordering, duplication, truncation, rate limiting)
+//!   for chaos-testing the engine.
 //!
 //! # Quickstart
 //!
@@ -56,6 +59,7 @@ pub use cde_core as cde;
 pub use cde_datasets as datasets;
 pub use cde_dns as dns;
 pub use cde_engine as engine;
+pub use cde_faults as faults;
 pub use cde_netsim as netsim;
 pub use cde_platform as platform;
 pub use cde_probers as probers;

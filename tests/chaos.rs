@@ -1,0 +1,213 @@
+//! Hermetic chaos suite: enumeration must recover exact cache counts
+//! while a seeded [`FaultPlan`] mangles the traffic.
+//!
+//! Every test derives its randomness from `CDE_CHAOS_SEED` (falling back
+//! to a fixed default) and holds a [`SeedGuard`], so a failure prints the
+//! exact seed to replay. The replay-identity test is the determinism
+//! contract itself: two runs of one seed must emit byte-identical
+//! probe-level event streams (timestamps stripped).
+
+use counting_dark::cde::enumerate::{enumerate_identical, EnumerateOptions};
+use counting_dark::cde::{AccessProvider, CdeInfra, ProbePlan, Session};
+use counting_dark::engine::{FaultyTransport, SimTransport};
+use counting_dark::faults::{
+    DelayFault, DuplicateFault, FaultPlan, RateLimitAction, RateLimitFault,
+};
+use counting_dark::netsim::{seed_from_env, Link, SeedGuard, SimDuration, SimTime};
+use counting_dark::platform::{NameserverNet, PlatformBuilder, SelectorKind};
+use counting_dark::probers::DirectProber;
+use counting_dark::telemetry::{strip_at_us, TelemetryHub};
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+const INGRESS: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+
+/// A hidden `n`-cache platform wrapped in a [`SimTransport`], plus the
+/// infra/session needed to count honey fetches from the outside.
+fn sim(n: usize, seed: u64) -> (SimTransport, CdeInfra, Session) {
+    let mut net = NameserverNet::new();
+    let mut infra = CdeInfra::install(&mut net);
+    let platform = PlatformBuilder::new(seed)
+        .ingress(vec![INGRESS])
+        .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
+        .cluster(n, SelectorKind::Random)
+        .build();
+    let session = infra.new_session(&mut net, 0);
+    let prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), Link::ideal(), seed);
+    (SimTransport::new(platform, net, prober), infra, session)
+}
+
+/// Runs identical-query enumeration through `faulty` and returns ω.
+fn enumerate_through(
+    faulty: &mut FaultyTransport<SimTransport>,
+    infra: &CdeInfra,
+    session: &Session,
+    opts: EnumerateOptions,
+) -> u64 {
+    let mut access = faulty.channel(INGRESS);
+    enumerate_identical(&mut access, infra, session, opts, SimTime::ZERO).observed
+}
+
+#[test]
+fn bursty_loss_enumeration_stays_exact() {
+    let seed = seed_from_env("CDE_CHAOS_SEED", 4242);
+    let _guard = SeedGuard::new("CDE_CHAOS_SEED", seed);
+    let n = 5usize;
+    for (i, loss) in [0.25, 0.33, 0.40].into_iter().enumerate() {
+        let mean_burst = 3.0;
+        let (inner, infra, session) = sim(n, seed ^ (i as u64) << 8);
+        let fault_plan = FaultPlan::bursty(seed.wrapping_add(i as u64), loss, mean_burst);
+        // Budget redundancy for the *burst-aware* loss model — the
+        // uniform carpet-bombing K under-provisions when drops cluster.
+        let probe_plan = ProbePlan::for_bursty_target(8, loss, mean_burst);
+        let mut faulty = FaultyTransport::new(inner, &fault_plan);
+        let observed = enumerate_through(
+            &mut faulty,
+            &infra,
+            &session,
+            EnumerateOptions {
+                probes: probe_plan.probes,
+                redundancy: probe_plan.redundancy,
+                gap: SimDuration::from_millis(10),
+            },
+        );
+        let stats = faulty.fault_stats();
+        assert!(
+            stats.query_drops() > 0,
+            "loss {loss}: chaos run was accidentally clean"
+        );
+        assert_eq!(
+            observed,
+            n as u64,
+            "loss {loss}: ω {observed} != {n} (drops {}, seed {seed})",
+            stats.query_drops()
+        );
+    }
+}
+
+#[test]
+fn duplicated_replies_and_jitter_stay_exact() {
+    let seed = seed_from_env("CDE_CHAOS_SEED", 777);
+    let _guard = SeedGuard::new("CDE_CHAOS_SEED", seed);
+    let n = 4usize;
+    let (inner, infra, session) = sim(n, seed);
+    let plan = FaultPlan {
+        duplicate: Some(DuplicateFault {
+            rate: 0.5,
+            copies: 2,
+        }),
+        delay: Some(DelayFault {
+            jitter: Duration::from_millis(5),
+            spike_rate: 0.1,
+            spike: Duration::from_millis(40),
+        }),
+        ..FaultPlan::clean(seed)
+    };
+    let mut faulty = FaultyTransport::new(inner, &plan);
+    let observed = enumerate_through(
+        &mut faulty,
+        &infra,
+        &session,
+        EnumerateOptions::with_probes(64),
+    );
+    let stats = faulty.fault_stats();
+    assert!(stats.duplicated() > 0, "duplication never fired");
+    assert!(stats.delayed() > 0, "jitter never fired");
+    // Duplicates and reordering must not inflate ω: the count is driven
+    // by cache state, which is idempotent under repeated delivery.
+    assert_eq!(observed, n as u64, "ω {observed} != {n} (seed {seed})");
+}
+
+#[test]
+fn rate_limited_refusals_remain_recoverable() {
+    let seed = seed_from_env("CDE_CHAOS_SEED", 909);
+    let _guard = SeedGuard::new("CDE_CHAOS_SEED", seed);
+    let n = 4usize;
+    let (inner, infra, session) = sim(n, seed);
+    // Probes arrive at 100 qps (10ms gap); the resolver admits 60 qps
+    // with a 10-deep bucket, REFUSING the rest without resolving.
+    let plan = FaultPlan {
+        rate_limit: Some(RateLimitFault {
+            qps: 60.0,
+            burst: 10.0,
+            action: RateLimitAction::Refuse,
+        }),
+        ..FaultPlan::clean(seed)
+    };
+    let probes = ProbePlan::for_target(8, 0.0).probes;
+    let mut faulty = FaultyTransport::new(inner, &plan);
+    let observed = enumerate_through(
+        &mut faulty,
+        &infra,
+        &session,
+        EnumerateOptions {
+            probes,
+            redundancy: 1,
+            gap: SimDuration::from_millis(10),
+        },
+    );
+    let stats = faulty.fault_stats();
+    assert!(
+        stats.refused() > 0,
+        "rate limit never fired at 100 qps offered"
+    );
+    // REFUSED probes never warm a cache, but the coupon budget for
+    // n_max=8 has enough slack to still cover all 4 caches.
+    assert_eq!(
+        observed,
+        n as u64,
+        "ω {observed} != {n} ({} refused, seed {seed})",
+        stats.refused()
+    );
+}
+
+/// One chaos enumeration run with a private telemetry hub; returns the
+/// drained JSONL with timestamps stripped.
+fn chaos_event_stream(platform_seed: u64, fault_seed: u64) -> String {
+    let (inner, infra, session) = sim(3, platform_seed);
+    let plan = FaultPlan {
+        duplicate: Some(DuplicateFault {
+            rate: 0.3,
+            copies: 1,
+        }),
+        ..FaultPlan::bursty(fault_seed, 0.3, 3.0)
+    };
+    let hub = TelemetryHub::new(8192);
+    let mut faulty = FaultyTransport::new(inner, &plan).with_telemetry(hub.clone());
+    let _ = enumerate_through(
+        &mut faulty,
+        &infra,
+        &session,
+        EnumerateOptions {
+            probes: 48,
+            redundancy: 6,
+            gap: SimDuration::from_millis(10),
+        },
+    );
+    let mut out = Vec::new();
+    let lines = hub.drain_jsonl(&mut out).expect("drain JSONL");
+    assert!(lines > 0, "chaos run emitted no events");
+    strip_at_us(&String::from_utf8(out).expect("JSONL is UTF-8"))
+}
+
+#[test]
+fn replaying_a_seed_reproduces_the_event_stream() {
+    let seed = seed_from_env("CDE_CHAOS_SEED", 31337);
+    let _guard = SeedGuard::new("CDE_CHAOS_SEED", seed);
+    // Same platform seed, same fault seed: the probe-level event
+    // sequence (sent/matched/timed-out per token) must be identical —
+    // only wall-clock timestamps may differ between runs.
+    let first = chaos_event_stream(seed, seed ^ 0x5eed);
+    let second = chaos_event_stream(seed, seed ^ 0x5eed);
+    assert_eq!(
+        first, second,
+        "same seed produced diverging event streams (seed {seed})"
+    );
+    // A different fault seed must perturb the stream — otherwise the
+    // injector is ignoring its RNG and the replay check is vacuous.
+    let third = chaos_event_stream(seed, seed ^ 0xbad5eed);
+    assert_ne!(
+        first, third,
+        "fault seed does not influence the event stream (seed {seed})"
+    );
+}

@@ -5,7 +5,9 @@ use counting_dark::analysis::estimators::{carpet_bombing_k, recommended_seeds};
 use counting_dark::cde::access::DirectAccess;
 use counting_dark::cde::enumerate::{enumerate_identical, EnumerateOptions};
 use counting_dark::cde::{measure_loss, CdeInfra, ProbePlan};
-use counting_dark::netsim::{CountryProfile, LatencyModel, Link, LossModel, SimDuration, SimTime};
+use counting_dark::netsim::{
+    seed_from_env, CountryProfile, LatencyModel, Link, LossModel, SeedGuard, SimDuration, SimTime,
+};
 use counting_dark::platform::{NameserverNet, PlatformBuilder, ResolutionPlatform, SelectorKind};
 use counting_dark::probers::DirectProber;
 use std::net::Ipv4Addr;
@@ -32,12 +34,14 @@ fn lossy_link(rate: f64) -> Link {
 
 #[test]
 fn measured_loss_tracks_country_profiles() {
+    let seed = seed_from_env("CDE_LOSSY_SEED", 3001);
+    let _guard = SeedGuard::new("CDE_LOSSY_SEED", seed);
     for profile in CountryProfile::all() {
-        let (mut platform, mut net, mut infra) = build(2, 3001);
+        let (mut platform, mut net, mut infra) = build(2, seed);
         let mut prober = DirectProber::new(
             Ipv4Addr::new(203, 0, 113, 1),
             lossy_link(profile.loss_rate()),
-            7,
+            seed.wrapping_mul(31) ^ 7,
         );
         let mut access = DirectAccess::new(&mut prober, &mut platform, INGRESS, &mut net);
         let measured = measure_loss(&mut access, &mut infra, 600, SimTime::ZERO);
@@ -53,16 +57,18 @@ fn measured_loss_tracks_country_profiles() {
 fn plan_from_measured_loss_survives_iran_grade_loss() {
     // Measure loss, derive a plan, and enumerate under that loss: the
     // planned redundancy must keep the result exact in almost all trials.
+    let seed = seed_from_env("CDE_LOSSY_SEED", 3100);
+    let _guard = SeedGuard::new("CDE_LOSSY_SEED", seed);
     let profile = CountryProfile::Iran;
     let n = 4usize;
     let trials = 20;
     let mut exact = 0;
     for t in 0..trials {
-        let (mut platform, mut net, mut infra) = build(n, 3100 + t);
+        let (mut platform, mut net, mut infra) = build(n, seed + t);
         let mut prober = DirectProber::new(
             Ipv4Addr::new(203, 0, 113, 1),
             lossy_link(profile.loss_rate()),
-            100 + t,
+            seed.wrapping_mul(17) + 100 + t,
         );
         let mut access = DirectAccess::new(&mut prober, &mut platform, INGRESS, &mut net);
         let loss = measure_loss(&mut access, &mut infra, 200, SimTime::ZERO);
@@ -113,9 +119,15 @@ fn response_direction_loss_still_counts_caches() {
     // fetch happened) — ω is driven by cache state, not by what the
     // prober saw. Verify ω stays correct even when the prober times out a
     // lot.
+    let seed = seed_from_env("CDE_LOSSY_SEED", 3200);
+    let _guard = SeedGuard::new("CDE_LOSSY_SEED", seed);
     let n = 3usize;
-    let (mut platform, mut net, mut infra) = build(n, 3200);
-    let mut prober = DirectProber::new(Ipv4Addr::new(203, 0, 113, 1), lossy_link(0.3), 11);
+    let (mut platform, mut net, mut infra) = build(n, seed);
+    let mut prober = DirectProber::new(
+        Ipv4Addr::new(203, 0, 113, 1),
+        lossy_link(0.3),
+        seed.wrapping_mul(13) ^ 11,
+    );
     let mut access = DirectAccess::new(&mut prober, &mut platform, INGRESS, &mut net);
     let session = infra.new_session(access.net, 0);
     let e = enumerate_identical(

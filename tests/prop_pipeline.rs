@@ -7,11 +7,19 @@ use counting_dark::cde::enumerate::{enumerate_cname_farm, enumerate_identical, E
 use counting_dark::cde::{
     map_ingress_to_clusters, mapping_matches_ground_truth, CdeInfra, MappingOptions,
 };
+use counting_dark::dns::Message;
+use counting_dark::engine::scheduler::{run_campaign_pipelined, Probe};
+use counting_dark::engine::{Reactor, ReactorConfig, RetryPolicy};
+use counting_dark::faults::{DuplicateFault, FaultPlan, LossFault, TruncateFault};
 use counting_dark::netsim::{Link, SimTime};
 use counting_dark::platform::{NameserverNet, PlatformBuilder, SelectorKind};
 use counting_dark::probers::DirectProber;
 use proptest::prelude::*;
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 const INGRESS: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
 
@@ -111,5 +119,99 @@ proptest! {
             SimTime::ZERO,
         );
         prop_assert!(mapping_matches_ground_truth(&mapping, &platform));
+    }
+}
+
+/// Any composable fault recipe with sub-total loss — the invariant under
+/// test is accounting, not recovery, so the knobs range widely.
+fn fault_plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    (
+        0u64..10_000,
+        0.0..0.8f64,
+        1.0..6.0f64,
+        prop_oneof![Just(None), (0.1..1.0f64).prop_map(Some)],
+        prop_oneof![Just(None), (0.1..0.6f64).prop_map(Some)],
+        0.0..0.1f64,
+    )
+        .prop_map(
+            |(seed, mean_loss, mean_burst, dup, trunc, hard)| FaultPlan {
+                query_loss: LossFault::Bursty {
+                    mean_loss,
+                    mean_burst,
+                },
+                hard_error_rate: hard,
+                duplicate: dup.map(|rate| DuplicateFault { rate, copies: 1 }),
+                truncate: trunc.map(|rate| TruncateFault { rate }),
+                ..FaultPlan::clean(seed)
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Under *any* generated fault plan with loss < 100%, a pipelined
+    /// campaign terminates with every probe accounted exactly once —
+    /// answered or timed out, nothing leaked, nothing double-counted.
+    #[test]
+    fn pipelined_campaign_accounts_every_probe_under_any_faults(
+        plan in fault_plan_strategy(),
+    ) {
+        // A real echo authority on loopback; all chaos is injected.
+        let socket = std::net::UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        socket.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        let server_addr = socket.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let server = std::thread::spawn({
+            let stop = Arc::clone(&stop);
+            move || {
+                let mut buf = [0u8; 2048];
+                while !stop.load(Ordering::SeqCst) {
+                    if let Ok((len, peer)) = socket.recv_from(&mut buf) {
+                        if let Ok(query) = Message::decode(&buf[..len]) {
+                            let resp = Message::response_to(&query);
+                            let _ = socket.send_to(&resp.encode().unwrap(), peer);
+                        }
+                    }
+                }
+            }
+        });
+
+        let seed = plan.seed;
+        let mut targets = HashMap::new();
+        targets.insert(INGRESS, server_addr);
+        let policy = RetryPolicy {
+            attempts: 2,
+            timeout: Duration::from_millis(40),
+            backoff: 1.0,
+            base_delay: Duration::from_millis(1),
+            jitter: 0.0,
+        };
+        let reactor = Reactor::launch(
+            targets,
+            ReactorConfig {
+                faults: Some(plan),
+                ..ReactorConfig::with_policy(policy, seed)
+            },
+        )
+        .unwrap();
+        let probes: Vec<Probe> = (0..24)
+            .map(|i| Probe::a(INGRESS, format!("prop-{i}.cache.example").parse().unwrap()))
+            .collect();
+        let report = run_campaign_pipelined(&reactor, probes, 16);
+        stop.store(true, Ordering::SeqCst);
+        server.join().unwrap();
+
+        prop_assert!(
+            report.fully_accounted(24),
+            "accounting leaked: {} outcomes, {} answered, {} timed out (seed {seed})",
+            report.outcomes.len(),
+            report.answered(),
+            report.timed_out()
+        );
+        prop_assert_eq!(
+            reactor.metrics().snapshot().in_flight, 0,
+            "probes left in flight after the campaign (seed {})", seed
+        );
     }
 }
