@@ -1,7 +1,7 @@
 # Convenience targets; everything builds offline from vendored deps
 # (third_party/, see README "Offline builds").
 
-.PHONY: build test chaos bench-smoke bench-json bench-check lint
+.PHONY: build test chaos bench-smoke bench-json bench-check analyze-smoke lint
 
 build:
 	cargo build --release --locked
@@ -29,8 +29,21 @@ chaos:
 	cargo test --release --locked --test chaos
 	cargo test --release --locked -p cde-engine --test reactor_chaos
 
+# Capture → analyze round trip: run the live census with telemetry
+# JSONL capture, then feed the trace through the offline analyzer.
+# `--check` fails unless at least one campaign completed with clean
+# (non-retransmit) RTT samples.
+analyze-smoke:
+	cargo run --release --locked --example live_loopback_census -- \
+		--telemetry-jsonl target/census_telemetry.jsonl
+	cargo run --release --locked -p cde-insight --bin cde-analyze -- \
+		target/census_telemetry.jsonl --check
+	cargo run --release --locked -p cde-insight --bin cde-analyze -- \
+		target/census_telemetry.jsonl --json --check > target/census_analysis.json
+
 # Regenerate the engine benchmark and gate on the committed baseline:
-# fails when the reactor-vs-blocking speedup drops more than 25%.
+# fails when the reactor-vs-blocking speedup drops more than 25% (or,
+# once the baseline records it, the insight digests-on/off ratio).
 bench-check:
 	cargo run --release --locked -p cde-bench --bin engine_bench -- \
 		BENCH_engine.fresh.json

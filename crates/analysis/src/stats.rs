@@ -65,11 +65,14 @@ impl Cdf {
     pub fn percentile(&self, p: f64) -> u64 {
         assert!(!self.sorted.is_empty(), "percentile of empty cdf");
         assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
-        if p == 0.0 {
-            return self.sorted[0];
-        }
-        let rank = ((p / 100.0) * self.sorted.len() as f64).ceil() as usize;
-        self.sorted[rank.saturating_sub(1)]
+        let n = self.sorted.len();
+        // Multiply before dividing: `(p / 100.0) * n` misrounds exact
+        // ranks (0.1 × 10 = 1.0000000000000002 ceils to rank 2 instead
+        // of 1), shifting every percentile that should land exactly on
+        // a sample. The clamp also makes p = 0 the minimum without a
+        // special case and keeps p = 100 in bounds.
+        let rank = ((p * n as f64) / 100.0).ceil() as usize;
+        self.sorted[rank.clamp(1, n) - 1]
     }
 
     /// Median (50th percentile).
@@ -403,6 +406,35 @@ mod tests {
     #[should_panic(expected = "empty cdf")]
     fn empty_cdf_percentile_panics() {
         Cdf::from_samples(std::iter::empty()).percentile(50.0);
+    }
+
+    #[test]
+    fn percentile_exact_ranks_do_not_misround() {
+        // (p / 100) * n accumulates float error on exact ranks: p = 10
+        // of 10 samples must be rank 1 (the minimum), not rank 2.
+        let cdf = Cdf::from_samples((1..=10u64).map(|v| v * 100));
+        assert_eq!(cdf.percentile(10.0), 100);
+        assert_eq!(cdf.percentile(20.0), 200);
+        assert_eq!(cdf.percentile(30.0), 300);
+        assert_eq!(cdf.percentile(70.0), 700);
+    }
+
+    #[test]
+    fn percentile_single_sample_is_constant() {
+        let cdf = Cdf::from_samples([42u64]);
+        for p in [0.0, 0.1, 1.0, 50.0, 99.9, 100.0] {
+            assert_eq!(cdf.percentile(p), 42, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn percentile_handles_unsorted_duplicates_and_extremes() {
+        let cdf = Cdf::from_samples([9u64, 1, 5, 5, 1, 9, 5]);
+        assert_eq!(cdf.percentile(0.0), 1);
+        assert_eq!(cdf.percentile(1.0), 1);
+        assert_eq!(cdf.percentile(50.0), 5);
+        assert_eq!(cdf.percentile(99.0), 9);
+        assert_eq!(cdf.percentile(100.0), 9);
     }
 
     #[test]

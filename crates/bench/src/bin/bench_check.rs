@@ -45,6 +45,20 @@ fn extract(json: &str, absolute: bool) -> Vec<(u64, f64)> {
     out
 }
 
+/// `(probes, ratio)` pairs for the insight-overhead gate: throughput
+/// with RTT digests + phase timers on, over the digests-off reactor run.
+/// Absent from reports older than the `"insight"` array.
+fn extract_insight(json: &str) -> Vec<(u64, f64)> {
+    json.lines()
+        .filter_map(|line| {
+            Some((
+                field_f64(line, "probes")? as u64,
+                field_f64(line, "digests_on_vs_off")?,
+            ))
+        })
+        .collect()
+}
+
 fn usage() -> ExitCode {
     eprintln!("usage: bench_check <baseline.json> <fresh.json> [--max-regress 0.25] [--absolute]");
     ExitCode::from(2)
@@ -98,8 +112,33 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
+    let mut failed = gate(metric, &base, &new, max_regress);
+
+    // Insight-overhead gate, active only once the committed baseline
+    // records a `digests_on_vs_off` ratio (older baselines skip it).
+    let base_insight = extract_insight(&baseline);
+    if !base_insight.is_empty() {
+        failed |= gate(
+            "insight digests-on/off ratio",
+            &base_insight,
+            &extract_insight(&fresh),
+            max_regress,
+        );
+    }
+
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Compares fresh `(probes, value)` pairs against the baseline's; prints
+/// a verdict per probe count and returns whether any regressed past the
+/// `max_regress` floor (or went missing).
+fn gate(metric: &str, base: &[(u64, f64)], new: &[(u64, f64)], max_regress: f64) -> bool {
     let mut failed = false;
-    for (probes, was) in &base {
+    for (probes, was) in base {
         let Some((_, now)) = new.iter().find(|(p, _)| p == probes) else {
             eprintln!("FAIL {probes} probes: baseline has {metric} but fresh run lacks it");
             failed = true;
@@ -114,11 +153,7 @@ fn main() -> ExitCode {
         );
         failed |= *now < floor;
     }
-    if failed {
-        ExitCode::from(1)
-    } else {
-        ExitCode::SUCCESS
-    }
+    failed
 }
 
 #[cfg(test)]
@@ -129,11 +164,15 @@ mod tests {
   "runs": [
     {"backend": "blocking", "probes": 1000, "probes_per_sec": 13710.8, "latency_p50_us": 312},
     {"backend": "reactor", "probes": 1000, "probes_per_sec": 75976.2, "latency_p50_us": 690},
-    {"backend": "reactor", "probes": 10000, "probes_per_sec": 79818.3, "latency_p50_us": 839}
+    {"backend": "reactor", "probes": 10000, "probes_per_sec": 79818.3, "latency_p50_us": 839},
+    {"backend": "reactor_insight", "probes": 10000, "probes_per_sec": 77424.1, "latency_p50_us": 845}
   ],
   "speedup": [
     {"probes": 1000, "reactor_vs_blocking": 5.54},
     {"probes": 10000, "reactor_vs_blocking": 6.05}
+  ],
+  "insight": [
+    {"probes": 10000, "digests_on_vs_off": 0.97}
   ]
 }"#;
 
@@ -148,6 +187,17 @@ mod tests {
             extract(REPORT, true),
             vec![(1000, 75976.2), (10000, 79818.3)]
         );
+    }
+
+    #[test]
+    fn extracts_insight_overhead_ratio() {
+        assert_eq!(extract_insight(REPORT), vec![(10000, 0.97)]);
+        assert!(extract_insight(r#"{"speedup": []}"#).is_empty());
+    }
+
+    #[test]
+    fn insight_lines_do_not_leak_into_speedup_extraction() {
+        assert_eq!(extract(REPORT, false), vec![(1000, 5.54), (10000, 6.05)]);
     }
 
     #[test]

@@ -19,8 +19,8 @@
 use cde_core::CdeInfra;
 use cde_engine::scheduler::{run_campaign, run_campaign_pipelined, CampaignOptions, Probe};
 use cde_engine::{
-    CampaignReport, EngineClock, LoopbackResolver, Reactor, ReactorConfig, ResolverConfig,
-    RetryPolicy, UdpTransport,
+    CampaignReport, EngineClock, InsightOptions, LoopbackResolver, Reactor, ReactorConfig,
+    ResolverConfig, RetryPolicy, UdpTransport,
 };
 use cde_platform::{NameserverNet, PlatformBuilder, SelectorKind};
 use std::net::{Ipv4Addr, SocketAddr};
@@ -163,6 +163,7 @@ fn main() {
     let blocking_opts = CampaignOptions::default();
     let mut runs: Vec<RunStats> = Vec::new();
     let mut speedups: Vec<(usize, f64)> = Vec::new();
+    let mut insight_ratios: Vec<(usize, f64)> = Vec::new();
     let mut last_registry: Option<std::sync::Arc<cde_telemetry::MetricsRegistry>> = None;
 
     for count in [1_000usize, 10_000] {
@@ -219,8 +220,40 @@ fn main() {
         let speedup = reactor_stats.probes_per_sec() / blocking.probes_per_sec();
         eprintln!("          {count:>6} probes  reactor speedup {speedup:.2}x");
         speedups.push((count, speedup));
+
+        let reactor_pps = reactor_stats.probes_per_sec();
         runs.push(blocking);
         runs.push(reactor_stats);
+
+        // Insight capture overhead: the same reactor campaign with RTT
+        // digests and phase timers live, at the largest probe count
+        // only. The ratio against the digests-off run above gates the
+        // capture tier's hot-path cost in CI.
+        if count == 10_000 {
+            let reactor = Reactor::launch(
+                addrs.clone(),
+                ReactorConfig {
+                    insight: Some(InsightOptions::default()),
+                    ..ReactorConfig::with_policy(bench_policy(), 11)
+                },
+            )
+            .expect("insight reactor");
+            let start = Instant::now();
+            let report = run_campaign_pipelined(
+                &reactor,
+                probe_batch(&session.honey, count),
+                REACTOR_WINDOW,
+            );
+            let insight_stats = stats("reactor_insight", 1, count, start.elapsed(), &report);
+            let ratio = insight_stats.probes_per_sec() / reactor_pps;
+            eprintln!(
+                "insight   {:>6} probes  {:>10.0} probes/s  digests on/off {ratio:.2}x",
+                count,
+                insight_stats.probes_per_sec(),
+            );
+            insight_ratios.push((count, ratio));
+            runs.push(insight_stats);
+        }
     }
 
     let runs_json: Vec<String> = runs
@@ -231,15 +264,20 @@ fn main() {
         .iter()
         .map(|(count, s)| format!("    {{\"probes\": {count}, \"reactor_vs_blocking\": {s:.2}}}"))
         .collect();
+    let insight_json: Vec<String> = insight_ratios
+        .iter()
+        .map(|(count, r)| format!("    {{\"probes\": {count}, \"digests_on_vs_off\": {r:.2}}}"))
+        .collect();
     let json = format!(
         "{{\n  \"bench\": \"engine_campaign_throughput\",\n  \
          \"description\": \"loopback probe campaigns, blocking worker pool vs event-driven reactor\",\n  \
          \"available_parallelism\": {},\n  \"reactor_window\": {},\n  \
-         \"runs\": [\n{}\n  ],\n  \"speedup\": [\n{}\n  ]\n}}\n",
+         \"runs\": [\n{}\n  ],\n  \"speedup\": [\n{}\n  ],\n  \"insight\": [\n{}\n  ]\n}}\n",
         std::thread::available_parallelism().map_or(0, usize::from),
         REACTOR_WINDOW,
         runs_json.join(",\n"),
         speedups_json.join(",\n"),
+        insight_json.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write bench output");
     eprintln!("wrote {out_path}");

@@ -74,6 +74,7 @@ pub fn calibrate<A: AccessChannel>(
     samples: usize,
     start: SimTime,
 ) -> Result<TimingCalibration, CalibrationError> {
+    let span = cde_telemetry::global().begin_campaign("timing_calibrate", samples as u64 * 2);
     if !access.measures_latency() {
         return Err(CalibrationError::NoLatency);
     }
@@ -120,6 +121,15 @@ pub fn calibrate<A: AccessChannel>(
         return Err(CalibrationError::NoSeparation);
     }
     let threshold = cached_median + (uncached_median - cached_median) / 2;
+    span.note("cached_median_us", cached_median.as_micros());
+    span.note("uncached_median_us", uncached_median.as_micros());
+    span.note("threshold_us", threshold.as_micros());
+    let answered = (cached.len() + uncached.len()) as u64;
+    span.end(
+        samples as u64 * 2,
+        answered,
+        (samples as u64 * 2).saturating_sub(answered),
+    );
     Ok(TimingCalibration {
         threshold,
         cached_median,
@@ -151,6 +161,8 @@ pub fn enumerate_via_timing<A: AccessChannel>(
     probes: u64,
     start: SimTime,
 ) -> TimingEnumeration {
+    let span = cde_telemetry::global().begin_campaign("enumerate_via_timing", probes);
+    span.note("threshold_us", calibration.threshold.as_micros());
     let mut now = start;
     let mut slow = 0u64;
     let mut fast = 0u64;
@@ -168,6 +180,9 @@ pub fn enumerate_via_timing<A: AccessChannel>(
         }
         now += SimDuration::from_millis(25);
     }
+    span.note("slow_responses", slow);
+    span.note("fast_responses", fast);
+    span.end(probes, slow + fast, unclassified);
     TimingEnumeration {
         probes,
         slow_responses: slow,

@@ -136,6 +136,20 @@ impl WireAuthority {
     /// Binds one loopback socket per server in `net` and starts serving
     /// snapshots of their zones.
     pub fn launch(net: &NameserverNet, clock: EngineClock) -> io::Result<WireAuthority> {
+        WireAuthority::launch_with_delay(net, clock, Duration::ZERO)
+    }
+
+    /// Like [`WireAuthority::launch`], but every answer is held back by
+    /// `delay` before it goes on the wire — a stand-in for upstream
+    /// (authority-side) network distance. In the live chain only cache
+    /// *misses* reach the authority, so a visible delay here is exactly
+    /// what makes the §IV-B3 timing side channel measurable on loopback:
+    /// hits answer in internal-hop time, misses pay `delay`.
+    pub fn launch_with_delay(
+        net: &NameserverNet,
+        clock: EngineClock,
+        delay: Duration,
+    ) -> io::Result<WireAuthority> {
         let (obs_tx, obs_rx, obs_dropped) = obs_queue(OBS_QUEUE_CAP);
         let source_map: Arc<Mutex<HashMap<u16, Ipv4Addr>>> = Arc::new(Mutex::new(HashMap::new()));
         let served = Arc::new(AtomicU64::new(0));
@@ -161,7 +175,7 @@ impl WireAuthority {
                 move || {
                     serve(
                         socket, vaddr, snapshot, ctl_rx, obs_tx, source_map, served, shutdown,
-                        clock,
+                        clock, delay,
                     )
                 }
             }));
@@ -265,6 +279,7 @@ fn serve(
     served: Arc<AtomicU64>,
     shutdown: Arc<AtomicBool>,
     clock: EngineClock,
+    delay: Duration,
 ) {
     let mut buf = [0u8; MAX_DATAGRAM];
     while !shutdown.load(Ordering::SeqCst) {
@@ -306,6 +321,11 @@ fn serve(
         // Count before sending, so the counter is never behind a response
         // a client has already received.
         served.fetch_add(1, Ordering::Relaxed);
+        if !delay.is_zero() {
+            // Injected upstream distance: the whole answer path slows, as
+            // if the authority were a real network away.
+            std::thread::sleep(delay);
+        }
         if let Ok(bytes) = resp.encode() {
             let _ = socket.send_to(&bytes, peer);
         }

@@ -104,6 +104,7 @@ impl<T: Transport> FaultyTransport<T> {
                 token,
                 attempt: 0,
                 rtt_us,
+                retransmit_ambiguous: false,
             },
         );
         TransportReply::Answered { latency, rcode }

@@ -29,6 +29,11 @@
 //!   `sendmmsg`/`recvmmsg` syscalls via `cde-sysio`, and pooled
 //!   zero-alloc encodings; [`ReactorTransport`](reactor::ReactorTransport)
 //!   is its one-probe-at-a-time [`Transport`](transport::Transport) seam.
+//!   With [`ReactorConfig::insight`](reactor::ReactorConfig::insight)
+//!   set, the loop additionally feeds per-target `cde-insight` RTT
+//!   digests at reply-match time and samples wall-clock timers around
+//!   the five hot-path phases (encode, send-batch, recv-batch, decode,
+//!   correlate) — the capture tier of the §IV-B3 latency side channel.
 //! * [`scheduler`] — campaign execution: crossbeam worker pools, bounded
 //!   in-flight probes, token-bucket rate limiting, loss feedback into
 //!   `cde-core::planner`; [`PipelinedCampaign`](scheduler::PipelinedCampaign)
@@ -83,7 +88,10 @@ pub use clock::EngineClock;
 pub use faulty::FaultyTransport;
 pub use metrics::{EngineMetrics, MetricsSnapshot};
 pub use ratelimit::{RateConfig, RateLimiter};
-pub use reactor::{ProbeCompletion, Reactor, ReactorConfig, ReactorHandle, ReactorTransport};
+pub use reactor::{
+    InsightOptions, ProbeCompletion, Reactor, ReactorConfig, ReactorHandle, ReactorInsight,
+    ReactorTransport,
+};
 pub use resolver::{LoopbackResolver, ResolverConfig};
 pub use retry::RetryPolicy;
 pub use scheduler::{

@@ -36,6 +36,7 @@ use cde_core::AccessProvider;
 use cde_dns::wire::WireWriter;
 use cde_dns::{Message, MessagePeek, Name, RecordType};
 use cde_faults::{refused_reply, Direction, FaultInjector, FaultPlan, FaultStats, Verdict};
+use cde_insight::{Phase, PhaseProfiler, RttDigestSet};
 use cde_netsim::{DetRng, SimDuration, SimTime};
 use cde_platform::NameserverNet;
 use cde_sysio::{RecvSlot, SendItem, MAX_BATCH};
@@ -101,6 +102,52 @@ pub struct ReactorConfig {
     /// they would to real ones. The injector's [`FaultStats`] register
     /// into `registry` when both are set.
     pub faults: Option<FaultPlan>,
+    /// Latency capture: per-target RTT digests recorded at match time
+    /// plus sampled hot-path phase timers (see [`ReactorInsight`]).
+    /// Both register into `registry` when both are set.
+    pub insight: Option<InsightOptions>,
+}
+
+/// Knobs for the reactor's latency-capture tier.
+#[derive(Debug, Clone)]
+pub struct InsightOptions {
+    /// Wall-clock-time one in this many entries per hot-path phase.
+    /// Digest recording is not sampled (it is a few relaxed atomic adds
+    /// per *matched* reply, off the per-datagram fast path); this rate
+    /// only throttles the `Instant::now()` pairs around encode /
+    /// send-batch / recv-batch / decode / correlate.
+    pub phase_sample_every: u32,
+}
+
+impl Default for InsightOptions {
+    fn default() -> InsightOptions {
+        InsightOptions {
+            phase_sample_every: 64,
+        }
+    }
+}
+
+/// The reactor's capture tier, shared between the event loop and the
+/// caller: lock-free per-target RTT digests (fed at reply-match time)
+/// and the sampled phase profiler. Obtained from
+/// [`Reactor::insight`]; both pieces also register into
+/// [`ReactorConfig::registry`] for Prometheus/JSON export.
+#[derive(Debug)]
+pub struct ReactorInsight {
+    digests: Arc<RttDigestSet>,
+    phases: Arc<PhaseProfiler>,
+}
+
+impl ReactorInsight {
+    /// Per-target-ingress RTT digests.
+    pub fn digests(&self) -> &Arc<RttDigestSet> {
+        &self.digests
+    }
+
+    /// The sampled hot-path phase timers.
+    pub fn phases(&self) -> &Arc<PhaseProfiler> {
+        &self.phases
+    }
 }
 
 impl Default for ReactorConfig {
@@ -117,6 +164,7 @@ impl Default for ReactorConfig {
             telemetry: None,
             registry: None,
             faults: None,
+            insight: None,
         }
     }
 }
@@ -271,6 +319,7 @@ pub struct Reactor {
     handle: ReactorHandle,
     policy: RetryPolicy,
     fault_stats: Option<Arc<FaultStats>>,
+    insight: Option<Arc<ReactorInsight>>,
     shutdown: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
 }
@@ -302,6 +351,12 @@ impl Reactor {
         let pool = BufferPool::new(128, max_in_flight);
         let faults = config.faults.as_ref().map(FaultLayer::new);
         let fault_stats = faults.as_ref().map(|layer| layer.injector.stats());
+        let insight = config.insight.as_ref().map(|opts| {
+            Arc::new(ReactorInsight {
+                digests: Arc::new(RttDigestSet::for_targets(targets.keys().copied())),
+                phases: Arc::new(PhaseProfiler::new(opts.phase_sample_every)),
+            })
+        });
         if let Some(registry) = &config.registry {
             registry.register(Arc::clone(&metrics) as Arc<dyn cde_telemetry::Collector>);
             registry.register(pool.stats());
@@ -311,6 +366,11 @@ impl Reactor {
             }
             if let Some(stats) = &fault_stats {
                 registry.register(Arc::clone(stats) as Arc<dyn cde_telemetry::Collector>);
+            }
+            if let Some(insight) = &insight {
+                registry
+                    .register(Arc::clone(&insight.digests) as Arc<dyn cde_telemetry::Collector>);
+                registry.register(Arc::clone(&insight.phases) as Arc<dyn cde_telemetry::Collector>);
             }
         }
         let event_loop = EventLoop {
@@ -340,6 +400,7 @@ impl Reactor {
             telemetry: Arc::clone(&telemetry),
             shutdown: Arc::clone(&shutdown),
             faults,
+            insight: insight.as_ref().map(Arc::clone),
         };
         let thread = std::thread::Builder::new()
             .name("cde-reactor".into())
@@ -352,6 +413,7 @@ impl Reactor {
             },
             policy: config.policy,
             fault_stats,
+            insight,
             shutdown,
             thread: Some(thread),
         })
@@ -382,6 +444,12 @@ impl Reactor {
     /// reactor was launched with [`ReactorConfig::faults`].
     pub fn fault_stats(&self) -> Option<Arc<FaultStats>> {
         self.fault_stats.as_ref().map(Arc::clone)
+    }
+
+    /// The latency-capture tier (RTT digests + phase timers) — `None`
+    /// unless the reactor was launched with [`ReactorConfig::insight`].
+    pub fn insight(&self) -> Option<Arc<ReactorInsight>> {
+        self.insight.as_ref().map(Arc::clone)
     }
 }
 
@@ -475,9 +543,24 @@ struct EventLoop {
     telemetry: Arc<TelemetryHub>,
     shutdown: Arc<AtomicBool>,
     faults: Option<FaultLayer>,
+    insight: Option<Arc<ReactorInsight>>,
 }
 
 impl EventLoop {
+    /// Starts a sampled phase timer; `None` when capture is off or this
+    /// entry is not sampled. Zero-cost (no clock read) in both cases.
+    #[inline]
+    fn phase_begin(&self, phase: Phase) -> Option<Instant> {
+        self.insight.as_ref().and_then(|i| i.phases.begin(phase))
+    }
+
+    /// Closes a sampled phase timer opened by [`Self::phase_begin`].
+    #[inline]
+    fn phase_end(&self, phase: Phase, started: Option<Instant>) {
+        if let (Some(insight), Some(_)) = (&self.insight, started) {
+            insight.phases.end(phase, started);
+        }
+    }
     fn run(mut self) {
         while !self.shutdown.load(Ordering::SeqCst) {
             let iter_start = Instant::now();
@@ -718,6 +801,7 @@ impl EventLoop {
             // Arm each probe: fresh id patched into the cached encoding
             // (first send encodes via the reusable writer — no per-probe
             // allocation either way).
+            let t_encode = self.phase_begin(Phase::Encode);
             for &slot in batch {
                 let id = fresh_id(&mut self.rng, &self.correlation, socket_idx);
                 let p = self.slots[slot].as_mut().expect("ready slot occupied");
@@ -731,6 +815,7 @@ impl EventLoop {
                 }
                 self.correlation.insert((socket_idx, id), slot);
             }
+            self.phase_end(Phase::Encode, t_encode);
             let outcome = if self.faults.is_some() {
                 // Chaos path: every armed probe is "sent" from the
                 // engine's point of view (deadlines, retries and loss
@@ -755,7 +840,10 @@ impl EventLoop {
                         dest: p.target,
                     };
                 }
-                cde_sysio::send_batch(&self.sockets[socket_idx], &items[..count])
+                let t_send = self.phase_begin(Phase::SendBatch);
+                let sent = cde_sysio::send_batch(&self.sockets[socket_idx], &items[..count]);
+                self.phase_end(Phase::SendBatch, t_send);
+                sent
             };
             let now_tick = self.now_tick();
             match outcome {
@@ -818,8 +906,10 @@ impl EventLoop {
         let mut recv_slots = std::mem::take(&mut self.recv_slots);
         for socket_idx in 0..self.sockets.len() {
             loop {
+                let t_recv = self.phase_begin(Phase::RecvBatch);
                 let got =
                     cde_sysio::recv_batch(&self.sockets[socket_idx], &mut recv_slots).unwrap_or(0);
+                self.phase_end(Phase::RecvBatch, t_recv);
                 if got == 0 {
                     break;
                 }
@@ -943,13 +1033,17 @@ impl EventLoop {
     /// Correlates one inbound datagram, enforcing the anti-spoofing
     /// checks: id match, source address match, echoed-question match.
     fn process_datagram(&mut self, socket_idx: usize, bytes: &[u8], from: SocketAddrV4) {
-        let Ok(peek) = MessagePeek::parse(bytes) else {
+        let t_decode = self.phase_begin(Phase::Decode);
+        let parsed = MessagePeek::parse(bytes);
+        self.phase_end(Phase::Decode, t_decode);
+        let Ok(peek) = parsed else {
             self.metrics.record_decode_error();
             return;
         };
         if !peek.is_response() {
             return;
         }
+        let t_correlate = self.phase_begin(Phase::Correlate);
         let Some(&slot) = self.correlation.get(&(socket_idx, peek.id())) else {
             // Wrong id, or a duplicate/late reply after the deadline
             // already retired the attempt.
@@ -960,6 +1054,7 @@ impl EventLoop {
                     reason: DropReason::Stray,
                 },
             );
+            self.phase_end(Phase::Correlate, t_correlate);
             return;
         };
         let p = self.slots[slot].as_ref().expect("correlated slot occupied");
@@ -973,6 +1068,7 @@ impl EventLoop {
                     reason: DropReason::Spoofed,
                 },
             );
+            self.phase_end(Phase::Correlate, t_correlate);
             return;
         }
         match peek.question_matches(&p.qname, p.qtype) {
@@ -986,21 +1082,35 @@ impl EventLoop {
                         reason: DropReason::Duplicate,
                     },
                 );
+                self.phase_end(Phase::Correlate, t_correlate);
                 return;
             }
             Err(_) => {
                 self.metrics.record_decode_error();
+                self.phase_end(Phase::Correlate, t_correlate);
                 return;
             }
         }
+        self.phase_end(Phase::Correlate, t_correlate);
         let rtt = p.sent_at.elapsed();
+        let rtt_us = rtt.as_micros().min(u128::from(u64::MAX)) as u64;
+        // A reply arriving after a retransmit can belong to *either*
+        // attempt; its last-send RTT is untrustworthy for timing
+        // analysis, so both the digest and the event carry the flag.
+        let retransmit_ambiguous = p.attempt > 0;
         self.metrics.record_received(rtt);
+        if let Some(insight) = &self.insight {
+            insight
+                .digests
+                .record(p.ingress, rtt_us, retransmit_ambiguous);
+        }
         self.telemetry.emit(
             0,
             TelemetryEvent::ProbeMatched {
                 token: p.token,
                 attempt: p.attempt,
-                rtt_us: rtt.as_micros().min(u128::from(u64::MAX)) as u64,
+                rtt_us,
+                retransmit_ambiguous,
             },
         );
         self.complete(
@@ -1032,7 +1142,16 @@ impl EventLoop {
     fn idle_wait(&mut self) {
         let wait = if self.occupied == 0 && self.ready.is_empty() {
             DRAINED_IDLE
+        } else if self.occupied > 0 {
+            // A reply can land any microsecond and nothing wakes this
+            // sleep for it, so its length is pure added RTT. Keep it at
+            // BUSY_IDLE — the 4 ms timer-distance nap here used to
+            // quantize every measured RTT to ~4 ms, drowning the
+            // hit/miss contrast the timing side channel reads.
+            BUSY_IDLE
         } else {
+            // Only scheduled (unsent) probes: sleep toward their send
+            // timers, nothing inbound can arrive yet.
             let now = self.now_tick();
             let ticks_away = self.timers.next_due().map_or(1, |t| t.saturating_sub(now));
             (TICK * ticks_away.clamp(1, 4) as u32)

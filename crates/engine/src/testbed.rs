@@ -19,6 +19,7 @@ use crate::retry::RetryPolicy;
 use crate::udp::UdpTransport;
 use cde_platform::{NameserverNet, ResolutionPlatform};
 use std::io;
+use std::time::Duration;
 
 /// A launched authority + resolver pair over one platform and world.
 #[derive(Debug)]
@@ -36,8 +37,21 @@ impl LiveTestbed {
         net: NameserverNet,
         cfg: ResolverConfig,
     ) -> io::Result<LiveTestbed> {
+        LiveTestbed::launch_with_upstream_delay(platform, net, cfg, Duration::ZERO)
+    }
+
+    /// Like [`LiveTestbed::launch`], but the authority holds every answer
+    /// back by `upstream_delay` before it goes on the wire. Cache *hits*
+    /// never leave the resolver, so only misses pay the delay — the
+    /// wall-clock contrast the §IV-B3 timing side channel measures.
+    pub fn launch_with_upstream_delay(
+        platform: ResolutionPlatform,
+        net: NameserverNet,
+        cfg: ResolverConfig,
+        upstream_delay: Duration,
+    ) -> io::Result<LiveTestbed> {
         let clock = EngineClock::start();
-        let authority = WireAuthority::launch(&net, clock)?;
+        let authority = WireAuthority::launch_with_delay(&net, clock, upstream_delay)?;
         let resolver =
             LoopbackResolver::launch(platform, net.clone(), Some(&authority), cfg, clock)?;
         Ok(LiveTestbed {

@@ -1,0 +1,81 @@
+//! Golden-file pin of the Prometheus text exposition.
+//!
+//! Feeds a deterministic script of observations into every collector the
+//! reactor registers — [`EngineMetrics`], the per-target RTT digests and
+//! the phase profiler — and compares the rendered exposition byte for
+//! byte against `tests/golden/metrics.prom`. Any change to a family
+//! name, help string, label, bucket edge or cumulative-histogram shape
+//! (`_bucket`/`_sum`/`_count`) shows up as a reviewable golden diff
+//! instead of a silent dashboard break.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p cde-engine --test prometheus_golden
+//! ```
+
+use cde_engine::EngineMetrics;
+use cde_insight::{PhaseProfiler, RttDigestSet, PHASES};
+use cde_telemetry::MetricsRegistry;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn prometheus_exposition_matches_golden() {
+    let registry = MetricsRegistry::new();
+
+    let metrics = Arc::new(EngineMetrics::new());
+    for _ in 0..6 {
+        metrics.record_sent();
+    }
+    metrics.record_received(Duration::from_micros(120));
+    metrics.record_received(Duration::from_micros(950));
+    metrics.record_received(Duration::from_micros(42_000));
+    metrics.record_received(Duration::from_micros(120_000));
+    metrics.record_retry();
+    metrics.record_timeout();
+    metrics.record_rate_limit_stall(Duration::from_micros(1_500));
+    metrics.record_decode_error();
+    metrics.record_stray_reply();
+    metrics.record_spoofed_reply();
+    metrics.record_qname_mismatch();
+    metrics.set_in_flight(4);
+    metrics.set_in_flight(1);
+    metrics.record_send_batch(3);
+    metrics.record_send_batch(16);
+    metrics.record_loop_iteration(Duration::from_micros(80));
+    metrics.set_wheel_pending(2);
+    metrics.set_slab_capacity(512);
+    registry.register(metrics);
+
+    let digests = Arc::new(RttDigestSet::for_targets([
+        Ipv4Addr::new(192, 0, 2, 1),
+        Ipv4Addr::new(192, 0, 2, 2),
+    ]));
+    for us in [110, 130, 150, 40_000, 41_000] {
+        digests.record(Ipv4Addr::new(192, 0, 2, 1), us, false);
+    }
+    digests.record(Ipv4Addr::new(192, 0, 2, 2), 95, false);
+    digests.record(Ipv4Addr::new(192, 0, 2, 2), 52_000, true);
+    registry.register(digests);
+
+    let phases = Arc::new(PhaseProfiler::new(1));
+    for (i, &phase) in PHASES.iter().enumerate() {
+        phases.record(phase, Duration::from_micros(10 * (i as u64 + 1)));
+    }
+    registry.register(phases);
+
+    let rendered = registry.prometheus_text();
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.prom");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path).expect("golden file missing");
+    assert_eq!(
+        rendered, golden,
+        "Prometheus exposition drifted from tests/golden/metrics.prom; \
+         rerun with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}

@@ -1,0 +1,133 @@
+//! Pins the RTT-fidelity contract under retransmission: when an answer
+//! only arrives after a retransmit, the measured RTT is taken from the
+//! *last* send (the one that plausibly elicited it), and the sample is
+//! flagged `retransmit_ambiguous` everywhere it surfaces — the reactor's
+//! streaming digest and the telemetry JSONL trace — so downstream timing
+//! analysis can exclude it.
+
+use cde_dns::Message;
+use cde_dns::RecordType;
+use cde_engine::reactor::{Reactor, ReactorConfig};
+use cde_engine::{InsightOptions, RetryPolicy};
+use cde_telemetry::TelemetryHub;
+use crossbeam::channel::unbounded;
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const INGRESS: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+/// First-attempt deadline. The honest first-send RTT would exceed this
+/// (the first datagram is dropped), so a from-last-send measurement must
+/// land well under it.
+const FIRST_TIMEOUT: Duration = Duration::from_millis(150);
+
+#[test]
+fn retransmitted_match_is_measured_from_last_send_and_flagged_ambiguous() {
+    let hub = TelemetryHub::new(4096);
+
+    // An authority that loses exactly the first datagram it sees and
+    // answers every later one promptly.
+    let socket = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+    socket
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .unwrap();
+    let server_addr = socket.local_addr().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = std::thread::spawn({
+        let stop = Arc::clone(&stop);
+        move || {
+            let mut buf = [0u8; 2048];
+            let mut seen = 0u32;
+            while !stop.load(Ordering::SeqCst) {
+                if let Ok((len, peer)) = socket.recv_from(&mut buf) {
+                    seen += 1;
+                    if seen == 1 {
+                        continue;
+                    }
+                    if let Ok(query) = Message::decode(&buf[..len]) {
+                        let resp = Message::response_to(&query);
+                        let _ = socket.send_to(&resp.encode().unwrap(), peer);
+                    }
+                }
+            }
+        }
+    });
+
+    let mut targets = HashMap::new();
+    targets.insert(INGRESS, server_addr);
+    let reactor = Reactor::launch(
+        targets,
+        ReactorConfig {
+            policy: RetryPolicy {
+                attempts: 3,
+                timeout: FIRST_TIMEOUT,
+                backoff: 1.0,
+                base_delay: Duration::from_millis(1),
+                jitter: 0.0,
+            },
+            telemetry: Some(Arc::clone(&hub)),
+            insight: Some(InsightOptions::default()),
+            ..ReactorConfig::default()
+        },
+    )
+    .unwrap();
+    let insight = reactor.insight().expect("insight enabled");
+
+    let (done_tx, done_rx) = unbounded();
+    assert!(reactor.handle().submit(
+        7,
+        INGRESS,
+        "retry.cache.example".parse().unwrap(),
+        RecordType::A,
+        &done_tx,
+    ));
+    let completion = done_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("probe never completed");
+    assert!(
+        completion.reply.is_answered(),
+        "the retransmit must be answered, got {:?}",
+        completion.reply
+    );
+
+    // Digest tier: one sample, ambiguous, and timed from the *last* send
+    // — a from-first-send measurement could not come in under the first
+    // attempt's deadline plus the retransmit delay.
+    let snap = insight.digests().merged();
+    assert_eq!(snap.count(), 1);
+    assert_eq!(snap.ambiguous(), 1, "the sample must be flagged ambiguous");
+    let rtt = snap.max_us().unwrap();
+    assert!(
+        rtt < FIRST_TIMEOUT.as_micros() as u64,
+        "RTT must be measured from the retransmit, got {rtt} µs"
+    );
+
+    // Trace tier: the matched event carries attempt 1 and the flag.
+    let mut sink = Vec::new();
+    hub.drain_jsonl(&mut sink).unwrap();
+    let jsonl = String::from_utf8(sink).unwrap();
+    let matched = jsonl
+        .lines()
+        .find(|l| l.contains("\"probe_matched\""))
+        .expect("no probe_matched event in trace");
+    assert!(
+        matched.contains("\"attempt\": 1"),
+        "match must be on the second attempt: {matched}"
+    );
+    assert!(
+        matched.contains("\"retransmit_ambiguous\": true"),
+        "trace must flag the ambiguous RTT: {matched}"
+    );
+
+    // The offline analyzer quarantines it: the sample lands in
+    // `ambiguous_us`, never in the clean `rtt_us` series.
+    let analysis = cde_insight::analyze(&jsonl);
+    assert_eq!(analysis.orphan.ambiguous_us.len(), 1);
+    assert!(analysis.orphan.rtt_us.is_empty());
+
+    drop(reactor);
+    stop.store(true, Ordering::SeqCst);
+    server.join().unwrap();
+}

@@ -1,0 +1,72 @@
+//! `cde-analyze` — offline analysis of telemetry JSONL traces.
+//!
+//! ```text
+//! cde-analyze <trace.jsonl> [--json] [--check]
+//! ```
+//!
+//! Reads the JSONL stream a campaign wrote via `--telemetry-jsonl` (or
+//! `TelemetryHub::drain_jsonl`) and reports per-campaign waterfalls,
+//! RTT percentile tables, health scorecards and the cached/uncached
+//! mode split. `--json` emits the machine-readable report instead;
+//! `--check` additionally fails (exit 1) unless at least one campaign
+//! completed with clean RTT samples — the CI smoke criterion.
+//! Exit code 2 means the trace could not be read.
+
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cde-analyze <trace.jsonl> [--json] [--check]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut path: Option<String> = None;
+    let mut json = false;
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--check" => check = true,
+            "--help" | "-h" => return usage(),
+            other if path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("cde-analyze: unexpected argument {other:?}");
+                return usage();
+            }
+        }
+    }
+    let Some(path) = path else {
+        return usage();
+    };
+    let trace = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(err) => {
+            eprintln!("cde-analyze: cannot read {path}: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let analysis = cde_insight::analyze(&trace);
+    if json {
+        print!("{}", analysis.render_json());
+    } else {
+        print!("{}", analysis.render_text());
+    }
+    if check {
+        let completed = analysis
+            .campaigns
+            .iter()
+            .filter(|c| c.completed_ok())
+            .count();
+        let samples: usize = analysis.campaigns.iter().map(|c| c.rtt_us.len()).sum();
+        eprintln!(
+            "analyze-check: {} campaign(s), {completed} completed, {samples} clean rtt sample(s)",
+            analysis.campaigns.len()
+        );
+        if !analysis.check() {
+            eprintln!("analyze-check: FAIL — no completed campaign with clean RTT samples");
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}

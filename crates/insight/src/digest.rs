@@ -1,0 +1,469 @@
+//! Streaming RTT digests: lock-free, log-bucketed (HDR-style)
+//! histograms with bounded relative error, mergeable across threads
+//! and runs.
+//!
+//! A [`RttDigest`] is a fixed array of [`BUCKETS`] atomic counters.
+//! Values below [`SUB`] microseconds get one bucket each (exact); from
+//! there every power-of-two octave is split into [`SUB`] linear
+//! sub-buckets, so any recorded value is off from its bucket's
+//! representative by at most `2^-SUB_BITS` (≈3.1%) of itself. Recording
+//! is a handful of relaxed atomic adds — no locks, no allocation — which
+//! is what lets the reactor record every matched probe's RTT inside its
+//! event loop without disturbing the zero-alloc hot path.
+//!
+//! Digests are *mergeable*: bucket-wise addition of two snapshots is
+//! exactly the digest of the concatenated sample streams, so per-target
+//! digests roll up into per-campaign or per-platform views after the
+//! fact ([`DigestSnapshot::merged`]).
+
+use cde_telemetry::{Collector, Metric};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` linear sub-buckets, bounding the relative quantization
+/// error at `2^-SUB_BITS` ≈ 3.1%.
+pub const SUB_BITS: u32 = 5;
+
+/// Sub-buckets per octave (`2^SUB_BITS`).
+pub const SUB: u64 = 1 << SUB_BITS;
+
+/// Total bucket count: values `0..SUB` µs exact, then one group of
+/// [`SUB`] sub-buckets per octave up to [`MAX_EXP`].
+pub const BUCKETS: usize = 1024;
+
+/// Largest represented exponent: values at or above `2^(MAX_EXP + 1)`
+/// µs (≈ 19 hours — far beyond any DNS RTT) clamp into the top bucket.
+pub const MAX_EXP: u64 = (BUCKETS as u64 / SUB) + SUB_BITS as u64 - 2;
+
+/// Bucket index for a value in microseconds.
+fn index_for(us: u64) -> usize {
+    if us < SUB {
+        return us as usize;
+    }
+    let e = 63 - u64::from(us.leading_zeros());
+    if e > MAX_EXP {
+        return BUCKETS - 1;
+    }
+    let sub = (us >> (e - u64::from(SUB_BITS))) - SUB;
+    ((e - u64::from(SUB_BITS) + 1) * SUB + sub) as usize
+}
+
+/// Inclusive `(lower, upper)` bounds in microseconds of bucket `idx`.
+fn bounds(idx: usize) -> (u64, u64) {
+    if idx < SUB as usize {
+        return (idx as u64, idx as u64);
+    }
+    let group = idx as u64 / SUB;
+    let e = group + u64::from(SUB_BITS) - 1;
+    let sub = idx as u64 % SUB;
+    let width = 1u64 << (e - u64::from(SUB_BITS));
+    let lower = (SUB + sub) * width;
+    (lower, lower + width - 1)
+}
+
+/// A lock-free streaming histogram of round-trip times in microseconds.
+///
+/// `record` is wait-free (relaxed atomic adds); `snapshot` can run
+/// concurrently from any thread and yields a self-contained, mergeable
+/// [`DigestSnapshot`].
+#[derive(Debug)]
+pub struct RttDigest {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    min_us: AtomicU64,
+    max_us: AtomicU64,
+    ambiguous: AtomicU64,
+}
+
+impl RttDigest {
+    /// An empty digest.
+    pub fn new() -> RttDigest {
+        RttDigest {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            min_us: AtomicU64::new(u64::MAX),
+            max_us: AtomicU64::new(0),
+            ambiguous: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one RTT sample (microseconds).
+    pub fn record(&self, us: u64) {
+        self.buckets[index_for(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.min_us.fetch_min(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Records a sample whose attribution is uncertain — a reply matched
+    /// after a retransmit, where the RTT measured from the last send may
+    /// actually belong to an earlier attempt. The sample still lands in
+    /// the histogram (it is a real wire observation) but the ambiguous
+    /// counter lets consumers — the timing-channel calibrator above all —
+    /// judge how much of the distribution to trust.
+    pub fn record_ambiguous(&self, us: u64) {
+        self.record(us);
+        self.ambiguous.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the digest.
+    pub fn snapshot(&self) -> DigestSnapshot {
+        DigestSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            min_us: self.min_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+            ambiguous: self.ambiguous.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for RttDigest {
+    fn default() -> Self {
+        RttDigest::new()
+    }
+}
+
+/// A frozen copy of an [`RttDigest`]: percentile math, merging and
+/// exporter plumbing all operate on snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_us: u64,
+    min_us: u64,
+    max_us: u64,
+    ambiguous: u64,
+}
+
+impl DigestSnapshot {
+    /// An empty snapshot (the identity for [`merged`](Self::merged)).
+    pub fn empty() -> DigestSnapshot {
+        DigestSnapshot {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+            ambiguous: 0,
+        }
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples flagged retransmit-ambiguous (see
+    /// [`RttDigest::record_ambiguous`]).
+    pub fn ambiguous(&self) -> u64 {
+        self.ambiguous
+    }
+
+    /// Sum of all samples, microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Smallest sample (exact, not quantized), if any.
+    pub fn min_us(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min_us)
+    }
+
+    /// Largest sample (exact, not quantized), if any.
+    pub fn max_us(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max_us)
+    }
+
+    /// Mean RTT in microseconds, if any samples were recorded.
+    pub fn mean_us(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum_us as f64 / self.count as f64)
+    }
+
+    /// The `p`-th percentile (`p` in `[0, 100]`) as the upper edge of
+    /// the bucket holding the rank-`⌈p·n/100⌉` sample — i.e. the same
+    /// sample `cde_analysis::Cdf::percentile` would return, rounded up
+    /// to its bucket boundary (≤3.1% relative error). `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p * self.count as f64) / 100.0).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut cum = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return Some(bounds(idx).1);
+            }
+        }
+        Some(bounds(BUCKETS - 1).1)
+    }
+
+    /// Bucket-wise sum of two snapshots — exactly the digest of the two
+    /// concatenated sample streams.
+    pub fn merged(&self, other: &DigestSnapshot) -> DigestSnapshot {
+        DigestSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&other.buckets)
+                .map(|(a, b)| a + b)
+                .collect(),
+            count: self.count + other.count,
+            sum_us: self.sum_us + other.sum_us,
+            min_us: self.min_us.min(other.min_us),
+            max_us: self.max_us.max(other.max_us),
+            ambiguous: self.ambiguous + other.ambiguous,
+        }
+    }
+
+    /// Non-empty buckets as `(lower_us, upper_us, count)` triples, in
+    /// ascending order.
+    pub fn occupied(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(idx, &n)| {
+                let (lo, hi) = bounds(idx);
+                (lo, hi, n)
+            })
+    }
+
+    /// Cumulative `(le_seconds, count)` pairs on a coarse power-of-two
+    /// grid (`2^5 .. 2^25` µs, i.e. 32 µs .. ~33 s) for Prometheus
+    /// histogram export; samples beyond the grid land in the implicit
+    /// `+Inf` bucket.
+    pub fn cumulative_seconds(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::with_capacity(21);
+        for k in SUB_BITS as u64..=25 {
+            let edge = 1u64 << k;
+            let mut cum = 0u64;
+            for (idx, &n) in self.buckets.iter().enumerate() {
+                if bounds(idx).1 < edge {
+                    cum += n;
+                }
+            }
+            out.push((edge as f64 / 1e6, cum));
+        }
+        out
+    }
+}
+
+/// Per-target digests, pre-built before the hot path starts so that
+/// recording at match time is a single read-only map lookup plus
+/// relaxed atomic adds — no locking, no insertion, no allocation.
+#[derive(Debug)]
+pub struct RttDigestSet {
+    per_ingress: HashMap<Ipv4Addr, Arc<RttDigest>>,
+}
+
+impl RttDigestSet {
+    /// Builds one digest per target ingress, up front.
+    pub fn for_targets(targets: impl IntoIterator<Item = Ipv4Addr>) -> RttDigestSet {
+        RttDigestSet {
+            per_ingress: targets
+                .into_iter()
+                .map(|ip| (ip, Arc::new(RttDigest::new())))
+                .collect(),
+        }
+    }
+
+    /// Records one RTT sample against `ingress`. Samples for unknown
+    /// ingresses (none, in practice: the set is built from the same
+    /// target map the engine routes by) are dropped.
+    pub fn record(&self, ingress: Ipv4Addr, us: u64, ambiguous: bool) {
+        if let Some(d) = self.per_ingress.get(&ingress) {
+            if ambiguous {
+                d.record_ambiguous(us);
+            } else {
+                d.record(us);
+            }
+        }
+    }
+
+    /// The digest for one ingress, if tracked.
+    pub fn digest(&self, ingress: Ipv4Addr) -> Option<&Arc<RttDigest>> {
+        self.per_ingress.get(&ingress)
+    }
+
+    /// All tracked ingresses (unordered).
+    pub fn ingresses(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        self.per_ingress.keys().copied()
+    }
+
+    /// Snapshots every per-ingress digest.
+    pub fn snapshots(&self) -> Vec<(Ipv4Addr, DigestSnapshot)> {
+        let mut out: Vec<_> = self
+            .per_ingress
+            .iter()
+            .map(|(ip, d)| (*ip, d.snapshot()))
+            .collect();
+        out.sort_by_key(|(ip, _)| *ip);
+        out
+    }
+
+    /// The platform-wide view: every per-ingress snapshot merged.
+    pub fn merged(&self) -> DigestSnapshot {
+        self.snapshots()
+            .iter()
+            .fold(DigestSnapshot::empty(), |acc, (_, s)| acc.merged(s))
+    }
+}
+
+impl Collector for RttDigestSet {
+    fn collect(&self, out: &mut Vec<Metric>) {
+        for (ip, snap) in self.snapshots() {
+            out.push(
+                Metric::histogram(
+                    "cde_insight_rtt_seconds",
+                    "Per-target probe round-trip time from the reactor's streaming digest",
+                    snap.cumulative_seconds(),
+                    snap.sum_us() as f64 / 1e6,
+                    snap.count(),
+                )
+                .with_label("ingress", ip.to_string()),
+            );
+            out.push(
+                Metric::counter(
+                    "cde_insight_rtt_ambiguous_total",
+                    "RTT samples matched after a retransmit (attribution uncertain)",
+                    snap.ambiguous(),
+                )
+                .with_label("ingress", ip.to_string()),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..SUB {
+            assert_eq!(index_for(v), v as usize);
+            assert_eq!(bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn every_value_lands_inside_its_bucket_bounds() {
+        let probes = (0..60)
+            .flat_map(|e: u32| {
+                let base = 1u64 << e;
+                [base.saturating_sub(1), base, base + 1, base + base / 3]
+            })
+            .chain([0, 7, 100, 12_345, 1_000_000, u64::MAX]);
+        for v in probes {
+            let idx = index_for(v);
+            assert!(idx < BUCKETS, "{v} -> {idx}");
+            let (lo, hi) = bounds(idx);
+            if index_for(v) == BUCKETS - 1 && v > hi {
+                continue; // clamped into the top bucket
+            }
+            assert!(lo <= v && v <= hi, "{v} not in [{lo}, {hi}] (idx {idx})");
+            // Relative quantization error is bounded by 2^-SUB_BITS.
+            assert!(hi - lo <= lo.max(1) / SUB + 1, "bucket too wide at {v}");
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_axis() {
+        for idx in 0..BUCKETS - 1 {
+            let (_, hi) = bounds(idx);
+            let (lo_next, _) = bounds(idx + 1);
+            assert_eq!(hi + 1, lo_next, "gap or overlap after bucket {idx}");
+        }
+    }
+
+    #[test]
+    fn percentiles_hit_bucket_upper_edges() {
+        let d = RttDigest::new();
+        for us in 1..=1000u64 {
+            d.record(us);
+        }
+        let s = d.snapshot();
+        assert_eq!(s.count(), 1000);
+        // p50 sample is 500; its bucket [496, 511] upper edge is 511.
+        let p50 = s.percentile(50.0).unwrap();
+        assert_eq!(p50, bounds(index_for(500)).1);
+        assert!((500..=516).contains(&p50), "p50 {p50}");
+        assert_eq!(s.percentile(0.0), Some(bounds(index_for(1)).1));
+        assert_eq!(s.percentile(100.0), Some(bounds(index_for(1000)).1));
+        assert_eq!(s.min_us(), Some(1));
+        assert_eq!(s.max_us(), Some(1000));
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let a = RttDigest::new();
+        let b = RttDigest::new();
+        let both = RttDigest::new();
+        for v in [3u64, 40, 41, 999, 70_000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [5u64, 40, 2_000_000] {
+            b.record_ambiguous(v);
+            both.record_ambiguous(v);
+        }
+        assert_eq!(a.snapshot().merged(&b.snapshot()), both.snapshot());
+        assert_eq!(
+            DigestSnapshot::empty().merged(&a.snapshot()),
+            a.snapshot(),
+            "empty is the merge identity"
+        );
+    }
+
+    #[test]
+    fn digest_set_routes_by_ingress() {
+        let a = Ipv4Addr::new(192, 0, 2, 1);
+        let b = Ipv4Addr::new(192, 0, 2, 2);
+        let set = RttDigestSet::for_targets([a, b]);
+        set.record(a, 100, false);
+        set.record(a, 200, true);
+        set.record(b, 50_000, false);
+        set.record(Ipv4Addr::new(10, 0, 0, 1), 1, false); // untracked: dropped
+        assert_eq!(set.digest(a).unwrap().count(), 2);
+        assert_eq!(set.digest(a).unwrap().snapshot().ambiguous(), 1);
+        assert_eq!(set.digest(b).unwrap().count(), 1);
+        let merged = set.merged();
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.sum_us(), 50_300);
+    }
+
+    #[test]
+    fn cumulative_grid_is_monotonic_and_bounded() {
+        let d = RttDigest::new();
+        for v in [1u64, 31, 32, 100, 5_000, 1 << 26] {
+            d.record(v);
+        }
+        let cum = d.snapshot().cumulative_seconds();
+        assert_eq!(cum.len(), 21);
+        for w in cum.windows(2) {
+            assert!(w[0].0 < w[1].0 && w[0].1 <= w[1].1);
+        }
+        // The 2^26 µs sample is beyond the grid: only +Inf would hold it.
+        assert_eq!(cum.last().unwrap().1, 5);
+    }
+}

@@ -1,0 +1,40 @@
+//! **cde-insight** — latency intelligence for the measurement stack.
+//!
+//! The paper's indirect-egress channel (§IV-B3) turns response *latency*
+//! into a cache counter: hits answer in internal-hop time, misses pay an
+//! upstream round trip, and the slow mode's population is the number of
+//! caches. This crate is the latency layer that makes that channel — and
+//! the engine's own performance — inspectable:
+//!
+//! * [`digest`] — [`RttDigest`]: lock-free, log-bucketed (HDR-style)
+//!   streaming histograms with ≤3.1% relative error, mergeable across
+//!   threads and runs; [`RttDigestSet`] keys them by target ingress and
+//!   exports Prometheus histogram series through `cde-telemetry`'s
+//!   `MetricsRegistry`.
+//! * [`phase`] — [`PhaseProfiler`]: sampled wall-clock timers for the
+//!   reactor's hot-path phases (encode / send-batch / recv-batch /
+//!   decode / correlate), cheap enough to leave on without disturbing
+//!   the zero-alloc invariant or the bench numbers.
+//! * [`bimodal`] — Otsu's method in log space: splits an RTT
+//!   distribution into cached/uncached modes with a separation score.
+//! * [`scorecard`] — per-ingress / per-campaign health rows (loss,
+//!   retry rate, p50/p99, shed counts) with a triage grade.
+//! * [`trace`] — the offline analyzer behind the `cde-analyze` binary:
+//!   reconstructs campaigns from telemetry JSONL and emits waterfalls,
+//!   percentile tables, scorecards and the offline cached/uncached
+//!   split (text + JSON).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bimodal;
+pub mod digest;
+pub mod phase;
+pub mod scorecard;
+pub mod trace;
+
+pub use bimodal::{split_digest, split_modes, ModeSplit, ModeStats};
+pub use digest::{DigestSnapshot, RttDigest, RttDigestSet, BUCKETS, SUB_BITS};
+pub use phase::{Phase, PhaseProfiler, PhaseStats, PHASES};
+pub use scorecard::Scorecard;
+pub use trace::{analyze, CampaignTrace, TraceAnalysis};

@@ -1,0 +1,233 @@
+//! Sampled phase timers for the reactor's hot path.
+//!
+//! Timing every `Instant::now()` pair around every phase of every loop
+//! iteration would cost more than the phases themselves; instead the
+//! profiler stamps only every `sample_every`-th call per phase. The
+//! unsampled path is one relaxed `fetch_add` and a modulo — cheap
+//! enough to leave on in production — and because sampling is
+//! systematic (not random) the per-phase mean converges on the true
+//! mean for the steady-state loops the reactor runs.
+
+use cde_telemetry::{Collector, Metric};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// The five instrumented phases of one reactor loop iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Encoding (or patching) probe datagrams into pooled buffers.
+    Encode,
+    /// The `sendmmsg` batch syscall.
+    SendBatch,
+    /// The `recvmmsg` batch syscall.
+    RecvBatch,
+    /// Zero-copy wire parsing of received datagrams.
+    Decode,
+    /// Correlation-table lookup and anti-spoofing validation.
+    Correlate,
+}
+
+/// All phases, in loop order.
+pub const PHASES: [Phase; 5] = [
+    Phase::Encode,
+    Phase::SendBatch,
+    Phase::RecvBatch,
+    Phase::Decode,
+    Phase::Correlate,
+];
+
+impl Phase {
+    /// Stable label used in metrics and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Encode => "encode",
+            Phase::SendBatch => "send_batch",
+            Phase::RecvBatch => "recv_batch",
+            Phase::Decode => "decode",
+            Phase::Correlate => "correlate",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct PhaseState {
+    calls: AtomicU64,
+    sampled: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+/// Aggregate timings for one phase, from [`PhaseProfiler::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseStats {
+    /// Which phase.
+    pub phase: Phase,
+    /// Total calls, sampled or not.
+    pub calls: u64,
+    /// Calls that were actually timed.
+    pub sampled: u64,
+    /// Summed duration of the sampled calls, nanoseconds.
+    pub sum_ns: u64,
+    /// Longest sampled call, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl PhaseStats {
+    /// Mean duration of the sampled calls, if any.
+    pub fn mean(&self) -> Option<Duration> {
+        (self.sampled > 0).then(|| Duration::from_nanos(self.sum_ns / self.sampled))
+    }
+}
+
+/// Sampled wall-clock timers for the reactor's hot-path phases.
+#[derive(Debug)]
+pub struct PhaseProfiler {
+    sample_every: u64,
+    states: [PhaseState; 5],
+}
+
+impl PhaseProfiler {
+    /// A profiler timing one in `sample_every` calls per phase
+    /// (`sample_every` is clamped to at least 1 = time everything).
+    pub fn new(sample_every: u32) -> PhaseProfiler {
+        PhaseProfiler {
+            sample_every: u64::from(sample_every.max(1)),
+            states: Default::default(),
+        }
+    }
+
+    /// How many calls share one timed sample.
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every
+    }
+
+    /// Marks a phase entry; returns a start stamp only on sampled calls.
+    /// Pass the result to [`end`](Self::end) — `None` round-trips for
+    /// free.
+    #[inline]
+    #[allow(clippy::manual_is_multiple_of)] // u64::is_multiple_of needs 1.87, MSRV is 1.81
+    pub fn begin(&self, phase: Phase) -> Option<Instant> {
+        let n = self.states[phase as usize]
+            .calls
+            .fetch_add(1, Ordering::Relaxed);
+        (n % self.sample_every == 0).then(Instant::now)
+    }
+
+    /// Closes a phase opened by [`begin`](Self::begin).
+    #[inline]
+    pub fn end(&self, phase: Phase, started: Option<Instant>) {
+        if let Some(t0) = started {
+            self.record(phase, t0.elapsed());
+        }
+    }
+
+    /// Records one timed observation directly (the sampled path of
+    /// [`end`](Self::end); public so tests and goldens can inject
+    /// deterministic durations).
+    pub fn record(&self, phase: Phase, took: Duration) {
+        let s = &self.states[phase as usize];
+        let ns = took.as_nanos().min(u64::MAX as u128) as u64;
+        s.sampled.fetch_add(1, Ordering::Relaxed);
+        s.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        s.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Current per-phase aggregates, in loop order.
+    pub fn snapshot(&self) -> Vec<PhaseStats> {
+        PHASES
+            .iter()
+            .map(|&phase| {
+                let s = &self.states[phase as usize];
+                PhaseStats {
+                    phase,
+                    calls: s.calls.load(Ordering::Relaxed),
+                    sampled: s.sampled.load(Ordering::Relaxed),
+                    sum_ns: s.sum_ns.load(Ordering::Relaxed),
+                    max_ns: s.max_ns.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
+    }
+}
+
+impl Collector for PhaseProfiler {
+    fn collect(&self, out: &mut Vec<Metric>) {
+        for stats in self.snapshot() {
+            let label = stats.phase.as_str();
+            out.push(
+                Metric::counter(
+                    "cde_insight_phase_calls_total",
+                    "Hot-path phase entries (sampled or not)",
+                    stats.calls,
+                )
+                .with_label("phase", label),
+            );
+            out.push(
+                Metric::counter(
+                    "cde_insight_phase_sampled_total",
+                    "Hot-path phase entries that were wall-clock timed",
+                    stats.sampled,
+                )
+                .with_label("phase", label),
+            );
+            out.push(
+                Metric::counter(
+                    "cde_insight_phase_us_total",
+                    "Summed duration of the timed phase entries, microseconds",
+                    stats.sum_ns / 1_000,
+                )
+                .with_label("phase", label),
+            );
+            out.push(
+                Metric::gauge(
+                    "cde_insight_phase_max_seconds",
+                    "Longest timed entry seen for this phase",
+                    stats.max_ns as f64 / 1e9,
+                )
+                .with_label("phase", label),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_one_in_n() {
+        let p = PhaseProfiler::new(4);
+        let mut sampled = 0;
+        for _ in 0..16 {
+            let t = p.begin(Phase::Decode);
+            sampled += usize::from(t.is_some());
+            p.end(Phase::Decode, t);
+        }
+        assert_eq!(sampled, 4);
+        let snap = p.snapshot();
+        let decode = snap.iter().find(|s| s.phase == Phase::Decode).unwrap();
+        assert_eq!((decode.calls, decode.sampled), (16, 4));
+        // Untouched phases stay zeroed.
+        let encode = snap.iter().find(|s| s.phase == Phase::Encode).unwrap();
+        assert_eq!((encode.calls, encode.sampled), (0, 0));
+    }
+
+    #[test]
+    fn record_accumulates_sum_and_max() {
+        let p = PhaseProfiler::new(1);
+        p.record(Phase::SendBatch, Duration::from_micros(10));
+        p.record(Phase::SendBatch, Duration::from_micros(30));
+        let snap = p.snapshot();
+        let sb = snap.iter().find(|s| s.phase == Phase::SendBatch).unwrap();
+        assert_eq!(sb.sum_ns, 40_000);
+        assert_eq!(sb.max_ns, 30_000);
+        assert_eq!(sb.mean(), Some(Duration::from_micros(20)));
+    }
+
+    #[test]
+    fn zero_sample_rate_clamps_to_one() {
+        let p = PhaseProfiler::new(0);
+        assert!(p.begin(Phase::Encode).is_some());
+        assert!(p.begin(Phase::Encode).is_some());
+    }
+}

@@ -1,0 +1,217 @@
+//! Per-ingress (and per-campaign) health scorecards.
+//!
+//! A scorecard condenses one probing surface's health into the few
+//! numbers an operator actually triages on — loss, retry rate, RTT
+//! p50/p99, shed counts — plus a coarse letter grade. Scorecards are
+//! plain data: the reactor path builds them from live digests and
+//! counters, the offline analyzer from a telemetry trace, and both
+//! render identically.
+
+use crate::digest::DigestSnapshot;
+use cde_telemetry::json;
+use std::fmt::Write as _;
+
+/// One row of operational health for a probing surface (an ingress, a
+/// campaign, or a whole run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scorecard {
+    /// What the row describes (ingress address or campaign name).
+    pub label: String,
+    /// Probe attempts sent on the wire.
+    pub sent: u64,
+    /// Probes that got a matched answer.
+    pub answered: u64,
+    /// Retransmissions among `sent`.
+    pub retries: u64,
+    /// Probes that exhausted every attempt.
+    pub timeouts: u64,
+    /// Well-formed replies rejected by correlation (stray/spoofed/dup).
+    pub replies_dropped: u64,
+    /// Telemetry events shed by the ring (observability loss, not
+    /// probe loss).
+    pub events_shed: u64,
+    /// RTT samples backing the percentiles.
+    pub rtt_samples: u64,
+    /// Samples flagged retransmit-ambiguous (included in percentiles,
+    /// excluded from timing-channel calibration).
+    pub ambiguous: u64,
+    /// Median RTT, microseconds (0 when no samples).
+    pub p50_us: u64,
+    /// 99th-percentile RTT, microseconds (0 when no samples).
+    pub p99_us: u64,
+}
+
+impl Scorecard {
+    /// Builds a scorecard whose RTT columns come from a digest snapshot.
+    pub fn from_digest(label: impl Into<String>, snap: &DigestSnapshot) -> Scorecard {
+        Scorecard {
+            label: label.into(),
+            sent: 0,
+            answered: snap.count(),
+            retries: 0,
+            timeouts: 0,
+            replies_dropped: 0,
+            events_shed: 0,
+            rtt_samples: snap.count(),
+            ambiguous: snap.ambiguous(),
+            p50_us: snap.percentile(50.0).unwrap_or(0),
+            p99_us: snap.percentile(99.0).unwrap_or(0),
+        }
+    }
+
+    /// Fraction of probes that died without an answer.
+    pub fn loss_rate(&self) -> f64 {
+        let done = self.answered + self.timeouts;
+        if done == 0 {
+            0.0
+        } else {
+            self.timeouts as f64 / done as f64
+        }
+    }
+
+    /// Retransmissions per attempt sent.
+    pub fn retry_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.retries as f64 / self.sent as f64
+        }
+    }
+
+    /// Coarse triage grade: `A` clean, `B` noisy, `C` degraded, `D`
+    /// unreliable (thresholds on loss and retry rate).
+    pub fn grade(&self) -> char {
+        let (loss, retry) = (self.loss_rate(), self.retry_rate());
+        if loss < 0.01 && retry < 0.05 {
+            'A'
+        } else if loss < 0.05 && retry < 0.20 {
+            'B'
+        } else if loss < 0.20 {
+            'C'
+        } else {
+            'D'
+        }
+    }
+
+    /// The header line matching [`render_row`](Self::render_row).
+    pub fn header() -> &'static str {
+        "  grade  surface               sent  answered  loss%  retry%    p50_us    p99_us  shed"
+    }
+
+    /// One aligned text row.
+    pub fn render_row(&self) -> String {
+        format!(
+            "  {}      {:<20} {:>5} {:>9}  {:>5.1}  {:>6.1} {:>9} {:>9} {:>5}",
+            self.grade(),
+            self.label,
+            self.sent,
+            self.answered,
+            self.loss_rate() * 100.0,
+            self.retry_rate() * 100.0,
+            self.p50_us,
+            self.p99_us,
+            self.replies_dropped + self.events_shed,
+        )
+    }
+
+    /// Appends this scorecard as one flat JSON object (no newline).
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str("{\"label\": ");
+        json::write_str(out, &self.label);
+        let _ = write!(
+            out,
+            ", \"grade\": \"{}\", \"sent\": {}, \"answered\": {}, \"retries\": {}, \
+             \"timeouts\": {}, \"replies_dropped\": {}, \"events_shed\": {}, \
+             \"rtt_samples\": {}, \"ambiguous\": {}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"loss_rate\": ",
+            self.grade(),
+            self.sent,
+            self.answered,
+            self.retries,
+            self.timeouts,
+            self.replies_dropped,
+            self.events_shed,
+            self.rtt_samples,
+            self.ambiguous,
+            self.p50_us,
+            self.p99_us,
+        );
+        json::write_f64(out, self.loss_rate());
+        out.push_str(", \"retry_rate\": ");
+        json::write_f64(out, self.retry_rate());
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::RttDigest;
+
+    fn card() -> Scorecard {
+        Scorecard {
+            label: "192.0.2.1".into(),
+            sent: 110,
+            answered: 98,
+            retries: 10,
+            timeouts: 2,
+            replies_dropped: 1,
+            events_shed: 0,
+            rtt_samples: 98,
+            ambiguous: 3,
+            p50_us: 420,
+            p99_us: 39_000,
+        }
+    }
+
+    #[test]
+    fn rates_and_grade() {
+        let c = card();
+        assert!((c.loss_rate() - 0.02).abs() < 1e-9);
+        assert!((c.retry_rate() - 10.0 / 110.0).abs() < 1e-9);
+        assert_eq!(c.grade(), 'B');
+        let clean = Scorecard {
+            retries: 0,
+            timeouts: 0,
+            ..card()
+        };
+        assert_eq!(clean.grade(), 'A');
+    }
+
+    #[test]
+    fn empty_surface_divides_by_nothing() {
+        let c = Scorecard {
+            sent: 0,
+            answered: 0,
+            retries: 0,
+            timeouts: 0,
+            rtt_samples: 0,
+            ..card()
+        };
+        assert_eq!(c.loss_rate(), 0.0);
+        assert_eq!(c.retry_rate(), 0.0);
+    }
+
+    #[test]
+    fn from_digest_fills_percentiles() {
+        let d = RttDigest::new();
+        for us in [100u64, 200, 300, 400, 50_000] {
+            d.record(us);
+        }
+        d.record_ambiguous(250);
+        let c = Scorecard::from_digest("all", &d.snapshot());
+        assert_eq!(c.rtt_samples, 6);
+        assert_eq!(c.ambiguous, 1);
+        assert!(c.p50_us >= 250 && c.p99_us >= 50_000);
+    }
+
+    #[test]
+    fn json_row_is_flat() {
+        let mut out = String::new();
+        card().write_json(&mut out);
+        assert!(out.starts_with("{\"label\": \"192.0.2.1\""));
+        assert!(out.contains("\"grade\": \"B\""));
+        assert!(out.ends_with('}'));
+        assert!(!out.contains('\n'));
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests binding the streaming digest to the exact CDF.
+//!
+//! The digest trades ≤`2^-SUB_BITS` relative error for lock-free
+//! streaming; these properties pin that trade exactly: on any random
+//! sample set, every digest percentile lands in the *same bucket* as
+//! the exact `cde_analysis::Cdf` percentile (both use nearest-rank
+//! `⌈p·n/100⌉`, so the digest's answer is the exact answer rounded up
+//! to its bucket's edge), and merging digests is indistinguishable
+//! from digesting the concatenated stream.
+
+use cde_analysis::stats::Cdf;
+use cde_insight::digest::{DigestSnapshot, RttDigest, SUB_BITS};
+use proptest::prelude::*;
+
+/// RTT-shaped samples: µs values spanning sub-bucket-exact territory
+/// (< 32 µs) through multi-second tails.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            0u64..32,               // exact buckets
+            32u64..2_000,           // LAN / loopback RTTs
+            2_000u64..200_000,      // WAN RTTs
+            200_000u64..30_000_000, // pathological tails
+        ],
+        1..300,
+    )
+}
+
+fn digest_of(samples: &[u64]) -> DigestSnapshot {
+    let d = RttDigest::new();
+    for &s in samples {
+        d.record(s);
+    }
+    d.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Digest and exact CDF agree within one bucket's relative error
+    /// at every percentile — in fact the digest returns the upper edge
+    /// of the exact sample's bucket.
+    #[test]
+    fn digest_percentiles_match_cdf_within_one_bucket(
+        samples in samples(),
+        p_mille in 0u64..=1000,
+    ) {
+        let cdf = Cdf::from_samples(samples.iter().copied());
+        let snap = digest_of(&samples);
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+        for p in [p_mille as f64 / 10.0, 0.0, 1.0, 50.0, 99.0, 100.0] {
+            let exact = cdf.percentile(p);
+            let approx = snap.percentile(p).expect("non-empty");
+            // Same bucket ⇒ approx ≥ exact and within the bucket's
+            // width: relative error ≤ 2^-SUB_BITS (+1 µs integer slack).
+            prop_assert!(approx >= exact, "p{}: {} < exact {}", p, approx, exact);
+            let bound = exact / (1 << SUB_BITS) + 1;
+            prop_assert!(
+                approx - exact <= bound,
+                "p{}: digest {} vs exact {} (allowed +{})",
+                p, approx, exact, bound
+            );
+        }
+    }
+
+    /// Merging two digests equals digesting the concatenated streams,
+    /// bucket for bucket — the property that makes per-target digests
+    /// roll up into campaign and platform views losslessly.
+    #[test]
+    fn merge_is_concatenation(a in samples(), b in samples()) {
+        let concat: Vec<u64> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(digest_of(&a).merged(&digest_of(&b)), digest_of(&concat));
+    }
+
+    /// Min/max/sum/mean survive digestion exactly (they are tracked
+    /// beside the buckets, not reconstructed from them).
+    #[test]
+    fn moments_are_exact(samples in samples()) {
+        let snap = digest_of(&samples);
+        prop_assert_eq!(snap.min_us(), samples.iter().copied().min());
+        prop_assert_eq!(snap.max_us(), samples.iter().copied().max());
+        prop_assert_eq!(snap.sum_us(), samples.iter().sum::<u64>());
+    }
+}

@@ -99,8 +99,14 @@ pub enum EventKind {
         token: u64,
         /// Attempt that was answered.
         attempt: u32,
-        /// Round-trip time of the answered attempt, microseconds.
+        /// Round-trip time measured from the probe's *last* send,
+        /// microseconds.
         rtt_us: u64,
+        /// The probe had been retransmitted before this reply arrived,
+        /// so `rtt_us` may belong to an earlier attempt than the one
+        /// the reply answered — consumers doing timing analysis (the
+        /// §IV-B3 latency side channel) should exclude such samples.
+        retransmit_ambiguous: bool,
     },
     /// The probe exhausted every attempt without an answer.
     ProbeTimedOut {
@@ -207,10 +213,12 @@ impl Event {
                 token,
                 attempt,
                 rtt_us,
+                retransmit_ambiguous,
             } => {
                 let _ = write!(
                     out,
-                    ", \"token\": {token}, \"attempt\": {attempt}, \"rtt_us\": {rtt_us}"
+                    ", \"token\": {token}, \"attempt\": {attempt}, \"rtt_us\": {rtt_us}, \
+                     \"retransmit_ambiguous\": {retransmit_ambiguous}"
                 );
             }
             EventKind::ProbeTimedOut { token, attempts } => {
@@ -241,6 +249,7 @@ mod tests {
                 token: 42,
                 attempt: 1,
                 rtt_us: 730,
+                retransmit_ambiguous: true,
             },
         };
         let mut line = String::new();
@@ -248,7 +257,8 @@ mod tests {
         assert_eq!(
             line,
             "{\"at_us\": 1500, \"campaign\": 3, \"kind\": \"probe_matched\", \
-             \"token\": 42, \"attempt\": 1, \"rtt_us\": 730}\n"
+             \"token\": 42, \"attempt\": 1, \"rtt_us\": 730, \
+             \"retransmit_ambiguous\": true}\n"
         );
     }
 
@@ -284,6 +294,7 @@ mod tests {
                 token: 1,
                 attempt: 0,
                 rtt_us: 5,
+                retransmit_ambiguous: false,
             },
             EventKind::ProbeTimedOut {
                 token: 1,

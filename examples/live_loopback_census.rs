@@ -9,9 +9,11 @@
 //! injects 20% request loss to show the retry machinery absorbing it.
 //!
 //! The whole run is observable: a process-wide telemetry hub streams the
-//! campaign span and per-probe lifecycle events, and each reactor
-//! registers its metrics (counters, RTT/tick histograms, health gauges)
-//! into a `MetricsRegistry`.
+//! campaign span and per-probe lifecycle events, each reactor registers
+//! its metrics (counters, RTT/tick histograms, health gauges) into a
+//! `MetricsRegistry`, and insight capture keeps per-target streaming RTT
+//! digests the summary lines quote. Pipe the JSONL through `cde-analyze`
+//! for the offline view of the same run.
 //!
 //! Run with: `cargo run --release --example live_loopback_census`
 //!
@@ -26,7 +28,8 @@
 
 use counting_dark::cde::{enumerate_adaptive, CdeInfra, SurveyOptions};
 use counting_dark::engine::{
-    EngineAccess, LiveTestbed, ReactorConfig, ResolverConfig, RetryPolicy, MAX_BATCH,
+    EngineAccess, InsightOptions, LiveTestbed, ReactorConfig, ResolverConfig, RetryPolicy,
+    MAX_BATCH,
 };
 use counting_dark::faults::{DelayFault, DuplicateFault, FaultPlan};
 use counting_dark::netsim::{seed_from_env, SimTime};
@@ -73,6 +76,7 @@ fn census(
         .reactor_transport(ReactorConfig {
             registry: Some(Arc::clone(&registry)),
             faults,
+            insight: Some(InsightOptions::default()),
             ..ReactorConfig::with_policy(policy, seed)
         })
         .expect("reactor transport");
@@ -138,6 +142,16 @@ fn census(
             "  loop tick latency : p50 {:?}, p99 {:?} over {} iterations",
             p50, p99, snap.loop_count
         );
+    }
+    if let Some(insight) = transport.reactor().insight() {
+        let d = insight.digests().merged();
+        if let (Some(p50), Some(p99)) = (d.percentile(50.0), d.percentile(99.0)) {
+            println!(
+                "  rtt digest        : p50 {p50} µs, p99 {p99} µs over {} samples ({} ambiguous)",
+                d.count(),
+                d.ambiguous()
+            );
+        }
     }
     println!(
         "  authority queries : {} served over real UDP\n",

@@ -20,7 +20,10 @@
 //!   pull-model metrics registry with Prometheus text export,
 //! * [`faults`] — deterministic, seedable network fault injection
 //!   (bursty loss, reordering, duplication, truncation, rate limiting)
-//!   for chaos-testing the engine.
+//!   for chaos-testing the engine,
+//! * [`insight`] — latency analysis: streaming RTT digests, hot-path
+//!   phase profiling, bimodality splitting and the offline telemetry
+//!   trace analyzer behind the `cde-analyze` binary.
 //!
 //! # Quickstart
 //!
@@ -60,6 +63,7 @@ pub use cde_datasets as datasets;
 pub use cde_dns as dns;
 pub use cde_engine as engine;
 pub use cde_faults as faults;
+pub use cde_insight as insight;
 pub use cde_netsim as netsim;
 pub use cde_platform as platform;
 pub use cde_probers as probers;
