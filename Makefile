@@ -1,7 +1,7 @@
 # Convenience targets; everything builds offline from vendored deps
 # (third_party/, see README "Offline builds").
 
-.PHONY: build test chaos bench-smoke bench-json bench-check analyze-smoke lint
+.PHONY: build test chaos bench-smoke bench-json bench-check analyze-smoke serve-smoke lint
 
 build:
 	cargo build --release --locked
@@ -40,6 +40,12 @@ analyze-smoke:
 		target/census_telemetry.jsonl --check
 	cargo run --release --locked -p cde-insight --bin cde-analyze -- \
 		target/census_telemetry.jsonl --json --check > target/census_analysis.json
+
+# The campaign daemon end to end: start cde-serve, drive it with curl
+# (tenants, submit, status, /metrics), kill -9 it mid-campaign and
+# resume from the checkpoint. Override the seed with CDE_CHAOS_SEED=<n>.
+serve-smoke:
+	scripts/serve_smoke.sh
 
 # Regenerate the engine benchmark and gate on the committed baseline:
 # fails when the reactor-vs-blocking speedup drops more than 25% (or,

@@ -52,7 +52,13 @@ pub struct Session {
 /// assert_eq!(session.farm.len(), 16);
 /// assert_eq!(infra.count_honey_fetches(&net, &session.honey), 0);
 /// ```
-#[derive(Debug)]
+/// `Clone` yields an independent handle over the *same* installed
+/// infrastructure — useful when a second driver (e.g. a resumed
+/// campaign manager) needs to derive names against an apex that is
+/// already being served. Counters diverge after the clone; resuming
+/// drivers should [`CdeInfra::restore_session_counter`] from a
+/// checkpoint rather than trust a stale clone.
+#[derive(Debug, Clone)]
 pub struct CdeInfra {
     apex: Name,
     session_counter: u64,
@@ -117,6 +123,24 @@ impl CdeInfra {
     /// Address of the server hosting delegated measurement subzones.
     pub fn sub_server_addr(&self) -> Ipv4Addr {
         SUB_ADDR
+    }
+
+    /// The counter every session and nonce name derives from. Snapshot
+    /// it *before* calling [`CdeInfra::new_session`] and a later
+    /// [`CdeInfra::restore_session_counter`] +`new_session` pair will
+    /// regenerate that session's exact names (`name-<s>`, `x-<s>-<i>`,
+    /// `sub-<s>`) — the seam checkpoint/resume builds on.
+    pub fn session_counter(&self) -> u64 {
+        self.session_counter
+    }
+
+    /// Restores the session counter from a checkpoint. The next
+    /// [`CdeInfra::new_session`] re-derives the same names a session
+    /// created at this counter value produced. Callers resuming into a
+    /// live infrastructure must take care not to rewind below sessions
+    /// still being served, or names would collide.
+    pub fn restore_session_counter(&mut self, counter: u64) {
+        self.session_counter = counter;
     }
 
     /// Opens a fresh session with `farm_size` aliases and as many subzone
@@ -358,6 +382,26 @@ mod tests {
         let mut net = NameserverNet::new();
         let _ = CdeInfra::install(&mut net);
         let _ = CdeInfra::install(&mut net);
+    }
+
+    #[test]
+    fn restored_counter_regenerates_identical_session_names() {
+        let mut net = NameserverNet::new();
+        let mut infra = CdeInfra::install(&mut net);
+        let _burned = infra.new_session(&mut net, 4); // advance the counter
+        let before = infra.session_counter();
+        let original = infra.new_session(&mut net, 8);
+
+        // A fresh process resuming from a checkpoint taken before the
+        // session opened: restore the counter, re-open, same names.
+        let mut net2 = NameserverNet::new();
+        let mut infra2 = CdeInfra::install(&mut net2);
+        infra2.restore_session_counter(before);
+        let resumed = infra2.new_session(&mut net2, 8);
+        assert_eq!(original.honey, resumed.honey);
+        assert_eq!(original.farm, resumed.farm);
+        assert_eq!(original.sub_apex, resumed.sub_apex);
+        assert_eq!(infra.session_counter(), infra2.session_counter());
     }
 
     #[test]

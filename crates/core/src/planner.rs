@@ -50,6 +50,48 @@ impl ProbePlan {
         self.probes * self.redundancy
     }
 
+    /// Serializes the plan as one `plan key=value ...` line for
+    /// versioned checkpoint files; [`ProbePlan::from_snapshot_line`]
+    /// round-trips it exactly. `loss` is written with Rust's
+    /// shortest-round-trip float formatting, so the parsed value is
+    /// bit-identical to the original.
+    pub fn snapshot_line(&self) -> String {
+        format!(
+            "plan n_max={} loss={} probes={} seeds={} redundancy={}",
+            self.n_max, self.loss, self.probes, self.seeds, self.redundancy
+        )
+    }
+
+    /// Parses a line written by [`ProbePlan::snapshot_line`]. Returns
+    /// `None` on malformed input; unknown keys are ignored so newer
+    /// writers stay readable by older parsers.
+    pub fn from_snapshot_line(line: &str) -> Option<ProbePlan> {
+        let mut fields = line.split_whitespace();
+        if fields.next() != Some("plan") {
+            return None;
+        }
+        let (mut n_max, mut loss, mut probes, mut seeds, mut redundancy) =
+            (None, None, None, None, None);
+        for field in fields {
+            let (key, value) = field.split_once('=')?;
+            match key {
+                "n_max" => n_max = Some(value.parse().ok()?),
+                "loss" => loss = Some(value.parse().ok()?),
+                "probes" => probes = Some(value.parse().ok()?),
+                "seeds" => seeds = Some(value.parse().ok()?),
+                "redundancy" => redundancy = Some(value.parse().ok()?),
+                _ => {}
+            }
+        }
+        Some(ProbePlan {
+            n_max: n_max?,
+            loss: loss?,
+            probes: probes?,
+            seeds: seeds?,
+            redundancy: redundancy?,
+        })
+    }
+
     /// Like [`for_target`](ProbePlan::for_target), but for *bursty* loss
     /// with mean burst length `mean_burst` packets (Gilbert–Elliott).
     ///
@@ -195,6 +237,46 @@ mod tests {
     #[should_panic(expected = "mean_burst")]
     fn bursty_plan_rejects_sub_packet_bursts() {
         ProbePlan::for_bursty_target(8, 0.3, 0.5);
+    }
+
+    #[test]
+    fn snapshot_line_round_trips_exactly() {
+        for plan in [
+            ProbePlan::for_target(1, 0.0),
+            ProbePlan::for_target(64, 0.25),
+            ProbePlan::for_bursty_target(32, 0.3, 4.0),
+            ProbePlan {
+                n_max: u64::MAX,
+                loss: 0.123_456_789_012_345_6,
+                probes: 7,
+                seeds: 9,
+                redundancy: 255,
+            },
+        ] {
+            let line = plan.snapshot_line();
+            let parsed = ProbePlan::from_snapshot_line(&line)
+                .unwrap_or_else(|| panic!("unparseable: {line}"));
+            assert_eq!(parsed, plan, "line {line}");
+        }
+    }
+
+    #[test]
+    fn snapshot_line_rejects_malformed_input() {
+        assert!(ProbePlan::from_snapshot_line("").is_none());
+        assert!(ProbePlan::from_snapshot_line("plan").is_none());
+        assert!(ProbePlan::from_snapshot_line("nope n_max=1").is_none());
+        assert!(
+            ProbePlan::from_snapshot_line("plan n_max=1 loss=0 probes=2 seeds=3").is_none(),
+            "missing redundancy"
+        );
+        assert!(
+            ProbePlan::from_snapshot_line("plan n_max=x loss=0 probes=2 seeds=3 redundancy=1")
+                .is_none(),
+            "unparseable value"
+        );
+        // Unknown keys are tolerated for forward compatibility.
+        let line = "plan n_max=4 loss=0.5 probes=40 seeds=12 redundancy=9 future=1";
+        assert!(ProbePlan::from_snapshot_line(line).is_some());
     }
 
     #[test]

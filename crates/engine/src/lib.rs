@@ -87,7 +87,7 @@ pub use cde_sysio::MAX_BATCH;
 pub use clock::EngineClock;
 pub use faulty::FaultyTransport;
 pub use metrics::{EngineMetrics, MetricsSnapshot};
-pub use ratelimit::{RateConfig, RateLimiter};
+pub use ratelimit::{RateConfig, RateLimiter, TenantRate, WeightedRateLimiter};
 pub use reactor::{
     InsightOptions, ProbeCompletion, Reactor, ReactorConfig, ReactorHandle, ReactorInsight,
     ReactorTransport,

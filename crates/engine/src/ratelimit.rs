@@ -47,11 +47,6 @@ impl Bucket {
         }
     }
 
-    /// Takes one token, returning how long the caller must wait first.
-    fn debit(&mut self, cfg: &RateConfig) -> Duration {
-        self.debit_n(cfg, 1)
-    }
-
     /// Takes `n` tokens at once — one bucket update for a whole send
     /// batch instead of `n` lock round-trips.
     fn debit_n(&mut self, cfg: &RateConfig, n: u32) -> Duration {
@@ -67,6 +62,11 @@ impl Bucket {
             // until the bucket is whole again.
             Duration::from_secs_f64(-self.tokens / cfg.per_second)
         }
+    }
+
+    /// Returns `tokens` to the bucket, capped at its burst capacity.
+    fn refund(&mut self, cfg: &RateConfig, tokens: f64) {
+        self.tokens = (self.tokens + tokens).min(cfg.burst);
     }
 }
 
@@ -117,19 +117,7 @@ impl RateLimiter {
     /// Computes the wait needed to send one probe to `target` now and
     /// debits both buckets. Does not sleep.
     pub fn debit(&self, target: Ipv4Addr) -> Duration {
-        let global_wait = self.global.lock().debit(&self.global_cfg);
-        let target_wait = match &self.per_target_cfg {
-            Some(cfg) => self
-                .per_target
-                .lock()
-                .entry(target)
-                .or_insert_with(|| Bucket::full(cfg))
-                .debit(cfg),
-            None => Duration::ZERO,
-        };
-        let wait = global_wait.max(target_wait);
-        self.record_debit(1, wait);
-        wait
+        self.debit_n(target, 1)
     }
 
     /// Batch-aware token take: debits `n` probes to `target` in one
@@ -150,6 +138,20 @@ impl RateLimiter {
                 .debit_n(cfg, n),
             None => Duration::ZERO,
         };
+        if target_wait > global_wait {
+            // The per-target bucket defers this batch further into the
+            // future than the global budget does. Keeping the global
+            // tokens debited *now* would let one slow target hold the
+            // shared budget hostage — other targets stall for capacity
+            // this batch cannot use until `target_wait` passes. Global
+            // refill arriving during that extra wait pays for the batch
+            // instead, so hand the difference back (equivalent to
+            // charging the global bucket at actual send time).
+            let covered = (target_wait - global_wait).as_secs_f64() * self.global_cfg.per_second;
+            self.global
+                .lock()
+                .refund(&self.global_cfg, f64::from(n).min(covered));
+        }
         let wait = global_wait.max(target_wait);
         self.record_debit(n, wait);
         wait
@@ -206,9 +208,238 @@ impl Collector for RateLimiter {
     }
 }
 
+/// Per-tenant registration for a [`WeightedRateLimiter`]: a relative
+/// weight (share of the global budget) plus an optional absolute cap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantRate {
+    /// Relative weight; tenant share = global × weight / Σ weights.
+    /// Must be > 0 — every registered tenant always has a non-zero
+    /// refill rate, so no tenant can be starved.
+    pub weight: f64,
+    /// Optional absolute ceiling applied on top of the weighted share.
+    pub cap: Option<RateConfig>,
+}
+
+impl TenantRate {
+    /// A weight-only registration with no absolute cap.
+    pub fn weighted(weight: f64) -> TenantRate {
+        TenantRate { weight, cap: None }
+    }
+}
+
+#[derive(Debug)]
+struct TenantState {
+    rate: TenantRate,
+    share_cfg: RateConfig,
+    share: Bucket,
+    cap: Option<Bucket>,
+    debited: u64,
+    delay_us: u64,
+}
+
+/// A multi-tenant generalisation of [`RateLimiter`]: one global token
+/// bucket whose refill is *shared* between tenants in proportion to
+/// their weights, with optional per-tenant absolute caps.
+///
+/// Fairness model:
+/// * Each tenant owns a **share bucket** refilled at
+///   `global.per_second × weight / Σ weights` — re-derived whenever the
+///   tenant set or a weight changes. A tenant can never exceed its
+///   share over a sustained window, so a heavy tenant cannot crowd a
+///   light one out of the global budget.
+/// * Every share rate is strictly positive (weights must be > 0), so
+///   scheduling is starvation-free: any tenant that keeps asking is
+///   served at least at its share rate.
+/// * The **global bucket** still bounds the aggregate, and uses the
+///   same held-token refund as [`RateLimiter::debit_n`]: a tenant whose
+///   own share defers a probe far into the future hands the global
+///   tokens back rather than holding them hostage.
+///
+/// Thread-safe; campaign workers share one limiter behind an `Arc`.
+#[derive(Debug)]
+pub struct WeightedRateLimiter {
+    global_cfg: RateConfig,
+    global: Mutex<Bucket>,
+    tenants: Mutex<HashMap<String, TenantState>>,
+}
+
+impl WeightedRateLimiter {
+    /// A weighted limiter sharing `global` between registered tenants.
+    pub fn new(global: RateConfig) -> WeightedRateLimiter {
+        WeightedRateLimiter {
+            global: Mutex::new(Bucket::full(&global)),
+            global_cfg: global,
+            tenants: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The global budget all tenant shares are carved from.
+    pub fn global_config(&self) -> RateConfig {
+        self.global_cfg
+    }
+
+    /// Registers `tenant` (or updates its registration) and re-derives
+    /// every tenant's share of the global budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate.weight` is not strictly positive and finite —
+    /// zero-weight tenants would reintroduce starvation.
+    pub fn register(&self, tenant: &str, rate: TenantRate) {
+        assert!(
+            rate.weight > 0.0 && rate.weight.is_finite(),
+            "tenant weight must be positive and finite, got {}",
+            rate.weight
+        );
+        let mut tenants = self.tenants.lock();
+        match tenants.get_mut(tenant) {
+            Some(state) => {
+                state.rate = rate;
+                state.cap = rate.cap.map(|cfg| Bucket::full(&cfg));
+            }
+            None => {
+                // Placeholder share; fixed up below once the new weight
+                // sum is known.
+                let share_cfg = self.global_cfg;
+                tenants.insert(
+                    tenant.to_owned(),
+                    TenantState {
+                        rate,
+                        share_cfg,
+                        share: Bucket::full(&share_cfg),
+                        cap: rate.cap.map(|cfg| Bucket::full(&cfg)),
+                        debited: 0,
+                        delay_us: 0,
+                    },
+                );
+            }
+        }
+        Self::recompute_shares(&self.global_cfg, &mut tenants);
+    }
+
+    /// Re-derives each tenant's share config from the current weights.
+    fn recompute_shares(global: &RateConfig, tenants: &mut HashMap<String, TenantState>) {
+        let total: f64 = tenants.values().map(|s| s.rate.weight).sum();
+        if total <= 0.0 {
+            return;
+        }
+        for state in tenants.values_mut() {
+            let fraction = state.rate.weight / total;
+            state.share_cfg = RateConfig {
+                per_second: global.per_second * fraction,
+                // Keep at least one token of headroom so a tiny weight
+                // still admits whole probes.
+                burst: (global.burst * fraction).max(1.0),
+            };
+        }
+    }
+
+    /// Debits `n` probes from `tenant`'s share (auto-registering it
+    /// with weight 1 if unknown), its optional cap, and the global
+    /// bucket; returns the wait the caller must absorb before sending.
+    /// Does not sleep.
+    pub fn debit_n(&self, tenant: &str, n: u32) -> Duration {
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        let inner_wait = {
+            let mut tenants = self.tenants.lock();
+            if !tenants.contains_key(tenant) {
+                drop(tenants);
+                self.register(tenant, TenantRate::weighted(1.0));
+                tenants = self.tenants.lock();
+            }
+            let state = tenants.get_mut(tenant).expect("registered above");
+            let share_wait = state.share.debit_n(&state.share_cfg, n);
+            let cap_wait = match (&mut state.cap, state.rate.cap) {
+                (Some(bucket), Some(cfg)) => bucket.debit_n(&cfg, n),
+                _ => Duration::ZERO,
+            };
+            state.debited += u64::from(n);
+            share_wait.max(cap_wait)
+        };
+        let global_wait = self.global.lock().debit_n(&self.global_cfg, n);
+        if inner_wait > global_wait {
+            // Same hostage-avoidance refund as `RateLimiter::debit_n`:
+            // tokens this deferred batch cannot use yet go back to the
+            // shared pool for other tenants.
+            let covered = (inner_wait - global_wait).as_secs_f64() * self.global_cfg.per_second;
+            self.global
+                .lock()
+                .refund(&self.global_cfg, f64::from(n).min(covered));
+        }
+        let wait = inner_wait.max(global_wait);
+        if !wait.is_zero() {
+            let mut tenants = self.tenants.lock();
+            if let Some(state) = tenants.get_mut(tenant) {
+                state.delay_us += wait.as_micros().min(u128::from(u64::MAX)) as u64;
+            }
+        }
+        wait
+    }
+
+    /// Blocks until one probe from `tenant` is within budget; returns
+    /// the time actually waited.
+    pub fn acquire(&self, tenant: &str) -> Duration {
+        let wait = self.debit_n(tenant, 1);
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
+        }
+        wait
+    }
+
+    /// Tokens debited by `tenant` so far.
+    pub fn tenant_debited(&self, tenant: &str) -> u64 {
+        self.tenants.lock().get(tenant).map_or(0, |s| s.debited)
+    }
+
+    /// The share rate currently derived for `tenant`, if registered.
+    pub fn tenant_share(&self, tenant: &str) -> Option<RateConfig> {
+        self.tenants.lock().get(tenant).map(|s| s.share_cfg)
+    }
+}
+
+/// Per-tenant token counters and derived share rates, labelled by
+/// tenant so one scrape shows how the global budget is being split.
+impl Collector for WeightedRateLimiter {
+    fn collect(&self, out: &mut Vec<Metric>) {
+        let tenants = self.tenants.lock();
+        let mut names: Vec<&String> = tenants.keys().collect();
+        names.sort();
+        for name in names {
+            let state = &tenants[name];
+            out.push(
+                Metric::counter(
+                    "cde_ratelimit_tenant_tokens_total",
+                    "Probe tokens debited per tenant",
+                    state.debited,
+                )
+                .with_label("tenant", name.clone()),
+            );
+            out.push(
+                Metric::counter(
+                    "cde_ratelimit_tenant_delay_us_total",
+                    "Cumulative pacing wait imposed per tenant, microseconds",
+                    state.delay_us,
+                )
+                .with_label("tenant", name.clone()),
+            );
+            out.push(
+                Metric::gauge(
+                    "cde_ratelimit_tenant_share_per_second",
+                    "Weighted share of the global probe budget, probes/s",
+                    state.share_cfg.per_second,
+                )
+                .with_label("tenant", name.clone()),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     fn ip(d: u8) -> Ipv4Addr {
         Ipv4Addr::new(192, 0, 2, d)
@@ -299,6 +530,146 @@ mod tests {
         assert!(
             matches!(targets.value, cde_telemetry::MetricValue::Gauge(v) if v == 2.0),
             "two per-target buckets expected"
+        );
+    }
+
+    #[test]
+    fn exhausted_per_target_bucket_does_not_hold_global_hostage() {
+        let limiter = RateLimiter::new(
+            RateConfig {
+                per_second: 100.0,
+                burst: 8.0,
+            },
+            Some(RateConfig {
+                per_second: 1.0,
+                burst: 1.0,
+            }),
+        );
+        // Eight probes to one target: its 1-token/s bucket defers the
+        // batch ~7 s out — far beyond anything the global bucket
+        // constrains. Those global tokens are refunded because refill
+        // arriving during the per-target wait pays for the batch.
+        let slow = limiter.debit_n(ip(1), 8);
+        assert!(slow >= Duration::from_secs(5), "got {slow:?}");
+        // The global burst must still be available to other targets.
+        // Before the refund fix these eight tokens were gone and ip(2)
+        // stalled behind a target it shares nothing with.
+        assert_eq!(limiter.debit(ip(2)), Duration::ZERO);
+    }
+
+    #[test]
+    fn weighted_shares_split_the_global_budget() {
+        let limiter = WeightedRateLimiter::new(RateConfig {
+            per_second: 400.0,
+            burst: 8.0,
+        });
+        limiter.register("light", TenantRate::weighted(1.0));
+        limiter.register("heavy", TenantRate::weighted(3.0));
+        let light = limiter.tenant_share("light").unwrap();
+        let heavy = limiter.tenant_share("heavy").unwrap();
+        assert!((light.per_second - 100.0).abs() < 1e-9);
+        assert!((heavy.per_second - 300.0).abs() < 1e-9);
+        // Registering a third tenant re-derives everyone's share.
+        limiter.register("mid", TenantRate::weighted(4.0));
+        let light = limiter.tenant_share("light").unwrap();
+        assert!((light.per_second - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tenant_cap_binds_below_the_share() {
+        let limiter = WeightedRateLimiter::new(RateConfig {
+            per_second: 10_000.0,
+            burst: 1000.0,
+        });
+        limiter.register(
+            "capped",
+            TenantRate {
+                weight: 1.0,
+                cap: Some(RateConfig {
+                    per_second: 100.0,
+                    burst: 1.0,
+                }),
+            },
+        );
+        assert_eq!(limiter.debit_n("capped", 1), Duration::ZERO);
+        // The share would allow far more, but the absolute cap bites.
+        assert!(limiter.debit_n("capped", 1) > Duration::ZERO);
+    }
+
+    #[test]
+    fn slow_tenant_does_not_starve_fast_tenant() {
+        let limiter = WeightedRateLimiter::new(RateConfig {
+            per_second: 100.0,
+            burst: 8.0,
+        });
+        limiter.register(
+            "slow",
+            TenantRate {
+                weight: 1.0,
+                cap: Some(RateConfig {
+                    per_second: 1.0,
+                    burst: 1.0,
+                }),
+            },
+        );
+        limiter.register("fast", TenantRate::weighted(1.0));
+        // "slow" asks for a burst its cap defers seconds into the
+        // future; the refund keeps the global pool whole for "fast".
+        let deferred = limiter.debit_n("slow", 8);
+        assert!(deferred >= Duration::from_secs(5), "got {deferred:?}");
+        assert_eq!(limiter.debit_n("fast", 1), Duration::ZERO);
+    }
+
+    #[test]
+    fn unknown_tenant_is_auto_registered_and_counted() {
+        let limiter = WeightedRateLimiter::new(RateConfig {
+            per_second: 1000.0,
+            burst: 8.0,
+        });
+        assert_eq!(limiter.debit_n("walk-in", 2), Duration::ZERO);
+        assert_eq!(limiter.tenant_debited("walk-in"), 2);
+        let mut out = Vec::new();
+        limiter.collect(&mut out);
+        let tokens = out
+            .iter()
+            .find(|m| m.name == "cde_ratelimit_tenant_tokens_total")
+            .expect("per-tenant counter exported");
+        assert!(tokens
+            .labels
+            .iter()
+            .any(|(k, v)| *k == "tenant" && v == "walk-in"));
+    }
+
+    #[test]
+    fn weighted_acquire_paces_tenants_by_weight() {
+        let limiter = Arc::new(WeightedRateLimiter::new(RateConfig {
+            per_second: 4000.0,
+            burst: 1.0,
+        }));
+        limiter.register("light", TenantRate::weighted(1.0));
+        limiter.register("heavy", TenantRate::weighted(3.0));
+        let run = |tenant: &'static str| {
+            let limiter = Arc::clone(&limiter);
+            std::thread::spawn(move || {
+                let t0 = Instant::now();
+                let mut sent = 0u64;
+                while t0.elapsed() < Duration::from_millis(250) {
+                    limiter.acquire(tenant);
+                    sent += 1;
+                }
+                sent
+            })
+        };
+        let light = run("light");
+        let heavy = run("heavy");
+        let light = light.join().unwrap() as f64;
+        let heavy = heavy.join().unwrap() as f64;
+        let ratio = heavy / light.max(1.0);
+        // Weights 1:3 → sustained throughput ratio ≈ 3, generous slack
+        // for scheduler noise on loaded CI machines.
+        assert!(
+            (1.8..=5.0).contains(&ratio),
+            "heavy/light ratio {ratio:.2} (heavy {heavy}, light {light})"
         );
     }
 

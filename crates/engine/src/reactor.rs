@@ -321,6 +321,7 @@ pub struct Reactor {
     fault_stats: Option<Arc<FaultStats>>,
     insight: Option<Arc<ReactorInsight>>,
     shutdown: Arc<AtomicBool>,
+    drain: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -342,6 +343,7 @@ impl Reactor {
         let (submit_tx, submit_rx) = unbounded();
         let metrics = Arc::new(EngineMetrics::new());
         let shutdown = Arc::new(AtomicBool::new(false));
+        let drain = Arc::new(AtomicBool::new(false));
         let max_in_flight = config.max_in_flight.max(1);
         metrics.set_slab_capacity(max_in_flight as u64);
         let telemetry = config
@@ -399,6 +401,7 @@ impl Reactor {
             metrics: Arc::clone(&metrics),
             telemetry: Arc::clone(&telemetry),
             shutdown: Arc::clone(&shutdown),
+            drain: Arc::clone(&drain),
             faults,
             insight: insight.as_ref().map(Arc::clone),
         };
@@ -415,6 +418,7 @@ impl Reactor {
             fault_stats,
             insight,
             shutdown,
+            drain,
             thread: Some(thread),
         })
     }
@@ -450,6 +454,44 @@ impl Reactor {
     /// unless the reactor was launched with [`ReactorConfig::insight`].
     pub fn insight(&self) -> Option<Arc<ReactorInsight>> {
         self.insight.as_ref().map(Arc::clone)
+    }
+
+    /// Asks the event loop to drain and exit: it keeps admitting
+    /// already-queued submissions and lets every in-flight probe answer
+    /// or time out, then stops on its own. Returns immediately; pair
+    /// with [`Reactor::shutdown_graceful`] to wait for completion.
+    pub fn begin_drain(&self) {
+        self.drain.store(true, Ordering::SeqCst);
+    }
+
+    /// Graceful shutdown: drains in-flight probes (see
+    /// [`Reactor::begin_drain`]) and waits up to `timeout` for the loop
+    /// to exit on its own, falling back to the abrupt stop otherwise.
+    ///
+    /// Returns `true` when the loop drained cleanly within the budget.
+    /// Either way the loop thread is joined before returning, so every
+    /// completion has been delivered and the telemetry hub holds every
+    /// event the reactor will ever emit — callers should flush their
+    /// drains (JSONL, insight digests) *after* this returns.
+    pub fn shutdown_graceful(&mut self, timeout: Duration) -> bool {
+        self.drain.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + timeout;
+        let drained = loop {
+            match &self.thread {
+                Some(thread) if !thread.is_finished() => {
+                    if Instant::now() >= deadline {
+                        break false;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                _ => break true,
+            }
+        };
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+        drained
     }
 }
 
@@ -542,6 +584,7 @@ struct EventLoop {
     metrics: Arc<EngineMetrics>,
     telemetry: Arc<TelemetryHub>,
     shutdown: Arc<AtomicBool>,
+    drain: Arc<AtomicBool>,
     faults: Option<FaultLayer>,
     insight: Option<Arc<ReactorInsight>>,
 }
@@ -574,6 +617,16 @@ impl EventLoop {
             if self.disconnected && self.occupied == 0 && self.stash.is_none() {
                 break;
             }
+            // Graceful drain: once asked, exit as soon as the queued
+            // backlog is admitted and every in-flight probe has answered
+            // or timed out — all completions delivered, nothing dropped.
+            if self.drain.load(Ordering::SeqCst)
+                && self.occupied == 0
+                && self.stash.is_none()
+                && self.submit_rx.is_empty()
+            {
+                break;
+            }
             if progress {
                 // Busy: stay hot, but let serving threads run on small
                 // machines.
@@ -582,6 +635,10 @@ impl EventLoop {
                 self.idle_wait();
             }
         }
+        // Final gauge flush so a post-shutdown scrape reflects the
+        // drained state instead of the last mid-flight sample.
+        self.metrics.set_in_flight(self.occupied as u64);
+        self.metrics.set_wheel_pending(self.timers.len() as u64);
     }
 
     fn now_tick(&self) -> u64 {
@@ -1238,6 +1295,31 @@ impl ReactorTransport {
         &self.reactor
     }
 
+    /// Pushes pending zone edits (anything done through `net_mut`) to
+    /// the serving side now, without waiting for the next `query`.
+    /// Long-lived daemons call this after installing new sessions so
+    /// probes submitted via the [`ReactorHandle`] resolve against the
+    /// updated zones.
+    pub fn sync_serving_side(&mut self) {
+        self.sync_if_dirty();
+    }
+
+    /// Folds queued serving-side observations into the canonical net
+    /// now, without waiting for the next `query`. Daemons that drive
+    /// probes through the raw [`ReactorHandle`] use this to pull
+    /// nameserver-log evidence at checkpoint time; between calls the
+    /// observations stay queued on the resolver's bounded channel.
+    pub fn drain_serving_observations(&mut self) {
+        self.drain_observations();
+    }
+
+    /// Gracefully shuts the backing reactor down: drains in-flight
+    /// probes and joins the loop thread. See
+    /// [`Reactor::shutdown_graceful`].
+    pub fn shutdown_graceful(&mut self, timeout: Duration) -> bool {
+        self.reactor.shutdown_graceful(timeout)
+    }
+
     /// Per-attempt wire loss observed so far.
     pub fn observed_loss_rate(&self) -> f64 {
         self.reactor.metrics().snapshot().loss_rate()
@@ -1446,5 +1528,57 @@ mod tests {
         );
         assert!(snap.batches_sent() > 0);
         assert!(snap.loop_count > 0);
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_in_flight_probes() {
+        let server = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        server
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let server_addr = server.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let server_thread = std::thread::spawn({
+            let stop = Arc::clone(&stop);
+            move || {
+                let mut buf = [0u8; 2048];
+                while !stop.load(Ordering::SeqCst) {
+                    let Ok((len, peer)) = server.recv_from(&mut buf) else {
+                        continue;
+                    };
+                    if let Ok(q) = Message::decode(&buf[..len]) {
+                        let resp = Message::response_to(&q);
+                        let _ = server.send_to(&resp.encode().unwrap(), peer);
+                    }
+                }
+            }
+        });
+
+        let ingress = Ipv4Addr::new(192, 0, 2, 6);
+        let mut targets = HashMap::new();
+        targets.insert(ingress, server_addr);
+        let mut reactor =
+            Reactor::launch(targets, ReactorConfig::with_policy(policy_ms(3, 500), 8)).unwrap();
+        let (done_tx, done_rx) = unbounded();
+        let total = 120u64;
+        let handle = reactor.handle();
+        for token in 0..total {
+            let qname: Name = format!("g-{token}.cache.example").parse().unwrap();
+            assert!(handle.submit(token, ingress, qname, RecordType::A, &done_tx));
+        }
+        // Ask for a drain while most of the burst is still queued or in
+        // flight: every submitted probe must still be resolved before
+        // the loop exits.
+        let drained = reactor.shutdown_graceful(Duration::from_secs(10));
+        assert!(drained, "loop should exit within the drain budget");
+        stop.store(true, Ordering::SeqCst);
+        server_thread.join().unwrap();
+        let mut completions = 0;
+        while done_rx.try_recv().is_ok() {
+            completions += 1;
+        }
+        assert_eq!(completions, total, "drain must deliver every completion");
+        let snap = reactor.metrics().snapshot();
+        assert_eq!(snap.in_flight, 0, "nothing left in flight after drain");
     }
 }

@@ -1,0 +1,136 @@
+//! The `cde-serve` binary: a multi-tenant campaign daemon over the
+//! in-process loopback testbed, controlled over HTTP.
+//!
+//! ```text
+//! cde-serve --listen 127.0.0.1:0 --checkpoint-dir /tmp/ckpt \
+//!           --testbed-caches 6 --chaos --telemetry-jsonl events.jsonl
+//! ```
+//!
+//! See README "Running as a service" for a full curl walkthrough.
+
+use cde_engine::RateConfig;
+use cde_serve::{Daemon, DaemonConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+cde-serve: multi-tenant DNS cache-enumeration campaign daemon
+
+USAGE:
+  cde-serve [OPTIONS]
+
+OPTIONS:
+  --listen ADDR          control-plane address (default 127.0.0.1:0)
+  --checkpoint-dir DIR   snapshot directory (default cde-serve-checkpoints)
+  --testbed-caches N     hidden caches planted in the testbed (default 6)
+  --testbed-seed S       testbed + fault seed (default 4242)
+  --chaos                enable Gilbert-Elliott bursty loss on queries
+  --chaos-loss L         chaos loss rate (default 0.25)
+  --chaos-burst B        chaos mean burst length (default 3.0)
+  --rate R               global probe budget, probes/second (default 2000)
+  --telemetry-jsonl PATH append telemetry events as JSONL
+  --addr-file PATH       write the bound address here (for port 0)
+  --resume               resume every resumable snapshot at startup
+  --help                 print this help
+";
+
+fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
+    let mut config = DaemonConfig::default();
+    let mut chaos = false;
+    let mut chaos_loss = 0.25;
+    let mut chaos_burst = 3.0;
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--listen" => {
+                config.listen = value(&mut i, flag)?
+                    .parse()
+                    .map_err(|e| format!("--listen: {e}"))?;
+            }
+            "--checkpoint-dir" => config.checkpoint_dir = PathBuf::from(value(&mut i, flag)?),
+            "--testbed-caches" => {
+                config.caches = value(&mut i, flag)?
+                    .parse()
+                    .map_err(|e| format!("--testbed-caches: {e}"))?;
+            }
+            "--testbed-seed" => {
+                config.seed = value(&mut i, flag)?
+                    .parse()
+                    .map_err(|e| format!("--testbed-seed: {e}"))?;
+            }
+            "--chaos" => chaos = true,
+            "--chaos-loss" => {
+                chaos_loss = value(&mut i, flag)?
+                    .parse()
+                    .map_err(|e| format!("--chaos-loss: {e}"))?;
+            }
+            "--chaos-burst" => {
+                chaos_burst = value(&mut i, flag)?
+                    .parse()
+                    .map_err(|e| format!("--chaos-burst: {e}"))?;
+            }
+            "--rate" => {
+                let per_second: f64 = value(&mut i, flag)?
+                    .parse()
+                    .map_err(|e| format!("--rate: {e}"))?;
+                config.rate = RateConfig {
+                    per_second,
+                    burst: 8.0,
+                };
+            }
+            "--telemetry-jsonl" => {
+                config.telemetry_jsonl = Some(PathBuf::from(value(&mut i, flag)?));
+            }
+            "--addr-file" => config.addr_file = Some(PathBuf::from(value(&mut i, flag)?)),
+            "--resume" => config.resume = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if chaos {
+        config.chaos = Some((chaos_loss, chaos_burst));
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("cde-serve: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let daemon = match Daemon::start(config) {
+        Ok(daemon) => daemon,
+        Err(err) => {
+            eprintln!("cde-serve: startup failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("cde-serve listening on {}", daemon.addr());
+    for id in daemon.resumed() {
+        println!("cde-serve resumed {id}");
+    }
+    match daemon.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("cde-serve: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Campaign specifications, states and statuses — the vocabulary shared
+//! by the manager, the snapshots and the HTTP control plane.
+
+use std::fmt::Write;
+use std::net::Ipv4Addr;
+use std::path::PathBuf;
+
+/// Maximum length accepted for tenant names and campaign labels.
+pub const MAX_NAME_LEN: usize = 64;
+
+/// `true` when `name` is safe to embed in file names, JSON and metric
+/// labels without escaping: `[A-Za-z0-9_.-]`, 1–64 chars.
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_NAME_LEN
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-'))
+}
+
+/// What a client asks for when submitting a campaign. Fields left at
+/// zero derive from the probe plan.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Owning tenant (validated by [`valid_name`]).
+    pub tenant: String,
+    /// Human-facing label (validated by [`valid_name`]).
+    pub label: String,
+    /// Ingress address to probe through.
+    pub ingress: Ipv4Addr,
+    /// Assumed upper bound on the cache count (`n_max`).
+    pub caches_hint: u64,
+    /// Assumed packet-loss rate toward the target.
+    pub loss_hint: f64,
+    /// Mean loss-burst length; > 1 selects the bursty (Gilbert–Elliott)
+    /// plan, otherwise the uniform-loss plan.
+    pub mean_burst_hint: f64,
+    /// Alias-farm size; 0 derives it from the plan's probe budget.
+    pub farm_size: usize,
+    /// Copies per farm name (carpet bombing); 0 derives it from the
+    /// plan's redundancy.
+    pub redundancy: u64,
+    /// Probes kept in flight at once.
+    pub window: usize,
+    /// Auto-checkpoint every this many completions (0 = on demand only).
+    pub checkpoint_every: u64,
+    /// Test hook: abandon the worker abruptly — no checkpoint, no final
+    /// events — once this many probes have completed *in this process*.
+    /// The kill -9 stand-in the checkpoint/resume property test drives.
+    pub kill_after: Option<u64>,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> CampaignSpec {
+        CampaignSpec {
+            tenant: "default".into(),
+            label: "campaign".into(),
+            ingress: Ipv4Addr::new(192, 0, 2, 1),
+            caches_hint: 4,
+            loss_hint: 0.0,
+            mean_burst_hint: 0.0,
+            farm_size: 0,
+            redundancy: 0,
+            window: 32,
+            checkpoint_every: 64,
+            kill_after: None,
+        }
+    }
+}
+
+/// Lifecycle of one campaign inside the daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignState {
+    /// Probing (or waiting for budget).
+    Running,
+    /// Every probe decided; final counts recorded.
+    Done,
+    /// Stopped by request; snapshot kept as a terminal record.
+    Cancelled,
+    /// Stopped by a graceful shutdown with a resumable snapshot.
+    Paused,
+    /// Worker abandoned without a checkpoint (crash or test kill).
+    Killed,
+}
+
+impl CampaignState {
+    /// Stable wire name, used in snapshots and JSON statuses.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CampaignState::Running => "running",
+            CampaignState::Done => "done",
+            CampaignState::Cancelled => "cancelled",
+            CampaignState::Paused => "paused",
+            CampaignState::Killed => "killed",
+        }
+    }
+
+    /// Parses a wire name written by [`CampaignState::as_str`].
+    pub fn parse(s: &str) -> Option<CampaignState> {
+        match s {
+            "running" => Some(CampaignState::Running),
+            "done" => Some(CampaignState::Done),
+            "cancelled" => Some(CampaignState::Cancelled),
+            "paused" => Some(CampaignState::Paused),
+            "killed" => Some(CampaignState::Killed),
+            _ => None,
+        }
+    }
+}
+
+/// A point-in-time public view of one campaign, as served by
+/// `GET /v1/campaigns/<id>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignStatus {
+    /// Campaign id (`c-<n>`).
+    pub id: String,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Human-facing label.
+    pub label: String,
+    /// Current lifecycle state.
+    pub state: CampaignState,
+    /// Total probes planned (`farm_size × redundancy`).
+    pub total: u64,
+    /// Probes decided so far (answered + timed out).
+    pub completed: u64,
+    /// Probes answered.
+    pub answered: u64,
+    /// Probes that exhausted every attempt.
+    pub timeouts: u64,
+    /// Honey fetches counted as of the last checkpoint (live counts are
+    /// only drained at checkpoint/finish time — see DESIGN.md §6g).
+    pub observed: u64,
+    /// Cache-count estimate from `observed` (final for `Done`).
+    pub estimated: u64,
+    /// `true` when every planned probe is accounted for
+    /// (`CampaignReport::fully_accounted`).
+    pub fully_accounted: bool,
+    /// Completions restored from a snapshot (0 for a fresh campaign).
+    pub resumed_from: u64,
+    /// Checkpoints written so far.
+    pub checkpoints: u64,
+    /// Latest snapshot path, if one was written.
+    pub checkpoint_path: Option<PathBuf>,
+}
+
+impl CampaignStatus {
+    /// Serializes the status as one flat JSON object. All strings are
+    /// [`valid_name`]-validated at submission, so no escaping is needed
+    /// except for the checkpoint path, which is emitted via the
+    /// telemetry JSON writer rules (it contains no quotes in practice;
+    /// backslashes and quotes would come only from hostile dirs, which
+    /// the daemon operator controls).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        let _ = write!(
+            out,
+            "{{\"id\": \"{}\", \"tenant\": \"{}\", \"label\": \"{}\", \"state\": \"{}\", \
+             \"total\": {}, \"completed\": {}, \"answered\": {}, \"timeouts\": {}, \
+             \"observed\": {}, \"estimated\": {}, \"fully_accounted\": {}, \
+             \"resumed_from\": {}, \"checkpoints\": {}",
+            self.id,
+            self.tenant,
+            self.label,
+            self.state.as_str(),
+            self.total,
+            self.completed,
+            self.answered,
+            self.timeouts,
+            self.observed,
+            self.estimated,
+            self.fully_accounted,
+            self.resumed_from,
+            self.checkpoints,
+        );
+        match &self.checkpoint_path {
+            Some(path) => {
+                let escaped = path
+                    .display()
+                    .to_string()
+                    .replace('\\', "\\\\")
+                    .replace('"', "\\\"");
+                let _ = write!(out, ", \"checkpoint_path\": \"{escaped}\"}}");
+            }
+            None => out.push_str(", \"checkpoint_path\": null}"),
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_validation_rejects_hostile_input() {
+        assert!(valid_name("alice"));
+        assert!(valid_name("team-7.prod_x"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("a b"));
+        assert!(!valid_name("x/../etc"));
+        assert!(!valid_name("quote\"name"));
+        assert!(!valid_name(&"x".repeat(MAX_NAME_LEN + 1)));
+    }
+
+    #[test]
+    fn state_names_round_trip() {
+        for state in [
+            CampaignState::Running,
+            CampaignState::Done,
+            CampaignState::Cancelled,
+            CampaignState::Paused,
+            CampaignState::Killed,
+        ] {
+            assert_eq!(CampaignState::parse(state.as_str()), Some(state));
+        }
+        assert_eq!(CampaignState::parse("nope"), None);
+    }
+
+    #[test]
+    fn status_json_is_flat() {
+        let status = CampaignStatus {
+            id: "c-1".into(),
+            tenant: "alice".into(),
+            label: "smoke".into(),
+            state: CampaignState::Done,
+            total: 12,
+            completed: 12,
+            answered: 11,
+            timeouts: 1,
+            observed: 4,
+            estimated: 4,
+            fully_accounted: true,
+            resumed_from: 0,
+            checkpoints: 3,
+            checkpoint_path: Some(PathBuf::from("/tmp/c-1.ckpt")),
+        };
+        let json = status.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"state\": \"done\""), "{json}");
+        assert!(json.contains("\"fully_accounted\": true"), "{json}");
+        assert!(
+            json.contains("\"checkpoint_path\": \"/tmp/c-1.ckpt\""),
+            "{json}"
+        );
+    }
+}

@@ -1,0 +1,389 @@
+//! A dependency-free HTTP/1.1 control plane for the campaign daemon.
+//!
+//! The server is intentionally minimal: one accept thread, one request
+//! per connection (`Connection: close`), bodies parsed with a
+//! hand-rolled key extractor instead of a JSON dependency. It serves an
+//! operator loopback, not the open internet — limits are sized for curl
+//! and the CI smoke driver.
+//!
+//! | Method & path                     | Effect                                   |
+//! |-----------------------------------|------------------------------------------|
+//! | `GET /healthz`                    | liveness probe                           |
+//! | `GET /metrics`                    | Prometheus text exposition               |
+//! | `POST /v1/tenants`                | register/re-weight a tenant              |
+//! | `POST /v1/campaigns`              | submit a campaign, returns `{"id": ...}` |
+//! | `GET /v1/campaigns`               | list campaign statuses                   |
+//! | `GET /v1/campaigns/<id>`          | one campaign status                      |
+//! | `POST /v1/campaigns/<id>/cancel`  | stop a campaign (terminal snapshot)      |
+//! | `POST /v1/campaigns/<id>/checkpoint` | write a snapshot now                 |
+//! | `POST /v1/shutdown`               | request graceful daemon shutdown         |
+
+use crate::campaign::CampaignSpec;
+use crate::manager::CampaignManager;
+use cde_engine::RateConfig;
+use cde_telemetry::MetricsRegistry;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD: usize = 8 * 1024;
+/// Upper bound on a request body.
+const MAX_BODY: usize = 64 * 1024;
+
+/// The running HTTP listener. Dropping it stops the accept loop.
+#[derive(Debug)]
+pub struct ControlPlane {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    shutdown_requested: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ControlPlane {
+    /// Binds `listen` (port 0 picks an ephemeral port) and starts the
+    /// accept loop over `manager` and `registry`.
+    pub fn start(
+        listen: SocketAddr,
+        manager: Arc<CampaignManager>,
+        registry: Arc<MetricsRegistry>,
+    ) -> io::Result<ControlPlane> {
+        let listener = TcpListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let shutdown_requested = Arc::new(AtomicBool::new(false));
+        let stop_for_thread = Arc::clone(&stop);
+        let shutdown_for_thread = Arc::clone(&shutdown_requested);
+        let thread = std::thread::Builder::new()
+            .name("cde-serve-http".into())
+            .spawn(move || {
+                accept_loop(
+                    &listener,
+                    &stop_for_thread,
+                    &shutdown_for_thread,
+                    &manager,
+                    &registry,
+                );
+            })?;
+        Ok(ControlPlane {
+            addr,
+            stop,
+            shutdown_requested,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `true` once a client has POSTed `/v1/shutdown`.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Stops the accept loop and joins its thread.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ControlPlane {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    shutdown_requested: &AtomicBool,
+    manager: &Arc<CampaignManager>,
+    registry: &Arc<MetricsRegistry>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = handle_connection(stream, shutdown_requested, manager, registry);
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    shutdown_requested: &AtomicBool,
+    manager: &Arc<CampaignManager>,
+    registry: &Arc<MetricsRegistry>,
+) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let request = match read_request(&mut stream) {
+        Ok(request) => request,
+        Err(_) => {
+            return respond(
+                &mut stream,
+                400,
+                "application/json",
+                "{\"error\": \"bad request\"}",
+            )
+        }
+    };
+    let (status, content_type, body) = route(&request, shutdown_requested, manager, registry);
+    respond(&mut stream, status, content_type, &body)
+}
+
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    // One-byte reads keep the parser trivial; control-plane heads are
+    // a few hundred bytes, so this is never a throughput concern.
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD {
+            return Err(bad("request head too large"));
+        }
+        match stream.read(&mut byte)? {
+            0 => return Err(bad("connection closed mid-head")),
+            _ => head.push(byte[0]),
+        }
+    }
+    let head = String::from_utf8(head).map_err(|_| bad("non-utf8 head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| bad("missing method"))?
+        .to_owned();
+    let path = parts.next().ok_or_else(|| bad("missing path"))?.to_owned();
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(bad("body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| bad("non-utf8 body"))?;
+    Ok(Request { method, path, body })
+}
+
+fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn route(
+    request: &Request,
+    shutdown_requested: &AtomicBool,
+    manager: &Arc<CampaignManager>,
+    registry: &Arc<MetricsRegistry>,
+) -> (u16, &'static str, String) {
+    let json = "application/json";
+    let method = request.method.as_str();
+    let path = request.path.as_str();
+    match (method, path) {
+        ("GET", "/healthz") => (200, json, "{\"ok\": true}".to_owned()),
+        ("GET", "/metrics") => (200, "text/plain; version=0.0.4", registry.prometheus_text()),
+        ("POST", "/v1/shutdown") => {
+            shutdown_requested.store(true, Ordering::SeqCst);
+            (200, json, "{\"ok\": true}".to_owned())
+        }
+        ("POST", "/v1/tenants") => handle_register_tenant(&request.body, manager),
+        ("POST", "/v1/campaigns") => handle_submit(&request.body, manager),
+        ("GET", "/v1/campaigns") => {
+            let statuses: Vec<String> = manager.list().iter().map(|s| s.to_json()).collect();
+            (200, json, format!("[{}]", statuses.join(", ")))
+        }
+        ("GET", _) if path.starts_with("/v1/campaigns/") => {
+            let id = &path["/v1/campaigns/".len()..];
+            match manager.status(id) {
+                Some(status) => (200, json, status.to_json()),
+                None => (404, json, "{\"error\": \"unknown campaign\"}".to_owned()),
+            }
+        }
+        ("POST", _) if path.starts_with("/v1/campaigns/") && path.ends_with("/cancel") => {
+            let id = &path["/v1/campaigns/".len()..path.len() - "/cancel".len()];
+            if manager.cancel(id) {
+                (200, json, "{\"ok\": true}".to_owned())
+            } else {
+                (404, json, "{\"error\": \"unknown campaign\"}".to_owned())
+            }
+        }
+        ("POST", _) if path.starts_with("/v1/campaigns/") && path.ends_with("/checkpoint") => {
+            let id = &path["/v1/campaigns/".len()..path.len() - "/checkpoint".len()];
+            match manager.checkpoint_now(id) {
+                Ok(path) => {
+                    let escaped = path
+                        .display()
+                        .to_string()
+                        .replace('\\', "\\\\")
+                        .replace('"', "\\\"");
+                    (200, json, format!("{{\"checkpoint_path\": \"{escaped}\"}}"))
+                }
+                Err(err) if err.kind() == io::ErrorKind::NotFound => {
+                    (404, json, "{\"error\": \"unknown campaign\"}".to_owned())
+                }
+                Err(err) => (500, json, format!("{{\"error\": \"{err}\"}}")),
+            }
+        }
+        ("GET" | "POST", _) => (404, json, "{\"error\": \"no such route\"}".to_owned()),
+        _ => (405, json, "{\"error\": \"method not allowed\"}".to_owned()),
+    }
+}
+
+fn handle_register_tenant(
+    body: &str,
+    manager: &Arc<CampaignManager>,
+) -> (u16, &'static str, String) {
+    let json = "application/json";
+    let Some(name) = body_str(body, "name") else {
+        return (400, json, "{\"error\": \"missing tenant name\"}".to_owned());
+    };
+    let weight = body_f64(body, "weight").unwrap_or(crate::tenant::DEFAULT_WEIGHT);
+    let cap = match (
+        body_f64(body, "cap_per_second"),
+        body_f64(body, "cap_burst"),
+    ) {
+        (Some(per_second), burst) => Some(RateConfig {
+            per_second,
+            burst: burst.unwrap_or(1.0),
+        }),
+        (None, _) => None,
+    };
+    match manager.register_tenant(&name, weight, cap) {
+        Ok(()) => (
+            200,
+            json,
+            format!("{{\"tenant\": \"{name}\", \"weight\": {weight}}}"),
+        ),
+        Err(err) => (400, json, format!("{{\"error\": \"{err}\"}}")),
+    }
+}
+
+fn handle_submit(body: &str, manager: &Arc<CampaignManager>) -> (u16, &'static str, String) {
+    let json = "application/json";
+    let mut spec = CampaignSpec::default();
+    if let Some(tenant) = body_str(body, "tenant") {
+        spec.tenant = tenant;
+    }
+    if let Some(label) = body_str(body, "label") {
+        spec.label = label;
+    }
+    if let Some(caches) = body_u64(body, "caches_hint") {
+        spec.caches_hint = caches;
+    }
+    if let Some(loss) = body_f64(body, "loss_hint") {
+        spec.loss_hint = loss;
+    }
+    if let Some(burst) = body_f64(body, "mean_burst_hint") {
+        spec.mean_burst_hint = burst;
+    }
+    if let Some(farm) = body_u64(body, "farm_size") {
+        spec.farm_size = farm as usize;
+    }
+    if let Some(redundancy) = body_u64(body, "redundancy") {
+        spec.redundancy = redundancy;
+    }
+    if let Some(window) = body_u64(body, "window") {
+        spec.window = window as usize;
+    }
+    if let Some(every) = body_u64(body, "checkpoint_every") {
+        spec.checkpoint_every = every;
+    }
+    match manager.submit(spec) {
+        Ok(id) => (200, json, format!("{{\"id\": \"{id}\"}}")),
+        Err(err) => (400, json, format!("{{\"error\": \"{err}\"}}")),
+    }
+}
+
+/// Finds `"key"` in a flat JSON object and returns the raw token after
+/// the colon (quoted string without escapes, or a bare number/keyword).
+/// Good enough for the control plane's own flat request bodies; not a
+/// general JSON parser.
+fn body_token(body: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let at = body.find(&needle)? + needle.len();
+    let rest = body[at..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    if let Some(quoted) = rest.strip_prefix('"') {
+        let end = quoted.find('"')?;
+        Some(quoted[..end].to_owned())
+    } else {
+        let end = rest
+            .find(|c: char| c == ',' || c == '}' || c.is_whitespace())
+            .unwrap_or(rest.len());
+        if end == 0 {
+            None
+        } else {
+            Some(rest[..end].to_owned())
+        }
+    }
+}
+
+fn body_str(body: &str, key: &str) -> Option<String> {
+    body_token(body, key)
+}
+
+fn body_u64(body: &str, key: &str) -> Option<u64> {
+    body_token(body, key)?.parse().ok()
+}
+
+fn body_f64(body: &str, key: &str) -> Option<f64> {
+    body_token(body, key)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn body_extractors_read_flat_json() {
+        let body = "{\"name\": \"alice\", \"weight\": 3.5, \"farm_size\": 120, \"flag\": true}";
+        assert_eq!(body_str(body, "name").as_deref(), Some("alice"));
+        assert_eq!(body_f64(body, "weight"), Some(3.5));
+        assert_eq!(body_u64(body, "farm_size"), Some(120));
+        assert_eq!(body_str(body, "flag").as_deref(), Some("true"));
+        assert_eq!(body_str(body, "missing"), None);
+        assert_eq!(body_u64(body, "name"), None);
+    }
+}

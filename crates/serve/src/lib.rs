@@ -1,0 +1,37 @@
+//! cde-serve: a multi-tenant campaign daemon over the shared reactor.
+//!
+//! The crate turns the one-shot campaign drivers of `cde-engine` into a
+//! long-running service:
+//!
+//! - [`CampaignManager`] multiplexes many concurrent enumeration
+//!   campaigns over one reactor, pacing each tenant with a weighted
+//!   share of the global probe budget
+//!   ([`cde_engine::WeightedRateLimiter`]).
+//! - [`CampaignSnapshot`] gives every campaign a versioned on-disk
+//!   checkpoint; a killed daemon resumes exactly where it stopped (the
+//!   counting principle makes re-probing undecided indexes harmless —
+//!   warm caches never re-fetch the honey record).
+//! - [`ControlPlane`] is a dependency-free HTTP/1.1 server exposing
+//!   submit/status/cancel/checkpoint plus Prometheus `/metrics`.
+//! - [`Daemon`] wires a simulated testbed, the manager and the control
+//!   plane into the `cde-serve` binary.
+//!
+//! See DESIGN.md §6g for the checkpoint-exactness argument and the
+//! control-plane API table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod daemon;
+pub mod http;
+pub mod manager;
+pub mod snapshot;
+pub mod tenant;
+
+pub use campaign::{valid_name, CampaignSpec, CampaignState, CampaignStatus, MAX_NAME_LEN};
+pub use daemon::{Daemon, DaemonConfig};
+pub use http::ControlPlane;
+pub use manager::{CampaignManager, ManagerConfig, World};
+pub use snapshot::{CampaignSnapshot, ProbeDisposition, SNAPSHOT_VERSION};
+pub use tenant::{TenantRegistry, DEFAULT_WEIGHT};

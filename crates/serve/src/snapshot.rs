@@ -1,0 +1,370 @@
+//! Versioned on-disk campaign snapshots.
+//!
+//! A snapshot is everything a fresh process needs to continue a
+//! campaign *exactly*: the probe plan, the session-counter value the
+//! session's names derive from, the per-probe outcome vector, and the
+//! honey-fetch count drained so far. It deliberately does **not** store
+//! any names or cache state — names regenerate deterministically from
+//! the counter (see
+//! [`CdeInfra::restore_session_counter`](cde_core::CdeInfra::restore_session_counter)),
+//! and the counting principle makes re-probing undecided indexes safe:
+//! a cache only fetches the honey record on its *first* miss, so probes
+//! replayed after a crash can never inflate the observed count.
+//!
+//! The format is line-oriented `key=value` text with a magic+version
+//! header, written atomically (temp file + rename) so a crash never
+//! leaves a half-written snapshot behind. Unknown keys are ignored on
+//! load, so newer writers stay readable by this parser.
+
+use crate::campaign::CampaignState;
+use cde_core::ProbePlan;
+use std::fs;
+use std::io::{self, Write};
+use std::net::Ipv4Addr;
+use std::path::{Path, PathBuf};
+
+/// Current snapshot format version. Bump on incompatible changes;
+/// [`CampaignSnapshot::load`] rejects versions it does not understand.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const MAGIC: &str = "cde-serve-checkpoint";
+
+/// One probe index's fate, as recorded in a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeDisposition {
+    /// Not yet decided — a resumed campaign re-probes it.
+    Pending,
+    /// Completed with an answer.
+    Answered,
+    /// Exhausted every attempt without an answer.
+    TimedOut,
+}
+
+impl ProbeDisposition {
+    fn to_char(self) -> char {
+        match self {
+            ProbeDisposition::Pending => '.',
+            ProbeDisposition::Answered => 'A',
+            ProbeDisposition::TimedOut => 'T',
+        }
+    }
+
+    fn from_char(c: char) -> Option<ProbeDisposition> {
+        match c {
+            '.' => Some(ProbeDisposition::Pending),
+            'A' => Some(ProbeDisposition::Answered),
+            'T' => Some(ProbeDisposition::TimedOut),
+            _ => None,
+        }
+    }
+}
+
+/// A serializable point-in-time image of one campaign. See the module
+/// docs for what is (and is not) stored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSnapshot {
+    /// Campaign id (`c-<n>`); also the snapshot's file stem.
+    pub id: String,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Tenant fairness weight at snapshot time, so a cold resume can
+    /// re-register the tenant before any control-plane call does.
+    pub weight: f64,
+    /// Human-facing campaign label.
+    pub label: String,
+    /// Campaign state at snapshot time. Only `Running` and `Paused`
+    /// snapshots are resumable; `Done`/`Cancelled` are terminal records.
+    pub state: CampaignState,
+    /// Ingress address the campaign probes through.
+    pub ingress: Ipv4Addr,
+    /// Alias-farm size (distinct probe names).
+    pub farm_size: usize,
+    /// Carpet-bombing copies per farm name; total probes =
+    /// `farm_size × redundancy`.
+    pub redundancy: u64,
+    /// Sliding-window size used for submission.
+    pub window: usize,
+    /// Auto-checkpoint cadence in completions (0 = on demand only).
+    pub checkpoint_every: u64,
+    /// `CdeInfra` session counter *before* the session opened; resume
+    /// restores it and re-derives the exact session names.
+    pub session_counter: u64,
+    /// The probe plan the campaign was derived from.
+    pub plan: ProbePlan,
+    /// Honey fetches drained and counted up to this snapshot.
+    pub observed: u64,
+    /// Monotonic checkpoint sequence number for this campaign.
+    pub seq: u64,
+    /// Per-probe dispositions, indexed by probe number.
+    pub outcomes: Vec<ProbeDisposition>,
+}
+
+impl CampaignSnapshot {
+    /// The snapshot file name for campaign `id`.
+    pub fn file_name(id: &str) -> String {
+        format!("{id}.ckpt")
+    }
+
+    /// `true` when a fresh process may continue this campaign.
+    pub fn resumable(&self) -> bool {
+        matches!(self.state, CampaignState::Running | CampaignState::Paused)
+    }
+
+    /// Serializes to the versioned text format.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str(MAGIC);
+        out.push_str(&format!(" v{SNAPSHOT_VERSION}\n"));
+        out.push_str(&format!("id={}\n", self.id));
+        out.push_str(&format!("tenant={}\n", self.tenant));
+        out.push_str(&format!("weight={}\n", self.weight));
+        out.push_str(&format!("label={}\n", self.label));
+        out.push_str(&format!("state={}\n", self.state.as_str()));
+        out.push_str(&format!("ingress={}\n", self.ingress));
+        out.push_str(&format!("farm_size={}\n", self.farm_size));
+        out.push_str(&format!("redundancy={}\n", self.redundancy));
+        out.push_str(&format!("window={}\n", self.window));
+        out.push_str(&format!("checkpoint_every={}\n", self.checkpoint_every));
+        out.push_str(&format!("session_counter={}\n", self.session_counter));
+        out.push_str(&format!("observed={}\n", self.observed));
+        out.push_str(&format!("seq={}\n", self.seq));
+        out.push_str(&self.plan.snapshot_line());
+        out.push('\n');
+        out.push_str("outcomes=");
+        for d in &self.outcomes {
+            out.push(d.to_char());
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Parses the text format. Returns `InvalidData` on bad magic, an
+    /// unsupported version, or missing/malformed fields.
+    pub fn decode(text: &str) -> io::Result<CampaignSnapshot> {
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| bad("empty snapshot".into()))?;
+        let version = header
+            .strip_prefix(MAGIC)
+            .and_then(|rest| rest.trim().strip_prefix('v'))
+            .and_then(|v| v.parse::<u32>().ok())
+            .ok_or_else(|| bad(format!("bad snapshot header: {header:?}")))?;
+        if version != SNAPSHOT_VERSION {
+            return Err(bad(format!(
+                "snapshot version {version} unsupported (expected {SNAPSHOT_VERSION})"
+            )));
+        }
+        let mut id = None;
+        let mut tenant = None;
+        let mut weight = None;
+        let mut label = None;
+        let mut state = None;
+        let mut ingress = None;
+        let mut farm_size = None;
+        let mut redundancy = None;
+        let mut window = None;
+        let mut checkpoint_every = None;
+        let mut session_counter = None;
+        let mut observed = None;
+        let mut seq = None;
+        let mut plan = None;
+        let mut outcomes = None;
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with("plan ") {
+                plan = Some(
+                    ProbePlan::from_snapshot_line(line)
+                        .ok_or_else(|| bad(format!("bad plan line: {line:?}")))?,
+                );
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| bad(format!("bad snapshot line: {line:?}")))?;
+            match key {
+                "id" => id = Some(value.to_owned()),
+                "tenant" => tenant = Some(value.to_owned()),
+                "weight" => weight = Some(value.parse().map_err(|_| bad("bad weight".into()))?),
+                "label" => label = Some(value.to_owned()),
+                "state" => {
+                    state = Some(
+                        CampaignState::parse(value)
+                            .ok_or_else(|| bad(format!("bad state: {value:?}")))?,
+                    );
+                }
+                "ingress" => {
+                    ingress = Some(value.parse().map_err(|_| bad("bad ingress".into()))?);
+                }
+                "farm_size" => {
+                    farm_size = Some(value.parse().map_err(|_| bad("bad farm_size".into()))?);
+                }
+                "redundancy" => {
+                    redundancy = Some(value.parse().map_err(|_| bad("bad redundancy".into()))?);
+                }
+                "window" => window = Some(value.parse().map_err(|_| bad("bad window".into()))?),
+                "checkpoint_every" => {
+                    checkpoint_every = Some(
+                        value
+                            .parse()
+                            .map_err(|_| bad("bad checkpoint_every".into()))?,
+                    );
+                }
+                "session_counter" => {
+                    session_counter = Some(
+                        value
+                            .parse()
+                            .map_err(|_| bad("bad session_counter".into()))?,
+                    );
+                }
+                "observed" => {
+                    observed = Some(value.parse().map_err(|_| bad("bad observed".into()))?);
+                }
+                "seq" => seq = Some(value.parse().map_err(|_| bad("bad seq".into()))?),
+                "outcomes" => {
+                    let parsed: Option<Vec<ProbeDisposition>> =
+                        value.chars().map(ProbeDisposition::from_char).collect();
+                    outcomes = Some(parsed.ok_or_else(|| bad("bad outcome character".into()))?);
+                }
+                // Forward compatibility: ignore keys from newer writers.
+                _ => {}
+            }
+        }
+        let missing = |field: &str| bad(format!("snapshot missing {field}"));
+        Ok(CampaignSnapshot {
+            id: id.ok_or_else(|| missing("id"))?,
+            tenant: tenant.ok_or_else(|| missing("tenant"))?,
+            weight: weight.ok_or_else(|| missing("weight"))?,
+            label: label.ok_or_else(|| missing("label"))?,
+            state: state.ok_or_else(|| missing("state"))?,
+            ingress: ingress.ok_or_else(|| missing("ingress"))?,
+            farm_size: farm_size.ok_or_else(|| missing("farm_size"))?,
+            redundancy: redundancy.ok_or_else(|| missing("redundancy"))?,
+            window: window.ok_or_else(|| missing("window"))?,
+            checkpoint_every: checkpoint_every.ok_or_else(|| missing("checkpoint_every"))?,
+            session_counter: session_counter.ok_or_else(|| missing("session_counter"))?,
+            plan: plan.ok_or_else(|| missing("plan"))?,
+            observed: observed.ok_or_else(|| missing("observed"))?,
+            seq: seq.ok_or_else(|| missing("seq"))?,
+            outcomes: outcomes.ok_or_else(|| missing("outcomes"))?,
+        })
+    }
+
+    /// Writes the snapshot to `dir/<id>.ckpt` atomically: the full
+    /// content lands in a temp file which is fsynced and renamed over
+    /// the previous snapshot, so readers only ever see a complete image.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(Self::file_name(&self.id));
+        let tmp = dir.join(format!("{}.ckpt.tmp", self.id));
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(self.encode().as_bytes())?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// Loads a snapshot from `path`.
+    pub fn load(path: &Path) -> io::Result<CampaignSnapshot> {
+        CampaignSnapshot::decode(&fs::read_to_string(path)?)
+    }
+
+    /// Loads every `*.ckpt` snapshot under `dir`, sorted by id. Missing
+    /// directories read as empty (nothing to resume).
+    pub fn load_dir(dir: &Path) -> io::Result<Vec<CampaignSnapshot>> {
+        let mut snapshots = Vec::new();
+        let entries = match fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(snapshots),
+            Err(err) => return Err(err),
+        };
+        for entry in entries {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("ckpt") {
+                snapshots.push(CampaignSnapshot::load(&path)?);
+            }
+        }
+        snapshots.sort_by(|a, b| a.id.cmp(&b.id));
+        Ok(snapshots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CampaignSnapshot {
+        CampaignSnapshot {
+            id: "c-7".into(),
+            tenant: "alice".into(),
+            weight: 2.5,
+            label: "nightly".into(),
+            state: CampaignState::Running,
+            ingress: Ipv4Addr::new(192, 0, 2, 1),
+            farm_size: 5,
+            redundancy: 3,
+            window: 8,
+            checkpoint_every: 4,
+            session_counter: 11,
+            plan: ProbePlan::for_bursty_target(6, 0.25, 3.0),
+            observed: 4,
+            seq: 2,
+            outcomes: vec![
+                ProbeDisposition::Answered,
+                ProbeDisposition::Answered,
+                ProbeDisposition::TimedOut,
+                ProbeDisposition::Pending,
+                ProbeDisposition::Answered,
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let snap = sample();
+        let decoded = CampaignSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let text = sample().encode().replacen("v1", "v999", 1);
+        let err = CampaignSnapshot::decode(&text).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("version 999"), "{err}");
+    }
+
+    #[test]
+    fn truncated_snapshot_is_rejected() {
+        let full = sample().encode();
+        let cut = &full[..full.len() / 2];
+        assert!(CampaignSnapshot::decode(cut).is_err());
+        assert!(CampaignSnapshot::decode("").is_err());
+        assert!(CampaignSnapshot::decode("not-a-snapshot v1\n").is_err());
+    }
+
+    #[test]
+    fn write_is_atomic_and_listable() {
+        let dir = std::env::temp_dir().join(format!("cde-serve-snap-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let snap = sample();
+        let path = snap.write_to(&dir).unwrap();
+        assert_eq!(path, dir.join("c-7.ckpt"));
+        assert!(!dir.join("c-7.ckpt.tmp").exists(), "temp file renamed away");
+        // Overwrite with a later image; load sees only the newest.
+        let mut later = snap.clone();
+        later.seq = 3;
+        later.outcomes[3] = ProbeDisposition::Answered;
+        later.write_to(&dir).unwrap();
+        let listed = CampaignSnapshot::load_dir(&dir).unwrap();
+        assert_eq!(listed, vec![later]);
+        // A directory that never existed is just "nothing to resume".
+        assert!(CampaignSnapshot::load_dir(&dir.join("absent"))
+            .unwrap()
+            .is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,207 @@
+//! The tenant registry: interned names, weights and per-tenant
+//! counters, exported as labelled Prometheus families.
+//!
+//! Tenant names are interned to `&'static str` on first registration so
+//! they can ride inside `Copy` telemetry events
+//! ([`EventKind::CampaignTenant`](cde_telemetry::EventKind)). The leak
+//! is bounded by the tenant set, which is small and registration-only —
+//! a daemon never unregisters a tenant, it only stops scheduling it.
+
+use cde_telemetry::{Collector, Metric};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The default weight used when an unregistered tenant first appears.
+pub const DEFAULT_WEIGHT: f64 = 1.0;
+
+#[derive(Debug)]
+struct TenantEntry {
+    name: &'static str,
+    weight: f64,
+    probes: u64,
+    answered: u64,
+    campaigns: u64,
+}
+
+/// Registry of tenants known to the daemon. Thread-safe behind an
+/// `Arc`; see the module docs for the interning contract.
+#[derive(Debug, Default)]
+pub struct TenantRegistry {
+    inner: Mutex<HashMap<String, TenantEntry>>,
+}
+
+impl TenantRegistry {
+    /// An empty registry.
+    pub fn new() -> Arc<TenantRegistry> {
+        Arc::new(TenantRegistry::default())
+    }
+
+    /// Registers `name` with `weight` (or updates the weight if already
+    /// known) and returns the interned name.
+    pub fn register(&self, name: &str, weight: f64) -> &'static str {
+        let mut inner = self.inner.lock();
+        match inner.get_mut(name) {
+            Some(entry) => {
+                entry.weight = weight;
+                entry.name
+            }
+            None => {
+                let interned: &'static str = Box::leak(name.to_owned().into_boxed_str());
+                inner.insert(
+                    name.to_owned(),
+                    TenantEntry {
+                        name: interned,
+                        weight,
+                        probes: 0,
+                        answered: 0,
+                        campaigns: 0,
+                    },
+                );
+                interned
+            }
+        }
+    }
+
+    /// `true` if `name` has been registered.
+    pub fn known(&self, name: &str) -> bool {
+        self.inner.lock().contains_key(name)
+    }
+
+    /// The interned form of `name`, registering it with
+    /// [`DEFAULT_WEIGHT`] if unknown.
+    pub fn intern(&self, name: &str) -> &'static str {
+        if let Some(entry) = self.inner.lock().get(name) {
+            return entry.name;
+        }
+        self.register(name, DEFAULT_WEIGHT)
+    }
+
+    /// The registered weight of `name`, if known.
+    pub fn weight(&self, name: &str) -> Option<f64> {
+        self.inner.lock().get(name).map(|e| e.weight)
+    }
+
+    /// Counts one probe submitted on behalf of `name`.
+    pub fn record_probe(&self, name: &str) {
+        if let Some(entry) = self.inner.lock().get_mut(name) {
+            entry.probes += 1;
+        }
+    }
+
+    /// Counts one answered probe for `name`.
+    pub fn record_answered(&self, name: &str) {
+        if let Some(entry) = self.inner.lock().get_mut(name) {
+            entry.answered += 1;
+        }
+    }
+
+    /// Counts one campaign opened by `name`.
+    pub fn record_campaign(&self, name: &str) {
+        if let Some(entry) = self.inner.lock().get_mut(name) {
+            entry.campaigns += 1;
+        }
+    }
+
+    /// Probes submitted so far on behalf of `name`.
+    pub fn probes(&self, name: &str) -> u64 {
+        self.inner.lock().get(name).map_or(0, |e| e.probes)
+    }
+
+    /// Registered tenant names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// One labelled metric family per counter, one sample per tenant — the
+/// scrape the fairness acceptance check reads
+/// (`cde_serve_tenant_probes_total{tenant="..."}`).
+impl Collector for TenantRegistry {
+    fn collect(&self, out: &mut Vec<Metric>) {
+        let inner = self.inner.lock();
+        let mut names: Vec<&String> = inner.keys().collect();
+        names.sort();
+        for name in names {
+            let entry = &inner[name];
+            out.push(
+                Metric::counter(
+                    "cde_serve_tenant_probes_total",
+                    "Probes submitted per tenant",
+                    entry.probes,
+                )
+                .with_label("tenant", name.clone()),
+            );
+            out.push(
+                Metric::counter(
+                    "cde_serve_tenant_answered_total",
+                    "Probes answered per tenant",
+                    entry.answered,
+                )
+                .with_label("tenant", name.clone()),
+            );
+            out.push(
+                Metric::counter(
+                    "cde_serve_tenant_campaigns_total",
+                    "Campaigns opened per tenant",
+                    entry.campaigns,
+                )
+                .with_label("tenant", name.clone()),
+            );
+            out.push(
+                Metric::gauge(
+                    "cde_serve_tenant_weight",
+                    "Configured fairness weight per tenant",
+                    entry.weight,
+                )
+                .with_label("tenant", name.clone()),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_across_calls() {
+        let reg = TenantRegistry::new();
+        let a = reg.register("alice", 2.0);
+        let b = reg.intern("alice");
+        assert!(std::ptr::eq(a, b), "same interned pointer expected");
+        assert_eq!(reg.weight("alice"), Some(2.0));
+        reg.register("alice", 5.0);
+        assert_eq!(reg.weight("alice"), Some(5.0));
+    }
+
+    #[test]
+    fn counters_and_collector_are_per_tenant() {
+        let reg = TenantRegistry::new();
+        reg.register("alice", 1.0);
+        reg.register("bob", 3.0);
+        reg.record_probe("alice");
+        reg.record_probe("bob");
+        reg.record_probe("bob");
+        reg.record_answered("bob");
+        reg.record_campaign("alice");
+        assert_eq!(reg.probes("alice"), 1);
+        assert_eq!(reg.probes("bob"), 2);
+        let mut out = Vec::new();
+        reg.collect(&mut out);
+        let bob_probes = out
+            .iter()
+            .find(|m| {
+                m.name == "cde_serve_tenant_probes_total"
+                    && m.labels.iter().any(|(k, v)| *k == "tenant" && v == "bob")
+            })
+            .expect("bob's probe counter");
+        assert!(matches!(
+            bob_probes.value,
+            cde_telemetry::MetricValue::Counter(2)
+        ));
+        assert_eq!(reg.names(), vec!["alice".to_owned(), "bob".to_owned()]);
+    }
+}

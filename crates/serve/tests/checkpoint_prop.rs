@@ -1,0 +1,175 @@
+//! Replay-identity property: kill a campaign after `k` completions,
+//! resume it in a fresh manager, and the resumed hub's telemetry
+//! stream — with timestamps stripped — is byte-identical to an
+//! uninterrupted run's.
+//!
+//! The campaign span's event vocabulary is deterministic by design
+//! (ordered per-probe notes over the decided prefix, fixed closing
+//! notes), so the only thing allowed to differ is `at_us`, which
+//! [`cde_telemetry::strip_at_us`] removes. The world is pinned to make
+//! outcomes reproducible: one planted cache (every probe warms the
+//! same cache, so the observed count is 1 regardless of how many extra
+//! queries the resumed run re-probes), a serial window, a checkpoint
+//! after every completion, and no injected faults.
+
+use cde_core::CdeInfra;
+use cde_engine::{LiveTestbed, RateConfig, ReactorConfig, ResolverConfig, RetryPolicy};
+use cde_platform::{NameserverNet, PlatformBuilder, ResolutionPlatform, SelectorKind};
+use cde_serve::{CampaignManager, CampaignSpec, CampaignState, ManagerConfig, World};
+use cde_telemetry::{strip_at_us, TelemetryHub};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const INGRESS: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+
+fn build_world(seed: u64) -> (ResolutionPlatform, NameserverNet, CdeInfra) {
+    let mut net = NameserverNet::new();
+    let infra = CdeInfra::install(&mut net);
+    let platform = PlatformBuilder::new(seed)
+        .ingress(vec![INGRESS])
+        .egress((1..=3).map(|d| Ipv4Addr::new(192, 0, 3, d)).collect())
+        .cluster(1, SelectorKind::Random)
+        .build();
+    (platform, net, infra)
+}
+
+fn quiet_config(seed: u64) -> ReactorConfig {
+    ReactorConfig::with_policy(
+        RetryPolicy {
+            attempts: 4,
+            timeout: Duration::from_millis(500),
+            backoff: 1.0,
+            base_delay: Duration::from_millis(1),
+            jitter: 0.0,
+        },
+        seed,
+    )
+}
+
+fn manager_config(dir: PathBuf, hub: Arc<TelemetryHub>) -> ManagerConfig {
+    ManagerConfig {
+        checkpoint_dir: dir,
+        global_rate: RateConfig {
+            per_second: 50_000.0,
+            burst: 16.0,
+        },
+        hub,
+        registry: None,
+    }
+}
+
+fn spec(farm: usize, kill_after: Option<u64>) -> CampaignSpec {
+    CampaignSpec {
+        tenant: "prover".into(),
+        label: "replay".into(),
+        caches_hint: 1,
+        farm_size: farm,
+        redundancy: 1,
+        window: 1,
+        checkpoint_every: 1,
+        kill_after,
+        ..CampaignSpec::default()
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cde-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn drained(hub: &Arc<TelemetryHub>) -> String {
+    let mut buf = Vec::new();
+    hub.drain_jsonl(&mut buf).unwrap();
+    strip_at_us(&String::from_utf8(buf).unwrap())
+}
+
+/// One campaign run end to end with no interruption; returns the
+/// stripped telemetry stream of its (otherwise empty) hub.
+fn uninterrupted_stream(farm: usize, seed: u64, tag: &str) -> String {
+    let dir = fresh_dir(tag);
+    let (platform, net, infra) = build_world(seed);
+    let testbed = LiveTestbed::launch(platform, net, ResolverConfig::default()).unwrap();
+    let transport = testbed.reactor_transport(quiet_config(seed)).unwrap();
+    let hub = TelemetryHub::new(cde_telemetry::DEFAULT_RING_CAPACITY);
+    let manager = CampaignManager::new(
+        World { transport, infra },
+        manager_config(dir, Arc::clone(&hub)),
+    );
+    let id = manager.submit(spec(farm, None)).unwrap();
+    assert!(manager.join(&id));
+    assert_eq!(manager.status(&id).unwrap().state, CampaignState::Done);
+    drop(manager);
+    drained(&hub)
+}
+
+/// The same campaign killed after `k` completions and resumed by a
+/// fresh manager over the same testbed; returns the *resumed* hub's
+/// stripped stream (the killed hub is discarded, as a dead process's
+/// ring would be).
+fn killed_and_resumed_stream(farm: usize, k: u64, seed: u64, tag: &str) -> String {
+    let dir = fresh_dir(tag);
+    let (platform, net, infra) = build_world(seed);
+    let testbed = LiveTestbed::launch(platform, net, ResolverConfig::default()).unwrap();
+
+    let transport = testbed.reactor_transport(quiet_config(seed)).unwrap();
+    let hub_killed = TelemetryHub::new(cde_telemetry::DEFAULT_RING_CAPACITY);
+    let manager = CampaignManager::new(
+        World {
+            transport,
+            infra: infra.clone(),
+        },
+        manager_config(dir.clone(), hub_killed),
+    );
+    let id = manager.submit(spec(farm, Some(k))).unwrap();
+    assert!(manager.join(&id));
+    assert_eq!(manager.status(&id).unwrap().state, CampaignState::Killed);
+    drop(manager);
+
+    let transport = testbed.reactor_transport(quiet_config(seed)).unwrap();
+    let hub = TelemetryHub::new(cde_telemetry::DEFAULT_RING_CAPACITY);
+    let manager = CampaignManager::new(
+        World { transport, infra },
+        manager_config(dir, Arc::clone(&hub)),
+    );
+    let resumed = manager.resume_all().unwrap();
+    assert_eq!(resumed, vec![id.clone()]);
+    assert!(manager.join(&id));
+    let status = manager.status(&id).unwrap();
+    assert_eq!(status.state, CampaignState::Done);
+    assert_eq!(status.resumed_from, k);
+    drop(manager);
+    drained(&hub)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn resumed_stream_is_byte_identical_to_uninterrupted(
+        (farm, k) in (4usize..9, 0u64..64).prop_map(|(f, r)| (f, 1 + r % (f as u64 - 1))),
+    ) {
+        let seed = 1_000 + farm as u64 * 100 + k;
+        let baseline = uninterrupted_stream(farm, seed, &format!("ckprop-a-{farm}-{k}"));
+        let resumed = killed_and_resumed_stream(farm, k, seed, &format!("ckprop-b-{farm}-{k}"));
+        prop_assert!(
+            baseline.contains("\"kind\": \"campaign_tenant\""),
+            "span stream must carry the tenant tag:\n{baseline}"
+        );
+        prop_assert!(
+            baseline.lines().count() >= farm + 4,
+            "expected begin + tenant + {farm} probe notes + finals:\n{baseline}"
+        );
+        prop_assert_eq!(
+            &resumed,
+            &baseline,
+            "resumed stream diverged (farm {}, kill after {})",
+            farm,
+            k
+        );
+    }
+}

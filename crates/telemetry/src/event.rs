@@ -65,6 +65,15 @@ pub enum EventKind {
         /// Annotation value.
         value: u64,
     },
+    /// The tenant a campaign span belongs to — multi-tenant daemons tag
+    /// each span right after `campaign_begin` so one JSONL stream can be
+    /// split per tenant.
+    CampaignTenant {
+        /// Tenant name. `&'static str` keeps events `Copy`; daemons
+        /// intern each tenant name once at registration (the tenant set
+        /// is small and bounded).
+        tenant: &'static str,
+    },
     /// A campaign span closed.
     CampaignEnd {
         /// Units completed (same unit as `CampaignBegin::planned`).
@@ -135,6 +144,7 @@ impl EventKind {
             EventKind::CampaignBegin { .. } => "campaign_begin",
             EventKind::CampaignProgress { .. } => "campaign_progress",
             EventKind::CampaignNote { .. } => "campaign_note",
+            EventKind::CampaignTenant { .. } => "campaign_tenant",
             EventKind::CampaignEnd { .. } => "campaign_end",
             EventKind::ProbePlanned { .. } => "probe_planned",
             EventKind::ProbeSent { .. } => "probe_sent",
@@ -190,6 +200,10 @@ impl Event {
                 out.push_str(", \"key\": ");
                 json::write_str(out, key);
                 let _ = write!(out, ", \"value\": {value}");
+            }
+            EventKind::CampaignTenant { tenant } => {
+                out.push_str(", \"tenant\": ");
+                json::write_str(out, tenant);
             }
             EventKind::CampaignEnd {
                 completed,
@@ -276,6 +290,7 @@ mod tests {
                 in_flight: 0,
             },
             EventKind::CampaignNote { key: "k", value: 9 },
+            EventKind::CampaignTenant { tenant: "alice" },
             EventKind::CampaignEnd {
                 completed: 1,
                 answered: 1,

@@ -225,6 +225,12 @@ impl CampaignSpan {
             .emit(self.id, EventKind::CampaignNote { key, value });
     }
 
+    /// Tags this span with its owning tenant (emits `campaign_tenant`).
+    /// Multi-tenant daemons call this right after opening the span.
+    pub fn tenant(&self, tenant: &'static str) {
+        self.hub.emit(self.id, EventKind::CampaignTenant { tenant });
+    }
+
     /// Emits an arbitrary event tagged with this span's id — the hook
     /// campaign drivers use for probe lifecycle events they originate
     /// (e.g. `probe_planned` at submission time).
@@ -315,6 +321,20 @@ mod tests {
                 timeouts: 1
             }
         ));
+    }
+
+    #[test]
+    fn tenant_tag_lands_in_the_span_stream() {
+        let hub = TelemetryHub::new(64);
+        let span = hub.begin_campaign("tenant_tagged", 4);
+        span.tenant("alice");
+        span.end(4, 4, 0);
+        let events = hub.drain();
+        assert_eq!(events[1].kind.name(), "campaign_tenant");
+        assert_eq!(events[1].campaign, events[0].campaign);
+        let mut line = String::new();
+        events[1].write_jsonl(&mut line);
+        assert!(line.contains("\"tenant\": \"alice\""), "{line}");
     }
 
     #[test]

@@ -1,0 +1,147 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the cde-serve daemon over its HTTP control plane:
+#
+#   1. start the daemon on an ephemeral port (bursty chaos enabled),
+#   2. register two tenants with 1:3 weights and run a campaign to
+#      completion with the exact planted cache count,
+#   3. scrape /metrics for the per-tenant probe counters,
+#   4. kill -9 the daemon mid-campaign, restart it with --resume, and
+#      watch the checkpointed campaign run to completion,
+#   5. shut down gracefully over HTTP and check the telemetry JSONL
+#      carries the per-tenant campaign spans.
+#
+# Note on step 4: restarting the daemon rebuilds the *simulated*
+# testbed, so its caches come back cold — honey-fetch evidence across a
+# process restart is additive (old world + new world), unlike the
+# in-process kill/resume (same world) where the recovered count is
+# exact; that stronger property is proven by
+# `crates/serve/tests/kill_resume.rs`. Here we assert completion,
+# accounting and that the resume really continued from the snapshot.
+#
+# Usage: scripts/serve_smoke.sh   (from the repo root; needs curl)
+
+set -euo pipefail
+
+SEED="${CDE_CHAOS_SEED:-4242}"
+DIR="target/serve-smoke"
+BIN="target/release/cde-serve"
+CACHES=6
+
+say() { echo "serve-smoke: $*"; }
+die() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
+
+json_field() { # json_field <key> — prints the value of "key" from stdin
+    sed -n "s/.*\"$1\": \"\{0,1\}\([^,\"}]*\)\"\{0,1\}.*/\1/p" | head -n 1
+}
+
+DAEMON_PID=""
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+start_daemon() { # start_daemon [extra flags...]
+    rm -f "$DIR/addr"
+    "$BIN" --listen 127.0.0.1:0 --checkpoint-dir "$DIR/ckpt" \
+        --testbed-caches "$CACHES" --testbed-seed "$SEED" \
+        --chaos --rate 2000 \
+        --telemetry-jsonl "$DIR/events.jsonl" --addr-file "$DIR/addr" \
+        "$@" &
+    DAEMON_PID=$!
+    for _ in $(seq 1 100); do
+        [ -s "$DIR/addr" ] && break
+        kill -0 "$DAEMON_PID" 2>/dev/null || die "daemon died during startup"
+        sleep 0.1
+    done
+    [ -s "$DIR/addr" ] || die "daemon never wrote its address file"
+    ADDR="$(cat "$DIR/addr")"
+    say "daemon up at $ADDR (pid $DAEMON_PID)"
+}
+
+poll_status() { # poll_status <id> <want-state> <timeout-s>
+    local id="$1" want="$2" timeout="$3" status state
+    for _ in $(seq 1 $((timeout * 10))); do
+        status="$(curl -fsS "http://$ADDR/v1/campaigns/$id")"
+        state="$(echo "$status" | json_field state)"
+        if [ "$state" = "$want" ]; then
+            echo "$status"
+            return 0
+        fi
+        sleep 0.1
+    done
+    die "campaign $id never reached state=$want (last: $status)"
+}
+
+say "building cde-serve"
+cargo build --release --locked -p cde-serve
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+start_daemon
+
+say "health check"
+curl -fsS "http://$ADDR/healthz" | grep -q '"ok": true' || die "healthz"
+
+say "registering tenants alice (weight 1) and bob (weight 3)"
+curl -fsS -X POST -d '{"name": "alice", "weight": 1}' "http://$ADDR/v1/tenants" >/dev/null
+curl -fsS -X POST -d '{"name": "bob", "weight": 3}' "http://$ADDR/v1/tenants" >/dev/null
+
+say "submitting bob's campaign against the planted $CACHES-cache testbed"
+BOB_ID="$(curl -fsS -X POST -d \
+    '{"tenant": "bob", "label": "smoke", "caches_hint": 6, "loss_hint": 0.25, "farm_size": 60, "redundancy": 2, "window": 8, "checkpoint_every": 8}' \
+    "http://$ADDR/v1/campaigns" | json_field id)"
+[ -n "$BOB_ID" ] || die "no campaign id returned"
+say "campaign $BOB_ID submitted; polling to completion"
+
+STATUS="$(poll_status "$BOB_ID" done 60)"
+echo "$STATUS" | grep -q "\"estimated\": $CACHES," || die "wrong estimate: $STATUS"
+echo "$STATUS" | grep -q '"fully_accounted": true' || die "probes leaked: $STATUS"
+say "campaign $BOB_ID done: exact cache count recovered under chaos"
+
+say "scraping /metrics for per-tenant counters"
+METRICS="$(curl -fsS "http://$ADDR/metrics")"
+echo "$METRICS" | grep -q 'cde_serve_tenant_probes_total{tenant="bob"}' \
+    || die "missing bob's probe counter in scrape"
+echo "$METRICS" | grep -q 'cde_serve_tenant_weight{tenant="alice"} 1' \
+    || die "missing alice's weight gauge in scrape"
+
+say "submitting alice's slow campaign, then kill -9 mid-flight"
+curl -fsS -X POST -d '{"name": "victim", "weight": 1, "cap_per_second": 150, "cap_burst": 1}' \
+    "http://$ADDR/v1/tenants" >/dev/null
+VICTIM_ID="$(curl -fsS -X POST -d \
+    '{"tenant": "victim", "label": "victim", "caches_hint": 6, "loss_hint": 0.25, "farm_size": 120, "redundancy": 2, "window": 8, "checkpoint_every": 8}' \
+    "http://$ADDR/v1/campaigns" | json_field id)"
+for _ in $(seq 1 300); do
+    COMPLETED="$(curl -fsS "http://$ADDR/v1/campaigns/$VICTIM_ID" | json_field completed)"
+    [ "${COMPLETED:-0}" -ge 40 ] && break
+    sleep 0.1
+done
+[ "${COMPLETED:-0}" -ge 40 ] || die "victim campaign made no progress"
+[ "$COMPLETED" -lt 240 ] || die "victim finished before the kill landed"
+say "kill -9 at $COMPLETED/240 completions"
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
+say "restarting with --resume"
+start_daemon --resume
+STATUS="$(poll_status "$VICTIM_ID" done 60)"
+RESUMED_FROM="$(echo "$STATUS" | json_field resumed_from)"
+[ "${RESUMED_FROM:-0}" -gt 0 ] || die "resume did not continue from the snapshot: $STATUS"
+echo "$STATUS" | grep -q '"completed": 240' || die "resumed campaign incomplete: $STATUS"
+echo "$STATUS" | grep -q '"fully_accounted": true' || die "probes leaked across the kill: $STATUS"
+say "campaign $VICTIM_ID resumed from $RESUMED_FROM and completed"
+
+say "graceful shutdown over HTTP"
+curl -fsS -X POST "http://$ADDR/v1/shutdown" >/dev/null
+wait "$DAEMON_PID" || die "daemon did not exit cleanly after /v1/shutdown"
+DAEMON_PID=""
+
+say "checking telemetry JSONL for per-tenant campaign spans"
+grep -q '"kind": "campaign_tenant", "tenant": "bob"' "$DIR/events.jsonl" \
+    || die "bob's span tenant tag missing from $DIR/events.jsonl"
+grep -q '"kind": "campaign_tenant", "tenant": "victim"' "$DIR/events.jsonl" \
+    || die "victim's span tenant tag missing from $DIR/events.jsonl"
+grep -q '"kind": "campaign_begin"' "$DIR/events.jsonl" || die "no campaign spans captured"
+
+say "OK"

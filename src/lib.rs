@@ -23,7 +23,11 @@
 //!   for chaos-testing the engine,
 //! * [`insight`] — latency analysis: streaming RTT digests, hot-path
 //!   phase profiling, bimodality splitting and the offline telemetry
-//!   trace analyzer behind the `cde-analyze` binary.
+//!   trace analyzer behind the `cde-analyze` binary,
+//! * [`serve`] — the multi-tenant campaign daemon: weighted per-tenant
+//!   pacing over one shared reactor, checkpoint/resume snapshots and
+//!   the dependency-free HTTP control plane behind the `cde-serve`
+//!   binary.
 //!
 //! # Quickstart
 //!
@@ -67,4 +71,5 @@ pub use cde_insight as insight;
 pub use cde_netsim as netsim;
 pub use cde_platform as platform;
 pub use cde_probers as probers;
+pub use cde_serve as serve;
 pub use cde_telemetry as telemetry;
