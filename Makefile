@@ -15,7 +15,8 @@ bench-smoke:
 	cargo bench -p cde-bench --locked -- --test
 
 # Blocking-vs-reactor campaign throughput at 1k/10k probes over real
-# loopback UDP; writes BENCH_engine.json (probes/sec, p50/p99 latency)
+# loopback UDP, plus the 1/2/4/8-shard scaling curve; writes
+# BENCH_engine.json (probes/sec, p50/p99 latency, per-shard throughput)
 # plus BENCH_engine_metrics.json (final reactor metrics-registry
 # snapshot: engine counters, health gauges, pool/limiter/telemetry).
 bench-json:
@@ -48,8 +49,10 @@ serve-smoke:
 	scripts/serve_smoke.sh
 
 # Regenerate the engine benchmark and gate on the committed baseline:
-# fails when the reactor-vs-blocking speedup drops more than 25% (or,
-# once the baseline records it, the insight digests-on/off ratio).
+# fails when the reactor-vs-blocking speedup drops more than 25%, the
+# insight digests-on/off ratio regresses, per-shard scaling efficiency
+# falls more than 10% below the baseline curve, or (on a multi-core
+# host) 2 shards deliver less than 1.6x one shard.
 bench-check:
 	cargo run --release --locked -p cde-bench --bin engine_bench -- \
 		BENCH_engine.fresh.json

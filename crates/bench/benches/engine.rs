@@ -55,6 +55,24 @@ fn bench_retry_schedule(c: &mut Criterion) {
     });
 }
 
+fn bench_shard_partition(c: &mut Criterion) {
+    // The submit-path tax of sharding: one FNV hash of the target
+    // ingress per probe, routing it to its owning shard. This has to
+    // stay in the nanoseconds for the partition to be free relative to
+    // the syscalls it sits in front of.
+    let mut group = c.benchmark_group("engine/shard_partition");
+    for &shards in &[1usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &n| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                black_box(cde_engine::shard_for_target(Ipv4Addr::from(i), n))
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_metrics_record(c: &mut Criterion) {
     let metrics = EngineMetrics::new();
     c.bench_function("engine/metrics_record", |b| {
@@ -194,6 +212,7 @@ criterion_group!(
     benches,
     bench_rate_limiter,
     bench_retry_schedule,
+    bench_shard_partition,
     bench_metrics_record,
     bench_telemetry_emit,
     bench_live_probe_roundtrip,

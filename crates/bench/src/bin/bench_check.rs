@@ -59,6 +59,92 @@ fn extract_insight(json: &str) -> Vec<(u64, f64)> {
         .collect()
 }
 
+/// `(shards, aggregate probes_per_sec)` pairs from the shard-scaling
+/// curve. Absent from reports older than the `"scaling"` array.
+fn extract_scaling(json: &str) -> Vec<(u64, f64)> {
+    json.lines()
+        .filter_map(|line| {
+            if !line.contains("\"per_shard_probes_per_sec\"") {
+                return None;
+            }
+            Some((
+                field_f64(line, "shards")? as u64,
+                field_f64(line, "probes_per_sec")?,
+            ))
+        })
+        .collect()
+}
+
+/// The core count `engine_bench` detected when it wrote the report.
+fn detected_parallelism(json: &str) -> Option<u64> {
+    json.lines()
+        .find_map(|line| field_f64(line, "available_parallelism"))
+        .map(|v| v as u64)
+}
+
+/// Shard-scaling gates, active once the committed baseline carries a
+/// `"scaling"` curve:
+///
+/// * on a host with ≥ 2 cores, the fresh 2-shard run must reach at
+///   least 1.6× the fresh single-shard run (compared within one report,
+///   so machine speed cancels; single-core hosts skip this — there is
+///   no parallelism for a second shard to claim);
+/// * per-shard *efficiency* — per-shard throughput over the same
+///   report's single-shard throughput — must not fall more than 10%
+///   below the baseline's efficiency at the same shard count.
+fn gate_scaling(baseline: &str, fresh: &str) -> bool {
+    const MIN_TWO_SHARD_SPEEDUP: f64 = 1.6;
+    const MAX_EFFICIENCY_REGRESS: f64 = 0.10;
+    let base = extract_scaling(baseline);
+    if base.is_empty() {
+        return false; // pre-sharding baseline: the scaling gates are off
+    }
+    let new = extract_scaling(fresh);
+    let single = |curve: &[(u64, f64)]| curve.iter().find(|(s, _)| *s == 1).map(|(_, p)| *p);
+    let (Some(new_single), Some(base_single)) = (single(&new), single(&base)) else {
+        eprintln!("FAIL scaling: baseline has a shard curve but fresh run lacks one");
+        return true;
+    };
+    let mut failed = false;
+
+    let cores = detected_parallelism(fresh).unwrap_or(1);
+    if cores >= 2 {
+        if let Some((_, two)) = new.iter().find(|(s, _)| *s == 2) {
+            let need = new_single * MIN_TWO_SHARD_SPEEDUP;
+            let verdict = if *two < need { "FAIL" } else { "ok  " };
+            eprintln!(
+                "{verdict} scaling: 2 shards {two:.0} probes/s vs 1 shard {new_single:.0} \
+                 (need {MIN_TWO_SHARD_SPEEDUP}x = {need:.0} on a {cores}-core host)"
+            );
+            failed |= *two < need;
+        } else {
+            eprintln!("FAIL scaling: fresh curve has no 2-shard run");
+            failed = true;
+        }
+    } else {
+        eprintln!("ok   scaling: single-core host, the 2-shard speedup gate is skipped");
+    }
+
+    for (shards, base_pps) in &base {
+        let Some((_, new_pps)) = new.iter().find(|(s, _)| s == shards) else {
+            eprintln!("FAIL scaling: baseline has {shards} shard(s) but fresh run lacks it");
+            failed = true;
+            continue;
+        };
+        let base_eff = (base_pps / *shards as f64) / base_single;
+        let new_eff = (new_pps / *shards as f64) / new_single;
+        let floor = base_eff * (1.0 - MAX_EFFICIENCY_REGRESS);
+        let verdict = if new_eff < floor { "FAIL" } else { "ok  " };
+        eprintln!(
+            "{verdict} scaling: {shards} shard(s) per-shard efficiency {new_eff:.2} vs \
+             baseline {base_eff:.2} (floor {floor:.2} at -{:.0}%)",
+            MAX_EFFICIENCY_REGRESS * 100.0
+        );
+        failed |= new_eff < floor;
+    }
+    failed
+}
+
 fn usage() -> ExitCode {
     eprintln!("usage: bench_check <baseline.json> <fresh.json> [--max-regress 0.25] [--absolute]");
     ExitCode::from(2)
@@ -126,6 +212,10 @@ fn main() -> ExitCode {
         );
     }
 
+    // Shard-scaling gates (2-shard speedup on multi-core hosts,
+    // per-shard efficiency vs baseline), likewise baseline-activated.
+    failed |= gate_scaling(&baseline, &fresh);
+
     if failed {
         ExitCode::from(1)
     } else {
@@ -161,6 +251,7 @@ mod tests {
     use super::*;
 
     const REPORT: &str = r#"{
+  "available_parallelism": 4,
   "runs": [
     {"backend": "blocking", "probes": 1000, "probes_per_sec": 13710.8, "latency_p50_us": 312},
     {"backend": "reactor", "probes": 1000, "probes_per_sec": 75976.2, "latency_p50_us": 690},
@@ -173,6 +264,11 @@ mod tests {
   ],
   "insight": [
     {"probes": 10000, "digests_on_vs_off": 0.97}
+  ],
+  "scaling": [
+    {"shards": 1, "probes": 10000, "probes_per_sec": 80000.0, "per_shard_probes_per_sec": 80000.0},
+    {"shards": 2, "probes": 10000, "probes_per_sec": 150000.0, "per_shard_probes_per_sec": 75000.0},
+    {"shards": 4, "probes": 10000, "probes_per_sec": 260000.0, "per_shard_probes_per_sec": 65000.0}
   ]
 }"#;
 
@@ -198,6 +294,69 @@ mod tests {
     #[test]
     fn insight_lines_do_not_leak_into_speedup_extraction() {
         assert_eq!(extract(REPORT, false), vec![(1000, 5.54), (10000, 6.05)]);
+    }
+
+    #[test]
+    fn extracts_scaling_curve_and_parallelism() {
+        assert_eq!(
+            extract_scaling(REPORT),
+            vec![(1, 80000.0), (2, 150000.0), (4, 260000.0)]
+        );
+        assert_eq!(detected_parallelism(REPORT), Some(4));
+        assert!(extract_scaling(r#"{"speedup": []}"#).is_empty());
+    }
+
+    /// `"shards"` on a scaling line must not leak into the run/speedup
+    /// extractors (no `probes_per_sec` confusion across arrays).
+    #[test]
+    fn scaling_lines_do_not_leak_into_other_extractors() {
+        assert_eq!(extract(REPORT, false), vec![(1000, 5.54), (10000, 6.05)]);
+        assert_eq!(
+            extract(REPORT, true),
+            vec![(1000, 75976.2), (10000, 79818.3)]
+        );
+    }
+
+    #[test]
+    fn scaling_gate_passes_on_identical_reports() {
+        assert!(!gate_scaling(REPORT, REPORT));
+    }
+
+    #[test]
+    fn scaling_gate_is_off_without_a_baseline_curve() {
+        assert!(!gate_scaling(r#"{"speedup": []}"#, REPORT));
+    }
+
+    #[test]
+    fn scaling_gate_fails_when_two_shards_stop_scaling() {
+        // 2 shards at 1.1x single-shard on a 4-core host: below 1.6x.
+        let fresh = REPORT.replace(
+            "\"shards\": 2, \"probes\": 10000, \"probes_per_sec\": 150000.0",
+            "\"shards\": 2, \"probes\": 10000, \"probes_per_sec\": 88000.0",
+        );
+        assert!(gate_scaling(REPORT, &fresh));
+    }
+
+    #[test]
+    fn scaling_gate_skips_speedup_but_keeps_efficiency_on_one_core() {
+        let single_core = REPORT.replace(
+            "\"available_parallelism\": 4",
+            "\"available_parallelism\": 1",
+        );
+        // Same curve: efficiency unchanged, speedup gate skipped — pass.
+        assert!(!gate_scaling(REPORT, &single_core));
+        // Collapsed 4-shard throughput: efficiency regresses past 10%
+        // even though the speedup gate is off.
+        let regressed = single_core.replace(
+            "\"shards\": 4, \"probes\": 10000, \"probes_per_sec\": 260000.0",
+            "\"shards\": 4, \"probes\": 10000, \"probes_per_sec\": 200000.0",
+        );
+        assert!(gate_scaling(REPORT, &regressed));
+    }
+
+    #[test]
+    fn scaling_gate_fails_when_fresh_run_drops_the_curve() {
+        assert!(gate_scaling(REPORT, r#"{"speedup": []}"#));
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub struct PoolStats {
     recycled: AtomicU64,
     discarded: AtomicU64,
     idle: AtomicU64,
+    /// When set, every exported series carries a `shard` label so the
+    /// per-shard pools of a sharded reactor stay distinguishable.
+    shard: Option<u64>,
 }
 
 impl PoolStats {
@@ -48,26 +51,30 @@ impl PoolStats {
 
 impl Collector for PoolStats {
     fn collect(&self, out: &mut Vec<Metric>) {
-        out.push(Metric::counter(
+        let label = |m: Metric| match self.shard {
+            Some(s) => m.with_label("shard", s.to_string()),
+            None => m,
+        };
+        out.push(label(Metric::counter(
             "cde_bufpool_minted_total",
             "Buffers allocated because the free list was empty",
             self.minted(),
-        ));
-        out.push(Metric::counter(
+        )));
+        out.push(label(Metric::counter(
             "cde_bufpool_recycled_total",
             "Buffer takes served from the free list",
             self.recycled(),
-        ));
-        out.push(Metric::counter(
+        )));
+        out.push(label(Metric::counter(
             "cde_bufpool_discarded_total",
             "Returned buffers dropped by the retention cap",
             self.discarded(),
-        ));
-        out.push(Metric::gauge(
+        )));
+        out.push(label(Metric::gauge(
             "cde_bufpool_idle",
             "Buffers currently in the free list",
             self.idle() as f64,
-        ));
+        )));
     }
 }
 
@@ -94,6 +101,20 @@ impl BufferPool {
             buf_capacity,
             max_free,
             stats: Arc::new(PoolStats::default()),
+        }
+    }
+
+    /// Like [`BufferPool::new`], but the stats handle tags its exported
+    /// series with `shard` so several pools can share one registry.
+    pub fn new_labeled(buf_capacity: usize, max_free: usize, shard: u64) -> BufferPool {
+        BufferPool {
+            free: Vec::with_capacity(max_free.min(1024)),
+            buf_capacity,
+            max_free,
+            stats: Arc::new(PoolStats {
+                shard: Some(shard),
+                ..PoolStats::default()
+            }),
         }
     }
 
@@ -190,5 +211,24 @@ mod tests {
         let mut out = Vec::new();
         stats.collect(&mut out);
         assert!(out.iter().any(|m| m.name == "cde_bufpool_minted_total"));
+    }
+
+    #[test]
+    fn labeled_pool_tags_every_series() {
+        let pool = BufferPool::new_labeled(16, 2, 3);
+        let mut out = Vec::new();
+        pool.stats().collect(&mut out);
+        assert_eq!(out.len(), 4);
+        for metric in &out {
+            assert!(
+                metric.labels.iter().any(|(k, v)| *k == "shard" && v == "3"),
+                "{} missing shard label",
+                metric.name
+            );
+        }
+        // The unlabeled constructor stays label-free (golden stability).
+        let mut out = Vec::new();
+        BufferPool::new(16, 2).stats().collect(&mut out);
+        assert!(out.iter().all(|m| m.labels.is_empty()));
     }
 }

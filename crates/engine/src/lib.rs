@@ -21,19 +21,25 @@
 //! * [`resolver`] — [`LoopbackResolver`](resolver::LoopbackResolver): a
 //!   loopback recursive-resolver shim backed by a simulated cache
 //!   platform, with injectable loss, for hermetic end-to-end tests.
-//! * [`reactor`] — the event-driven probe [`Reactor`](reactor::Reactor):
-//!   one thread multiplexing thousands of in-flight probes over
+//! * [`reactor`] — the sharded event-driven probe
+//!   [`Reactor`](reactor::Reactor): one event loop per core, each
+//!   multiplexing thousands of in-flight probes over its own
 //!   non-blocking sockets, with a correlation table (query-id / source /
 //!   question validation against spoofed and stray replies), a
 //!   hierarchical timer wheel for deadlines and retransmits, batched
 //!   `sendmmsg`/`recvmmsg` syscalls via `cde-sysio`, and pooled
-//!   zero-alloc encodings; [`ReactorTransport`](reactor::ReactorTransport)
+//!   zero-alloc encodings. Probes are partitioned across shards by a
+//!   stable hash of the target ingress
+//!   ([`shard_for_target`](reactor::shard_for_target)), submitted over
+//!   per-shard lock-free rings, and the per-shard metrics blocks merge
+//!   on snapshot; [`ReactorTransport`](reactor::ReactorTransport)
 //!   is its one-probe-at-a-time [`Transport`](transport::Transport) seam.
 //!   With [`ReactorConfig::insight`](reactor::ReactorConfig::insight)
-//!   set, the loop additionally feeds per-target `cde-insight` RTT
-//!   digests at reply-match time and samples wall-clock timers around
-//!   the five hot-path phases (encode, send-batch, recv-batch, decode,
-//!   correlate) — the capture tier of the §IV-B3 latency side channel.
+//!   set, the loops additionally feed per-target `cde-insight` RTT
+//!   digests at reply-match time and sample wall-clock timers around
+//!   the six hot-path phases (timers, encode, send-batch, recv-batch,
+//!   decode, correlate) — the capture tier of the §IV-B3 latency side
+//!   channel.
 //! * [`scheduler`] — campaign execution: crossbeam worker pools, bounded
 //!   in-flight probes, token-bucket rate limiting, loss feedback into
 //!   `cde-core::planner`; [`PipelinedCampaign`](scheduler::PipelinedCampaign)
@@ -73,6 +79,7 @@ pub mod reactor;
 pub mod resolver;
 pub mod retry;
 pub mod scheduler;
+mod shard;
 pub mod sim;
 pub mod testbed;
 pub mod timer;
@@ -86,11 +93,11 @@ pub use bufpool::{BufferPool, PoolStats};
 pub use cde_sysio::MAX_BATCH;
 pub use clock::EngineClock;
 pub use faulty::FaultyTransport;
-pub use metrics::{EngineMetrics, MetricsSnapshot};
+pub use metrics::{EngineMetrics, MetricsBlock, MetricsSnapshot};
 pub use ratelimit::{RateConfig, RateLimiter, TenantRate, WeightedRateLimiter};
 pub use reactor::{
-    InsightOptions, ProbeCompletion, Reactor, ReactorConfig, ReactorHandle, ReactorInsight,
-    ReactorTransport,
+    shard_for_target, InsightOptions, ProbeCompletion, Reactor, ReactorConfig, ReactorHandle,
+    ReactorInsight, ReactorTransport, ShardedReactor,
 };
 pub use resolver::{LoopbackResolver, ResolverConfig};
 pub use retry::RetryPolicy;

@@ -1,14 +1,25 @@
 //! Engine observability: lock-free counters and a latency histogram.
 //!
-//! [`EngineMetrics`] is the shared atomic counter block every transport
-//! and the reactor hammer from their hot paths; it also implements
-//! `cde_telemetry`'s [`Collector`], so registering the block into a
+//! [`MetricsBlock`] is the shared atomic counter block every transport
+//! and reactor shard hammers from its hot path. [`EngineMetrics`] owns
+//! one block per reactor shard and presents them as a single engine:
+//! every read-side method (`snapshot`, the `Collector` impl) merges the
+//! blocks, while the write-side methods delegate to block 0 so code
+//! that treats the engine as one counter set (the blocking transport,
+//! the scheduler) keeps working unchanged. A sharded reactor instead
+//! grabs `shard(i)` once at launch and records into its own block with
+//! zero cross-core contention.
+//!
+//! Registering [`EngineMetrics`] into a
 //! [`MetricsRegistry`](cde_telemetry::MetricsRegistry) exposes every
-//! counter, gauge and histogram over Prometheus text or JSON snapshots.
+//! counter, gauge and histogram over Prometheus text or JSON snapshots;
+//! with more than one block, each family is exported per shard with a
+//! `shard` label.
 
 use cde_telemetry::{Collector, Metric};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Number of exponential latency buckets. Bucket `i` covers
@@ -21,7 +32,8 @@ const BASE_US: u64 = 16;
 /// `2^i` to `2^(i+1) − 1` datagrams; the last bucket is open-ended.
 const BATCH_BUCKETS: usize = 8;
 
-/// Shared atomic counters for one engine (transport + scheduler).
+/// Shared atomic counters for one engine shard (or a whole unsharded
+/// engine — a transport worker pool is "shard 0" of a 1-block engine).
 ///
 /// All methods take `&self`; the struct is designed to sit behind an
 /// `Arc` and be hammered from worker threads. `snapshot()` produces a
@@ -29,7 +41,7 @@ const BATCH_BUCKETS: usize = 8;
 /// are relaxed; exact cross-counter consistency is not needed for
 /// telemetry).
 #[derive(Debug, Default)]
-pub struct EngineMetrics {
+pub struct MetricsBlock {
     /// Datagrams handed to the OS (every attempt counts).
     sent: AtomicU64,
     /// Responses received and matched to an outstanding query.
@@ -85,8 +97,8 @@ pub struct EngineMetrics {
     slab_capacity: AtomicU64,
 }
 
-impl EngineMetrics {
-    /// Creates a zeroed metrics block.
+impl MetricsBlock {
+    /// Creates a zeroed counter block.
     pub fn new() -> Self {
         Self::default()
     }
@@ -102,7 +114,7 @@ impl EngineMetrics {
         let us = rtt.as_micros().min(u128::from(u64::MAX)) as u64;
         self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
         self.latency_count.fetch_add(1, Ordering::Relaxed);
-        self.latency_buckets[Self::bucket_for(us)].fetch_add(1, Ordering::Relaxed);
+        self.latency_buckets[bucket_for(us)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a probe that ran out of attempts.
@@ -166,7 +178,7 @@ impl EngineMetrics {
         self.loop_count.fetch_add(1, Ordering::Relaxed);
         self.loop_sum_us.fetch_add(us, Ordering::Relaxed);
         self.loop_max_us.fetch_max(us, Ordering::Relaxed);
-        self.loop_buckets[Self::bucket_for(us)].fetch_add(1, Ordering::Relaxed);
+        self.loop_buckets[bucket_for(us)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Sets the timer-wheel pending gauge, tracking its high-water mark.
@@ -178,14 +190,6 @@ impl EngineMetrics {
     /// Records the correlation-slab capacity (once, at reactor launch).
     pub fn set_slab_capacity(&self, n: u64) {
         self.slab_capacity.store(n, Ordering::Relaxed);
-    }
-
-    fn bucket_for(us: u64) -> usize {
-        if us < BASE_US {
-            return 0;
-        }
-        let idx = (64 - (us / BASE_US).leading_zeros()) as usize;
-        idx.min(BUCKETS - 1)
     }
 
     /// Takes a point-in-time copy of every counter.
@@ -231,7 +235,157 @@ impl EngineMetrics {
     }
 }
 
-/// Point-in-time copy of [`EngineMetrics`].
+fn bucket_for(us: u64) -> usize {
+    if us < BASE_US {
+        return 0;
+    }
+    let idx = (64 - (us / BASE_US).leading_zeros()) as usize;
+    idx.min(BUCKETS - 1)
+}
+
+/// Shared counters for one engine: one [`MetricsBlock`] per reactor
+/// shard, merged on every read.
+///
+/// With one block (the default) this behaves exactly like the block
+/// itself did before sharding — same methods, same exported families.
+/// With N blocks, writers pick their block via [`EngineMetrics::shard`]
+/// and readers see merged totals via [`EngineMetrics::snapshot`], or
+/// per-shard series (labelled `shard="i"`) from the `Collector` impl.
+#[derive(Debug)]
+pub struct EngineMetrics {
+    blocks: Vec<Arc<MetricsBlock>>,
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        Self::with_shards(1)
+    }
+}
+
+impl EngineMetrics {
+    /// A single-block engine (the unsharded shape).
+    pub fn new() -> Self {
+        Self::with_shards(1)
+    }
+
+    /// An engine with one zeroed block per shard.
+    pub fn with_shards(shards: usize) -> Self {
+        EngineMetrics {
+            blocks: (0..shards.max(1))
+                .map(|_| Arc::new(MetricsBlock::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of per-shard blocks.
+    pub fn shards(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The block for shard `i` — a reactor shard clones this once at
+    /// launch and records into it without touching the other shards.
+    ///
+    /// # Panics
+    ///
+    /// If `i >= self.shards()`.
+    pub fn shard(&self, i: usize) -> Arc<MetricsBlock> {
+        Arc::clone(&self.blocks[i])
+    }
+
+    /// Snapshot of a single shard's block.
+    ///
+    /// # Panics
+    ///
+    /// If `i >= self.shards()`.
+    pub fn shard_snapshot(&self, i: usize) -> MetricsSnapshot {
+        self.blocks[i].snapshot()
+    }
+
+    /// Merged point-in-time copy across every shard. Counters and
+    /// histograms sum; `loop_max_us` takes the slowest shard; the peak
+    /// gauges sum per-shard peaks (an upper bound on the true global
+    /// peak, since shards peak at different instants).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut merged = self.blocks[0].snapshot();
+        for block in &self.blocks[1..] {
+            merged.merge_from(&block.snapshot());
+        }
+        merged
+    }
+
+    /// Records one datagram sent (block 0 — unsharded writers).
+    pub fn record_sent(&self) {
+        self.blocks[0].record_sent();
+    }
+
+    /// Records one matched response, with its round-trip time.
+    pub fn record_received(&self, rtt: Duration) {
+        self.blocks[0].record_received(rtt);
+    }
+
+    /// Records a probe that ran out of attempts.
+    pub fn record_timeout(&self) {
+        self.blocks[0].record_timeout();
+    }
+
+    /// Records one retry (an attempt after the first).
+    pub fn record_retry(&self) {
+        self.blocks[0].record_retry();
+    }
+
+    /// Records a rate-limiter stall of `waited`.
+    pub fn record_rate_limit_stall(&self, waited: Duration) {
+        self.blocks[0].record_rate_limit_stall(waited);
+    }
+
+    /// Records a datagram that could not be decoded/matched.
+    pub fn record_decode_error(&self) {
+        self.blocks[0].record_decode_error();
+    }
+
+    /// Sets the in-flight gauge, tracking its high-water mark.
+    pub fn set_in_flight(&self, n: u64) {
+        self.blocks[0].set_in_flight(n);
+    }
+
+    /// Records a well-formed reply that matched no outstanding probe.
+    pub fn record_stray_reply(&self) {
+        self.blocks[0].record_stray_reply();
+    }
+
+    /// Records a reply from an address other than the probed target.
+    pub fn record_spoofed_reply(&self) {
+        self.blocks[0].record_spoofed_reply();
+    }
+
+    /// Records an id-matched reply echoing the wrong question.
+    pub fn record_qname_mismatch(&self) {
+        self.blocks[0].record_qname_mismatch();
+    }
+
+    /// Records one batched send of `n` datagrams.
+    pub fn record_send_batch(&self, n: usize) {
+        self.blocks[0].record_send_batch(n);
+    }
+
+    /// Records one reactor loop iteration taking `took`.
+    pub fn record_loop_iteration(&self, took: Duration) {
+        self.blocks[0].record_loop_iteration(took);
+    }
+
+    /// Sets the timer-wheel pending gauge, tracking its high-water mark.
+    pub fn set_wheel_pending(&self, n: u64) {
+        self.blocks[0].set_wheel_pending(n);
+    }
+
+    /// Records the correlation-slab capacity (once, at reactor launch).
+    pub fn set_slab_capacity(&self, n: u64) {
+        self.blocks[0].set_slab_capacity(n);
+    }
+}
+
+/// Point-in-time copy of a [`MetricsBlock`] (or of a whole
+/// [`EngineMetrics`], merged across its shards).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// Datagrams sent (attempts included).
@@ -256,7 +410,8 @@ pub struct MetricsSnapshot {
     pub latency_count: u64,
     /// Probes in flight at snapshot time (reactor gauge).
     pub in_flight: u64,
-    /// Highest in-flight count seen.
+    /// Highest in-flight count seen. Across shards this sums per-shard
+    /// peaks — an upper bound on the true simultaneous peak.
     pub in_flight_peak: u64,
     /// Replies with no matching outstanding probe (wrong/stale id, or
     /// arrival after the probe's timeout).
@@ -279,13 +434,52 @@ pub struct MetricsSnapshot {
     pub loop_buckets: [u64; BUCKETS],
     /// Timers pending in the reactor wheel at snapshot time.
     pub wheel_pending: u64,
-    /// Highest wheel-pending count seen.
+    /// Highest wheel-pending count seen (summed per-shard peaks when
+    /// merged).
     pub wheel_pending_peak: u64,
-    /// Correlation-slab capacity (0 outside a reactor).
+    /// Correlation-slab capacity (0 outside a reactor; summed across
+    /// shards when merged).
     pub slab_capacity: u64,
 }
 
 impl MetricsSnapshot {
+    /// Folds `other` into `self`: counters, histograms, gauges and slab
+    /// capacity sum; `loop_max_us` takes the max; the peak gauges sum
+    /// (each shard peaked independently, so the sum bounds the true
+    /// global peak from above).
+    pub fn merge_from(&mut self, other: &MetricsSnapshot) {
+        self.sent += other.sent;
+        self.received += other.received;
+        self.timeouts += other.timeouts;
+        self.retries += other.retries;
+        self.rate_limit_stalls += other.rate_limit_stalls;
+        self.rate_limit_wait += other.rate_limit_wait;
+        self.decode_errors += other.decode_errors;
+        for (dst, src) in self.latency_buckets.iter_mut().zip(&other.latency_buckets) {
+            *dst += src;
+        }
+        self.latency_sum_us += other.latency_sum_us;
+        self.latency_count += other.latency_count;
+        self.in_flight += other.in_flight;
+        self.in_flight_peak += other.in_flight_peak;
+        self.stray_replies += other.stray_replies;
+        self.spoofed_replies += other.spoofed_replies;
+        self.qname_mismatches += other.qname_mismatches;
+        for (dst, src) in self.batch_buckets.iter_mut().zip(&other.batch_buckets) {
+            *dst += src;
+        }
+        self.batch_datagrams += other.batch_datagrams;
+        self.loop_count += other.loop_count;
+        self.loop_sum_us += other.loop_sum_us;
+        self.loop_max_us = self.loop_max_us.max(other.loop_max_us);
+        for (dst, src) in self.loop_buckets.iter_mut().zip(&other.loop_buckets) {
+            *dst += src;
+        }
+        self.wheel_pending += other.wheel_pending;
+        self.wheel_pending_peak += other.wheel_pending_peak;
+        self.slab_capacity += other.slab_capacity;
+    }
+
     /// Observed datagram loss rate: unanswered sends over sends.
     /// Retransmissions count as sends, so this tracks *wire* loss, not
     /// probe-level failure.
@@ -428,110 +622,126 @@ fn cumulative_seconds(buckets: &[u64; BUCKETS]) -> Vec<(f64, u64)> {
     out
 }
 
+/// Pushes every exported family for one snapshot. `shard` of `None`
+/// emits unlabelled series (the single-shard shape); `Some(i)` tags
+/// every series with `shard="i"`.
+fn collect_snapshot(s: &MetricsSnapshot, shard: Option<u64>, out: &mut Vec<Metric>) {
+    let label = |m: Metric| match shard {
+        Some(i) => m.with_label("shard", i.to_string()),
+        None => m,
+    };
+    out.push(label(Metric::counter(
+        "cde_engine_sent_total",
+        "Datagrams handed to the OS (every attempt counts)",
+        s.sent,
+    )));
+    out.push(label(Metric::counter(
+        "cde_engine_received_total",
+        "Responses matched to an outstanding probe",
+        s.received,
+    )));
+    out.push(label(Metric::counter(
+        "cde_engine_timeouts_total",
+        "Probes that exhausted every attempt unanswered",
+        s.timeouts,
+    )));
+    out.push(label(Metric::counter(
+        "cde_engine_retries_total",
+        "Retransmissions after a per-attempt deadline",
+        s.retries,
+    )));
+    out.push(label(Metric::counter(
+        "cde_engine_rate_limit_stalls_total",
+        "Times a sender waited for rate-limiter tokens",
+        s.rate_limit_stalls,
+    )));
+    out.push(label(Metric::counter(
+        "cde_engine_rate_limit_wait_us_total",
+        "Cumulative rate-limiter wait, in microseconds",
+        s.rate_limit_wait.as_micros().min(u128::from(u64::MAX)) as u64,
+    )));
+    out.push(label(Metric::counter(
+        "cde_engine_decode_errors_total",
+        "Datagrams that failed wire decoding or matching",
+        s.decode_errors,
+    )));
+    for (reason, count) in [
+        ("stray", s.stray_replies),
+        ("spoofed", s.spoofed_replies),
+        ("duplicate", s.qname_mismatches),
+    ] {
+        out.push(label(
+            Metric::counter(
+                "cde_engine_dropped_replies_total",
+                "Replies dropped without completing a probe, by reason",
+                count,
+            )
+            .with_label("reason", reason),
+        ));
+    }
+    out.push(label(Metric::gauge(
+        "cde_engine_in_flight",
+        "Probes currently in flight",
+        s.in_flight as f64,
+    )));
+    out.push(label(Metric::gauge(
+        "cde_engine_in_flight_peak",
+        "Correlation-slab occupancy high-water mark",
+        s.in_flight_peak as f64,
+    )));
+    out.push(label(Metric::gauge(
+        "cde_engine_slab_capacity",
+        "Correlation-slab capacity (0 outside a reactor)",
+        s.slab_capacity as f64,
+    )));
+    out.push(label(Metric::gauge(
+        "cde_engine_wheel_pending",
+        "Timers pending in the reactor wheel",
+        s.wheel_pending as f64,
+    )));
+    out.push(label(Metric::gauge(
+        "cde_engine_wheel_pending_peak",
+        "High-water mark of pending reactor timers",
+        s.wheel_pending_peak as f64,
+    )));
+    out.push(label(Metric::histogram(
+        "cde_engine_probe_rtt_seconds",
+        "Round-trip time of matched probes",
+        cumulative_seconds(&s.latency_buckets),
+        s.latency_sum_us as f64 / 1e6,
+        s.latency_count,
+    )));
+    out.push(label(Metric::histogram(
+        "cde_engine_loop_tick_seconds",
+        "Reactor loop-iteration latency",
+        cumulative_seconds(&s.loop_buckets),
+        s.loop_sum_us as f64 / 1e6,
+        s.loop_count,
+    )));
+    let mut batch_cumulative = Vec::with_capacity(BATCH_BUCKETS - 1);
+    let mut seen = 0u64;
+    for (i, &count) in s.batch_buckets.iter().take(BATCH_BUCKETS - 1).enumerate() {
+        seen += count;
+        batch_cumulative.push((((1u64 << (i + 1)) - 1) as f64, seen));
+    }
+    out.push(label(Metric::histogram(
+        "cde_engine_send_batch_size",
+        "Datagrams per batched send",
+        batch_cumulative,
+        s.batch_datagrams as f64,
+        s.batches_sent(),
+    )));
+}
+
 impl Collector for EngineMetrics {
     fn collect(&self, out: &mut Vec<Metric>) {
-        let s = self.snapshot();
-        out.push(Metric::counter(
-            "cde_engine_sent_total",
-            "Datagrams handed to the OS (every attempt counts)",
-            s.sent,
-        ));
-        out.push(Metric::counter(
-            "cde_engine_received_total",
-            "Responses matched to an outstanding probe",
-            s.received,
-        ));
-        out.push(Metric::counter(
-            "cde_engine_timeouts_total",
-            "Probes that exhausted every attempt unanswered",
-            s.timeouts,
-        ));
-        out.push(Metric::counter(
-            "cde_engine_retries_total",
-            "Retransmissions after a per-attempt deadline",
-            s.retries,
-        ));
-        out.push(Metric::counter(
-            "cde_engine_rate_limit_stalls_total",
-            "Times a sender waited for rate-limiter tokens",
-            s.rate_limit_stalls,
-        ));
-        out.push(Metric::counter(
-            "cde_engine_rate_limit_wait_us_total",
-            "Cumulative rate-limiter wait, in microseconds",
-            s.rate_limit_wait.as_micros().min(u128::from(u64::MAX)) as u64,
-        ));
-        out.push(Metric::counter(
-            "cde_engine_decode_errors_total",
-            "Datagrams that failed wire decoding or matching",
-            s.decode_errors,
-        ));
-        for (reason, count) in [
-            ("stray", s.stray_replies),
-            ("spoofed", s.spoofed_replies),
-            ("duplicate", s.qname_mismatches),
-        ] {
-            out.push(
-                Metric::counter(
-                    "cde_engine_dropped_replies_total",
-                    "Replies dropped without completing a probe, by reason",
-                    count,
-                )
-                .with_label("reason", reason),
-            );
+        if self.blocks.len() == 1 {
+            collect_snapshot(&self.blocks[0].snapshot(), None, out);
+        } else {
+            for (i, block) in self.blocks.iter().enumerate() {
+                collect_snapshot(&block.snapshot(), Some(i as u64), out);
+            }
         }
-        out.push(Metric::gauge(
-            "cde_engine_in_flight",
-            "Probes currently in flight",
-            s.in_flight as f64,
-        ));
-        out.push(Metric::gauge(
-            "cde_engine_in_flight_peak",
-            "Correlation-slab occupancy high-water mark",
-            s.in_flight_peak as f64,
-        ));
-        out.push(Metric::gauge(
-            "cde_engine_slab_capacity",
-            "Correlation-slab capacity (0 outside a reactor)",
-            s.slab_capacity as f64,
-        ));
-        out.push(Metric::gauge(
-            "cde_engine_wheel_pending",
-            "Timers pending in the reactor wheel",
-            s.wheel_pending as f64,
-        ));
-        out.push(Metric::gauge(
-            "cde_engine_wheel_pending_peak",
-            "High-water mark of pending reactor timers",
-            s.wheel_pending_peak as f64,
-        ));
-        out.push(Metric::histogram(
-            "cde_engine_probe_rtt_seconds",
-            "Round-trip time of matched probes",
-            cumulative_seconds(&s.latency_buckets),
-            s.latency_sum_us as f64 / 1e6,
-            s.latency_count,
-        ));
-        out.push(Metric::histogram(
-            "cde_engine_loop_tick_seconds",
-            "Reactor loop-iteration latency",
-            cumulative_seconds(&s.loop_buckets),
-            s.loop_sum_us as f64 / 1e6,
-            s.loop_count,
-        ));
-        let mut batch_cumulative = Vec::with_capacity(BATCH_BUCKETS - 1);
-        let mut seen = 0u64;
-        for (i, &count) in s.batch_buckets.iter().take(BATCH_BUCKETS - 1).enumerate() {
-            seen += count;
-            batch_cumulative.push((((1u64 << (i + 1)) - 1) as f64, seen));
-        }
-        out.push(Metric::histogram(
-            "cde_engine_send_batch_size",
-            "Datagrams per batched send",
-            batch_cumulative,
-            s.batch_datagrams as f64,
-            s.batches_sent(),
-        ));
     }
 }
 
@@ -697,7 +907,6 @@ mod tests {
 
     #[test]
     fn shared_across_threads() {
-        use std::sync::Arc;
         let m = Arc::new(EngineMetrics::new());
         let mut handles = Vec::new();
         for _ in 0..4 {
@@ -712,5 +921,103 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(m.snapshot().sent, 4000);
+    }
+
+    #[test]
+    fn sharded_snapshot_merges_blocks() {
+        let m = EngineMetrics::with_shards(3);
+        assert_eq!(m.shards(), 3);
+        for i in 0..3 {
+            let block = m.shard(i);
+            for _ in 0..=i {
+                block.record_sent();
+                block.record_received(Duration::from_micros(100 * (i as u64 + 1)));
+            }
+            block.set_in_flight((i as u64 + 1) * 10);
+            block.record_loop_iteration(Duration::from_micros(50 * (i as u64 + 1)));
+            block.set_slab_capacity(100);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.sent, 6);
+        assert_eq!(s.received, 6);
+        assert_eq!(s.latency_count, 6);
+        assert_eq!(s.latency_sum_us, 100 + 2 * 200 + 3 * 300);
+        assert_eq!(s.in_flight, 10 + 20 + 30);
+        assert_eq!(s.in_flight_peak, 60, "peaks sum as an upper bound");
+        assert_eq!(s.loop_count, 3);
+        assert_eq!(s.loop_max_us, 150);
+        assert_eq!(s.slab_capacity, 300);
+        // Per-shard view stays addressable.
+        assert_eq!(m.shard_snapshot(2).sent, 3);
+        assert_eq!(m.shard_snapshot(0).in_flight, 10);
+    }
+
+    #[test]
+    fn merged_snapshot_equals_single_block_totals() {
+        // The same workload recorded into 1 block vs spread over 4
+        // blocks must merge to identical totals (gauge peaks aside —
+        // here each shard peaks once, so the sums agree too).
+        let single = EngineMetrics::new();
+        let sharded = EngineMetrics::with_shards(4);
+        for i in 0..40u64 {
+            let rtt = Duration::from_micros(100 + i * 13);
+            single.record_sent();
+            single.record_received(rtt);
+            if i % 5 == 0 {
+                single.record_retry();
+            }
+            let block = sharded.shard((i % 4) as usize);
+            block.record_sent();
+            block.record_received(rtt);
+            if i % 5 == 0 {
+                block.record_retry();
+            }
+        }
+        let a = single.snapshot();
+        let b = sharded.snapshot();
+        assert_eq!(a.sent, b.sent);
+        assert_eq!(a.received, b.received);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.latency_sum_us, b.latency_sum_us);
+        assert_eq!(a.latency_buckets, b.latency_buckets);
+    }
+
+    #[test]
+    fn collector_labels_shards_when_sharded() {
+        let m = EngineMetrics::with_shards(2);
+        m.shard(0).record_sent();
+        m.shard(1).record_sent();
+        m.shard(1).record_sent();
+        let mut metrics = Vec::new();
+        m.collect(&mut metrics);
+        let sent: Vec<_> = metrics
+            .iter()
+            .filter(|x| x.name == "cde_engine_sent_total")
+            .collect();
+        assert_eq!(sent.len(), 2);
+        for metric in &sent {
+            assert!(metric.labels.iter().any(|(k, _)| *k == "shard"));
+        }
+        let shard1 = sent
+            .iter()
+            .find(|x| x.labels.contains(&("shard", "1".to_string())))
+            .unwrap();
+        assert!(matches!(
+            shard1.value,
+            cde_telemetry::MetricValue::Counter(2)
+        ));
+        // Labelled families keep their secondary labels too.
+        assert!(metrics.iter().any(|x| {
+            x.name == "cde_engine_dropped_replies_total"
+                && x.labels.contains(&("reason", "stray".to_string()))
+                && x.labels.iter().any(|(k, _)| *k == "shard")
+        }));
+        // Single-block engines stay label-free (golden stability).
+        let mut unsharded = Vec::new();
+        EngineMetrics::new().collect(&mut unsharded);
+        assert!(unsharded
+            .iter()
+            .filter(|x| x.name == "cde_engine_sent_total")
+            .all(|x| x.labels.is_empty()));
     }
 }

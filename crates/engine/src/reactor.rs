@@ -1,27 +1,38 @@
-//! The probe reactor: thousands of probes in flight over a few sockets.
+//! The probe reactor: thousands of probes in flight, one shard per core.
 //!
 //! [`UdpTransport`](crate::udp::UdpTransport) is lockstep-blocking — each
 //! worker parks in `recv` until reply-or-deadline, so aggregate throughput
 //! is `workers / RTT` no matter what the network could absorb. The
-//! [`Reactor`] replaces that with a single readiness-driven event loop
-//! over non-blocking sockets:
+//! [`Reactor`] replaces that with readiness-driven event loops over
+//! non-blocking sockets; since one loop saturates around a single core's
+//! syscall and correlation budget, the reactor runs **N independent
+//! shards** (default: one per core) and partitions probes across them:
 //!
-//! * a **correlation table** keyed on `(socket, query id)` matches replies
-//!   to outstanding probes, verifying the echoed question (id collisions)
-//!   and the source address (spoofed answers) before accepting;
-//! * a **[hierarchical timer wheel](crate::timer::TimerWheel)** drives
-//!   per-probe deadlines and [`RetryPolicy`] retransmits without a thread
-//!   per probe;
-//! * **batched syscalls** (`cde-sysio`'s `sendmmsg`/`recvmmsg`) move whole
-//!   bursts per kernel crossing;
-//! * a **buffer pool + reusable [`WireWriter`]** keep the hot path free of
-//!   heap allocation — retransmits patch a fresh query id into the cached
-//!   encoding instead of re-encoding.
+//! * each shard (see [`crate::shard`]) owns its own socket pool,
+//!   **correlation table** keyed on `(socket, query id)`, [hierarchical
+//!   timer wheel](crate::timer::TimerWheel) and buffer pool — nothing on
+//!   the hot path is shared, so shards scale without lock contention;
+//! * probes are partitioned by a **stable hash of the target ingress**
+//!   ([`shard_for_target`]), so a target's replies always arrive on the
+//!   shard (and socket) that probed it and correlation stays local;
+//! * submissions travel over **per-shard lock-free rings**
+//!   ([`cde_sysio::MpscRing`]) with a park/unpark waker — no mutex
+//!   between submitters and any shard loop;
+//! * observability merges instead of sharing: each shard writes its own
+//!   [`MetricsBlock`](crate::metrics::MetricsBlock) (snapshots sum;
+//!   exported series grow a `shard` label when sharded), RTT digests and
+//!   phase timers are lock-free atomics, and the telemetry hub is
+//!   multi-producer by construction.
 //!
-//! Probes are submitted over a channel and complete over a caller-supplied
-//! channel, so any number of clients can pipeline against one reactor.
-//! [`ReactorTransport`] wraps it back into the blocking one-probe
-//! [`Transport`] seam for `cde-core`'s algorithms.
+//! Probes are submitted through a [`ReactorHandle`] and complete over a
+//! caller-supplied channel, so any number of clients can pipeline against
+//! one reactor. [`ReactorTransport`] wraps it back into the blocking
+//! one-probe [`Transport`] seam for `cde-core`'s algorithms.
+//!
+//! One deliberate exception: a reactor launched with
+//! [`ReactorConfig::faults`] clamps to a single shard, because the fault
+//! injector's decision stream is stateful and must observe datagrams in
+//! one deterministic transmission order for replays to be exact.
 
 use crate::authority::WireAuthority;
 use crate::bufpool::BufferPool;
@@ -29,37 +40,28 @@ use crate::metrics::EngineMetrics;
 use crate::ratelimit::RateLimiter;
 use crate::resolver::LoopbackResolver;
 use crate::retry::RetryPolicy;
+pub use crate::shard::shard_for_target;
+use crate::shard::{empty_slots, FaultLayer, ShardLoop, ShardWaker, Submission};
 use crate::timer::TimerWheel;
 use crate::transport::{Transport, TransportReply};
 use crate::udp::SyncLink;
 use cde_core::AccessProvider;
 use cde_dns::wire::WireWriter;
-use cde_dns::{Message, MessagePeek, Name, RecordType};
-use cde_faults::{refused_reply, Direction, FaultInjector, FaultPlan, FaultStats, Verdict};
-use cde_insight::{Phase, PhaseProfiler, RttDigestSet};
-use cde_netsim::{DetRng, SimDuration, SimTime};
+use cde_dns::{Name, RecordType};
+use cde_faults::{FaultPlan, FaultStats};
+use cde_insight::{PhaseProfiler, RttDigestSet};
+use cde_netsim::{DetRng, SimTime};
 use cde_platform::NameserverNet;
-use cde_sysio::{RecvSlot, SendItem, MAX_BATCH};
-use cde_telemetry::{DropReason, EventKind as TelemetryEvent, MetricsRegistry, TelemetryHub};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use rand::Rng;
-use std::cmp::Ordering as CmpOrdering;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use cde_sysio::{MpscRing, RecvSlot, MAX_BATCH};
+use cde_telemetry::{MetricsRegistry, TelemetryHub};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::{HashMap, VecDeque};
 use std::io;
-use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
+use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-/// Timer-wheel granularity. Deadlines and backoffs are millisecond-scale,
-/// so a 1 ms tick wastes no precision the wire could deliver.
-const TICK: Duration = Duration::from_millis(1);
-/// Idle sleep while probes are in flight (lets the loopback serving
-/// threads run on small machines; bounds added reply latency).
-const BUSY_IDLE: Duration = Duration::from_micros(500);
-/// Idle sleep with nothing in flight; bounds shutdown latency.
-const DRAINED_IDLE: Duration = Duration::from_millis(20);
 
 /// Hardware-derived in-flight default: enough depth to hide RTT on any
 /// machine, scaled up with cores.
@@ -71,28 +73,43 @@ fn default_max_in_flight() -> usize {
         .clamp(1024, 16 * 1024)
 }
 
+/// Default shard count: one event loop per core.
+fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// Sizing and policy knobs for one [`Reactor`].
 #[derive(Debug, Clone)]
 pub struct ReactorConfig {
-    /// Sockets in the pool. Replies correlate per socket, so the pool
-    /// bounds id-space pressure; sends rotate across it for source-port
-    /// diversity.
+    /// Sockets in the pool, divided across shards. Replies correlate per
+    /// socket, so the pool bounds id-space pressure; each shard rotates
+    /// sends across its share for source-port diversity.
     pub sockets: usize,
-    /// Correlation-table capacity: probes held in flight at once.
+    /// Correlation-table capacity: probes held in flight at once, summed
+    /// across shards (each shard gets an equal slice).
     pub max_in_flight: usize,
+    /// Event-loop shards. Defaults to `available_parallelism`; clamped
+    /// to 1 when [`faults`](Self::faults) are configured (the injector's
+    /// decision stream needs one deterministic transmission order).
+    pub shards: usize,
     /// Per-probe deadline/retransmit schedule.
     pub policy: RetryPolicy,
-    /// Optional shared pacing (batch-aware token take).
+    /// Optional shared pacing (batch-aware token take). Shared across
+    /// shards; each ingress's bucket is only ever touched by the one
+    /// shard that owns the ingress.
     pub limiter: Option<Arc<RateLimiter>>,
-    /// Seed for query-id generation and retransmit jitter.
+    /// Seed for query-id generation and retransmit jitter (each shard
+    /// forks its own indexed substream).
     pub seed: u64,
     /// Event hub for probe lifecycle events. `None` uses the process
     /// [`global`](cde_telemetry::global) hub (a no-op unless a binary
     /// installed one), so instrumentation costs one branch by default.
     pub telemetry: Option<Arc<TelemetryHub>>,
     /// Registry to register the engine's collectors into at launch:
-    /// [`EngineMetrics`], the buffer-pool stats, the rate limiter (if
-    /// any) and the event hub itself.
+    /// [`EngineMetrics`], the per-shard buffer-pool stats, the rate
+    /// limiter (if any) and the event hub itself.
     pub registry: Option<Arc<MetricsRegistry>>,
     /// Chaos: a deterministic fault plan worn at the send/recv seam.
     /// Outbound datagrams can be dropped, REFUSED, delayed, duplicated
@@ -100,7 +117,7 @@ pub struct ReactorConfig {
     /// same gauntlet before correlation — so retries, timeouts and the
     /// stray/decode-error taxonomy react to injected faults exactly as
     /// they would to real ones. The injector's [`FaultStats`] register
-    /// into `registry` when both are set.
+    /// into `registry` when both are set. Forces a single shard.
     pub faults: Option<FaultPlan>,
     /// Latency capture: per-target RTT digests recorded at match time
     /// plus sampled hot-path phase timers (see [`ReactorInsight`]).
@@ -114,8 +131,8 @@ pub struct InsightOptions {
     /// Wall-clock-time one in this many entries per hot-path phase.
     /// Digest recording is not sampled (it is a few relaxed atomic adds
     /// per *matched* reply, off the per-datagram fast path); this rate
-    /// only throttles the `Instant::now()` pairs around encode /
-    /// send-batch / recv-batch / decode / correlate.
+    /// only throttles the `Instant::now()` pairs around timers / encode
+    /// / send-batch / recv-batch / decode / correlate.
     pub phase_sample_every: u32,
 }
 
@@ -127,9 +144,11 @@ impl Default for InsightOptions {
     }
 }
 
-/// The reactor's capture tier, shared between the event loop and the
+/// The reactor's capture tier, shared between the shard loops and the
 /// caller: lock-free per-target RTT digests (fed at reply-match time)
-/// and the sampled phase profiler. Obtained from
+/// and the sampled phase profiler. Both structures are multi-producer
+/// atomics, so every shard records into the same instances and a
+/// snapshot is already the cross-shard merge. Obtained from
 /// [`Reactor::insight`]; both pieces also register into
 /// [`ReactorConfig::registry`] for Prometheus/JSON export.
 #[derive(Debug)]
@@ -158,6 +177,7 @@ impl Default for ReactorConfig {
             // outstanding probes keeps the id space per socket sparse.
             sockets: (max_in_flight / 256).clamp(4, 16),
             max_in_flight,
+            shards: default_shards(),
             policy: RetryPolicy::default(),
             limiter: None,
             seed: 0,
@@ -189,26 +209,35 @@ pub struct ProbeCompletion {
     pub reply: TransportReply,
 }
 
-/// A probe handed to the reactor.
-struct Submission {
-    token: u64,
-    ingress: Ipv4Addr,
-    qname: Name,
-    qtype: RecordType,
-    done: Sender<ProbeCompletion>,
+/// Everything a submission handle needs, shared by all clones.
+struct HandleShared {
+    rings: Vec<Arc<MpscRing<Submission>>>,
+    wakers: Vec<Arc<ShardWaker>>,
+    exited: Vec<Arc<AtomicBool>>,
+    shutdown: Arc<AtomicBool>,
+    metrics: Arc<EngineMetrics>,
+    telemetry: Arc<TelemetryHub>,
 }
 
 /// Clone-able submission handle to a running [`Reactor`].
-#[derive(Debug, Clone)]
+///
+/// Routing is in the handle: [`submit`](Self::submit) hashes the target
+/// ingress ([`shard_for_target`]) to pick the owning shard and pushes
+/// onto that shard's lock-free ring — no lock is taken on this path, on
+/// any number of concurrent submitters.
+#[derive(Clone)]
 pub struct ReactorHandle {
-    submit: Sender<Submission>,
-    metrics: Arc<EngineMetrics>,
-    telemetry: Arc<TelemetryHub>,
+    shared: Arc<HandleShared>,
 }
 
 impl ReactorHandle {
     /// Submits one probe; its [`ProbeCompletion`] (tagged `token`) will
     /// arrive on `done`. Returns `false` if the reactor has shut down.
+    ///
+    /// A full ring is backpressure, not failure: the submitter spins
+    /// (waking the shard each try) until the loop drains a slot — the
+    /// ring is sized at twice the shard's in-flight window, so a steady
+    /// submitter only ever hits this when genuinely outrunning the wire.
     pub fn submit(
         &self,
         token: u64,
@@ -217,116 +246,74 @@ impl ReactorHandle {
         qtype: RecordType,
         done: &Sender<ProbeCompletion>,
     ) -> bool {
-        self.submit
-            .send(Submission {
-                token,
-                ingress,
-                qname,
-                qtype,
-                done: done.clone(),
-            })
-            .is_ok()
+        let shard = shard_for_target(ingress, self.shared.rings.len());
+        let mut sub = Submission {
+            token,
+            ingress,
+            qname,
+            qtype,
+            done: done.clone(),
+        };
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst)
+                || self.shared.exited[shard].load(Ordering::SeqCst)
+            {
+                return false;
+            }
+            match self.shared.rings[shard].push(sub) {
+                Ok(()) => {
+                    self.shared.wakers[shard].wake();
+                    return true;
+                }
+                Err(back) => {
+                    sub = back;
+                    self.shared.wakers[shard].wake();
+                    std::thread::yield_now();
+                }
+            }
+        }
     }
 
-    /// The reactor's shared metrics.
+    /// The reactor's shared metrics (merged across shards on snapshot).
     pub fn metrics(&self) -> Arc<EngineMetrics> {
-        Arc::clone(&self.metrics)
+        Arc::clone(&self.shared.metrics)
     }
 
     /// The event hub the reactor emits probe lifecycle events into.
     pub fn telemetry(&self) -> Arc<TelemetryHub> {
-        Arc::clone(&self.telemetry)
+        Arc::clone(&self.shared.telemetry)
     }
 }
 
-/// A datagram held back by the fault layer, ordered by due tick (ties
-/// broken by injection order so replay is exact).
-struct DelayedDatagram {
-    due: u64,
-    seq: u64,
-    socket: usize,
-    bytes: Vec<u8>,
-    addr: SocketAddrV4,
-}
-
-impl PartialEq for DelayedDatagram {
-    fn eq(&self, other: &Self) -> bool {
-        self.due == other.due && self.seq == other.seq
-    }
-}
-impl Eq for DelayedDatagram {}
-impl PartialOrd for DelayedDatagram {
-    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for DelayedDatagram {
-    // Reversed: BinaryHeap is a max-heap, we want earliest-due first.
-    fn cmp(&self, other: &Self) -> CmpOrdering {
-        (other.due, other.seq).cmp(&(self.due, self.seq))
+impl std::fmt::Debug for ReactorHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactorHandle")
+            .field("shards", &self.shared.rings.len())
+            .finish()
     }
 }
 
-/// The reactor's chaos shim: a [`FaultInjector`] at the socket seam plus
-/// the holding pens for delayed copies in both directions.
-struct FaultLayer {
-    injector: FaultInjector,
-    /// Outbound copies waiting for their injected delay.
-    delayed_out: BinaryHeap<DelayedDatagram>,
-    /// Inbound datagrams (delayed replies, synthesized REFUSED answers)
-    /// waiting to re-enter correlation.
-    delayed_in: BinaryHeap<DelayedDatagram>,
-    seq: u64,
-}
-
-impl FaultLayer {
-    fn new(plan: &FaultPlan) -> FaultLayer {
-        FaultLayer {
-            injector: FaultInjector::new(plan),
-            delayed_out: BinaryHeap::new(),
-            delayed_in: BinaryHeap::new(),
-            seq: 0,
-        }
-    }
-
-    fn push_out(&mut self, due: u64, socket: usize, bytes: Vec<u8>, addr: SocketAddrV4) {
-        self.seq += 1;
-        let seq = self.seq;
-        self.delayed_out.push(DelayedDatagram {
-            due,
-            seq,
-            socket,
-            bytes,
-            addr,
-        });
-    }
-
-    fn push_in(&mut self, due: u64, socket: usize, bytes: Vec<u8>, addr: SocketAddrV4) {
-        self.seq += 1;
-        let seq = self.seq;
-        self.delayed_in.push(DelayedDatagram {
-            due,
-            seq,
-            socket,
-            bytes,
-            addr,
-        });
-    }
-}
-
-/// The event-driven probe engine. See the module docs.
-pub struct Reactor {
+/// The sharded event-driven probe engine. See the module docs.
+pub struct ShardedReactor {
     handle: ReactorHandle,
     policy: RetryPolicy,
     fault_stats: Option<Arc<FaultStats>>,
     insight: Option<Arc<ReactorInsight>>,
     shutdown: Arc<AtomicBool>,
     drain: Arc<AtomicBool>,
-    thread: Option<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
+    /// Local addresses of each shard's sockets, in shard order (tests
+    /// aim crafted datagrams at specific shards through these).
+    socket_addrs: Vec<Vec<SocketAddr>>,
 }
 
-impl Reactor {
-    /// Binds the socket pool and starts the event loop.
+/// The historical name: the reactor has been sharded since the
+/// shard-per-core refactor, and every seam kept working.
+pub type Reactor = ShardedReactor;
+
+impl ShardedReactor {
+    /// Binds the per-shard socket pools and starts one event loop per
+    /// shard.
     ///
     /// `targets` maps platform ingress addresses to the real sockets
     /// serving them (e.g. [`LoopbackResolver::ingress_addrs`]).
@@ -334,25 +321,26 @@ impl Reactor {
         targets: HashMap<Ipv4Addr, SocketAddr>,
         config: ReactorConfig,
     ) -> io::Result<Reactor> {
-        let mut sockets = Vec::with_capacity(config.sockets.max(1));
-        for _ in 0..config.sockets.max(1) {
-            let socket = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
-            socket.set_nonblocking(true)?;
-            sockets.push(socket);
-        }
-        let (submit_tx, submit_rx) = unbounded();
-        let metrics = Arc::new(EngineMetrics::new());
+        // Fault injection consumes one stateful decision stream in
+        // transmission order; more than one shard would interleave it
+        // nondeterministically, so chaos runs single-shard.
+        let shards = if config.faults.is_some() {
+            1
+        } else {
+            config.shards.max(1)
+        };
+        let max_in_flight = config.max_in_flight.max(1);
+        let per_shard_in_flight = max_in_flight.div_ceil(shards).max(1);
+        let per_shard_sockets = config.sockets.max(1).div_ceil(shards).max(1);
+        let metrics = Arc::new(EngineMetrics::with_shards(shards));
         let shutdown = Arc::new(AtomicBool::new(false));
         let drain = Arc::new(AtomicBool::new(false));
-        let max_in_flight = config.max_in_flight.max(1);
-        metrics.set_slab_capacity(max_in_flight as u64);
         let telemetry = config
             .telemetry
             .clone()
             .unwrap_or_else(cde_telemetry::global);
-        let pool = BufferPool::new(128, max_in_flight);
-        let faults = config.faults.as_ref().map(FaultLayer::new);
-        let fault_stats = faults.as_ref().map(|layer| layer.injector.stats());
+        let mut faults = config.faults.as_ref().map(FaultLayer::new);
+        let fault_stats = faults.as_ref().map(FaultLayer::stats);
         let insight = config.insight.as_ref().map(|opts| {
             Arc::new(ReactorInsight {
                 digests: Arc::new(RttDigestSet::for_targets(targets.keys().copied())),
@@ -361,7 +349,6 @@ impl Reactor {
         });
         if let Some(registry) = &config.registry {
             registry.register(Arc::clone(&metrics) as Arc<dyn cde_telemetry::Collector>);
-            registry.register(pool.stats());
             registry.register(Arc::clone(&telemetry) as Arc<dyn cde_telemetry::Collector>);
             if let Some(limiter) = &config.limiter {
                 registry.register(Arc::clone(limiter) as Arc<dyn cde_telemetry::Collector>);
@@ -375,51 +362,93 @@ impl Reactor {
                 registry.register(Arc::clone(&insight.phases) as Arc<dyn cde_telemetry::Collector>);
             }
         }
-        let event_loop = EventLoop {
-            targets,
-            sockets,
-            next_socket: 0,
-            submit_rx,
-            stash: None,
-            disconnected: false,
-            slots: (0..max_in_flight).map(|_| None).collect(),
-            free_slots: (0..max_in_flight).rev().collect(),
-            occupied: 0,
-            correlation: HashMap::with_capacity(max_in_flight),
-            timers: TimerWheel::new(0),
-            expired: Vec::new(),
-            ready: VecDeque::with_capacity(max_in_flight),
-            admitted: Vec::new(),
-            pool,
-            writer: WireWriter::new(),
-            recv_slots: (0..MAX_BATCH).map(|_| RecvSlot::new()).collect(),
-            policy: config.policy,
-            limiter: config.limiter,
-            rng: DetRng::seed(config.seed).fork("reactor"),
-            generation: 0,
-            start: Instant::now(),
-            metrics: Arc::clone(&metrics),
-            telemetry: Arc::clone(&telemetry),
-            shutdown: Arc::clone(&shutdown),
-            drain: Arc::clone(&drain),
-            faults,
-            insight: insight.as_ref().map(Arc::clone),
-        };
-        let thread = std::thread::Builder::new()
-            .name("cde-reactor".into())
-            .spawn(move || event_loop.run())?;
-        Ok(Reactor {
+        let mut rings = Vec::with_capacity(shards);
+        let mut wakers = Vec::with_capacity(shards);
+        let mut exited = Vec::with_capacity(shards);
+        let mut threads = Vec::with_capacity(shards);
+        let mut socket_addrs = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let mut sockets = Vec::with_capacity(per_shard_sockets);
+            let mut addrs = Vec::with_capacity(per_shard_sockets);
+            for _ in 0..per_shard_sockets {
+                let socket = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
+                socket.set_nonblocking(true)?;
+                addrs.push(socket.local_addr()?);
+                sockets.push(socket);
+            }
+            socket_addrs.push(addrs);
+            let pool = if shards > 1 {
+                BufferPool::new_labeled(128, per_shard_in_flight, i as u64)
+            } else {
+                BufferPool::new(128, per_shard_in_flight)
+            };
+            if let Some(registry) = &config.registry {
+                registry.register(pool.stats());
+            }
+            let block = metrics.shard(i);
+            block.set_slab_capacity(per_shard_in_flight as u64);
+            // Twice the in-flight window: a submitter can stage a full
+            // refill while the current window drains, without the ring
+            // ever being the bottleneck.
+            let ring = Arc::new(MpscRing::with_capacity((per_shard_in_flight * 2).max(1024)));
+            let waker = Arc::new(ShardWaker::default());
+            let shard_exited = Arc::new(AtomicBool::new(false));
+            let shard_loop = ShardLoop {
+                targets: targets.clone(),
+                sockets,
+                next_socket: 0,
+                ring: Arc::clone(&ring),
+                waker: Arc::clone(&waker),
+                exited: Arc::clone(&shard_exited),
+                slots: empty_slots(per_shard_in_flight),
+                free_slots: (0..per_shard_in_flight).rev().collect(),
+                occupied: 0,
+                correlation: HashMap::with_capacity(per_shard_in_flight),
+                timers: TimerWheel::new(0),
+                expired: Vec::new(),
+                ready: VecDeque::with_capacity(per_shard_in_flight),
+                admitted: Vec::new(),
+                pool,
+                writer: WireWriter::new(),
+                recv_slots: (0..MAX_BATCH).map(|_| RecvSlot::new()).collect(),
+                policy: config.policy,
+                limiter: config.limiter.clone(),
+                rng: DetRng::seed(config.seed).fork_indexed("reactor", i as u64),
+                generation: 0,
+                start: Instant::now(),
+                block,
+                telemetry: Arc::clone(&telemetry),
+                shutdown: Arc::clone(&shutdown),
+                drain: Arc::clone(&drain),
+                faults: faults.take(),
+                insight: insight.as_ref().map(Arc::clone),
+            };
+            let thread = std::thread::Builder::new()
+                .name(format!("cde-reactor-{i}"))
+                .spawn(move || shard_loop.run())?;
+            rings.push(ring);
+            wakers.push(waker);
+            exited.push(shard_exited);
+            threads.push(thread);
+        }
+        Ok(ShardedReactor {
             handle: ReactorHandle {
-                submit: submit_tx,
-                metrics,
-                telemetry,
+                shared: Arc::new(HandleShared {
+                    rings,
+                    wakers,
+                    exited,
+                    shutdown: Arc::clone(&shutdown),
+                    metrics,
+                    telemetry,
+                }),
             },
             policy: config.policy,
             fault_stats,
             insight,
             shutdown,
             drain,
-            thread: Some(thread),
+            threads,
+            socket_addrs,
         })
     }
 
@@ -428,9 +457,9 @@ impl Reactor {
         self.handle.clone()
     }
 
-    /// The reactor's shared metrics.
+    /// The reactor's shared metrics (merged across shards on snapshot).
     pub fn metrics(&self) -> Arc<EngineMetrics> {
-        Arc::clone(&self.handle.metrics)
+        self.handle.metrics()
     }
 
     /// The event hub this reactor emits into (the configured one, or the
@@ -439,9 +468,22 @@ impl Reactor {
         self.handle.telemetry()
     }
 
-    /// The per-probe retry policy the loop applies.
+    /// The per-probe retry policy the loops apply.
     pub fn policy(&self) -> RetryPolicy {
         self.policy
+    }
+
+    /// How many shard loops this reactor is running.
+    pub fn shards(&self) -> usize {
+        self.threads.len().max(self.socket_addrs.len())
+    }
+
+    /// Local addresses of every shard's sockets, indexed by shard. Tests
+    /// use these to aim crafted datagrams at a *specific* shard (e.g. to
+    /// prove a reply landing on the wrong shard's socket counts as a
+    /// stray rather than matching).
+    pub fn shard_socket_addrs(&self) -> &[Vec<SocketAddr>] {
+        &self.socket_addrs
     }
 
     /// Counters of what the chaos layer injected — `None` unless the
@@ -456,789 +498,70 @@ impl Reactor {
         self.insight.as_ref().map(Arc::clone)
     }
 
-    /// Asks the event loop to drain and exit: it keeps admitting
+    fn wake_all(&self) {
+        for waker in &self.handle.shared.wakers {
+            waker.force_wake();
+        }
+    }
+
+    /// Asks every shard loop to drain and exit: each keeps admitting
     /// already-queued submissions and lets every in-flight probe answer
     /// or time out, then stops on its own. Returns immediately; pair
     /// with [`Reactor::shutdown_graceful`] to wait for completion.
     pub fn begin_drain(&self) {
         self.drain.store(true, Ordering::SeqCst);
+        self.wake_all();
     }
 
     /// Graceful shutdown: drains in-flight probes (see
-    /// [`Reactor::begin_drain`]) and waits up to `timeout` for the loop
-    /// to exit on its own, falling back to the abrupt stop otherwise.
+    /// [`Reactor::begin_drain`]) and waits up to `timeout` for every
+    /// shard loop to exit on its own, falling back to the abrupt stop
+    /// otherwise.
     ///
-    /// Returns `true` when the loop drained cleanly within the budget.
-    /// Either way the loop thread is joined before returning, so every
+    /// Returns `true` when all shards drained cleanly within the budget.
+    /// Either way every loop thread is joined before returning, so every
     /// completion has been delivered and the telemetry hub holds every
     /// event the reactor will ever emit — callers should flush their
     /// drains (JSONL, insight digests) *after* this returns.
     pub fn shutdown_graceful(&mut self, timeout: Duration) -> bool {
         self.drain.store(true, Ordering::SeqCst);
+        self.wake_all();
         let deadline = Instant::now() + timeout;
         let drained = loop {
-            match &self.thread {
-                Some(thread) if !thread.is_finished() => {
-                    if Instant::now() >= deadline {
-                        break false;
-                    }
-                    std::thread::sleep(Duration::from_millis(2));
-                }
-                _ => break true,
+            if self.threads.iter().all(JoinHandle::is_finished) {
+                break true;
             }
+            if Instant::now() >= deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
         };
         self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(thread) = self.thread.take() {
+        self.wake_all();
+        for thread in self.threads.drain(..) {
             let _ = thread.join();
         }
         drained
     }
 }
 
-impl Drop for Reactor {
+impl Drop for ShardedReactor {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(thread) = self.thread.take() {
+        self.wake_all();
+        for thread in self.threads.drain(..) {
             let _ = thread.join();
         }
     }
 }
 
-impl std::fmt::Debug for Reactor {
+impl std::fmt::Debug for ShardedReactor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Reactor")
+        f.debug_struct("ShardedReactor")
             .field("policy", &self.policy)
+            .field("shards", &self.shards())
             .finish()
     }
-}
-
-/// Where one in-flight probe stands.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PendingState {
-    /// Waiting to be (re)sent — rate-limit delay or retransmit backoff.
-    Scheduled,
-    /// On the wire, awaiting a reply until the deadline timer fires.
-    Waiting,
-}
-
-/// One correlation-table entry.
-struct Pending {
-    generation: u64,
-    token: u64,
-    ingress: Ipv4Addr,
-    qname: Name,
-    qtype: RecordType,
-    target: SocketAddrV4,
-    /// Cached wire encoding; retransmits patch bytes 0–1 (the id).
-    bytes: Vec<u8>,
-    socket: usize,
-    id: u16,
-    attempt: u32,
-    sent_at: Instant,
-    state: PendingState,
-    done: Sender<ProbeCompletion>,
-}
-
-/// What a timer firing means. Events are validated against the slot's
-/// generation and attempt, so cancellation is free (stale events no-op).
-#[derive(Debug, Clone, Copy)]
-struct TimerEvent {
-    slot: usize,
-    generation: u64,
-    attempt: u32,
-    kind: EventKind,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EventKind {
-    /// The attempt's read deadline passed: retransmit or give up.
-    Deadline,
-    /// A scheduled (delayed) send is now due.
-    Send,
-}
-
-struct EventLoop {
-    targets: HashMap<Ipv4Addr, SocketAddr>,
-    sockets: Vec<UdpSocket>,
-    next_socket: usize,
-    submit_rx: Receiver<Submission>,
-    /// A submission picked up while idling, admitted next iteration.
-    stash: Option<Submission>,
-    disconnected: bool,
-    slots: Vec<Option<Pending>>,
-    free_slots: Vec<usize>,
-    occupied: usize,
-    correlation: HashMap<(usize, u16), usize>,
-    timers: TimerWheel<TimerEvent>,
-    expired: Vec<TimerEvent>,
-    ready: VecDeque<usize>,
-    admitted: Vec<usize>,
-    pool: BufferPool,
-    writer: WireWriter,
-    recv_slots: Vec<RecvSlot>,
-    policy: RetryPolicy,
-    limiter: Option<Arc<RateLimiter>>,
-    rng: DetRng,
-    generation: u64,
-    start: Instant,
-    metrics: Arc<EngineMetrics>,
-    telemetry: Arc<TelemetryHub>,
-    shutdown: Arc<AtomicBool>,
-    drain: Arc<AtomicBool>,
-    faults: Option<FaultLayer>,
-    insight: Option<Arc<ReactorInsight>>,
-}
-
-impl EventLoop {
-    /// Starts a sampled phase timer; `None` when capture is off or this
-    /// entry is not sampled. Zero-cost (no clock read) in both cases.
-    #[inline]
-    fn phase_begin(&self, phase: Phase) -> Option<Instant> {
-        self.insight.as_ref().and_then(|i| i.phases.begin(phase))
-    }
-
-    /// Closes a sampled phase timer opened by [`Self::phase_begin`].
-    #[inline]
-    fn phase_end(&self, phase: Phase, started: Option<Instant>) {
-        if let (Some(insight), Some(_)) = (&self.insight, started) {
-            insight.phases.end(phase, started);
-        }
-    }
-    fn run(mut self) {
-        while !self.shutdown.load(Ordering::SeqCst) {
-            let iter_start = Instant::now();
-            let mut progress = self.admit();
-            progress |= self.fire_timers();
-            progress |= self.send_ready();
-            progress |= self.receive();
-            progress |= self.release_delayed();
-            self.metrics.set_wheel_pending(self.timers.len() as u64);
-            self.metrics.record_loop_iteration(iter_start.elapsed());
-            if self.disconnected && self.occupied == 0 && self.stash.is_none() {
-                break;
-            }
-            // Graceful drain: once asked, exit as soon as the queued
-            // backlog is admitted and every in-flight probe has answered
-            // or timed out — all completions delivered, nothing dropped.
-            if self.drain.load(Ordering::SeqCst)
-                && self.occupied == 0
-                && self.stash.is_none()
-                && self.submit_rx.is_empty()
-            {
-                break;
-            }
-            if progress {
-                // Busy: stay hot, but let serving threads run on small
-                // machines.
-                std::thread::yield_now();
-            } else {
-                self.idle_wait();
-            }
-        }
-        // Final gauge flush so a post-shutdown scrape reflects the
-        // drained state instead of the last mid-flight sample.
-        self.metrics.set_in_flight(self.occupied as u64);
-        self.metrics.set_wheel_pending(self.timers.len() as u64);
-    }
-
-    fn now_tick(&self) -> u64 {
-        self.start.elapsed().as_millis() as u64
-    }
-
-    fn ticks(d: Duration) -> u64 {
-        if d.is_zero() {
-            0
-        } else {
-            (d.as_millis() as u64).max(1)
-        }
-    }
-
-    /// Pulls submissions into free correlation slots; batch-debits the
-    /// rate limiter for everything admitted this round.
-    fn admit(&mut self) -> bool {
-        debug_assert!(self.admitted.is_empty());
-        while !self.free_slots.is_empty() {
-            let sub = if let Some(stashed) = self.stash.take() {
-                stashed
-            } else {
-                match self.submit_rx.try_recv() {
-                    Ok(sub) => sub,
-                    Err(TryRecvError::Empty) => break,
-                    Err(TryRecvError::Disconnected) => {
-                        self.disconnected = true;
-                        break;
-                    }
-                }
-            };
-            self.admit_one(sub);
-        }
-        if self.admitted.is_empty() {
-            return false;
-        }
-        self.metrics.set_in_flight(self.occupied as u64);
-        let admitted = std::mem::take(&mut self.admitted);
-        if let Some(limiter) = self.limiter.clone() {
-            // Batch-aware token take: one bucket update per distinct
-            // ingress in the admitted burst, not one per probe.
-            let mut groups: Vec<(Ipv4Addr, u32)> = Vec::new();
-            for &slot in &admitted {
-                let ingress = self.slots[slot].as_ref().expect("admitted slot").ingress;
-                match groups.iter_mut().find(|(ip, _)| *ip == ingress) {
-                    Some((_, n)) => *n += 1,
-                    None => groups.push((ingress, 1)),
-                }
-            }
-            let mut waits: Vec<(Ipv4Addr, Duration)> = Vec::with_capacity(groups.len());
-            for (ingress, n) in groups {
-                waits.push((ingress, limiter.debit_n(ingress, n)));
-            }
-            let now_tick = self.now_tick();
-            for &slot in &admitted {
-                let ingress = self.slots[slot].as_ref().expect("admitted slot").ingress;
-                let wait = waits
-                    .iter()
-                    .find(|(ip, _)| *ip == ingress)
-                    .map(|(_, w)| *w)
-                    .unwrap_or_default();
-                if wait.is_zero() {
-                    self.ready.push_back(slot);
-                } else {
-                    // Pay the limiter by scheduling, not sleeping.
-                    self.metrics.record_rate_limit_stall(wait);
-                    let p = self.slots[slot].as_ref().expect("admitted slot");
-                    self.timers.schedule(
-                        now_tick + Self::ticks(wait),
-                        TimerEvent {
-                            slot,
-                            generation: p.generation,
-                            attempt: 0,
-                            kind: EventKind::Send,
-                        },
-                    );
-                }
-            }
-        } else {
-            self.ready.extend(admitted.iter().copied());
-        }
-        self.admitted = admitted;
-        self.admitted.clear();
-        true
-    }
-
-    fn admit_one(&mut self, sub: Submission) {
-        let target = match self.targets.get(&sub.ingress) {
-            Some(SocketAddr::V4(v4)) => *v4,
-            // No route to this ingress — indistinguishable from loss.
-            _ => {
-                self.metrics.record_timeout();
-                self.telemetry.emit(
-                    0,
-                    TelemetryEvent::ProbeTimedOut {
-                        token: sub.token,
-                        attempts: 0,
-                    },
-                );
-                let _ = sub.done.send(ProbeCompletion {
-                    token: sub.token,
-                    reply: TransportReply::TimedOut,
-                });
-                return;
-            }
-        };
-        let slot = self.free_slots.pop().expect("admit checked free_slots");
-        self.generation += 1;
-        self.slots[slot] = Some(Pending {
-            generation: self.generation,
-            token: sub.token,
-            ingress: sub.ingress,
-            qname: sub.qname,
-            qtype: sub.qtype,
-            target,
-            bytes: self.pool.take(),
-            socket: usize::MAX,
-            id: 0,
-            attempt: 0,
-            sent_at: Instant::now(),
-            state: PendingState::Scheduled,
-            done: sub.done,
-        });
-        self.occupied += 1;
-        self.admitted.push(slot);
-    }
-
-    /// Advances the wheel and acts on expired, still-valid events.
-    fn fire_timers(&mut self) -> bool {
-        let now_tick = self.now_tick();
-        let mut expired = std::mem::take(&mut self.expired);
-        expired.clear();
-        self.timers.advance(now_tick, &mut expired);
-        let mut progress = false;
-        for ev in expired.drain(..) {
-            let Some(p) = self.slots[ev.slot].as_ref() else {
-                continue;
-            };
-            if p.generation != ev.generation || p.attempt != ev.attempt {
-                continue; // lazily cancelled
-            }
-            match ev.kind {
-                EventKind::Send => {
-                    if p.state == PendingState::Scheduled {
-                        self.ready.push_back(ev.slot);
-                        progress = true;
-                    }
-                }
-                EventKind::Deadline => {
-                    if p.state != PendingState::Waiting {
-                        continue;
-                    }
-                    progress = true;
-                    // The attempt is dead: late replies to its id must
-                    // land as strays, never match.
-                    self.correlation.remove(&(p.socket, p.id));
-                    if ev.attempt + 1 >= self.policy.attempts.max(1) {
-                        self.metrics.record_timeout();
-                        self.telemetry.emit(
-                            0,
-                            TelemetryEvent::ProbeTimedOut {
-                                token: p.token,
-                                attempts: ev.attempt + 1,
-                            },
-                        );
-                        self.complete(ev.slot, TransportReply::TimedOut);
-                    } else {
-                        let delay = self.policy.delay_before(ev.attempt + 1, &mut self.rng);
-                        let p = self.slots[ev.slot].as_mut().expect("checked above");
-                        p.attempt += 1;
-                        p.state = PendingState::Scheduled;
-                        let token = p.token;
-                        self.metrics.record_retry();
-                        self.telemetry.emit(
-                            0,
-                            TelemetryEvent::ProbeRetried {
-                                token,
-                                attempt: ev.attempt + 1,
-                            },
-                        );
-                        self.timers.schedule(
-                            now_tick + Self::ticks(delay),
-                            TimerEvent {
-                                slot: ev.slot,
-                                generation: ev.generation,
-                                attempt: ev.attempt + 1,
-                                kind: EventKind::Send,
-                            },
-                        );
-                    }
-                }
-            }
-        }
-        self.expired = expired;
-        progress
-    }
-
-    /// Drains the ready queue in batches: one `sendmmsg` per socket per
-    /// round, rotating sockets for source-port diversity.
-    fn send_ready(&mut self) -> bool {
-        if self.ready.is_empty() {
-            return false;
-        }
-        let mut progress = false;
-        for _ in 0..self.sockets.len() {
-            if self.ready.is_empty() {
-                break;
-            }
-            let socket_idx = self.next_socket;
-            self.next_socket = (self.next_socket + 1) % self.sockets.len();
-            let count = self.ready.len().min(MAX_BATCH);
-            let mut batch = [0usize; MAX_BATCH];
-            for b in batch.iter_mut().take(count) {
-                *b = self.ready.pop_front().expect("counted");
-            }
-            let batch = &batch[..count];
-            // Arm each probe: fresh id patched into the cached encoding
-            // (first send encodes via the reusable writer — no per-probe
-            // allocation either way).
-            let t_encode = self.phase_begin(Phase::Encode);
-            for &slot in batch {
-                let id = fresh_id(&mut self.rng, &self.correlation, socket_idx);
-                let p = self.slots[slot].as_mut().expect("ready slot occupied");
-                p.socket = socket_idx;
-                p.id = id;
-                if p.bytes.is_empty() {
-                    Message::encode_query_into(&mut self.writer, id, &p.qname, p.qtype);
-                    p.bytes.extend_from_slice(self.writer.as_slice());
-                } else {
-                    p.bytes[0..2].copy_from_slice(&id.to_be_bytes());
-                }
-                self.correlation.insert((socket_idx, id), slot);
-            }
-            self.phase_end(Phase::Encode, t_encode);
-            let outcome = if self.faults.is_some() {
-                // Chaos path: every armed probe is "sent" from the
-                // engine's point of view (deadlines, retries and loss
-                // feedback behave), but each datagram runs the fault
-                // gauntlet on its way to the wire.
-                let mut layer = self.faults.take().expect("checked is_some");
-                for &slot in batch {
-                    self.emit_faulty(&mut layer, socket_idx, slot);
-                }
-                self.faults = Some(layer);
-                Ok(count)
-            } else {
-                let empty: &[u8] = &[];
-                let mut items = [SendItem {
-                    payload: empty,
-                    dest: SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0),
-                }; MAX_BATCH];
-                for (item, &slot) in items.iter_mut().zip(batch) {
-                    let p = self.slots[slot].as_ref().expect("ready slot occupied");
-                    *item = SendItem {
-                        payload: &p.bytes,
-                        dest: p.target,
-                    };
-                }
-                let t_send = self.phase_begin(Phase::SendBatch);
-                let sent = cde_sysio::send_batch(&self.sockets[socket_idx], &items[..count]);
-                self.phase_end(Phase::SendBatch, t_send);
-                sent
-            };
-            let now_tick = self.now_tick();
-            match outcome {
-                Ok(sent) => {
-                    if sent > 0 {
-                        progress = true;
-                        self.metrics.record_send_batch(sent);
-                    }
-                    for (i, &slot) in batch.iter().enumerate().rev() {
-                        if i < sent {
-                            let p = self.slots[slot].as_mut().expect("ready slot occupied");
-                            p.state = PendingState::Waiting;
-                            p.sent_at = Instant::now();
-                            self.metrics.record_sent();
-                            self.telemetry.emit(
-                                0,
-                                TelemetryEvent::ProbeSent {
-                                    token: p.token,
-                                    attempt: p.attempt,
-                                },
-                            );
-                            let deadline =
-                                now_tick + Self::ticks(self.policy.timeout_for(p.attempt)).max(1);
-                            self.timers.schedule(
-                                deadline,
-                                TimerEvent {
-                                    slot,
-                                    generation: p.generation,
-                                    attempt: p.attempt,
-                                    kind: EventKind::Deadline,
-                                },
-                            );
-                        } else {
-                            // Kernel backpressure: retract and retry next
-                            // round (reverse order keeps FIFO).
-                            let p = self.slots[slot].as_ref().expect("ready slot occupied");
-                            self.correlation.remove(&(socket_idx, p.id));
-                            self.ready.push_front(slot);
-                        }
-                    }
-                }
-                Err(_) => {
-                    // A hard socket error: fail the whole batch rather
-                    // than spin on it.
-                    for &slot in batch {
-                        let p = self.slots[slot].as_ref().expect("ready slot occupied");
-                        self.correlation.remove(&(socket_idx, p.id));
-                        self.metrics.record_timeout();
-                        self.complete(slot, TransportReply::TimedOut);
-                    }
-                }
-            }
-        }
-        progress
-    }
-
-    /// Drains every socket's receive queue in batches and correlates.
-    fn receive(&mut self) -> bool {
-        let mut progress = false;
-        let mut recv_slots = std::mem::take(&mut self.recv_slots);
-        for socket_idx in 0..self.sockets.len() {
-            loop {
-                let t_recv = self.phase_begin(Phase::RecvBatch);
-                let got =
-                    cde_sysio::recv_batch(&self.sockets[socket_idx], &mut recv_slots).unwrap_or(0);
-                self.phase_end(Phase::RecvBatch, t_recv);
-                if got == 0 {
-                    break;
-                }
-                progress = true;
-                for rs in recv_slots.iter().take(got) {
-                    let Some(from) = rs.from() else { continue };
-                    if self.faults.is_some() {
-                        self.receive_faulty(socket_idx, rs.bytes(), from);
-                    } else {
-                        self.process_datagram(socket_idx, rs.bytes(), from);
-                    }
-                }
-                if got < recv_slots.len() {
-                    break;
-                }
-            }
-        }
-        self.recv_slots = recv_slots;
-        progress
-    }
-
-    /// Sends one armed probe through the fault layer: dropped, REFUSED
-    /// (a synthesized answer queued inbound), or delivered — possibly
-    /// delayed, duplicated or truncated.
-    fn emit_faulty(&mut self, layer: &mut FaultLayer, socket_idx: usize, slot: usize) {
-        let now = self.start.elapsed();
-        let now_tick = self.now_tick();
-        let p = self.slots[slot].as_ref().expect("ready slot occupied");
-        match layer
-            .injector
-            .decide(Direction::ClientToServer, now, p.bytes.len())
-        {
-            Verdict::Refuse => {
-                // The "resolver" answers REFUSED without resolving: the
-                // synthesized reply re-enters through correlation (from
-                // the probed target, so the anti-spoofing checks pass).
-                if let Some(reply) = refused_reply(&p.bytes) {
-                    layer.push_in(now_tick, socket_idx, reply, p.target);
-                }
-            }
-            // Nothing reaches the wire; the deadline timer will fire.
-            Verdict::Drop(_) => {}
-            Verdict::Deliver(copies) => {
-                for copy in copies {
-                    let len = copy.truncate_to.unwrap_or(p.bytes.len()).min(p.bytes.len());
-                    if copy.delay.is_zero() && len == p.bytes.len() {
-                        let _ = self.sockets[socket_idx].send_to(&p.bytes, p.target);
-                    } else {
-                        layer.push_out(
-                            now_tick + Self::ticks(copy.delay),
-                            socket_idx,
-                            p.bytes[..len].to_vec(),
-                            p.target,
-                        );
-                    }
-                }
-            }
-        }
-    }
-
-    /// Runs one received datagram through the reply-direction gauntlet
-    /// before correlation: lost replies vanish, delayed/duplicated
-    /// copies queue up (late duplicates then land as strays — exactly
-    /// the taxonomy a chaotic wire produces).
-    fn receive_faulty(&mut self, socket_idx: usize, bytes: &[u8], from: SocketAddrV4) {
-        let now = self.start.elapsed();
-        let now_tick = self.now_tick();
-        let mut immediate = 0u32;
-        {
-            let layer = self.faults.as_mut().expect("faults enabled");
-            match layer
-                .injector
-                .decide(Direction::ServerToClient, now, bytes.len())
-            {
-                Verdict::Drop(_) | Verdict::Refuse => {}
-                Verdict::Deliver(copies) => {
-                    for copy in copies {
-                        let len = copy.truncate_to.unwrap_or(bytes.len()).min(bytes.len());
-                        if copy.delay.is_zero() && len == bytes.len() {
-                            immediate += 1;
-                        } else {
-                            layer.push_in(
-                                now_tick + Self::ticks(copy.delay),
-                                socket_idx,
-                                bytes[..len].to_vec(),
-                                from,
-                            );
-                        }
-                    }
-                }
-            }
-        }
-        for _ in 0..immediate {
-            self.process_datagram(socket_idx, bytes, from);
-        }
-    }
-
-    /// Flushes fault-layer datagrams whose injected delay has elapsed:
-    /// outbound copies hit the wire, inbound ones re-enter correlation.
-    fn release_delayed(&mut self) -> bool {
-        if self.faults.is_none() {
-            return false;
-        }
-        let mut layer = self.faults.take().expect("checked is_none");
-        let now_tick = self.now_tick();
-        let mut progress = false;
-        while layer.delayed_out.peek().is_some_and(|d| d.due <= now_tick) {
-            let d = layer.delayed_out.pop().expect("peeked");
-            let _ = self.sockets[d.socket].send_to(&d.bytes, d.addr);
-            progress = true;
-        }
-        while layer.delayed_in.peek().is_some_and(|d| d.due <= now_tick) {
-            let d = layer.delayed_in.pop().expect("peeked");
-            self.process_datagram(d.socket, &d.bytes, d.addr);
-            progress = true;
-        }
-        self.faults = Some(layer);
-        progress
-    }
-
-    /// Correlates one inbound datagram, enforcing the anti-spoofing
-    /// checks: id match, source address match, echoed-question match.
-    fn process_datagram(&mut self, socket_idx: usize, bytes: &[u8], from: SocketAddrV4) {
-        let t_decode = self.phase_begin(Phase::Decode);
-        let parsed = MessagePeek::parse(bytes);
-        self.phase_end(Phase::Decode, t_decode);
-        let Ok(peek) = parsed else {
-            self.metrics.record_decode_error();
-            return;
-        };
-        if !peek.is_response() {
-            return;
-        }
-        let t_correlate = self.phase_begin(Phase::Correlate);
-        let Some(&slot) = self.correlation.get(&(socket_idx, peek.id())) else {
-            // Wrong id, or a duplicate/late reply after the deadline
-            // already retired the attempt.
-            self.metrics.record_stray_reply();
-            self.telemetry.emit(
-                0,
-                TelemetryEvent::ReplyDropped {
-                    reason: DropReason::Stray,
-                },
-            );
-            self.phase_end(Phase::Correlate, t_correlate);
-            return;
-        };
-        let p = self.slots[slot].as_ref().expect("correlated slot occupied");
-        if from != p.target {
-            // Right id, wrong source: off-path spoofing. Keep waiting for
-            // the genuine answer.
-            self.metrics.record_spoofed_reply();
-            self.telemetry.emit(
-                0,
-                TelemetryEvent::ReplyDropped {
-                    reason: DropReason::Spoofed,
-                },
-            );
-            self.phase_end(Phase::Correlate, t_correlate);
-            return;
-        }
-        match peek.question_matches(&p.qname, p.qtype) {
-            Ok(true) => {}
-            Ok(false) => {
-                // Id collision: someone else's answer hashed onto our id.
-                self.metrics.record_qname_mismatch();
-                self.telemetry.emit(
-                    0,
-                    TelemetryEvent::ReplyDropped {
-                        reason: DropReason::Duplicate,
-                    },
-                );
-                self.phase_end(Phase::Correlate, t_correlate);
-                return;
-            }
-            Err(_) => {
-                self.metrics.record_decode_error();
-                self.phase_end(Phase::Correlate, t_correlate);
-                return;
-            }
-        }
-        self.phase_end(Phase::Correlate, t_correlate);
-        let rtt = p.sent_at.elapsed();
-        let rtt_us = rtt.as_micros().min(u128::from(u64::MAX)) as u64;
-        // A reply arriving after a retransmit can belong to *either*
-        // attempt; its last-send RTT is untrustworthy for timing
-        // analysis, so both the digest and the event carry the flag.
-        let retransmit_ambiguous = p.attempt > 0;
-        self.metrics.record_received(rtt);
-        if let Some(insight) = &self.insight {
-            insight
-                .digests
-                .record(p.ingress, rtt_us, retransmit_ambiguous);
-        }
-        self.telemetry.emit(
-            0,
-            TelemetryEvent::ProbeMatched {
-                token: p.token,
-                attempt: p.attempt,
-                rtt_us,
-                retransmit_ambiguous,
-            },
-        );
-        self.complete(
-            slot,
-            TransportReply::Answered {
-                latency: Some(SimDuration::from_micros(rtt.as_micros() as u64)),
-                rcode: peek.flags().rcode,
-            },
-        );
-    }
-
-    /// Retires a slot: frees the correlation entry, recycles the buffer,
-    /// delivers the completion. Timers die by lazy cancellation.
-    fn complete(&mut self, slot: usize, reply: TransportReply) {
-        let p = self.slots[slot].take().expect("completing occupied slot");
-        self.correlation.remove(&(p.socket, p.id));
-        self.pool.give(p.bytes);
-        self.occupied -= 1;
-        self.free_slots.push(slot);
-        self.metrics.set_in_flight(self.occupied as u64);
-        let _ = p.done.send(ProbeCompletion {
-            token: p.token,
-            reply,
-        });
-    }
-
-    /// Nothing to do right now: sleep until the next timer or a new
-    /// submission, whichever comes first.
-    fn idle_wait(&mut self) {
-        let wait = if self.occupied == 0 && self.ready.is_empty() {
-            DRAINED_IDLE
-        } else if self.occupied > 0 {
-            // A reply can land any microsecond and nothing wakes this
-            // sleep for it, so its length is pure added RTT. Keep it at
-            // BUSY_IDLE — the 4 ms timer-distance nap here used to
-            // quantize every measured RTT to ~4 ms, drowning the
-            // hit/miss contrast the timing side channel reads.
-            BUSY_IDLE
-        } else {
-            // Only scheduled (unsent) probes: sleep toward their send
-            // timers, nothing inbound can arrive yet.
-            let now = self.now_tick();
-            let ticks_away = self.timers.next_due().map_or(1, |t| t.saturating_sub(now));
-            (TICK * ticks_away.clamp(1, 4) as u32)
-                .min(Duration::from_millis(4))
-                .max(BUSY_IDLE)
-        };
-        if self.disconnected {
-            // recv_timeout would return instantly on a dead channel.
-            std::thread::sleep(wait);
-            return;
-        }
-        match self.submit_rx.recv_timeout(wait) {
-            Ok(sub) => self.stash = Some(sub),
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => self.disconnected = true,
-        }
-    }
-}
-
-/// Picks a query id unused on `socket`, preferring a random draw and
-/// linearly probing on collision.
-fn fresh_id(rng: &mut DetRng, correlation: &HashMap<(usize, u16), usize>, socket: usize) -> u16 {
-    let mut id: u16 = rng.gen();
-    for _ in 0..=u16::MAX {
-        if !correlation.contains_key(&(socket, id)) {
-            return id;
-        }
-        id = id.wrapping_add(1);
-    }
-    id // unreachable: the table can never hold 65 536 entries per socket
 }
 
 /// The one-shot blocking seam over a [`Reactor`]: a [`Transport`], so
@@ -1314,7 +637,7 @@ impl ReactorTransport {
     }
 
     /// Gracefully shuts the backing reactor down: drains in-flight
-    /// probes and joins the loop thread. See
+    /// probes and joins the loop threads. See
     /// [`Reactor::shutdown_graceful`].
     pub fn shutdown_graceful(&mut self, timeout: Duration) -> bool {
         self.reactor.shutdown_graceful(timeout)
@@ -1415,6 +738,7 @@ impl AccessProvider for ReactorTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cde_dns::Message;
 
     fn policy_ms(attempts: u32, timeout_ms: u64) -> RetryPolicy {
         RetryPolicy {

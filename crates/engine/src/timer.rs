@@ -92,39 +92,76 @@ impl<T> TimerWheel<T> {
     /// `expired` (in no particular order). Ticks before the current tick
     /// are ignored.
     pub fn advance(&mut self, now: u64, expired: &mut Vec<T>) {
-        self.len -= self.overdue.len();
-        expired.append(&mut self.overdue);
+        self.advance_filtered(now, expired, |_| true);
+    }
+
+    /// Like [`advance`](Self::advance), but entries for which `live`
+    /// returns `false` are dropped instead of expired — at cascade time
+    /// as well as at their deadline.
+    ///
+    /// Cancellation in this wheel is lazy (cancelled timers keep their
+    /// slot until they fire), which is free for short timers but lets a
+    /// busy reactor accumulate thousands of dead retransmit deadlines
+    /// that coarser wheels keep cascading inward. Passing the liveness
+    /// check here sheds them at the first wheel touch instead of
+    /// carrying them to expiry. `live` is advisory: the caller must
+    /// still validate expired values, since handling one expiry can
+    /// invalidate another entry already appended to `expired`.
+    pub fn advance_filtered(
+        &mut self,
+        now: u64,
+        expired: &mut Vec<T>,
+        mut live: impl FnMut(&T) -> bool,
+    ) {
+        self.drain_overdue(expired, &mut live);
         while self.now < now {
             self.now += 1;
             let tick = self.now;
             // Cascade coarser wheels at their boundaries *before* draining
             // the fine slot, so a cascaded entry due this very tick fires.
             if tick.trailing_zeros() >= SLOT_BITS {
-                self.cascade(1, ((tick >> SLOT_BITS) % SLOTS as u64) as usize);
+                self.cascade(1, ((tick >> SLOT_BITS) % SLOTS as u64) as usize, &mut live);
             }
             if tick.trailing_zeros() >= 2 * SLOT_BITS {
-                self.cascade(2, ((tick >> (2 * SLOT_BITS)) % SLOTS as u64) as usize);
+                self.cascade(
+                    2,
+                    ((tick >> (2 * SLOT_BITS)) % SLOTS as u64) as usize,
+                    &mut live,
+                );
             }
             // A cascade may re-file an entry due at this very tick into
             // `overdue`; drain it in the same pass.
-            self.len -= self.overdue.len();
-            expired.append(&mut self.overdue);
+            self.drain_overdue(expired, &mut live);
             let slot = (tick % SLOTS as u64) as usize;
             for (deadline, value) in self.levels[0][slot].drain(..) {
                 debug_assert!(deadline <= tick);
                 self.len -= 1;
+                if live(&value) {
+                    expired.push(value);
+                }
+            }
+        }
+    }
+
+    fn drain_overdue(&mut self, expired: &mut Vec<T>, live: &mut impl FnMut(&T) -> bool) {
+        self.len -= self.overdue.len();
+        for value in self.overdue.drain(..) {
+            if live(&value) {
                 expired.push(value);
             }
         }
     }
 
-    /// Re-files every entry of `levels[level][slot]` into a finer wheel
-    /// (or, for clamped far-future entries, back into this one).
-    fn cascade(&mut self, level: usize, slot: usize) {
+    /// Re-files every live entry of `levels[level][slot]` into a finer
+    /// wheel (or, for clamped far-future entries, back into this one);
+    /// dead entries are dropped here instead of riding the cascade.
+    fn cascade(&mut self, level: usize, slot: usize, live: &mut impl FnMut(&T) -> bool) {
         let entries = std::mem::take(&mut self.levels[level][slot]);
         for (deadline, value) in entries {
             self.len -= 1;
-            self.schedule(deadline, value);
+            if live(&value) {
+                self.schedule(deadline, value);
+            }
         }
     }
 
@@ -231,6 +268,39 @@ mod tests {
             assert!(hops < 200, "next_due loops without progress");
         }
         assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn filtered_advance_drops_dead_entries() {
+        let mut w = TimerWheel::new(0);
+        for i in 0..10u64 {
+            w.schedule(5, i);
+        }
+        let mut out = Vec::new();
+        w.advance_filtered(5, &mut out, |&v| v % 2 == 0);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+        assert!(w.is_empty(), "dead entries must leave the wheel");
+    }
+
+    #[test]
+    fn filtered_cascade_sheds_before_expiry() {
+        let mut w = TimerWheel::new(0);
+        // Far timers parked in a coarse wheel; all dead by cascade time.
+        for i in 0..50u64 {
+            w.schedule(1_000, i);
+        }
+        assert_eq!(w.len(), 50);
+        let mut out = Vec::new();
+        // Advance past the level-1 cascade boundary but short of expiry:
+        // the dead entries must be dropped at the cascade, not at 1000.
+        w.advance_filtered(999, &mut out, |_| false);
+        assert!(out.is_empty());
+        assert!(w.is_empty(), "cascade must shed dead entries");
+        // Overdue entries are filtered too.
+        w.schedule(10, 7);
+        w.advance_filtered(999, &mut out, |_| true);
+        assert_eq!(out, vec![7]);
     }
 
     #[test]

@@ -12,9 +12,12 @@ use cde_telemetry::{Collector, Metric};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-/// The five instrumented phases of one reactor loop iteration.
+/// The six instrumented phases of one reactor loop iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
+    /// Timer-wheel advance: cascading, shedding dead entries, expiring
+    /// retransmit deadlines.
+    Timers,
     /// Encoding (or patching) probe datagrams into pooled buffers.
     Encode,
     /// The `sendmmsg` batch syscall.
@@ -28,7 +31,8 @@ pub enum Phase {
 }
 
 /// All phases, in loop order.
-pub const PHASES: [Phase; 5] = [
+pub const PHASES: [Phase; 6] = [
+    Phase::Timers,
     Phase::Encode,
     Phase::SendBatch,
     Phase::RecvBatch,
@@ -40,6 +44,7 @@ impl Phase {
     /// Stable label used in metrics and reports.
     pub fn as_str(self) -> &'static str {
         match self {
+            Phase::Timers => "timers",
             Phase::Encode => "encode",
             Phase::SendBatch => "send_batch",
             Phase::RecvBatch => "recv_batch",
@@ -83,7 +88,7 @@ impl PhaseStats {
 #[derive(Debug)]
 pub struct PhaseProfiler {
     sample_every: u64,
-    states: [PhaseState; 5],
+    states: [PhaseState; 6],
 }
 
 impl PhaseProfiler {

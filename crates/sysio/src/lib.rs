@@ -7,8 +7,9 @@
 //! `send_to`/`recv_from` calls with identical semantics.
 //!
 //! This is deliberately the *only* crate in the workspace that contains
-//! `unsafe` code (the FFI structs and calls live in [`mmsg`]); every
-//! other crate keeps `#![forbid(unsafe_code)]`.
+//! `unsafe` code (the FFI structs and calls live in [`mmsg`], and the
+//! lock-free submission ring in [`MpscRing`]); every other crate keeps
+//! `#![forbid(unsafe_code)]`.
 //!
 //! All functions assume a non-blocking socket: "nothing to do right now"
 //! is reported as `Ok(0)`, never as an `Err(WouldBlock)` the caller has
@@ -52,6 +53,9 @@ use std::sync::OnceLock;
 
 #[cfg(target_os = "linux")]
 mod mmsg;
+mod ring;
+
+pub use ring::MpscRing;
 
 /// Largest number of datagrams moved per batched syscall. Callers may
 /// pass longer slices; the excess simply waits for the next call.

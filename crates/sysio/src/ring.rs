@@ -1,0 +1,274 @@
+//! A bounded lock-free submission ring (Vyukov MPMC queue).
+//!
+//! The sharded reactor hands probes from any number of submitting
+//! threads to one shard's event loop. A `Mutex<VecDeque>` channel puts
+//! every submission through a lock the event loop also takes on its hot
+//! path; this ring replaces it with a fixed array of cells, each guarded
+//! by a sequence number, so producers and the consumer only touch
+//! atomics (Dmitry Vyukov's bounded MPMC queue). Capacity is fixed at
+//! construction — a full ring reports backpressure instead of
+//! allocating.
+//!
+//! This crate is the workspace's designated home for `unsafe` (see the
+//! crate docs); the ring's unsafety is confined to writing/reading the
+//! `MaybeUninit` cell payload, which the sequence protocol proves is
+//! exclusively owned at that point.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Pads a hot atomic to its own cache line so producers bumping the
+/// enqueue cursor don't false-share with the consumer's dequeue cursor.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+struct Cell<T> {
+    /// The cell's turn counter: equals the claiming position when free
+    /// for a producer, position + 1 when holding a value for the
+    /// consumer, and advances by the capacity each full lap.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded lock-free multi-producer queue.
+///
+/// Used single-consumer by the reactor (one shard loop drains it), but
+/// the algorithm is safe for concurrent consumers too. `push` never
+/// blocks: a full ring returns the value back to the caller.
+pub struct MpscRing<T> {
+    buffer: Box<[Cell<T>]>,
+    mask: usize,
+    enqueue_pos: CachePadded<AtomicUsize>,
+    dequeue_pos: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: values move through the cells with release/acquire handoff on
+// each cell's sequence counter; a cell's payload is only touched by the
+// thread that won the position CAS for it.
+unsafe impl<T: Send> Send for MpscRing<T> {}
+unsafe impl<T: Send> Sync for MpscRing<T> {}
+
+impl<T> MpscRing<T> {
+    /// A ring holding at least `capacity` items (rounded up to the next
+    /// power of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> MpscRing<T> {
+        let cap = capacity.max(2).next_power_of_two();
+        let buffer: Box<[Cell<T>]> = (0..cap)
+            .map(|i| Cell {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        MpscRing {
+            buffer,
+            mask: cap - 1,
+            enqueue_pos: CachePadded(AtomicUsize::new(0)),
+            dequeue_pos: CachePadded(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Number of slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Enqueues `value`, or returns it when the ring is full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.enqueue_pos.0.load(Ordering::Relaxed);
+        loop {
+            let cell = &self.buffer[pos & self.mask];
+            let seq = cell.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos as isize;
+            if dif == 0 {
+                match self.enqueue_pos.0.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS claimed `pos`, so this cell is
+                        // ours until we publish via the seq store below.
+                        unsafe { (*cell.value.get()).write(value) };
+                        cell.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(found) => pos = found,
+                }
+            } else if dif < 0 {
+                // The cell still holds a value from one lap ago: full.
+                return Err(value);
+            } else {
+                pos = self.enqueue_pos.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues the oldest value, or `None` when the ring is empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.dequeue_pos.0.load(Ordering::Relaxed);
+        loop {
+            let cell = &self.buffer[pos & self.mask];
+            let seq = cell.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos.wrapping_add(1) as isize;
+            if dif == 0 {
+                match self.dequeue_pos.0.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS claimed `pos`; the producer's
+                        // release store published an initialized value.
+                        let value = unsafe { (*cell.value.get()).assume_init_read() };
+                        cell.seq
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(found) => pos = found,
+                }
+            } else if dif < 0 {
+                return None;
+            } else {
+                pos = self.dequeue_pos.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Queued items right now. Approximate under concurrency, but never
+    /// reports empty while a claimed push has not been popped — safe for
+    /// a consumer's "drained?" check.
+    pub fn len(&self) -> usize {
+        let enq = self.enqueue_pos.0.load(Ordering::SeqCst);
+        let deq = self.dequeue_pos.0.load(Ordering::SeqCst);
+        enq.wrapping_sub(deq)
+    }
+
+    /// `true` when no item is queued or mid-push.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for MpscRing<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+impl<T> std::fmt::Debug for MpscRing<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpscRing")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_roundtrip() {
+        let ring = MpscRing::with_capacity(8);
+        for i in 0..5 {
+            ring.push(i).unwrap();
+        }
+        assert_eq!(ring.len(), 5);
+        for i in 0..5 {
+            assert_eq!(ring.pop(), Some(i));
+        }
+        assert_eq!(ring.pop(), None);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn capacity_rounds_up_and_full_ring_rejects() {
+        let ring = MpscRing::with_capacity(5);
+        assert_eq!(ring.capacity(), 8);
+        for i in 0..8 {
+            ring.push(i).unwrap();
+        }
+        assert_eq!(ring.push(99), Err(99));
+        assert_eq!(ring.pop(), Some(0));
+        ring.push(99).unwrap();
+        let drained: Vec<_> = std::iter::from_fn(|| ring.pop()).collect();
+        assert_eq!(drained, vec![1, 2, 3, 4, 5, 6, 7, 99]);
+    }
+
+    #[test]
+    fn wraps_many_laps() {
+        let ring = MpscRing::with_capacity(4);
+        for lap in 0..1000u64 {
+            ring.push(lap).unwrap();
+            assert_eq!(ring.pop(), Some(lap));
+        }
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_one_consumer() {
+        const PRODUCERS: u64 = 4;
+        const PER_PRODUCER: u64 = 5_000;
+        let ring = Arc::new(MpscRing::with_capacity(64));
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let ring = Arc::clone(&ring);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    let mut v = p * PER_PRODUCER + i;
+                    loop {
+                        match ring.push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        let mut seen = vec![false; (PRODUCERS * PER_PRODUCER) as usize];
+        let mut got = 0usize;
+        let mut last_per_producer = vec![None::<u64>; PRODUCERS as usize];
+        while got < seen.len() {
+            if let Some(v) = ring.pop() {
+                assert!(!seen[v as usize], "duplicate {v}");
+                seen[v as usize] = true;
+                // Per-producer FIFO: values from one producer arrive in
+                // submission order.
+                let p = (v / PER_PRODUCER) as usize;
+                if let Some(prev) = last_per_producer[p] {
+                    assert!(v > prev, "producer {p} reordered: {prev} then {v}");
+                }
+                last_per_producer[p] = Some(v);
+                got += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn drop_releases_queued_values() {
+        let payload = Arc::new(());
+        {
+            let ring = MpscRing::with_capacity(8);
+            for _ in 0..6 {
+                ring.push(Arc::clone(&payload)).unwrap();
+            }
+            ring.pop();
+        }
+        assert_eq!(Arc::strong_count(&payload), 1, "ring drop leaked values");
+    }
+}
