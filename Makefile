@@ -50,9 +50,10 @@ serve-smoke:
 
 # Regenerate the engine benchmark and gate on the committed baseline:
 # fails when the reactor-vs-blocking speedup drops more than 25%, the
-# insight digests-on/off ratio regresses, per-shard scaling efficiency
-# falls more than 10% below the baseline curve, or (on a multi-core
-# host) 2 shards deliver less than 1.6x one shard.
+# insight digests-on/off ratio regresses, the pulse-on/pulse-off health
+# sampling ratio regresses, per-shard scaling efficiency falls more
+# than 10% below the baseline curve, or (on a multi-core host) 2 shards
+# deliver less than 1.6x one shard.
 bench-check:
 	cargo run --release --locked -p cde-bench --bin engine_bench -- \
 		BENCH_engine.fresh.json

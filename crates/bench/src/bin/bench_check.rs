@@ -59,6 +59,21 @@ fn extract_insight(json: &str) -> Vec<(u64, f64)> {
         .collect()
 }
 
+/// `(probes, ratio)` pairs for the pulse-overhead gate: throughput with
+/// the health engine's observation path live (exemplar reservoir,
+/// shard-runtime counters, rolling-window sampler) over the pulse-off
+/// reactor run. Absent from reports older than the `"pulse"` array.
+fn extract_pulse(json: &str) -> Vec<(u64, f64)> {
+    json.lines()
+        .filter_map(|line| {
+            Some((
+                field_f64(line, "probes")? as u64,
+                field_f64(line, "pulse_on_vs_off")?,
+            ))
+        })
+        .collect()
+}
+
 /// `(shards, aggregate probes_per_sec)` pairs from the shard-scaling
 /// curve. Absent from reports older than the `"scaling"` array.
 fn extract_scaling(json: &str) -> Vec<(u64, f64)> {
@@ -212,6 +227,18 @@ fn main() -> ExitCode {
         );
     }
 
+    // Pulse-overhead gate, likewise active only once the committed
+    // baseline records a `pulse_on_vs_off` ratio.
+    let base_pulse = extract_pulse(&baseline);
+    if !base_pulse.is_empty() {
+        failed |= gate(
+            "pulse on/off ratio",
+            &base_pulse,
+            &extract_pulse(&fresh),
+            max_regress,
+        );
+    }
+
     // Shard-scaling gates (2-shard speedup on multi-core hosts,
     // per-shard efficiency vs baseline), likewise baseline-activated.
     failed |= gate_scaling(&baseline, &fresh);
@@ -265,6 +292,9 @@ mod tests {
   "insight": [
     {"probes": 10000, "digests_on_vs_off": 0.97}
   ],
+  "pulse": [
+    {"probes": 10000, "pulse_on_vs_off": 0.98}
+  ],
   "scaling": [
     {"shards": 1, "probes": 10000, "probes_per_sec": 80000.0, "per_shard_probes_per_sec": 80000.0},
     {"shards": 2, "probes": 10000, "probes_per_sec": 150000.0, "per_shard_probes_per_sec": 75000.0},
@@ -294,6 +324,31 @@ mod tests {
     #[test]
     fn insight_lines_do_not_leak_into_speedup_extraction() {
         assert_eq!(extract(REPORT, false), vec![(1000, 5.54), (10000, 6.05)]);
+    }
+
+    #[test]
+    fn extracts_pulse_overhead_ratio() {
+        assert_eq!(extract_pulse(REPORT), vec![(10000, 0.98)]);
+        assert!(extract_pulse(r#"{"speedup": []}"#).is_empty());
+    }
+
+    /// The pulse ratio gates like any other metric: a fresh run whose
+    /// pulse-on throughput collapses past the regression floor fails.
+    #[test]
+    fn pulse_ratio_regression_fails_the_gate() {
+        assert!(!gate(
+            "pulse on/off ratio",
+            &extract_pulse(REPORT),
+            &extract_pulse(REPORT),
+            0.25
+        ));
+        let regressed = REPORT.replace("\"pulse_on_vs_off\": 0.98", "\"pulse_on_vs_off\": 0.60");
+        assert!(gate(
+            "pulse on/off ratio",
+            &extract_pulse(REPORT),
+            &extract_pulse(&regressed),
+            0.25
+        ));
     }
 
     #[test]

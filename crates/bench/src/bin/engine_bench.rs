@@ -19,8 +19,8 @@
 use cde_core::CdeInfra;
 use cde_engine::scheduler::{run_campaign, run_campaign_pipelined, CampaignOptions, Probe};
 use cde_engine::{
-    CampaignReport, EngineClock, InsightOptions, LoopbackResolver, Reactor, ReactorConfig,
-    ResolverConfig, RetryPolicy, UdpTransport,
+    CampaignReport, EngineClock, InsightOptions, LoopbackResolver, PulseOptions, Reactor,
+    ReactorConfig, ResolverConfig, RetryPolicy, UdpTransport,
 };
 use cde_platform::{NameserverNet, PlatformBuilder, SelectorKind};
 use std::net::{Ipv4Addr, SocketAddr};
@@ -184,6 +184,7 @@ fn main() {
     let mut runs: Vec<RunStats> = Vec::new();
     let mut speedups: Vec<(usize, f64)> = Vec::new();
     let mut insight_ratios: Vec<(usize, f64)> = Vec::new();
+    let mut pulse_ratios: Vec<(usize, f64)> = Vec::new();
     let mut last_registry: Option<std::sync::Arc<cde_telemetry::MetricsRegistry>> = None;
 
     for count in [1_000usize, 10_000] {
@@ -278,6 +279,68 @@ fn main() {
             insight_ratios.push((count, ratio));
             runs.push(insight_stats);
         }
+
+        // Pulse overhead: the same campaign with the health engine's
+        // full observation path live — exemplar reservoir on every
+        // completion, shard-runtime counters, and a sampler thread
+        // snapshotting the merged metrics into rolling windows at the
+        // daemon's cadence. The ratio against the pulse-off run gates
+        // the health tier's hot-path cost in CI.
+        if count == 10_000 {
+            let reactor = Reactor::launch(
+                addrs.clone(),
+                ReactorConfig {
+                    shards: 1,
+                    pulse: Some(PulseOptions::default()),
+                    ..ReactorConfig::with_policy(bench_policy(), 11)
+                },
+            )
+            .expect("pulse reactor");
+            let pulse = std::sync::Arc::new(
+                cde_pulse::Pulse::new(cde_pulse::SloSpec::default())
+                    .with_exemplars(reactor.exemplars().expect("pulse reservoir")),
+            );
+            let metrics = reactor.metrics();
+            let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let sampler = {
+                let pulse = std::sync::Arc::clone(&pulse);
+                let stop = std::sync::Arc::clone(&stop);
+                let epoch = Instant::now();
+                std::thread::spawn(move || {
+                    while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                        let snap = metrics.snapshot();
+                        pulse.observe(cde_pulse::CounterSample {
+                            at_ms: epoch.elapsed().as_millis() as u64,
+                            sent: snap.sent,
+                            received: snap.received,
+                            timeouts: snap.timeouts,
+                            retries: snap.retries,
+                            strays: snap.stray_replies,
+                            in_flight: snap.in_flight,
+                            ..cde_pulse::CounterSample::default()
+                        });
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                })
+            };
+            let start = Instant::now();
+            let report = run_campaign_pipelined(
+                &reactor,
+                probe_batch(&session.honey, count),
+                REACTOR_WINDOW,
+            );
+            let pulse_stats = stats("reactor_pulse", 1, 1, count, start.elapsed(), &report);
+            stop.store(true, std::sync::atomic::Ordering::SeqCst);
+            sampler.join().expect("pulse sampler");
+            let ratio = pulse_stats.probes_per_sec() / reactor_pps;
+            eprintln!(
+                "pulse     {:>6} probes  {:>10.0} probes/s  pulse on/off {ratio:.2}x",
+                count,
+                pulse_stats.probes_per_sec(),
+            );
+            pulse_ratios.push((count, ratio));
+            runs.push(pulse_stats);
+        }
     }
 
     // Shard scaling curve: the same 10k-probe campaign through 1, 2, 4
@@ -369,6 +432,10 @@ fn main() {
         .iter()
         .map(|(count, r)| format!("    {{\"probes\": {count}, \"digests_on_vs_off\": {r:.2}}}"))
         .collect();
+    let pulse_json: Vec<String> = pulse_ratios
+        .iter()
+        .map(|(count, r)| format!("    {{\"probes\": {count}, \"pulse_on_vs_off\": {r:.2}}}"))
+        .collect();
     let scaling_json: Vec<String> = scaling
         .iter()
         .map(|(shards, pps)| {
@@ -385,12 +452,13 @@ fn main() {
          \"description\": \"loopback probe campaigns, blocking worker pool vs event-driven reactor\",\n  \
          \"available_parallelism\": {},\n  \"reactor_window\": {},\n  \
          \"runs\": [\n{}\n  ],\n  \"speedup\": [\n{}\n  ],\n  \"insight\": [\n{}\n  ],\n  \
-         \"scaling\": [\n{}\n  ]\n}}\n",
+         \"pulse\": [\n{}\n  ],\n  \"scaling\": [\n{}\n  ]\n}}\n",
         std::thread::available_parallelism().map_or(0, usize::from),
         REACTOR_WINDOW,
         runs_json.join(",\n"),
         speedups_json.join(",\n"),
         insight_json.join(",\n"),
+        pulse_json.join(",\n"),
         scaling_json.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write bench output");

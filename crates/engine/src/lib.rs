@@ -96,8 +96,8 @@ pub use faulty::FaultyTransport;
 pub use metrics::{EngineMetrics, MetricsBlock, MetricsSnapshot};
 pub use ratelimit::{RateConfig, RateLimiter, TenantRate, WeightedRateLimiter};
 pub use reactor::{
-    shard_for_target, InsightOptions, ProbeCompletion, Reactor, ReactorConfig, ReactorHandle,
-    ReactorInsight, ReactorTransport, ShardedReactor,
+    shard_for_target, InsightOptions, ProbeCompletion, PulseOptions, Reactor, ReactorConfig,
+    ReactorHandle, ReactorInsight, ReactorTransport, ShardedReactor,
 };
 pub use resolver::{LoopbackResolver, ResolverConfig};
 pub use retry::RetryPolicy;

@@ -95,6 +95,21 @@ pub struct MetricsBlock {
     /// Correlation-slab capacity (set once at reactor launch; the
     /// occupancy gauge is `in_flight`, its high-water `in_flight_peak`).
     slab_capacity: AtomicU64,
+    /// Submission-ring occupancy (sampled every loop iteration).
+    ring_depth: AtomicU64,
+    /// High-water mark of the submission-ring occupancy.
+    ring_depth_peak: AtomicU64,
+    /// Times the shard parked waiting for work.
+    parks: AtomicU64,
+    /// Total time spent parked, in microseconds.
+    parked_us: AtomicU64,
+    /// Times the shard was woken from a park by a submitter.
+    unparks: AtomicU64,
+    /// Total wake-to-first-poll latency, in microseconds: from the
+    /// waker's unpark call to the parked loop resuming.
+    wake_latency_us: AtomicU64,
+    /// Slowest single wake-to-first-poll, in microseconds.
+    wake_latency_max_us: AtomicU64,
 }
 
 impl MetricsBlock {
@@ -192,6 +207,30 @@ impl MetricsBlock {
         self.slab_capacity.store(n, Ordering::Relaxed);
     }
 
+    /// Sets the submission-ring occupancy gauge, tracking its high-water
+    /// mark.
+    pub fn set_ring_depth(&self, n: u64) {
+        self.ring_depth.store(n, Ordering::Relaxed);
+        self.ring_depth_peak.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Records one park of `slept` spent waiting for work.
+    pub fn record_park(&self, slept: Duration) {
+        self.parks.fetch_add(1, Ordering::Relaxed);
+        self.parked_us.fetch_add(
+            slept.as_micros().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Records one wake-from-park and its wake-to-first-poll latency.
+    pub fn record_wake_latency(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.unparks.fetch_add(1, Ordering::Relaxed);
+        self.wake_latency_us.fetch_add(us, Ordering::Relaxed);
+        self.wake_latency_max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
     /// Takes a point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut latency_buckets = [0u64; BUCKETS];
@@ -231,6 +270,13 @@ impl MetricsBlock {
             wheel_pending: self.wheel_pending.load(Ordering::Relaxed),
             wheel_pending_peak: self.wheel_pending_peak.load(Ordering::Relaxed),
             slab_capacity: self.slab_capacity.load(Ordering::Relaxed),
+            ring_depth: self.ring_depth.load(Ordering::Relaxed),
+            ring_depth_peak: self.ring_depth_peak.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            parked_us: self.parked_us.load(Ordering::Relaxed),
+            unparks: self.unparks.load(Ordering::Relaxed),
+            wake_latency_us: self.wake_latency_us.load(Ordering::Relaxed),
+            wake_latency_max_us: self.wake_latency_max_us.load(Ordering::Relaxed),
         }
     }
 }
@@ -382,6 +428,22 @@ impl EngineMetrics {
     pub fn set_slab_capacity(&self, n: u64) {
         self.blocks[0].set_slab_capacity(n);
     }
+
+    /// Sets the submission-ring occupancy gauge, tracking its high-water
+    /// mark.
+    pub fn set_ring_depth(&self, n: u64) {
+        self.blocks[0].set_ring_depth(n);
+    }
+
+    /// Records one park of `slept` spent waiting for work.
+    pub fn record_park(&self, slept: Duration) {
+        self.blocks[0].record_park(slept);
+    }
+
+    /// Records one wake-from-park and its wake-to-first-poll latency.
+    pub fn record_wake_latency(&self, latency: Duration) {
+        self.blocks[0].record_wake_latency(latency);
+    }
 }
 
 /// Point-in-time copy of a [`MetricsBlock`] (or of a whole
@@ -440,6 +502,22 @@ pub struct MetricsSnapshot {
     /// Correlation-slab capacity (0 outside a reactor; summed across
     /// shards when merged).
     pub slab_capacity: u64,
+    /// Submission-ring occupancy at snapshot time (summed when merged).
+    pub ring_depth: u64,
+    /// Highest submission-ring occupancy seen (summed per-shard peaks
+    /// when merged).
+    pub ring_depth_peak: u64,
+    /// Times the reactor loop parked waiting for work.
+    pub parks: u64,
+    /// Total time spent parked, in microseconds.
+    pub parked_us: u64,
+    /// Times the loop was woken from a park by a submitter.
+    pub unparks: u64,
+    /// Total wake-to-first-poll latency, in microseconds.
+    pub wake_latency_us: u64,
+    /// Slowest single wake-to-first-poll, in microseconds (max across
+    /// shards when merged).
+    pub wake_latency_max_us: u64,
 }
 
 impl MetricsSnapshot {
@@ -478,6 +556,13 @@ impl MetricsSnapshot {
         self.wheel_pending += other.wheel_pending;
         self.wheel_pending_peak += other.wheel_pending_peak;
         self.slab_capacity += other.slab_capacity;
+        self.ring_depth += other.ring_depth;
+        self.ring_depth_peak += other.ring_depth_peak;
+        self.parks += other.parks;
+        self.parked_us += other.parked_us;
+        self.unparks += other.unparks;
+        self.wake_latency_us += other.wake_latency_us;
+        self.wake_latency_max_us = self.wake_latency_max_us.max(other.wake_latency_max_us);
     }
 
     /// Observed datagram loss rate: unanswered sends over sends.
@@ -561,6 +646,23 @@ impl MetricsSnapshot {
         }
         Some(self.in_flight_peak as f64 / self.slab_capacity as f64)
     }
+
+    /// Reactor duty cycle: loop time over loop-plus-parked time, in
+    /// `[0, 1]`. `None` before any loop or park was recorded.
+    pub fn duty_cycle(&self) -> Option<f64> {
+        let total = self.loop_sum_us + self.parked_us;
+        if total == 0 {
+            return None;
+        }
+        Some(self.loop_sum_us as f64 / total as f64)
+    }
+
+    /// Mean wake-to-first-poll latency across all unparks.
+    pub fn mean_wake_latency(&self) -> Option<Duration> {
+        self.wake_latency_us
+            .checked_div(self.unparks)
+            .map(Duration::from_micros)
+    }
 }
 
 impl fmt::Display for MetricsSnapshot {
@@ -594,6 +696,17 @@ impl fmt::Display for MetricsSnapshot {
                 self.mean_loop_latency().unwrap_or_default(),
                 Duration::from_micros(self.loop_max_us),
                 self.batches_sent()
+            )?;
+        }
+        if self.parks > 0 {
+            writeln!(
+                f,
+                "parking: {} parks / {} unparks  duty {:.1}%  wake mean {:?} max {:?}",
+                self.parks,
+                self.unparks,
+                self.duty_cycle().unwrap_or_default() * 100.0,
+                self.mean_wake_latency().unwrap_or_default(),
+                Duration::from_micros(self.wake_latency_max_us)
             )?;
         }
         match (
@@ -693,6 +806,46 @@ fn collect_snapshot(s: &MetricsSnapshot, shard: Option<u64>, out: &mut Vec<Metri
         "cde_engine_slab_capacity",
         "Correlation-slab capacity (0 outside a reactor)",
         s.slab_capacity as f64,
+    )));
+    out.push(label(Metric::gauge(
+        "cde_engine_ring_depth",
+        "Submission-ring occupancy at scrape time",
+        s.ring_depth as f64,
+    )));
+    out.push(label(Metric::gauge(
+        "cde_engine_ring_depth_peak",
+        "High-water mark of the submission-ring occupancy",
+        s.ring_depth_peak as f64,
+    )));
+    out.push(label(Metric::counter(
+        "cde_engine_parks_total",
+        "Times the reactor loop parked waiting for work",
+        s.parks,
+    )));
+    out.push(label(Metric::counter(
+        "cde_engine_parked_us_total",
+        "Cumulative time the reactor loop spent parked, in microseconds",
+        s.parked_us,
+    )));
+    out.push(label(Metric::counter(
+        "cde_engine_unparks_total",
+        "Times the reactor loop was woken from a park by a submitter",
+        s.unparks,
+    )));
+    out.push(label(Metric::counter(
+        "cde_engine_wake_latency_us_total",
+        "Cumulative wake-to-first-poll latency, in microseconds",
+        s.wake_latency_us,
+    )));
+    out.push(label(Metric::gauge(
+        "cde_engine_wake_latency_max_us",
+        "Slowest single wake-to-first-poll, in microseconds",
+        s.wake_latency_max_us as f64,
+    )));
+    out.push(label(Metric::gauge(
+        "cde_engine_duty_cycle",
+        "Reactor loop time over loop-plus-parked time (1.0 = never idle)",
+        s.duty_cycle().unwrap_or(0.0),
     )));
     out.push(label(Metric::gauge(
         "cde_engine_wheel_pending",
@@ -921,6 +1074,119 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(m.snapshot().sent, 4000);
+    }
+
+    #[test]
+    fn shard_runtime_counters_accumulate() {
+        let m = EngineMetrics::new();
+        m.set_ring_depth(10);
+        m.set_ring_depth(40);
+        m.set_ring_depth(5);
+        m.record_park(Duration::from_micros(800));
+        m.record_park(Duration::from_micros(200));
+        m.record_wake_latency(Duration::from_micros(30));
+        m.record_wake_latency(Duration::from_micros(90));
+        m.record_loop_iteration(Duration::from_micros(1000));
+        let s = m.snapshot();
+        assert_eq!(s.ring_depth, 5);
+        assert_eq!(s.ring_depth_peak, 40);
+        assert_eq!(s.parks, 2);
+        assert_eq!(s.parked_us, 1000);
+        assert_eq!(s.unparks, 2);
+        assert_eq!(s.wake_latency_us, 120);
+        assert_eq!(s.wake_latency_max_us, 90);
+        assert_eq!(s.mean_wake_latency(), Some(Duration::from_micros(60)));
+        // 1000 µs busy vs 1000 µs parked → 50% duty.
+        assert!((s.duty_cycle().unwrap() - 0.5).abs() < 1e-9);
+        assert_eq!(EngineMetrics::new().snapshot().duty_cycle(), None);
+        let text = s.to_string();
+        assert!(text.contains("2 parks / 2 unparks"), "{text}");
+    }
+
+    #[test]
+    fn shard_runtime_series_are_exported() {
+        let m = EngineMetrics::new();
+        m.set_ring_depth(7);
+        m.record_park(Duration::from_micros(100));
+        m.record_wake_latency(Duration::from_micros(25));
+        let mut metrics = Vec::new();
+        m.collect(&mut metrics);
+        let find = |name: &str| metrics.iter().find(|x| x.name == name);
+        assert!(matches!(
+            find("cde_engine_ring_depth").unwrap().value,
+            cde_telemetry::MetricValue::Gauge(v) if v == 7.0
+        ));
+        assert!(matches!(
+            find("cde_engine_parks_total").unwrap().value,
+            cde_telemetry::MetricValue::Counter(1)
+        ));
+        assert!(matches!(
+            find("cde_engine_unparks_total").unwrap().value,
+            cde_telemetry::MetricValue::Counter(1)
+        ));
+        assert!(matches!(
+            find("cde_engine_wake_latency_us_total").unwrap().value,
+            cde_telemetry::MetricValue::Counter(25)
+        ));
+        assert!(find("cde_engine_duty_cycle").is_some());
+        assert!(find("cde_engine_ring_depth_peak").is_some());
+        assert!(find("cde_engine_parked_us_total").is_some());
+        assert!(find("cde_engine_wake_latency_max_us").is_some());
+    }
+
+    /// Merge-on-read under fire: writers hammer every shard block while
+    /// a reader snapshots; merged counters must never move backwards and
+    /// must land exactly on the expected totals.
+    #[test]
+    fn merged_snapshot_is_monotonic_under_concurrent_writers() {
+        const SHARDS: usize = 4;
+        const PER_SHARD: u64 = 20_000;
+        let m = Arc::new(EngineMetrics::with_shards(SHARDS));
+        let writers: Vec<_> = (0..SHARDS)
+            .map(|i| {
+                let block = m.shard(i);
+                std::thread::spawn(move || {
+                    for n in 0..PER_SHARD {
+                        block.record_sent();
+                        block.record_received(Duration::from_micros(100));
+                        block.set_ring_depth(n % 64);
+                        if n % 8 == 0 {
+                            block.record_park(Duration::from_micros(10));
+                            block.record_wake_latency(Duration::from_micros(5));
+                        }
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                let mut last = m.snapshot();
+                for _ in 0..500 {
+                    let s = m.snapshot();
+                    assert!(s.sent >= last.sent);
+                    assert!(s.received >= last.received);
+                    assert!(s.parks >= last.parks);
+                    assert!(s.unparks >= last.unparks);
+                    assert!(s.parked_us >= last.parked_us);
+                    assert!(s.wake_latency_us >= last.wake_latency_us);
+                    assert!(s.ring_depth_peak >= last.ring_depth_peak);
+                    assert!(s.latency_count >= last.latency_count);
+                    last = s;
+                    std::thread::yield_now();
+                }
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        reader.join().unwrap();
+        let s = m.snapshot();
+        assert_eq!(s.sent, SHARDS as u64 * PER_SHARD);
+        assert_eq!(s.received, SHARDS as u64 * PER_SHARD);
+        assert_eq!(s.parks, SHARDS as u64 * PER_SHARD / 8);
+        assert_eq!(s.parks, s.unparks);
+        assert_eq!(s.ring_depth_peak, SHARDS as u64 * 63);
     }
 
     #[test]

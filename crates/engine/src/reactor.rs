@@ -52,6 +52,7 @@ use cde_faults::{FaultPlan, FaultStats};
 use cde_insight::{PhaseProfiler, RttDigestSet};
 use cde_netsim::{DetRng, SimTime};
 use cde_platform::NameserverNet;
+use cde_pulse::ExemplarReservoir;
 use cde_sysio::{MpscRing, RecvSlot, MAX_BATCH};
 use cde_telemetry::{MetricsRegistry, TelemetryHub};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -123,6 +124,27 @@ pub struct ReactorConfig {
     /// plus sampled hot-path phase timers (see [`ReactorInsight`]).
     /// Both register into `registry` when both are set.
     pub insight: Option<InsightOptions>,
+    /// Health capture: a shared [`ExemplarReservoir`] every shard feeds
+    /// its completed probe lifecycles into (slowest and most-retried
+    /// top-K, see [`PulseOptions`]). Obtained from
+    /// [`Reactor::exemplars`]; cde-serve attaches it to its
+    /// [`Pulse`](cde_pulse::Pulse) so `/v1/health` carries exemplars.
+    pub pulse: Option<PulseOptions>,
+}
+
+/// Knobs for the reactor's health-capture tier.
+#[derive(Debug, Clone)]
+pub struct PulseOptions {
+    /// Exemplars kept per list (slowest / most-retried). The reservoir's
+    /// admission floors make the non-candidate fast path two relaxed
+    /// atomic loads, so small K keeps the hot path unmeasurable.
+    pub exemplars: usize,
+}
+
+impl Default for PulseOptions {
+    fn default() -> PulseOptions {
+        PulseOptions { exemplars: 16 }
+    }
 }
 
 /// Knobs for the reactor's latency-capture tier.
@@ -185,6 +207,7 @@ impl Default for ReactorConfig {
             registry: None,
             faults: None,
             insight: None,
+            pulse: None,
         }
     }
 }
@@ -217,6 +240,7 @@ struct HandleShared {
     shutdown: Arc<AtomicBool>,
     metrics: Arc<EngineMetrics>,
     telemetry: Arc<TelemetryHub>,
+    exemplars: Option<Arc<ExemplarReservoir>>,
 }
 
 /// Clone-able submission handle to a running [`Reactor`].
@@ -283,6 +307,12 @@ impl ReactorHandle {
     pub fn telemetry(&self) -> Arc<TelemetryHub> {
         Arc::clone(&self.shared.telemetry)
     }
+
+    /// The slow-probe exemplar reservoir — `None` unless the reactor was
+    /// launched with [`ReactorConfig::pulse`].
+    pub fn exemplars(&self) -> Option<Arc<ExemplarReservoir>> {
+        self.shared.exemplars.as_ref().map(Arc::clone)
+    }
 }
 
 impl std::fmt::Debug for ReactorHandle {
@@ -347,6 +377,10 @@ impl ShardedReactor {
                 phases: Arc::new(PhaseProfiler::new(opts.phase_sample_every)),
             })
         });
+        let exemplars = config
+            .pulse
+            .as_ref()
+            .map(|opts| Arc::new(ExemplarReservoir::with_capacity(opts.exemplars)));
         if let Some(registry) = &config.registry {
             registry.register(Arc::clone(&metrics) as Arc<dyn cde_telemetry::Collector>);
             registry.register(Arc::clone(&telemetry) as Arc<dyn cde_telemetry::Collector>);
@@ -422,6 +456,8 @@ impl ShardedReactor {
                 drain: Arc::clone(&drain),
                 faults: faults.take(),
                 insight: insight.as_ref().map(Arc::clone),
+                shard_id: i as u32,
+                exemplars: exemplars.as_ref().map(Arc::clone),
             };
             let thread = std::thread::Builder::new()
                 .name(format!("cde-reactor-{i}"))
@@ -440,6 +476,7 @@ impl ShardedReactor {
                     shutdown: Arc::clone(&shutdown),
                     metrics,
                     telemetry,
+                    exemplars,
                 }),
             },
             policy: config.policy,
@@ -496,6 +533,12 @@ impl ShardedReactor {
     /// unless the reactor was launched with [`ReactorConfig::insight`].
     pub fn insight(&self) -> Option<Arc<ReactorInsight>> {
         self.insight.as_ref().map(Arc::clone)
+    }
+
+    /// The slow-probe exemplar reservoir — `None` unless the reactor was
+    /// launched with [`ReactorConfig::pulse`].
+    pub fn exemplars(&self) -> Option<Arc<ExemplarReservoir>> {
+        self.handle.exemplars()
     }
 
     fn wake_all(&self) {
@@ -852,6 +895,64 @@ mod tests {
         );
         assert!(snap.batches_sent() > 0);
         assert!(snap.loop_count > 0);
+    }
+
+    #[test]
+    fn pulse_reservoir_captures_probe_lifecycles() {
+        let server = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        server
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let server_addr = server.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let server_thread = std::thread::spawn({
+            let stop = Arc::clone(&stop);
+            move || {
+                let mut buf = [0u8; 2048];
+                while !stop.load(Ordering::SeqCst) {
+                    let Ok((len, peer)) = server.recv_from(&mut buf) else {
+                        continue;
+                    };
+                    if let Ok(q) = Message::decode(&buf[..len]) {
+                        let resp = Message::response_to(&q);
+                        let _ = server.send_to(&resp.encode().unwrap(), peer);
+                    }
+                }
+            }
+        });
+
+        let ingress = Ipv4Addr::new(192, 0, 2, 9);
+        let mut targets = HashMap::new();
+        targets.insert(ingress, server_addr);
+        let config = ReactorConfig {
+            pulse: Some(crate::reactor::PulseOptions { exemplars: 4 }),
+            ..ReactorConfig::with_policy(policy_ms(3, 500), 21)
+        };
+        let reactor = Reactor::launch(targets, config).unwrap();
+        let reservoir = reactor.exemplars().expect("pulse configured");
+        let (done_tx, done_rx) = unbounded();
+        let total = 50u64;
+        let handle = reactor.handle();
+        assert!(handle.exemplars().is_some(), "handle exposes the reservoir");
+        for token in 0..total {
+            let qname: Name = format!("e-{token}.cache.example").parse().unwrap();
+            assert!(handle.submit(token, ingress, qname, RecordType::A, &done_tx));
+        }
+        for _ in 0..total {
+            done_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        }
+        stop.store(true, Ordering::SeqCst);
+        server_thread.join().unwrap();
+        assert_eq!(reservoir.observed(), total);
+        let slowest = reservoir.slowest();
+        assert!(!slowest.is_empty() && slowest.len() <= 4);
+        let worst = &slowest[0];
+        assert_eq!(worst.ingress, ingress);
+        assert!(worst.answered);
+        assert!(worst.attempts >= 1);
+        assert!(worst.lifetime_us > 0);
+        assert!(worst.lifetime_us >= worst.rtt_us);
+        assert!(reservoir.worst_lifetime_us() >= worst.lifetime_us);
     }
 
     #[test]

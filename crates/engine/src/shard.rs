@@ -24,6 +24,7 @@ use cde_dns::{Message, MessagePeek, Name, RecordType};
 use cde_faults::{refused_reply, Direction, FaultInjector, FaultPlan, Verdict};
 use cde_insight::Phase;
 use cde_netsim::{DetRng, SimDuration};
+use cde_pulse::{ExemplarReservoir, ProbeExemplar};
 use cde_sysio::{MpscRing, RecvSlot, SendItem, MAX_BATCH};
 use cde_telemetry::{DropReason, EventKind as TelemetryEvent, TelemetryHub};
 use crossbeam::channel::Sender;
@@ -31,7 +32,7 @@ use rand::Rng;
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::Thread;
 use std::time::{Duration, Instant};
@@ -74,10 +75,38 @@ pub fn shard_for_target(ingress: Ipv4Addr, shards: usize) -> usize {
 /// the lost-wakeup interleaving, and `unpark` before `park` leaves a
 /// token, so even a race inside `park_timeout` costs nothing. Staleness
 /// is additionally bounded by the loop's idle timeout.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct ShardWaker {
     sleeping: AtomicBool,
     thread: OnceLock<Thread>,
+    /// Time base for the wake stamp below (`Instant` can't live in an
+    /// atomic, so wakes are stamped as nanoseconds since this epoch).
+    epoch: Instant,
+    /// Nanoseconds-since-epoch of the last producer wake, 0 when none is
+    /// outstanding. The woken loop swaps it back to 0 and the difference
+    /// is the wake-to-first-poll latency.
+    wake_at_nanos: AtomicU64,
+}
+
+impl Default for ShardWaker {
+    fn default() -> ShardWaker {
+        ShardWaker {
+            sleeping: AtomicBool::new(false),
+            thread: OnceLock::new(),
+            epoch: Instant::now(),
+            wake_at_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+/// What one [`ShardWaker::park`] call did, for the shard's runtime
+/// telemetry.
+pub(crate) struct ParkOutcome {
+    /// How long the loop actually slept.
+    pub(crate) slept: Duration,
+    /// Unpark-to-resume latency, when a producer's wake ended the sleep
+    /// (absent on plain timeouts).
+    pub(crate) wake_latency: Option<Duration>,
 }
 
 impl ShardWaker {
@@ -86,10 +115,16 @@ impl ShardWaker {
         let _ = self.thread.set(std::thread::current());
     }
 
+    fn now_nanos(&self) -> u64 {
+        // `max(1)`: 0 means "no wake outstanding".
+        (self.epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64).max(1)
+    }
+
     /// Producer side: unparks the loop if it is (or is about to be)
     /// parked. Cheap when the loop is running hot — one SeqCst load.
     pub(crate) fn wake(&self) {
         if self.sleeping.swap(false, Ordering::SeqCst) {
+            self.wake_at_nanos.store(self.now_nanos(), Ordering::SeqCst);
             if let Some(thread) = self.thread.get() {
                 thread.unpark();
             }
@@ -106,15 +141,25 @@ impl ShardWaker {
     }
 
     /// Consumer side: parks for up to `timeout` unless `has_work`
-    /// observes queued work after the sleep flag is published.
-    fn park(&self, has_work: impl Fn() -> bool, timeout: Duration) {
+    /// observes queued work after the sleep flag is published. `None`
+    /// when the park was skipped.
+    fn park(&self, has_work: impl Fn() -> bool, timeout: Duration) -> Option<ParkOutcome> {
         self.sleeping.store(true, Ordering::SeqCst);
         if has_work() {
             self.sleeping.store(false, Ordering::SeqCst);
-            return;
+            return None;
         }
+        let parked_at = Instant::now();
         std::thread::park_timeout(timeout);
         self.sleeping.store(false, Ordering::SeqCst);
+        let wake_latency = match self.wake_at_nanos.swap(0, Ordering::SeqCst) {
+            0 => None,
+            at => Some(Duration::from_nanos(self.now_nanos().saturating_sub(at))),
+        };
+        Some(ParkOutcome {
+            slept: parked_at.elapsed(),
+            wake_latency,
+        })
     }
 }
 
@@ -150,6 +195,12 @@ pub(crate) struct Pending {
     id: u16,
     attempt: u32,
     sent_at: Instant,
+    /// When the submission entered a correlation slot (exemplar lifetime
+    /// base).
+    admitted_at: Instant,
+    /// Admission-to-first-send latency in microseconds; `u64::MAX` until
+    /// the first send goes out.
+    queue_us: u64,
     state: PendingState,
     done: Sender<ProbeCompletion>,
 }
@@ -289,6 +340,8 @@ pub(crate) struct ShardLoop {
     pub(crate) drain: Arc<AtomicBool>,
     pub(crate) faults: Option<FaultLayer>,
     pub(crate) insight: Option<Arc<ReactorInsight>>,
+    pub(crate) shard_id: u32,
+    pub(crate) exemplars: Option<Arc<ExemplarReservoir>>,
 }
 
 /// Builds a shard's pending-slot vector (the type is private to this
@@ -323,6 +376,7 @@ impl ShardLoop {
             progress |= self.receive();
             progress |= self.release_delayed();
             self.block.set_wheel_pending(self.timers.len() as u64);
+            self.block.set_ring_depth(self.ring.len() as u64);
             self.block.record_loop_iteration(iter_start.elapsed());
             // Graceful drain: once asked, exit as soon as the queued
             // backlog is admitted and every in-flight probe has answered
@@ -342,6 +396,7 @@ impl ShardLoop {
         // drained state instead of the last mid-flight sample.
         self.block.set_in_flight(self.occupied as u64);
         self.block.set_wheel_pending(self.timers.len() as u64);
+        self.block.set_ring_depth(self.ring.len() as u64);
         self.exited.store(true, Ordering::SeqCst);
     }
 
@@ -454,6 +509,8 @@ impl ShardLoop {
             id: 0,
             attempt: 0,
             sent_at: Instant::now(),
+            admitted_at: Instant::now(),
+            queue_us: u64::MAX,
             state: PendingState::Scheduled,
             done: sub.done,
         });
@@ -625,6 +682,14 @@ impl ShardLoop {
                             let p = self.slots[slot].as_mut().expect("ready slot occupied");
                             p.state = PendingState::Waiting;
                             p.sent_at = Instant::now();
+                            if p.queue_us == u64::MAX {
+                                p.queue_us = p
+                                    .admitted_at
+                                    .elapsed()
+                                    .as_micros()
+                                    .min(u128::from(u64::MAX))
+                                    as u64;
+                            }
                             self.block.record_sent();
                             self.telemetry.emit(
                                 0,
@@ -901,6 +966,32 @@ impl ShardLoop {
         self.occupied -= 1;
         self.free_slots.push(slot);
         self.block.set_in_flight(self.occupied as u64);
+        if let Some(reservoir) = &self.exemplars {
+            let rtt_us = match &reply {
+                TransportReply::Answered {
+                    latency: Some(l), ..
+                } => l.as_micros(),
+                _ => 0,
+            };
+            reservoir.record(ProbeExemplar {
+                token: p.token,
+                shard: self.shard_id,
+                ingress: p.ingress,
+                attempts: p.attempt + 1,
+                rtt_us,
+                queue_us: if p.queue_us == u64::MAX {
+                    0
+                } else {
+                    p.queue_us
+                },
+                lifetime_us: p
+                    .admitted_at
+                    .elapsed()
+                    .as_micros()
+                    .min(u128::from(u64::MAX)) as u64,
+                answered: matches!(reply, TransportReply::Answered { .. }),
+            });
+        }
         let _ = p.done.send(ProbeCompletion {
             token: p.token,
             reply,
@@ -929,7 +1020,12 @@ impl ShardLoop {
                 .max(BUSY_IDLE)
         };
         let ring = &self.ring;
-        self.waker.park(|| !ring.is_empty(), wait);
+        if let Some(outcome) = self.waker.park(|| !ring.is_empty(), wait) {
+            self.block.record_park(outcome.slept);
+            if let Some(latency) = outcome.wake_latency {
+                self.block.record_wake_latency(latency);
+            }
+        }
     }
 }
 
@@ -1003,7 +1099,39 @@ mod tests {
         let waker = ShardWaker::default();
         waker.register();
         let start = Instant::now();
-        waker.park(|| true, Duration::from_secs(5));
+        let outcome = waker.park(|| true, Duration::from_secs(5));
         assert!(start.elapsed() < Duration::from_secs(1));
+        assert!(outcome.is_none(), "skipped park reports no outcome");
+    }
+
+    #[test]
+    fn park_outcome_carries_wake_latency() {
+        let waker = Arc::new(ShardWaker::default());
+        let handle = std::thread::spawn({
+            let waker = Arc::clone(&waker);
+            move || {
+                waker.register();
+                waker.park(|| false, Duration::from_secs(5))
+            }
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        waker.wake();
+        let outcome = handle.join().unwrap().expect("the loop really parked");
+        assert!(outcome.slept >= Duration::from_millis(10));
+        let latency = outcome
+            .wake_latency
+            .expect("ended by a wake, not a timeout");
+        assert!(latency < Duration::from_secs(1), "latency {latency:?}");
+    }
+
+    #[test]
+    fn timeout_park_has_no_wake_latency() {
+        let waker = ShardWaker::default();
+        waker.register();
+        let outcome = waker
+            .park(|| false, Duration::from_millis(20))
+            .expect("parked");
+        assert!(outcome.slept >= Duration::from_millis(10));
+        assert!(outcome.wake_latency.is_none());
     }
 }

@@ -1,8 +1,10 @@
 //! Golden-file pin of the Prometheus text exposition.
 //!
 //! Feeds a deterministic script of observations into every collector the
-//! reactor registers — [`EngineMetrics`], the per-target RTT digests and
-//! the phase profiler — and compares the rendered exposition byte for
+//! reactor registers — [`EngineMetrics`] (including the shard-runtime
+//! series: ring depth, parks, wake latency, duty cycle), the per-target
+//! RTT digests, the phase profiler and a [`Pulse`] health engine with an
+//! exemplar reservoir — and compares the rendered exposition byte for
 //! byte against `tests/golden/metrics.prom`. Any change to a family
 //! name, help string, label, bucket edge or cumulative-histogram shape
 //! (`_bucket`/`_sum`/`_count`) shows up as a reviewable golden diff
@@ -16,6 +18,7 @@
 
 use cde_engine::EngineMetrics;
 use cde_insight::{PhaseProfiler, RttDigestSet, PHASES};
+use cde_pulse::{CounterSample, ExemplarReservoir, ProbeExemplar, Pulse, ShardStat, SloSpec};
 use cde_telemetry::MetricsRegistry;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
@@ -47,6 +50,10 @@ fn prometheus_exposition_matches_golden() {
     metrics.record_loop_iteration(Duration::from_micros(80));
     metrics.set_wheel_pending(2);
     metrics.set_slab_capacity(512);
+    metrics.set_ring_depth(12);
+    metrics.set_ring_depth(3);
+    metrics.record_park(Duration::from_micros(240));
+    metrics.record_wake_latency(Duration::from_micros(35));
     registry.register(metrics);
 
     let digests = Arc::new(RttDigestSet::for_targets([
@@ -66,7 +73,82 @@ fn prometheus_exposition_matches_golden() {
     }
     registry.register(phases);
 
+    let reservoir = Arc::new(ExemplarReservoir::with_capacity(4));
+    reservoir.record(ProbeExemplar {
+        token: 7,
+        shard: 0,
+        ingress: Ipv4Addr::new(192, 0, 2, 1),
+        attempts: 2,
+        rtt_us: 42_000,
+        queue_us: 15,
+        lifetime_us: 190_000,
+        answered: true,
+    });
+    let pulse = Arc::new(Pulse::new(SloSpec::default()).with_exemplars(Arc::clone(&reservoir)));
+    for i in 0..=20u64 {
+        pulse.observe(CounterSample {
+            at_ms: i * 1_000,
+            sent: i * 100,
+            received: i * 99,
+            emitted: i * 200,
+            ..CounterSample::default()
+        });
+    }
+    pulse.observe_shards(vec![
+        ShardStat {
+            shard: 0,
+            busy_us: 6_000,
+            parked_us: 4_000,
+            ring_depth: 3,
+            ring_depth_peak: 12,
+            in_flight: 1,
+            parks: 5,
+            unparks: 4,
+        },
+        ShardStat {
+            shard: 1,
+            busy_us: 4_000,
+            parked_us: 6_000,
+            ring_depth: 1,
+            ring_depth_peak: 6,
+            in_flight: 0,
+            parks: 9,
+            unparks: 8,
+        },
+    ]);
+    registry.register(pulse);
+
     let rendered = registry.prometheus_text();
+    // Every shard-runtime and pulse family must carry HELP/TYPE metadata
+    // regardless of what the golden currently pins.
+    for family in [
+        "cde_engine_ring_depth",
+        "cde_engine_ring_depth_peak",
+        "cde_engine_parks_total",
+        "cde_engine_parked_us_total",
+        "cde_engine_unparks_total",
+        "cde_engine_wake_latency_us_total",
+        "cde_engine_wake_latency_max_us",
+        "cde_engine_duty_cycle",
+        "cde_pulse_health_status",
+        "cde_pulse_probe_rate",
+        "cde_pulse_timeout_ratio",
+        "cde_pulse_stray_ratio",
+        "cde_pulse_shed_ratio",
+        "cde_pulse_shard_duty_skew",
+        "cde_pulse_shard_queue_skew",
+        "cde_pulse_exemplars_observed_total",
+        "cde_pulse_exemplar_worst_lifetime_us",
+    ] {
+        assert!(
+            rendered.contains(&format!("# HELP {family} ")),
+            "missing HELP for {family}"
+        );
+        assert!(
+            rendered.contains(&format!("# TYPE {family} ")),
+            "missing TYPE for {family}"
+        );
+    }
     let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.prom");
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         std::fs::write(golden_path, &rendered).unwrap();

@@ -1,7 +1,7 @@
 //! `cde-analyze` — offline analysis of telemetry JSONL traces.
 //!
 //! ```text
-//! cde-analyze <trace.jsonl> [--json] [--check]
+//! cde-analyze <trace.jsonl> [--json] [--check] [--health]
 //! ```
 //!
 //! Reads the JSONL stream a campaign wrote via `--telemetry-jsonl` (or
@@ -10,12 +10,15 @@
 //! mode split. `--json` emits the machine-readable report instead;
 //! `--check` additionally fails (exit 1) unless at least one campaign
 //! completed with clean RTT samples — the CI smoke criterion.
+//! `--health` replays the trace through the `cde-pulse` SLO engine and
+//! prints the verdict timeline the live `/v1/health` endpoint would
+//! have served (instead of the standard report).
 //! Exit code 2 means the trace could not be read.
 
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cde-analyze <trace.jsonl> [--json] [--check]");
+    eprintln!("usage: cde-analyze <trace.jsonl> [--json] [--check] [--health]");
     ExitCode::from(2)
 }
 
@@ -23,10 +26,12 @@ fn main() -> ExitCode {
     let mut path: Option<String> = None;
     let mut json = false;
     let mut check = false;
+    let mut health = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => json = true,
             "--check" => check = true,
+            "--health" => health = true,
             "--help" | "-h" => return usage(),
             other if path.is_none() => path = Some(other.to_string()),
             other => {
@@ -45,6 +50,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if health {
+        let replay = cde_insight::replay_health(&trace, &cde_pulse::SloSpec::default(), 1_000);
+        print!("{}", replay.render_text());
+        return ExitCode::SUCCESS;
+    }
 
     let analysis = cde_insight::analyze(&trace);
     if json {

@@ -23,18 +23,23 @@
 //!   reconstructs campaigns from telemetry JSONL and emits waterfalls,
 //!   percentile tables, scorecards and the offline cached/uncached
 //!   split (text + JSON).
+//! * [`health`] — replays a trace through the `cde-pulse` SLO engine
+//!   (`cde-analyze --health`): the verdict timeline the live
+//!   `/v1/health` endpoint would have served.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bimodal;
 pub mod digest;
+pub mod health;
 pub mod phase;
 pub mod scorecard;
 pub mod trace;
 
 pub use bimodal::{split_digest, split_modes, ModeSplit, ModeStats};
 pub use digest::{DigestSnapshot, RttDigest, RttDigestSet, BUCKETS, SUB_BITS};
+pub use health::{replay_health, HealthReplay, ReplayPoint};
 pub use phase::{Phase, PhaseProfiler, PhaseStats, PHASES};
 pub use scorecard::Scorecard;
 pub use trace::{analyze, CampaignTrace, TraceAnalysis};

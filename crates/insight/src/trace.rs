@@ -25,7 +25,7 @@ use cde_telemetry::json;
 use std::fmt::Write as _;
 
 /// Extracts the number after `"key": ` on `line`, if present.
-fn field_u64(line: &str, key: &str) -> Option<u64> {
+pub(crate) fn field_u64(line: &str, key: &str) -> Option<u64> {
     let needle = format!("\"{key}\": ");
     let at = line.find(&needle)? + needle.len();
     let tail = &line[at..];
@@ -34,7 +34,7 @@ fn field_u64(line: &str, key: &str) -> Option<u64> {
 }
 
 /// Extracts the string after `"key": "` on `line`, if present.
-fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let needle = format!("\"{key}\": \"");
     let at = line.find(&needle)? + needle.len();
     let tail = &line[at..];

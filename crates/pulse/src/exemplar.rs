@@ -1,0 +1,236 @@
+//! Slow-probe exemplars: a bounded top-K reservoir of the slowest and
+//! most-retried probe lifecycles, kept for postmortem.
+//!
+//! Aggregates tell you *that* the tail got worse; exemplars tell you
+//! *which* probes live there — their target shard, ingress, attempt
+//! count and where the time went (queued vs on the wire). The hot path
+//! must not pay for this: admission floors are plain atomics, so a
+//! probe that cannot possibly enter either top-K list is rejected with
+//! two loads and no lock.
+
+use parking_lot::Mutex;
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One completed probe's lifecycle summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeExemplar {
+    /// Correlation token of the probe.
+    pub token: u64,
+    /// Shard that owned it.
+    pub shard: u32,
+    /// Ingress (resolver) address probed.
+    pub ingress: Ipv4Addr,
+    /// Datagrams sent (1 = no retries).
+    pub attempts: u32,
+    /// Round-trip of the matching reply, microseconds (0 if unanswered).
+    pub rtt_us: u64,
+    /// Time from admission to first send, microseconds.
+    pub queue_us: u64,
+    /// Time from admission to completion, microseconds.
+    pub lifetime_us: u64,
+    /// Whether a reply ever matched.
+    pub answered: bool,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Sorted by `lifetime_us` descending, truncated to K.
+    slowest: Vec<ProbeExemplar>,
+    /// Sorted by `(attempts, lifetime_us)` descending, truncated to K.
+    most_retried: Vec<ProbeExemplar>,
+}
+
+/// Lock-avoiding top-K reservoir of [`ProbeExemplar`]s.
+pub struct ExemplarReservoir {
+    capacity: usize,
+    /// Smallest lifetime currently in `slowest` once full (admission floor).
+    slow_floor_us: AtomicU64,
+    /// Smallest attempt count currently in `most_retried` once full.
+    retry_floor: AtomicU64,
+    observed: AtomicU64,
+    worst_lifetime_us: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for ExemplarReservoir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExemplarReservoir")
+            .field("capacity", &self.capacity)
+            .field("observed", &self.observed())
+            .finish()
+    }
+}
+
+impl ExemplarReservoir {
+    /// A reservoir keeping the top `capacity` (min 1) probes per list.
+    pub fn with_capacity(capacity: usize) -> ExemplarReservoir {
+        ExemplarReservoir {
+            capacity: capacity.max(1),
+            slow_floor_us: AtomicU64::new(0),
+            retry_floor: AtomicU64::new(0),
+            observed: AtomicU64::new(0),
+            worst_lifetime_us: AtomicU64::new(0),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Number of probes per list this reservoir retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total probes offered to the reservoir.
+    pub fn observed(&self) -> u64 {
+        self.observed.load(Ordering::Relaxed)
+    }
+
+    /// Longest probe lifetime ever offered, microseconds.
+    pub fn worst_lifetime_us(&self) -> u64 {
+        self.worst_lifetime_us.load(Ordering::Relaxed)
+    }
+
+    /// Offers one completed probe. Cheap when it cannot enter either
+    /// top-K list: two relaxed loads, no lock.
+    pub fn record(&self, probe: ProbeExemplar) {
+        self.observed.fetch_add(1, Ordering::Relaxed);
+        self.worst_lifetime_us
+            .fetch_max(probe.lifetime_us, Ordering::Relaxed);
+        // Floors are 0 until the lists fill, so early probes always
+        // take the lock; after that only genuine candidates do.
+        let maybe_slow = probe.lifetime_us > self.slow_floor_us.load(Ordering::Relaxed);
+        // `>=` on the retry floor: an equal-attempt probe can still win
+        // its place on the lifetime tie-break.
+        let maybe_retried = probe.attempts > 1
+            && u64::from(probe.attempts) >= self.retry_floor.load(Ordering::Relaxed);
+        if !maybe_slow && !maybe_retried {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if maybe_slow {
+            inner.slowest.push(probe);
+            inner
+                .slowest
+                .sort_by_key(|p| std::cmp::Reverse(p.lifetime_us));
+            inner.slowest.truncate(self.capacity);
+            if inner.slowest.len() == self.capacity {
+                let floor = inner.slowest.last().map_or(0, |p| p.lifetime_us);
+                self.slow_floor_us.store(floor, Ordering::Relaxed);
+            }
+        }
+        if maybe_retried {
+            inner.most_retried.push(probe);
+            inner
+                .most_retried
+                .sort_by_key(|p| std::cmp::Reverse((p.attempts, p.lifetime_us)));
+            inner.most_retried.truncate(self.capacity);
+            if inner.most_retried.len() == self.capacity {
+                let floor = inner
+                    .most_retried
+                    .last()
+                    .map_or(0, |p| u64::from(p.attempts));
+                self.retry_floor.store(floor, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The slowest probes, worst first.
+    pub fn slowest(&self) -> Vec<ProbeExemplar> {
+        self.inner.lock().slowest.clone()
+    }
+
+    /// The most-retried probes, worst first.
+    pub fn most_retried(&self) -> Vec<ProbeExemplar> {
+        self.inner.lock().most_retried.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn probe(token: u64, attempts: u32, lifetime_us: u64) -> ProbeExemplar {
+        ProbeExemplar {
+            token,
+            shard: 0,
+            ingress: Ipv4Addr::new(192, 0, 2, 1),
+            attempts,
+            rtt_us: lifetime_us / 2,
+            queue_us: 10,
+            lifetime_us,
+            answered: true,
+        }
+    }
+
+    #[test]
+    fn keeps_the_k_slowest() {
+        let res = ExemplarReservoir::with_capacity(3);
+        for i in 0..100u64 {
+            res.record(probe(i, 1, i * 10));
+        }
+        let slow = res.slowest();
+        let lifetimes: Vec<u64> = slow.iter().map(|p| p.lifetime_us).collect();
+        assert_eq!(lifetimes, vec![990, 980, 970]);
+        assert_eq!(res.observed(), 100);
+        assert_eq!(res.worst_lifetime_us(), 990);
+    }
+
+    #[test]
+    fn retried_list_ranks_by_attempts_then_lifetime() {
+        let res = ExemplarReservoir::with_capacity(2);
+        res.record(probe(1, 3, 100));
+        res.record(probe(2, 5, 50));
+        res.record(probe(3, 3, 200));
+        res.record(probe(4, 1, 9_999)); // never retried: slow list only
+        let retried = res.most_retried();
+        assert_eq!(retried.len(), 2);
+        assert_eq!(retried[0].token, 2);
+        assert_eq!(retried[1].token, 3);
+        assert!(res.slowest().iter().any(|p| p.token == 4));
+    }
+
+    #[test]
+    fn floor_rejects_without_growing_lists() {
+        let res = ExemplarReservoir::with_capacity(2);
+        res.record(probe(1, 1, 1_000));
+        res.record(probe(2, 1, 2_000));
+        // Below both floors once full: must not displace anything.
+        for i in 0..1_000u64 {
+            res.record(probe(100 + i, 1, 5));
+        }
+        let slow = res.slowest();
+        assert_eq!(slow.len(), 2);
+        assert_eq!(slow[0].lifetime_us, 2_000);
+        assert_eq!(slow[1].lifetime_us, 1_000);
+        assert_eq!(res.observed(), 1_002);
+    }
+
+    #[test]
+    fn concurrent_recording_keeps_the_global_worst() {
+        let res = Arc::new(ExemplarReservoir::with_capacity(4));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let res = Arc::clone(&res);
+                std::thread::spawn(move || {
+                    for i in 0..2_500u64 {
+                        let v = t * 2_500 + i;
+                        res.record(probe(v, (v % 7 + 1) as u32, v));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(res.observed(), 10_000);
+        assert_eq!(res.worst_lifetime_us(), 9_999);
+        let slow = res.slowest();
+        assert_eq!(slow.len(), 4);
+        // The top of the slow list must be the true global maximum.
+        assert_eq!(slow[0].lifetime_us, 9_999);
+        assert!(slow
+            .windows(2)
+            .all(|w| w[0].lifetime_us >= w[1].lifetime_us));
+    }
+}

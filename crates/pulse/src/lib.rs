@@ -1,0 +1,415 @@
+//! cde-pulse: the engine's live health judgement.
+//!
+//! Raw counters (cde-engine) and latency digests (cde-insight) describe
+//! what the engine *did*; nothing in the stack judged whether it was
+//! *healthy* while doing it. At enumeration rates a human cannot eyeball
+//! counter diffs, and an unhealthy vantage — shard starvation, ring
+//! backpressure, silent wire loss — biases the coupon-collector
+//! estimates without any probe "failing". This crate closes that gap
+//! with four pieces, all dependency-light (cde-telemetry only) so every
+//! layer above can use them:
+//!
+//! * [`SampleRing`] — a lock-free ring of timestamped cumulative counter
+//!   snapshots ([`CounterSample`]), pushed by any sampler thread and read
+//!   without locks; window deltas turn the cumulative counters into
+//!   rates ([`WindowRates`]) over 10s/1m/5m horizons.
+//! * [`SloSpec`] + [`evaluate`] — a declarative SLO (success target plus
+//!   fast/slow multi-window burn-rate thresholds, the SRE alerting
+//!   recipe) producing a typed [`HealthVerdict`]: Ok, Warn or Critical,
+//!   each with machine-readable [`Cause`]s.
+//! * [`ShardStat`] + [`ImbalanceReport`] — per-shard duty-cycle and
+//!   queue-depth skew, catching the "one shard is drowning while the
+//!   rest idle" failure that merged totals hide.
+//! * [`ExemplarReservoir`] — a bounded top-K reservoir of the slowest
+//!   and most-retried probe lifecycles ([`ProbeExemplar`]) for
+//!   postmortems: *which* probes were slow, on which shard, after how
+//!   many sends.
+//!
+//! [`Pulse`] assembles them behind one handle: a sampler feeds
+//! [`Pulse::observe`]/[`Pulse::observe_shards`], readers call
+//! [`Pulse::health`] (or scrape the `cde_pulse_*` series via the
+//! [`Collector`] impl, or fetch the JSON from `GET /v1/health` in
+//! cde-serve). Evaluation is anchored at the *latest sample's*
+//! timestamp, never the wall clock, so replaying a recorded trace
+//! through the same engine gives the same verdicts (`cde-analyze
+//! --health`).
+
+mod exemplar;
+mod shards;
+mod slo;
+mod window;
+
+pub use exemplar::{ExemplarReservoir, ProbeExemplar};
+pub use shards::{ImbalanceReport, ShardStat};
+pub use slo::{evaluate, Cause, HealthStatus, HealthVerdict, SloSpec};
+pub use window::{window_label, CounterSample, SampleRing, WindowRates};
+
+use cde_telemetry::{json, Collector, Metric};
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Default sample-ring capacity: at the daemon's ~100 ms sampling
+/// cadence this holds a bit over five minutes of history — exactly the
+/// slow SLO window.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// The assembled health engine: ring + spec + shard stats + exemplars.
+///
+/// One sampler thread (the daemon loop, a test, the offline replayer)
+/// pushes cumulative [`CounterSample`]s and the latest [`ShardStat`]s;
+/// any number of readers ask for the verdict. All methods take `&self`.
+#[derive(Debug)]
+pub struct Pulse {
+    spec: SloSpec,
+    ring: SampleRing,
+    shards: Mutex<Vec<ShardStat>>,
+    exemplars: Option<Arc<ExemplarReservoir>>,
+}
+
+impl Pulse {
+    /// A pulse evaluating `spec`, with the default ring capacity and no
+    /// exemplar reservoir.
+    pub fn new(spec: SloSpec) -> Pulse {
+        Pulse {
+            spec,
+            ring: SampleRing::with_capacity(DEFAULT_RING_CAPACITY),
+            shards: Mutex::new(Vec::new()),
+            exemplars: None,
+        }
+    }
+
+    /// Attaches the reactor's exemplar reservoir so health reports carry
+    /// the slowest/most-retried probe lifecycles.
+    pub fn with_exemplars(mut self, reservoir: Arc<ExemplarReservoir>) -> Pulse {
+        self.exemplars = Some(reservoir);
+        self
+    }
+
+    /// The spec verdicts are evaluated against.
+    pub fn spec(&self) -> &SloSpec {
+        &self.spec
+    }
+
+    /// Pushes one cumulative counter sample (sampler side).
+    pub fn observe(&self, sample: CounterSample) {
+        self.ring.push(sample);
+    }
+
+    /// Replaces the per-shard runtime stats (sampler side).
+    pub fn observe_shards(&self, stats: Vec<ShardStat>) {
+        *self.shards.lock() = stats;
+    }
+
+    /// The current shard-imbalance view, `None` below two shards.
+    pub fn imbalance(&self) -> Option<ImbalanceReport> {
+        ImbalanceReport::from_stats(&self.shards.lock())
+    }
+
+    /// Evaluates the SLO over the ring's history: the verdict, its
+    /// causes, and the window rates it was derived from.
+    pub fn health(&self) -> HealthVerdict {
+        evaluate(&self.ring.samples(), &self.spec, self.imbalance().as_ref())
+    }
+
+    /// The verdict as the `/v1/health` JSON body: status, causes,
+    /// per-window rates, shard summary and exemplars.
+    pub fn health_json(&self) -> String {
+        let verdict = self.health();
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"status\": ");
+        json::write_str(&mut out, verdict.status.as_str());
+        out.push_str(", \"causes\": [");
+        for (i, cause) in verdict.causes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"kind\": ");
+            json::write_str(&mut out, cause.kind());
+            out.push_str(", \"detail\": ");
+            json::write_str(&mut out, &cause.detail());
+            out.push('}');
+        }
+        out.push_str("], \"windows\": [");
+        for (i, w) in verdict.windows.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"window\": \"{}\", \"span_ms\": {}, \"attempts\": {}, ",
+                window_label(w.window_ms),
+                w.span_ms,
+                w.attempts
+            );
+            out.push_str("\"probes_per_sec\": ");
+            json::write_f64(&mut out, w.probes_per_sec);
+            out.push_str(", \"timeout_ratio\": ");
+            json::write_f64(&mut out, w.timeout_ratio);
+            out.push_str(", \"stray_ratio\": ");
+            json::write_f64(&mut out, w.stray_ratio);
+            out.push_str(", \"shed_ratio\": ");
+            json::write_f64(&mut out, w.shed_ratio);
+            out.push('}');
+        }
+        out.push_str("], ");
+        match self.imbalance() {
+            Some(report) => {
+                let _ = write!(out, "\"shards\": {}, ", report.shards);
+                out.push_str("\"duty_skew\": ");
+                json::write_f64(&mut out, report.duty_skew);
+                out.push_str(", \"queue_skew\": ");
+                json::write_f64(&mut out, report.queue_skew);
+                out.push_str(", ");
+            }
+            None => {
+                let _ = write!(out, "\"shards\": {}, ", self.shards.lock().len().max(1));
+            }
+        }
+        out.push_str("\"exemplars\": ");
+        match &self.exemplars {
+            Some(res) => exemplar_json(&mut out, res),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+
+    /// The `/v1/health/shards` JSON body: one object per shard plus the
+    /// imbalance summary.
+    pub fn shards_json(&self) -> String {
+        let stats = self.shards.lock().clone();
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"shards\": [");
+        for (i, s) in stats.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"shard\": {}, \"busy_us\": {}, \"parked_us\": {}, \"duty_cycle\": ",
+                s.shard, s.busy_us, s.parked_us
+            );
+            json::write_f64(&mut out, s.duty_cycle());
+            let _ = write!(
+                out,
+                ", \"ring_depth\": {}, \"ring_depth_peak\": {}, \"in_flight\": {}, \
+                 \"parks\": {}, \"unparks\": {}}}",
+                s.ring_depth, s.ring_depth_peak, s.in_flight, s.parks, s.unparks
+            );
+        }
+        out.push_str("], \"imbalance\": ");
+        match ImbalanceReport::from_stats(&stats) {
+            Some(report) => {
+                out.push_str("{\"duty_skew\": ");
+                json::write_f64(&mut out, report.duty_skew);
+                out.push_str(", \"queue_skew\": ");
+                json::write_f64(&mut out, report.queue_skew);
+                out.push_str(", \"skewed\": ");
+                out.push_str(if report.is_skewed(self.spec.imbalance_warn) {
+                    "true"
+                } else {
+                    "false"
+                });
+                out.push('}');
+            }
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn exemplar_json(out: &mut String, res: &ExemplarReservoir) {
+    let write_list = |out: &mut String, list: &[ProbeExemplar]| {
+        out.push('[');
+        for (i, e) in list.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"token\": {}, \"shard\": {}, \"ingress\": \"{}\", \"attempts\": {}, \
+                 \"rtt_us\": {}, \"queue_us\": {}, \"lifetime_us\": {}, \"answered\": {}}}",
+                e.token,
+                e.shard,
+                e.ingress,
+                e.attempts,
+                e.rtt_us,
+                e.queue_us,
+                e.lifetime_us,
+                e.answered
+            );
+        }
+        out.push(']');
+    };
+    let _ = write!(out, "{{\"observed\": {}, \"slowest\": ", res.observed());
+    write_list(out, &res.slowest());
+    out.push_str(", \"most_retried\": ");
+    write_list(out, &res.most_retried());
+    out.push('}');
+}
+
+impl Collector for Pulse {
+    fn collect(&self, out: &mut Vec<Metric>) {
+        let verdict = self.health();
+        out.push(Metric::gauge(
+            "cde_pulse_health_status",
+            "Health verdict: 0 ok, 1 warn, 2 critical",
+            verdict.status.as_level() as f64,
+        ));
+        for w in &verdict.windows {
+            let label = window_label(w.window_ms);
+            out.push(
+                Metric::gauge(
+                    "cde_pulse_probe_rate",
+                    "Probe attempts per second over the rolling window",
+                    w.probes_per_sec,
+                )
+                .with_label("window", label.clone()),
+            );
+            out.push(
+                Metric::gauge(
+                    "cde_pulse_timeout_ratio",
+                    "Unanswered attempts over attempts in the rolling window",
+                    w.timeout_ratio,
+                )
+                .with_label("window", label.clone()),
+            );
+            out.push(
+                Metric::gauge(
+                    "cde_pulse_stray_ratio",
+                    "Stray replies over all replies in the rolling window",
+                    w.stray_ratio,
+                )
+                .with_label("window", label.clone()),
+            );
+            out.push(
+                Metric::gauge(
+                    "cde_pulse_shed_ratio",
+                    "Telemetry events shed over events produced in the rolling window",
+                    w.shed_ratio,
+                )
+                .with_label("window", label),
+            );
+        }
+        let (duty_skew, queue_skew) = match self.imbalance() {
+            Some(r) => (r.duty_skew, r.queue_skew),
+            None => (1.0, 1.0),
+        };
+        out.push(Metric::gauge(
+            "cde_pulse_shard_duty_skew",
+            "Max over mean per-shard duty cycle (1.0 = perfectly even)",
+            duty_skew,
+        ));
+        out.push(Metric::gauge(
+            "cde_pulse_shard_queue_skew",
+            "Max over mean per-shard queued+in-flight depth (1.0 = even)",
+            queue_skew,
+        ));
+        if let Some(res) = &self.exemplars {
+            out.push(Metric::counter(
+                "cde_pulse_exemplars_observed_total",
+                "Probe lifecycles offered to the exemplar reservoir",
+                res.observed(),
+            ));
+            out.push(Metric::gauge(
+                "cde_pulse_exemplar_worst_lifetime_us",
+                "Longest probe lifetime currently held by the reservoir",
+                res.worst_lifetime_us() as f64,
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(at_ms: u64, sent: u64, received: u64) -> CounterSample {
+        CounterSample {
+            at_ms,
+            sent,
+            received,
+            ..CounterSample::default()
+        }
+    }
+
+    #[test]
+    fn lossy_stream_degrades_and_clean_stream_stays_ok() {
+        let lossy = Pulse::new(SloSpec::default());
+        let clean = Pulse::new(SloSpec::default());
+        for i in 0..100u64 {
+            // 30% of attempts unanswered vs none.
+            lossy.observe(sample(i * 100, i * 100, i * 70));
+            clean.observe(sample(i * 100, i * 100, i * 100));
+        }
+        assert_eq!(clean.health().status, HealthStatus::Ok);
+        let verdict = lossy.health();
+        assert_eq!(verdict.status, HealthStatus::Critical);
+        assert!(verdict
+            .causes
+            .iter()
+            .any(|c| c.detail().contains("loss") || c.kind().contains("loss")));
+    }
+
+    #[test]
+    fn health_json_is_flat_and_carries_status() {
+        let pulse = Pulse::new(SloSpec::default());
+        for i in 0..20u64 {
+            pulse.observe(sample(i * 100, i * 50, i * 50));
+        }
+        pulse.observe_shards(vec![
+            ShardStat {
+                shard: 0,
+                busy_us: 900,
+                parked_us: 100,
+                ring_depth: 4,
+                ring_depth_peak: 9,
+                in_flight: 12,
+                parks: 3,
+                unparks: 2,
+            },
+            ShardStat {
+                shard: 1,
+                busy_us: 100,
+                parked_us: 900,
+                ring_depth: 0,
+                ring_depth_peak: 1,
+                in_flight: 1,
+                parks: 30,
+                unparks: 29,
+            },
+        ]);
+        let body = pulse.health_json();
+        assert!(body.contains("\"status\": \"ok\""), "{body}");
+        assert!(body.contains("\"windows\": ["), "{body}");
+        assert!(body.contains("\"shards\": 2"), "{body}");
+        let shards = pulse.shards_json();
+        assert!(shards.contains("\"shard\": 1"), "{shards}");
+        assert!(shards.contains("\"duty_cycle\": 0.9"), "{shards}");
+        assert!(shards.contains("\"imbalance\": {"), "{shards}");
+    }
+
+    #[test]
+    fn collector_exports_pulse_families() {
+        let pulse = Pulse::new(SloSpec::default())
+            .with_exemplars(Arc::new(ExemplarReservoir::with_capacity(4)));
+        for i in 0..30u64 {
+            pulse.observe(sample(i * 100, i * 10, i * 10));
+        }
+        let mut metrics = Vec::new();
+        pulse.collect(&mut metrics);
+        let names: Vec<&str> = metrics.iter().map(|m| m.name).collect();
+        assert!(names.contains(&"cde_pulse_health_status"));
+        assert!(names.contains(&"cde_pulse_probe_rate"));
+        assert!(names.contains(&"cde_pulse_timeout_ratio"));
+        assert!(names.contains(&"cde_pulse_shard_duty_skew"));
+        assert!(names.contains(&"cde_pulse_exemplars_observed_total"));
+        // Every window series is labelled.
+        assert!(metrics
+            .iter()
+            .filter(|m| m.name == "cde_pulse_probe_rate")
+            .all(|m| m.labels.iter().any(|(k, _)| *k == "window")));
+    }
+}

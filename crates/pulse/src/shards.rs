@@ -1,0 +1,161 @@
+//! Per-shard runtime statistics and the imbalance detector.
+//!
+//! A sharded reactor is only as fast as its hottest shard: the FNV
+//! target hash spreads load statistically, so a skewed target mix (or a
+//! stuck socket) shows up as one shard with a far higher duty cycle and
+//! deeper queue than its peers. The detector compares max against mean
+//! for both signals; either exceeding the configured multiple marks the
+//! fleet skewed.
+
+/// One shard's runtime counters, as sampled from its metrics block.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardStat {
+    /// Shard index.
+    pub shard: u64,
+    /// Microseconds spent inside loop iterations (busy).
+    pub busy_us: u64,
+    /// Microseconds spent parked waiting for work.
+    pub parked_us: u64,
+    /// Submission-ring occupancy at sample time.
+    pub ring_depth: u64,
+    /// Highest ring occupancy ever observed.
+    pub ring_depth_peak: u64,
+    /// Probes currently in flight on this shard.
+    pub in_flight: u64,
+    /// Times the shard parked.
+    pub parks: u64,
+    /// Times the shard was woken from a park.
+    pub unparks: u64,
+}
+
+impl ShardStat {
+    /// Fraction of accounted time spent busy, in `[0, 1]`.
+    pub fn duty_cycle(&self) -> f64 {
+        let total = self.busy_us + self.parked_us;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_us as f64 / total as f64
+        }
+    }
+
+    /// Queue pressure: ring backlog plus in-flight probes.
+    pub fn queue_load(&self) -> u64 {
+        self.ring_depth + self.in_flight
+    }
+}
+
+/// Max-versus-mean skew across a shard fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImbalanceReport {
+    /// Number of shards compared.
+    pub shards: usize,
+    /// Highest duty cycle.
+    pub max_duty: f64,
+    /// Mean duty cycle.
+    pub mean_duty: f64,
+    /// `max_duty / mean_duty` (1.0 when idle).
+    pub duty_skew: f64,
+    /// Highest queue load.
+    pub max_queue: f64,
+    /// Mean queue load.
+    pub mean_queue: f64,
+    /// `max_queue / mean_queue` (1.0 when empty).
+    pub queue_skew: f64,
+}
+
+impl ImbalanceReport {
+    /// Computes the skew report; `None` with fewer than two shards
+    /// (a single shard cannot be imbalanced).
+    pub fn from_stats(stats: &[ShardStat]) -> Option<ImbalanceReport> {
+        if stats.len() < 2 {
+            return None;
+        }
+        let n = stats.len() as f64;
+        let duties: Vec<f64> = stats.iter().map(ShardStat::duty_cycle).collect();
+        let queues: Vec<f64> = stats.iter().map(|s| s.queue_load() as f64).collect();
+        let max_duty = duties.iter().copied().fold(0.0, f64::max);
+        let mean_duty = duties.iter().sum::<f64>() / n;
+        let max_queue = queues.iter().copied().fold(0.0, f64::max);
+        let mean_queue = queues.iter().sum::<f64>() / n;
+        let skew = |max: f64, mean: f64| if mean > 0.0 { max / mean } else { 1.0 };
+        Some(ImbalanceReport {
+            shards: stats.len(),
+            max_duty,
+            mean_duty,
+            duty_skew: skew(max_duty, mean_duty),
+            max_queue,
+            mean_queue,
+            queue_skew: skew(max_queue, mean_queue),
+        })
+    }
+
+    /// True when either skew reaches `threshold` — with an activity
+    /// floor so an idle fleet (mean duty ≈ 0) never alarms on noise.
+    pub fn is_skewed(&self, threshold: f64) -> bool {
+        let duty_skewed = self.mean_duty > 0.01 && self.duty_skew >= threshold;
+        let queue_skewed = self.mean_queue >= 1.0 && self.queue_skew >= threshold;
+        duty_skewed || queue_skewed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(shard: u64, busy_us: u64, parked_us: u64, ring_depth: u64) -> ShardStat {
+        ShardStat {
+            shard,
+            busy_us,
+            parked_us,
+            ring_depth,
+            ..ShardStat::default()
+        }
+    }
+
+    #[test]
+    fn balanced_fleet_is_not_skewed() {
+        let stats: Vec<_> = (0..4).map(|i| stat(i, 5_000, 5_000, 100)).collect();
+        let r = ImbalanceReport::from_stats(&stats).unwrap();
+        assert!((r.duty_skew - 1.0).abs() < 1e-9);
+        assert!((r.queue_skew - 1.0).abs() < 1e-9);
+        assert!(!r.is_skewed(2.0));
+    }
+
+    #[test]
+    fn hot_shard_is_detected() {
+        let stats = vec![
+            stat(0, 9_900, 100, 800),
+            stat(1, 1_000, 9_000, 10),
+            stat(2, 1_000, 9_000, 10),
+            stat(3, 1_000, 9_000, 10),
+        ];
+        let r = ImbalanceReport::from_stats(&stats).unwrap();
+        assert!(r.duty_skew > 2.0);
+        assert!(r.queue_skew > 2.0);
+        assert!(r.is_skewed(2.0));
+    }
+
+    #[test]
+    fn idle_fleet_never_alarms() {
+        // Rounding noise on a near-idle fleet: huge relative skew,
+        // negligible absolute activity.
+        let stats = vec![stat(0, 10, 1_000_000, 0), stat(1, 0, 1_000_000, 0)];
+        let r = ImbalanceReport::from_stats(&stats).unwrap();
+        assert!(r.duty_skew > 1.9);
+        assert!(!r.is_skewed(1.5));
+    }
+
+    #[test]
+    fn single_shard_has_no_report() {
+        assert!(ImbalanceReport::from_stats(&[stat(0, 1, 1, 1)]).is_none());
+        assert!(ImbalanceReport::from_stats(&[]).is_none());
+    }
+
+    #[test]
+    fn duty_cycle_bounds() {
+        assert_eq!(stat(0, 0, 0, 0).duty_cycle(), 0.0);
+        assert_eq!(stat(0, 100, 0, 0).duty_cycle(), 1.0);
+        assert!((stat(0, 900, 100, 0).duty_cycle() - 0.9).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,372 @@
+//! Declarative SLO evaluation: multi-window burn rates over the rolling
+//! counter windows, plus stray/shed/imbalance guards, producing a typed
+//! verdict with machine-readable causes.
+//!
+//! The burn-rate scheme follows the SRE playbook: with a success target
+//! `t`, the error *budget* is `1 - t`, and a window's burn is its
+//! observed timeout ratio divided by that budget. A fast burn (≥ 14×)
+//! sustained over both the fast and mid windows pages (Critical); a
+//! slow burn (≥ 2×) over both the mid and slow windows tickets (Warn).
+//! Requiring two windows each suppresses blips (the short window alone
+//! is noisy) and stale alerts (the long window alone lags recovery).
+
+use crate::shards::ImbalanceReport;
+use crate::window::{window_label, window_rates, CounterSample, WindowRates};
+
+/// Declarative health objective. Defaults encode "99% of attempts
+/// answered" with the classic 14×/2× two-window burn thresholds over
+/// 10s/1m/5m.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Fraction of attempts that should be answered (e.g. 0.99).
+    pub success_target: f64,
+    /// Budget-burn multiple that pages when sustained over the fast
+    /// *and* mid windows.
+    pub fast_burn: f64,
+    /// Budget-burn multiple that warns when sustained over the mid
+    /// *and* slow windows.
+    pub slow_burn: f64,
+    /// Fast window, milliseconds.
+    pub fast_window_ms: u64,
+    /// Mid window, milliseconds.
+    pub mid_window_ms: u64,
+    /// Slow window, milliseconds.
+    pub slow_window_ms: u64,
+    /// Stray-reply ratio that warrants a Warn.
+    pub stray_warn: f64,
+    /// Telemetry shed ratio that warrants a Warn.
+    pub shed_warn: f64,
+    /// Max/mean shard skew (duty or queue) that warrants a Warn.
+    pub imbalance_warn: f64,
+    /// A window with fewer attempts than this is too thin to judge.
+    pub min_attempts: u64,
+}
+
+impl Default for SloSpec {
+    fn default() -> SloSpec {
+        SloSpec {
+            success_target: 0.99,
+            fast_burn: 14.0,
+            slow_burn: 2.0,
+            fast_window_ms: 10_000,
+            mid_window_ms: 60_000,
+            slow_window_ms: 300_000,
+            stray_warn: 0.05,
+            shed_warn: 0.01,
+            imbalance_warn: 2.0,
+            min_attempts: 50,
+        }
+    }
+}
+
+/// Overall health level, ordered by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthStatus {
+    /// Everything within budget.
+    Ok,
+    /// Budget burning slowly, or a secondary signal out of bounds.
+    Warn,
+    /// Budget burning fast — the campaign's results are suspect now.
+    Critical,
+}
+
+impl HealthStatus {
+    /// Lowercase wire form: `"ok"`, `"warn"`, `"critical"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthStatus::Ok => "ok",
+            HealthStatus::Warn => "warn",
+            HealthStatus::Critical => "critical",
+        }
+    }
+
+    /// Numeric level for gauges: 0, 1, 2.
+    pub fn as_level(self) -> u8 {
+        match self {
+            HealthStatus::Ok => 0,
+            HealthStatus::Warn => 1,
+            HealthStatus::Critical => 2,
+        }
+    }
+}
+
+/// Why a verdict is not Ok. Each variant carries the evidence that
+/// tripped it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cause {
+    /// Timeout ratio is burning the error budget at `burn`× over the
+    /// given window.
+    LossBudgetBurn {
+        ratio: f64,
+        burn: f64,
+        window_ms: u64,
+    },
+    /// Stray (unmatched) replies dominate the given window.
+    StrayFlood { ratio: f64, window_ms: u64 },
+    /// The telemetry hub is shedding events.
+    ShedPressure { ratio: f64, window_ms: u64 },
+    /// One shard is doing disproportionate work or holding a deeper
+    /// queue than its peers.
+    ShardImbalance { duty_skew: f64, queue_skew: f64 },
+}
+
+impl Cause {
+    /// Stable snake_case kind for JSON consumers.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Cause::LossBudgetBurn { .. } => "loss_budget_burn",
+            Cause::StrayFlood { .. } => "stray_flood",
+            Cause::ShedPressure { .. } => "shed_pressure",
+            Cause::ShardImbalance { .. } => "shard_imbalance",
+        }
+    }
+
+    /// Human-readable one-liner.
+    pub fn detail(&self) -> String {
+        match self {
+            Cause::LossBudgetBurn {
+                ratio,
+                burn,
+                window_ms,
+            } => format!(
+                "loss {:.1}% over {} burns error budget at {:.1}x",
+                ratio * 100.0,
+                window_label(*window_ms),
+                burn
+            ),
+            Cause::StrayFlood { ratio, window_ms } => format!(
+                "stray replies {:.1}% of traffic over {}",
+                ratio * 100.0,
+                window_label(*window_ms)
+            ),
+            Cause::ShedPressure { ratio, window_ms } => format!(
+                "telemetry shedding {:.1}% of events over {}",
+                ratio * 100.0,
+                window_label(*window_ms)
+            ),
+            Cause::ShardImbalance {
+                duty_skew,
+                queue_skew,
+            } => format!("shard skew: duty {duty_skew:.2}x mean, queue {queue_skew:.2}x mean"),
+        }
+    }
+}
+
+/// The outcome of one SLO evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthVerdict {
+    /// Worst level across all checks.
+    pub status: HealthStatus,
+    /// Every check that fired, most severe first.
+    pub causes: Vec<Cause>,
+    /// The window rates the verdict was computed from.
+    pub windows: Vec<WindowRates>,
+}
+
+impl HealthVerdict {
+    fn ok() -> HealthVerdict {
+        HealthVerdict {
+            status: HealthStatus::Ok,
+            causes: Vec::new(),
+            windows: Vec::new(),
+        }
+    }
+}
+
+/// Evaluates `spec` over chronological `samples` (plus an optional
+/// shard-imbalance report), anchored at the latest sample's timestamp —
+/// deterministic, so an offline replay over a trace produces the same
+/// verdicts the live engine did.
+pub fn evaluate(
+    samples: &[CounterSample],
+    spec: &SloSpec,
+    imbalance: Option<&ImbalanceReport>,
+) -> HealthVerdict {
+    if samples.len() < 2 {
+        return HealthVerdict::ok();
+    }
+    let fast = window_rates(samples, spec.fast_window_ms);
+    let mid = window_rates(samples, spec.mid_window_ms);
+    let slow = window_rates(samples, spec.slow_window_ms);
+    let windows: Vec<WindowRates> = [fast, mid, slow].into_iter().flatten().collect();
+
+    let budget = (1.0 - spec.success_target).max(f64::EPSILON);
+    let burn = |w: &WindowRates| w.timeout_ratio / budget;
+    let active = |w: &WindowRates| w.attempts >= spec.min_attempts;
+
+    let mut critical: Vec<Cause> = Vec::new();
+    let mut warn: Vec<Cause> = Vec::new();
+
+    // Fast burn: sustained over the fast AND mid windows.
+    if let (Some(f), Some(m)) = (fast.as_ref(), mid.as_ref()) {
+        if active(f) && active(m) && burn(f) >= spec.fast_burn && burn(m) >= spec.fast_burn {
+            critical.push(Cause::LossBudgetBurn {
+                ratio: f.timeout_ratio,
+                burn: burn(f),
+                window_ms: f.window_ms,
+            });
+        }
+    }
+    // Slow burn: sustained over the mid AND slow windows.
+    if critical.is_empty() {
+        if let (Some(m), Some(s)) = (mid.as_ref(), slow.as_ref()) {
+            if active(m) && active(s) && burn(m) >= spec.slow_burn && burn(s) >= spec.slow_burn {
+                warn.push(Cause::LossBudgetBurn {
+                    ratio: m.timeout_ratio,
+                    burn: burn(m),
+                    window_ms: m.window_ms,
+                });
+            }
+        }
+    }
+    if let Some(f) = fast.as_ref().filter(|w| active(w)) {
+        if f.stray_ratio >= spec.stray_warn {
+            warn.push(Cause::StrayFlood {
+                ratio: f.stray_ratio,
+                window_ms: f.window_ms,
+            });
+        }
+        if f.shed_ratio >= spec.shed_warn {
+            warn.push(Cause::ShedPressure {
+                ratio: f.shed_ratio,
+                window_ms: f.window_ms,
+            });
+        }
+    }
+    if let Some(report) = imbalance {
+        if report.is_skewed(spec.imbalance_warn) {
+            warn.push(Cause::ShardImbalance {
+                duty_skew: report.duty_skew,
+                queue_skew: report.queue_skew,
+            });
+        }
+    }
+
+    let status = if !critical.is_empty() {
+        HealthStatus::Critical
+    } else if !warn.is_empty() {
+        HealthStatus::Warn
+    } else {
+        HealthStatus::Ok
+    };
+    let mut causes = critical;
+    causes.extend(warn);
+    HealthVerdict {
+        status,
+        causes,
+        windows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shards::ShardStat;
+
+    fn stream(ms_step: u64, n: u64, loss: f64) -> Vec<CounterSample> {
+        (0..=n)
+            .map(|i| CounterSample {
+                at_ms: i * ms_step,
+                sent: i * 100,
+                received: ((i * 100) as f64 * (1.0 - loss)) as u64,
+                ..CounterSample::default()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_stream_is_ok() {
+        let v = evaluate(&stream(100, 100, 0.0), &SloSpec::default(), None);
+        assert_eq!(v.status, HealthStatus::Ok);
+        assert!(v.causes.is_empty());
+        assert!(!v.windows.is_empty());
+    }
+
+    #[test]
+    fn heavy_loss_pages() {
+        let v = evaluate(&stream(100, 100, 0.30), &SloSpec::default(), None);
+        assert_eq!(v.status, HealthStatus::Critical);
+        assert_eq!(v.causes[0].kind(), "loss_budget_burn");
+        assert!(v.causes[0].detail().contains("loss"));
+    }
+
+    #[test]
+    fn slow_leak_warns_but_does_not_page() {
+        // 3% loss: burn = 3x — above the slow threshold (2x), below the
+        // fast one (14x). Needs mid+slow history to fire.
+        let v = evaluate(&stream(5_000, 120, 0.03), &SloSpec::default(), None);
+        assert_eq!(v.status, HealthStatus::Warn);
+        assert_eq!(v.causes[0].kind(), "loss_budget_burn");
+    }
+
+    #[test]
+    fn thin_windows_are_not_judged() {
+        // Plenty of loss but almost no attempts: stay Ok.
+        let samples = vec![
+            CounterSample::default(),
+            CounterSample {
+                at_ms: 10_000,
+                sent: 10,
+                received: 2,
+                ..CounterSample::default()
+            },
+        ];
+        let v = evaluate(&samples, &SloSpec::default(), None);
+        assert_eq!(v.status, HealthStatus::Ok);
+    }
+
+    #[test]
+    fn stray_flood_and_shed_pressure_warn() {
+        let samples = vec![
+            CounterSample::default(),
+            CounterSample {
+                at_ms: 10_000,
+                sent: 1000,
+                received: 1000,
+                strays: 200,
+                shed: 50,
+                emitted: 950,
+                ..CounterSample::default()
+            },
+        ];
+        let v = evaluate(&samples, &SloSpec::default(), None);
+        assert_eq!(v.status, HealthStatus::Warn);
+        let kinds: Vec<_> = v.causes.iter().map(|c| c.kind()).collect();
+        assert!(kinds.contains(&"stray_flood"));
+        assert!(kinds.contains(&"shed_pressure"));
+    }
+
+    #[test]
+    fn imbalance_report_taints_the_verdict() {
+        let hot = ShardStat {
+            shard: 0,
+            busy_us: 9_000,
+            parked_us: 1_000,
+            ring_depth: 900,
+            ..ShardStat::default()
+        };
+        let cold = ShardStat {
+            busy_us: 1_000,
+            parked_us: 9_000,
+            ring_depth: 10,
+            ..ShardStat::default()
+        };
+        let stats = vec![
+            hot,
+            ShardStat { shard: 1, ..cold },
+            ShardStat { shard: 2, ..cold },
+        ];
+        let report = ImbalanceReport::from_stats(&stats).unwrap();
+        let v = evaluate(&stream(100, 100, 0.0), &SloSpec::default(), Some(&report));
+        assert_eq!(v.status, HealthStatus::Warn);
+        assert_eq!(v.causes[0].kind(), "shard_imbalance");
+    }
+
+    #[test]
+    fn status_strings_and_levels() {
+        assert_eq!(HealthStatus::Ok.as_str(), "ok");
+        assert_eq!(HealthStatus::Warn.as_level(), 1);
+        assert_eq!(HealthStatus::Critical.as_level(), 2);
+        assert!(HealthStatus::Critical > HealthStatus::Warn);
+    }
+}

@@ -10,16 +10,20 @@
 use crate::http::ControlPlane;
 use crate::manager::{CampaignManager, ManagerConfig, World};
 use cde_core::CdeInfra;
-use cde_engine::{LiveTestbed, RateConfig, ReactorConfig, ResolverConfig, RetryPolicy};
+use cde_engine::{
+    EngineMetrics, LiveTestbed, PulseOptions, RateConfig, ReactorConfig, ResolverConfig,
+    RetryPolicy,
+};
 use cde_faults::FaultPlan;
 use cde_platform::{NameserverNet, PlatformBuilder, SelectorKind};
+use cde_pulse::{CounterSample, Pulse, ShardStat, SloSpec};
 use cde_telemetry::{MetricsRegistry, TelemetryHub};
 use std::fs;
 use std::io::{self, Write};
 use std::net::{Ipv4Addr, SocketAddr};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The testbed ingress every campaign probes through by default.
 pub const INGRESS: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
@@ -81,6 +85,9 @@ pub struct Daemon {
     manager: Arc<CampaignManager>,
     _testbed: LiveTestbed,
     hub: Arc<TelemetryHub>,
+    pulse: Arc<Pulse>,
+    engine_metrics: Arc<EngineMetrics>,
+    epoch: Instant,
     jsonl: Option<fs::File>,
     resumed: Vec<String>,
 }
@@ -127,6 +134,7 @@ impl Daemon {
             faults: config
                 .chaos
                 .map(|(loss, burst)| FaultPlan::bursty(config.seed, loss, burst)),
+            pulse: Some(PulseOptions::default()),
             ..ReactorConfig::with_policy(policy, config.seed)
         };
         let transport = testbed.reactor_transport(reactor_config)?;
@@ -146,7 +154,23 @@ impl Daemon {
             Vec::new()
         };
 
-        let control = ControlPlane::start(config.listen, Arc::clone(&manager), registry)?;
+        // The health engine: fed by the run loop's ~100ms sampler from
+        // the reactor's merged metrics, surfaced on /v1/health and in
+        // the Prometheus scrape.
+        let mut pulse = Pulse::new(SloSpec::default());
+        if let Some(exemplars) = manager.exemplars() {
+            pulse = pulse.with_exemplars(exemplars);
+        }
+        let pulse = Arc::new(pulse);
+        registry.register(Arc::clone(&pulse) as Arc<dyn cde_telemetry::Collector>);
+        let engine_metrics = manager.engine_metrics();
+
+        let control = ControlPlane::start(
+            config.listen,
+            Arc::clone(&manager),
+            registry,
+            Some(Arc::clone(&pulse)),
+        )?;
         if let Some(path) = &config.addr_file {
             fs::write(path, format!("{}\n", control.addr()))?;
         }
@@ -164,6 +188,9 @@ impl Daemon {
             manager,
             _testbed: testbed,
             hub,
+            pulse,
+            engine_metrics,
+            epoch: Instant::now(),
             jsonl,
             resumed,
         })
@@ -184,6 +211,46 @@ impl Daemon {
         &self.resumed
     }
 
+    /// The live health engine behind `/v1/health`, for embedding the
+    /// daemon in tests.
+    pub fn pulse(&self) -> &Arc<Pulse> {
+        &self.pulse
+    }
+
+    /// Feeds the health engine one snapshot: the merged engine counters
+    /// as a timestamped [`CounterSample`] plus every shard's runtime
+    /// stats. Called from the run loop at telemetry-drain cadence.
+    fn sample_pulse(&self) {
+        let snap = self.engine_metrics.snapshot();
+        self.pulse.observe(CounterSample {
+            at_ms: self.epoch.elapsed().as_millis().min(u128::from(u64::MAX)) as u64,
+            sent: snap.sent,
+            received: snap.received,
+            timeouts: snap.timeouts,
+            retries: snap.retries,
+            strays: snap.stray_replies,
+            shed: self.hub.dropped(),
+            emitted: self.hub.emitted(),
+            in_flight: snap.in_flight,
+        });
+        let stats: Vec<ShardStat> = (0..self.engine_metrics.shards())
+            .map(|i| {
+                let shard = self.engine_metrics.shard_snapshot(i);
+                ShardStat {
+                    shard: i as u64,
+                    busy_us: shard.loop_sum_us,
+                    parked_us: shard.parked_us,
+                    ring_depth: shard.ring_depth,
+                    ring_depth_peak: shard.ring_depth_peak,
+                    in_flight: shard.in_flight,
+                    parks: shard.parks,
+                    unparks: shard.unparks,
+                }
+            })
+            .collect();
+        self.pulse.observe_shards(stats);
+    }
+
     fn drain_telemetry(&mut self) -> io::Result<()> {
         match &mut self.jsonl {
             Some(file) => {
@@ -198,12 +265,14 @@ impl Daemon {
     }
 
     /// Serves until a client POSTs `/v1/shutdown`, draining telemetry
-    /// every ~100ms, then shuts down gracefully: every campaign pauses
-    /// behind a resumable snapshot, the reactor drains its in-flight
-    /// probes, and the final telemetry flush lands in the JSONL file.
+    /// and feeding the health engine every ~100ms, then shuts down
+    /// gracefully: every campaign pauses behind a resumable snapshot,
+    /// the reactor drains its in-flight probes, and the final telemetry
+    /// flush lands in the JSONL file.
     pub fn run(mut self) -> io::Result<()> {
         while !self.control.shutdown_requested() {
             std::thread::sleep(Duration::from_millis(100));
+            self.sample_pulse();
             self.drain_telemetry()?;
         }
         let drained = self.manager.graceful_shutdown(SHUTDOWN_DRAIN);

@@ -10,6 +10,8 @@
 //! |-----------------------------------|------------------------------------------|
 //! | `GET /healthz`                    | liveness probe                           |
 //! | `GET /metrics`                    | Prometheus text exposition               |
+//! | `GET /v1/health`                  | SLO verdict (503 when Critical)          |
+//! | `GET /v1/health/shards`           | per-shard runtime stats + imbalance      |
 //! | `POST /v1/tenants`                | register/re-weight a tenant              |
 //! | `POST /v1/campaigns`              | submit a campaign, returns `{"id": ...}` |
 //! | `GET /v1/campaigns`               | list campaign statuses                   |
@@ -21,6 +23,7 @@
 use crate::campaign::CampaignSpec;
 use crate::manager::CampaignManager;
 use cde_engine::RateConfig;
+use cde_pulse::{HealthStatus, Pulse};
 use cde_telemetry::MetricsRegistry;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -45,11 +48,14 @@ pub struct ControlPlane {
 
 impl ControlPlane {
     /// Binds `listen` (port 0 picks an ephemeral port) and starts the
-    /// accept loop over `manager` and `registry`.
+    /// accept loop over `manager` and `registry`. With a [`Pulse`], the
+    /// self-diagnosis routes (`/v1/health`, `/v1/health/shards`) come
+    /// alive; without one they answer 404.
     pub fn start(
         listen: SocketAddr,
         manager: Arc<CampaignManager>,
         registry: Arc<MetricsRegistry>,
+        pulse: Option<Arc<Pulse>>,
     ) -> io::Result<ControlPlane> {
         let listener = TcpListener::bind(listen)?;
         listener.set_nonblocking(true)?;
@@ -67,6 +73,7 @@ impl ControlPlane {
                     &shutdown_for_thread,
                     &manager,
                     &registry,
+                    pulse.as_ref(),
                 );
             })?;
         Ok(ControlPlane {
@@ -108,11 +115,12 @@ fn accept_loop(
     shutdown_requested: &AtomicBool,
     manager: &Arc<CampaignManager>,
     registry: &Arc<MetricsRegistry>,
+    pulse: Option<&Arc<Pulse>>,
 ) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                let _ = handle_connection(stream, shutdown_requested, manager, registry);
+                let _ = handle_connection(stream, shutdown_requested, manager, registry, pulse);
             }
             Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(20));
@@ -127,6 +135,7 @@ fn handle_connection(
     shutdown_requested: &AtomicBool,
     manager: &Arc<CampaignManager>,
     registry: &Arc<MetricsRegistry>,
+    pulse: Option<&Arc<Pulse>>,
 ) -> io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
@@ -135,14 +144,12 @@ fn handle_connection(
         Err(_) => {
             return respond(
                 &mut stream,
-                400,
-                "application/json",
-                "{\"error\": \"bad request\"}",
+                &Response::json(400, "{\"error\": \"bad request\"}".to_owned()),
             )
         }
     };
-    let (status, content_type, body) = route(&request, shutdown_requested, manager, registry);
-    respond(&mut stream, status, content_type, &body)
+    let response = route(&request, shutdown_requested, manager, registry, pulse);
+    respond(&mut stream, &response)
 }
 
 struct Request {
@@ -195,21 +202,67 @@ fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
     Ok(Request { method, path, body })
 }
 
-fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) -> io::Result<()> {
-    let reason = match status {
+/// A fully-formed HTTP response: status, body and the one extra header
+/// the control plane ever sets (`Allow`, on 405s).
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    allow: Option<&'static str>,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+            allow: None,
+        }
+    }
+}
+
+fn respond(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let reason = match response.status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
+    let allow = match response.allow {
+        Some(methods) => format!("Allow: {methods}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
+        "HTTP/1.1 {} {reason}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{allow}Connection: close\r\n\r\n",
+        response.status,
+        response.content_type,
+        response.body.len()
     );
     stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
     stream.flush()
+}
+
+/// The methods a known path answers, `None` for unknown paths. Drives
+/// the 404-vs-405 split: a wrong method on a real resource is `405` with
+/// an `Allow` header, not a misleading `404`.
+fn allowed_methods(path: &str) -> Option<&'static str> {
+    match path {
+        "/healthz" | "/metrics" | "/v1/health" | "/v1/health/shards" => Some("GET"),
+        "/v1/shutdown" | "/v1/tenants" => Some("POST"),
+        "/v1/campaigns" => Some("GET, POST"),
+        _ if path.starts_with("/v1/campaigns/") => {
+            if path.ends_with("/cancel") || path.ends_with("/checkpoint") {
+                Some("POST")
+            } else {
+                Some("GET")
+            }
+        }
+        _ => None,
+    }
 }
 
 fn route(
@@ -217,36 +270,65 @@ fn route(
     shutdown_requested: &AtomicBool,
     manager: &Arc<CampaignManager>,
     registry: &Arc<MetricsRegistry>,
-) -> (u16, &'static str, String) {
-    let json = "application/json";
+    pulse: Option<&Arc<Pulse>>,
+) -> Response {
     let method = request.method.as_str();
     let path = request.path.as_str();
     match (method, path) {
-        ("GET", "/healthz") => (200, json, "{\"ok\": true}".to_owned()),
-        ("GET", "/metrics") => (200, "text/plain; version=0.0.4", registry.prometheus_text()),
+        ("GET", "/healthz") => Response::json(200, "{\"ok\": true}".to_owned()),
+        ("GET", "/metrics") => Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: registry.prometheus_text(),
+            allow: None,
+        },
+        ("GET", "/v1/health") => match pulse {
+            Some(pulse) => {
+                let verdict = pulse.health();
+                let status = if verdict.status == HealthStatus::Critical {
+                    503
+                } else {
+                    200
+                };
+                Response::json(status, pulse.health_json())
+            }
+            None => Response::json(
+                404,
+                "{\"error\": \"health engine not attached\"}".to_owned(),
+            ),
+        },
+        ("GET", "/v1/health/shards") => match pulse {
+            Some(pulse) => Response::json(200, pulse.shards_json()),
+            None => Response::json(
+                404,
+                "{\"error\": \"health engine not attached\"}".to_owned(),
+            ),
+        },
         ("POST", "/v1/shutdown") => {
             shutdown_requested.store(true, Ordering::SeqCst);
-            (200, json, "{\"ok\": true}".to_owned())
+            Response::json(200, "{\"ok\": true}".to_owned())
         }
         ("POST", "/v1/tenants") => handle_register_tenant(&request.body, manager),
         ("POST", "/v1/campaigns") => handle_submit(&request.body, manager),
         ("GET", "/v1/campaigns") => {
             let statuses: Vec<String> = manager.list().iter().map(|s| s.to_json()).collect();
-            (200, json, format!("[{}]", statuses.join(", ")))
+            Response::json(200, format!("[{}]", statuses.join(", ")))
         }
-        ("GET", _) if path.starts_with("/v1/campaigns/") => {
+        ("GET", _)
+            if path.starts_with("/v1/campaigns/") && allowed_methods(path) == Some("GET") =>
+        {
             let id = &path["/v1/campaigns/".len()..];
             match manager.status(id) {
-                Some(status) => (200, json, status.to_json()),
-                None => (404, json, "{\"error\": \"unknown campaign\"}".to_owned()),
+                Some(status) => Response::json(200, status.to_json()),
+                None => Response::json(404, "{\"error\": \"unknown campaign\"}".to_owned()),
             }
         }
         ("POST", _) if path.starts_with("/v1/campaigns/") && path.ends_with("/cancel") => {
             let id = &path["/v1/campaigns/".len()..path.len() - "/cancel".len()];
             if manager.cancel(id) {
-                (200, json, "{\"ok\": true}".to_owned())
+                Response::json(200, "{\"ok\": true}".to_owned())
             } else {
-                (404, json, "{\"error\": \"unknown campaign\"}".to_owned())
+                Response::json(404, "{\"error\": \"unknown campaign\"}".to_owned())
             }
         }
         ("POST", _) if path.starts_with("/v1/campaigns/") && path.ends_with("/checkpoint") => {
@@ -258,26 +340,27 @@ fn route(
                         .to_string()
                         .replace('\\', "\\\\")
                         .replace('"', "\\\"");
-                    (200, json, format!("{{\"checkpoint_path\": \"{escaped}\"}}"))
+                    Response::json(200, format!("{{\"checkpoint_path\": \"{escaped}\"}}"))
                 }
                 Err(err) if err.kind() == io::ErrorKind::NotFound => {
-                    (404, json, "{\"error\": \"unknown campaign\"}".to_owned())
+                    Response::json(404, "{\"error\": \"unknown campaign\"}".to_owned())
                 }
-                Err(err) => (500, json, format!("{{\"error\": \"{err}\"}}")),
+                Err(err) => Response::json(500, format!("{{\"error\": \"{err}\"}}")),
             }
         }
-        ("GET" | "POST", _) => (404, json, "{\"error\": \"no such route\"}".to_owned()),
-        _ => (405, json, "{\"error\": \"method not allowed\"}".to_owned()),
+        _ => match allowed_methods(path) {
+            Some(allow) => Response {
+                allow: Some(allow),
+                ..Response::json(405, "{\"error\": \"method not allowed\"}".to_owned())
+            },
+            None => Response::json(404, "{\"error\": \"no such route\"}".to_owned()),
+        },
     }
 }
 
-fn handle_register_tenant(
-    body: &str,
-    manager: &Arc<CampaignManager>,
-) -> (u16, &'static str, String) {
-    let json = "application/json";
+fn handle_register_tenant(body: &str, manager: &Arc<CampaignManager>) -> Response {
     let Some(name) = body_str(body, "name") else {
-        return (400, json, "{\"error\": \"missing tenant name\"}".to_owned());
+        return Response::json(400, "{\"error\": \"missing tenant name\"}".to_owned());
     };
     let weight = body_f64(body, "weight").unwrap_or(crate::tenant::DEFAULT_WEIGHT);
     let cap = match (
@@ -291,17 +374,15 @@ fn handle_register_tenant(
         (None, _) => None,
     };
     match manager.register_tenant(&name, weight, cap) {
-        Ok(()) => (
+        Ok(()) => Response::json(
             200,
-            json,
             format!("{{\"tenant\": \"{name}\", \"weight\": {weight}}}"),
         ),
-        Err(err) => (400, json, format!("{{\"error\": \"{err}\"}}")),
+        Err(err) => Response::json(400, format!("{{\"error\": \"{err}\"}}")),
     }
 }
 
-fn handle_submit(body: &str, manager: &Arc<CampaignManager>) -> (u16, &'static str, String) {
-    let json = "application/json";
+fn handle_submit(body: &str, manager: &Arc<CampaignManager>) -> Response {
     let mut spec = CampaignSpec::default();
     if let Some(tenant) = body_str(body, "tenant") {
         spec.tenant = tenant;
@@ -331,8 +412,8 @@ fn handle_submit(body: &str, manager: &Arc<CampaignManager>) -> (u16, &'static s
         spec.checkpoint_every = every;
     }
     match manager.submit(spec) {
-        Ok(id) => (200, json, format!("{{\"id\": \"{id}\"}}")),
-        Err(err) => (400, json, format!("{{\"error\": \"{err}\"}}")),
+        Ok(id) => Response::json(200, format!("{{\"id\": \"{id}\"}}")),
+        Err(err) => Response::json(400, format!("{{\"error\": \"{err}\"}}")),
     }
 }
 
@@ -375,6 +456,25 @@ fn body_f64(body: &str, key: &str) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn allowed_methods_cover_every_route() {
+        assert_eq!(allowed_methods("/healthz"), Some("GET"));
+        assert_eq!(allowed_methods("/metrics"), Some("GET"));
+        assert_eq!(allowed_methods("/v1/health"), Some("GET"));
+        assert_eq!(allowed_methods("/v1/health/shards"), Some("GET"));
+        assert_eq!(allowed_methods("/v1/shutdown"), Some("POST"));
+        assert_eq!(allowed_methods("/v1/tenants"), Some("POST"));
+        assert_eq!(allowed_methods("/v1/campaigns"), Some("GET, POST"));
+        assert_eq!(allowed_methods("/v1/campaigns/c-1"), Some("GET"));
+        assert_eq!(allowed_methods("/v1/campaigns/c-1/cancel"), Some("POST"));
+        assert_eq!(
+            allowed_methods("/v1/campaigns/c-1/checkpoint"),
+            Some("POST")
+        );
+        assert_eq!(allowed_methods("/v1/nope"), None);
+        assert_eq!(allowed_methods("/"), None);
+    }
 
     #[test]
     fn body_extractors_read_flat_json() {

@@ -33,9 +33,10 @@ use cde_core::{CdeInfra, ProbePlan, Session};
 use cde_dns::{Rcode, RecordType};
 use cde_engine::scheduler::{CampaignReport, Probe, ProbeOutcome};
 use cde_engine::{
-    RateConfig, ReactorHandle, ReactorTransport, TenantRate, Transport, TransportReply,
-    WeightedRateLimiter,
+    EngineMetrics, RateConfig, ReactorHandle, ReactorTransport, TenantRate, Transport,
+    TransportReply, WeightedRateLimiter,
 };
+use cde_pulse::ExemplarReservoir;
 use cde_telemetry::{CampaignSpan, MetricsRegistry, TelemetryHub};
 use crossbeam::channel::{unbounded, RecvTimeoutError};
 use parking_lot::Mutex;
@@ -200,6 +201,19 @@ impl CampaignManager {
     /// The hub campaign spans are emitted into.
     pub fn hub(&self) -> &Arc<TelemetryHub> {
         &self.hub
+    }
+
+    /// The shared reactor's engine metrics (merged across shards on
+    /// snapshot; per-shard blocks via `shard_snapshot`). The health
+    /// sampler reads these without taking the world lock.
+    pub fn engine_metrics(&self) -> Arc<EngineMetrics> {
+        self.handle.metrics()
+    }
+
+    /// The reactor's slow-probe exemplar reservoir, when the reactor was
+    /// launched with pulse options.
+    pub fn exemplars(&self) -> Option<Arc<ExemplarReservoir>> {
+        self.handle.exemplars()
     }
 
     /// Registers (or re-weights) a tenant in both the registry and the

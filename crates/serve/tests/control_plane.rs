@@ -11,8 +11,9 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// A deliberately primitive HTTP/1.1 client: one request, one
-/// connection — exactly what the control plane serves.
-fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+/// connection — exactly what the control plane serves. Returns status,
+/// raw head (status line + headers) and body.
+fn http_raw(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect control plane");
     stream
         .set_read_timeout(Some(Duration::from_secs(5)))
@@ -30,10 +31,15 @@ fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String)
         .expect("status line")
         .parse()
         .expect("numeric status");
-    let body = response
+    let (head, body) = response
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_owned())
+        .map(|(h, b)| (h.to_owned(), b.to_owned()))
         .unwrap_or_default();
+    (status, head, body)
+}
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let (status, _, body) = http_raw(addr, method, path, body);
     (status, body)
 }
 
@@ -102,6 +108,20 @@ fn control_plane_drives_weighted_tenants_end_to_end() {
     assert_eq!(status, 404);
     let (status, _) = http(addr, "GET", "/v1/nope", "");
     assert_eq!(status, 404);
+
+    // A wrong method on a real resource is 405 with an Allow header —
+    // not a misleading 404 and not a header-less 405.
+    let (status, head, _) = http_raw(addr, "DELETE", "/v1/campaigns", "");
+    assert_eq!(status, 405);
+    assert!(head.contains("Allow: GET, POST"), "{head}");
+    let (status, head, _) = http_raw(addr, "PUT", "/healthz", "");
+    assert_eq!(status, 405);
+    assert!(head.contains("Allow: GET"), "{head}");
+    let (status, head, _) = http_raw(addr, "GET", "/v1/shutdown", "");
+    assert_eq!(status, 405, "GET on a POST route must not shut down");
+    assert!(head.contains("Allow: POST"), "{head}");
+    let (status, _, _) = http_raw(addr, "DELETE", "/v1/nope", "");
+    assert_eq!(status, 404, "unknown paths stay 404 for any method");
     let (status, body) = http(
         addr,
         "POST",

@@ -1,0 +1,190 @@
+//! End-to-end exercise of the self-diagnosis surface: a campaign run
+//! under heavy bursty loss must drive `GET /v1/health` to a degraded
+//! verdict whose cause names the loss, while the same campaign on a
+//! clean fault plan keeps the daemon at `ok`. Also covers the per-shard
+//! view and the pulse families in the Prometheus scrape.
+
+use cde_engine::RateConfig;
+use cde_serve::{Daemon, DaemonConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect control plane");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: cde-serve\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn field(body: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let at = body.find(&needle)? + needle.len();
+    let rest = body[at..].trim_start().strip_prefix(':')?.trim_start();
+    if let Some(quoted) = rest.strip_prefix('"') {
+        Some(quoted[..quoted.find('"')?].to_owned())
+    } else {
+        let end = rest
+            .find(|c: char| c == ',' || c == '}' || c == ']' || c.is_whitespace())
+            .unwrap_or(rest.len());
+        Some(rest[..end].to_owned())
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cde-pulse-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start(tag: &str, chaos: Option<(f64, f64)>) -> (Daemon, SocketAddr) {
+    let daemon = Daemon::start(DaemonConfig {
+        checkpoint_dir: fresh_dir(tag),
+        caches: 4,
+        seed: 90210,
+        chaos,
+        rate: RateConfig {
+            per_second: 600.0,
+            burst: 8.0,
+        },
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    let addr = daemon.addr();
+    (daemon, addr)
+}
+
+fn submit_campaign(addr: SocketAddr, farm_size: usize) -> String {
+    let body = format!(
+        "{{\"tenant\": \"probe\", \"label\": \"pulse\", \"caches_hint\": 4, \
+         \"farm_size\": {farm_size}, \"redundancy\": 1, \"window\": 32, \"checkpoint_every\": 0}}"
+    );
+    let (status, body) = http(addr, "POST", "/v1/campaigns", &body);
+    assert_eq!(status, 200, "{body}");
+    field(&body, "id").expect("campaign id")
+}
+
+/// The acceptance scenario: ≥25% bursty loss on the query path drives
+/// `/v1/health` to warn/critical with a loss-attributed cause, and the
+/// HTTP status degrades with the verdict (503 on critical).
+#[test]
+fn bursty_loss_degrades_health_with_a_loss_cause() {
+    let (daemon, addr) = start("chaos", Some((0.30, 4.0)));
+    let server = std::thread::spawn(move || daemon.run());
+
+    // Before any traffic the daemon reports ok (windows inactive).
+    let (status, body) = http(addr, "GET", "/v1/health", "");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(field(&body, "status").as_deref(), Some("ok"), "{body}");
+
+    let id = submit_campaign(addr, 4000);
+
+    // Degradation must surface while the lossy campaign runs.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let (status, body) = loop {
+        let (status, body) = http(addr, "GET", "/v1/health", "");
+        let verdict = field(&body, "status").unwrap_or_default();
+        if verdict == "warn" || verdict == "critical" {
+            break (status, body);
+        }
+        assert!(
+            Instant::now() < deadline,
+            "health never degraded under 30% bursty loss; last: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(
+        body.contains("loss_budget_burn") && body.contains("loss"),
+        "degraded verdict must attribute the loss: {body}"
+    );
+    if field(&body, "status").as_deref() == Some("critical") {
+        assert_eq!(status, 503, "critical must be non-200: {body}");
+    } else {
+        assert_eq!(status, 200, "{body}");
+    }
+
+    // The per-shard view serves alongside.
+    let (status, shards) = http(addr, "GET", "/v1/health/shards", "");
+    assert_eq!(status, 200, "{shards}");
+    assert!(shards.contains("\"duty_cycle\""), "{shards}");
+
+    // The scrape carries the pulse families.
+    let (status, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("cde_pulse_health_status"),
+        "pulse families missing from the scrape"
+    );
+    assert!(metrics.contains("cde_pulse_timeout_ratio{window=\"10s\"}"));
+
+    let (status, _) = http(addr, "POST", &format!("/v1/campaigns/{id}/cancel"), "");
+    assert_eq!(status, 200);
+    let (status, _) = http(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    server.join().expect("daemon thread").expect("drain");
+}
+
+/// The control scenario: the identical campaign over a clean fault plan
+/// never pages — health stays `ok` from first probe to completion.
+#[test]
+fn clean_world_stays_ok() {
+    let (daemon, addr) = start("clean", None);
+    let server = std::thread::spawn(move || daemon.run());
+
+    let id = submit_campaign(addr, 600);
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, body) = http(addr, "GET", "/v1/health", "");
+        assert_eq!(status, 200, "clean world must never go critical: {body}");
+        assert_ne!(
+            field(&body, "status").as_deref(),
+            Some("critical"),
+            "{body}"
+        );
+        let (_, campaign) = http(addr, "GET", &format!("/v1/campaigns/{id}"), "");
+        if field(&campaign, "state").as_deref() == Some("done") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "campaign never finished");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Quiescent after a fully-answered run: the verdict settles at ok.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, body) = http(addr, "GET", "/v1/health", "");
+        if status == 200 && field(&body, "status").as_deref() == Some("ok") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "clean campaign must settle at ok: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    let (status, _) = http(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    server.join().expect("daemon thread").expect("drain");
+}

@@ -5,9 +5,12 @@
 #   2. register two tenants with 1:3 weights and run a campaign to
 #      completion with the exact planted cache count,
 #   3. scrape /metrics for the per-tenant probe counters,
-#   4. kill -9 the daemon mid-campaign, restart it with --resume, and
+#   4. run a large campaign under bursty loss and watch /v1/health
+#      degrade to warn/critical with a loss-attributed cause, then
+#      recover to ok once the burst-loss traffic drains,
+#   5. kill -9 the daemon mid-campaign, restart it with --resume, and
 #      watch the checkpointed campaign run to completion,
-#   5. shut down gracefully over HTTP and check the telemetry JSONL
+#   6. shut down gracefully over HTTP and check the telemetry JSONL
 #      carries the per-tenant campaign spans.
 #
 # Note on step 4: restarting the daemon rebuilds the *simulated*
@@ -104,6 +107,51 @@ echo "$METRICS" | grep -q 'cde_serve_tenant_probes_total{tenant="bob"}' \
     || die "missing bob's probe counter in scrape"
 echo "$METRICS" | grep -q 'cde_serve_tenant_weight{tenant="alice"} 1' \
     || die "missing alice's weight gauge in scrape"
+
+# --- /v1/health: degrade under bursty loss, then recover -------------------
+# curl -f would abort on the 503 a critical verdict serves, so fetch the
+# health body with plain -sS and grep the JSON.
+health() { curl -sS "http://$ADDR/v1/health"; }
+
+say "submitting a large campaign under bursty loss; /v1/health must degrade"
+PULSE_ID="$(curl -fsS -X POST -d \
+    '{"tenant": "bob", "label": "pulse", "caches_hint": 6, "loss_hint": 0.25, "farm_size": 2000, "redundancy": 2, "window": 32, "checkpoint_every": 64}' \
+    "http://$ADDR/v1/campaigns" | json_field id)"
+[ -n "$PULSE_ID" ] || die "no pulse campaign id returned"
+DEGRADED=""
+for _ in $(seq 1 300); do
+    HEALTH="$(health)"
+    if echo "$HEALTH" | grep -Eq '"status": "(warn|critical)"'; then
+        DEGRADED=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$DEGRADED" ] || die "/v1/health never degraded under 25% bursty loss (last: $HEALTH)"
+echo "$HEALTH" | grep -q 'loss_budget_burn' \
+    || die "degraded verdict lacks a loss-attributed cause: $HEALTH"
+say "health degraded with loss cause: $(echo "$HEALTH" | json_field status)"
+
+curl -fsS "http://$ADDR/v1/health/shards" | grep -q '"duty_cycle"' \
+    || die "/v1/health/shards missing shard duty cycles"
+curl -fsS "http://$ADDR/metrics" | grep -q '^cde_pulse_health_status ' \
+    || die "cde_pulse_health_status missing from /metrics"
+
+poll_status "$PULSE_ID" done 120 >/dev/null
+# Recovery is bounded by the SLO mid window (1m): warn clears once the
+# lossy traffic ages out of it and the activity floor disengages.
+say "pulse campaign done; waiting for /v1/health to recover (~60s)"
+RECOVERED=""
+for _ in $(seq 1 90); do
+    HEALTH="$(health)"
+    if echo "$HEALTH" | grep -q '"status": "ok"'; then
+        RECOVERED=1
+        break
+    fi
+    sleep 1
+done
+[ -n "$RECOVERED" ] || die "/v1/health never recovered after the lossy campaign (last: $HEALTH)"
+say "health recovered to ok"
 
 say "submitting alice's slow campaign, then kill -9 mid-flight"
 curl -fsS -X POST -d '{"name": "victim", "weight": 1, "cap_per_second": 150, "cap_burst": 1}' \
