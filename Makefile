@@ -1,7 +1,7 @@
 # Convenience targets; everything builds offline from vendored deps
 # (third_party/, see README "Offline builds").
 
-.PHONY: build test chaos bench-smoke bench-json bench-check analyze-smoke serve-smoke lint
+.PHONY: build test chaos bench-smoke bench-json bench-check timing-check analyze-smoke serve-smoke lint
 
 build:
 	cargo build --release --locked
@@ -52,13 +52,26 @@ serve-smoke:
 # fails when the reactor-vs-blocking speedup drops more than 25%, the
 # insight digests-on/off ratio regresses, the pulse-on/pulse-off health
 # sampling ratio regresses, per-shard scaling efficiency falls more
-# than 10% below the baseline curve, or (on a multi-core host) 2 shards
-# deliver less than 1.6x one shard.
+# than 10% below the baseline curve, (on a multi-core host) 2 shards
+# deliver less than 1.6x one shard, or the adaptive timing loop stops
+# beating the static plan on time-to-exact-count (see timing-check).
 bench-check:
 	cargo run --release --locked -p cde-bench --bin engine_bench -- \
 		BENCH_engine.fresh.json
 	cargo run --release --locked -p cde-bench --bin bench_check -- \
 		BENCH_engine.json BENCH_engine.fresh.json
+
+# The time-to-exact-count lane alone: static fixed-budget enumeration
+# vs the adaptive loop (per-ingress RTO + sequential stopping) under a
+# fixed-seed 30% Gilbert-Elliott fault plan. Fails unless both runs
+# recover the planted cache count exactly, the adaptive run stays
+# measurably cheaper in wall-clock and retransmits, and neither ratio
+# regresses past the committed baseline's.
+timing-check:
+	cargo run --release --locked -p cde-bench --bin engine_bench -- \
+		BENCH_engine.timing.fresh.json --timing-only
+	cargo run --release --locked -p cde-bench --bin bench_check -- \
+		BENCH_engine.json BENCH_engine.timing.fresh.json --timing-only
 
 lint:
 	cargo clippy --workspace --all-targets --locked -- -D warnings

@@ -2,7 +2,7 @@
 //! the committed baseline and fails when the reactor regresses.
 //!
 //! ```text
-//! bench_check <baseline.json> <fresh.json> [--max-regress 0.25] [--absolute]
+//! bench_check <baseline.json> <fresh.json> [--max-regress 0.25] [--absolute] [--timing-only]
 //! ```
 //!
 //! The default comparison is the `reactor_vs_blocking` *speedup ratio*
@@ -90,6 +90,85 @@ fn extract_scaling(json: &str) -> Vec<(u64, f64)> {
         .collect()
 }
 
+/// One `timing` line: the time-to-exact-count comparison of the
+/// adaptive loop (per-ingress RTO + sequential stopping) against the
+/// static fixed-budget plan, both under the same seeded bursty-loss
+/// recipe. Absent from reports older than the `"timing"` array.
+#[derive(Debug, PartialEq)]
+struct TimingLine {
+    seed: u64,
+    time_ratio: f64,
+    retx_ratio: f64,
+    exact: bool,
+}
+
+fn extract_timing(json: &str) -> Vec<TimingLine> {
+    json.lines()
+        .filter_map(|line| {
+            Some(TimingLine {
+                seed: field_f64(line, "seed")? as u64,
+                time_ratio: field_f64(line, "adaptive_vs_static_time")?,
+                retx_ratio: field_f64(line, "adaptive_vs_static_retransmits")?,
+                exact: field_f64(line, "exact")? == 1.0,
+            })
+        })
+        .collect()
+}
+
+/// Time-to-exact-count gates, active once the committed baseline
+/// carries a `timing` line. Per recipe (matched by seed):
+///
+/// * both runs must have recovered the planted cache count exactly
+///   (`exact` = 1) — a faster wrong count is a failure, not a win;
+/// * the adaptive loop must beat the static plan outright: duration
+///   and retransmit ratios under [`MAX_TIMING_RATIO`];
+/// * neither ratio may rise past the baseline's by more than twice
+///   `max_regress` (a timing ratio compounds two wall-clock
+///   measurements, so it gets double the throughput allowance).
+fn gate_timing(baseline: &str, fresh: &str, max_regress: f64) -> bool {
+    let base = extract_timing(baseline);
+    if base.is_empty() {
+        return false; // pre-adaptive baseline: the timing gates are off
+    }
+    let new = extract_timing(fresh);
+    let mut failed = false;
+    for was in &base {
+        let Some(now) = new.iter().find(|l| l.seed == was.seed) else {
+            eprintln!(
+                "FAIL timing: baseline has seed {} but fresh run lacks it",
+                was.seed
+            );
+            failed = true;
+            continue;
+        };
+        if !now.exact {
+            eprintln!(
+                "FAIL timing: seed {}: a run missed the planted cache count",
+                now.seed
+            );
+            failed = true;
+        }
+        for (name, now_v, was_v) in [
+            ("time", now.time_ratio, was.time_ratio),
+            ("retransmit", now.retx_ratio, was.retx_ratio),
+        ] {
+            let ceiling = (was_v * (1.0 + 2.0 * max_regress)).min(MAX_TIMING_RATIO);
+            let verdict = if now_v > ceiling { "FAIL" } else { "ok  " };
+            eprintln!(
+                "{verdict} timing: seed {} adaptive/static {name} ratio {now_v:.2} vs \
+                 baseline {was_v:.2} (ceiling {ceiling:.2})",
+                now.seed
+            );
+            failed |= now_v > ceiling;
+        }
+    }
+    failed
+}
+
+/// Hard upper bound on both timing ratios: whatever the baseline says,
+/// the adaptive loop must stay measurably cheaper than the static plan.
+const MAX_TIMING_RATIO: f64 = 0.95;
+
 /// The core count `engine_bench` detected when it wrote the report.
 fn detected_parallelism(json: &str) -> Option<u64> {
     json.lines()
@@ -161,7 +240,10 @@ fn gate_scaling(baseline: &str, fresh: &str) -> bool {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: bench_check <baseline.json> <fresh.json> [--max-regress 0.25] [--absolute]");
+    eprintln!(
+        "usage: bench_check <baseline.json> <fresh.json> \
+         [--max-regress 0.25] [--absolute] [--timing-only]"
+    );
     ExitCode::from(2)
 }
 
@@ -169,6 +251,7 @@ fn main() -> ExitCode {
     let mut paths: Vec<String> = Vec::new();
     let mut max_regress = 0.25f64;
     let mut absolute = false;
+    let mut timing_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -179,6 +262,7 @@ fn main() -> ExitCode {
                 max_regress = v;
             }
             "--absolute" => absolute = true,
+            "--timing-only" => timing_only = true,
             _ => paths.push(arg),
         }
     }
@@ -200,6 +284,22 @@ fn main() -> ExitCode {
     let (Some(baseline), Some(fresh)) = (read(baseline_path), read(fresh_path)) else {
         return ExitCode::from(2);
     };
+
+    // The dedicated timing lane: gate only the time-to-exact-count
+    // section (the fresh report may carry nothing else). Unlike the
+    // baseline-activated pass below, asking for it explicitly with no
+    // timing baseline is an input error, not a silent pass.
+    if timing_only {
+        if extract_timing(&baseline).is_empty() {
+            eprintln!("bench_check: --timing-only but {baseline_path} has no timing lines");
+            return ExitCode::from(2);
+        }
+        return if gate_timing(&baseline, &fresh, max_regress) {
+            ExitCode::from(1)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
 
     let metric = if absolute {
         "reactor probes/sec"
@@ -243,6 +343,10 @@ fn main() -> ExitCode {
     // per-shard efficiency vs baseline), likewise baseline-activated.
     failed |= gate_scaling(&baseline, &fresh);
 
+    // Time-to-exact-count gates (exactness, adaptive-beats-static,
+    // ratio regression), likewise baseline-activated.
+    failed |= gate_timing(&baseline, &fresh, max_regress);
+
     if failed {
         ExitCode::from(1)
     } else {
@@ -278,6 +382,7 @@ mod tests {
     use super::*;
 
     const REPORT: &str = r#"{
+  "seed": 11,
   "available_parallelism": 4,
   "runs": [
     {"backend": "blocking", "probes": 1000, "probes_per_sec": 13710.8, "latency_p50_us": 312},
@@ -299,6 +404,9 @@ mod tests {
     {"shards": 1, "probes": 10000, "probes_per_sec": 80000.0, "per_shard_probes_per_sec": 80000.0},
     {"shards": 2, "probes": 10000, "probes_per_sec": 150000.0, "per_shard_probes_per_sec": 75000.0},
     {"shards": 4, "probes": 10000, "probes_per_sec": 260000.0, "per_shard_probes_per_sec": 65000.0}
+  ],
+  "timing": [
+    {"seed": 17, "caches": 5, "static_elapsed_s": 6.5000, "static_retransmits": 66, "static_spent": 155, "adaptive_elapsed_s": 1.3000, "adaptive_retransmits": 24, "adaptive_spent": 52, "adaptive_vs_static_time": 0.20, "adaptive_vs_static_retransmits": 0.36, "exact": 1}
   ]
 }"#;
 
@@ -412,6 +520,80 @@ mod tests {
     #[test]
     fn scaling_gate_fails_when_fresh_run_drops_the_curve() {
         assert!(gate_scaling(REPORT, r#"{"speedup": []}"#));
+    }
+
+    #[test]
+    fn extracts_timing_line_but_not_the_top_level_seed() {
+        let lines = extract_timing(REPORT);
+        assert_eq!(
+            lines,
+            vec![TimingLine {
+                seed: 17,
+                time_ratio: 0.20,
+                retx_ratio: 0.36,
+                exact: true,
+            }],
+            "only the timing line carries both ratios"
+        );
+        assert!(extract_timing(r#"{"speedup": []}"#).is_empty());
+    }
+
+    #[test]
+    fn timing_gate_passes_on_identical_reports() {
+        assert!(!gate_timing(REPORT, REPORT, 0.25));
+    }
+
+    #[test]
+    fn timing_gate_is_off_without_a_baseline_line() {
+        assert!(!gate_timing(r#"{"speedup": []}"#, REPORT, 0.25));
+    }
+
+    #[test]
+    fn timing_gate_fails_when_a_run_misses_the_count() {
+        let inexact = REPORT.replace("\"exact\": 1", "\"exact\": 0");
+        assert!(gate_timing(REPORT, &inexact, 0.25));
+    }
+
+    #[test]
+    fn timing_gate_fails_when_adaptive_stops_beating_static() {
+        // Even with an absurdly lax regression allowance, the hard
+        // MAX_TIMING_RATIO ceiling keeps adaptive >= static a failure.
+        let slow = REPORT.replace(
+            "\"adaptive_vs_static_time\": 0.20",
+            "\"adaptive_vs_static_time\": 0.97",
+        );
+        assert!(gate_timing(REPORT, &slow, 10.0));
+    }
+
+    #[test]
+    fn timing_gate_fails_on_ratio_regression() {
+        // Baseline 0.20, allowance 2 x 25% -> ceiling 0.30; 0.36 fails.
+        let regressed = REPORT.replace(
+            "\"adaptive_vs_static_time\": 0.20",
+            "\"adaptive_vs_static_time\": 0.36",
+        );
+        assert!(gate_timing(REPORT, &regressed, 0.25));
+        // The same drift within the allowance passes.
+        let drifted = REPORT.replace(
+            "\"adaptive_vs_static_time\": 0.20",
+            "\"adaptive_vs_static_time\": 0.28",
+        );
+        assert!(!gate_timing(REPORT, &drifted, 0.25));
+    }
+
+    #[test]
+    fn timing_gate_fails_when_fresh_run_drops_the_line() {
+        assert!(gate_timing(REPORT, r#"{"speedup": []}"#, 0.25));
+    }
+
+    #[test]
+    fn timing_lines_do_not_leak_into_other_extractors() {
+        assert_eq!(extract(REPORT, false), vec![(1000, 5.54), (10000, 6.05)]);
+        assert_eq!(
+            extract_scaling(REPORT),
+            vec![(1, 80000.0), (2, 150000.0), (4, 260000.0)]
+        );
+        assert_eq!(extract_insight(REPORT), vec![(10000, 0.97)]);
     }
 
     #[test]

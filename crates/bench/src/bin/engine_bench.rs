@@ -15,18 +15,57 @@
 //! With `--metrics-out`, the final reactor run's metrics registry
 //! (engine counters, reactor health gauges, buffer-pool and telemetry
 //! stats) is written as a JSON snapshot alongside the bench results.
+//!
+//! A final `timing` section measures time-to-exact-count under a
+//! fixed-seed 30% Gilbert–Elliott fault plan: the static fixed-budget
+//! enumeration against the adaptive loop (per-ingress RTO table plus
+//! the sequential stopping planner), both required to recover the
+//! planted cache count exactly. `--timing-only` runs just that section
+//! (the dedicated CI timing lane).
+//!
+//! Every run in the report shares one process-wide ephemeral port
+//! range and warm platform state, so execution order is part of the
+//! measurement. The order is fixed — runs/speedup, insight, pulse,
+//! scaling (1→2→4→8 shards, stamped with an explicit `order`), timing
+//! — and the RNG seeds are stamped into the JSON so a re-run is
+//! bit-comparable.
 
-use cde_core::CdeInfra;
+use cde_core::{
+    enumerate_identical, enumerate_sequential, AccessProvider, CdeInfra, EnumerateOptions,
+    ProbePlan,
+};
 use cde_engine::scheduler::{run_campaign, run_campaign_pipelined, CampaignOptions, Probe};
 use cde_engine::{
-    CampaignReport, EngineClock, InsightOptions, LoopbackResolver, PulseOptions, Reactor,
-    ReactorConfig, ResolverConfig, RetryPolicy, UdpTransport,
+    AdaptiveRtoConfig, CampaignReport, EngineClock, InsightOptions, LiveTestbed, LoopbackResolver,
+    PulseOptions, Reactor, ReactorConfig, ResolverConfig, RetryPolicy, Transport, UdpTransport,
 };
+use cde_faults::FaultPlan;
+use cde_netsim::SimTime;
 use cde_platform::{NameserverNet, PlatformBuilder, SelectorKind};
 use std::net::{Ipv4Addr, SocketAddr};
 use std::time::{Duration, Instant};
 
 const INGRESS: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+/// Seed for the throughput runs (platform build, retry jitter).
+const BENCH_SEED: u64 = 11;
+/// Seed for the shard-scaling platform (distinct so its cache state
+/// never aliases the throughput platform's).
+const SCALING_SEED: u64 = 13;
+/// Fixed seed of the time-to-exact-count recipe: platform, fault plan
+/// and reactor RNG all derive from it, so the loss bursts land on the
+/// same probes every run.
+const TIMING_SEED: u64 = 17;
+/// Caches actually planted behind the timing ingress.
+const TIMING_CACHES: usize = 5;
+/// The `n_max` upper bound the static plan must budget for — the
+/// operator doesn't know the true count, which is what the sequential
+/// planner exploits.
+const TIMING_N_MAX: u64 = 16;
+/// Gilbert–Elliott loss rate / mean burst length on the query path.
+const TIMING_LOSS: f64 = 0.30;
+const TIMING_BURST: f64 = 3.0;
+/// Residual failure probability for the sequential stopping rule.
+const TIMING_EPSILON: f64 = 0.001;
 /// Probes the reactor keeps in flight. Enough to hide the resolver's
 /// per-datagram service time, yet small enough that the resolver's
 /// receive queue stays under the default kernel socket buffer
@@ -129,17 +168,167 @@ fn probe_batch(honey: &cde_dns::Name, count: usize) -> Vec<Probe> {
         .collect()
 }
 
+/// Conservative static policy for the timing lane: the timeout an
+/// operator would pick without RTT knowledge. The adaptive RTO table
+/// can only tighten per-attempt deadlines below it, never past it.
+fn timing_policy() -> RetryPolicy {
+    RetryPolicy {
+        attempts: 6,
+        timeout: Duration::from_millis(100),
+        backoff: 1.0,
+        base_delay: Duration::from_millis(1),
+        jitter: 0.0,
+    }
+}
+
+struct TimingStats {
+    elapsed: Duration,
+    retransmits: u64,
+    spent: u64,
+    observed: u64,
+}
+
+/// One time-to-exact-count run: a fresh planted platform, real loopback
+/// UDP, and the fixed-seed bursty fault plan in front of the reactor.
+/// `adaptive` switches on both halves of the adaptive loop — the
+/// per-ingress RTO table (retransmit deadlines learned from live RTT)
+/// and the sequential stopping planner (the campaign ends the moment
+/// the exact-count criterion holds instead of spending the full
+/// worst-case budget). Both variants see identical platforms and fault
+/// sequences because everything derives from `TIMING_SEED`.
+fn timing_run(adaptive: bool) -> TimingStats {
+    let mut net = NameserverNet::new();
+    let mut infra = CdeInfra::install(&mut net);
+    let session = infra.new_session(&mut net, 0);
+    let platform = PlatformBuilder::new(TIMING_SEED)
+        .ingress(vec![INGRESS])
+        .egress((1..=3).map(|d| Ipv4Addr::new(192, 0, 3, d)).collect())
+        .cluster(TIMING_CACHES, SelectorKind::Random)
+        .build();
+    let testbed =
+        LiveTestbed::launch(platform, net, ResolverConfig::default()).expect("timing testbed");
+    let config = ReactorConfig {
+        faults: Some(FaultPlan::bursty(TIMING_SEED, TIMING_LOSS, TIMING_BURST)),
+        adaptive: adaptive.then(AdaptiveRtoConfig::default),
+        ..ReactorConfig::with_policy(timing_policy(), TIMING_SEED)
+    };
+    let mut transport = testbed.reactor_transport(config).expect("timing transport");
+    // The plan an operator would run blind: budget for `n_max` caches
+    // at the hinted loss, even though only `TIMING_CACHES` exist.
+    let plan = ProbePlan::for_bursty_target(TIMING_N_MAX, TIMING_LOSS, TIMING_BURST);
+    let opts = EnumerateOptions {
+        probes: plan.probes,
+        redundancy: plan.redundancy,
+        ..EnumerateOptions::default()
+    };
+    let start = Instant::now();
+    let (spent, observed) = {
+        let mut access = transport.channel(INGRESS);
+        if adaptive {
+            let r = enumerate_sequential(
+                &mut access,
+                &infra,
+                &session,
+                opts,
+                TIMING_EPSILON,
+                SimTime::ZERO,
+            );
+            (r.enumeration.probes, r.enumeration.observed)
+        } else {
+            let e = enumerate_identical(&mut access, &infra, &session, opts, SimTime::ZERO);
+            (e.probes, e.observed)
+        }
+    };
+    TimingStats {
+        elapsed: start.elapsed(),
+        retransmits: transport.metrics().snapshot().retries,
+        spent,
+        observed,
+    }
+}
+
+/// Runs the static baseline then the adaptive variant (order fixed:
+/// the lane's two testbeds bind from the same ephemeral port range)
+/// and renders the one-line `timing` JSON entry.
+fn timing_section() -> String {
+    let fixed = timing_run(false);
+    let adaptive = timing_run(true);
+    let time_ratio = adaptive.elapsed.as_secs_f64() / fixed.elapsed.as_secs_f64();
+    let retx_ratio = adaptive.retransmits as f64 / fixed.retransmits.max(1) as f64;
+    let exact = (fixed.observed == TIMING_CACHES as u64
+        && adaptive.observed == TIMING_CACHES as u64) as u32;
+    eprintln!(
+        "timing    static    {:>6.2}s  {:>4} retransmits  {:>4} spent  observed {}",
+        fixed.elapsed.as_secs_f64(),
+        fixed.retransmits,
+        fixed.spent,
+        fixed.observed,
+    );
+    eprintln!(
+        "timing    adaptive  {:>6.2}s  {:>4} retransmits  {:>4} spent  observed {}",
+        adaptive.elapsed.as_secs_f64(),
+        adaptive.retransmits,
+        adaptive.spent,
+        adaptive.observed,
+    );
+    eprintln!(
+        "timing    adaptive/static  time {time_ratio:.2}x  retransmits {retx_ratio:.2}x  exact {exact}"
+    );
+    format!(
+        concat!(
+            "    {{\"seed\": {}, \"caches\": {}, \"n_max_hint\": {}, ",
+            "\"loss\": {}, \"mean_burst\": {}, \"epsilon\": {}, ",
+            "\"static_elapsed_s\": {:.4}, \"static_retransmits\": {}, \"static_spent\": {}, ",
+            "\"adaptive_elapsed_s\": {:.4}, \"adaptive_retransmits\": {}, \"adaptive_spent\": {}, ",
+            "\"adaptive_vs_static_time\": {:.4}, \"adaptive_vs_static_retransmits\": {:.4}, ",
+            "\"exact\": {}}}"
+        ),
+        TIMING_SEED,
+        TIMING_CACHES,
+        TIMING_N_MAX,
+        TIMING_LOSS,
+        TIMING_BURST,
+        TIMING_EPSILON,
+        fixed.elapsed.as_secs_f64(),
+        fixed.retransmits,
+        fixed.spent,
+        adaptive.elapsed.as_secs_f64(),
+        adaptive.retransmits,
+        adaptive.spent,
+        time_ratio,
+        retx_ratio,
+        exact,
+    )
+}
+
 fn main() {
     let mut out_path = "BENCH_engine.json".to_string();
     let mut metrics_out: Option<String> = None;
+    let mut timing_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--metrics-out" => {
                 metrics_out = Some(args.next().expect("--metrics-out needs a path"));
             }
+            "--timing-only" => timing_only = true,
             other => out_path = other.to_string(),
         }
+    }
+
+    // The dedicated CI timing lane: just the time-to-exact-count
+    // comparison, written as a report `bench_check --timing-only` can
+    // hold against the committed baseline's `timing` section.
+    if timing_only {
+        let timing_json = timing_section();
+        let json = format!(
+            "{{\n  \"bench\": \"engine_time_to_exact_count\",\n  \
+             \"description\": \"static fixed-budget enumeration vs adaptive RTO + sequential stopping under bursty loss\",\n  \
+             \"seed\": {TIMING_SEED},\n  \"timing\": [\n{timing_json}\n  ]\n}}\n",
+        );
+        std::fs::write(&out_path, &json).expect("write bench output");
+        eprintln!("wrote {out_path}");
+        return;
     }
 
     // One resolver serves every run: a platform with a couple of caches
@@ -149,7 +338,7 @@ fn main() {
     let mut net = NameserverNet::new();
     let mut infra = CdeInfra::install(&mut net);
     let session = infra.new_session(&mut net, 0);
-    let platform = PlatformBuilder::new(11)
+    let platform = PlatformBuilder::new(BENCH_SEED)
         .ingress(vec![INGRESS])
         .egress(vec![Ipv4Addr::new(192, 0, 3, 1)])
         .cluster(2, SelectorKind::Random)
@@ -173,7 +362,7 @@ fn main() {
             addrs.clone(),
             ReactorConfig {
                 shards: 1,
-                ..ReactorConfig::with_policy(bench_policy(), 11)
+                ..ReactorConfig::with_policy(bench_policy(), BENCH_SEED)
             },
         )
         .expect("warmup reactor");
@@ -198,7 +387,7 @@ fn main() {
                     addrs_for_worker.clone(),
                     NameserverNet::new(),
                     bench_policy(),
-                    11,
+                    BENCH_SEED,
                 )
                 .expect("blocking transport")
             },
@@ -224,7 +413,7 @@ fn main() {
             ReactorConfig {
                 shards: 1,
                 registry: Some(std::sync::Arc::clone(&registry)),
-                ..ReactorConfig::with_policy(bench_policy(), 11)
+                ..ReactorConfig::with_policy(bench_policy(), BENCH_SEED)
             },
         )
         .expect("reactor");
@@ -259,7 +448,7 @@ fn main() {
                 ReactorConfig {
                     shards: 1,
                     insight: Some(InsightOptions::default()),
-                    ..ReactorConfig::with_policy(bench_policy(), 11)
+                    ..ReactorConfig::with_policy(bench_policy(), BENCH_SEED)
                 },
             )
             .expect("insight reactor");
@@ -292,7 +481,7 @@ fn main() {
                 ReactorConfig {
                     shards: 1,
                     pulse: Some(PulseOptions::default()),
-                    ..ReactorConfig::with_policy(bench_policy(), 11)
+                    ..ReactorConfig::with_policy(bench_policy(), BENCH_SEED)
                 },
             )
             .expect("pulse reactor");
@@ -351,7 +540,7 @@ fn main() {
     // `bench_check` reads the recorded `available_parallelism` and only
     // expects speedup where cores exist.
     let scaling_ingresses: Vec<Ipv4Addr> = (11..=18).map(|d| Ipv4Addr::new(192, 0, 2, d)).collect();
-    let scaling_platform = PlatformBuilder::new(13)
+    let scaling_platform = PlatformBuilder::new(SCALING_SEED)
         .ingress(scaling_ingresses.clone())
         .egress(vec![Ipv4Addr::new(192, 0, 3, 2)])
         .cluster(2, SelectorKind::Random)
@@ -382,21 +571,21 @@ fn main() {
             scaling_addrs.clone(),
             ReactorConfig {
                 shards: 1,
-                ..ReactorConfig::with_policy(bench_policy(), 11)
+                ..ReactorConfig::with_policy(bench_policy(), BENCH_SEED)
             },
         )
         .expect("scaling warmup reactor");
         run_campaign_pipelined(&reactor, scaling_probes(2_000), REACTOR_WINDOW);
     }
-    let mut scaling: Vec<(usize, f64)> = Vec::new();
-    for shards in [1usize, 2, 4, 8] {
+    let mut scaling: Vec<(usize, usize, f64)> = Vec::new();
+    for (order, shards) in [1usize, 2, 4, 8].into_iter().enumerate() {
         let reactor = Reactor::launch(
             scaling_addrs.clone(),
             ReactorConfig {
                 shards,
                 sockets: 2 * shards,
                 max_in_flight: 256 * shards,
-                ..ReactorConfig::with_policy(bench_policy(), 11)
+                ..ReactorConfig::with_policy(bench_policy(), BENCH_SEED)
             },
         )
         .expect("scaling reactor");
@@ -417,8 +606,13 @@ fn main() {
             pps / shards as f64,
             report.answered(),
         );
-        scaling.push((shards, pps));
+        scaling.push((order, shards, pps));
     }
+
+    // Time-to-exact-count lane, last: its testbeds draw from the same
+    // process-wide port range as every run above, so its place in the
+    // order is part of the recipe.
+    let timing_json = timing_section();
 
     let runs_json: Vec<String> = runs
         .iter()
@@ -438,9 +632,9 @@ fn main() {
         .collect();
     let scaling_json: Vec<String> = scaling
         .iter()
-        .map(|(shards, pps)| {
+        .map(|(order, shards, pps)| {
             format!(
-                "    {{\"shards\": {shards}, \"probes\": {scaling_count}, \
+                "    {{\"order\": {order}, \"shards\": {shards}, \"probes\": {scaling_count}, \
                  \"probes_per_sec\": {pps:.1}, \
                  \"per_shard_probes_per_sec\": {:.1}}}",
                 pps / *shards as f64
@@ -450,9 +644,10 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"engine_campaign_throughput\",\n  \
          \"description\": \"loopback probe campaigns, blocking worker pool vs event-driven reactor\",\n  \
-         \"available_parallelism\": {},\n  \"reactor_window\": {},\n  \
+         \"seed\": {},\n  \"available_parallelism\": {},\n  \"reactor_window\": {},\n  \
          \"runs\": [\n{}\n  ],\n  \"speedup\": [\n{}\n  ],\n  \"insight\": [\n{}\n  ],\n  \
-         \"pulse\": [\n{}\n  ],\n  \"scaling\": [\n{}\n  ]\n}}\n",
+         \"pulse\": [\n{}\n  ],\n  \"scaling\": [\n{}\n  ],\n  \"timing\": [\n{}\n  ]\n}}\n",
+        BENCH_SEED,
         std::thread::available_parallelism().map_or(0, usize::from),
         REACTOR_WINDOW,
         runs_json.join(",\n"),
@@ -460,6 +655,7 @@ fn main() {
         insight_json.join(",\n"),
         pulse_json.join(",\n"),
         scaling_json.join(",\n"),
+        timing_json,
     );
     std::fs::write(&out_path, &json).expect("write bench output");
     eprintln!("wrote {out_path}");

@@ -35,7 +35,7 @@ pub struct Enumeration {
 }
 
 impl Enumeration {
-    fn from_counts(probes: u64, delivered: u64, observed: u64) -> Enumeration {
+    pub(crate) fn from_counts(probes: u64, delivered: u64, observed: u64) -> Enumeration {
         // ω can exceed the probe count under response loss + upstream
         // retries; clamp for the estimator's precondition.
         let clamped = observed.min(probes.max(1));

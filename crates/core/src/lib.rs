@@ -20,6 +20,10 @@
 //!   (§IV-B3),
 //! * [`planner`] — loss measurement, carpet bombing and query budgets
 //!   (§V),
+//! * [`sequential`] — sequential stopping: keep the coupon-collector
+//!   posterior as distinct-cache evidence arrives and end the campaign
+//!   the moment the exact-count criterion holds, instead of running
+//!   fixed-`q` plans to exhaustion,
 //! * [`survey`] — the end-to-end pipeline producing everything the
 //!   paper's evaluation reports per network.
 //!
@@ -63,6 +67,7 @@ pub mod longitudinal;
 pub mod mapping;
 pub mod planner;
 pub mod resilience;
+pub mod sequential;
 pub mod survey;
 pub mod timing;
 
@@ -87,6 +92,7 @@ pub use resilience::{
     expected_attack_attempts, poisoning_success_probability, simulate_attack_campaign,
     CampaignOutcome,
 };
+pub use sequential::{enumerate_sequential, SequentialEnumeration, SequentialPlanner};
 pub use survey::{
     discover_egress_adaptive, enumerate_adaptive, survey_platform, survey_platform_with,
     validate_survey, PlatformSurvey, SurveyOptions,

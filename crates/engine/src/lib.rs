@@ -40,6 +40,14 @@
 //!   the six hot-path phases (timers, encode, send-batch, recv-batch,
 //!   decode, correlate) — the capture tier of the §IV-B3 latency side
 //!   channel.
+//! * [`rto`] — [`RtoTable`](rto::RtoTable): per-ingress adaptive
+//!   retransmission timeouts (the RFC 6298 estimator from `cde-insight`
+//!   in atomic cells). With
+//!   [`ReactorConfig::adaptive`](reactor::ReactorConfig::adaptive) set,
+//!   the shard loops arm learned deadlines instead of the static
+//!   [`RetryPolicy`](retry::RetryPolicy) schedule (which remains the
+//!   upper bound), so lossy-path campaigns stop paying worst-case
+//!   retransmit budgets.
 //! * [`scheduler`] — campaign execution: crossbeam worker pools, bounded
 //!   in-flight probes, token-bucket rate limiting, loss feedback into
 //!   `cde-core::planner`; [`PipelinedCampaign`](scheduler::PipelinedCampaign)
@@ -78,6 +86,7 @@ pub mod ratelimit;
 pub mod reactor;
 pub mod resolver;
 pub mod retry;
+pub mod rto;
 pub mod scheduler;
 mod shard;
 pub mod sim;
@@ -101,6 +110,7 @@ pub use reactor::{
 };
 pub use resolver::{LoopbackResolver, ResolverConfig};
 pub use retry::RetryPolicy;
+pub use rto::{AdaptiveRtoConfig, RtoTable};
 pub use scheduler::{
     run_campaign, run_campaign_pipelined, run_campaign_pipelined_reported, CampaignOptions,
     CampaignReport, PipelinedCampaign, Probe, ProbeOutcome,

@@ -110,6 +110,14 @@ pub struct MetricsBlock {
     wake_latency_us: AtomicU64,
     /// Slowest single wake-to-first-poll, in microseconds.
     wake_latency_max_us: AtomicU64,
+    /// Sends whose deadline came from the adaptive RTO table rather
+    /// than the static retry schedule.
+    adaptive_deadlines: AtomicU64,
+    /// Deadline expiries that backed a learned per-ingress RTO off.
+    rto_backoffs: AtomicU64,
+    /// Loss-aware submit window currently applied by the pipelined
+    /// scheduler (0 when pacing is off or before the first adjustment).
+    paced_window: AtomicU64,
 }
 
 impl MetricsBlock {
@@ -231,6 +239,21 @@ impl MetricsBlock {
         self.wake_latency_max_us.fetch_max(us, Ordering::Relaxed);
     }
 
+    /// Records one send armed with an adaptive (learned) deadline.
+    pub fn record_adaptive_deadline(&self) {
+        self.adaptive_deadlines.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one deadline expiry backing a learned RTO off.
+    pub fn record_rto_backoff(&self) {
+        self.rto_backoffs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sets the loss-aware submit-window gauge.
+    pub fn set_paced_window(&self, n: u64) {
+        self.paced_window.store(n, Ordering::Relaxed);
+    }
+
     /// Takes a point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut latency_buckets = [0u64; BUCKETS];
@@ -277,6 +300,9 @@ impl MetricsBlock {
             unparks: self.unparks.load(Ordering::Relaxed),
             wake_latency_us: self.wake_latency_us.load(Ordering::Relaxed),
             wake_latency_max_us: self.wake_latency_max_us.load(Ordering::Relaxed),
+            adaptive_deadlines: self.adaptive_deadlines.load(Ordering::Relaxed),
+            rto_backoffs: self.rto_backoffs.load(Ordering::Relaxed),
+            paced_window: self.paced_window.load(Ordering::Relaxed),
         }
     }
 }
@@ -444,6 +470,21 @@ impl EngineMetrics {
     pub fn record_wake_latency(&self, latency: Duration) {
         self.blocks[0].record_wake_latency(latency);
     }
+
+    /// Records one send armed with an adaptive (learned) deadline.
+    pub fn record_adaptive_deadline(&self) {
+        self.blocks[0].record_adaptive_deadline();
+    }
+
+    /// Records one deadline expiry backing a learned RTO off.
+    pub fn record_rto_backoff(&self) {
+        self.blocks[0].record_rto_backoff();
+    }
+
+    /// Sets the loss-aware submit-window gauge.
+    pub fn set_paced_window(&self, n: u64) {
+        self.blocks[0].set_paced_window(n);
+    }
 }
 
 /// Point-in-time copy of a [`MetricsBlock`] (or of a whole
@@ -518,6 +559,13 @@ pub struct MetricsSnapshot {
     /// Slowest single wake-to-first-poll, in microseconds (max across
     /// shards when merged).
     pub wake_latency_max_us: u64,
+    /// Sends whose deadline came from the adaptive RTO table.
+    pub adaptive_deadlines: u64,
+    /// Deadline expiries that backed a learned per-ingress RTO off.
+    pub rto_backoffs: u64,
+    /// Loss-aware submit window at snapshot time (0 when pacing is off;
+    /// summed when merged, but only block 0's scheduler ever sets it).
+    pub paced_window: u64,
 }
 
 impl MetricsSnapshot {
@@ -563,6 +611,9 @@ impl MetricsSnapshot {
         self.unparks += other.unparks;
         self.wake_latency_us += other.wake_latency_us;
         self.wake_latency_max_us = self.wake_latency_max_us.max(other.wake_latency_max_us);
+        self.adaptive_deadlines += other.adaptive_deadlines;
+        self.rto_backoffs += other.rto_backoffs;
+        self.paced_window += other.paced_window;
     }
 
     /// Observed datagram loss rate: unanswered sends over sends.
@@ -846,6 +897,21 @@ fn collect_snapshot(s: &MetricsSnapshot, shard: Option<u64>, out: &mut Vec<Metri
         "cde_engine_duty_cycle",
         "Reactor loop time over loop-plus-parked time (1.0 = never idle)",
         s.duty_cycle().unwrap_or(0.0),
+    )));
+    out.push(label(Metric::counter(
+        "cde_engine_adaptive_deadlines_total",
+        "Sends armed with a learned (adaptive RTO) deadline",
+        s.adaptive_deadlines,
+    )));
+    out.push(label(Metric::counter(
+        "cde_engine_rto_backoffs_total",
+        "Deadline expiries that backed a learned per-ingress RTO off",
+        s.rto_backoffs,
+    )));
+    out.push(label(Metric::gauge(
+        "cde_engine_paced_window",
+        "Loss-aware submit window applied by the pipelined scheduler",
+        s.paced_window as f64,
     )));
     out.push(label(Metric::gauge(
         "cde_engine_wheel_pending",

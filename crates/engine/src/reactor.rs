@@ -40,6 +40,7 @@ use crate::metrics::EngineMetrics;
 use crate::ratelimit::RateLimiter;
 use crate::resolver::LoopbackResolver;
 use crate::retry::RetryPolicy;
+use crate::rto::RtoTable;
 pub use crate::shard::shard_for_target;
 use crate::shard::{empty_slots, FaultLayer, ShardLoop, ShardWaker, Submission};
 use crate::timer::TimerWheel;
@@ -130,6 +131,15 @@ pub struct ReactorConfig {
     /// [`Reactor::exemplars`]; cde-serve attaches it to its
     /// [`Pulse`](cde_pulse::Pulse) so `/v1/health` carries exemplars.
     pub pulse: Option<PulseOptions>,
+    /// Adaptive per-ingress retransmission timeouts: when set, the shard
+    /// loops arm deadlines from a learned [`RtoTable`] (RFC 6298
+    /// SRTT/RTTVAR/RTO per target ingress) instead of the static
+    /// [`policy`](Self::policy) schedule — the policy's `timeout_for`
+    /// stays the per-attempt upper bound, so every grace computed from
+    /// [`RetryPolicy::worst_case`] remains valid. The table registers
+    /// into [`registry`](Self::registry) and is obtained from
+    /// [`Reactor::rto`].
+    pub adaptive: Option<crate::rto::AdaptiveRtoConfig>,
 }
 
 /// Knobs for the reactor's health-capture tier.
@@ -208,6 +218,7 @@ impl Default for ReactorConfig {
             faults: None,
             insight: None,
             pulse: None,
+            adaptive: None,
         }
     }
 }
@@ -329,6 +340,7 @@ pub struct ShardedReactor {
     policy: RetryPolicy,
     fault_stats: Option<Arc<FaultStats>>,
     insight: Option<Arc<ReactorInsight>>,
+    rto: Option<Arc<RtoTable>>,
     shutdown: Arc<AtomicBool>,
     drain: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
@@ -381,6 +393,10 @@ impl ShardedReactor {
             .pulse
             .as_ref()
             .map(|opts| Arc::new(ExemplarReservoir::with_capacity(opts.exemplars)));
+        let rto = config
+            .adaptive
+            .as_ref()
+            .map(|cfg| Arc::new(RtoTable::for_targets(targets.keys().copied(), *cfg)));
         if let Some(registry) = &config.registry {
             registry.register(Arc::clone(&metrics) as Arc<dyn cde_telemetry::Collector>);
             registry.register(Arc::clone(&telemetry) as Arc<dyn cde_telemetry::Collector>);
@@ -394,6 +410,9 @@ impl ShardedReactor {
                 registry
                     .register(Arc::clone(&insight.digests) as Arc<dyn cde_telemetry::Collector>);
                 registry.register(Arc::clone(&insight.phases) as Arc<dyn cde_telemetry::Collector>);
+            }
+            if let Some(rto) = &rto {
+                registry.register(Arc::clone(rto) as Arc<dyn cde_telemetry::Collector>);
             }
         }
         let mut rings = Vec::with_capacity(shards);
@@ -458,6 +477,7 @@ impl ShardedReactor {
                 insight: insight.as_ref().map(Arc::clone),
                 shard_id: i as u32,
                 exemplars: exemplars.as_ref().map(Arc::clone),
+                rto: rto.as_ref().map(Arc::clone),
             };
             let thread = std::thread::Builder::new()
                 .name(format!("cde-reactor-{i}"))
@@ -482,6 +502,7 @@ impl ShardedReactor {
             policy: config.policy,
             fault_stats,
             insight,
+            rto,
             shutdown,
             drain,
             threads,
@@ -533,6 +554,13 @@ impl ShardedReactor {
     /// unless the reactor was launched with [`ReactorConfig::insight`].
     pub fn insight(&self) -> Option<Arc<ReactorInsight>> {
         self.insight.as_ref().map(Arc::clone)
+    }
+
+    /// The per-ingress adaptive RTO table — `None` unless the reactor
+    /// was launched with [`ReactorConfig::adaptive`]. cde-serve snapshots
+    /// and restores the learned state through this at checkpoint time.
+    pub fn rto(&self) -> Option<Arc<RtoTable>> {
+        self.rto.as_ref().map(Arc::clone)
     }
 
     /// The slow-probe exemplar reservoir — `None` unless the reactor was

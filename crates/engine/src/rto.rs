@@ -1,0 +1,382 @@
+//! Per-ingress adaptive retransmission timeouts: the engine's wrapper
+//! around [`cde_insight::RttEstimator`].
+//!
+//! One [`RtoTable`] is shared by every shard of a reactor, holding one
+//! atomic cell per target ingress. The sharded design makes the cells
+//! effectively single-writer: an ingress is owned by exactly one shard
+//! ([`crate::shard_for_target`]), so only that shard's loop ever mutates
+//! the cell — load the packed state, run the pure estimator, store it
+//! back, no CAS loop needed. Concurrent readers (the Prometheus
+//! [`Collector`], cde-serve's checkpointer) see per-field torn snapshots
+//! at worst, which telemetry and checkpoints tolerate by construction
+//! (a checkpoint is taken at a quiesce point anyway).
+//!
+//! The table answers one question on the hot path —
+//! [`deadline_for`](RtoTable::deadline_for): how long should *this*
+//! attempt toward *this* ingress wait before retransmitting? The answer
+//! is the learned RTO, doubled per retransmission attempt (RFC 6298
+//! §5.5 applies backoff per attempt, not only per expiry), with a
+//! deterministic 1-in-[`explore_every`](AdaptiveRtoConfig::explore_every)
+//! send using the tighter exploration band once backoff has inflated the
+//! RTO past `srtt + band` — so a healed path is rediscovered without
+//! waiting out the penalty.
+
+pub use cde_insight::EstimatorSnapshot;
+
+use cde_insight::{RttConfig, RttEstimator};
+use cde_telemetry::{Collector, Metric};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Tuning for a reactor's adaptive-RTO tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveRtoConfig {
+    /// Estimator bounds and constants (see [`RttConfig`]).
+    pub rtt: RttConfig,
+    /// Deterministic exploration cadence: every N-th send toward an
+    /// ingress whose RTO is backed off past the band uses the tighter
+    /// `srtt + band` deadline instead. 0 disables exploration.
+    pub explore_every: u32,
+}
+
+impl Default for AdaptiveRtoConfig {
+    fn default() -> AdaptiveRtoConfig {
+        AdaptiveRtoConfig {
+            rtt: RttConfig::default(),
+            explore_every: 16,
+        }
+    }
+}
+
+/// One ingress's estimator state, packed into atomics. Field order and
+/// meaning mirror [`EstimatorSnapshot`]; `sends` is the exploration
+/// cadence counter (engine-side state, not checkpointed).
+#[derive(Debug, Default)]
+struct Cell {
+    srtt_us: AtomicU64,
+    rttvar_us: AtomicU64,
+    rto_us: AtomicU64,
+    timeout_count: AtomicU64,
+    samples: AtomicU64,
+    timeouts: AtomicU64,
+    sends: AtomicU64,
+}
+
+impl Cell {
+    fn load(&self) -> EstimatorSnapshot {
+        EstimatorSnapshot {
+            srtt_us: self.srtt_us.load(Ordering::Relaxed),
+            rttvar_us: self.rttvar_us.load(Ordering::Relaxed),
+            rto_us: self.rto_us.load(Ordering::Relaxed),
+            timeout_count: self
+                .timeout_count
+                .load(Ordering::Relaxed)
+                .min(u64::from(u32::MAX)) as u32,
+            samples: self.samples.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+        }
+    }
+
+    fn store(&self, snap: &EstimatorSnapshot) {
+        self.srtt_us.store(snap.srtt_us, Ordering::Relaxed);
+        self.rttvar_us.store(snap.rttvar_us, Ordering::Relaxed);
+        self.rto_us.store(snap.rto_us, Ordering::Relaxed);
+        self.timeout_count
+            .store(u64::from(snap.timeout_count), Ordering::Relaxed);
+        self.samples.store(snap.samples, Ordering::Relaxed);
+        self.timeouts.store(snap.timeouts, Ordering::Relaxed);
+    }
+
+    fn estimator(&self, config: RttConfig) -> RttEstimator {
+        let snap = self.load();
+        if snap.rto_us == 0 {
+            // Untouched cell: the zeroed snapshot is not a valid state.
+            RttEstimator::new(config)
+        } else {
+            RttEstimator::from_snapshot(&snap, config)
+        }
+    }
+}
+
+/// Per-ingress adaptive RTO state for one reactor. See the module docs
+/// for the ownership story; construction fixes the key set, so lookups
+/// after launch never allocate or lock.
+#[derive(Debug)]
+pub struct RtoTable {
+    config: AdaptiveRtoConfig,
+    cells: HashMap<Ipv4Addr, Cell>,
+}
+
+impl RtoTable {
+    /// A table with one fresh cell per target ingress.
+    pub fn for_targets(
+        targets: impl IntoIterator<Item = Ipv4Addr>,
+        config: AdaptiveRtoConfig,
+    ) -> RtoTable {
+        RtoTable {
+            config,
+            cells: targets
+                .into_iter()
+                .map(|ip| (ip, Cell::default()))
+                .collect(),
+        }
+    }
+
+    /// The table's tuning.
+    pub fn config(&self) -> AdaptiveRtoConfig {
+        self.config
+    }
+
+    /// The deadline the owning shard should arm for this send: the
+    /// learned RTO doubled per retransmission attempt (clamped to the
+    /// config bounds), with the deterministic exploration cadence
+    /// substituting the tighter band deadline on first attempts.
+    pub fn deadline_for(&self, ingress: Ipv4Addr, attempt: u32) -> Duration {
+        let Some(cell) = self.cells.get(&ingress) else {
+            return self.config.rtt.initial_rto;
+        };
+        let est = cell.estimator(self.config.rtt);
+        let sends = cell.sends.fetch_add(1, Ordering::Relaxed);
+        let mut rto_us = est.rto_us();
+        if attempt == 0 && self.config.explore_every > 0 {
+            if let Some(banded) = est.explore_rto_us() {
+                if sends % u64::from(self.config.explore_every) == 0 {
+                    rto_us = banded;
+                }
+            }
+        }
+        let scaled = rto_us.saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX));
+        Duration::from_micros(self.config.rtt.clamp_us(scaled))
+    }
+
+    /// Feeds one unambiguous first-attempt RTT sample (Karn's rule is
+    /// the caller's responsibility — the shard only calls this for
+    /// attempt-0 replies).
+    pub fn observe_rtt(&self, ingress: Ipv4Addr, rtt_us: u64) {
+        self.update(ingress, |est| est.observe_rtt(rtt_us));
+    }
+
+    /// Registers a retransmission deadline expiry toward `ingress`.
+    pub fn observe_timeout(&self, ingress: Ipv4Addr) {
+        self.update(ingress, RttEstimator::observe_timeout);
+    }
+
+    /// Registers a delivery whose RTT is retransmit-ambiguous: clears
+    /// the backoff without absorbing a sample.
+    pub fn observe_delivery_ambiguous(&self, ingress: Ipv4Addr) {
+        self.update(ingress, RttEstimator::observe_delivery_ambiguous);
+    }
+
+    fn update(&self, ingress: Ipv4Addr, f: impl FnOnce(&mut RttEstimator)) {
+        if let Some(cell) = self.cells.get(&ingress) {
+            let mut est = cell.estimator(self.config.rtt);
+            f(&mut est);
+            cell.store(&est.snapshot());
+        }
+    }
+
+    /// The learned state for one ingress — `None` for an ingress the
+    /// table was not built with.
+    pub fn snapshot(&self, ingress: Ipv4Addr) -> Option<EstimatorSnapshot> {
+        self.cells
+            .get(&ingress)
+            .map(|cell| cell.estimator(self.config.rtt).snapshot())
+    }
+
+    /// Every ingress's learned state, sorted by address (stable output
+    /// for checkpoints and reports).
+    pub fn snapshots(&self) -> Vec<(Ipv4Addr, EstimatorSnapshot)> {
+        let mut out: Vec<(Ipv4Addr, EstimatorSnapshot)> = self
+            .cells
+            .iter()
+            .map(|(ip, cell)| (*ip, cell.estimator(self.config.rtt).snapshot()))
+            .collect();
+        out.sort_by_key(|(ip, _)| *ip);
+        out
+    }
+
+    /// Rehydrates one ingress's state from a checkpoint. Ingresses the
+    /// table was not built with are ignored (the campaign's target set
+    /// is authoritative).
+    pub fn restore(&self, ingress: Ipv4Addr, snap: &EstimatorSnapshot) {
+        if let Some(cell) = self.cells.get(&ingress) {
+            cell.store(&RttEstimator::from_snapshot(snap, self.config.rtt).snapshot());
+        }
+    }
+}
+
+impl Collector for RtoTable {
+    fn collect(&self, out: &mut Vec<Metric>) {
+        for (ip, snap) in self.snapshots() {
+            let ingress = ip.to_string();
+            out.push(
+                Metric::gauge(
+                    "cde_engine_rto_seconds",
+                    "Learned per-ingress retransmission timeout",
+                    snap.rto_us as f64 / 1e6,
+                )
+                .with_label("ingress", ingress.clone()),
+            );
+            out.push(
+                Metric::gauge(
+                    "cde_engine_srtt_seconds",
+                    "Smoothed per-ingress round-trip time (RFC 6298)",
+                    snap.srtt_us as f64 / 1e6,
+                )
+                .with_label("ingress", ingress.clone()),
+            );
+            out.push(
+                Metric::gauge(
+                    "cde_engine_rttvar_seconds",
+                    "Smoothed per-ingress RTT mean deviation",
+                    snap.rttvar_us as f64 / 1e6,
+                )
+                .with_label("ingress", ingress.clone()),
+            );
+            out.push(
+                Metric::counter(
+                    "cde_engine_rto_timeouts_total",
+                    "Deadline expiries absorbed by the per-ingress estimator",
+                    snap.timeouts,
+                )
+                .with_label("ingress", ingress),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(ips: &[Ipv4Addr]) -> RtoTable {
+        RtoTable::for_targets(ips.iter().copied(), AdaptiveRtoConfig::default())
+    }
+
+    #[test]
+    fn fresh_table_serves_the_initial_rto() {
+        let ip = Ipv4Addr::new(192, 0, 2, 1);
+        let t = table(&[ip]);
+        assert_eq!(t.deadline_for(ip, 0), Duration::from_millis(376));
+        // Unknown ingresses fall back to the initial RTO too.
+        assert_eq!(
+            t.deadline_for(Ipv4Addr::new(203, 0, 113, 9), 0),
+            Duration::from_millis(376)
+        );
+    }
+
+    #[test]
+    fn samples_tighten_and_timeouts_back_off() {
+        let ip = Ipv4Addr::new(192, 0, 2, 2);
+        let t = table(&[ip]);
+        for _ in 0..16 {
+            t.observe_rtt(ip, 2_000);
+        }
+        let tightened = t.deadline_for(ip, 0);
+        assert_eq!(tightened, Duration::from_millis(50), "clamped at floor");
+        t.observe_timeout(ip);
+        t.observe_timeout(ip);
+        assert!(t.deadline_for(ip, 0) > tightened);
+        // A later unambiguous delivery recovers the tight deadline.
+        t.observe_rtt(ip, 2_000);
+        assert_eq!(t.deadline_for(ip, 0), tightened);
+    }
+
+    #[test]
+    fn retransmit_attempts_scale_the_deadline() {
+        let ip = Ipv4Addr::new(192, 0, 2, 3);
+        let t = table(&[ip]);
+        for _ in 0..16 {
+            t.observe_rtt(ip, 10_000);
+        }
+        let base = t.deadline_for(ip, 0);
+        let once = t.deadline_for(ip, 1);
+        let twice = t.deadline_for(ip, 2);
+        assert_eq!(once, base * 2);
+        assert_eq!(twice, base * 4);
+        // Scaling clamps at the ceiling rather than overflowing.
+        assert_eq!(
+            t.deadline_for(ip, 63),
+            AdaptiveRtoConfig::default().rtt.max_rto
+        );
+    }
+
+    #[test]
+    fn exploration_band_fires_on_the_cadence() {
+        let ip = Ipv4Addr::new(192, 0, 2, 4);
+        let config = AdaptiveRtoConfig {
+            explore_every: 4,
+            ..AdaptiveRtoConfig::default()
+        };
+        let t = RtoTable::for_targets([ip], config);
+        t.observe_rtt(ip, 30_000);
+        for _ in 0..6 {
+            t.observe_timeout(ip);
+        }
+        let banded = Duration::from_micros(30_000 + 400_000);
+        let backed_off = t.snapshot(ip).unwrap().rto_us;
+        assert!(backed_off > banded.as_micros() as u64);
+        let deadlines: Vec<Duration> = (0..8).map(|_| t.deadline_for(ip, 0)).collect();
+        let explored = deadlines.iter().filter(|d| **d == banded).count();
+        assert_eq!(explored, 2, "1-in-4 cadence over 8 sends: {deadlines:?}");
+        // Retransmit attempts never explore (the attempt is already
+        // suspect — give it the honest backed-off deadline).
+        assert!(t.deadline_for(ip, 1) > banded);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let ip = Ipv4Addr::new(192, 0, 2, 5);
+        let t = table(&[ip]);
+        t.observe_rtt(ip, 5_000);
+        t.observe_timeout(ip);
+        let snap = t.snapshot(ip).unwrap();
+        let fresh = table(&[ip]);
+        fresh.restore(ip, &snap);
+        assert_eq!(fresh.snapshot(ip), Some(snap));
+        // Restoring an unknown ingress is a no-op, not a panic.
+        fresh.restore(Ipv4Addr::new(203, 0, 113, 1), &snap);
+        assert_eq!(fresh.snapshots().len(), 1);
+    }
+
+    #[test]
+    fn snapshots_sort_by_ingress() {
+        let ips = [
+            Ipv4Addr::new(192, 0, 2, 9),
+            Ipv4Addr::new(192, 0, 2, 1),
+            Ipv4Addr::new(10, 0, 0, 7),
+        ];
+        let t = table(&ips);
+        let order: Vec<Ipv4Addr> = t.snapshots().into_iter().map(|(ip, _)| ip).collect();
+        let mut sorted = ips.to_vec();
+        sorted.sort();
+        assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn collector_exports_per_ingress_series() {
+        let ip = Ipv4Addr::new(192, 0, 2, 8);
+        let t = table(&[ip]);
+        t.observe_rtt(ip, 42_000);
+        t.observe_timeout(ip);
+        let mut metrics = Vec::new();
+        t.collect(&mut metrics);
+        let rto = metrics
+            .iter()
+            .find(|m| m.name == "cde_engine_rto_seconds")
+            .expect("rto gauge exported");
+        assert!(rto.labels.contains(&("ingress", ip.to_string())));
+        let srtt = metrics
+            .iter()
+            .find(|m| m.name == "cde_engine_srtt_seconds")
+            .unwrap();
+        assert!(
+            matches!(srtt.value, cde_telemetry::MetricValue::Gauge(v) if (v - 0.042).abs() < 1e-9)
+        );
+        assert!(metrics
+            .iter()
+            .any(|m| m.name == "cde_engine_rto_timeouts_total"));
+    }
+}

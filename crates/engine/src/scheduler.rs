@@ -266,6 +266,11 @@ pub struct PipelinedCampaign {
     /// Completions between `campaign_progress` emissions.
     progress_stride: usize,
     since_progress: usize,
+    /// Loss-aware effective window: recomputed every stride from the
+    /// campaign's delivered ratio, clamped to `[window / 4, window]`.
+    /// A clean wire keeps the full window; a lossy one sheds in-flight
+    /// pressure instead of stacking retransmits behind fresh probes.
+    paced_window: usize,
 }
 
 impl PipelinedCampaign {
@@ -302,6 +307,7 @@ impl PipelinedCampaign {
             // Roughly two progress events per full window turnover.
             progress_stride: (window / 2).max(1),
             since_progress: 0,
+            paced_window: window,
         }
     }
 
@@ -310,9 +316,16 @@ impl PipelinedCampaign {
         &self.span
     }
 
-    /// Submits one probe, blocking only while the window is full.
+    /// The loss-aware window currently applied: `window` on a clean
+    /// wire, shrinking toward `window / 4` as the delivered ratio drops.
+    pub fn paced_window(&self) -> usize {
+        self.paced_window
+    }
+
+    /// Submits one probe, blocking only while the (paced) window is
+    /// full.
     pub fn submit(&mut self, probe: Probe) {
-        while self.pending.len() >= self.window {
+        while self.pending.len() >= self.paced_window {
             if !self.complete_one() {
                 break;
             }
@@ -428,6 +441,7 @@ impl PipelinedCampaign {
             self.since_progress += 1;
             if self.since_progress >= self.progress_stride {
                 self.since_progress = 0;
+                self.repace();
                 self.span.progress(
                     self.next_token,
                     self.outcomes.len() as u64,
@@ -436,6 +450,24 @@ impl PipelinedCampaign {
                 );
             }
         }
+    }
+
+    /// Recomputes the loss-aware window from the campaign's share of the
+    /// reactor's counters: `received / (sent − in_flight)` approximates
+    /// the per-attempt delivered ratio over *resolved* attempts (what's
+    /// still in flight hasn't voted yet). The effective window is the
+    /// configured window scaled by that ratio, floored at a quarter so a
+    /// blackout never serializes the campaign entirely.
+    fn repace(&mut self) {
+        let snap = self.metrics.snapshot();
+        let sent = snap.sent.saturating_sub(self.baseline.sent);
+        let received = snap.received.saturating_sub(self.baseline.received);
+        let resolved = sent.saturating_sub(snap.in_flight).max(1);
+        let delivered = (received as f64 / resolved as f64).clamp(0.0, 1.0);
+        let floor = (self.window / 4).max(1);
+        let scaled = (self.window as f64 * delivered).round() as usize;
+        self.paced_window = scaled.clamp(floor, self.window);
+        self.metrics.set_paced_window(self.paced_window as u64);
     }
 }
 
@@ -543,6 +575,43 @@ mod tests {
         let report = run_campaign(sim_factory, probes(12), &opts);
         assert_eq!(report.answered(), 12);
         assert!(report.rate_limit_stalls > 0, "limiter never engaged");
+    }
+
+    #[test]
+    fn pacing_shrinks_the_window_under_total_loss() {
+        use crate::reactor::ReactorConfig;
+        use crate::retry::RetryPolicy;
+        // No routes at all: every probe resolves as an unanswered
+        // timeout, so the delivered ratio is 0 and pacing must floor
+        // the window at a quarter of the configured one.
+        let reactor = Reactor::launch(
+            HashMap::new(),
+            ReactorConfig::with_policy(
+                RetryPolicy {
+                    attempts: 1,
+                    timeout: Duration::from_millis(20),
+                    backoff: 1.0,
+                    base_delay: Duration::from_millis(1),
+                    jitter: 0.0,
+                },
+                5,
+            ),
+        )
+        .unwrap();
+        let mut campaign = PipelinedCampaign::new(&reactor, 8);
+        assert_eq!(campaign.paced_window(), 8, "starts at the full window");
+        let qname: Name = "dark.example".parse().unwrap();
+        for _ in 0..16 {
+            campaign.submit(Probe::a(Ipv4Addr::new(192, 0, 2, 77), qname.clone()));
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while campaign.in_flight() > 0 && std::time::Instant::now() < deadline {
+            campaign.try_complete();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(campaign.paced_window(), 2, "floored at window / 4");
+        let report = campaign.finish();
+        assert!(report.fully_accounted(16));
     }
 
     #[test]

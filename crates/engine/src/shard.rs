@@ -17,6 +17,7 @@ use crate::metrics::MetricsBlock;
 use crate::ratelimit::RateLimiter;
 use crate::reactor::{ProbeCompletion, ReactorInsight};
 use crate::retry::RetryPolicy;
+use crate::rto::RtoTable;
 use crate::timer::TimerWheel;
 use crate::transport::TransportReply;
 use cde_dns::wire::WireWriter;
@@ -342,6 +343,10 @@ pub(crate) struct ShardLoop {
     pub(crate) insight: Option<Arc<ReactorInsight>>,
     pub(crate) shard_id: u32,
     pub(crate) exemplars: Option<Arc<ExemplarReservoir>>,
+    /// Adaptive per-ingress RTO table, shared across shards (each
+    /// ingress's cell is only ever written by the one shard that owns
+    /// the ingress). `None` runs the static [`RetryPolicy`] schedule.
+    pub(crate) rto: Option<Arc<RtoTable>>,
 }
 
 /// Builds a shard's pending-slot vector (the type is private to this
@@ -563,6 +568,13 @@ impl ShardLoop {
                     // The attempt is dead: late replies to its id must
                     // land as strays, never match.
                     self.correlation.remove(&(p.socket, p.id));
+                    // A deadline expiry is an unambiguous loss signal
+                    // (unlike replies after a retransmit): back the
+                    // learned RTO off before deciding retry-vs-give-up.
+                    if let Some(table) = &self.rto {
+                        table.observe_timeout(p.ingress);
+                        self.block.record_rto_backoff();
+                    }
                     if ev.attempt + 1 >= self.policy.attempts.max(1) {
                         self.block.record_timeout();
                         self.telemetry.emit(
@@ -698,8 +710,20 @@ impl ShardLoop {
                                     attempt: p.attempt,
                                 },
                             );
-                            let deadline =
-                                now_tick + Self::ticks(self.policy.timeout_for(p.attempt)).max(1);
+                            // Adaptive deadlines never exceed the static
+                            // schedule: `timeout_for` stays the upper
+                            // bound, so graces derived from
+                            // `RetryPolicy::worst_case` remain honest.
+                            let timeout = match &self.rto {
+                                Some(table) => {
+                                    self.block.record_adaptive_deadline();
+                                    table
+                                        .deadline_for(p.ingress, p.attempt)
+                                        .min(self.policy.timeout_for(p.attempt))
+                                }
+                                None => self.policy.timeout_for(p.attempt),
+                            };
+                            let deadline = now_tick + Self::ticks(timeout).max(1);
                             self.timers.schedule(
                                 deadline,
                                 TimerEvent {
@@ -934,6 +958,16 @@ impl ShardLoop {
         // analysis, so both the digest and the event carry the flag.
         let retransmit_ambiguous = p.attempt > 0;
         self.block.record_received(rtt);
+        // Karn's rule at the one place attempt counts are known: only
+        // first-attempt replies feed the estimator a sample; ambiguous
+        // deliveries just clear its backoff.
+        if let Some(table) = &self.rto {
+            if retransmit_ambiguous {
+                table.observe_delivery_ambiguous(p.ingress);
+            } else {
+                table.observe_rtt(p.ingress, rtt_us);
+            }
+        }
         if let Some(insight) = &self.insight {
             insight
                 .digests()

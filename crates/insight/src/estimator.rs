@@ -1,0 +1,431 @@
+//! RFC 6298 round-trip-time estimation (Jacobson–Karels), per target.
+//!
+//! The reactor's retry deadlines were historically a static
+//! [`RetryPolicy`]-style schedule: every probe toward every ingress waited
+//! the same worst-case timeout before retransmitting. This module is the
+//! estimator that replaces those fixed durations with *learned* ones —
+//! the same SRTT/RTTVAR/RTO recurrence TCP uses (RFC 6298) and Unbound
+//! ships for its upstream servers (see `infra_rtt` / SNIPPETS.md
+//! snippet 2): smoothed RTT with a mean-deviation term, exponential
+//! backoff on timeout, a penalty once a target looks dead, and an
+//! exploration band so an inflated RTO can recover after the path heals.
+//!
+//! The estimator is *pure state* — integer microseconds, no clocks, no
+//! atomics — so it can be property-tested exhaustively and serialized
+//! into checkpoint files verbatim. The engine wraps it in per-ingress
+//! atomic cells (`cde-engine`'s `RtoTable`) for the lock-free hot path.
+//!
+//! Karn's rule is the caller's contract: only feed [`observe_rtt`]
+//! samples from probes answered on their *first* attempt. A reply that
+//! arrives after a retransmission is ambiguous (it may answer either
+//! attempt); report it via [`observe_delivery_ambiguous`] instead, which
+//! clears the backoff state without polluting SRTT.
+//!
+//! [`observe_rtt`]: RttEstimator::observe_rtt
+//! [`observe_delivery_ambiguous`]: RttEstimator::observe_delivery_ambiguous
+//! [`RetryPolicy`]: https://docs.rs/cde-engine
+
+use std::time::Duration;
+
+/// RFC 6298's clock-granularity term `G`, in microseconds. The engine's
+/// timer wheel ticks at 1 ms, so a tighter variance floor would promise
+/// precision the deadlines cannot deliver.
+pub const GRANULARITY_US: u64 = 1_000;
+
+/// Bounds and tuning for an [`RttEstimator`].
+///
+/// Defaults follow Unbound's server-selection constants where they make
+/// sense for a measurement campaign: a 50 ms RTO floor
+/// (`RTT_MIN_TIMEOUT`), a 376 ms unknown-target initial RTO
+/// (`UNKNOWN_SERVER_NICENESS`), a 400 ms exploration band (`RTT_BAND`)
+/// and a timeout penalty once a target stops answering entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RttConfig {
+    /// Hard floor for the RTO: never retransmit faster than this.
+    pub min_rto: Duration,
+    /// Hard ceiling for the RTO (backoff and penalty clamp here).
+    pub max_rto: Duration,
+    /// RTO assumed for a target with no samples yet.
+    pub initial_rto: Duration,
+    /// Exploration band: once the backed-off RTO exceeds `srtt + band`,
+    /// the owner may occasionally probe with the tighter `srtt + band`
+    /// deadline to discover that the path has recovered.
+    pub band: Duration,
+    /// RTO floor applied after [`RttConfig::max_timeout_count`]
+    /// consecutive timeouts — the target looks dead, stop hammering it.
+    pub penalty: Duration,
+    /// Consecutive timeouts before the penalty floor engages.
+    pub max_timeout_count: u32,
+}
+
+impl Default for RttConfig {
+    fn default() -> RttConfig {
+        RttConfig {
+            min_rto: Duration::from_millis(50),
+            max_rto: Duration::from_secs(10),
+            initial_rto: Duration::from_millis(376),
+            band: Duration::from_millis(400),
+            penalty: Duration::from_secs(10),
+            max_timeout_count: 3,
+        }
+    }
+}
+
+impl RttConfig {
+    fn min_us(&self) -> u64 {
+        duration_us(self.min_rto).max(1)
+    }
+
+    fn max_us(&self) -> u64 {
+        duration_us(self.max_rto).max(self.min_us())
+    }
+
+    /// Clamps a candidate RTO into `[min_rto, max_rto]` (microseconds).
+    pub fn clamp_us(&self, rto_us: u64) -> u64 {
+        rto_us.clamp(self.min_us(), self.max_us())
+    }
+}
+
+fn duration_us(d: Duration) -> u64 {
+    d.as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+/// One target's Jacobson–Karels state: smoothed RTT, mean deviation and
+/// the derived retransmission timeout, all in integer microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RttEstimator {
+    config: RttConfig,
+    /// Smoothed RTT (`α = 1/8`); 0 until the first sample.
+    srtt_us: u64,
+    /// Smoothed mean deviation (`β = 1/4`).
+    rttvar_us: u64,
+    /// Current retransmission timeout.
+    rto_us: u64,
+    /// Consecutive timeouts since the last delivery.
+    timeout_count: u32,
+    /// Unambiguous RTT samples absorbed.
+    samples: u64,
+    /// Timeouts absorbed (lifetime, not consecutive).
+    timeouts: u64,
+}
+
+impl RttEstimator {
+    /// A fresh estimator at the config's initial RTO.
+    pub fn new(config: RttConfig) -> RttEstimator {
+        RttEstimator {
+            config,
+            srtt_us: 0,
+            rttvar_us: 0,
+            rto_us: config.clamp_us(duration_us(config.initial_rto)),
+            timeout_count: 0,
+            samples: 0,
+            timeouts: 0,
+        }
+    }
+
+    /// Absorbs one unambiguous RTT sample (first-attempt reply only —
+    /// Karn's rule) and re-derives the RTO.
+    pub fn observe_rtt(&mut self, rtt_us: u64) {
+        self.samples += 1;
+        self.timeout_count = 0;
+        if self.samples == 1 {
+            // RFC 6298 §2.2: SRTT ← R, RTTVAR ← R/2.
+            self.srtt_us = rtt_us;
+            self.rttvar_us = rtt_us / 2;
+        } else {
+            // §2.3: RTTVAR ← 3/4·RTTVAR + 1/4·|SRTT − R|,
+            //       SRTT ← 7/8·SRTT + 1/8·R.
+            let dev = self.srtt_us.abs_diff(rtt_us);
+            self.rttvar_us = (3 * self.rttvar_us + dev) / 4;
+            self.srtt_us = (7 * self.srtt_us + rtt_us) / 8;
+        }
+        self.rto_us = self.config.clamp_us(self.fresh_rto_us());
+    }
+
+    /// Registers a retransmission deadline expiry: exponential backoff
+    /// (§5.5), plus the dead-target penalty floor once
+    /// [`RttConfig::max_timeout_count`] consecutive timeouts accumulate.
+    pub fn observe_timeout(&mut self) {
+        self.timeouts += 1;
+        self.timeout_count = self.timeout_count.saturating_add(1);
+        let mut next = self.rto_us.saturating_mul(2);
+        if self.timeout_count >= self.config.max_timeout_count {
+            next = next.max(duration_us(self.config.penalty));
+        }
+        self.rto_us = self.config.clamp_us(next);
+    }
+
+    /// A delivery whose RTT is retransmit-ambiguous: the target is alive,
+    /// so the backoff state clears and the RTO re-derives from the last
+    /// trusted SRTT/RTTVAR — but the sample itself is discarded (Karn).
+    pub fn observe_delivery_ambiguous(&mut self) {
+        self.timeout_count = 0;
+        self.rto_us = self.config.clamp_us(if self.samples > 0 {
+            self.fresh_rto_us()
+        } else {
+            duration_us(self.config.initial_rto)
+        });
+    }
+
+    /// `SRTT + max(G, 4·RTTVAR)` — the §2.3 RTO before clamping.
+    fn fresh_rto_us(&self) -> u64 {
+        self.srtt_us
+            .saturating_add(GRANULARITY_US.max(4 * self.rttvar_us))
+    }
+
+    /// Current retransmission timeout.
+    pub fn rto(&self) -> Duration {
+        Duration::from_micros(self.rto_us)
+    }
+
+    /// Current RTO in microseconds.
+    pub fn rto_us(&self) -> u64 {
+        self.rto_us
+    }
+
+    /// Smoothed RTT in microseconds (0 until the first sample).
+    pub fn srtt_us(&self) -> u64 {
+        self.srtt_us
+    }
+
+    /// Smoothed mean deviation in microseconds.
+    pub fn rttvar_us(&self) -> u64 {
+        self.rttvar_us
+    }
+
+    /// Consecutive timeouts since the last delivery.
+    pub fn timeout_count(&self) -> u32 {
+        self.timeout_count
+    }
+
+    /// Unambiguous samples absorbed so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Lifetime timeouts absorbed.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// The estimator's bounds and tuning.
+    pub fn config(&self) -> RttConfig {
+        self.config
+    }
+
+    /// The exploration deadline, when one applies: once backoff has
+    /// pushed the RTO beyond `srtt + band`, a caller may deliberately
+    /// schedule the occasional probe with this tighter deadline to test
+    /// whether the path recovered. `None` while the RTO is already
+    /// honest (or no sample exists to anchor the band).
+    pub fn explore_rto_us(&self) -> Option<u64> {
+        if self.samples == 0 {
+            return None;
+        }
+        let banded = self
+            .config
+            .clamp_us(self.srtt_us.saturating_add(duration_us(self.config.band)));
+        (self.rto_us > banded).then_some(banded)
+    }
+
+    /// Freezes the learned state for checkpointing.
+    pub fn snapshot(&self) -> EstimatorSnapshot {
+        EstimatorSnapshot {
+            srtt_us: self.srtt_us,
+            rttvar_us: self.rttvar_us,
+            rto_us: self.rto_us,
+            timeout_count: self.timeout_count,
+            samples: self.samples,
+            timeouts: self.timeouts,
+        }
+    }
+
+    /// Rehydrates an estimator from a checkpointed snapshot; the RTO is
+    /// re-clamped against `config` in case the bounds changed between
+    /// runs.
+    pub fn from_snapshot(snap: &EstimatorSnapshot, config: RttConfig) -> RttEstimator {
+        RttEstimator {
+            config,
+            srtt_us: snap.srtt_us,
+            rttvar_us: snap.rttvar_us,
+            rto_us: config.clamp_us(snap.rto_us.max(1)),
+            timeout_count: snap.timeout_count,
+            samples: snap.samples,
+            timeouts: snap.timeouts,
+        }
+    }
+}
+
+impl Default for RttEstimator {
+    fn default() -> RttEstimator {
+        RttEstimator::new(RttConfig::default())
+    }
+}
+
+/// A frozen [`RttEstimator`] — what checkpoints persist and what the
+/// engine's per-ingress table exports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EstimatorSnapshot {
+    /// Smoothed RTT, microseconds.
+    pub srtt_us: u64,
+    /// Smoothed mean deviation, microseconds.
+    pub rttvar_us: u64,
+    /// Current RTO, microseconds.
+    pub rto_us: u64,
+    /// Consecutive timeouts since the last delivery.
+    pub timeout_count: u32,
+    /// Unambiguous samples absorbed.
+    pub samples: u64,
+    /// Lifetime timeouts absorbed.
+    pub timeouts: u64,
+}
+
+impl EstimatorSnapshot {
+    /// Serializes as `key=value` fields on one line (no prefix), in the
+    /// same style as `ProbePlan::snapshot_line`; round-trips through
+    /// [`EstimatorSnapshot::from_snapshot_fields`].
+    pub fn snapshot_fields(&self) -> String {
+        format!(
+            "srtt_us={} rttvar_us={} rto_us={} timeout_count={} samples={} timeouts={}",
+            self.srtt_us,
+            self.rttvar_us,
+            self.rto_us,
+            self.timeout_count,
+            self.samples,
+            self.timeouts
+        )
+    }
+
+    /// Parses fields written by [`EstimatorSnapshot::snapshot_fields`].
+    /// Unknown keys are ignored for forward compatibility; `None` on
+    /// malformed input.
+    pub fn from_snapshot_fields(fields: &str) -> Option<EstimatorSnapshot> {
+        let mut snap = EstimatorSnapshot::default();
+        let mut seen_rto = false;
+        for field in fields.split_whitespace() {
+            let (key, value) = field.split_once('=')?;
+            match key {
+                "srtt_us" => snap.srtt_us = value.parse().ok()?,
+                "rttvar_us" => snap.rttvar_us = value.parse().ok()?,
+                "rto_us" => {
+                    snap.rto_us = value.parse().ok()?;
+                    seen_rto = true;
+                }
+                "timeout_count" => snap.timeout_count = value.parse().ok()?,
+                "samples" => snap.samples = value.parse().ok()?,
+                "timeouts" => snap.timeouts = value.parse().ok()?,
+                _ => {}
+            }
+        }
+        seen_rto.then_some(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes_per_rfc() {
+        let mut e = RttEstimator::default();
+        assert_eq!(e.rto(), Duration::from_millis(376), "initial niceness");
+        e.observe_rtt(100_000);
+        assert_eq!(e.srtt_us(), 100_000);
+        assert_eq!(e.rttvar_us(), 50_000);
+        // RTO = SRTT + max(G, 4·RTTVAR) = 100ms + 200ms.
+        assert_eq!(e.rto_us(), 300_000);
+    }
+
+    #[test]
+    fn steady_stream_tightens_the_rto_to_the_floor() {
+        let mut e = RttEstimator::default();
+        for _ in 0..64 {
+            e.observe_rtt(800);
+        }
+        assert_eq!(e.srtt_us(), 800);
+        // Variance decays toward zero; the G term and the floor rule.
+        assert!(e.rttvar_us() < 200, "rttvar {}", e.rttvar_us());
+        assert_eq!(e.rto(), Duration::from_millis(50), "clamped at min_rto");
+    }
+
+    #[test]
+    fn timeouts_back_off_and_penalize() {
+        let mut e = RttEstimator::default();
+        e.observe_rtt(100_000); // rto = 300ms
+        let mut last = e.rto_us();
+        for n in 1..=6u32 {
+            e.observe_timeout();
+            assert!(e.rto_us() >= last, "backoff must be monotone (step {n})");
+            last = e.rto_us();
+        }
+        // Three consecutive timeouts engage the penalty floor.
+        assert_eq!(e.rto(), e.config().max_rto.min(e.config().penalty));
+        assert_eq!(e.timeout_count(), 6);
+        // The next delivery clears the backoff and re-derives from SRTT.
+        e.observe_rtt(100_000);
+        assert_eq!(e.timeout_count(), 0);
+        assert!(e.rto() < Duration::from_secs(1), "rto {:?}", e.rto());
+    }
+
+    #[test]
+    fn ambiguous_delivery_resets_backoff_without_sampling() {
+        let mut e = RttEstimator::default();
+        e.observe_rtt(10_000);
+        let samples = e.samples();
+        e.observe_timeout();
+        e.observe_timeout();
+        let backed_off = e.rto_us();
+        e.observe_delivery_ambiguous();
+        assert_eq!(e.samples(), samples, "Karn: no sample absorbed");
+        assert_eq!(e.timeout_count(), 0);
+        assert!(e.rto_us() < backed_off);
+    }
+
+    #[test]
+    fn exploration_band_engages_only_after_backoff() {
+        let mut e = RttEstimator::default();
+        assert_eq!(e.explore_rto_us(), None, "no sample, no band");
+        e.observe_rtt(30_000);
+        assert_eq!(e.explore_rto_us(), None, "honest rto needs no band");
+        for _ in 0..4 {
+            e.observe_timeout();
+        }
+        let banded = e.explore_rto_us().expect("backed-off rto explores");
+        assert_eq!(banded, 30_000 + 400_000);
+        assert!(banded < e.rto_us());
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_fields() {
+        let mut e = RttEstimator::default();
+        for us in [5_000, 9_000, 7_500] {
+            e.observe_rtt(us);
+        }
+        e.observe_timeout();
+        let snap = e.snapshot();
+        let fields = snap.snapshot_fields();
+        let parsed = EstimatorSnapshot::from_snapshot_fields(&fields).expect("parse");
+        assert_eq!(parsed, snap, "fields {fields}");
+        let restored = RttEstimator::from_snapshot(&parsed, e.config());
+        assert_eq!(restored, e);
+        // Malformed and empty inputs are rejected.
+        assert!(EstimatorSnapshot::from_snapshot_fields("").is_none());
+        assert!(EstimatorSnapshot::from_snapshot_fields("srtt_us=x rto_us=1").is_none());
+        assert!(
+            EstimatorSnapshot::from_snapshot_fields("srtt_us=5").is_none(),
+            "rto required"
+        );
+        // Unknown keys are tolerated.
+        assert!(EstimatorSnapshot::from_snapshot_fields("rto_us=9 future=1").is_some());
+    }
+
+    #[test]
+    fn restore_reclamps_against_new_bounds() {
+        let snap = EstimatorSnapshot {
+            rto_us: 60_000_000,
+            ..EstimatorSnapshot::default()
+        };
+        let e = RttEstimator::from_snapshot(&snap, RttConfig::default());
+        assert_eq!(e.rto(), RttConfig::default().max_rto);
+    }
+}

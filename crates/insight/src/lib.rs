@@ -15,6 +15,11 @@
 //!   reactor's hot-path phases (encode / send-batch / recv-batch /
 //!   decode / correlate), cheap enough to leave on without disturbing
 //!   the zero-alloc invariant or the bench numbers.
+//! * [`estimator`] — [`RttEstimator`]: RFC 6298 Jacobson–Karels
+//!   SRTT/RTTVAR/RTO per target with timeout backoff, a dead-target
+//!   penalty and an exploration band (Unbound's server-selection
+//!   constants); pure integer state the engine wraps in atomic
+//!   per-ingress cells and checkpoints serialize verbatim.
 //! * [`bimodal`] — Otsu's method in log space: splits an RTT
 //!   distribution into cached/uncached modes with a separation score.
 //! * [`scorecard`] — per-ingress / per-campaign health rows (loss,
@@ -32,6 +37,7 @@
 
 pub mod bimodal;
 pub mod digest;
+pub mod estimator;
 pub mod health;
 pub mod phase;
 pub mod scorecard;
@@ -39,6 +45,7 @@ pub mod trace;
 
 pub use bimodal::{split_digest, split_modes, ModeSplit, ModeStats};
 pub use digest::{DigestSnapshot, RttDigest, RttDigestSet, BUCKETS, SUB_BITS};
+pub use estimator::{EstimatorSnapshot, RttConfig, RttEstimator, GRANULARITY_US};
 pub use health::{replay_health, HealthReplay, ReplayPoint};
 pub use phase::{Phase, PhaseProfiler, PhaseStats, PHASES};
 pub use scorecard::Scorecard;

@@ -1,0 +1,170 @@
+//! Property tests pinning the RFC 6298 estimator's invariants.
+//!
+//! Three guarantees the adaptive-RTO machinery leans on:
+//!
+//! 1. **Bounded**: whatever the observation sequence, the RTO stays
+//!    inside `[min_rto, max_rto]` — the engine's grace timeouts and the
+//!    serve daemon's orphan accounting assume a bounded worst case.
+//! 2. **Monotone backoff**: consecutive timeouts never *shrink* the RTO,
+//!    so a dying target cannot trick the engine into retransmitting
+//!    faster and faster.
+//! 3. **Convergence**: on a stationary RTT stream the smoothed RTT lands
+//!    on the stream's center within RFC 6298's `α = 1/8` geometric decay
+//!    tolerance, and the RTO settles at `SRTT + max(G, 4·RTTVAR)`
+//!    (clamped) rather than wandering.
+
+use cde_insight::{EstimatorSnapshot, RttConfig, RttEstimator, GRANULARITY_US};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// A single estimator input.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Rtt(u64),
+    Timeout,
+    Ambiguous,
+}
+
+fn events() -> impl Strategy<Value = Vec<Event>> {
+    proptest::collection::vec(
+        prop_oneof![
+            // Arms repeat in lieu of weights (the vendored proptest's
+            // Union draws uniformly): RTT samples dominate the mix.
+            (50u64..2_000_000).prop_map(Event::Rtt),
+            (50u64..2_000_000).prop_map(Event::Rtt),
+            (50u64..2_000_000).prop_map(Event::Rtt),
+            (50u64..2_000_000).prop_map(Event::Rtt),
+            Just(Event::Timeout),
+            Just(Event::Timeout),
+            Just(Event::Ambiguous),
+        ],
+        0..200,
+    )
+}
+
+fn configs() -> impl Strategy<Value = RttConfig> {
+    (
+        1u64..200,      // min_rto ms
+        500u64..20_000, // max_rto ms
+        1u64..1_000,    // initial_rto ms
+        0u64..1_000,    // band ms
+        1u64..30_000,   // penalty ms
+        1u32..6,        // max_timeout_count
+    )
+        .prop_map(|(min, max, initial, band, penalty, count)| RttConfig {
+            min_rto: Duration::from_millis(min),
+            max_rto: Duration::from_millis(min.max(max)),
+            initial_rto: Duration::from_millis(initial),
+            band: Duration::from_millis(band),
+            penalty: Duration::from_millis(penalty),
+            max_timeout_count: count,
+        })
+}
+
+fn apply(e: &mut RttEstimator, ev: Event) {
+    match ev {
+        Event::Rtt(us) => e.observe_rtt(us),
+        Event::Timeout => e.observe_timeout(),
+        Event::Ambiguous => e.observe_delivery_ambiguous(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Invariant 1: the RTO (and the exploration deadline, when one
+    /// exists) never leaves `[min_rto, max_rto]`, after every single
+    /// observation in any sequence under any configuration.
+    #[test]
+    fn rto_stays_within_bounds(config in configs(), seq in events()) {
+        let mut e = RttEstimator::new(config);
+        let lo = config.min_rto.as_micros() as u64;
+        let hi = config.max_rto.as_micros() as u64;
+        let (lo, hi) = (lo.max(1), hi.max(lo.max(1)));
+        prop_assert!((lo..=hi).contains(&e.rto_us()), "initial {}", e.rto_us());
+        for ev in seq {
+            apply(&mut e, ev);
+            prop_assert!(
+                (lo..=hi).contains(&e.rto_us()),
+                "{ev:?} pushed rto to {} outside [{lo}, {hi}]", e.rto_us()
+            );
+            if let Some(band) = e.explore_rto_us() {
+                prop_assert!((lo..=hi).contains(&band), "band {band} escaped");
+                prop_assert!(band < e.rto_us(), "band must undercut the rto");
+            }
+        }
+    }
+
+    /// Invariant 2: within any run of consecutive timeouts the RTO is
+    /// non-decreasing, wherever in the sequence the run happens.
+    #[test]
+    fn consecutive_timeouts_back_off_monotonically(
+        config in configs(),
+        prefix in events(),
+        run in 1usize..12,
+    ) {
+        let mut e = RttEstimator::new(config);
+        for ev in prefix {
+            apply(&mut e, ev);
+        }
+        let mut last = e.rto_us();
+        for step in 0..run {
+            e.observe_timeout();
+            prop_assert!(
+                e.rto_us() >= last,
+                "timeout {step} shrank the rto: {} -> {}", last, e.rto_us()
+            );
+            last = e.rto_us();
+        }
+    }
+
+    /// Invariant 3: a stationary stream (constant center ± small jitter)
+    /// converges. After `k` samples the initial transient has decayed by
+    /// `(7/8)^(k-1)`; with 64 samples that term is < 0.1% of the center,
+    /// so the jitter amplitude dominates the tolerance.
+    #[test]
+    fn stationary_stream_converges_within_rfc_tolerance(
+        center in 2_000u64..500_000,
+        jitter_mille in 0u64..100, // jitter amplitude, ‰ of center
+        seed in 0u64..1_000,
+    ) {
+        let mut e = RttEstimator::new(RttConfig::default());
+        let amp = center * jitter_mille / 1_000;
+        // Deterministic pseudo-jitter: alternating offsets within ±amp.
+        let mut x = seed;
+        for _ in 0..64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let off = if amp == 0 { 0 } else { x % (2 * amp + 1) };
+            e.observe_rtt(center - amp + off);
+        }
+        let tol = amp + center / 500 + GRANULARITY_US;
+        prop_assert!(
+            e.srtt_us().abs_diff(center) <= tol,
+            "srtt {} vs center {center} (tol {tol})", e.srtt_us()
+        );
+        // The settled RTO is the §2.3 formula, clamped — no drift above.
+        let formula = e.srtt_us() + GRANULARITY_US.max(4 * e.rttvar_us());
+        prop_assert_eq!(e.rto_us(), RttConfig::default().clamp_us(formula));
+        // And rttvar tracks the jitter scale, not the center.
+        prop_assert!(
+            e.rttvar_us() <= 2 * amp + GRANULARITY_US,
+            "rttvar {} vs amp {amp}", e.rttvar_us()
+        );
+    }
+
+    /// Checkpoint fidelity: snapshot → fields → parse → restore is the
+    /// identity on the estimator's learned state.
+    #[test]
+    fn snapshot_fields_round_trip(config in configs(), seq in events()) {
+        let mut e = RttEstimator::new(config);
+        for ev in seq {
+            apply(&mut e, ev);
+        }
+        let fields = e.snapshot().snapshot_fields();
+        let parsed = EstimatorSnapshot::from_snapshot_fields(&fields)
+            .expect("self-written fields parse");
+        prop_assert_eq!(parsed, e.snapshot(), "fields {}", fields);
+        let restored = RttEstimator::from_snapshot(&parsed, config);
+        prop_assert_eq!(restored, e);
+    }
+}

@@ -48,6 +48,12 @@ pub struct CampaignSpec {
     /// events — once this many probes have completed *in this process*.
     /// The kill -9 stand-in the checkpoint/resume property test drives.
     pub kill_after: Option<u64>,
+    /// Sequential early stopping: when positive, the campaign keeps a
+    /// [`cde_core::SequentialPlanner`] at this residual failure
+    /// probability and finishes as soon as the exact-count criterion
+    /// holds, instead of spending the full `farm_size × redundancy`
+    /// budget. `0.0` (the default) runs the fixed plan to exhaustion.
+    pub sequential_epsilon: f64,
 }
 
 impl Default for CampaignSpec {
@@ -64,6 +70,7 @@ impl Default for CampaignSpec {
             window: 32,
             checkpoint_every: 64,
             kill_after: None,
+            sequential_epsilon: 0.0,
         }
     }
 }

@@ -33,5 +33,5 @@ pub use campaign::{valid_name, CampaignSpec, CampaignState, CampaignStatus, MAX_
 pub use daemon::{Daemon, DaemonConfig};
 pub use http::ControlPlane;
 pub use manager::{CampaignManager, ManagerConfig, World};
-pub use snapshot::{CampaignSnapshot, ProbeDisposition, SNAPSHOT_VERSION};
+pub use snapshot::{CampaignSnapshot, ProbeDisposition, MIN_SNAPSHOT_VERSION, SNAPSHOT_VERSION};
 pub use tenant::{TenantRegistry, DEFAULT_WEIGHT};

@@ -29,11 +29,12 @@ use crate::campaign::{valid_name, CampaignSpec, CampaignState, CampaignStatus};
 use crate::snapshot::{CampaignSnapshot, ProbeDisposition};
 use crate::tenant::TenantRegistry;
 use cde_analysis::estimators::estimate_cache_count;
-use cde_core::{CdeInfra, ProbePlan, Session};
+use cde_core::{CdeInfra, ProbePlan, SequentialPlanner, Session};
 use cde_dns::{Rcode, RecordType};
+use cde_engine::rto::EstimatorSnapshot;
 use cde_engine::scheduler::{CampaignReport, Probe, ProbeOutcome};
 use cde_engine::{
-    EngineMetrics, RateConfig, ReactorHandle, ReactorTransport, TenantRate, Transport,
+    EngineMetrics, RateConfig, ReactorHandle, ReactorTransport, RtoTable, TenantRate, Transport,
     TransportReply, WeightedRateLimiter,
 };
 use cde_pulse::ExemplarReservoir;
@@ -108,6 +109,58 @@ struct Progress {
     checkpoint_path: Option<PathBuf>,
 }
 
+/// Sequential-stopping state for one campaign: the planner plus the
+/// high-water marks of the tallies already fed into it, so checkpoint
+/// drains feed only the delta since the previous drain.
+#[derive(Debug)]
+struct PlannerState {
+    planner: SequentialPlanner,
+    fed_answered: u64,
+    fed_timeouts: u64,
+    fed_observed: u64,
+}
+
+impl PlannerState {
+    fn fresh(planner: SequentialPlanner) -> PlannerState {
+        PlannerState {
+            fed_answered: planner.delivered(),
+            fed_timeouts: planner.probes() - planner.delivered(),
+            fed_observed: planner.observed(),
+            planner,
+        }
+    }
+
+    /// Feeds the deltas since the last drain. Evidence is drained in
+    /// batches, so the exact interleaving is unknown; recording the
+    /// quiet events first and attaching all new-cache evidence to the
+    /// *last* event keeps the quiet run a lower bound on reality — the
+    /// rule can only fire later than a per-probe feed would, never
+    /// earlier.
+    fn feed(&mut self, answered: u64, timeouts: u64, observed: u64) {
+        let new_ans = answered.saturating_sub(self.fed_answered);
+        let new_lost = timeouts.saturating_sub(self.fed_timeouts);
+        let new_caches = observed.saturating_sub(self.fed_observed);
+        for i in 0..new_lost {
+            let last = i + 1 == new_lost && new_ans == 0;
+            self.planner.record_lost(if last { new_caches } else { 0 });
+        }
+        for i in 0..new_ans {
+            let last = i + 1 == new_ans;
+            self.planner
+                .record_delivered(if last { new_caches } else { 0 });
+        }
+        if new_ans == 0 && new_lost == 0 && new_caches > 0 {
+            // Evidence with no completion delta: a response was lost but
+            // the query landed. Record it as a lost probe carrying the
+            // evidence so ω stays in sync.
+            self.planner.record_lost(new_caches);
+        }
+        self.fed_answered = answered;
+        self.fed_timeouts = timeouts;
+        self.fed_observed = observed;
+    }
+}
+
 /// One campaign's immutable parameters plus its mutable progress.
 #[derive(Debug)]
 pub(crate) struct CampaignHandle {
@@ -129,16 +182,34 @@ pub(crate) struct CampaignHandle {
     /// the live count in this world's net adds on top.
     observed_base: u64,
     progress: Mutex<Progress>,
+    /// Sequential stopping state; `None` runs the fixed plan to
+    /// exhaustion. Fed only at checkpoint drains (the single place
+    /// observation evidence is counted), never on the probe hot path.
+    sequential: Mutex<Option<PlannerState>>,
     cancel: AtomicBool,
     pause: AtomicBool,
     kill: AtomicBool,
     thread: Mutex<Option<JoinHandle<()>>>,
 }
 
+impl CampaignHandle {
+    /// True once the sequential stopping rule has fired.
+    fn sequential_stopped(&self) -> bool {
+        self.sequential
+            .lock()
+            .as_ref()
+            .is_some_and(|s| s.planner.should_stop())
+    }
+}
+
 /// The multi-tenant campaign daemon core. See the module docs.
 pub struct CampaignManager {
     world: Mutex<World>,
     handle: ReactorHandle,
+    /// The reactor's adaptive RTO table, when one is configured; cloned
+    /// out once so checkpoints and resumes never take the world lock to
+    /// reach estimator state.
+    rto: Option<Arc<RtoTable>>,
     grace: Duration,
     limiter: Arc<WeightedRateLimiter>,
     tenants: Arc<TenantRegistry>,
@@ -163,6 +234,7 @@ impl CampaignManager {
     /// cloned out once here.
     pub fn new(world: World, config: ManagerConfig) -> Arc<CampaignManager> {
         let handle = world.transport.reactor().handle();
+        let rto = world.transport.reactor().rto();
         let grace = world.transport.reactor().policy().worst_case() + Duration::from_secs(2);
         let limiter = Arc::new(WeightedRateLimiter::new(config.global_rate));
         let tenants = TenantRegistry::new();
@@ -173,6 +245,7 @@ impl CampaignManager {
         Arc::new(CampaignManager {
             world: Mutex::new(world),
             handle,
+            rto,
             grace,
             limiter,
             tenants,
@@ -216,6 +289,15 @@ impl CampaignManager {
         self.handle.exemplars()
     }
 
+    /// The current per-ingress RTT estimator snapshots, empty when the
+    /// reactor runs the static retry policy. Sorted by ingress address.
+    pub fn rto_snapshots(&self) -> Vec<(Ipv4Addr, EstimatorSnapshot)> {
+        self.rto
+            .as_ref()
+            .map(|table| table.snapshots())
+            .unwrap_or_default()
+    }
+
     /// Registers (or re-weights) a tenant in both the registry and the
     /// weighted limiter.
     pub fn register_tenant(
@@ -255,6 +337,12 @@ impl CampaignManager {
             return Err(invalid(format!(
                 "loss_hint {} outside [0, 1)",
                 spec.loss_hint
+            )));
+        }
+        if spec.sequential_epsilon != 0.0 && !(0.0..1.0).contains(&spec.sequential_epsilon) {
+            return Err(invalid(format!(
+                "sequential_epsilon {} outside [0, 1)",
+                spec.sequential_epsilon
             )));
         }
         let n_max = spec.caches_hint.max(1);
@@ -314,6 +402,13 @@ impl CampaignManager {
                 checkpoints: 0,
                 checkpoint_path: None,
             }),
+            sequential: Mutex::new(if spec.sequential_epsilon > 0.0 {
+                Some(PlannerState::fresh(SequentialPlanner::new(
+                    spec.sequential_epsilon,
+                )))
+            } else {
+                None
+            }),
             cancel: AtomicBool::new(false),
             pause: AtomicBool::new(false),
             kill: AtomicBool::new(false),
@@ -351,6 +446,14 @@ impl CampaignManager {
             self.register_tenant(&snap.tenant, snap.weight, None)?;
         }
         let tenant = self.tenants.intern(&snap.tenant);
+        // Learned RTOs ride the snapshot: seed this process's estimator
+        // table so the resumed campaign keeps its adaptive deadlines
+        // instead of re-learning from the cold-start schedule.
+        if let Some(table) = &self.rto {
+            for (ingress, estimator) in &snap.rto {
+                table.restore(*ingress, estimator);
+            }
+        }
         // Keep fresh ids above every resumed id.
         if let Some(n) = snap
             .id
@@ -414,6 +517,7 @@ impl CampaignManager {
                         .join(CampaignSnapshot::file_name(&snap.id)),
                 ),
             }),
+            sequential: Mutex::new(snap.planner.map(PlannerState::fresh)),
             cancel: AtomicBool::new(false),
             pause: AtomicBool::new(false),
             kill: AtomicBool::new(false),
@@ -554,6 +658,26 @@ impl CampaignManager {
             camp.observed_base
                 + infra.count_honey_fetches(transport.net(), &camp.session.honey) as u64
         };
+        // Feed the sequential planner the tallies gathered since the
+        // previous drain — this is the only place fresh distinct-cache
+        // evidence becomes visible, so it is also where stopping
+        // decisions advance.
+        let planner = {
+            let (answered, timeouts) = {
+                let progress = camp.progress.lock();
+                (progress.answered, progress.timeouts)
+            };
+            let mut sequential = camp.sequential.lock();
+            sequential.as_mut().map(|state| {
+                state.feed(answered, timeouts, observed);
+                state.planner.clone()
+            })
+        };
+        let rto = self
+            .rto
+            .as_ref()
+            .map(|table| table.snapshots())
+            .unwrap_or_default();
         let snap;
         {
             let mut progress = camp.progress.lock();
@@ -575,6 +699,8 @@ impl CampaignManager {
                 observed,
                 seq: progress.checkpoints,
                 outcomes: progress.outcomes.clone(),
+                rto,
+                planner,
             };
         }
         let path = snap.write_to(&self.checkpoint_dir)?;
@@ -732,7 +858,10 @@ fn run_worker(mgr: &Arc<CampaignManager>, camp: &Arc<CampaignHandle>) {
             return;
         }
         let stopping = camp.cancel.load(Ordering::SeqCst) || camp.pause.load(Ordering::SeqCst);
-        if !stopping {
+        // The sequential rule only advances at checkpoint drains, so
+        // `converged` flips between iterations, never mid-submission.
+        let converged = camp.sequential_stopped();
+        if !stopping && !converged {
             while in_flight.len() < camp.window && next_submit < total {
                 if camp.progress.lock().outcomes[next_submit] != ProbeDisposition::Pending {
                     next_submit += 1; // restored from snapshot; skip
@@ -770,6 +899,12 @@ fn run_worker(mgr: &Arc<CampaignManager>, camp: &Arc<CampaignHandle>) {
 
         let completed = camp.progress.lock().completed;
         if completed >= camp.total {
+            finalize(mgr, camp, span);
+            return;
+        }
+        if converged && !stopping && in_flight.is_empty() {
+            // The exact-count criterion holds: end the campaign with the
+            // undecided remainder unspent.
             finalize(mgr, camp, span);
             return;
         }
@@ -829,10 +964,19 @@ fn finalize(mgr: &Arc<CampaignManager>, camp: &Arc<CampaignHandle>, span: Campai
     let (completed, answered, timeouts, observed, estimated, fully_accounted);
     {
         let report = mgr.report(&camp.id).expect("own campaign");
+        let sequential = camp.sequential.lock().is_some();
         let mut progress = camp.progress.lock();
-        progress.fully_accounted = report.fully_accounted(camp.total as usize);
-        let clamped = progress.observed.min(camp.total.max(1));
-        progress.estimated = estimate_cache_count(clamped, camp.total.max(1));
+        // A sequentially stopped campaign intentionally leaves the
+        // remainder unspent: accounting and the estimate run over the
+        // probes actually decided, not the budget ceiling.
+        let spent = if sequential {
+            progress.completed
+        } else {
+            camp.total
+        };
+        progress.fully_accounted = report.fully_accounted(spent as usize);
+        let clamped = progress.observed.min(spent.max(1));
+        progress.estimated = estimate_cache_count(clamped, spent.max(1));
         progress.state = CampaignState::Done;
         completed = progress.completed;
         answered = progress.answered;
@@ -840,6 +984,9 @@ fn finalize(mgr: &Arc<CampaignManager>, camp: &Arc<CampaignHandle>, span: Campai
         observed = clamped;
         estimated = progress.estimated;
         fully_accounted = progress.fully_accounted;
+    }
+    if completed < camp.total {
+        span.note("stopped_early", 1);
     }
     span.note("observed", observed);
     span.note("estimated", estimated);

@@ -17,7 +17,8 @@
 //! load, so newer writers stay readable by this parser.
 
 use crate::campaign::CampaignState;
-use cde_core::ProbePlan;
+use cde_core::{ProbePlan, SequentialPlanner};
+use cde_engine::rto::EstimatorSnapshot;
 use std::fs;
 use std::io::{self, Write};
 use std::net::Ipv4Addr;
@@ -25,7 +26,15 @@ use std::path::{Path, PathBuf};
 
 /// Current snapshot format version. Bump on incompatible changes;
 /// [`CampaignSnapshot::load`] rejects versions it does not understand.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// v2 added the adaptive-timing state: per-ingress `rto` estimator
+/// lines and the sequential planner's `seqplan` line. Both are absent
+/// in v1 files, which still load (estimators start cold, the planner
+/// stays disabled), so every pre-bump checkpoint remains resumable.
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// Oldest snapshot version [`CampaignSnapshot::decode`] still accepts.
+pub const MIN_SNAPSHOT_VERSION: u32 = 1;
 
 const MAGIC: &str = "cde-serve-checkpoint";
 
@@ -97,6 +106,14 @@ pub struct CampaignSnapshot {
     pub seq: u64,
     /// Per-probe dispositions, indexed by probe number.
     pub outcomes: Vec<ProbeDisposition>,
+    /// Learned per-ingress RTT estimator state at snapshot time, so a
+    /// resumed campaign keeps its adaptive timeouts instead of paying
+    /// the cold-start schedule again. Empty when the reactor runs the
+    /// static policy (and in every v1 snapshot).
+    pub rto: Vec<(Ipv4Addr, EstimatorSnapshot)>,
+    /// Sequential stopping state, present only for campaigns submitted
+    /// with early stopping enabled (and never in v1 snapshots).
+    pub planner: Option<SequentialPlanner>,
 }
 
 impl CampaignSnapshot {
@@ -130,6 +147,13 @@ impl CampaignSnapshot {
         out.push_str(&format!("seq={}\n", self.seq));
         out.push_str(&self.plan.snapshot_line());
         out.push('\n');
+        for (ingress, snap) in &self.rto {
+            out.push_str(&format!("rto {ingress} {}\n", snap.snapshot_fields()));
+        }
+        if let Some(planner) = &self.planner {
+            out.push_str(&planner.snapshot_line());
+            out.push('\n');
+        }
         out.push_str("outcomes=");
         for d in &self.outcomes {
             out.push(d.to_char());
@@ -149,9 +173,10 @@ impl CampaignSnapshot {
             .and_then(|rest| rest.trim().strip_prefix('v'))
             .and_then(|v| v.parse::<u32>().ok())
             .ok_or_else(|| bad(format!("bad snapshot header: {header:?}")))?;
-        if version != SNAPSHOT_VERSION {
+        if !(MIN_SNAPSHOT_VERSION..=SNAPSHOT_VERSION).contains(&version) {
             return Err(bad(format!(
-                "snapshot version {version} unsupported (expected {SNAPSHOT_VERSION})"
+                "snapshot version {version} unsupported \
+                 (expected {MIN_SNAPSHOT_VERSION}..={SNAPSHOT_VERSION})"
             )));
         }
         let mut id = None;
@@ -169,6 +194,8 @@ impl CampaignSnapshot {
         let mut seq = None;
         let mut plan = None;
         let mut outcomes = None;
+        let mut rto = Vec::new();
+        let mut planner = None;
         for line in lines {
             if line.is_empty() {
                 continue;
@@ -177,6 +204,25 @@ impl CampaignSnapshot {
                 plan = Some(
                     ProbePlan::from_snapshot_line(line)
                         .ok_or_else(|| bad(format!("bad plan line: {line:?}")))?,
+                );
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("rto ") {
+                let (ingress, fields) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| bad(format!("bad rto line: {line:?}")))?;
+                let ingress: Ipv4Addr = ingress
+                    .parse()
+                    .map_err(|_| bad(format!("bad rto ingress: {line:?}")))?;
+                let snap = EstimatorSnapshot::from_snapshot_fields(fields)
+                    .ok_or_else(|| bad(format!("bad rto fields: {line:?}")))?;
+                rto.push((ingress, snap));
+                continue;
+            }
+            if line.starts_with("seqplan ") {
+                planner = Some(
+                    SequentialPlanner::from_snapshot_line(line)
+                        .ok_or_else(|| bad(format!("bad seqplan line: {line:?}")))?,
                 );
                 continue;
             }
@@ -248,6 +294,8 @@ impl CampaignSnapshot {
             observed: observed.ok_or_else(|| missing("observed"))?,
             seq: seq.ok_or_else(|| missing("seq"))?,
             outcomes: outcomes.ok_or_else(|| missing("outcomes"))?,
+            rto,
+            planner,
         })
     }
 
@@ -319,6 +367,24 @@ mod tests {
                 ProbeDisposition::Pending,
                 ProbeDisposition::Answered,
             ],
+            rto: vec![(
+                Ipv4Addr::new(192, 0, 2, 1),
+                EstimatorSnapshot {
+                    srtt_us: 12_000,
+                    rttvar_us: 3_000,
+                    rto_us: 52_000,
+                    timeout_count: 1,
+                    samples: 9,
+                    timeouts: 2,
+                },
+            )],
+            planner: Some({
+                let mut p = SequentialPlanner::new(0.001);
+                p.record_delivered(3);
+                p.record_delivered(0);
+                p.record_lost(0);
+                p
+            }),
         }
     }
 
@@ -331,10 +397,38 @@ mod tests {
 
     #[test]
     fn version_mismatch_is_rejected() {
-        let text = sample().encode().replacen("v1", "v999", 1);
+        let text = sample().encode().replacen("v2", "v999", 1);
         let err = CampaignSnapshot::decode(&text).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("version 999"), "{err}");
+    }
+
+    #[test]
+    fn v1_snapshots_still_load() {
+        // A v1 file has no rto/seqplan lines: estimators start cold and
+        // the planner stays disabled, but everything else round-trips.
+        let mut old = sample();
+        old.rto.clear();
+        old.planner = None;
+        let text = old.encode().replacen("v2", "v1", 1);
+        let decoded = CampaignSnapshot::decode(&text).unwrap();
+        assert_eq!(decoded, old);
+        assert!(decoded.rto.is_empty());
+        assert!(decoded.planner.is_none());
+    }
+
+    #[test]
+    fn malformed_adaptive_lines_are_rejected() {
+        let good = sample().encode();
+        for (from, to) in [
+            ("rto 192.0.2.1 ", "rto not-an-ip "),
+            ("srtt_us=12000", "srtt_us=banana"),
+            ("seqplan epsilon=0.001", "seqplan epsilon=7.0"),
+        ] {
+            let text = good.replacen(from, to, 1);
+            assert_ne!(text, good, "pattern {from:?} must appear in encode()");
+            assert!(CampaignSnapshot::decode(&text).is_err(), "{from} -> {to}");
+        }
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Focused acceptance for the adaptive-timing checkpoint state: learned
+//! RTT estimators are restored verbatim on resume, and a campaign with
+//! sequential stopping enabled ends at the exact count without spending
+//! its full probe budget.
+
+use cde_core::{CdeInfra, ProbePlan, SequentialPlanner};
+use cde_engine::rto::EstimatorSnapshot;
+use cde_engine::{AdaptiveRtoConfig, LiveTestbed, ReactorConfig, ResolverConfig, RetryPolicy};
+use cde_platform::{NameserverNet, PlatformBuilder, ResolutionPlatform, SelectorKind};
+use cde_serve::{
+    CampaignManager, CampaignSnapshot, CampaignSpec, CampaignState, ManagerConfig,
+    ProbeDisposition, World,
+};
+use std::net::Ipv4Addr;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const INGRESS: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+const CACHES: usize = 4;
+
+fn build_world(seed: u64) -> (ResolutionPlatform, NameserverNet, CdeInfra) {
+    let mut net = NameserverNet::new();
+    let infra = CdeInfra::install(&mut net);
+    let platform = PlatformBuilder::new(seed)
+        .ingress(vec![INGRESS])
+        .egress((1..=2).map(|d| Ipv4Addr::new(192, 0, 3, d)).collect())
+        .cluster(CACHES, SelectorKind::Random)
+        .build();
+    (platform, net, infra)
+}
+
+fn adaptive_config(seed: u64) -> ReactorConfig {
+    ReactorConfig {
+        adaptive: Some(AdaptiveRtoConfig::default()),
+        ..ReactorConfig::with_policy(
+            RetryPolicy {
+                attempts: 4,
+                timeout: Duration::from_millis(250),
+                backoff: 1.5,
+                base_delay: Duration::from_millis(1),
+                jitter: 0.0,
+            },
+            seed,
+        )
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cde-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Resuming a snapshot with a synthetic, unmistakably large estimator
+/// record proves the restore path end to end: the live table's sample
+/// counter can only have come from the snapshot — a fresh campaign's
+/// handful of probes could never reach it.
+#[test]
+fn estimator_state_restores_from_snapshot() {
+    const PLANTED_SAMPLES: u64 = 100_000;
+    let dir = fresh_dir("rto-restore");
+    let (platform, net, infra) = build_world(11);
+    let testbed = LiveTestbed::launch(platform, net, ResolverConfig::default()).unwrap();
+    let transport = testbed.reactor_transport(adaptive_config(11)).unwrap();
+    let manager = CampaignManager::new(
+        World {
+            transport,
+            infra: infra.clone(),
+        },
+        ManagerConfig::new(dir.clone()),
+    );
+
+    let mut outcomes = vec![ProbeDisposition::Pending; 8];
+    outcomes[0] = ProbeDisposition::Answered;
+    let snap = CampaignSnapshot {
+        id: "c-1".into(),
+        tenant: "restore".into(),
+        weight: 1.0,
+        label: "rto".into(),
+        state: CampaignState::Paused,
+        ingress: INGRESS,
+        farm_size: 8,
+        redundancy: 1,
+        window: 4,
+        checkpoint_every: 0,
+        session_counter: 0,
+        plan: ProbePlan::for_target(CACHES as u64, 0.0),
+        observed: 1,
+        seq: 1,
+        outcomes,
+        rto: vec![(
+            INGRESS,
+            EstimatorSnapshot {
+                srtt_us: 20_000,
+                rttvar_us: 5_000,
+                rto_us: 60_000,
+                timeout_count: 0,
+                samples: PLANTED_SAMPLES,
+                timeouts: 3,
+            },
+        )],
+        planner: None,
+    };
+    snap.write_to(&dir).unwrap();
+
+    let id = manager.resume(snap).unwrap();
+    assert!(manager.join(&id));
+    let status = manager.status(&id).unwrap();
+    assert_eq!(status.state, CampaignState::Done);
+    assert_eq!(status.completed, 8);
+
+    let (_, live) = manager
+        .rto_snapshots()
+        .into_iter()
+        .find(|(ip, _)| *ip == INGRESS)
+        .expect("adaptive table must expose the ingress");
+    assert!(
+        live.samples >= PLANTED_SAMPLES,
+        "restored sample counter must persist and only grow: {live:?}"
+    );
+}
+
+/// With sequential stopping enabled, the campaign ends as soon as the
+/// exact-count criterion holds: same count, far fewer probes, and the
+/// planner's state (stopped) rides the terminal checkpoint.
+#[test]
+fn sequential_campaign_stops_early_at_the_exact_count() {
+    let dir = fresh_dir("seq-stop");
+    let (platform, net, infra) = build_world(23);
+    let testbed = LiveTestbed::launch(platform, net, ResolverConfig::default()).unwrap();
+    let transport = testbed.reactor_transport(adaptive_config(23)).unwrap();
+    let manager = CampaignManager::new(
+        World {
+            transport,
+            infra: infra.clone(),
+        },
+        ManagerConfig::new(dir.clone()),
+    );
+    let id = manager
+        .submit(CampaignSpec {
+            tenant: "seq".into(),
+            label: "early-stop".into(),
+            caches_hint: CACHES as u64,
+            farm_size: 256,
+            redundancy: 1,
+            window: 8,
+            checkpoint_every: 4,
+            sequential_epsilon: 0.001,
+            ..CampaignSpec::default()
+        })
+        .unwrap();
+    assert!(manager.join(&id));
+
+    let status = manager.status(&id).unwrap();
+    assert_eq!(status.state, CampaignState::Done, "{status:?}");
+    assert_eq!(status.observed, CACHES as u64, "{status:?}");
+    assert_eq!(status.estimated, CACHES as u64, "{status:?}");
+    assert!(
+        status.completed < status.total,
+        "sequential stopping must leave budget unspent: {status:?}"
+    );
+    assert!(status.fully_accounted, "{status:?}");
+
+    let snapshots = CampaignSnapshot::load_dir(&dir).unwrap();
+    assert_eq!(snapshots.len(), 1);
+    let planner = snapshots[0]
+        .planner
+        .clone()
+        .expect("terminal checkpoint must carry the planner");
+    assert!(planner.should_stop(), "{planner:?}");
+    assert_eq!(planner.observed(), CACHES as u64);
+
+    // The stopping decision round-trips the wire format, so a resumed
+    // process would make the same call.
+    let line = planner.snapshot_line();
+    assert_eq!(SequentialPlanner::from_snapshot_line(&line), Some(planner));
+}

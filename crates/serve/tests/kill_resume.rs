@@ -14,11 +14,15 @@
 //! Seeds come from `CDE_CHAOS_SEED`; failures print the replay recipe.
 
 use cde_core::CdeInfra;
-use cde_engine::{LiveTestbed, RateConfig, ReactorConfig, ResolverConfig, RetryPolicy};
+use cde_engine::{
+    AdaptiveRtoConfig, LiveTestbed, RateConfig, ReactorConfig, ResolverConfig, RetryPolicy,
+};
 use cde_faults::FaultPlan;
 use cde_netsim::{seed_from_env, SeedGuard};
 use cde_platform::{NameserverNet, PlatformBuilder, ResolutionPlatform, SelectorKind};
-use cde_serve::{CampaignManager, CampaignSpec, CampaignState, ManagerConfig, World};
+use cde_serve::{
+    CampaignManager, CampaignSnapshot, CampaignSpec, CampaignState, ManagerConfig, World,
+};
 use cde_telemetry::TelemetryHub;
 use std::net::Ipv4Addr;
 use std::path::PathBuf;
@@ -39,10 +43,13 @@ fn build_world(seed: u64) -> (ResolutionPlatform, NameserverNet, CdeInfra) {
 }
 
 /// Bursty chaos on the query path with a retry policy that can outlast
-/// a burst — the same shape the reactor chaos suite proves out.
+/// a burst — the same shape the reactor chaos suite proves out. The
+/// adaptive RTO table is on, so checkpoints must carry learned
+/// estimator state across the kill.
 fn chaos_config(seed: u64) -> ReactorConfig {
     ReactorConfig {
         faults: Some(FaultPlan::bursty(seed, 0.25, 3.0)),
+        adaptive: Some(AdaptiveRtoConfig::default()),
         ..ReactorConfig::with_policy(
             RetryPolicy {
                 attempts: 6,
@@ -136,6 +143,21 @@ fn killed_campaign_resumes_to_the_exact_cache_count() {
     );
     drop(manager);
 
+    // The snapshot on disk must carry the estimator state the first
+    // life learned under chaos.
+    let snapshots = CampaignSnapshot::load_dir(&dir).unwrap();
+    assert_eq!(snapshots.len(), 1, "seed {seed}");
+    let learned = snapshots[0]
+        .rto
+        .iter()
+        .find(|(ip, _)| *ip == INGRESS)
+        .map(|(_, s)| *s)
+        .unwrap_or_else(|| panic!("checkpoint has no rto line for {INGRESS} (seed {seed})"));
+    assert!(
+        learned.samples > 0,
+        "first life must have fed RTT samples (seed {seed}): {learned:?}"
+    );
+
     // Second life: a fresh manager over the same testbed finds the
     // snapshot, regenerates the exact session names, and finishes the
     // undecided remainder.
@@ -173,6 +195,18 @@ fn killed_campaign_resumes_to_the_exact_cache_count() {
     assert_eq!(
         status.estimated, CACHES as u64,
         "the resumed campaign must recover the planted cache count (seed {seed}): {status:?}"
+    );
+    // The second life restored the learned estimator before probing, so
+    // its live counters start at the checkpoint's values and only grow.
+    let restored = manager
+        .rto_snapshots()
+        .into_iter()
+        .find(|(ip, _)| *ip == INGRESS)
+        .map(|(_, s)| s)
+        .expect("adaptive reactor must expose the ingress estimator");
+    assert!(
+        restored.samples >= learned.samples,
+        "resume must keep learned RTT state (seed {seed}): {restored:?} vs {learned:?}"
     );
 }
 
