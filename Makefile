@@ -1,7 +1,7 @@
 # Convenience targets; everything builds offline from vendored deps
 # (third_party/, see README "Offline builds").
 
-.PHONY: build test chaos bench-smoke bench-json bench-check timing-check analyze-smoke serve-smoke lint
+.PHONY: build test chaos bench-smoke bench-json bench-check timing-check analyze-smoke serve-smoke forensics-smoke lint
 
 build:
 	cargo build --release --locked
@@ -48,10 +48,25 @@ analyze-smoke:
 serve-smoke:
 	scripts/serve_smoke.sh
 
+# Flight-recorder forensics round trip: run the chaos census with the
+# flight recorder on, dump the rings, and reconcile the dump into the
+# per-ingress fate table. The seeded chaos plan plants *query*-direction
+# loss only, so the dump must carry query-side wire evidence and zero
+# reply drops; `--check` additionally enforces the versioned header,
+# zero skipped lines and >=95% unanswered-probe coverage.
+forensics-smoke:
+	CDE_CHAOS_SEED=$${CDE_CHAOS_SEED:-4242} cargo run --release --locked --example live_loopback_census -- \
+		--chaos --flight-dump target/census_flight.jsonl
+	cargo run --release --locked -p cde-insight --bin cde-analyze -- \
+		target/census_flight.jsonl --forensics --check | tee target/census_forensics.txt
+	! grep -q 'wire observations: 0 query_dropped' target/census_forensics.txt
+	grep -q ', 0 reply_dropped' target/census_forensics.txt
+
 # Regenerate the engine benchmark and gate on the committed baseline:
 # fails when the reactor-vs-blocking speedup drops more than 25%, the
 # insight digests-on/off ratio regresses, the pulse-on/pulse-off health
-# sampling ratio regresses, per-shard scaling efficiency falls more
+# sampling ratio regresses, the flight-recorder on/off ratio regresses,
+# per-shard scaling efficiency falls more
 # than 10% below the baseline curve, (on a multi-core host) 2 shards
 # deliver less than 1.6x one shard, or the adaptive timing loop stops
 # beating the static plan on time-to-exact-count (see timing-check).

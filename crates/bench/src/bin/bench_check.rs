@@ -74,6 +74,21 @@ fn extract_pulse(json: &str) -> Vec<(u64, f64)> {
         .collect()
 }
 
+/// `(probes, ratio)` pairs for the flight-overhead gate: throughput
+/// with the always-on flight recorder live (one seqlocked lifecycle
+/// record per probe completion) over the flight-off reactor run.
+/// Absent from reports older than the `"flight"` array.
+fn extract_flight(json: &str) -> Vec<(u64, f64)> {
+    json.lines()
+        .filter_map(|line| {
+            Some((
+                field_f64(line, "probes")? as u64,
+                field_f64(line, "flight_on_vs_off")?,
+            ))
+        })
+        .collect()
+}
+
 /// `(shards, aggregate probes_per_sec)` pairs from the shard-scaling
 /// curve. Absent from reports older than the `"scaling"` array.
 fn extract_scaling(json: &str) -> Vec<(u64, f64)> {
@@ -339,6 +354,18 @@ fn main() -> ExitCode {
         );
     }
 
+    // Flight-recorder-overhead gate, likewise active only once the
+    // committed baseline records a `flight_on_vs_off` ratio.
+    let base_flight = extract_flight(&baseline);
+    if !base_flight.is_empty() {
+        failed |= gate(
+            "flight on/off ratio",
+            &base_flight,
+            &extract_flight(&fresh),
+            max_regress,
+        );
+    }
+
     // Shard-scaling gates (2-shard speedup on multi-core hosts,
     // per-shard efficiency vs baseline), likewise baseline-activated.
     failed |= gate_scaling(&baseline, &fresh);
@@ -400,6 +427,9 @@ mod tests {
   "pulse": [
     {"probes": 10000, "pulse_on_vs_off": 0.98}
   ],
+  "flight": [
+    {"probes": 10000, "flight_on_vs_off": 0.97}
+  ],
   "scaling": [
     {"shards": 1, "probes": 10000, "probes_per_sec": 80000.0, "per_shard_probes_per_sec": 80000.0},
     {"shards": 2, "probes": 10000, "probes_per_sec": 150000.0, "per_shard_probes_per_sec": 75000.0},
@@ -455,6 +485,32 @@ mod tests {
             "pulse on/off ratio",
             &extract_pulse(REPORT),
             &extract_pulse(&regressed),
+            0.25
+        ));
+    }
+
+    #[test]
+    fn extracts_flight_overhead_ratio() {
+        assert_eq!(extract_flight(REPORT), vec![(10000, 0.97)]);
+        assert!(extract_flight(r#"{"speedup": []}"#).is_empty());
+    }
+
+    /// The flight-recorder ratio gates like pulse and insight: a fresh
+    /// run whose flight-on throughput collapses past the floor fails,
+    /// and a pre-flight baseline (no `"flight"` array) keeps it off.
+    #[test]
+    fn flight_ratio_regression_fails_the_gate() {
+        assert!(!gate(
+            "flight on/off ratio",
+            &extract_flight(REPORT),
+            &extract_flight(REPORT),
+            0.25
+        ));
+        let regressed = REPORT.replace("\"flight_on_vs_off\": 0.97", "\"flight_on_vs_off\": 0.50");
+        assert!(gate(
+            "flight on/off ratio",
+            &extract_flight(REPORT),
+            &extract_flight(&regressed),
             0.25
         ));
     }

@@ -26,8 +26,8 @@
 //! Every run in the report shares one process-wide ephemeral port
 //! range and warm platform state, so execution order is part of the
 //! measurement. The order is fixed — runs/speedup, insight, pulse,
-//! scaling (1→2→4→8 shards, stamped with an explicit `order`), timing
-//! — and the RNG seeds are stamped into the JSON so a re-run is
+//! flight, scaling (1→2→4→8 shards, stamped with an explicit `order`),
+//! timing — and the RNG seeds are stamped into the JSON so a re-run is
 //! bit-comparable.
 
 use cde_core::{
@@ -36,8 +36,9 @@ use cde_core::{
 };
 use cde_engine::scheduler::{run_campaign, run_campaign_pipelined, CampaignOptions, Probe};
 use cde_engine::{
-    AdaptiveRtoConfig, CampaignReport, EngineClock, InsightOptions, LiveTestbed, LoopbackResolver,
-    PulseOptions, Reactor, ReactorConfig, ResolverConfig, RetryPolicy, Transport, UdpTransport,
+    AdaptiveRtoConfig, CampaignReport, EngineClock, FlightOptions, InsightOptions, LiveTestbed,
+    LoopbackResolver, PulseOptions, Reactor, ReactorConfig, ResolverConfig, RetryPolicy, Transport,
+    UdpTransport,
 };
 use cde_faults::FaultPlan;
 use cde_netsim::SimTime;
@@ -374,6 +375,7 @@ fn main() {
     let mut speedups: Vec<(usize, f64)> = Vec::new();
     let mut insight_ratios: Vec<(usize, f64)> = Vec::new();
     let mut pulse_ratios: Vec<(usize, f64)> = Vec::new();
+    let mut flight_ratios: Vec<(usize, f64)> = Vec::new();
     let mut last_registry: Option<std::sync::Arc<cde_telemetry::MetricsRegistry>> = None;
 
     for count in [1_000usize, 10_000] {
@@ -530,6 +532,38 @@ fn main() {
             pulse_ratios.push((count, ratio));
             runs.push(pulse_stats);
         }
+
+        // Flight-recorder overhead: the same campaign with the always-on
+        // flight ring live — every shard writes one seqlocked lifecycle
+        // record per probe completion (send/match/expiry timestamps, RTO,
+        // disposition, wire size). The ratio against the flight-off run
+        // gates the recorder's hot-path cost in CI.
+        if count == 10_000 {
+            let reactor = Reactor::launch(
+                addrs.clone(),
+                ReactorConfig {
+                    shards: 1,
+                    flight: Some(FlightOptions::default()),
+                    ..ReactorConfig::with_policy(bench_policy(), BENCH_SEED)
+                },
+            )
+            .expect("flight reactor");
+            let start = Instant::now();
+            let report = run_campaign_pipelined(
+                &reactor,
+                probe_batch(&session.honey, count),
+                REACTOR_WINDOW,
+            );
+            let flight_stats = stats("reactor_flight", 1, 1, count, start.elapsed(), &report);
+            let ratio = flight_stats.probes_per_sec() / reactor_pps;
+            eprintln!(
+                "flight    {:>6} probes  {:>10.0} probes/s  flight on/off {ratio:.2}x",
+                count,
+                flight_stats.probes_per_sec(),
+            );
+            flight_ratios.push((count, ratio));
+            runs.push(flight_stats);
+        }
     }
 
     // Shard scaling curve: the same 10k-probe campaign through 1, 2, 4
@@ -630,6 +664,10 @@ fn main() {
         .iter()
         .map(|(count, r)| format!("    {{\"probes\": {count}, \"pulse_on_vs_off\": {r:.2}}}"))
         .collect();
+    let flight_json: Vec<String> = flight_ratios
+        .iter()
+        .map(|(count, r)| format!("    {{\"probes\": {count}, \"flight_on_vs_off\": {r:.2}}}"))
+        .collect();
     let scaling_json: Vec<String> = scaling
         .iter()
         .map(|(order, shards, pps)| {
@@ -646,7 +684,8 @@ fn main() {
          \"description\": \"loopback probe campaigns, blocking worker pool vs event-driven reactor\",\n  \
          \"seed\": {},\n  \"available_parallelism\": {},\n  \"reactor_window\": {},\n  \
          \"runs\": [\n{}\n  ],\n  \"speedup\": [\n{}\n  ],\n  \"insight\": [\n{}\n  ],\n  \
-         \"pulse\": [\n{}\n  ],\n  \"scaling\": [\n{}\n  ],\n  \"timing\": [\n{}\n  ]\n}}\n",
+         \"pulse\": [\n{}\n  ],\n  \"flight\": [\n{}\n  ],\n  \"scaling\": [\n{}\n  ],\n  \
+         \"timing\": [\n{}\n  ]\n}}\n",
         BENCH_SEED,
         std::thread::available_parallelism().map_or(0, usize::from),
         REACTOR_WINDOW,
@@ -654,6 +693,7 @@ fn main() {
         speedups_json.join(",\n"),
         insight_json.join(",\n"),
         pulse_json.join(",\n"),
+        flight_json.join(",\n"),
         scaling_json.join(",\n"),
         timing_json,
     );

@@ -73,6 +73,16 @@
 //!   (bursty loss, duplication, delay spikes, REFUSED rate limiting);
 //!   the reactor and [`UdpTransport`](udp::UdpTransport) additionally
 //!   wear plans natively at their socket seams for live-loopback chaos.
+//! * [`flight`] — [`FlightRecorder`](flight::FlightRecorder): the
+//!   always-on black box. With
+//!   [`ReactorConfig::flight`](reactor::ReactorConfig::flight) set, each
+//!   shard loop writes a bounded seqlock ring of full-fidelity probe
+//!   lifecycle records (send/match/expiry timestamps, RTO used,
+//!   disposition, wire size, query id) plus per-datagram fault-layer
+//!   wire observations, drop-oldest with exact shed accounting. Dump
+//!   triggers snapshot it to a versioned JSONL artifact that
+//!   `cde-analyze --forensics` reconciles into a per-ingress fate table
+//!   (query-lost vs reply-lost vs matched-late-as-stray).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -81,6 +91,7 @@ pub mod authority;
 pub mod bufpool;
 pub mod clock;
 pub mod faulty;
+pub mod flight;
 pub mod metrics;
 pub mod ratelimit;
 pub mod reactor;
@@ -102,6 +113,7 @@ pub use bufpool::{BufferPool, PoolStats};
 pub use cde_sysio::MAX_BATCH;
 pub use clock::EngineClock;
 pub use faulty::FaultyTransport;
+pub use flight::{FlightDisposition, FlightOptions, FlightRecord, FlightRecorder, FlightRing};
 pub use metrics::{EngineMetrics, MetricsBlock, MetricsSnapshot};
 pub use ratelimit::{RateConfig, RateLimiter, TenantRate, WeightedRateLimiter};
 pub use reactor::{

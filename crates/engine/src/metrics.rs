@@ -118,6 +118,10 @@ pub struct MetricsBlock {
     /// Loss-aware submit window currently applied by the pipelined
     /// scheduler (0 when pacing is off or before the first adjustment).
     paced_window: AtomicU64,
+    /// Lifecycle records written to the shard's flight ring.
+    flight_records: AtomicU64,
+    /// Flight-ring records overwritten unread (drop-oldest sheds).
+    flight_shed: AtomicU64,
 }
 
 impl MetricsBlock {
@@ -254,6 +258,16 @@ impl MetricsBlock {
         self.paced_window.store(n, Ordering::Relaxed);
     }
 
+    /// Records one lifecycle record written to the flight ring.
+    pub fn record_flight_record(&self) {
+        self.flight_records.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one flight-ring record shed by drop-oldest.
+    pub fn record_flight_shed(&self) {
+        self.flight_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut latency_buckets = [0u64; BUCKETS];
@@ -303,6 +317,8 @@ impl MetricsBlock {
             adaptive_deadlines: self.adaptive_deadlines.load(Ordering::Relaxed),
             rto_backoffs: self.rto_backoffs.load(Ordering::Relaxed),
             paced_window: self.paced_window.load(Ordering::Relaxed),
+            flight_records: self.flight_records.load(Ordering::Relaxed),
+            flight_shed: self.flight_shed.load(Ordering::Relaxed),
         }
     }
 }
@@ -566,6 +582,10 @@ pub struct MetricsSnapshot {
     /// Loss-aware submit window at snapshot time (0 when pacing is off;
     /// summed when merged, but only block 0's scheduler ever sets it).
     pub paced_window: u64,
+    /// Lifecycle records written to the shard flight rings.
+    pub flight_records: u64,
+    /// Flight-ring records overwritten unread (drop-oldest sheds).
+    pub flight_shed: u64,
 }
 
 impl MetricsSnapshot {
@@ -614,6 +634,8 @@ impl MetricsSnapshot {
         self.adaptive_deadlines += other.adaptive_deadlines;
         self.rto_backoffs += other.rto_backoffs;
         self.paced_window += other.paced_window;
+        self.flight_records += other.flight_records;
+        self.flight_shed += other.flight_shed;
     }
 
     /// Observed datagram loss rate: unanswered sends over sends.
@@ -912,6 +934,16 @@ fn collect_snapshot(s: &MetricsSnapshot, shard: Option<u64>, out: &mut Vec<Metri
         "cde_engine_paced_window",
         "Loss-aware submit window applied by the pipelined scheduler",
         s.paced_window as f64,
+    )));
+    out.push(label(Metric::counter(
+        "cde_engine_flight_records_total",
+        "Probe lifecycle records written to the flight recorder rings",
+        s.flight_records,
+    )));
+    out.push(label(Metric::counter(
+        "cde_engine_flight_shed_total",
+        "Flight-recorder records overwritten unread (drop-oldest)",
+        s.flight_shed,
     )));
     out.push(label(Metric::gauge(
         "cde_engine_wheel_pending",

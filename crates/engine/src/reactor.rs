@@ -36,6 +36,7 @@
 
 use crate::authority::WireAuthority;
 use crate::bufpool::BufferPool;
+use crate::flight::{FlightOptions, FlightRecorder};
 use crate::metrics::EngineMetrics;
 use crate::ratelimit::RateLimiter;
 use crate::resolver::LoopbackResolver;
@@ -140,6 +141,15 @@ pub struct ReactorConfig {
     /// into [`registry`](Self::registry) and is obtained from
     /// [`Reactor::rto`].
     pub adaptive: Option<crate::rto::AdaptiveRtoConfig>,
+    /// Always-on flight recorder: each shard loop writes a bounded ring
+    /// of full-fidelity probe lifecycle records
+    /// ([`FlightRecord`](crate::flight::FlightRecord)s — send / match /
+    /// expiry timestamps, RTO used, disposition, wire size, query id),
+    /// drop-oldest with exact shed accounting. Obtained from
+    /// [`Reactor::flight`]; dump triggers (health transitions, operator
+    /// requests, SIGUSR1) snapshot it to the versioned JSONL artifact
+    /// `cde-analyze --forensics` consumes.
+    pub flight: Option<FlightOptions>,
 }
 
 /// Knobs for the reactor's health-capture tier.
@@ -219,6 +229,7 @@ impl Default for ReactorConfig {
             insight: None,
             pulse: None,
             adaptive: None,
+            flight: None,
         }
     }
 }
@@ -252,6 +263,7 @@ struct HandleShared {
     metrics: Arc<EngineMetrics>,
     telemetry: Arc<TelemetryHub>,
     exemplars: Option<Arc<ExemplarReservoir>>,
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 /// Clone-able submission handle to a running [`Reactor`].
@@ -324,6 +336,13 @@ impl ReactorHandle {
     pub fn exemplars(&self) -> Option<Arc<ExemplarReservoir>> {
         self.shared.exemplars.as_ref().map(Arc::clone)
     }
+
+    /// The flight recorder — `None` unless the reactor was launched with
+    /// [`ReactorConfig::flight`]. Dump paths snapshot through this
+    /// without touching the shard loops.
+    pub fn flight(&self) -> Option<Arc<FlightRecorder>> {
+        self.shared.flight.as_ref().map(Arc::clone)
+    }
 }
 
 impl std::fmt::Debug for ReactorHandle {
@@ -341,6 +360,7 @@ pub struct ShardedReactor {
     fault_stats: Option<Arc<FaultStats>>,
     insight: Option<Arc<ReactorInsight>>,
     rto: Option<Arc<RtoTable>>,
+    flight: Option<Arc<FlightRecorder>>,
     shutdown: Arc<AtomicBool>,
     drain: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
@@ -397,6 +417,10 @@ impl ShardedReactor {
             .adaptive
             .as_ref()
             .map(|cfg| Arc::new(RtoTable::for_targets(targets.keys().copied(), *cfg)));
+        let flight = config
+            .flight
+            .as_ref()
+            .map(|opts| Arc::new(FlightRecorder::new(shards, opts.per_shard)));
         if let Some(registry) = &config.registry {
             registry.register(Arc::clone(&metrics) as Arc<dyn cde_telemetry::Collector>);
             registry.register(Arc::clone(&telemetry) as Arc<dyn cde_telemetry::Collector>);
@@ -478,6 +502,7 @@ impl ShardedReactor {
                 shard_id: i as u32,
                 exemplars: exemplars.as_ref().map(Arc::clone),
                 rto: rto.as_ref().map(Arc::clone),
+                flight: flight.as_ref().map(|f| f.ring(i)),
             };
             let thread = std::thread::Builder::new()
                 .name(format!("cde-reactor-{i}"))
@@ -497,12 +522,14 @@ impl ShardedReactor {
                     metrics,
                     telemetry,
                     exemplars,
+                    flight: flight.as_ref().map(Arc::clone),
                 }),
             },
             policy: config.policy,
             fault_stats,
             insight,
             rto,
+            flight,
             shutdown,
             drain,
             threads,
@@ -567,6 +594,13 @@ impl ShardedReactor {
     /// launched with [`ReactorConfig::pulse`].
     pub fn exemplars(&self) -> Option<Arc<ExemplarReservoir>> {
         self.handle.exemplars()
+    }
+
+    /// The always-on flight recorder — `None` unless the reactor was
+    /// launched with [`ReactorConfig::flight`]. Snapshot/render it at
+    /// any time; readers never block the shard loops.
+    pub fn flight(&self) -> Option<Arc<FlightRecorder>> {
+        self.flight.as_ref().map(Arc::clone)
     }
 
     fn wake_all(&self) {
@@ -981,6 +1015,126 @@ mod tests {
         assert!(worst.lifetime_us > 0);
         assert!(worst.lifetime_us >= worst.rtt_us);
         assert!(reservoir.worst_lifetime_us() >= worst.lifetime_us);
+    }
+
+    #[test]
+    fn flight_ring_records_full_probe_lifecycles() {
+        let server = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        server
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let server_addr = server.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let server_thread = std::thread::spawn({
+            let stop = Arc::clone(&stop);
+            move || {
+                let mut buf = [0u8; 2048];
+                while !stop.load(Ordering::SeqCst) {
+                    let Ok((len, peer)) = server.recv_from(&mut buf) else {
+                        continue;
+                    };
+                    if let Ok(q) = Message::decode(&buf[..len]) {
+                        let resp = Message::response_to(&q);
+                        let _ = server.send_to(&resp.encode().unwrap(), peer);
+                    }
+                }
+            }
+        });
+
+        let ingress = Ipv4Addr::new(192, 0, 2, 11);
+        let unroutable = Ipv4Addr::new(192, 0, 2, 12);
+        let mut targets = HashMap::new();
+        targets.insert(ingress, server_addr);
+        let config = ReactorConfig {
+            flight: Some(FlightOptions { per_shard: 256 }),
+            ..ReactorConfig::with_policy(policy_ms(3, 500), 33)
+        };
+        let reactor = Reactor::launch(targets, config).unwrap();
+        let recorder = reactor.flight().expect("flight configured");
+        let (done_tx, done_rx) = unbounded();
+        let total = 40u64;
+        let handle = reactor.handle();
+        assert!(handle.flight().is_some(), "handle exposes the recorder");
+        for token in 0..total {
+            let qname: Name = format!("f-{token}.cache.example").parse().unwrap();
+            assert!(handle.submit(token, ingress, qname, RecordType::A, &done_tx));
+        }
+        let qname: Name = "f-unroutable.cache.example".parse().unwrap();
+        assert!(handle.submit(total, unroutable, qname, RecordType::A, &done_tx));
+        for _ in 0..=total {
+            done_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        }
+        stop.store(true, Ordering::SeqCst);
+        server_thread.join().unwrap();
+
+        assert_eq!(recorder.written(), total + 1);
+        assert_eq!(recorder.shed(), 0);
+        let records = recorder.snapshot();
+        assert_eq!(records.len() as u64, total + 1);
+        let answered: Vec<_> = records
+            .iter()
+            .filter(|r| r.disposition == crate::flight::FlightDisposition::Answered)
+            .collect();
+        assert_eq!(answered.len() as u64, total);
+        for r in &answered {
+            assert_eq!(r.ingress, ingress);
+            assert!(r.attempts >= 1);
+            assert!(r.sent_at_us > 0, "answered probes were sent");
+            assert!(r.matched_at_us >= r.sent_at_us, "match follows send");
+            assert_eq!(r.expired_at_us, 0, "answered probes never expired");
+            assert!(r.rto_us > 0, "the armed deadline is recorded");
+            assert!(r.wire_size > 0, "encoded size is recorded");
+            assert!(r.recorded_at_us >= r.matched_at_us);
+        }
+        let dead: Vec<_> = records
+            .iter()
+            .filter(|r| r.disposition == crate::flight::FlightDisposition::Unroutable)
+            .collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].token, total);
+        assert_eq!(dead[0].ingress, unroutable);
+        assert_eq!(
+            dead[0].sent_at_us, 0,
+            "unroutable probes never hit the wire"
+        );
+        let snap = reactor.metrics().snapshot();
+        assert_eq!(snap.flight_records, total + 1);
+        assert_eq!(snap.flight_shed, 0);
+        // The dump artifact renders with the versioned header.
+        let dump = recorder.render_jsonl();
+        assert!(dump.starts_with("{\"kind\": \"flight_header\", \"flight_version\": 1"));
+    }
+
+    #[test]
+    fn flight_ring_records_expiries_with_final_deadline() {
+        let sink = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let ingress = Ipv4Addr::new(192, 0, 2, 13);
+        let mut targets = HashMap::new();
+        targets.insert(ingress, sink.local_addr().unwrap());
+        let config = ReactorConfig {
+            flight: Some(FlightOptions::default()),
+            ..ReactorConfig::with_policy(policy_ms(2, 15), 17)
+        };
+        let reactor = Reactor::launch(targets, config).unwrap();
+        let (done_tx, done_rx) = unbounded();
+        let qname: Name = "t.cache.example".parse().unwrap();
+        assert!(reactor
+            .handle()
+            .submit(5, ingress, qname, RecordType::A, &done_tx));
+        let c = done_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(c.reply, TransportReply::TimedOut);
+        let records = reactor.flight().unwrap().snapshot();
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        assert_eq!(r.disposition, crate::flight::FlightDisposition::TimedOut);
+        assert_eq!(r.token, 5);
+        assert_eq!(r.attempts, 2, "both attempts were made before giving up");
+        assert!(r.sent_at_us > 0);
+        assert_eq!(r.matched_at_us, 0, "no reply ever matched");
+        assert!(
+            r.expired_at_us >= r.sent_at_us,
+            "expiry follows the last send"
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! one shard's targets), and the insight digest set (lock-free atomics).
 
 use crate::bufpool::BufferPool;
+use crate::flight::{FlightDisposition, FlightRecord, FlightRing};
 use crate::metrics::MetricsBlock;
 use crate::ratelimit::RateLimiter;
 use crate::reactor::{ProbeCompletion, ReactorInsight};
@@ -202,6 +203,9 @@ pub(crate) struct Pending {
     /// Admission-to-first-send latency in microseconds; `u64::MAX` until
     /// the first send goes out.
     queue_us: u64,
+    /// Deadline armed for the most recent attempt, in microseconds —
+    /// the "RTO used" the flight record reports. 0 until the first send.
+    last_rto_us: u32,
     state: PendingState,
     done: Sender<ProbeCompletion>,
 }
@@ -347,6 +351,9 @@ pub(crate) struct ShardLoop {
     /// ingress's cell is only ever written by the one shard that owns
     /// the ingress). `None` runs the static [`RetryPolicy`] schedule.
     pub(crate) rto: Option<Arc<RtoTable>>,
+    /// This shard's flight-recorder ring; the loop is its single
+    /// writer. `None` when the recorder is off.
+    pub(crate) flight: Option<Arc<FlightRing>>,
 }
 
 /// Builds a shard's pending-slot vector (the type is private to this
@@ -355,7 +362,21 @@ pub(crate) fn empty_slots(max_in_flight: usize) -> Vec<Option<Pending>> {
     (0..max_in_flight).map(|_| None).collect()
 }
 
+/// Attempts-made for a flight record from a zero-based attempt index.
+fn attempts_made(attempt: u32) -> u8 {
+    (attempt + 1).min(255) as u8
+}
+
 impl ShardLoop {
+    /// Writes one record into this shard's flight ring (the caller has
+    /// already checked the ring exists) and keeps the counters exact.
+    fn flight_write(&self, ring: &FlightRing, rec: &FlightRecord) {
+        if ring.record(rec) {
+            self.block.record_flight_shed();
+        }
+        self.block.record_flight_record();
+    }
+
     /// Starts a sampled phase timer; `None` when capture is off or this
     /// entry is not sampled. Zero-cost (no clock read) in both cases.
     #[inline]
@@ -485,6 +506,26 @@ impl ShardLoop {
             Some(SocketAddr::V4(v4)) => *v4,
             // No route to this ingress — indistinguishable from loss.
             _ => {
+                if let Some(ring) = &self.flight {
+                    let now_us = ring.now_us();
+                    self.flight_write(
+                        ring,
+                        &FlightRecord {
+                            token: sub.token,
+                            ingress: sub.ingress,
+                            shard: self.shard_id as u16,
+                            attempts: 0,
+                            disposition: FlightDisposition::Unroutable,
+                            recorded_at_us: now_us,
+                            sent_at_us: 0,
+                            matched_at_us: 0,
+                            expired_at_us: now_us,
+                            rto_us: 0,
+                            wire_size: 0,
+                            qid: 0,
+                        },
+                    );
+                }
                 self.block.record_timeout();
                 self.telemetry.emit(
                     0,
@@ -516,6 +557,7 @@ impl ShardLoop {
             sent_at: Instant::now(),
             admitted_at: Instant::now(),
             queue_us: u64::MAX,
+            last_rto_us: 0,
             state: PendingState::Scheduled,
             done: sub.done,
         });
@@ -723,6 +765,7 @@ impl ShardLoop {
                                 }
                                 None => self.policy.timeout_for(p.attempt),
                             };
+                            p.last_rto_us = timeout.as_micros().min(u128::from(u32::MAX)) as u32;
                             let deadline = now_tick + Self::ticks(timeout).max(1);
                             self.timers.schedule(
                                 deadline,
@@ -808,7 +851,31 @@ impl ShardLoop {
                 }
             }
             // Nothing reaches the wire; the deadline timer will fire.
-            Verdict::Drop(_) => {}
+            // The flight ring keeps the engine-side wire observation —
+            // this query died *outbound*, so the cache behind the target
+            // stayed cold. Forensics joins it back by token.
+            Verdict::Drop(_) => {
+                if let Some(ring) = &self.flight {
+                    let now_us = ring.now_us();
+                    self.flight_write(
+                        ring,
+                        &FlightRecord {
+                            token: p.token,
+                            ingress: p.ingress,
+                            shard: self.shard_id as u16,
+                            attempts: attempts_made(p.attempt),
+                            disposition: FlightDisposition::QueryDropped,
+                            recorded_at_us: now_us,
+                            sent_at_us: now_us,
+                            matched_at_us: 0,
+                            expired_at_us: 0,
+                            rto_us: 0,
+                            wire_size: p.bytes.len().min(usize::from(u16::MAX)) as u16,
+                            qid: p.id,
+                        },
+                    );
+                }
+            }
             Verdict::Deliver(copies) => {
                 for copy in copies {
                     let len = copy.truncate_to.unwrap_or(p.bytes.len()).min(p.bytes.len());
@@ -841,7 +908,41 @@ impl ShardLoop {
                 .injector
                 .decide(Direction::ServerToClient, now, bytes.len())
             {
-                Verdict::Drop(_) | Verdict::Refuse => {}
+                // The reply existed and died *inbound*: the query did
+                // reach the serving chain (the cache is warm). Joined
+                // back to its probe by the correlation entry, which is
+                // still live — the deadline hasn't retired it yet.
+                Verdict::Drop(_) => {
+                    if let Some(ring) = &self.flight {
+                        let peeked = MessagePeek::parse(bytes).ok();
+                        let qid = peeked.as_ref().map(MessagePeek::id).unwrap_or(0);
+                        let (token, ingress, attempts) = peeked
+                            .and_then(|pk| self.correlation.get(&(socket_idx, pk.id())).copied())
+                            .and_then(|slot| self.slots[slot].as_ref())
+                            .map(|p| (p.token, p.ingress, attempts_made(p.attempt)))
+                            .unwrap_or((FlightRecord::NO_TOKEN, *from.ip(), 0));
+                        let now_us = ring.now_us();
+                        let rec = FlightRecord {
+                            token,
+                            ingress,
+                            shard: self.shard_id as u16,
+                            attempts,
+                            disposition: FlightDisposition::ReplyDropped,
+                            recorded_at_us: now_us,
+                            sent_at_us: 0,
+                            matched_at_us: 0,
+                            expired_at_us: 0,
+                            rto_us: 0,
+                            wire_size: bytes.len().min(usize::from(u16::MAX)) as u16,
+                            qid,
+                        };
+                        if ring.record(&rec) {
+                            self.block.record_flight_shed();
+                        }
+                        self.block.record_flight_record();
+                    }
+                }
+                Verdict::Refuse => {}
                 Verdict::Deliver(copies) => {
                     for copy in copies {
                         let len = copy.truncate_to.unwrap_or(bytes.len()).min(bytes.len());
@@ -906,6 +1007,26 @@ impl ShardLoop {
             // already retired the attempt — including a reply that
             // somehow landed on a socket whose shard never sent the
             // probe (correlation is strictly shard-local).
+            if let Some(ring) = &self.flight {
+                let now_us = ring.now_us();
+                self.flight_write(
+                    ring,
+                    &FlightRecord {
+                        token: FlightRecord::NO_TOKEN,
+                        ingress: *from.ip(),
+                        shard: self.shard_id as u16,
+                        attempts: 0,
+                        disposition: FlightDisposition::StrayReply,
+                        recorded_at_us: now_us,
+                        sent_at_us: 0,
+                        matched_at_us: 0,
+                        expired_at_us: 0,
+                        rto_us: 0,
+                        wire_size: bytes.len().min(usize::from(u16::MAX)) as u16,
+                        qid: peek.id(),
+                    },
+                );
+            }
             self.block.record_stray_reply();
             self.telemetry.emit(
                 0,
@@ -996,6 +1117,53 @@ impl ShardLoop {
     fn complete(&mut self, slot: usize, reply: TransportReply) {
         let p = self.slots[slot].take().expect("completing occupied slot");
         self.correlation.remove(&(p.socket, p.id));
+        if let Some(ring) = self.flight.as_ref().map(Arc::clone) {
+            let now_us = ring.now_us();
+            let disposition = match &reply {
+                TransportReply::Answered { rcode, .. } => {
+                    if *rcode == cde_dns::Rcode::Refused {
+                        FlightDisposition::Refused
+                    } else {
+                        FlightDisposition::Answered
+                    }
+                }
+                TransportReply::TimedOut => FlightDisposition::TimedOut,
+            };
+            let ever_sent = p.queue_us != u64::MAX;
+            self.flight_write(
+                &ring,
+                &FlightRecord {
+                    token: p.token,
+                    ingress: p.ingress,
+                    shard: self.shard_id as u16,
+                    attempts: if ever_sent {
+                        attempts_made(p.attempt)
+                    } else {
+                        0
+                    },
+                    disposition,
+                    recorded_at_us: now_us,
+                    sent_at_us: if ever_sent {
+                        ring.instant_us(p.sent_at)
+                    } else {
+                        0
+                    },
+                    matched_at_us: if disposition == FlightDisposition::TimedOut {
+                        0
+                    } else {
+                        now_us
+                    },
+                    expired_at_us: if disposition == FlightDisposition::TimedOut {
+                        now_us
+                    } else {
+                        0
+                    },
+                    rto_us: p.last_rto_us,
+                    wire_size: p.bytes.len().min(usize::from(u16::MAX)) as u16,
+                    qid: p.id,
+                },
+            );
+        }
         self.pool.give(p.bytes);
         self.occupied -= 1;
         self.free_slots.push(slot);

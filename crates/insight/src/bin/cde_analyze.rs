@@ -1,7 +1,7 @@
 //! `cde-analyze` — offline analysis of telemetry JSONL traces.
 //!
 //! ```text
-//! cde-analyze <trace.jsonl> [--json] [--check] [--health]
+//! cde-analyze <trace.jsonl> [--json] [--check] [--health] [--forensics]
 //! ```
 //!
 //! Reads the JSONL stream a campaign wrote via `--telemetry-jsonl` (or
@@ -9,16 +9,23 @@
 //! RTT percentile tables, health scorecards and the cached/uncached
 //! mode split. `--json` emits the machine-readable report instead;
 //! `--check` additionally fails (exit 1) unless at least one campaign
-//! completed with clean RTT samples — the CI smoke criterion.
+//! completed with clean RTT samples *and* no trace line was skipped as
+//! malformed — the CI smoke criterion.
 //! `--health` replays the trace through the `cde-pulse` SLO engine and
 //! prints the verdict timeline the live `/v1/health` endpoint would
 //! have served (instead of the standard report).
+//! `--forensics` treats the input as a flight-recorder dump instead of
+//! a telemetry trace: it joins probe lifecycle records with wire
+//! observations and prints the per-ingress fate table (query-lost vs
+//! reply-lost vs matched-late-as-stray); with `--check` it fails
+//! unless the dump has its versioned header, zero skipped lines, and
+//! ≥95% of unanswered probes classified.
 //! Exit code 2 means the trace could not be read.
 
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cde-analyze <trace.jsonl> [--json] [--check] [--health]");
+    eprintln!("usage: cde-analyze <trace.jsonl> [--json] [--check] [--health] [--forensics]");
     ExitCode::from(2)
 }
 
@@ -27,11 +34,13 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut check = false;
     let mut health = false;
+    let mut forensics = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => json = true,
             "--check" => check = true,
             "--health" => health = true,
+            "--forensics" => forensics = true,
             "--help" | "-h" => return usage(),
             other if path.is_none() => path = Some(other.to_string()),
             other => {
@@ -57,6 +66,32 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if forensics {
+        let report = cde_insight::analyze_forensics(&trace);
+        if json {
+            print!("{}", report.render_json());
+        } else {
+            print!("{}", report.render_text());
+        }
+        if check {
+            eprintln!(
+                "forensics-check: {} probe(s), {} unanswered, {}/{} classified, {} line(s) skipped",
+                report.totals.probes,
+                report.totals.unanswered,
+                report.classified(),
+                report.totals.unanswered,
+                report.lines_skipped
+            );
+            if !report.check() {
+                eprintln!(
+                    "forensics-check: FAIL — header missing, lines skipped, or coverage < 95%"
+                );
+                return ExitCode::from(1);
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
     let analysis = cde_insight::analyze(&trace);
     if json {
         print!("{}", analysis.render_json());
@@ -71,11 +106,20 @@ fn main() -> ExitCode {
             .count();
         let samples: usize = analysis.campaigns.iter().map(|c| c.rtt_us.len()).sum();
         eprintln!(
-            "analyze-check: {} campaign(s), {completed} completed, {samples} clean rtt sample(s)",
-            analysis.campaigns.len()
+            "analyze-check: {} campaign(s), {completed} completed, {samples} clean rtt sample(s), \
+             {} line(s) skipped",
+            analysis.campaigns.len(),
+            analysis.unparsed
         );
         if !analysis.check() {
             eprintln!("analyze-check: FAIL — no completed campaign with clean RTT samples");
+            return ExitCode::from(1);
+        }
+        if analysis.unparsed > 0 {
+            eprintln!(
+                "analyze-check: FAIL — {} malformed line(s) skipped",
+                analysis.unparsed
+            );
             return ExitCode::from(1);
         }
     }

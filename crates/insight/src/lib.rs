@@ -31,6 +31,12 @@
 //! * [`health`] — replays a trace through the `cde-pulse` SLO engine
 //!   (`cde-analyze --health`): the verdict timeline the live
 //!   `/v1/health` endpoint would have served.
+//! * [`forensics`] — the loss-forensics reconciler behind
+//!   `cde-analyze --forensics`: joins a flight-recorder dump's probe
+//!   lifecycle records with its fault-layer wire observations and
+//!   classifies every unanswered probe (query-lost vs reply-lost vs
+//!   matched-late-as-stray) into a per-ingress fate table — the
+//!   per-probe version of the paper's cold-vs-warm cache distinction.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +44,7 @@
 pub mod bimodal;
 pub mod digest;
 pub mod estimator;
+pub mod forensics;
 pub mod health;
 pub mod phase;
 pub mod scorecard;
@@ -46,6 +53,7 @@ pub mod trace;
 pub use bimodal::{split_digest, split_modes, ModeSplit, ModeStats};
 pub use digest::{DigestSnapshot, RttDigest, RttDigestSet, BUCKETS, SUB_BITS};
 pub use estimator::{EstimatorSnapshot, RttConfig, RttEstimator, GRANULARITY_US};
+pub use forensics::{analyze_forensics, FateRow, FlightDump, Forensics};
 pub use health::{replay_health, HealthReplay, ReplayPoint};
 pub use phase::{Phase, PhaseProfiler, PhaseStats, PHASES};
 pub use scorecard::Scorecard;

@@ -207,7 +207,7 @@ impl TraceAnalysis {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "trace: {} lines ({} unparsed), {} campaign span(s)",
+            "trace: {} lines ({} skipped as malformed), {} campaign span(s)",
             self.lines,
             self.unparsed,
             self.campaigns.len()
@@ -276,7 +276,7 @@ impl TraceAnalysis {
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{\n  \"lines\": {}, \"unparsed\": {}, \"check\": {},\n  \"campaigns\": [\n",
+            "{{\n  \"lines\": {}, \"lines_skipped\": {}, \"check\": {},\n  \"campaigns\": [\n",
             self.lines,
             self.unparsed,
             self.check()
@@ -529,6 +529,8 @@ mod tests {
         assert_eq!(a.unparsed, 1);
         assert_eq!(a.orphan.sent, 1);
         assert!(!a.check());
+        assert!(a.render_text().contains("(1 skipped as malformed)"));
+        assert!(a.render_json().contains("\"lines_skipped\": 1"));
     }
 
     #[test]

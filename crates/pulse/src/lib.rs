@@ -47,6 +47,7 @@ pub use window::{window_label, CounterSample, SampleRing, WindowRates};
 use cde_telemetry::{json, Collector, Metric};
 use parking_lot::Mutex;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 /// Default sample-ring capacity: at the daemon's ~100 ms sampling
@@ -65,6 +66,10 @@ pub struct Pulse {
     ring: SampleRing,
     shards: Mutex<Vec<ShardStat>>,
     exemplars: Option<Arc<ExemplarReservoir>>,
+    /// Last status level seen by [`status_transition`](Pulse::status_transition),
+    /// for edge detection (flight-dump triggers fire on the edge into
+    /// Critical, not on every Critical verdict).
+    last_level: AtomicU8,
 }
 
 impl Pulse {
@@ -76,6 +81,7 @@ impl Pulse {
             ring: SampleRing::with_capacity(DEFAULT_RING_CAPACITY),
             shards: Mutex::new(Vec::new()),
             exemplars: None,
+            last_level: AtomicU8::new(HealthStatus::Ok.as_level()),
         }
     }
 
@@ -110,6 +116,17 @@ impl Pulse {
     /// causes, and the window rates it was derived from.
     pub fn health(&self) -> HealthVerdict {
         evaluate(&self.ring.samples(), &self.spec, self.imbalance().as_ref())
+    }
+
+    /// Evaluates health and reports the edge: `Some((from, to))` the
+    /// first call after the status changed, `None` while it holds. The
+    /// daemon's run loop uses this to trigger a flight dump exactly
+    /// once per transition *into* Critical rather than once per
+    /// Critical verdict.
+    pub fn status_transition(&self) -> Option<(HealthStatus, HealthStatus)> {
+        let to = self.health().status;
+        let from = HealthStatus::from_level(self.last_level.swap(to.as_level(), Ordering::Relaxed));
+        (from != to).then_some((from, to))
     }
 
     /// The verdict as the `/v1/health` JSON body: status, causes,
@@ -351,6 +368,26 @@ mod tests {
             .causes
             .iter()
             .any(|c| c.detail().contains("loss") || c.kind().contains("loss")));
+    }
+
+    #[test]
+    fn status_transition_fires_once_per_edge() {
+        let pulse = Pulse::new(SloSpec::default());
+        // Empty ring: Ok, and no edge from the initial Ok.
+        assert_eq!(pulse.status_transition(), None);
+        for i in 0..100u64 {
+            // 30% of attempts unanswered: Critical loss burn.
+            pulse.observe(sample(i * 100, i * 100, i * 70));
+        }
+        assert_eq!(
+            pulse.status_transition(),
+            Some((HealthStatus::Ok, HealthStatus::Critical))
+        );
+        assert_eq!(
+            pulse.status_transition(),
+            None,
+            "still Critical — the edge already fired"
+        );
     }
 
     #[test]

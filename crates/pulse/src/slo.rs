@@ -88,6 +88,16 @@ impl HealthStatus {
             HealthStatus::Critical => 2,
         }
     }
+
+    /// Inverse of [`as_level`](HealthStatus::as_level); unknown levels
+    /// clamp to `Ok`.
+    pub fn from_level(level: u8) -> HealthStatus {
+        match level {
+            2 => HealthStatus::Critical,
+            1 => HealthStatus::Warn,
+            _ => HealthStatus::Ok,
+        }
+    }
 }
 
 /// Why a verdict is not Ok. Each variant carries the evidence that

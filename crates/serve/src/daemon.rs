@@ -11,8 +11,8 @@ use crate::http::ControlPlane;
 use crate::manager::{CampaignManager, ManagerConfig, World};
 use cde_core::CdeInfra;
 use cde_engine::{
-    EngineMetrics, LiveTestbed, PulseOptions, RateConfig, ReactorConfig, ResolverConfig,
-    RetryPolicy,
+    EngineMetrics, FlightOptions, LiveTestbed, PulseOptions, RateConfig, ReactorConfig,
+    ResolverConfig, RetryPolicy,
 };
 use cde_faults::FaultPlan;
 use cde_platform::{NameserverNet, PlatformBuilder, SelectorKind};
@@ -135,6 +135,7 @@ impl Daemon {
                 .chaos
                 .map(|(loss, burst)| FaultPlan::bursty(config.seed, loss, burst)),
             pulse: Some(PulseOptions::default()),
+            flight: Some(FlightOptions::default()),
             ..ReactorConfig::with_policy(policy, config.seed)
         };
         let transport = testbed.reactor_transport(reactor_config)?;
@@ -264,15 +265,45 @@ impl Daemon {
         }
     }
 
+    /// Triggers a flight dump when the run loop observes a reason to:
+    /// a pending SIGUSR1 (operator `kill -USR1`) or a health-verdict
+    /// edge into Critical. Dump failures are reported on stderr but
+    /// never stop the daemon — the black box must not take down the
+    /// plane.
+    fn poll_flight_triggers(&self) {
+        let signalled = cde_sysio::take_sigusr1();
+        let went_critical = matches!(
+            self.pulse.status_transition(),
+            Some((_, cde_pulse::HealthStatus::Critical))
+        );
+        if !signalled && !went_critical {
+            return;
+        }
+        let reason = if signalled {
+            "SIGUSR1"
+        } else {
+            "health Critical"
+        };
+        match self.manager.write_flight_dump() {
+            Ok(Some(path)) => eprintln!("cde-serve: flight dump ({reason}): {}", path.display()),
+            Ok(None) => {}
+            Err(err) => eprintln!("cde-serve: flight dump ({reason}) failed: {err}"),
+        }
+    }
+
     /// Serves until a client POSTs `/v1/shutdown`, draining telemetry
     /// and feeding the health engine every ~100ms, then shuts down
     /// gracefully: every campaign pauses behind a resumable snapshot,
     /// the reactor drains its in-flight probes, and the final telemetry
-    /// flush lands in the JSONL file.
+    /// flush lands in the JSONL file. SIGUSR1 and health-verdict edges
+    /// into Critical snapshot the flight rings to a dump artifact
+    /// alongside the checkpoints.
     pub fn run(mut self) -> io::Result<()> {
+        cde_sysio::watch_sigusr1();
         while !self.control.shutdown_requested() {
             std::thread::sleep(Duration::from_millis(100));
             self.sample_pulse();
+            self.poll_flight_triggers();
             self.drain_telemetry()?;
         }
         let drained = self.manager.graceful_shutdown(SHUTDOWN_DRAIN);

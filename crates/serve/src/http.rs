@@ -18,6 +18,7 @@
 //! | `GET /v1/campaigns/<id>`          | one campaign status                      |
 //! | `POST /v1/campaigns/<id>/cancel`  | stop a campaign (terminal snapshot)      |
 //! | `POST /v1/campaigns/<id>/checkpoint` | write a snapshot now                 |
+//! | `POST /v1/flight/dump`            | snapshot the flight rings to JSONL       |
 //! | `POST /v1/shutdown`               | request graceful daemon shutdown         |
 
 use crate::campaign::CampaignSpec;
@@ -252,7 +253,7 @@ fn respond(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
 fn allowed_methods(path: &str) -> Option<&'static str> {
     match path {
         "/healthz" | "/metrics" | "/v1/health" | "/v1/health/shards" => Some("GET"),
-        "/v1/shutdown" | "/v1/tenants" => Some("POST"),
+        "/v1/shutdown" | "/v1/tenants" | "/v1/flight/dump" => Some("POST"),
         "/v1/campaigns" => Some("GET, POST"),
         _ if path.starts_with("/v1/campaigns/") => {
             if path.ends_with("/cancel") || path.ends_with("/checkpoint") {
@@ -308,6 +309,21 @@ fn route(
             shutdown_requested.store(true, Ordering::SeqCst);
             Response::json(200, "{\"ok\": true}".to_owned())
         }
+        ("POST", "/v1/flight/dump") => match manager.write_flight_dump() {
+            Ok(Some(path)) => {
+                let escaped = path
+                    .display()
+                    .to_string()
+                    .replace('\\', "\\\\")
+                    .replace('"', "\\\"");
+                Response::json(200, format!("{{\"flight_dump\": \"{escaped}\"}}"))
+            }
+            Ok(None) => Response::json(
+                404,
+                "{\"error\": \"flight recorder not attached\"}".to_owned(),
+            ),
+            Err(err) => Response::json(500, format!("{{\"error\": \"{err}\"}}")),
+        },
         ("POST", "/v1/tenants") => handle_register_tenant(&request.body, manager),
         ("POST", "/v1/campaigns") => handle_submit(&request.body, manager),
         ("GET", "/v1/campaigns") => {
@@ -465,6 +481,7 @@ mod tests {
         assert_eq!(allowed_methods("/v1/health/shards"), Some("GET"));
         assert_eq!(allowed_methods("/v1/shutdown"), Some("POST"));
         assert_eq!(allowed_methods("/v1/tenants"), Some("POST"));
+        assert_eq!(allowed_methods("/v1/flight/dump"), Some("POST"));
         assert_eq!(allowed_methods("/v1/campaigns"), Some("GET, POST"));
         assert_eq!(allowed_methods("/v1/campaigns/c-1"), Some("GET"));
         assert_eq!(allowed_methods("/v1/campaigns/c-1/cancel"), Some("POST"));

@@ -34,14 +34,15 @@ use cde_dns::{Rcode, RecordType};
 use cde_engine::rto::EstimatorSnapshot;
 use cde_engine::scheduler::{CampaignReport, Probe, ProbeOutcome};
 use cde_engine::{
-    EngineMetrics, RateConfig, ReactorHandle, ReactorTransport, RtoTable, TenantRate, Transport,
-    TransportReply, WeightedRateLimiter,
+    EngineMetrics, FlightRecorder, RateConfig, ReactorHandle, ReactorTransport, RtoTable,
+    TenantRate, Transport, TransportReply, WeightedRateLimiter,
 };
 use cde_pulse::ExemplarReservoir;
 use cde_telemetry::{CampaignSpan, MetricsRegistry, TelemetryHub};
 use crossbeam::channel::{unbounded, RecvTimeoutError};
 use parking_lot::Mutex;
 use std::collections::HashSet;
+use std::fs;
 use std::io;
 use std::net::Ipv4Addr;
 use std::path::{Path, PathBuf};
@@ -210,6 +211,9 @@ pub struct CampaignManager {
     /// out once so checkpoints and resumes never take the world lock to
     /// reach estimator state.
     rto: Option<Arc<RtoTable>>,
+    /// The reactor's flight recorder, when one is configured; cloned out
+    /// once so dump triggers never take the world lock.
+    flight: Option<Arc<FlightRecorder>>,
     grace: Duration,
     limiter: Arc<WeightedRateLimiter>,
     tenants: Arc<TenantRegistry>,
@@ -235,6 +239,7 @@ impl CampaignManager {
     pub fn new(world: World, config: ManagerConfig) -> Arc<CampaignManager> {
         let handle = world.transport.reactor().handle();
         let rto = world.transport.reactor().rto();
+        let flight = world.transport.reactor().flight();
         let grace = world.transport.reactor().policy().worst_case() + Duration::from_secs(2);
         let limiter = Arc::new(WeightedRateLimiter::new(config.global_rate));
         let tenants = TenantRegistry::new();
@@ -246,6 +251,7 @@ impl CampaignManager {
             world: Mutex::new(world),
             handle,
             rto,
+            flight,
             grace,
             limiter,
             tenants,
@@ -287,6 +293,42 @@ impl CampaignManager {
     /// launched with pulse options.
     pub fn exemplars(&self) -> Option<Arc<ExemplarReservoir>> {
         self.handle.exemplars()
+    }
+
+    /// The reactor's flight recorder, when the reactor was launched
+    /// with flight options.
+    pub fn flight(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight.as_ref()
+    }
+
+    /// Snapshots the flight rings to a versioned JSONL artifact
+    /// (`flight-<n>.jsonl`, monotonically numbered) alongside the live
+    /// checkpoints. Like checkpoints, the dump lands via temp file +
+    /// fsync + atomic rename, so a kill -9 at any point never leaves a
+    /// torn artifact. Returns `Ok(None)` when no flight recorder is
+    /// configured.
+    pub fn write_flight_dump(&self) -> io::Result<Option<PathBuf>> {
+        let Some(flight) = &self.flight else {
+            return Ok(None);
+        };
+        let jsonl = flight.render_jsonl();
+        let next = fs::read_dir(&self.checkpoint_dir)?
+            .filter_map(|entry| {
+                let name = entry.ok()?.file_name().into_string().ok()?;
+                let idx = name.strip_prefix("flight-")?.strip_suffix(".jsonl")?;
+                idx.parse::<u64>().ok()
+            })
+            .max()
+            .map_or(0, |max| max + 1);
+        let path = self.checkpoint_dir.join(format!("flight-{next}.jsonl"));
+        let tmp = self.checkpoint_dir.join(format!("flight-{next}.jsonl.tmp"));
+        {
+            let mut file = fs::File::create(&tmp)?;
+            std::io::Write::write_all(&mut file, jsonl.as_bytes())?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        Ok(Some(path))
     }
 
     /// The current per-ingress RTT estimator snapshots, empty when the

@@ -7,9 +7,9 @@
 //! `send_to`/`recv_from` calls with identical semantics.
 //!
 //! This is deliberately the *only* crate in the workspace that contains
-//! `unsafe` code (the FFI structs and calls live in [`mmsg`], and the
-//! lock-free submission ring in [`MpscRing`]); every other crate keeps
-//! `#![forbid(unsafe_code)]`.
+//! `unsafe` code (the FFI structs and calls live in [`mmsg`], the
+//! SIGUSR1 latch in [`signal`], and the lock-free submission ring in
+//! [`MpscRing`]); every other crate keeps `#![forbid(unsafe_code)]`.
 //!
 //! All functions assume a non-blocking socket: "nothing to do right now"
 //! is reported as `Ok(0)`, never as an `Err(WouldBlock)` the caller has
@@ -54,8 +54,10 @@ use std::sync::OnceLock;
 #[cfg(target_os = "linux")]
 mod mmsg;
 mod ring;
+pub mod signal;
 
 pub use ring::MpscRing;
+pub use signal::{take_sigusr1, watch_sigusr1};
 
 /// Largest number of datagrams moved per batched syscall. Callers may
 /// pass longer slices; the excess simply waits for the next call.

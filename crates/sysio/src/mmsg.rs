@@ -6,7 +6,7 @@
 //! binding we need. Layouts below match glibc on every 64-bit Linux
 //! target; the struct-size assertions in the tests pin them.
 //!
-//! All `unsafe` in the workspace is confined to this module.
+//! All `unsafe` in the workspace is confined to this crate.
 
 use super::{RecvSlot, SendItem};
 use std::io::{self, ErrorKind};

@@ -1,0 +1,75 @@
+//! Async-signal-safe SIGUSR1 latch for operator-triggered dumps.
+//!
+//! The flight recorder's third dump trigger is the classic black-box
+//! one: `kill -USR1 <pid>` snapshots the rings without any control
+//! plane. A signal handler may only touch async-signal-safe state, so
+//! the handler here does exactly one thing — a relaxed store into a
+//! process-global `AtomicBool` — and the daemon's run loop polls
+//! [`take_sigusr1`] at its own cadence.
+//!
+//! Like [`mmsg`](../index.html), this module binds the platform C
+//! library directly (`std` already links it; the workspace vendors no
+//! `libc` crate). Non-Linux targets get a no-op install so callers
+//! never need their own `cfg` gates.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// `SIGUSR1` on Linux (same value on every architecture glibc supports).
+#[cfg(target_os = "linux")]
+const SIGUSR1: i32 = 10;
+
+static SIGUSR1_PENDING: AtomicBool = AtomicBool::new(false);
+
+#[cfg(target_os = "linux")]
+extern "C" fn on_sigusr1(_signum: i32) {
+    // Async-signal-safe: a single relaxed atomic store.
+    SIGUSR1_PENDING.store(true, Ordering::Relaxed);
+}
+
+/// Installs the SIGUSR1 handler (idempotent; later installs just
+/// re-point the handler at the same latch). Returns `true` if the
+/// handler is active, `false` on platforms without SIGUSR1 or if the
+/// kernel refused the registration.
+pub fn watch_sigusr1() -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        extern "C" {
+            /// `signal(2)` — returns the previous handler, or
+            /// `SIG_ERR` (-1) on failure.
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        let handler = on_sigusr1 as extern "C" fn(i32);
+        let previous = unsafe { signal(SIGUSR1, handler as usize) };
+        previous != usize::MAX
+    }
+    #[cfg(not(target_os = "linux"))]
+    false
+}
+
+/// Consumes a pending SIGUSR1: returns `true` at most once per
+/// delivered signal (multiple deliveries between polls coalesce into
+/// one, which is the right semantics for "dump now").
+pub fn take_sigusr1() -> bool {
+    SIGUSR1_PENDING.swap(false, Ordering::Relaxed)
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+
+    extern "C" {
+        fn raise(signum: i32) -> i32;
+    }
+
+    #[test]
+    fn sigusr1_latches_once_and_coalesces() {
+        assert!(watch_sigusr1());
+        assert!(!take_sigusr1(), "nothing pending before the signal");
+        unsafe {
+            assert_eq!(raise(SIGUSR1), 0);
+            assert_eq!(raise(SIGUSR1), 0);
+        }
+        assert!(take_sigusr1(), "latch set by the handler");
+        assert!(!take_sigusr1(), "consumed exactly once");
+    }
+}

@@ -24,12 +24,16 @@
 //! * `--prometheus` — dump the final registry in Prometheus text format;
 //! * `--chaos` — run a third pass under a seeded [`FaultPlan`] (30%
 //!   bursty loss, duplication, jitter) injected by the reactor's fault
-//!   layer; the seed comes from `CDE_CHAOS_SEED` (default 4242).
+//!   layer; the seed comes from `CDE_CHAOS_SEED` (default 4242);
+//! * `--flight-dump <path>` — enable the reactor's flight recorder and
+//!   snapshot its rings to `<path>` after each pass (the last pass
+//!   wins). Feed the artifact to `cde-analyze --forensics` for the
+//!   per-ingress fate table.
 
 use counting_dark::cde::{enumerate_adaptive, CdeInfra, SurveyOptions};
 use counting_dark::engine::{
-    EngineAccess, InsightOptions, LiveTestbed, ReactorConfig, ResolverConfig, RetryPolicy,
-    MAX_BATCH,
+    EngineAccess, FlightOptions, InsightOptions, LiveTestbed, ReactorConfig, ResolverConfig,
+    RetryPolicy, MAX_BATCH,
 };
 use counting_dark::faults::{DelayFault, DuplicateFault, FaultPlan};
 use counting_dark::netsim::{seed_from_env, SimTime};
@@ -50,6 +54,7 @@ fn census(
     faults: Option<FaultPlan>,
     label: &str,
     reporter: &mut ProgressReporter,
+    flight_dump: Option<&std::path::Path>,
 ) -> Arc<MetricsRegistry> {
     // A fresh registry per pass: each pass launches its own reactor, and
     // re-registering a second reactor's collectors into the same registry
@@ -77,6 +82,7 @@ fn census(
             registry: Some(Arc::clone(&registry)),
             faults,
             insight: Some(InsightOptions::default()),
+            flight: flight_dump.map(|_| FlightOptions::default()),
             ..ReactorConfig::with_policy(policy, seed)
         })
         .expect("reactor transport");
@@ -153,6 +159,21 @@ fn census(
             );
         }
     }
+    if let Some(path) = flight_dump {
+        let flight = transport.reactor().flight().expect("flight enabled");
+        // Same torn-artifact discipline as the daemon: temp + rename.
+        let tmp = path.with_extension("jsonl.tmp");
+        std::fs::write(&tmp, flight.render_jsonl()).expect("write flight dump");
+        std::fs::rename(&tmp, path).expect("rename flight dump");
+        println!(
+            "  flight recorder   : {} records ({} shed) dumped to {}",
+            flight
+                .written()
+                .min(flight.shards() as u64 * flight.per_shard() as u64),
+            flight.shed(),
+            path.display()
+        );
+    }
     println!(
         "  authority queries : {} served over real UDP\n",
         testbed.authority().queries_served()
@@ -162,6 +183,7 @@ fn census(
 
 fn main() {
     let mut telemetry_jsonl: Option<std::path::PathBuf> = None;
+    let mut flight_dump: Option<std::path::PathBuf> = None;
     let mut print_prometheus = false;
     let mut chaos = false;
     let mut args = std::env::args().skip(1);
@@ -169,6 +191,9 @@ fn main() {
         match arg.as_str() {
             "--telemetry-jsonl" => {
                 telemetry_jsonl = Some(args.next().expect("--telemetry-jsonl needs a path").into());
+            }
+            "--flight-dump" => {
+                flight_dump = Some(args.next().expect("--flight-dump needs a path").into());
             }
             "--prometheus" => print_prometheus = true,
             "--chaos" => chaos = true,
@@ -195,6 +220,7 @@ fn main() {
         None,
         "clean wire (no injected loss):",
         &mut reporter,
+        flight_dump.as_deref(),
     );
     let mut registry = census(
         7,
@@ -207,6 +233,7 @@ fn main() {
         None,
         "lossy wire (20% of requests dropped, absorbed by retries):",
         &mut reporter,
+        flight_dump.as_deref(),
     );
 
     if chaos {
@@ -233,6 +260,7 @@ fn main() {
             Some(plan),
             &format!("chaotic wire (seeded fault plan, CDE_CHAOS_SEED={seed}):"),
             &mut reporter,
+            flight_dump.as_deref(),
         );
     }
 

@@ -8,9 +8,13 @@
 #   4. run a large campaign under bursty loss and watch /v1/health
 #      degrade to warn/critical with a loss-attributed cause, then
 #      recover to ok once the burst-loss traffic drains,
-#   5. kill -9 the daemon mid-campaign, restart it with --resume, and
-#      watch the checkpointed campaign run to completion,
-#   6. shut down gracefully over HTTP and check the telemetry JSONL
+#   5. trigger a flight dump over POST /v1/flight/dump while degraded,
+#      assert the artifact exists and parses, and run the loss-forensics
+#      reconciler (`cde-analyze --forensics`) over it,
+#   6. kill -9 the daemon mid-campaign — which must never leave a torn
+#      flight dump (tmp+rename, like checkpoints) — restart it with
+#      --resume, and watch the checkpointed campaign run to completion,
+#   7. shut down gracefully over HTTP and check the telemetry JSONL
 #      carries the per-tenant campaign spans.
 #
 # Note on step 4: restarting the daemon rebuilds the *simulated*
@@ -75,8 +79,8 @@ poll_status() { # poll_status <id> <want-state> <timeout-s>
     die "campaign $id never reached state=$want (last: $status)"
 }
 
-say "building cde-serve"
-cargo build --release --locked -p cde-serve
+say "building cde-serve and cde-analyze"
+cargo build --release --locked -p cde-serve -p cde-insight
 
 rm -rf "$DIR"
 mkdir -p "$DIR"
@@ -137,6 +141,20 @@ curl -fsS "http://$ADDR/v1/health/shards" | grep -q '"duty_cycle"' \
 curl -fsS "http://$ADDR/metrics" | grep -q '^cde_pulse_health_status ' \
     || die "cde_pulse_health_status missing from /metrics"
 
+# --- flight recorder: operator-triggered dump + loss forensics -------------
+say "triggering a flight dump while degraded"
+DUMP_PATH="$(curl -fsS -X POST "http://$ADDR/v1/flight/dump" | json_field flight_dump)"
+[ -n "$DUMP_PATH" ] || die "POST /v1/flight/dump returned no path"
+[ -s "$DUMP_PATH" ] || die "flight dump artifact missing or empty: $DUMP_PATH"
+head -n 1 "$DUMP_PATH" | grep -q '"kind": "flight_header", "flight_version": 1' \
+    || die "flight dump lacks its versioned header: $(head -n 1 "$DUMP_PATH")"
+say "reconciling the dump with cde-analyze --forensics"
+FORENSICS="$(target/release/cde-analyze "$DUMP_PATH" --forensics --check)" \
+    || die "forensics reconciliation failed on $DUMP_PATH"
+echo "$FORENSICS" | grep -q 'unanswered coverage' || die "no coverage line: $FORENSICS"
+echo "$FORENSICS" | grep -q '0 line(s) skipped' || die "dump had malformed lines: $FORENSICS"
+say "flight dump reconciled: $(echo "$FORENSICS" | grep 'unanswered coverage')"
+
 poll_status "$PULSE_ID" done 120 >/dev/null
 # Recovery is bounded by the SLO mid window (1m): warn clears once the
 # lossy traffic ages out of it and the activity floor disengages.
@@ -170,6 +188,18 @@ say "kill -9 at $COMPLETED/240 completions"
 kill -9 "$DAEMON_PID"
 wait "$DAEMON_PID" 2>/dev/null || true
 DAEMON_PID=""
+
+# The dump discipline is tmp + fsync + rename, exactly like checkpoints:
+# however the kill lands, no torn or half-written flight artifact may
+# survive, and every committed dump must still parse.
+if ls "$DIR"/ckpt/flight-*.jsonl.tmp >/dev/null 2>&1; then
+    die "kill -9 left a torn flight dump temp file behind"
+fi
+for dump in "$DIR"/ckpt/flight-*.jsonl; do
+    [ -e "$dump" ] || continue
+    head -n 1 "$dump" | grep -q '"flight_version": 1' \
+        || die "committed flight dump $dump does not parse after kill -9"
+done
 
 say "restarting with --resume"
 start_daemon --resume

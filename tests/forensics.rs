@@ -1,0 +1,153 @@
+//! End-to-end loss forensics: a reactor campaign under a fixed-seed
+//! Gilbert–Elliott plan with loss planted in *both* directions, dumped
+//! from the flight recorder and reconciled by `cde-analyze --forensics`.
+//!
+//! The acceptance bar: every unanswered probe classified (≥95%
+//! coverage), and the query-lost vs reply-lost split agreeing exactly
+//! with the fault injector's per-direction drop counters — the ground
+//! truth the chaos suites can always recompute from the seed.
+
+use counting_dark::dns::Message;
+use counting_dark::engine::scheduler::{run_campaign_pipelined, Probe};
+use counting_dark::engine::{FlightOptions, Reactor, ReactorConfig, RetryPolicy};
+use counting_dark::faults::{FaultPlan, LossFault};
+use counting_dark::insight::analyze_forensics;
+use counting_dark::netsim::seed_from_env;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const INGRESS: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+
+/// A loopback echo authority; all chaos comes from the fault layer.
+fn echo_server() -> (
+    std::net::SocketAddr,
+    Arc<AtomicBool>,
+    std::thread::JoinHandle<()>,
+) {
+    let socket = std::net::UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+    socket
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .unwrap();
+    let addr = socket.local_addr().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let handle = std::thread::spawn({
+        let stop = Arc::clone(&stop);
+        move || {
+            let mut buf = [0u8; 2048];
+            while !stop.load(Ordering::SeqCst) {
+                if let Ok((len, peer)) = socket.recv_from(&mut buf) {
+                    if let Ok(query) = Message::decode(&buf[..len]) {
+                        let resp = Message::response_to(&query);
+                        let _ = socket.send_to(&resp.encode().unwrap(), peer);
+                    }
+                }
+            }
+        }
+    });
+    (addr, stop, handle)
+}
+
+#[test]
+fn forensics_fate_table_matches_planted_loss_directions() {
+    let seed = seed_from_env("CDE_FORENSICS_SEED", 7001);
+
+    // Bursty loss planted in BOTH directions. One attempt per probe, so
+    // each per-direction injector drop is exactly one unanswered probe:
+    // the fate table must reproduce the injector's counters verbatim.
+    let plan = FaultPlan {
+        query_loss: LossFault::Bursty {
+            mean_loss: 0.15,
+            mean_burst: 3.0,
+        },
+        reply_loss: LossFault::Bursty {
+            mean_loss: 0.12,
+            mean_burst: 2.0,
+        },
+        ..FaultPlan::clean(seed)
+    };
+
+    let (server_addr, stop, server) = echo_server();
+    let mut targets = HashMap::new();
+    targets.insert(INGRESS, server_addr);
+    let policy = RetryPolicy {
+        attempts: 1,
+        timeout: Duration::from_millis(60),
+        backoff: 1.0,
+        base_delay: Duration::from_millis(1),
+        jitter: 0.0,
+    };
+    let reactor = Reactor::launch(
+        targets,
+        ReactorConfig {
+            faults: Some(plan),
+            flight: Some(FlightOptions::default()),
+            ..ReactorConfig::with_policy(policy, seed)
+        },
+    )
+    .unwrap();
+
+    let total = 400usize;
+    let probes: Vec<Probe> = (0..total)
+        .map(|i| Probe::a(INGRESS, format!("fate-{i}.cache.example").parse().unwrap()))
+        .collect();
+    let report = run_campaign_pipelined(&reactor, probes, 32);
+    assert!(report.fully_accounted(total));
+
+    let stats = reactor.fault_stats().expect("fault layer attached");
+    let flight = reactor.flight().expect("flight recorder attached");
+    let dump = flight.render_jsonl();
+    stop.store(true, Ordering::SeqCst);
+    server.join().unwrap();
+
+    let forensics = analyze_forensics(&dump);
+    assert_eq!(forensics.dump_version, 1);
+    assert_eq!(forensics.lines_skipped, 0);
+    assert_eq!(forensics.shed, 0, "400 probes fit the default rings");
+    assert_eq!(forensics.totals.probes, total as u64);
+    assert_eq!(
+        forensics.totals.answered,
+        report.answered() as u64,
+        "probe records agree with the campaign report"
+    );
+    assert_eq!(forensics.totals.unanswered, report.timed_out() as u64);
+
+    // The e2e acceptance criterion: ≥95% of unanswered probes explained.
+    assert!(
+        forensics.coverage() >= 0.95,
+        "coverage {:.3} below the 95% bar ({} of {} unanswered classified, seed {seed})",
+        forensics.coverage(),
+        forensics.classified(),
+        forensics.totals.unanswered
+    );
+
+    // The per-direction split must agree with the injector's ground
+    // truth: attempts=1 and loss-only faults make the correspondence
+    // exact, not statistical.
+    assert_eq!(
+        forensics.totals.query_lost,
+        stats.query_drops(),
+        "query-lost fate vs injector query drops (seed {seed})"
+    );
+    assert_eq!(
+        forensics.totals.reply_lost,
+        stats.reply_drops(),
+        "reply-lost fate vs injector reply drops (seed {seed})"
+    );
+    assert!(
+        stats.query_drops() > 0 && stats.reply_drops() > 0,
+        "the plan must actually exercise both directions (seed {seed})"
+    );
+    assert_eq!(forensics.totals.late_stray, 0, "no delay/duplicate faults");
+    assert_eq!(forensics.totals.unknown, 0);
+    assert!(forensics.check(), "forensics --check criterion");
+
+    // The renders carry the fate table for both humans and machines.
+    let text = forensics.render_text();
+    assert!(text.contains("192.0.2.1"));
+    assert!(text.contains("query_lost"));
+    let json = forensics.render_json();
+    assert!(json.contains("\"check\": true"));
+}
